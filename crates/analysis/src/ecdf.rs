@@ -1,0 +1,251 @@
+//! Empirical cumulative distribution functions and the shifted-dominance
+//! check used to test probabilistic statements such as Theorem 23.
+//!
+//! Several of the paper's theorems are statements about *distributions*, not
+//! means: Theorem 10 says `P[T_push ≤ ck] ≥ P[T_visitx ≤ k] − n^{−λ}`,
+//! Theorem 23 says `P[T_visitx ≤ k + c·log n] ≥ P[T_meetx ≤ k] − n^{−λ}`.
+//! Empirically these are dominance relations between the ECDF of one
+//! broadcast time and a shifted/scaled ECDF of another. [`Ecdf`] collects the
+//! samples; [`Ecdf::dominates_shifted`] and [`Ecdf::dominates_scaled`] check
+//! the relations, reporting the largest violation so that a small additive
+//! slack (the theorems' `n^{−λ}` term, which finite trial counts cannot
+//! resolve) can be tolerated explicitly.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution function over `u64` measurements
+/// (broadcast times in rounds).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<u64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rumor_analysis::Ecdf;
+    ///
+    /// let e = Ecdf::new(&[3, 1, 4, 1, 5]);
+    /// assert_eq!(e.len(), 5);
+    /// assert_eq!(e.eval(0), 0.0);
+    /// assert_eq!(e.eval(1), 0.4);
+    /// assert_eq!(e.eval(4), 0.8);
+    /// assert_eq!(e.eval(10), 1.0);
+    /// ```
+    pub fn new(samples: &[u64]) -> Self {
+        assert!(!samples.is_empty(), "Ecdf requires at least one sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Ecdf { sorted }
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if the ECDF was built from zero samples (never, by
+    /// construction; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P[X ≤ x]` under the empirical distribution.
+    pub fn eval(&self, x: u64) -> f64 {
+        // partition_point returns the count of samples ≤ x because the vector
+        // is sorted ascending.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Smallest sample (the empirical essential infimum).
+    pub fn min(&self) -> u64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Empirical `q`-quantile (`0 ≤ q ≤ 1`), using the nearest-rank
+    /// definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0, 1]");
+        if q == 0.0 {
+            return self.min();
+        }
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// Checks the shifted-dominance relation of Theorem 23:
+    /// `P[self ≤ k + shift] ≥ P[other ≤ k]` for every `k`, up to an additive
+    /// `slack` (the theorems' `n^{−λ}` term). Returns the largest violation
+    /// `max_k (P[other ≤ k] − P[self ≤ k + shift])`, which is `≤ slack` iff
+    /// the relation holds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rumor_analysis::Ecdf;
+    ///
+    /// let fast = Ecdf::new(&[10, 12, 14]);
+    /// let slow = Ecdf::new(&[15, 18, 21]);
+    /// // slow ≤ fast + 7 pointwise, so a shift of 7 is enough.
+    /// assert!(slow.dominance_violation_shifted(&fast, 7) <= 0.0);
+    /// // A shift of 2 is not.
+    /// assert!(slow.dominance_violation_shifted(&fast, 2) > 0.0);
+    /// ```
+    pub fn dominance_violation_shifted(&self, other: &Ecdf, shift: u64) -> f64 {
+        // The violation can only change at the sample points of `other`.
+        other
+            .sorted
+            .iter()
+            .map(|&k| other.eval(k) - self.eval(k.saturating_add(shift)))
+            .fold(f64::MIN, f64::max)
+    }
+
+    /// `true` if `P[self ≤ k + shift] ≥ P[other ≤ k] − slack` for every `k`.
+    pub fn dominates_shifted(&self, other: &Ecdf, shift: u64, slack: f64) -> bool {
+        self.dominance_violation_shifted(other, shift) <= slack
+    }
+
+    /// Checks the scaled-dominance relation of Theorem 10:
+    /// `P[self ≤ c·k] ≥ P[other ≤ k]` for every `k`, up to `slack`.
+    /// Returns the largest violation.
+    pub fn dominance_violation_scaled(&self, other: &Ecdf, factor: f64) -> f64 {
+        assert!(factor > 0.0, "the scaling factor must be positive");
+        other
+            .sorted
+            .iter()
+            .map(|&k| other.eval(k) - self.eval((k as f64 * factor).floor() as u64))
+            .fold(f64::MIN, f64::max)
+    }
+
+    /// `true` if `P[self ≤ c·k] ≥ P[other ≤ k] − slack` for every `k`.
+    pub fn dominates_scaled(&self, other: &Ecdf, factor: f64, slack: f64) -> bool {
+        self.dominance_violation_scaled(other, factor) <= slack
+    }
+
+    /// The smallest shift `s` such that [`Ecdf::dominates_shifted`] holds with
+    /// the given `slack`; in Theorem 23 terms, an empirical estimate of
+    /// `c · log n`.
+    pub fn smallest_dominating_shift(&self, other: &Ecdf, slack: f64) -> u64 {
+        // The answer is bounded by max(other) − min(self) (then self's whole
+        // mass lies left of other's); binary search over that range.
+        let hi = other.max().saturating_sub(self.min());
+        let mut lo = 0u64;
+        let mut hi = hi;
+        if self.dominates_shifted(other, lo, slack) {
+            return 0;
+        }
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.dominates_shifted(other, mid, slack) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_a_step_function() {
+        let e = Ecdf::new(&[2, 2, 4, 8]);
+        assert_eq!(e.eval(1), 0.0);
+        assert_eq!(e.eval(2), 0.5);
+        assert_eq!(e.eval(3), 0.5);
+        assert_eq!(e.eval(4), 0.75);
+        assert_eq!(e.eval(8), 1.0);
+        assert_eq!(e.eval(100), 1.0);
+        assert_eq!(e.min(), 2);
+        assert_eq!(e.max(), 8);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let e = Ecdf::new(&[10, 20, 30, 40]);
+        assert_eq!(e.quantile(0.0), 10);
+        assert_eq!(e.quantile(0.25), 10);
+        assert_eq!(e.quantile(0.5), 20);
+        assert_eq!(e.quantile(0.75), 30);
+        assert_eq!(e.quantile(1.0), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_sample_panics() {
+        let _ = Ecdf::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "q in [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        let _ = Ecdf::new(&[1]).quantile(1.5);
+    }
+
+    #[test]
+    fn identical_distributions_dominate_with_zero_shift() {
+        let a = Ecdf::new(&[5, 7, 9]);
+        let b = Ecdf::new(&[5, 7, 9]);
+        assert!(a.dominates_shifted(&b, 0, 0.0));
+        assert_eq!(a.smallest_dominating_shift(&b, 0.0), 0);
+        assert!(a.dominates_scaled(&b, 1.0, 0.0));
+    }
+
+    #[test]
+    fn shifted_dominance_detects_the_required_shift() {
+        // self is exactly other + 10.
+        let other = Ecdf::new(&[10, 20, 30]);
+        let this = Ecdf::new(&[20, 30, 40]);
+        assert!(!this.dominates_shifted(&other, 9, 0.0));
+        assert!(this.dominates_shifted(&other, 10, 0.0));
+        assert_eq!(this.smallest_dominating_shift(&other, 0.0), 10);
+    }
+
+    #[test]
+    fn slack_allows_bounded_violations() {
+        // this is slower than other on a third of the mass.
+        let other = Ecdf::new(&[10, 10, 10]);
+        let this = Ecdf::new(&[10, 10, 50]);
+        assert!(!this.dominates_shifted(&other, 0, 0.0));
+        assert!(this.dominates_shifted(&other, 0, 0.34));
+    }
+
+    #[test]
+    fn scaled_dominance_matches_theorem10_shape() {
+        // this ≈ 3 × other: a factor of 3 suffices, a factor of 2 does not.
+        let other = Ecdf::new(&[10, 20, 30, 40]);
+        let this = Ecdf::new(&[30, 60, 90, 120]);
+        assert!(this.dominates_scaled(&other, 3.0, 0.0));
+        assert!(!this.dominates_scaled(&other, 2.0, 0.0));
+        assert!(this.dominance_violation_scaled(&other, 2.0) > 0.0);
+    }
+
+    #[test]
+    fn faster_distribution_needs_no_shift_even_with_spread() {
+        let faster = Ecdf::new(&[8, 9, 10, 11]);
+        let slower = Ecdf::new(&[12, 15, 18, 40]);
+        assert!(faster.dominates_shifted(&slower, 0, 0.0));
+        assert_eq!(faster.smallest_dominating_shift(&slower, 0.0), 0);
+    }
+}

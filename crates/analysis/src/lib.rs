@@ -1,0 +1,99 @@
+//! # rumor-analysis
+//!
+//! Statistics, scaling-law fitting, and table rendering for the experiments of
+//! the `rumor` workspace (reproduction of *“How to Spread a Rumor: Call Your
+//! Neighbors or Take a Walk?”*, PODC 2019).
+//!
+//! The paper's evaluation consists of asymptotic statements
+//! (e.g. `E[T_push] = Ω(n log n)` on the star, `T_push ≍ T_visitx` on regular
+//! graphs). This crate turns repeated simulation measurements into the
+//! artifacts that check those statements:
+//!
+//! * [`Summary`] / [`MeanRatio`] — per-size summary statistics and
+//!   cross-protocol ratios;
+//! * [`Ecdf`] — empirical distribution functions and the shifted/scaled
+//!   dominance checks matching the probabilistic form of Theorems 10 and 23;
+//! * [`fit_power_law`], [`best_law`], [`GrowthLaw`] — empirical growth
+//!   exponents and best-fitting asymptotic shapes;
+//! * [`Table`] — plain-text / Markdown / CSV rendering used by the
+//!   `rumor-experiments` binary and `EXPERIMENTS.md`.
+//!
+//! ```
+//! use rumor_analysis::{best_law, GrowthLaw, Summary};
+//!
+//! let broadcast_times = [12.0, 14.0, 11.0, 13.0];
+//! let summary = Summary::of(&broadcast_times);
+//! assert!(summary.mean > 0.0);
+//!
+//! // Identify coupon-collector growth from (n, T(n)) pairs.
+//! let sweep: Vec<(f64, f64)> =
+//!     (6..=14).map(|i| { let n = (1u64 << i) as f64; (n, 0.5 * n * n.ln()) }).collect();
+//! assert_eq!(best_law(&sweep).law, GrowthLaw::LinearLog);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod ecdf;
+mod scaling;
+mod stats;
+mod table;
+
+pub use ecdf::Ecdf;
+pub use scaling::{best_law, fit_law, fit_power_law, rank_laws, GrowthLaw, LawFit, PowerLawFit};
+pub use stats::{MeanRatio, Summary};
+pub use table::{format_value, Table};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Summary invariants: min ≤ p10 ≤ median ≤ p90 ≤ max and the mean
+        /// lies between min and max.
+        #[test]
+        fn summary_order_invariants(samples in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+            let s = Summary::of(&samples);
+            prop_assert!(s.min <= s.p10 + 1e-9);
+            prop_assert!(s.p10 <= s.median + 1e-9);
+            prop_assert!(s.median <= s.p90 + 1e-9);
+            prop_assert!(s.p90 <= s.max + 1e-9);
+            prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+            prop_assert!(s.std_dev >= 0.0);
+        }
+
+        /// The power-law fit recovers exponents from clean synthetic data for
+        /// arbitrary exponents and constants.
+        #[test]
+        fn power_law_fit_recovers_arbitrary_exponents(
+            exponent in 0.0f64..2.0,
+            constant in 0.1f64..50.0,
+        ) {
+            let points: Vec<(f64, f64)> = (4..=16u32)
+                .map(|i| {
+                    let n = (1u64 << i) as f64;
+                    (n, constant * n.powf(exponent))
+                })
+                .collect();
+            let fit = fit_power_law(&points);
+            prop_assert!((fit.exponent - exponent).abs() < 1e-6);
+            prop_assert!((fit.constant - constant).abs() / constant < 1e-6);
+        }
+
+        /// Scaling a sample multiplies mean/median/std by the same factor.
+        #[test]
+        fn summary_is_scale_equivariant(
+            samples in proptest::collection::vec(1.0f64..1e4, 2..100),
+            scale in 0.1f64..100.0,
+        ) {
+            let base = Summary::of(&samples);
+            let scaled_samples: Vec<f64> = samples.iter().map(|x| x * scale).collect();
+            let scaled = Summary::of(&scaled_samples);
+            prop_assert!((scaled.mean - base.mean * scale).abs() < 1e-6 * scale.max(1.0));
+            prop_assert!((scaled.median - base.median * scale).abs() < 1e-6 * scale.max(1.0));
+            prop_assert!((scaled.std_dev - base.std_dev * scale).abs() < 1e-6 * scale.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Fitting growth laws to broadcast-time measurements.
+//!
+//! The paper's claims are asymptotic (`O(log n)`, `Ω(n)`, `Θ(n^{2/3} log n)`,
+//! …). The experiments check them by sweeping the graph size `n`, measuring
+//! the mean broadcast time `T(n)`, and fitting candidate growth laws. Two
+//! complementary fits are provided:
+//!
+//! * [`fit_power_law`] — least squares in log–log space, giving the empirical
+//!   exponent `β` of `T(n) ≈ c · n^β` (so `β ≈ 0` for logarithmic growth and
+//!   `β ≈ 1` for linear growth);
+//! * [`best_law`] — picks the best-fitting law among a fixed set of candidate
+//!   shapes ([`GrowthLaw`]) by comparing residuals of a one-parameter
+//!   least-squares fit `T(n) ≈ c · f(n)`.
+
+use serde::{Deserialize, Serialize};
+
+/// A candidate asymptotic growth law `f(n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum GrowthLaw {
+    /// Constant: `f(n) = 1`.
+    Constant,
+    /// Logarithmic: `f(n) = ln n`.
+    Logarithmic,
+    /// `f(n) = n^{1/3}`.
+    CubeRoot,
+    /// `f(n) = sqrt(n)`.
+    SquareRoot,
+    /// `f(n) = n^{2/3}` (the cycle-of-stars-of-cliques rate of Lemma 9).
+    TwoThirds,
+    /// `f(n) = n^{2/3} ln n` (the meet-exchange rate of Lemma 9).
+    TwoThirdsLog,
+    /// Linear: `f(n) = n`.
+    Linear,
+    /// `f(n) = n ln n` (coupon collector; push on the star, Lemma 2).
+    LinearLog,
+}
+
+impl GrowthLaw {
+    /// Every candidate law, in increasing order of growth.
+    pub const ALL: [GrowthLaw; 8] = [
+        GrowthLaw::Constant,
+        GrowthLaw::Logarithmic,
+        GrowthLaw::CubeRoot,
+        GrowthLaw::SquareRoot,
+        GrowthLaw::TwoThirds,
+        GrowthLaw::TwoThirdsLog,
+        GrowthLaw::Linear,
+        GrowthLaw::LinearLog,
+    ];
+
+    /// Evaluates `f(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (the laws are only compared on meaningful sizes).
+    pub fn evaluate(&self, n: f64) -> f64 {
+        assert!(n >= 2.0, "growth laws are evaluated for n >= 2");
+        match self {
+            GrowthLaw::Constant => 1.0,
+            GrowthLaw::Logarithmic => n.ln(),
+            GrowthLaw::CubeRoot => n.powf(1.0 / 3.0),
+            GrowthLaw::SquareRoot => n.sqrt(),
+            GrowthLaw::TwoThirds => n.powf(2.0 / 3.0),
+            GrowthLaw::TwoThirdsLog => n.powf(2.0 / 3.0) * n.ln(),
+            GrowthLaw::Linear => n,
+            GrowthLaw::LinearLog => n * n.ln(),
+        }
+    }
+
+    /// Human-readable name, e.g. `"n^(2/3) log n"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GrowthLaw::Constant => "1",
+            GrowthLaw::Logarithmic => "log n",
+            GrowthLaw::CubeRoot => "n^(1/3)",
+            GrowthLaw::SquareRoot => "n^(1/2)",
+            GrowthLaw::TwoThirds => "n^(2/3)",
+            GrowthLaw::TwoThirdsLog => "n^(2/3) log n",
+            GrowthLaw::Linear => "n",
+            GrowthLaw::LinearLog => "n log n",
+        }
+    }
+}
+
+impl std::fmt::Display for GrowthLaw {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Result of a log–log power-law fit `T(n) ≈ c · n^exponent`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawFit {
+    /// The fitted exponent `β`.
+    pub exponent: f64,
+    /// The fitted constant `c`.
+    pub constant: f64,
+    /// Coefficient of determination of the fit in log–log space.
+    pub r_squared: f64,
+}
+
+/// Fits `T(n) ≈ c · n^β` by least squares on `(ln n, ln T)`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given, if any `n < 2`, or if any
+/// measurement is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_analysis::fit_power_law;
+///
+/// // Perfectly linear data has exponent 1.
+/// let points: Vec<(f64, f64)> = (1..=6).map(|i| {
+///     let n = (1 << i) as f64 * 64.0;
+///     (n, 3.0 * n)
+/// }).collect();
+/// let fit = fit_power_law(&points);
+/// assert!((fit.exponent - 1.0).abs() < 1e-9);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+pub fn fit_power_law(points: &[(f64, f64)]) -> PowerLawFit {
+    assert!(points.len() >= 2, "power-law fit requires at least two points");
+    for &(n, t) in points {
+        assert!(n >= 2.0, "power-law fit requires n >= 2");
+        assert!(t > 0.0 && t.is_finite(), "power-law fit requires positive measurements");
+    }
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(n, t)| (n.ln(), t.ln())).collect();
+    let k = logs.len() as f64;
+    let mean_x = logs.iter().map(|&(x, _)| x).sum::<f64>() / k;
+    let mean_y = logs.iter().map(|&(_, y)| y).sum::<f64>() / k;
+    let sxx: f64 = logs.iter().map(|&(x, _)| (x - mean_x).powi(2)).sum();
+    let sxy: f64 = logs.iter().map(|&(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let syy: f64 = logs.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
+    let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy > 0.0 && sxx > 0.0 { (sxy * sxy) / (sxx * syy) } else { 1.0 };
+    PowerLawFit { exponent: slope, constant: intercept.exp(), r_squared }
+}
+
+/// Result of fitting one [`GrowthLaw`] shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LawFit {
+    /// The candidate law.
+    pub law: GrowthLaw,
+    /// The fitted multiplicative constant `c` in `T(n) ≈ c · f(n)`.
+    pub constant: f64,
+    /// Root-mean-square relative residual of the fit (smaller is better).
+    pub rms_relative_error: f64,
+}
+
+/// Fits `T(n) ≈ c · f(n)` for a single law `f` (least squares in the
+/// log domain, which makes the relative errors comparable across laws).
+///
+/// # Panics
+///
+/// Same conditions as [`fit_power_law`].
+pub fn fit_law(points: &[(f64, f64)], law: GrowthLaw) -> LawFit {
+    assert!(points.len() >= 2, "law fit requires at least two points");
+    for &(n, t) in points {
+        assert!(n >= 2.0, "law fit requires n >= 2");
+        assert!(t > 0.0 && t.is_finite(), "law fit requires positive measurements");
+    }
+    // In the log domain the model is ln T = ln c + ln f(n); the least-squares
+    // estimate of ln c is the mean residual.
+    let residuals: Vec<f64> =
+        points.iter().map(|&(n, t)| t.ln() - law.evaluate(n).ln()).collect();
+    let ln_c = residuals.iter().sum::<f64>() / residuals.len() as f64;
+    let rms = (residuals.iter().map(|r| (r - ln_c).powi(2)).sum::<f64>()
+        / residuals.len() as f64)
+        .sqrt();
+    LawFit { law, constant: ln_c.exp(), rms_relative_error: rms }
+}
+
+/// Fits every candidate law and returns them sorted from best to worst fit.
+///
+/// # Panics
+///
+/// Same conditions as [`fit_power_law`].
+pub fn rank_laws(points: &[(f64, f64)]) -> Vec<LawFit> {
+    let mut fits: Vec<LawFit> = GrowthLaw::ALL.iter().map(|&law| fit_law(points, law)).collect();
+    fits.sort_by(|a, b| {
+        a.rms_relative_error
+            .partial_cmp(&b.rms_relative_error)
+            .expect("residuals are finite")
+    });
+    fits
+}
+
+/// The single best-fitting law for the measurements.
+///
+/// # Panics
+///
+/// Same conditions as [`fit_power_law`].
+///
+/// # Examples
+///
+/// ```
+/// use rumor_analysis::{best_law, GrowthLaw};
+///
+/// let logarithmic: Vec<(f64, f64)> =
+///     (4..=14).map(|i| { let n = (1u64 << i) as f64; (n, 2.5 * n.ln()) }).collect();
+/// assert_eq!(best_law(&logarithmic).law, GrowthLaw::Logarithmic);
+///
+/// let coupon: Vec<(f64, f64)> =
+///     (4..=14).map(|i| { let n = (1u64 << i) as f64; (n, 0.8 * n * n.ln()) }).collect();
+/// assert_eq!(best_law(&coupon).law, GrowthLaw::LinearLog);
+/// ```
+pub fn best_law(points: &[(f64, f64)]) -> LawFit {
+    rank_laws(points)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(law: GrowthLaw, c: f64) -> Vec<(f64, f64)> {
+        (4..=16u32)
+            .map(|i| {
+                let n = (1u64 << i) as f64;
+                (n, c * law.evaluate(n))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn growth_laws_are_increasing_in_n() {
+        for law in GrowthLaw::ALL {
+            if law == GrowthLaw::Constant {
+                continue;
+            }
+            assert!(law.evaluate(1000.0) > law.evaluate(10.0), "{law} is not increasing");
+        }
+    }
+
+    #[test]
+    fn growth_laws_are_ordered_by_asymptotic_growth_at_large_n() {
+        let n = 1e12;
+        for pair in GrowthLaw::ALL.windows(2) {
+            assert!(
+                pair[0].evaluate(n) < pair[1].evaluate(n),
+                "{} should grow slower than {} at n = {n}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GrowthLaw::LinearLog.to_string(), "n log n");
+        assert_eq!(GrowthLaw::TwoThirdsLog.to_string(), "n^(2/3) log n");
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponent() {
+        for (law, expected) in [
+            (GrowthLaw::Linear, 1.0),
+            (GrowthLaw::TwoThirds, 2.0 / 3.0),
+            (GrowthLaw::SquareRoot, 0.5),
+            (GrowthLaw::CubeRoot, 1.0 / 3.0),
+        ] {
+            let fit = fit_power_law(&synth(law, 3.0));
+            assert!(
+                (fit.exponent - expected).abs() < 0.01,
+                "{law}: exponent {} vs expected {expected}",
+                fit.exponent
+            );
+            assert!(fit.r_squared > 0.999);
+        }
+    }
+
+    #[test]
+    fn power_law_fit_of_logarithmic_data_has_small_exponent() {
+        let fit = fit_power_law(&synth(GrowthLaw::Logarithmic, 5.0));
+        assert!(fit.exponent < 0.2, "exponent {}", fit.exponent);
+    }
+
+    #[test]
+    fn power_law_constant_recovered() {
+        let fit = fit_power_law(&synth(GrowthLaw::Linear, 7.0));
+        assert!((fit.constant - 7.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn best_law_identifies_each_candidate() {
+        for law in GrowthLaw::ALL {
+            let best = best_law(&synth(law, 2.0));
+            assert_eq!(best.law, law, "misidentified {law} as {}", best.law);
+            assert!(best.rms_relative_error < 1e-9);
+            assert!((best.constant - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn best_law_with_noise_still_separates_log_from_linear() {
+        // ±20% multiplicative noise (deterministic pattern) on logarithmic data.
+        let noisy: Vec<(f64, f64)> = synth(GrowthLaw::Logarithmic, 4.0)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n, t))| (n, t * if i % 2 == 0 { 1.2 } else { 0.8 }))
+            .collect();
+        let best = best_law(&noisy);
+        assert!(
+            matches!(best.law, GrowthLaw::Logarithmic | GrowthLaw::Constant),
+            "noisy log data misread as {}",
+            best.law
+        );
+        // And definitely not linear.
+        let linear_fit = fit_law(&noisy, GrowthLaw::Linear);
+        assert!(linear_fit.rms_relative_error > best.rms_relative_error * 2.0);
+    }
+
+    #[test]
+    fn rank_laws_is_sorted() {
+        let fits = rank_laws(&synth(GrowthLaw::TwoThirds, 1.0));
+        for pair in fits.windows(2) {
+            assert!(pair[0].rms_relative_error <= pair[1].rms_relative_error);
+        }
+        assert_eq!(fits.len(), GrowthLaw::ALL.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn fit_requires_two_points() {
+        let _ = fit_power_law(&[(10.0, 5.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive measurements")]
+    fn fit_rejects_zero_measurements() {
+        let _ = fit_power_law(&[(10.0, 0.0), (20.0, 5.0)]);
+    }
+}

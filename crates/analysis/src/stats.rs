@@ -1,0 +1,226 @@
+//! Summary statistics over broadcast-time samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a sample of measurements (broadcast times, ratios, …).
+///
+/// # Examples
+///
+/// ```
+/// use rumor_analysis::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+/// assert_eq!(s.n, 5);
+/// assert!((s.mean - 3.0).abs() < 1e-12);
+/// assert!((s.median - 3.0).abs() < 1e-12);
+/// assert!((s.min - 1.0).abs() < 1e-12);
+/// assert!((s.max - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased, `n - 1` denominator; 0 for `n < 2`).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// 90th percentile.
+    pub p90: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains a non-finite value.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "Summary::of requires at least one sample");
+        assert!(samples.iter().all(|x| x.is_finite()), "samples must be finite");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let std_dev = if n > 1 {
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Summary {
+            n,
+            mean,
+            std_dev,
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 0.5),
+            p10: percentile_sorted(&sorted, 0.1),
+            p90: percentile_sorted(&sorted, 0.9),
+        }
+    }
+
+    /// Computes the summary of integer samples (e.g. round counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of_u64(samples: &[u64]) -> Self {
+        let as_f64: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Self::of(&as_f64)
+    }
+
+    /// Half-width of a normal-approximation 95% confidence interval for the
+    /// mean (`1.96 · s / sqrt(n)`).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Coefficient of variation `s / mean` (0 when the mean is 0).
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// Percentile (linear interpolation) over an already sorted slice,
+/// `q` in `[0, 1]`.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// The ratio of the means of two samples, with a crude error propagation from
+/// the two confidence intervals. Useful for reporting
+/// `T_protocolA / T_protocolB` in the regular-graph experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanRatio {
+    /// `mean(numerator) / mean(denominator)`.
+    pub ratio: f64,
+    /// Relative uncertainty of the ratio (sum of the relative CI half-widths).
+    pub relative_error: f64,
+}
+
+impl MeanRatio {
+    /// Computes the ratio of the two sample means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the denominator's mean is zero.
+    pub fn of(numerator: &Summary, denominator: &Summary) -> Self {
+        assert!(denominator.mean.abs() > f64::EPSILON, "denominator mean must be non-zero");
+        let ratio = numerator.mean / denominator.mean;
+        let rel_num =
+            if numerator.mean.abs() > 0.0 { numerator.ci95_half_width() / numerator.mean } else { 0.0 };
+        let rel_den = denominator.ci95_half_width() / denominator.mean;
+        MeanRatio { ratio, relative_error: rel_num + rel_den }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[4.0; 10]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.p10, 4.0);
+        assert_eq!(s.p90, 4.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn summary_of_single_sample() {
+        let s = Summary::of(&[7.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.5);
+    }
+
+    #[test]
+    fn summary_statistics_are_correct() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev with n-1 = 7: sqrt(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert!((s.p10 - 1.9).abs() < 1e-9);
+        assert!((s.p90 - 9.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn of_u64_matches_float_version() {
+        let a = Summary::of_u64(&[1, 2, 3]);
+        let b = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_samples() {
+        let small = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let many: Vec<f64> = (0..400).map(|i| 1.0 + (i % 4) as f64).collect();
+        let large = Summary::of(&many);
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn mean_ratio() {
+        let a = Summary::of(&[10.0, 12.0, 8.0]);
+        let b = Summary::of(&[5.0, 5.0, 5.0]);
+        let r = MeanRatio::of(&a, &b);
+        assert!((r.ratio - 2.0).abs() < 1e-12);
+        assert!(r.relative_error >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_sample_panics() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn ratio_with_zero_denominator_panics() {
+        let a = Summary::of(&[1.0]);
+        let b = Summary::of(&[0.0]);
+        let _ = MeanRatio::of(&a, &b);
+    }
+}

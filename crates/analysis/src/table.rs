@@ -1,0 +1,226 @@
+//! Plain-text / Markdown / CSV rendering of experiment tables.
+//!
+//! The experiment binary and `EXPERIMENTS.md` use these tables to present the
+//! regenerated "figures" of the paper (which, being a theory paper, reports
+//! asymptotic claims rather than numeric tables — the tables here are the
+//! empirical counterparts).
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table with a title.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_analysis::Table;
+///
+/// let mut t = Table::new("Broadcast times", &["n", "push", "visit-exchange"]);
+/// t.push_row(&["256", "21.4", "19.0"]);
+/// t.push_row(&["512", "24.0", "21.5"]);
+/// let text = t.to_plain_text();
+/// assert!(text.contains("Broadcast times"));
+/// assert!(text.contains("push"));
+/// let md = t.to_markdown();
+/// assert!(md.contains("| n"));
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("n,push,visit-exchange"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the number of headers.
+    pub fn push_row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+    }
+
+    /// Renders with space-aligned columns, preceded by the title.
+    pub fn to_plain_text(&self) -> String {
+        let widths = self.column_widths();
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured Markdown table (title as an `###` header).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders as CSV (headers first, no title, minimal quoting of commas).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+/// Formats a float with a sensible number of digits for a table cell.
+pub fn format_value(value: f64) -> String {
+    if !value.is_finite() {
+        return value.to_string();
+    }
+    let magnitude = value.abs();
+    if magnitude >= 1000.0 {
+        format!("{value:.0}")
+    } else if magnitude >= 10.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Example", &["n", "time"]);
+        t.push_row(&["16", "3.2"]);
+        t.push_row(&["4096", "11.8"]);
+        t
+    }
+
+    #[test]
+    fn plain_text_is_aligned() {
+        let text = sample().to_plain_text();
+        assert!(text.contains("## Example"));
+        let lines: Vec<&str> = text.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("n   "));
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| n | time |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 4096 | 11.8 |"));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("Q", &["a", "b"]);
+        t.push_row(&["1,5", "x\"y"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.title(), "Example");
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_columns(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn mismatched_row_panics() {
+        let mut t = sample();
+        t.push_row(&["only-one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        let _ = Table::new("bad", &[]);
+    }
+
+    #[test]
+    fn format_value_scales_digits() {
+        assert_eq!(format_value(3.14159), "3.14");
+        assert_eq!(format_value(42.123), "42.1");
+        assert_eq!(format_value(12345.6), "12346");
+        assert_eq!(format_value(f64::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,42 @@
+//! Bench for CONG — the proof-machinery instrumentation of Sections 5–6.
+//!
+//! Benches the instrumented C-counter trace and the coupled push /
+//! visit-exchange execution used to verify Lemma 13.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rumor_core::instrument::{CCounterTrace, CoupledRun};
+use rumor_core::AgentConfig;
+use rumor_graphs::generators::{logarithmic_degree, random_regular};
+
+fn congestion_instrumentation(c: &mut Criterion) {
+    let n = 512;
+    let d = logarithmic_degree(n, 2.0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let graph = random_regular(n, d, &mut rng).expect("random regular generator");
+
+    let mut group = c.benchmark_group("congestion_instrumentation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("c_counter_trace", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut trial_rng = StdRng::seed_from_u64(seed);
+            CCounterTrace::run(&graph, 0, &AgentConfig::default(), 1_000_000, &mut trial_rng)
+        });
+    });
+    group.bench_function("coupled_run_lemma13", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            CoupledRun::run(&graph, 0, &AgentConfig::default(), 1_000_000, seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, congestion_instrumentation);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Benches for the extension studies (Section 2 related work and Section 9
+//! open problems): asynchronous rumor spreading, agent churn, and sub-linear
+//! agent populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rumor_core::{
+    run_to_completion, simulate, AgentConfig, AgentCount, AsyncPush, ChurnVisitExchange,
+    ProtocolKind, ProtocolOptions, SimulationSpec,
+};
+use rumor_graphs::generators::{double_star, logarithmic_degree, random_regular};
+
+fn async_push_regular(c: &mut Criterion) {
+    let n = 1024;
+    let d = logarithmic_degree(n, 2.0);
+    let mut rng = StdRng::seed_from_u64(42);
+    let graph = random_regular(n, d, &mut rng).expect("random regular generator");
+    let mut group = c.benchmark_group("ext_async_push");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function(BenchmarkId::new("async-push", n), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut trial_rng = StdRng::seed_from_u64(seed);
+            let mut p = AsyncPush::new(&graph, 0, ProtocolOptions::none());
+            run_to_completion(&mut p, 1_000_000, &mut trial_rng)
+        });
+    });
+    group.finish();
+}
+
+fn churn_visit_exchange(c: &mut Criterion) {
+    let graph = double_star(256).expect("double star generator");
+    let mut group = c.benchmark_group("ext_churn_visit_exchange");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for churn in [0.0, 0.05, 0.25] {
+        group.bench_with_input(BenchmarkId::new("churn", format!("{churn}")), &churn, |b, &churn| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut p = ChurnVisitExchange::new(
+                    &graph,
+                    2,
+                    &AgentConfig::default().lazy(),
+                    churn,
+                    ProtocolOptions::none(),
+                    &mut rng,
+                )
+                .expect("valid churn");
+                run_to_completion(&mut p, 1_000_000, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn sublinear_agents(c: &mut Criterion) {
+    let n = 1024;
+    let d = logarithmic_degree(n, 2.0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let graph = random_regular(n, d, &mut rng).expect("random regular generator");
+    let mut group = c.benchmark_group("ext_agent_density");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for agents in [32usize, 256, 1024] {
+        let spec = SimulationSpec::new(ProtocolKind::VisitExchange)
+            .with_agents(AgentConfig {
+                count: AgentCount::Exact(agents),
+                ..AgentConfig::default()
+            })
+            .with_max_rounds(1_000_000);
+        group.bench_with_input(BenchmarkId::new("visit-exchange", agents), &spec, |b, spec| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                simulate(&graph, 0, &spec.clone().with_seed(seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, async_push_regular, churn_visit_exchange, sublinear_agents);
+criterion_main!(benches);

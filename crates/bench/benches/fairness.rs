@@ -1,0 +1,38 @@
+//! Bench for FAIR — per-edge traffic accounting (Section 1's bandwidth
+//! fairness argument).
+//!
+//! Benches the simulator with edge-traffic recording enabled, which is the
+//! configuration the fairness experiment uses to contrast `push-pull` and
+//! `visit-exchange` on the double star.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rumor_core::{simulate, ProtocolKind, ProtocolOptions, SimulationSpec};
+use rumor_graphs::generators::double_star;
+
+fn fairness_edge_traffic(c: &mut Criterion) {
+    let graph = double_star(256).expect("double star generator");
+    let mut group = c.benchmark_group("fairness_edge_traffic");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in [ProtocolKind::PushPull, ProtocolKind::VisitExchange] {
+        let spec = SimulationSpec::new(kind)
+            .with_options(ProtocolOptions::with_edge_traffic())
+            .with_max_rounds(400);
+        group.bench_with_input(
+            BenchmarkId::new(kind.name(), graph.num_vertices()),
+            &spec,
+            |b, spec| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    simulate(&graph, 0, &spec.clone().with_seed(seed))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fairness_edge_traffic);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench for FIG1E / Lemma 9 — the cycle of stars of cliques.
+//!
+//! Regenerates the Fig. 1(e) comparison on the (almost) regular graph where
+//! `visit-exchange` beats `meet-exchange` by a Θ(log n) factor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumor_bench::{bench_broadcast, BenchProtocol};
+use rumor_core::ProtocolKind;
+use rumor_graphs::generators::CycleOfStarsOfCliques;
+
+fn fig1e_cycle_stars(c: &mut Criterion) {
+    let g = CycleOfStarsOfCliques::new(6).expect("cycle of stars generator");
+    let source = g.a_clique_source();
+    let graph = g.into_graph();
+    let protocols = vec![
+        BenchProtocol::new("visit-exchange", ProtocolKind::VisitExchange),
+        BenchProtocol::new("meet-exchange", ProtocolKind::MeetExchange),
+        BenchProtocol::new("push", ProtocolKind::Push),
+    ];
+    bench_broadcast(c, "fig1e_cycle_stars", &graph, source, &protocols);
+}
+
+criterion_group!(benches, fig1e_cycle_stars);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench for FIG1B / Lemma 3 — the double star.
+//!
+//! Regenerates the Fig. 1(b) comparison: `push-pull` needs Ω(n) rounds (the
+//! center–center bridge is sampled with probability O(1/n)) while the agent
+//! protocols finish in O(log n) rounds. Also benches the combined
+//! push-pull + visit-exchange protocol suggested in the paper's introduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumor_bench::{bench_broadcast, paper_protocols_lazy, BenchProtocol};
+use rumor_core::ProtocolKind;
+use rumor_graphs::generators::double_star;
+
+fn fig1b_double_star(c: &mut Criterion) {
+    let graph = double_star(256).expect("double star generator");
+    let mut protocols = paper_protocols_lazy();
+    protocols.push(BenchProtocol::new("combined", ProtocolKind::PushPullVisitExchange));
+    // Source is a leaf of the first star.
+    bench_broadcast(c, "fig1b_double_star", &graph, 2, &protocols);
+}
+
+criterion_group!(benches, fig1b_double_star);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench for FIG1C / Lemma 4 — the heavy binary tree.
+//!
+//! Regenerates the Fig. 1(c) comparison: `push` is fast, `visit-exchange`
+//! needs Ω(n) rounds (the root starves for agent visits), and `meet-exchange`
+//! from a leaf source is fast again.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumor_bench::{bench_broadcast, paper_protocols};
+use rumor_graphs::generators::HeavyBinaryTree;
+
+fn fig1c_heavy_tree(c: &mut Criterion) {
+    let tree = HeavyBinaryTree::new(7).expect("heavy binary tree generator");
+    let source = tree.a_leaf();
+    let graph = tree.into_graph();
+    bench_broadcast(c, "fig1c_heavy_tree", &graph, source, &paper_protocols());
+}
+
+criterion_group!(benches, fig1c_heavy_tree);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench for FIG1D / Lemma 8 — the Siamese heavy binary trees.
+//!
+//! Regenerates the Fig. 1(d) comparison: `push` is fast while *both* agent
+//! protocols need Ω(n) rounds to carry the rumor across the merged root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumor_bench::{bench_broadcast, paper_protocols};
+use rumor_graphs::generators::SiameseHeavyBinaryTree;
+
+fn fig1d_siamese(c: &mut Criterion) {
+    let tree = SiameseHeavyBinaryTree::new(6).expect("siamese heavy tree generator");
+    let source = tree.a_leaf();
+    let graph = tree.into_graph();
+    bench_broadcast(c, "fig1d_siamese", &graph, source, &paper_protocols());
+}
+
+criterion_group!(benches, fig1d_siamese);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench for FIG1A / Lemma 2 — the star graph.
+//!
+//! Regenerates the Fig. 1(a) comparison: `push` is coupon-collector slow on
+//! the star while `push-pull`, `visit-exchange` and (lazy) `meet-exchange`
+//! finish almost immediately. The agent protocols run with lazy walks because
+//! the star is bipartite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumor_bench::{bench_broadcast, paper_protocols_lazy};
+use rumor_graphs::generators::{star, STAR_CENTER};
+
+fn fig1a_star(c: &mut Criterion) {
+    let graph = star(512).expect("star generator");
+    bench_broadcast(c, "fig1a_star", &graph, STAR_CENTER, &paper_protocols_lazy());
+}
+
+criterion_group!(benches, fig1a_star);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench for PP-PUSH — `push` vs `push-pull` on a regular graph and the star.
+//!
+//! Reproduces the background facts the paper builds on: the two protocols are
+//! equivalent on regular graphs but separated by a Θ(n log n / 1) factor on
+//! the star.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rumor_bench::{bench_broadcast, BenchProtocol};
+use rumor_core::ProtocolKind;
+use rumor_graphs::generators::{logarithmic_degree, random_regular, star, STAR_CENTER};
+
+fn protocols() -> Vec<BenchProtocol> {
+    vec![
+        BenchProtocol::new("push", ProtocolKind::Push),
+        BenchProtocol::new("pull", ProtocolKind::Pull),
+        BenchProtocol::new("push-pull", ProtocolKind::PushPull),
+    ]
+}
+
+fn push_vs_pushpull_regular(c: &mut Criterion) {
+    let n = 1024;
+    let d = logarithmic_degree(n, 2.0);
+    let mut rng = StdRng::seed_from_u64(99);
+    let graph = random_regular(n, d, &mut rng).expect("random regular generator");
+    bench_broadcast(c, "push_vs_pushpull_regular", &graph, 0, &protocols());
+}
+
+fn push_vs_pushpull_star(c: &mut Criterion) {
+    let graph = star(512).expect("star generator");
+    bench_broadcast(c, "push_vs_pushpull_star", &graph, STAR_CENTER, &protocols());
+}
+
+criterion_group!(benches, push_vs_pushpull_regular, push_vs_pushpull_star);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Bench for THM1 (Theorems 10 + 19) — `push` vs `visit-exchange` on regular
+//! graphs of logarithmic degree.
+//!
+//! Covers the two main regular families (random d-regular with d ≈ 2 log2 n
+//! and the hypercube) plus the one-agent-per-vertex variant mentioned after
+//! Lemma 11.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rumor_bench::{bench_broadcast, BenchProtocol};
+use rumor_core::{AgentConfig, ProtocolKind};
+use rumor_graphs::generators::{hypercube, logarithmic_degree, random_regular};
+
+fn protocols() -> Vec<BenchProtocol> {
+    let mut list = vec![
+        BenchProtocol::new("push", ProtocolKind::Push),
+        BenchProtocol::new("visit-exchange", ProtocolKind::VisitExchange),
+    ];
+    list.push(BenchProtocol {
+        label: "visit-exchange-1-per-vertex",
+        kind: ProtocolKind::VisitExchange,
+        agents: AgentConfig::one_per_vertex(),
+    });
+    list
+}
+
+fn thm1_random_regular(c: &mut Criterion) {
+    let n = 1024;
+    let d = logarithmic_degree(n, 2.0);
+    let mut rng = StdRng::seed_from_u64(1);
+    let graph = random_regular(n, d, &mut rng).expect("random regular generator");
+    bench_broadcast(c, "thm1_random_regular", &graph, 0, &protocols());
+}
+
+fn thm1_hypercube(c: &mut Criterion) {
+    let graph = hypercube(10).expect("hypercube generator");
+    bench_broadcast(c, "thm1_hypercube", &graph, 0, &protocols());
+}
+
+criterion_group!(benches, thm1_random_regular, thm1_hypercube);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Bench for THM23 — `visit-exchange` vs `meet-exchange` on regular graphs.
+//!
+//! Theorem 23 bounds the lag of `visit-exchange` behind `meet-exchange` by an
+//! additive O(log n); the bench exercises both protocols on the same regular
+//! instances used by the corresponding experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rumor_bench::{bench_broadcast, BenchProtocol};
+use rumor_core::ProtocolKind;
+use rumor_graphs::generators::{hypercube, logarithmic_degree, random_regular};
+
+fn protocols() -> Vec<BenchProtocol> {
+    vec![
+        BenchProtocol::new("visit-exchange", ProtocolKind::VisitExchange),
+        BenchProtocol::new("meet-exchange", ProtocolKind::MeetExchange),
+    ]
+}
+
+fn thm23_random_regular(c: &mut Criterion) {
+    let n = 1024;
+    let d = logarithmic_degree(n, 2.0);
+    let mut rng = StdRng::seed_from_u64(23);
+    let graph = random_regular(n, d, &mut rng).expect("random regular generator");
+    bench_broadcast(c, "thm23_random_regular", &graph, 0, &protocols());
+}
+
+fn thm23_hypercube(c: &mut Criterion) {
+    let graph = hypercube(10).expect("hypercube generator");
+    bench_broadcast(c, "thm23_hypercube", &graph, 0, &protocols());
+}
+
+criterion_group!(benches, thm23_random_regular, thm23_hypercube);
+criterion_main!(benches);

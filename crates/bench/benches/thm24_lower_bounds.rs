@@ -1,0 +1,23 @@
+//! Bench for THM24 + THM25 — the Ω(log n) lower bounds on regular graphs.
+//!
+//! The experiment checks that even the *fastest* observed runs of
+//! `visit-exchange` and `meet-exchange` take Ω(log n) rounds; the bench keeps
+//! that measurement path warm on a dense regular instance (the complete
+//! graph, where everything else is as fast as it can possibly be).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumor_bench::{bench_broadcast, BenchProtocol};
+use rumor_core::ProtocolKind;
+use rumor_graphs::generators::complete;
+
+fn thm24_complete_graph(c: &mut Criterion) {
+    let graph = complete(512).expect("complete graph");
+    let protocols = vec![
+        BenchProtocol::new("visit-exchange", ProtocolKind::VisitExchange),
+        BenchProtocol::new("meet-exchange", ProtocolKind::MeetExchange),
+    ];
+    bench_broadcast(c, "thm24_complete_graph", &graph, 0, &protocols);
+}
+
+criterion_group!(benches, thm24_complete_graph);
+criterion_main!(benches);

@@ -1,0 +1,326 @@
+//! Driving protocols to completion and collecting outcomes.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use rumor_graphs::{Graph, VertexId};
+
+use crate::metrics::{BroadcastOutcome, RoundRecord};
+use crate::options::{AgentConfig, ProtocolOptions};
+use crate::protocol::{build_protocol, Protocol, ProtocolKind};
+
+/// Runs `protocol` until it completes or `max_rounds` rounds have elapsed, and
+/// collects the outcome.
+///
+/// Per-round history is recorded for every round (the caller decides whether
+/// to keep it by constructing the protocol with or without
+/// [`ProtocolOptions::record_history`]; this function always records — it is
+/// cheap relative to a round — but drops the history if the protocol was not
+/// asked to keep it, so that outcomes stay small in large sweeps).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_core::{run_to_completion, ProtocolOptions, PushPull};
+/// use rumor_graphs::generators::complete;
+///
+/// let g = complete(64)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut pp = PushPull::new(&g, 0, ProtocolOptions::none());
+/// let outcome = run_to_completion(&mut pp, 1_000, &mut rng);
+/// assert!(outcome.completed);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+pub fn run_to_completion<P>(protocol: &mut P, max_rounds: u64, rng: &mut dyn RngCore) -> BroadcastOutcome
+where
+    P: Protocol + ?Sized,
+{
+    run_with_history(protocol, max_rounds, rng)
+}
+
+fn run_with_history<P>(protocol: &mut P, max_rounds: u64, rng: &mut dyn RngCore) -> BroadcastOutcome
+where
+    P: Protocol + ?Sized,
+{
+    let record_history = true;
+    let mut history = Vec::new();
+    while !protocol.is_complete() && protocol.round() < max_rounds {
+        protocol.step(rng);
+        if record_history {
+            history.push(RoundRecord {
+                round: protocol.round(),
+                informed_vertices: protocol.informed_vertex_count(),
+                informed_agents: protocol.informed_agent_count(),
+                messages: protocol.messages_last_round(),
+            });
+        }
+    }
+    let rounds = protocol.round();
+    let edge_traffic = protocol.edge_traffic().map(|t| t.stats(protocol.graph(), rounds.max(1)));
+    BroadcastOutcome {
+        protocol: protocol.name().to_string(),
+        rounds,
+        completed: protocol.is_complete(),
+        informed_vertices: protocol.informed_vertex_count(),
+        informed_agents: protocol.informed_agent_count(),
+        total_messages: protocol.messages_sent(),
+        history,
+        edge_traffic,
+    }
+}
+
+/// One-call simulation: builds a protocol of `kind` on `graph` with the rumor
+/// at `source`, runs it to completion (or `max_rounds`), and returns the
+/// outcome. The run is fully determined by `seed`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range, or if an agent-based protocol is
+/// requested on a graph with no edges.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_core::{simulate, AgentConfig, ProtocolKind, ProtocolOptions, SimulationSpec};
+/// use rumor_graphs::generators::star;
+///
+/// let g = star(100)?;
+/// let spec = SimulationSpec::new(ProtocolKind::VisitExchange).with_seed(3);
+/// let outcome = simulate(&g, 0, &spec);
+/// assert!(outcome.completed);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+pub fn simulate(graph: &Graph, source: VertexId, spec: &SimulationSpec) -> BroadcastOutcome {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut protocol =
+        build_protocol(spec.kind, graph, source, &spec.agents, spec.options, &mut rng);
+    let mut outcome = run_to_completion(protocol.as_mut(), spec.max_rounds, &mut rng);
+    if !spec.options.record_history {
+        outcome.history.clear();
+    }
+    outcome
+}
+
+/// A complete, reproducible description of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationSpec {
+    /// Which protocol to run.
+    pub kind: ProtocolKind,
+    /// Agent configuration (ignored by the vertex-only protocols).
+    pub agents: AgentConfig,
+    /// Bookkeeping options.
+    pub options: ProtocolOptions,
+    /// Cap on the number of rounds.
+    pub max_rounds: u64,
+    /// RNG seed; identical specs with identical seeds produce identical runs.
+    pub seed: u64,
+}
+
+impl SimulationSpec {
+    /// A spec with the paper's defaults: `α = 1` stationary agents, simple
+    /// walks, a generous round cap, and seed 0.
+    pub fn new(kind: ProtocolKind) -> Self {
+        SimulationSpec {
+            kind,
+            agents: AgentConfig::default(),
+            options: ProtocolOptions::none(),
+            max_rounds: 10_000_000,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the agent configuration.
+    pub fn with_agents(mut self, agents: AgentConfig) -> Self {
+        self.agents = agents;
+        self
+    }
+
+    /// Sets the bookkeeping options.
+    pub fn with_options(mut self, options: ProtocolOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the round cap.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Applies the paper's bipartite-graph remedy (Section 3): if this spec
+    /// runs `meet-exchange` with simple (non-lazy) walks on a bipartite
+    /// `graph`, the agent walks are switched to lazy walks.
+    ///
+    /// On a bipartite graph a simple random walk preserves the parity of its
+    /// starting side, so agents started on opposite sides never co-locate and
+    /// `T_meetx` can be infinite. Lazy walks break the parity and guarantee a
+    /// finite expected broadcast time. Specs for the other protocols — and
+    /// specs on non-bipartite graphs — are returned unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rumor_core::{ProtocolKind, SimulationSpec};
+    /// use rumor_graphs::generators::{complete, hypercube};
+    ///
+    /// let spec = SimulationSpec::new(ProtocolKind::MeetExchange);
+    /// assert!(spec.clone().adapted_to(&hypercube(6)?).agents.walk.is_lazy());
+    /// assert!(!spec.clone().adapted_to(&complete(16)?).agents.walk.is_lazy());
+    /// assert!(!SimulationSpec::new(ProtocolKind::VisitExchange)
+    ///     .adapted_to(&hypercube(6)?)
+    ///     .agents
+    ///     .walk
+    ///     .is_lazy());
+    /// # Ok::<(), rumor_graphs::GraphError>(())
+    /// ```
+    pub fn adapted_to(mut self, graph: &Graph) -> Self {
+        if self.kind == ProtocolKind::MeetExchange
+            && !self.agents.walk.is_lazy()
+            && rumor_graphs::algorithms::is_bipartite(graph)
+        {
+            self.agents = self.agents.lazy();
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::{complete, double_star, path, star};
+
+    #[test]
+    fn run_to_completion_reports_history_and_completion() {
+        let g = complete(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut push = crate::Push::new(&g, 0, ProtocolOptions::with_history());
+        let outcome = run_to_completion(&mut push, 10_000, &mut rng);
+        assert!(outcome.completed);
+        assert_eq!(outcome.protocol, "push");
+        assert_eq!(outcome.history.len() as u64, outcome.rounds);
+        assert_eq!(outcome.history.last().unwrap().informed_vertices, 32);
+        assert_eq!(outcome.broadcast_time(), Some(outcome.rounds));
+    }
+
+    #[test]
+    fn round_cap_is_respected() {
+        let g = path(200).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut push = crate::Push::new(&g, 0, ProtocolOptions::none());
+        let outcome = run_to_completion(&mut push, 10, &mut rng);
+        assert!(!outcome.completed);
+        assert_eq!(outcome.rounds, 10);
+        assert_eq!(outcome.broadcast_time(), None);
+    }
+
+    #[test]
+    fn simulate_is_reproducible() {
+        let g = star(100).unwrap();
+        let spec = SimulationSpec::new(ProtocolKind::VisitExchange).with_seed(42);
+        let a = simulate(&g, 0, &spec);
+        let b = simulate(&g, 0, &spec);
+        assert_eq!(a, b);
+        let c = simulate(&g, 0, &spec.clone().with_seed(43));
+        // A different seed will almost surely give a different broadcast time
+        // or at least a different message count.
+        assert!(a.rounds != c.rounds || a.total_messages != c.total_messages);
+    }
+
+    #[test]
+    fn simulate_every_kind_completes_on_small_complete_graph() {
+        let g = complete(20).unwrap();
+        for kind in ProtocolKind::ALL {
+            let spec = SimulationSpec::new(kind).with_seed(5).with_max_rounds(100_000);
+            let outcome = simulate(&g, 3, &spec);
+            assert!(outcome.completed, "{kind} did not complete");
+            assert_eq!(outcome.protocol, kind.name());
+        }
+    }
+
+    #[test]
+    fn simulate_drops_history_unless_requested() {
+        let g = complete(16).unwrap();
+        let without = simulate(&g, 0, &SimulationSpec::new(ProtocolKind::Push).with_seed(1));
+        assert!(without.history.is_empty());
+        let with = simulate(
+            &g,
+            0,
+            &SimulationSpec::new(ProtocolKind::Push)
+                .with_seed(1)
+                .with_options(ProtocolOptions::with_history()),
+        );
+        assert!(!with.history.is_empty());
+        assert_eq!(with.rounds, without.rounds, "history must not perturb the run");
+    }
+
+    #[test]
+    fn simulate_reports_edge_traffic_when_requested() {
+        let g = double_star(20).unwrap();
+        let spec = SimulationSpec::new(ProtocolKind::VisitExchange)
+            .with_seed(9)
+            .with_options(ProtocolOptions::with_edge_traffic());
+        let outcome = simulate(&g, 0, &spec);
+        let stats = outcome.edge_traffic.expect("requested edge traffic");
+        assert_eq!(stats.edges, g.num_edges());
+        assert!(stats.mean_per_round > 0.0);
+    }
+
+    #[test]
+    fn adapted_to_switches_meet_exchange_to_lazy_walks_only_on_bipartite_graphs() {
+        use rumor_graphs::generators::hypercube;
+        let bipartite = hypercube(5).unwrap();
+        let clique = complete(8).unwrap();
+        // meet-exchange on a bipartite graph: lazy walks are forced.
+        let spec = SimulationSpec::new(ProtocolKind::MeetExchange).adapted_to(&bipartite);
+        assert!(spec.agents.walk.is_lazy());
+        // Already-lazy configurations are left alone (idempotent).
+        let lazy = SimulationSpec::new(ProtocolKind::MeetExchange)
+            .with_agents(AgentConfig::default().lazy());
+        assert_eq!(lazy.clone().adapted_to(&bipartite), lazy);
+        // Other protocols and non-bipartite graphs are untouched.
+        assert!(!SimulationSpec::new(ProtocolKind::VisitExchange)
+            .adapted_to(&bipartite)
+            .agents
+            .walk
+            .is_lazy());
+        assert!(!SimulationSpec::new(ProtocolKind::MeetExchange)
+            .adapted_to(&clique)
+            .agents
+            .walk
+            .is_lazy());
+    }
+
+    #[test]
+    fn adapted_meet_exchange_completes_on_the_hypercube() {
+        use rumor_graphs::generators::hypercube;
+        let g = hypercube(6).unwrap();
+        let spec = SimulationSpec::new(ProtocolKind::MeetExchange)
+            .with_seed(4)
+            .with_max_rounds(200_000)
+            .adapted_to(&g);
+        let outcome = simulate(&g, 0, &spec);
+        assert!(outcome.completed, "lazy meet-exchange must finish on the hypercube");
+    }
+
+    #[test]
+    fn spec_builder_methods() {
+        let spec = SimulationSpec::new(ProtocolKind::MeetExchange)
+            .with_seed(11)
+            .with_max_rounds(500)
+            .with_agents(AgentConfig::with_alpha(2.0))
+            .with_options(ProtocolOptions::full());
+        assert_eq!(spec.seed, 11);
+        assert_eq!(spec.max_rounds, 500);
+        assert_eq!(spec.agents.count.resolve(10), 20);
+        assert!(spec.options.record_history);
+    }
+}

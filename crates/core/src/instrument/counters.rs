@@ -1,0 +1,302 @@
+//! Instrumented `visit-exchange`: visit counts `|Z_u(t)|`, first-informed
+//! rounds `t_u`, and the C-counters of Section 5.3.
+
+use rand::Rng;
+
+use rumor_graphs::{Graph, VertexId};
+use rumor_walks::MultiWalk;
+
+use crate::options::AgentConfig;
+use crate::protocols::common::InformedSet;
+
+/// Extremes of the number of agents found in closed neighborhoods during a
+/// run — the quantities the paper's tweaked processes bound by `Θ(d)`
+/// (Eq. (3) caps it at `γ·d`, Eq. (10) floors it at `|A|·d / 2n`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeighborhoodOccupancy {
+    /// Largest number of agents observed on the neighbors of any vertex in
+    /// any round.
+    pub max: usize,
+    /// Smallest number of agents observed on the neighbors of any vertex in
+    /// any round.
+    pub min: usize,
+    /// The same extremes divided by the vertex degree (so for regular graphs
+    /// the paper's conditions read `max_per_degree ≤ γ` and
+    /// `min_per_degree ≥ α/2`).
+    pub max_per_degree: f64,
+    /// See [`NeighborhoodOccupancy::max_per_degree`].
+    pub min_per_degree: f64,
+}
+
+/// Result of an instrumented `visit-exchange` run.
+///
+/// The run follows exactly the same dynamics as
+/// [`VisitExchange`](crate::VisitExchange) but additionally maintains, per
+/// vertex `u`:
+///
+/// * `t_u` — the round at which `u` became informed;
+/// * `C_u(t_u)` — the C-counter of Section 5.3 at that moment, defined by
+///   `C_s(0) = 0`, `C_u(t) = C_u(t-1) + |Z_u(t-1)|` for `t > t_u`, and
+///   `C_u(t_u) = min_{v ∈ S_u} C_v(t_u)` where `S_u` is the set of neighbors
+///   from which an informed agent arrived in round `t_u`;
+///
+/// plus global extremes of visit counts and neighborhood occupancy.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_core::instrument::CCounterTrace;
+/// use rumor_core::AgentConfig;
+/// use rumor_graphs::generators::random_regular;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let g = random_regular(128, 8, &mut rng)?;
+/// let trace = CCounterTrace::run(&g, 0, &AgentConfig::default(), 100_000, &mut rng);
+/// assert!(trace.completed);
+/// // The source's counter starts at zero.
+/// assert_eq!(trace.c_counter_at_information[0], 0);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CCounterTrace {
+    /// Whether all vertices were informed before the round cap.
+    pub completed: bool,
+    /// Total rounds executed.
+    pub rounds: u64,
+    /// `t_u` per vertex (`u64::MAX` if never informed).
+    pub informed_round: Vec<u64>,
+    /// `C_u(t_u)` per vertex (`u64::MAX` if never informed).
+    pub c_counter_at_information: Vec<u64>,
+    /// Largest `|Z_u(t)|` observed over all vertices and rounds.
+    pub max_visits_per_round: usize,
+    /// Neighborhood-occupancy extremes over all vertices and rounds `≥ 1`.
+    pub neighborhood: NeighborhoodOccupancy,
+}
+
+impl CCounterTrace {
+    /// Runs instrumented `visit-exchange` from `source` until all vertices are
+    /// informed or `max_rounds` is reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or the graph has no edges while
+    /// stationary placement is requested.
+    pub fn run<R: Rng + ?Sized>(
+        graph: &Graph,
+        source: VertexId,
+        agents: &AgentConfig,
+        max_rounds: u64,
+        rng: &mut R,
+    ) -> Self {
+        let n = graph.num_vertices();
+        assert!(source < n, "source out of range");
+        let count = agents.count.resolve(n);
+        let mut walks = MultiWalk::new(graph, count, &agents.placement, agents.walk, rng);
+
+        let mut informed_vertices = InformedSet::new(n);
+        let mut informed_agents = InformedSet::new(walks.num_agents());
+        let mut informed_round = vec![u64::MAX; n];
+        // `c_current[v]` is the running C_v(t) used by the recursion;
+        // `c_at_information[v]` is the frozen C_v(t_v) reported to callers.
+        let mut c_current = vec![u64::MAX; n];
+        let mut c_at_information = vec![u64::MAX; n];
+
+        informed_vertices.insert(source);
+        informed_round[source] = 0;
+        c_current[source] = 0;
+        c_at_information[source] = 0;
+        for &agent in walks.agents_at(source) {
+            informed_agents.insert(agent);
+        }
+
+        let mut max_visits = walks.occupancy_counts().into_iter().max().unwrap_or(0);
+        let mut nb_max = 0usize;
+        let mut nb_min = usize::MAX;
+        let mut nb_max_per_deg = 0.0f64;
+        let mut nb_min_per_deg = f64::INFINITY;
+
+        let mut round = 0u64;
+        while !informed_vertices.is_full() && round < max_rounds {
+            round += 1;
+            // Occupancy at the end of the previous round is |Z_u(round - 1)|.
+            let prev_occ = walks.occupancy_counts();
+            // Update C_v(round) = C_v(round - 1) + |Z_v(round - 1)| for vertices
+            // informed strictly before this round.
+            for v in 0..n {
+                if informed_round[v] < round {
+                    c_current[v] = c_current[v].saturating_add(prev_occ[v] as u64);
+                }
+            }
+            // Neighborhood occupancy extremes (the tweaked-process conditions).
+            for u in 0..n {
+                let occ = walks.neighborhood_occupancy(graph, u);
+                nb_max = nb_max.max(occ);
+                nb_min = nb_min.min(occ);
+                let d = graph.degree(u).max(1) as f64;
+                nb_max_per_deg = nb_max_per_deg.max(occ as f64 / d);
+                nb_min_per_deg = nb_min_per_deg.min(occ as f64 / d);
+            }
+
+            walks.step(graph, rng);
+            max_visits = max_visits.max(walks.occupancy_counts().into_iter().max().unwrap_or(0));
+
+            // Newly informed vertices: an agent informed before this round
+            // arrived. C_u(t_u) is the minimum C over the neighbors it came from.
+            let mut newly: Vec<(VertexId, u64)> = Vec::new();
+            for agent in 0..walks.num_agents() {
+                if !informed_agents.contains(agent) {
+                    continue;
+                }
+                let u = walks.position(agent);
+                if informed_vertices.contains(u) {
+                    continue;
+                }
+                let from = walks.previous_position(agent);
+                let candidate = c_current[from];
+                match newly.iter_mut().find(|(v, _)| *v == u) {
+                    Some((_, best)) => *best = (*best).min(candidate),
+                    None => newly.push((u, candidate)),
+                }
+            }
+            for (u, c) in newly {
+                informed_vertices.insert(u);
+                informed_round[u] = round;
+                c_current[u] = c;
+                c_at_information[u] = c;
+            }
+            // Agents standing on informed vertices (old or new) become informed.
+            for agent in 0..walks.num_agents() {
+                if !informed_agents.contains(agent)
+                    && informed_vertices.contains(walks.position(agent))
+                {
+                    informed_agents.insert(agent);
+                }
+            }
+        }
+
+        if nb_min == usize::MAX {
+            nb_min = 0;
+            nb_min_per_deg = 0.0;
+        }
+        CCounterTrace {
+            completed: informed_vertices.is_full(),
+            rounds: round,
+            informed_round,
+            c_counter_at_information: c_at_information,
+            max_visits_per_round: max_visits,
+            neighborhood: NeighborhoodOccupancy {
+                max: nb_max,
+                min: nb_min,
+                max_per_degree: nb_max_per_deg,
+                min_per_degree: if nb_min_per_deg.is_finite() { nb_min_per_deg } else { 0.0 },
+            },
+        }
+    }
+
+    /// The broadcast time of the instrumented run, if it completed.
+    pub fn broadcast_time(&self) -> Option<u64> {
+        if self.completed {
+            Some(self.rounds)
+        } else {
+            None
+        }
+    }
+
+    /// The largest `C_u(t_u)` over all informed vertices — under the coupling
+    /// of Section 5, an upper bound on the broadcast time of `push`
+    /// (Lemma 13 plus `T_push = max_u τ_u`).
+    pub fn max_c_counter(&self) -> Option<u64> {
+        self.c_counter_at_information.iter().copied().filter(|&c| c != u64::MAX).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::{complete, random_regular, star};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn source_has_zero_counter_and_round() {
+        let g = complete(16).unwrap();
+        let mut r = rng(1);
+        let trace = CCounterTrace::run(&g, 3, &AgentConfig::default(), 10_000, &mut r);
+        assert!(trace.completed);
+        assert_eq!(trace.informed_round[3], 0);
+        assert_eq!(trace.c_counter_at_information[3], 0);
+    }
+
+    #[test]
+    fn every_vertex_is_eventually_informed_with_finite_counter() {
+        let g = complete(32).unwrap();
+        let mut r = rng(2);
+        let trace = CCounterTrace::run(&g, 0, &AgentConfig::default(), 100_000, &mut r);
+        assert!(trace.completed);
+        for u in 0..32 {
+            assert_ne!(trace.informed_round[u], u64::MAX);
+            assert_ne!(trace.c_counter_at_information[u], u64::MAX);
+            assert!(trace.informed_round[u] <= trace.rounds);
+        }
+        assert!(trace.max_c_counter().is_some());
+        assert_eq!(trace.broadcast_time(), Some(trace.rounds));
+    }
+
+    #[test]
+    fn c_counters_grow_with_information_round() {
+        // C_u(t_u) counts visits along the information path, so vertices
+        // informed later should not have smaller counters than the source.
+        let mut r = rng(3);
+        let g = random_regular(64, 8, &mut r).unwrap();
+        let trace = CCounterTrace::run(&g, 0, &AgentConfig::default(), 100_000, &mut r);
+        assert!(trace.completed);
+        // Source has counter 0; everything else is >= 0 trivially, but at least
+        // one late vertex should have a strictly positive counter.
+        let positive = trace.c_counter_at_information.iter().filter(|&&c| c > 0).count();
+        assert!(positive > 0);
+    }
+
+    #[test]
+    fn neighborhood_occupancy_is_theta_d_on_regular_graphs() {
+        // The premise of the tweaked processes: with |A| = n stationary agents
+        // on a d-regular graph, every closed neighborhood holds Θ(d) agents.
+        let mut r = rng(4);
+        let g = random_regular(256, 16, &mut r).unwrap();
+        let trace = CCounterTrace::run(&g, 0, &AgentConfig::default(), 1_000, &mut r);
+        assert!(trace.completed);
+        assert!(
+            trace.neighborhood.max_per_degree < 6.0,
+            "max neighborhood occupancy per degree too large: {}",
+            trace.neighborhood.max_per_degree
+        );
+        assert!(
+            trace.neighborhood.min_per_degree > 0.05,
+            "min neighborhood occupancy per degree too small: {}",
+            trace.neighborhood.min_per_degree
+        );
+    }
+
+    #[test]
+    fn incomplete_run_reports_partial_data() {
+        let g = star(50).unwrap();
+        let mut r = rng(5);
+        // One round is not enough to inform all leaves.
+        let trace = CCounterTrace::run(&g, 0, &AgentConfig::default(), 1, &mut r);
+        assert!(!trace.completed);
+        assert_eq!(trace.broadcast_time(), None);
+        assert!(trace.informed_round.iter().any(|&t| t == u64::MAX));
+    }
+
+    #[test]
+    fn trace_is_deterministic_given_seed() {
+        let g = complete(24).unwrap();
+        let a = CCounterTrace::run(&g, 0, &AgentConfig::default(), 10_000, &mut rng(9));
+        let b = CCounterTrace::run(&g, 0, &AgentConfig::default(), 10_000, &mut rng(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,373 @@
+//! The coupling of `push` and `visit-exchange` from Section 5.1, executed.
+//!
+//! For every vertex `u` the coupling fixes one shared stream
+//! `w_u(1), w_u(2), …` of independent uniformly random neighbors of `u`, and
+//!
+//! * `push` lets `u` sample `w_u(i)` in the `i`-th round after `u` became
+//!   informed (`π_u(i) = w_u(i)`), while
+//! * `visit-exchange` routes the agent that performs the `i`-th visit to `u`
+//!   at a round `≥ t_u` to `w_u(i)` on its next step (`p_u(i) = w_u(i)`).
+//!
+//! Both marginal processes are distributed exactly as the uncoupled ones. The
+//! point of the construction is Lemma 13: under this coupling,
+//! `τ_u ≤ C_u(t_u)` for every vertex `u`, where `τ_u`/`t_u` are the rounds at
+//! which `u` is informed in `push`/`visit-exchange` and `C` is the counter of
+//! Section 5.3. [`CoupledRun`] samples the coupled pair and verifies the
+//! inequality vertex by vertex.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rumor_graphs::{Graph, VertexId};
+
+use crate::options::AgentConfig;
+use crate::protocols::common::InformedSet;
+
+/// Outcome of one coupled execution of `push` and `visit-exchange`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CouplingReport {
+    /// Whether both processes finished before the round cap.
+    pub completed: bool,
+    /// Broadcast time of the coupled `push` process.
+    pub push_time: u64,
+    /// Broadcast time of the coupled `visit-exchange` process.
+    pub visitx_time: u64,
+    /// `τ_u`: round at which each vertex was informed in `push`
+    /// (`u64::MAX` if never).
+    pub push_informed_round: Vec<u64>,
+    /// `t_u`: round at which each vertex was informed in `visit-exchange`
+    /// (`u64::MAX` if never).
+    pub visitx_informed_round: Vec<u64>,
+    /// `C_u(t_u)` for each vertex (`u64::MAX` if never informed).
+    pub c_counter: Vec<u64>,
+    /// Number of vertices violating Lemma 13 (`τ_u > C_u(t_u)`). The lemma is
+    /// a deterministic consequence of the coupling, so this should always be
+    /// zero; it is reported rather than asserted so experiments can tabulate it.
+    pub lemma13_violations: usize,
+}
+
+impl CouplingReport {
+    /// `true` when Lemma 13 held for every vertex.
+    pub fn lemma13_holds(&self) -> bool {
+        self.lemma13_violations == 0
+    }
+
+    /// The empirical ratio `T_push / T_visitx` of the coupled pair.
+    pub fn time_ratio(&self) -> f64 {
+        self.push_time as f64 / self.visitx_time.max(1) as f64
+    }
+}
+
+/// Executes the coupled pair of processes. See the module documentation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoupledRun;
+
+impl CoupledRun {
+    /// Runs the coupled `push` and `visit-exchange` from `source`, both capped
+    /// at `max_rounds` rounds, with all randomness derived from `seed`.
+    ///
+    /// The agents always perform *simple* (non-lazy) walks, matching the
+    /// setting of Theorem 10; the `walk` field of `agents` is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range, the graph has no edges, or the
+    /// graph has an isolated vertex (the shared neighbor streams are undefined
+    /// there).
+    pub fn run(
+        graph: &Graph,
+        source: VertexId,
+        agents: &AgentConfig,
+        max_rounds: u64,
+        seed: u64,
+    ) -> CouplingReport {
+        let n = graph.num_vertices();
+        assert!(source < n, "source out of range");
+        assert!(graph.num_edges() > 0, "coupling requires a graph with edges");
+        assert!(
+            graph.min_degree().unwrap_or(0) > 0,
+            "coupling requires a graph without isolated vertices"
+        );
+
+        // Shared neighbor streams w_u(·), generated lazily from a dedicated RNG.
+        let mut shared = SharedStreams::new(n, StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1)));
+
+        // --- Coupled visit-exchange -------------------------------------------------
+        let mut walk_rng = StdRng::seed_from_u64(seed.wrapping_add(0xA5A5_A5A5));
+        let count = agents.count.resolve(n);
+        let positions_init =
+            agents.placement.sample(graph, count, &mut walk_rng);
+        let (visitx_informed_round, c_counter, visitx_time, visitx_completed) =
+            run_coupled_visit_exchange(graph, source, positions_init, max_rounds, &mut shared, &mut walk_rng);
+
+        // --- Coupled push ------------------------------------------------------------
+        let (push_informed_round, push_time, push_completed) =
+            run_coupled_push(graph, source, max_rounds, &mut shared);
+
+        let mut violations = 0usize;
+        for u in 0..n {
+            let tau = push_informed_round[u];
+            let c = c_counter[u];
+            if tau != u64::MAX && c != u64::MAX && tau > c {
+                violations += 1;
+            }
+        }
+
+        CouplingReport {
+            completed: visitx_completed && push_completed,
+            push_time,
+            visitx_time,
+            push_informed_round,
+            visitx_informed_round,
+            c_counter,
+            lemma13_violations: violations,
+        }
+    }
+}
+
+/// Lazily generated shared streams `w_u(i)` of uniform random neighbors.
+struct SharedStreams {
+    lists: Vec<Vec<u32>>,
+    rng: StdRng,
+}
+
+impl SharedStreams {
+    fn new(n: usize, rng: StdRng) -> Self {
+        SharedStreams { lists: vec![Vec::new(); n], rng }
+    }
+
+    /// The `i`-th (0-based) shared neighbor choice of vertex `u`.
+    fn get(&mut self, graph: &Graph, u: VertexId, i: usize) -> VertexId {
+        while self.lists[u].len() <= i {
+            let v = graph
+                .random_neighbor(u, &mut self.rng)
+                .expect("shared stream requested for isolated vertex");
+            self.lists[u].push(v as u32);
+        }
+        self.lists[u][i] as VertexId
+    }
+}
+
+/// Runs `visit-exchange` where every departure of an agent from an informed
+/// vertex follows the shared stream, and maintains the C-counters.
+fn run_coupled_visit_exchange(
+    graph: &Graph,
+    source: VertexId,
+    mut positions: Vec<VertexId>,
+    max_rounds: u64,
+    shared: &mut SharedStreams,
+    walk_rng: &mut StdRng,
+) -> (Vec<u64>, Vec<u64>, u64, bool) {
+    let n = graph.num_vertices();
+    let num_agents = positions.len();
+
+    let mut informed_vertices = InformedSet::new(n);
+    let mut informed_agents = InformedSet::new(num_agents);
+    let mut informed_round = vec![u64::MAX; n];
+    // Running C_v(t) for the recursion and the frozen C_v(t_v) reported back.
+    let mut c_current = vec![u64::MAX; n];
+    let mut c_at_information = vec![u64::MAX; n];
+    // Next unread index into each vertex's shared stream, advanced by visits
+    // at rounds >= t_u (the order of X_u in the paper).
+    let mut consumed = vec![0usize; n];
+
+    informed_vertices.insert(source);
+    informed_round[source] = 0;
+    c_current[source] = 0;
+    c_at_information[source] = 0;
+    let mut occupancy = vec![0usize; n];
+    for &p in &positions {
+        occupancy[p] += 1;
+    }
+    for (agent, &p) in positions.iter().enumerate() {
+        if p == source {
+            informed_agents.insert(agent);
+        }
+    }
+
+    let mut round = 0u64;
+    while !informed_vertices.is_full() && round < max_rounds {
+        round += 1;
+        // C_v(round) = C_v(round-1) + |Z_v(round-1)| for vertices informed before this round.
+        for v in 0..n {
+            if informed_round[v] < round {
+                c_current[v] = c_current[v].saturating_add(occupancy[v] as u64);
+            }
+        }
+
+        // Move agents. Agents whose current vertex u is informed (it was
+        // visited at a round >= t_u, namely round-1) depart along the shared
+        // stream; all other agents move uniformly. Agents are processed in id
+        // order, which matches the within-round ordering of X_u.
+        let previous = positions.clone();
+        for agent in 0..num_agents {
+            let u = previous[agent];
+            let destination = if informed_round[u] <= round - 1 {
+                let i = consumed[u];
+                consumed[u] += 1;
+                shared.get(graph, u, i)
+            } else {
+                graph.random_neighbor(u, walk_rng).expect("no isolated vertices")
+            };
+            positions[agent] = destination;
+        }
+        occupancy.iter_mut().for_each(|c| *c = 0);
+        for &p in &positions {
+            occupancy[p] += 1;
+        }
+
+        // Newly informed vertices (visited by a previously informed agent);
+        // C_u(t_u) = min over arrival neighbors of their current counters.
+        let mut newly: Vec<(VertexId, u64)> = Vec::new();
+        for agent in 0..num_agents {
+            if !informed_agents.contains(agent) {
+                continue;
+            }
+            let u = positions[agent];
+            if informed_vertices.contains(u) {
+                continue;
+            }
+            let from = previous[agent];
+            let candidate = c_current[from];
+            match newly.iter_mut().find(|(v, _)| *v == u) {
+                Some((_, best)) => *best = (*best).min(candidate),
+                None => newly.push((u, candidate)),
+            }
+        }
+        for (u, c) in newly {
+            informed_vertices.insert(u);
+            informed_round[u] = round;
+            c_current[u] = c;
+            c_at_information[u] = c;
+        }
+        for agent in 0..num_agents {
+            if !informed_agents.contains(agent) && informed_vertices.contains(positions[agent]) {
+                informed_agents.insert(agent);
+            }
+        }
+    }
+
+    let completed = informed_vertices.is_full();
+    (informed_round, c_at_information, round, completed)
+}
+
+/// Runs `push` where each informed vertex's `i`-th sample is the shared
+/// stream entry `w_u(i)`.
+fn run_coupled_push(
+    graph: &Graph,
+    source: VertexId,
+    max_rounds: u64,
+    shared: &mut SharedStreams,
+) -> (Vec<u64>, u64, bool) {
+    let n = graph.num_vertices();
+    let mut informed = InformedSet::new(n);
+    let mut informed_round = vec![u64::MAX; n];
+    informed.insert(source);
+    informed_round[source] = 0;
+
+    let mut round = 0u64;
+    while !informed.is_full() && round < max_rounds {
+        round += 1;
+        let mut newly: Vec<VertexId> = Vec::new();
+        for u in 0..n {
+            let tau = informed_round[u];
+            if tau >= round {
+                // Not informed before this round (tau == u64::MAX or informed this round).
+                continue;
+            }
+            let i = (round - tau - 1) as usize; // 0-based index of the i-th sample
+            let v = shared.get(graph, u, i);
+            if !informed.contains(v) && !newly.contains(&v) {
+                newly.push(v);
+            }
+        }
+        for v in newly {
+            informed.insert(v);
+            informed_round[v] = round;
+        }
+    }
+    let completed = informed.is_full();
+    (informed_round, round, completed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_graphs::generators::{complete, cycle_of_cliques, hypercube, random_regular};
+
+    #[test]
+    fn lemma13_holds_on_complete_graph() {
+        let g = complete(32).unwrap();
+        let report = CoupledRun::run(&g, 0, &AgentConfig::default(), 100_000, 7);
+        assert!(report.completed);
+        assert!(report.lemma13_holds(), "{} violations", report.lemma13_violations);
+        assert!(report.push_time > 0);
+        assert!(report.visitx_time > 0);
+    }
+
+    #[test]
+    fn lemma13_holds_on_random_regular_graphs() {
+        let mut seed_rng = StdRng::seed_from_u64(100);
+        for trial in 0..5u64 {
+            let g = random_regular(96, 8, &mut seed_rng).unwrap();
+            let report = CoupledRun::run(&g, 0, &AgentConfig::default(), 1_000_000, trial);
+            assert!(report.completed);
+            assert!(
+                report.lemma13_holds(),
+                "trial {trial}: {} violations",
+                report.lemma13_violations
+            );
+        }
+    }
+
+    #[test]
+    fn lemma13_holds_on_hypercube_and_cycle_of_cliques() {
+        let hq = hypercube(7).unwrap();
+        let report = CoupledRun::run(&hq, 0, &AgentConfig::default(), 1_000_000, 3);
+        assert!(report.completed && report.lemma13_holds());
+
+        let cc = cycle_of_cliques(8, 10).unwrap();
+        let report = CoupledRun::run(&cc, 0, &AgentConfig::default(), 1_000_000, 4);
+        assert!(report.completed && report.lemma13_holds());
+    }
+
+    #[test]
+    fn coupled_push_time_is_bounded_by_max_c_counter() {
+        // T_push = max_u τ_u ≤ max_u C_u(t_u): the aggregate consequence of Lemma 13.
+        let mut seed_rng = StdRng::seed_from_u64(55);
+        let g = random_regular(128, 10, &mut seed_rng).unwrap();
+        let report = CoupledRun::run(&g, 5, &AgentConfig::default(), 1_000_000, 9);
+        assert!(report.completed);
+        let max_c = report.c_counter.iter().copied().filter(|&c| c != u64::MAX).max().unwrap();
+        assert!(
+            report.push_time <= max_c,
+            "push time {} exceeds max C-counter {max_c}",
+            report.push_time
+        );
+    }
+
+    #[test]
+    fn report_accessors() {
+        let g = complete(16).unwrap();
+        let report = CoupledRun::run(&g, 0, &AgentConfig::default(), 10_000, 1);
+        assert!(report.time_ratio() > 0.0);
+        assert_eq!(report.push_informed_round[0], 0);
+        assert_eq!(report.visitx_informed_round[0], 0);
+        assert_eq!(report.c_counter[0], 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = complete(20).unwrap();
+        let a = CoupledRun::run(&g, 2, &AgentConfig::default(), 10_000, 42);
+        let b = CoupledRun::run(&g, 2, &AgentConfig::default(), 10_000, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated vertices")]
+    fn rejects_isolated_vertices() {
+        let g = rumor_graphs::Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let _ = CoupledRun::run(&g, 0, &AgentConfig::default(), 10, 0);
+    }
+}

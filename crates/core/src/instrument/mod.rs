@@ -1,0 +1,29 @@
+//! Executable versions of the proof machinery from Sections 5–8 of the paper.
+//!
+//! The paper's regular-graph results are proved with three devices:
+//!
+//! 1. **Visit counters** `|Z_u(t)|` (how many agents visit vertex `u` in round
+//!    `t`) and the derived **C-counters** `C_u(t)` of Section 5.3, which upper
+//!    bound, under the coupling, the round at which `push` informs `u`.
+//! 2. **Tweaked processes** (`t-visit-exchange`, `r-visit-exchange`) that cap
+//!    or floor the number of agents in each closed neighborhood at `Θ(d)`;
+//!    the proofs rely on these bounds holding w.h.p. for polynomially many
+//!    rounds.
+//! 3. A **coupling** between `push` and `visit-exchange` that feeds both
+//!    processes the same per-vertex streams of uniformly random neighbors.
+//!
+//! This module makes all three measurable:
+//!
+//! * [`CCounterTrace`](counters::CCounterTrace) runs an instrumented
+//!   `visit-exchange` and records `t_u`, `C_u(t_u)`, the maximum visit count
+//!   and the extreme neighborhood occupancies (so the `Θ(d)` assumptions of
+//!   the tweaked processes can be checked empirically).
+//! * [`CoupledRun`](coupling::CoupledRun) executes `push` and
+//!   `visit-exchange` under the coupling of Section 5.1 and verifies
+//!   Lemma 13 (`τ_u ≤ C_u(t_u)` for every vertex) on the sampled execution.
+
+mod counters;
+mod coupling;
+
+pub use counters::{CCounterTrace, NeighborhoodOccupancy};
+pub use coupling::{CoupledRun, CouplingReport};

@@ -1,0 +1,334 @@
+//! Measurement types: per-round records, per-edge traffic, and the outcome of
+//! a completed broadcast.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use rumor_graphs::{Graph, VertexId};
+
+/// Snapshot of a protocol's progress after one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round number (1-based; round 0 is initialization).
+    pub round: u64,
+    /// Number of informed vertices after this round.
+    pub informed_vertices: usize,
+    /// Number of informed agents after this round (0 for vertex-only protocols).
+    pub informed_agents: usize,
+    /// Messages sent during this round (calls for rumor-spreading protocols,
+    /// agent moves for agent protocols).
+    pub messages: u64,
+}
+
+/// Outcome of running a protocol until completion or a round cap.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_core::{run_to_completion, Push, ProtocolOptions};
+/// use rumor_graphs::generators::complete;
+///
+/// let g = complete(32)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut push = Push::new(&g, 0, ProtocolOptions::with_history());
+/// let outcome = run_to_completion(&mut push, 10_000, &mut rng);
+/// assert!(outcome.completed);
+/// assert!(outcome.rounds >= 5); // log2(32)
+/// assert_eq!(outcome.history.len() as u64, outcome.rounds);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BroadcastOutcome {
+    /// Protocol name (e.g. `"push"`).
+    pub protocol: String,
+    /// Number of rounds executed.
+    pub rounds: u64,
+    /// Whether the protocol reached its completion condition (all vertices
+    /// informed, or all agents for `meet-exchange`) before the cap.
+    pub completed: bool,
+    /// Number of informed vertices at the end.
+    pub informed_vertices: usize,
+    /// Number of informed agents at the end (0 for vertex-only protocols).
+    pub informed_agents: usize,
+    /// Total messages sent over the whole execution.
+    pub total_messages: u64,
+    /// Per-round history (empty unless requested via
+    /// [`ProtocolOptions::record_history`](crate::ProtocolOptions)).
+    pub history: Vec<RoundRecord>,
+    /// Per-edge traffic statistics (present only if requested via
+    /// [`ProtocolOptions::record_edge_traffic`](crate::ProtocolOptions)).
+    pub edge_traffic: Option<EdgeTrafficStats>,
+}
+
+impl BroadcastOutcome {
+    /// The broadcast time if the run completed, `None` if it hit the cap.
+    pub fn broadcast_time(&self) -> Option<u64> {
+        if self.completed {
+            Some(self.rounds)
+        } else {
+            None
+        }
+    }
+
+    /// The first round at which at least `fraction` of the vertices were
+    /// informed, according to the recorded history. Returns `None` if history
+    /// was not recorded or the threshold was never reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn time_to_fraction(&self, total_vertices: usize, fraction: f64) -> Option<u64> {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        let threshold = (fraction * total_vertices as f64).ceil() as usize;
+        self.history.iter().find(|r| r.informed_vertices >= threshold).map(|r| r.round)
+    }
+}
+
+/// Counts how many times each undirected edge carried a call or an agent.
+///
+/// The paper attributes the strength of the agent protocols to *locally fair
+/// bandwidth use*: in `visit-exchange` every edge is crossed at the same rate
+/// (the walks are stationary), whereas `push`/`push-pull` use edges at rates
+/// proportional to their endpoints' sampling probabilities. This type is how
+/// the experiments measure that difference.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeTraffic {
+    counts: HashMap<(u32, u32), u64>,
+}
+
+impl EdgeTraffic {
+    /// An empty traffic record.
+    pub fn new() -> Self {
+        EdgeTraffic::default()
+    }
+
+    /// Records one use of the undirected edge `(u, v)`.
+    pub fn record(&mut self, u: VertexId, v: VertexId) {
+        let key = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+        *self.counts.entry(key).or_insert(0) += 1;
+    }
+
+    /// Number of uses of the undirected edge `(u, v)`.
+    pub fn count(&self, u: VertexId, v: VertexId) -> u64 {
+        let key = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct edges that carried at least one message.
+    pub fn used_edges(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total traffic over all edges.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Summarizes traffic over *all* edges of `graph` (edges never used count
+    /// as zero), normalized per round.
+    pub fn stats(&self, graph: &Graph, rounds: u64) -> EdgeTrafficStats {
+        let m = graph.num_edges();
+        let rounds = rounds.max(1);
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        let mut sum_sq = 0.0f64;
+        for (u, v) in graph.edges() {
+            let c = self.count(u, v);
+            min = min.min(c);
+            max = max.max(c);
+            sum += c;
+            sum_sq += (c as f64) * (c as f64);
+        }
+        if m == 0 {
+            return EdgeTrafficStats {
+                edges: 0,
+                rounds,
+                min_per_round: 0.0,
+                max_per_round: 0.0,
+                mean_per_round: 0.0,
+                coefficient_of_variation: 0.0,
+                max_to_mean_ratio: 0.0,
+                unused_edges: 0,
+            };
+        }
+        let mean = sum as f64 / m as f64;
+        let variance = (sum_sq / m as f64 - mean * mean).max(0.0);
+        let std = variance.sqrt();
+        EdgeTrafficStats {
+            edges: m,
+            rounds,
+            min_per_round: min as f64 / rounds as f64,
+            max_per_round: max as f64 / rounds as f64,
+            mean_per_round: mean / rounds as f64,
+            coefficient_of_variation: if mean > 0.0 { std / mean } else { 0.0 },
+            max_to_mean_ratio: if mean > 0.0 { max as f64 / mean } else { 0.0 },
+            unused_edges: graph.edges().filter(|&(u, v)| self.count(u, v) == 0).count(),
+        }
+    }
+}
+
+/// Aggregated per-edge traffic statistics (see [`EdgeTraffic::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeTrafficStats {
+    /// Number of edges in the graph.
+    pub edges: usize,
+    /// Number of rounds the traffic was accumulated over.
+    pub rounds: u64,
+    /// Minimum traffic of any edge, per round.
+    pub min_per_round: f64,
+    /// Maximum traffic of any edge, per round.
+    pub max_per_round: f64,
+    /// Mean traffic per edge per round.
+    pub mean_per_round: f64,
+    /// Standard deviation divided by mean of per-edge traffic (0 = perfectly fair).
+    pub coefficient_of_variation: f64,
+    /// Ratio of the busiest edge's traffic to the mean (1 = perfectly fair).
+    pub max_to_mean_ratio: f64,
+    /// Number of edges that never carried any traffic.
+    pub unused_edges: usize,
+}
+
+impl EdgeTrafficStats {
+    /// Ratio of the *least* used edge's traffic to the mean (1 = perfectly
+    /// fair, 0 = some edge was starved).
+    ///
+    /// This is the metric behind Lemma 3: on the double star, `push-pull`
+    /// starves the center–center bridge (ratio `O(1/n)`), while
+    /// `visit-exchange` keeps every edge — the bridge included — near the
+    /// fair share.
+    pub fn min_to_mean_ratio(&self) -> f64 {
+        if self.mean_per_round > 0.0 {
+            self.min_per_round / self.mean_per_round
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_graphs::generators::{path, star};
+
+    #[test]
+    fn edge_traffic_records_undirected() {
+        let mut t = EdgeTraffic::new();
+        t.record(3, 1);
+        t.record(1, 3);
+        t.record(0, 1);
+        assert_eq!(t.count(1, 3), 2);
+        assert_eq!(t.count(3, 1), 2);
+        assert_eq!(t.count(0, 1), 1);
+        assert_eq!(t.count(0, 2), 0);
+        assert_eq!(t.used_edges(), 2);
+        assert_eq!(t.total(), 3);
+    }
+
+    #[test]
+    fn edge_traffic_stats_on_path() {
+        let g = path(4).unwrap(); // edges (0,1),(1,2),(2,3)
+        let mut t = EdgeTraffic::new();
+        t.record(0, 1);
+        t.record(0, 1);
+        t.record(1, 2);
+        let stats = t.stats(&g, 2);
+        assert_eq!(stats.edges, 3);
+        assert_eq!(stats.unused_edges, 1);
+        assert!((stats.mean_per_round - 0.5).abs() < 1e-12);
+        assert!((stats.max_per_round - 1.0).abs() < 1e-12);
+        assert!((stats.min_per_round - 0.0).abs() < 1e-12);
+        assert!(stats.max_to_mean_ratio > 1.9 && stats.max_to_mean_ratio < 2.1);
+        assert!(stats.coefficient_of_variation > 0.0);
+    }
+
+    #[test]
+    fn perfectly_fair_traffic_has_zero_cv() {
+        let g = path(3).unwrap();
+        let mut t = EdgeTraffic::new();
+        t.record(0, 1);
+        t.record(1, 2);
+        let stats = t.stats(&g, 1);
+        assert!(stats.coefficient_of_variation.abs() < 1e-12);
+        assert!((stats.max_to_mean_ratio - 1.0).abs() < 1e-12);
+        assert!((stats.min_to_mean_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.unused_edges, 0);
+    }
+
+    #[test]
+    fn min_to_mean_ratio_detects_starved_edges() {
+        let g = path(4).unwrap();
+        let mut t = EdgeTraffic::new();
+        t.record(0, 1);
+        t.record(1, 2);
+        // Edge (2, 3) never carries traffic, so the ratio collapses to zero.
+        let stats = t.stats(&g, 1);
+        assert_eq!(stats.min_to_mean_ratio(), 0.0);
+        // No traffic at all: the ratio is defined as zero rather than NaN.
+        assert_eq!(EdgeTraffic::new().stats(&g, 1).min_to_mean_ratio(), 0.0);
+    }
+
+    #[test]
+    fn stats_on_empty_traffic() {
+        let g = star(3).unwrap();
+        let stats = EdgeTraffic::new().stats(&g, 10);
+        assert_eq!(stats.mean_per_round, 0.0);
+        assert_eq!(stats.unused_edges, 3);
+    }
+
+    #[test]
+    fn outcome_time_to_fraction() {
+        let outcome = BroadcastOutcome {
+            protocol: "push".into(),
+            rounds: 3,
+            completed: true,
+            informed_vertices: 8,
+            informed_agents: 0,
+            total_messages: 12,
+            history: vec![
+                RoundRecord { round: 1, informed_vertices: 2, informed_agents: 0, messages: 1 },
+                RoundRecord { round: 2, informed_vertices: 5, informed_agents: 0, messages: 3 },
+                RoundRecord { round: 3, informed_vertices: 8, informed_agents: 0, messages: 8 },
+            ],
+            edge_traffic: None,
+        };
+        assert_eq!(outcome.broadcast_time(), Some(3));
+        assert_eq!(outcome.time_to_fraction(8, 0.5), Some(2));
+        assert_eq!(outcome.time_to_fraction(8, 1.0), Some(3));
+        assert_eq!(outcome.time_to_fraction(8, 0.1), Some(1));
+    }
+
+    #[test]
+    fn outcome_without_history_has_no_fraction_times() {
+        let outcome = BroadcastOutcome {
+            protocol: "push".into(),
+            rounds: 5,
+            completed: false,
+            informed_vertices: 3,
+            informed_agents: 0,
+            total_messages: 9,
+            history: Vec::new(),
+            edge_traffic: None,
+        };
+        assert_eq!(outcome.broadcast_time(), None);
+        assert_eq!(outcome.time_to_fraction(10, 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0, 1]")]
+    fn time_to_fraction_rejects_bad_fraction() {
+        let outcome = BroadcastOutcome {
+            protocol: "push".into(),
+            rounds: 0,
+            completed: true,
+            informed_vertices: 1,
+            informed_agents: 0,
+            total_messages: 0,
+            history: Vec::new(),
+            edge_traffic: None,
+        };
+        let _ = outcome.time_to_fraction(10, 1.5);
+    }
+}

@@ -1,0 +1,272 @@
+//! Asynchronous rumor spreading (Poisson-clock model).
+//!
+//! Section 2 of the paper surveys the line of work comparing synchronous and
+//! asynchronous rumor spreading: in the asynchronous model every vertex holds
+//! an independent unit-rate Poisson clock and acts (pushes, or push-pulls)
+//! whenever its clock rings. Sauerwald [41] shows asynchronous `push` matches
+//! synchronous `push` on regular graphs, and Giakkoupis–Nazari–Woelfel [27]
+//! give tight bounds for asynchronous `push-pull`.
+//!
+//! The implementation uses the standard discrete equivalent of the Poisson
+//! model: one *time unit* consists of `n` activations of uniformly random
+//! vertices (with replacement). [`Protocol::round`] therefore counts elapsed
+//! time units, directly comparable to synchronous rounds.
+
+use rand::{Rng, RngCore};
+
+use rumor_graphs::{Graph, VertexId};
+
+use crate::metrics::EdgeTraffic;
+use crate::options::ProtocolOptions;
+use crate::protocol::Protocol;
+use crate::protocols::common::InformedSet;
+
+/// Which exchange rule an activated vertex applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AsyncRule {
+    Push,
+    PushPull,
+}
+
+/// Shared implementation of the two asynchronous protocols.
+#[derive(Debug, Clone)]
+struct AsyncRumor<'g> {
+    graph: &'g Graph,
+    source: VertexId,
+    informed: InformedSet,
+    rule: AsyncRule,
+    round: u64,
+    messages_total: u64,
+    messages_last: u64,
+    edge_traffic: Option<EdgeTraffic>,
+}
+
+impl<'g> AsyncRumor<'g> {
+    fn new(graph: &'g Graph, source: VertexId, rule: AsyncRule, options: ProtocolOptions) -> Self {
+        assert!(source < graph.num_vertices(), "source out of range");
+        let mut informed = InformedSet::new(graph.num_vertices());
+        informed.insert(source);
+        AsyncRumor {
+            graph,
+            source,
+            informed,
+            rule,
+            round: 0,
+            messages_total: 0,
+            messages_last: 0,
+            edge_traffic: if options.record_edge_traffic { Some(EdgeTraffic::new()) } else { None },
+        }
+    }
+
+    /// One time unit = `n` uniformly random vertex activations. Unlike the
+    /// synchronous protocols there is no "informed before this round" buffer:
+    /// activations are sequential, so information can chain within a time
+    /// unit, exactly as in the continuous-time model.
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        self.round += 1;
+        self.messages_last = 0;
+        let n = self.graph.num_vertices();
+        for _ in 0..n {
+            let u = rng.gen_range(0..n);
+            let is_push_only = self.rule == AsyncRule::Push;
+            if is_push_only && !self.informed.contains(u) {
+                continue;
+            }
+            if let Some(v) = self.graph.random_neighbor(u, rng) {
+                self.messages_last += 1;
+                if let Some(traffic) = &mut self.edge_traffic {
+                    traffic.record(u, v);
+                }
+                match self.rule {
+                    AsyncRule::Push => {
+                        self.informed.insert(v);
+                    }
+                    AsyncRule::PushPull => {
+                        if self.informed.contains(u) {
+                            self.informed.insert(v);
+                        } else if self.informed.contains(v) {
+                            self.informed.insert(u);
+                        }
+                    }
+                }
+            }
+        }
+        self.messages_total += self.messages_last;
+    }
+}
+
+macro_rules! async_protocol {
+    ($(#[$doc:meta])* $name:ident, $rule:expr, $proto_name:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name<'g> {
+            inner: AsyncRumor<'g>,
+        }
+
+        impl<'g> $name<'g> {
+            /// Creates the protocol with the rumor at `source`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `source` is out of range.
+            pub fn new(graph: &'g Graph, source: VertexId, options: ProtocolOptions) -> Self {
+                $name { inner: AsyncRumor::new(graph, source, $rule, options) }
+            }
+        }
+
+        impl Protocol for $name<'_> {
+            fn name(&self) -> &'static str {
+                $proto_name
+            }
+
+            fn graph(&self) -> &Graph {
+                self.inner.graph
+            }
+
+            fn source(&self) -> VertexId {
+                self.inner.source
+            }
+
+            fn round(&self) -> u64 {
+                self.inner.round
+            }
+
+            fn step(&mut self, rng: &mut dyn RngCore) {
+                self.inner.step(rng);
+            }
+
+            fn is_complete(&self) -> bool {
+                self.inner.informed.is_full()
+            }
+
+            fn is_vertex_informed(&self, v: VertexId) -> bool {
+                self.inner.informed.contains(v)
+            }
+
+            fn informed_vertex_count(&self) -> usize {
+                self.inner.informed.count()
+            }
+
+            fn messages_sent(&self) -> u64 {
+                self.inner.messages_total
+            }
+
+            fn messages_last_round(&self) -> u64 {
+                self.inner.messages_last
+            }
+
+            fn edge_traffic(&self) -> Option<&EdgeTraffic> {
+                self.inner.edge_traffic.as_ref()
+            }
+        }
+    };
+}
+
+async_protocol!(
+    /// Asynchronous `push`: every vertex pushes to a random neighbor whenever
+    /// its unit-rate Poisson clock rings; [`Protocol::round`] counts elapsed
+    /// time units (n activations each). Sauerwald [41] shows this matches
+    /// synchronous `push` on regular graphs.
+    AsyncPush,
+    AsyncRule::Push,
+    "async-push"
+);
+
+async_protocol!(
+    /// Asynchronous `push-pull`: every vertex exchanges with a random neighbor
+    /// whenever its Poisson clock rings; studied by Acan et al. and
+    /// Giakkoupis–Nazari–Woelfel [27] (cited in Section 2 of the paper).
+    AsyncPushPull,
+    AsyncRule::PushPull,
+    "async-push-pull"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::{complete, random_regular, star, STAR_CENTER};
+
+    fn run<P: Protocol>(p: &mut P, cap: u64, rng: &mut StdRng) -> u64 {
+        while !p.is_complete() && p.round() < cap {
+            p.step(rng);
+        }
+        p.round()
+    }
+
+    #[test]
+    fn initial_state_and_names() {
+        let g = complete(8).unwrap();
+        let push = AsyncPush::new(&g, 1, ProtocolOptions::none());
+        assert_eq!(push.name(), "async-push");
+        assert_eq!(push.informed_vertex_count(), 1);
+        let pp = AsyncPushPull::new(&g, 1, ProtocolOptions::none());
+        assert_eq!(pp.name(), "async-push-pull");
+        assert!(pp.is_vertex_informed(1));
+    }
+
+    #[test]
+    fn async_push_completes_in_logarithmic_time_units_on_complete_graph() {
+        let g = complete(64).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = AsyncPush::new(&g, 0, ProtocolOptions::none());
+        let t = run(&mut p, 10_000, &mut rng);
+        assert!(p.is_complete());
+        assert!(t >= 3 && t < 60, "async push took {t} time units");
+    }
+
+    #[test]
+    fn async_matches_sync_push_on_regular_graphs_up_to_constants() {
+        // The [41] result: asynchronous push has the same asymptotic broadcast
+        // time as synchronous push on regular graphs.
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_regular(256, 16, &mut rng).unwrap();
+        let trials = 5;
+        let mut sync_total = 0u64;
+        let mut async_total = 0u64;
+        for _ in 0..trials {
+            let mut sync = crate::Push::new(&g, 0, ProtocolOptions::none());
+            sync_total += run(&mut sync, 100_000, &mut rng);
+            let mut asyn = AsyncPush::new(&g, 0, ProtocolOptions::none());
+            async_total += run(&mut asyn, 100_000, &mut rng);
+        }
+        let ratio = async_total as f64 / sync_total as f64;
+        assert!((0.3..3.0).contains(&ratio), "async/sync push ratio {ratio} not a constant");
+    }
+
+    #[test]
+    fn async_push_pull_is_faster_than_async_push_on_star() {
+        let g = star(200).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut push = AsyncPush::new(&g, STAR_CENTER, ProtocolOptions::none());
+        let t_push = run(&mut push, 1_000_000, &mut rng);
+        let mut pp = AsyncPushPull::new(&g, STAR_CENTER, ProtocolOptions::none());
+        let t_pp = run(&mut pp, 1_000_000, &mut rng);
+        assert!(t_pp < t_push, "async push-pull ({t_pp}) should beat async push ({t_push})");
+    }
+
+    #[test]
+    fn messages_and_edge_traffic_accounting() {
+        let g = complete(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut p = AsyncPushPull::new(&g, 0, ProtocolOptions::with_edge_traffic());
+        p.step(&mut rng);
+        // Every one of the n activations sends a message on the complete graph.
+        assert_eq!(p.messages_last_round(), 16);
+        assert_eq!(p.edge_traffic().unwrap().total(), p.messages_sent());
+    }
+
+    #[test]
+    fn informed_set_is_monotone() {
+        let g = complete(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = AsyncPushPull::new(&g, 0, ProtocolOptions::none());
+        let mut prev = p.informed_vertex_count();
+        while !p.is_complete() {
+            p.step(&mut rng);
+            assert!(p.informed_vertex_count() >= prev);
+            prev = p.informed_vertex_count();
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! The combination of `push-pull` and `visit-exchange` suggested in the
+//! paper's introduction ("agent-based information dissemination, separately or
+//! in combination with push-pull, can significantly improve the broadcast
+//! time").
+
+use rand::{Rng, RngCore};
+
+use rumor_graphs::{Graph, VertexId};
+use rumor_walks::MultiWalk;
+
+use crate::metrics::EdgeTraffic;
+use crate::options::{AgentConfig, ProtocolOptions};
+use crate::protocol::Protocol;
+use crate::protocols::common::InformedSet;
+
+/// `push-pull` and `visit-exchange` running simultaneously over one shared
+/// set of informed vertices.
+///
+/// Each round consists of a push-pull exchange phase (every vertex calls a
+/// random neighbor) followed by a visit-exchange phase (agents walk one step,
+/// previously informed agents inform the vertices they visit, and agents on
+/// informed vertices become informed). The two phases share the informed
+/// vertex set, so the combined protocol is at least as fast as either
+/// component on every graph — it inherits push-pull's speed on the heavy
+/// binary tree and visit-exchange's speed on the double star.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_core::{AgentConfig, Protocol, ProtocolOptions, PushPullVisitExchange};
+/// use rumor_graphs::generators::double_star;
+///
+/// let g = double_star(300)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut combo = PushPullVisitExchange::new(
+///     &g, 2, &AgentConfig::default(), ProtocolOptions::none(), &mut rng);
+/// while !combo.is_complete() && combo.round() < 10_000 {
+///     combo.step(&mut rng);
+/// }
+/// // Push-pull alone needs Ω(n) rounds here; the combination stays logarithmic.
+/// assert!(combo.is_complete());
+/// assert!(combo.round() < 200);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PushPullVisitExchange<'g> {
+    graph: &'g Graph,
+    source: VertexId,
+    walks: MultiWalk,
+    informed_vertices: InformedSet,
+    informed_agents: InformedSet,
+    round: u64,
+    messages_total: u64,
+    messages_last: u64,
+    edge_traffic: Option<EdgeTraffic>,
+}
+
+impl<'g> PushPullVisitExchange<'g> {
+    /// Creates the combined protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range, or if stationary placement is
+    /// requested on a graph with no edges.
+    pub fn new<R: Rng + ?Sized>(
+        graph: &'g Graph,
+        source: VertexId,
+        agents: &AgentConfig,
+        options: ProtocolOptions,
+        rng: &mut R,
+    ) -> Self {
+        assert!(source < graph.num_vertices(), "source out of range");
+        let count = agents.count.resolve(graph.num_vertices());
+        let walks = MultiWalk::new(graph, count, &agents.placement, agents.walk, rng);
+        let mut informed_vertices = InformedSet::new(graph.num_vertices());
+        informed_vertices.insert(source);
+        let mut informed_agents = InformedSet::new(walks.num_agents());
+        for &agent in walks.agents_at(source) {
+            informed_agents.insert(agent);
+        }
+        PushPullVisitExchange {
+            graph,
+            source,
+            walks,
+            informed_vertices,
+            informed_agents,
+            round: 0,
+            messages_total: 0,
+            messages_last: 0,
+            edge_traffic: if options.record_edge_traffic { Some(EdgeTraffic::new()) } else { None },
+        }
+    }
+
+    /// Read-only access to the agent walks.
+    pub fn walks(&self) -> &MultiWalk {
+        &self.walks
+    }
+}
+
+impl Protocol for PushPullVisitExchange<'_> {
+    fn name(&self) -> &'static str {
+        "push-pull+visit-exchange"
+    }
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn source(&self) -> VertexId {
+        self.source
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        self.round += 1;
+        let mut messages = 0u64;
+
+        // Phase A: push-pull among vertices, evaluated against the informed
+        // set at the start of the round.
+        let mut newly_informed: Vec<VertexId> = Vec::new();
+        for u in self.graph.vertices() {
+            if let Some(v) = self.graph.random_neighbor(u, rng) {
+                messages += 1;
+                if let Some(traffic) = &mut self.edge_traffic {
+                    traffic.record(u, v);
+                }
+                let u_informed = self.informed_vertices.contains(u);
+                let v_informed = self.informed_vertices.contains(v);
+                if u_informed != v_informed {
+                    newly_informed.push(if u_informed { v } else { u });
+                }
+            }
+        }
+        for v in newly_informed {
+            self.informed_vertices.insert(v);
+        }
+
+        // Phase B: visit-exchange. Agents walk one step; agents informed in a
+        // previous round inform the vertices they visit; agents standing on an
+        // informed vertex (including vertices informed this round) learn.
+        self.walks.step(self.graph, rng);
+        for agent in 0..self.walks.num_agents() {
+            let from = self.walks.previous_position(agent);
+            let to = self.walks.position(agent);
+            if from != to {
+                messages += 1;
+                if let Some(traffic) = &mut self.edge_traffic {
+                    traffic.record(from, to);
+                }
+            }
+        }
+        for agent in 0..self.walks.num_agents() {
+            if self.informed_agents.contains(agent) {
+                self.informed_vertices.insert(self.walks.position(agent));
+            }
+        }
+        for agent in 0..self.walks.num_agents() {
+            if !self.informed_agents.contains(agent)
+                && self.informed_vertices.contains(self.walks.position(agent))
+            {
+                self.informed_agents.insert(agent);
+            }
+        }
+
+        self.messages_last = messages;
+        self.messages_total += messages;
+    }
+
+    fn is_complete(&self) -> bool {
+        self.informed_vertices.is_full()
+    }
+
+    fn is_vertex_informed(&self, v: VertexId) -> bool {
+        self.informed_vertices.contains(v)
+    }
+
+    fn informed_vertex_count(&self) -> usize {
+        self.informed_vertices.count()
+    }
+
+    fn informed_agent_count(&self) -> usize {
+        self.informed_agents.count()
+    }
+
+    fn num_agents(&self) -> usize {
+        self.walks.num_agents()
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.messages_total
+    }
+
+    fn messages_last_round(&self) -> u64 {
+        self.messages_last
+    }
+
+    fn edge_traffic(&self) -> Option<&EdgeTraffic> {
+        self.edge_traffic.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::{complete, double_star, HeavyBinaryTree};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn run_combined(p: &mut PushPullVisitExchange<'_>, cap: u64, rng: &mut StdRng) -> u64 {
+        while !p.is_complete() && p.round() < cap {
+            p.step(rng);
+        }
+        p.round()
+    }
+
+    #[test]
+    fn initial_state() {
+        let g = complete(16).unwrap();
+        let mut r = rng(0);
+        let p = PushPullVisitExchange::new(
+            &g,
+            3,
+            &AgentConfig::default(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
+        assert_eq!(p.name(), "push-pull+visit-exchange");
+        assert_eq!(p.informed_vertex_count(), 1);
+        assert_eq!(p.num_agents(), 16);
+    }
+
+    #[test]
+    fn fast_on_double_star_like_visit_exchange() {
+        let g = double_star(250).unwrap();
+        let mut r = rng(1);
+        let mut combo = PushPullVisitExchange::new(
+            &g,
+            2,
+            &AgentConfig::default(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
+        let t = run_combined(&mut combo, 100_000, &mut r);
+        assert!(combo.is_complete());
+        assert!(t < 200, "combined protocol took {t} rounds on the double star");
+    }
+
+    #[test]
+    fn fast_on_heavy_binary_tree_like_push_pull() {
+        // visit-exchange alone is Ω(n) here; the combination inherits
+        // push-pull's logarithmic time.
+        let tree = HeavyBinaryTree::new(7).unwrap();
+        let g = tree.graph();
+        let mut r = rng(2);
+        let mut combo = PushPullVisitExchange::new(
+            g,
+            tree.a_leaf(),
+            &AgentConfig::default(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
+        let t = run_combined(&mut combo, 1_000_000, &mut r);
+        assert!(combo.is_complete());
+        assert!(t < 100, "combined protocol took {t} rounds on the heavy tree");
+    }
+
+    #[test]
+    fn messages_include_both_components() {
+        let g = complete(10).unwrap();
+        let mut r = rng(3);
+        let mut combo = PushPullVisitExchange::new(
+            &g,
+            0,
+            &AgentConfig::default(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
+        combo.step(&mut r);
+        // 10 push-pull calls plus up to 10 agent moves.
+        assert!(combo.messages_last_round() >= 10);
+        assert!(combo.messages_last_round() <= 20);
+    }
+
+    #[test]
+    fn monotone_informed_sets() {
+        let g = complete(32).unwrap();
+        let mut r = rng(4);
+        let mut combo = PushPullVisitExchange::new(
+            &g,
+            0,
+            &AgentConfig::default(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
+        let mut prev = combo.informed_vertex_count();
+        while !combo.is_complete() {
+            combo.step(&mut r);
+            assert!(combo.informed_vertex_count() >= prev);
+            prev = combo.informed_vertex_count();
+        }
+        assert_eq!(combo.informed_agent_count(), combo.num_agents());
+    }
+}

@@ -1,0 +1,90 @@
+//! Small shared helpers for the protocol implementations.
+
+use rumor_graphs::VertexId;
+
+/// A monotone set of informed vertices (or agents) with O(1) membership,
+/// insertion, and cardinality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct InformedSet {
+    member: Vec<bool>,
+    count: usize,
+}
+
+impl InformedSet {
+    /// An empty set over a universe of `n` items.
+    pub(crate) fn new(n: usize) -> Self {
+        InformedSet { member: vec![false; n], count: 0 }
+    }
+
+    /// Universe size.
+    #[allow(dead_code)] // used in tests and kept for API symmetry
+    pub(crate) fn universe(&self) -> usize {
+        self.member.len()
+    }
+
+    /// Number of informed items.
+    pub(crate) fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether item `i` is informed.
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.member[i]
+    }
+
+    /// Marks item `i` informed; returns `true` if it was newly inserted.
+    pub(crate) fn insert(&mut self, i: usize) -> bool {
+        if self.member[i] {
+            false
+        } else {
+            self.member[i] = true;
+            self.count += 1;
+            true
+        }
+    }
+
+    /// Whether every item is informed.
+    pub(crate) fn is_full(&self) -> bool {
+        self.count == self.member.len()
+    }
+
+    /// Iterator over the informed items.
+    #[allow(dead_code)]
+    pub(crate) fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.member.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut s = InformedSet::new(5);
+        assert_eq!(s.universe(), 5);
+        assert_eq!(s.count(), 0);
+        assert!(!s.contains(3));
+        assert!(s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.insert(3));
+        assert_eq!(s.count(), 1);
+        assert!(!s.is_full());
+    }
+
+    #[test]
+    fn becomes_full() {
+        let mut s = InformedSet::new(3);
+        for i in 0..3 {
+            s.insert(i);
+        }
+        assert!(s.is_full());
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_universe_is_full() {
+        let s = InformedSet::new(0);
+        assert!(s.is_full());
+    }
+}

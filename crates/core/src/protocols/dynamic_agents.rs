@@ -1,0 +1,432 @@
+//! `visit-exchange` with a dynamic (churning) agent population.
+//!
+//! Section 9 of the paper raises fault tolerance as an open problem: agents
+//! can get lost on faulty nodes or links, and suggests that
+//!
+//! > it seems likely that the protocols could tolerate some number of lost
+//! > agents, if a dynamic set of agents were used, where agents age with time
+//! > and die, while new agents are born at a proportional rate.
+//!
+//! [`ChurnVisitExchange`] implements exactly that variant: each round every
+//! agent independently dies with probability `churn`, and for every death a
+//! fresh (uninformed) agent is born at an independently drawn
+//! stationary-random vertex, keeping the population size constant. Setting
+//! `churn = 0` recovers the plain `visit-exchange` dynamics.
+
+use rand::{Rng, RngCore};
+
+use rumor_graphs::{Graph, VertexId};
+use rumor_walks::{AgentId, MultiWalk};
+
+use crate::metrics::EdgeTraffic;
+use crate::options::{AgentConfig, ProtocolOptions};
+use crate::protocol::Protocol;
+use crate::protocols::common::InformedSet;
+
+/// `visit-exchange` under agent churn (the fault-tolerance variant sketched in
+/// the paper's open-problems section).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_core::{AgentConfig, ChurnVisitExchange, Protocol, ProtocolOptions};
+/// use rumor_graphs::generators::complete;
+///
+/// let g = complete(64)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut p = ChurnVisitExchange::new(
+///     &g, 0, &AgentConfig::default(), 0.05, ProtocolOptions::none(), &mut rng)?;
+/// while !p.is_complete() && p.round() < 10_000 {
+///     p.step(&mut rng);
+/// }
+/// // Even with 5% of the agents replaced per round, the broadcast completes,
+/// // because informed *vertices* keep re-informing fresh agents.
+/// assert!(p.is_complete());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChurnVisitExchange<'g> {
+    graph: &'g Graph,
+    source: VertexId,
+    walks: MultiWalk,
+    informed_vertices: InformedSet,
+    /// Informed flags indexed by agent slot; reset when the slot is reborn.
+    informed_agents: Vec<bool>,
+    informed_agent_count: usize,
+    churn: f64,
+    deaths_total: u64,
+    round: u64,
+    messages_total: u64,
+    messages_last: u64,
+    edge_traffic: Option<EdgeTraffic>,
+}
+
+/// Error returned when the churn probability is outside `[0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidChurnError;
+
+impl std::fmt::Display for InvalidChurnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("churn probability must be a finite value in [0, 1)")
+    }
+}
+
+impl std::error::Error for InvalidChurnError {}
+
+impl<'g> ChurnVisitExchange<'g> {
+    /// Creates the protocol. `churn` is the per-agent, per-round probability
+    /// of being replaced by a fresh uninformed agent at a stationary-random
+    /// vertex.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidChurnError`] if `churn` is not a finite value in
+    /// `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or stationary placement is requested
+    /// on a graph with no edges.
+    pub fn new<R: Rng + ?Sized>(
+        graph: &'g Graph,
+        source: VertexId,
+        agents: &AgentConfig,
+        churn: f64,
+        options: ProtocolOptions,
+        rng: &mut R,
+    ) -> Result<Self, InvalidChurnError> {
+        if !churn.is_finite() || !(0.0..1.0).contains(&churn) {
+            return Err(InvalidChurnError);
+        }
+        assert!(source < graph.num_vertices(), "source out of range");
+        let count = agents.count.resolve(graph.num_vertices());
+        let walks = MultiWalk::new(graph, count, &agents.placement, agents.walk, rng);
+        let mut informed_vertices = InformedSet::new(graph.num_vertices());
+        informed_vertices.insert(source);
+        let mut informed_agents = vec![false; walks.num_agents()];
+        let mut informed_agent_count = 0;
+        for &agent in walks.agents_at(source) {
+            informed_agents[agent] = true;
+            informed_agent_count += 1;
+        }
+        Ok(ChurnVisitExchange {
+            graph,
+            source,
+            walks,
+            informed_vertices,
+            informed_agents,
+            informed_agent_count,
+            churn,
+            deaths_total: 0,
+            round: 0,
+            messages_total: 0,
+            messages_last: 0,
+            edge_traffic: if options.record_edge_traffic { Some(EdgeTraffic::new()) } else { None },
+        })
+    }
+
+    /// The per-round churn probability.
+    pub fn churn(&self) -> f64 {
+        self.churn
+    }
+
+    /// Total number of agent replacements so far.
+    pub fn total_deaths(&self) -> u64 {
+        self.deaths_total
+    }
+
+    /// Whether agent slot `g` currently holds an informed agent.
+    pub fn is_agent_informed(&self, g: AgentId) -> bool {
+        self.informed_agents[g]
+    }
+
+    fn mark_agent_informed(&mut self, g: AgentId) {
+        if !self.informed_agents[g] {
+            self.informed_agents[g] = true;
+            self.informed_agent_count += 1;
+        }
+    }
+
+    fn mark_agent_reborn(&mut self, g: AgentId) {
+        if self.informed_agents[g] {
+            self.informed_agents[g] = false;
+            self.informed_agent_count -= 1;
+        }
+    }
+}
+
+impl Protocol for ChurnVisitExchange<'_> {
+    fn name(&self) -> &'static str {
+        "churn-visit-exchange"
+    }
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn source(&self) -> VertexId {
+        self.source
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        self.round += 1;
+
+        // Churn phase: each agent dies independently; its slot is reborn as an
+        // uninformed agent at a fresh stationary-random vertex.
+        if self.churn > 0.0 {
+            for agent in 0..self.walks.num_agents() {
+                if rng.gen_bool(self.churn) {
+                    self.deaths_total += 1;
+                    self.mark_agent_reborn(agent);
+                    let rebirth = self.graph.sample_stationary(rng);
+                    self.walks.teleport(agent, rebirth);
+                }
+            }
+        }
+
+        // Walk phase (identical to visit-exchange).
+        self.walks.step(self.graph, rng);
+        let mut moves = 0u64;
+        for agent in 0..self.walks.num_agents() {
+            let from = self.walks.previous_position(agent);
+            let to = self.walks.position(agent);
+            if from != to {
+                moves += 1;
+                if let Some(traffic) = &mut self.edge_traffic {
+                    traffic.record(from, to);
+                }
+            }
+        }
+        self.messages_last = moves;
+        self.messages_total += moves;
+
+        // Exchange phase: previously informed agents inform vertices, then
+        // agents standing on informed vertices become informed.
+        for agent in 0..self.walks.num_agents() {
+            if self.informed_agents[agent] {
+                self.informed_vertices.insert(self.walks.position(agent));
+            }
+        }
+        for agent in 0..self.walks.num_agents() {
+            if !self.informed_agents[agent]
+                && self.informed_vertices.contains(self.walks.position(agent))
+            {
+                self.mark_agent_informed(agent);
+            }
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.informed_vertices.is_full()
+    }
+
+    fn is_vertex_informed(&self, v: VertexId) -> bool {
+        self.informed_vertices.contains(v)
+    }
+
+    fn informed_vertex_count(&self) -> usize {
+        self.informed_vertices.count()
+    }
+
+    fn informed_agent_count(&self) -> usize {
+        self.informed_agent_count
+    }
+
+    fn num_agents(&self) -> usize {
+        self.walks.num_agents()
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.messages_total
+    }
+
+    fn messages_last_round(&self) -> u64 {
+        self.messages_last
+    }
+
+    fn edge_traffic(&self) -> Option<&EdgeTraffic> {
+        self.edge_traffic.as_ref()
+    }
+}
+
+/// Convenience constructor mirroring [`crate::VisitExchange::new`] for the
+/// zero-churn case, useful in tests comparing the two implementations.
+impl<'g> ChurnVisitExchange<'g> {
+    /// Creates a zero-churn instance (behaviourally a plain `visit-exchange`).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ChurnVisitExchange::new`].
+    pub fn without_churn<R: Rng + ?Sized>(
+        graph: &'g Graph,
+        source: VertexId,
+        agents: &AgentConfig,
+        options: ProtocolOptions,
+        rng: &mut R,
+    ) -> Self {
+        Self::new(graph, source, agents, 0.0, options, rng).expect("0.0 is a valid churn value")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::{complete, double_star, random_regular};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn run(p: &mut ChurnVisitExchange<'_>, cap: u64, rng: &mut StdRng) -> u64 {
+        while !p.is_complete() && p.round() < cap {
+            p.step(rng);
+        }
+        p.round()
+    }
+
+    #[test]
+    fn rejects_invalid_churn() {
+        let g = complete(8).unwrap();
+        let mut r = rng(0);
+        for bad in [-0.1, 1.0, 1.5, f64::NAN] {
+            assert!(ChurnVisitExchange::new(
+                &g,
+                0,
+                &AgentConfig::default(),
+                bad,
+                ProtocolOptions::none(),
+                &mut r
+            )
+            .is_err());
+        }
+        assert_eq!(InvalidChurnError.to_string(), "churn probability must be a finite value in [0, 1)");
+    }
+
+    #[test]
+    fn zero_churn_behaves_like_visit_exchange() {
+        let g = complete(48).unwrap();
+        let mut r = rng(1);
+        let mut p = ChurnVisitExchange::without_churn(
+            &g,
+            0,
+            &AgentConfig::default(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
+        let t = run(&mut p, 10_000, &mut r);
+        assert!(p.is_complete());
+        assert_eq!(p.total_deaths(), 0);
+        assert!(t < 200);
+        assert_eq!(p.informed_agent_count(), p.num_agents());
+    }
+
+    #[test]
+    fn completes_under_moderate_churn() {
+        let g = double_star(100).unwrap();
+        let mut r = rng(2);
+        let mut p = ChurnVisitExchange::new(
+            &g,
+            2,
+            &AgentConfig::default().lazy(),
+            0.05,
+            ProtocolOptions::none(),
+            &mut r,
+        )
+        .unwrap();
+        let t = run(&mut p, 1_000_000, &mut r);
+        assert!(p.is_complete(), "did not complete under 5% churn");
+        assert!(p.total_deaths() > 0);
+        assert!(t < 5_000);
+    }
+
+    #[test]
+    fn churn_slows_but_does_not_break_broadcast() {
+        let mut r = rng(3);
+        let g = random_regular(128, 10, &mut r).unwrap();
+        let time_at = |churn: f64, r: &mut StdRng| {
+            let trials = 5;
+            let mut total = 0u64;
+            for _ in 0..trials {
+                let mut p = ChurnVisitExchange::new(
+                    &g,
+                    0,
+                    &AgentConfig::default(),
+                    churn,
+                    ProtocolOptions::none(),
+                    r,
+                )
+                .unwrap();
+                total += run(&mut p, 1_000_000, r);
+            }
+            total as f64 / trials as f64
+        };
+        let calm = time_at(0.0, &mut r);
+        let stormy = time_at(0.3, &mut r);
+        assert!(stormy >= calm * 0.5, "churn unexpectedly accelerated the broadcast");
+        // Even 30% churn keeps the broadcast within a small factor: the
+        // vertices hold the rumor, so fresh agents are re-informed quickly.
+        assert!(stormy < calm * 20.0, "churn blew the broadcast time up: {calm} -> {stormy}");
+    }
+
+    #[test]
+    fn informed_agent_count_can_decrease_under_churn_but_vertices_never_do() {
+        let g = complete(32).unwrap();
+        let mut r = rng(4);
+        let mut p = ChurnVisitExchange::new(
+            &g,
+            0,
+            &AgentConfig::default(),
+            0.4,
+            ProtocolOptions::none(),
+            &mut r,
+        )
+        .unwrap();
+        let mut prev_vertices = p.informed_vertex_count();
+        let mut saw_agent_decrease = false;
+        let mut prev_agents = p.informed_agent_count();
+        for _ in 0..200 {
+            p.step(&mut r);
+            assert!(p.informed_vertex_count() >= prev_vertices, "vertex knowledge is permanent");
+            prev_vertices = p.informed_vertex_count();
+            if p.informed_agent_count() < prev_agents {
+                saw_agent_decrease = true;
+            }
+            prev_agents = p.informed_agent_count();
+            if p.is_complete() {
+                break;
+            }
+        }
+        // With 40% churn we should observe at least one round where informed
+        // agents were lost (this is probabilistic but overwhelmingly likely).
+        assert!(saw_agent_decrease || p.is_complete());
+    }
+
+    #[test]
+    fn agent_population_is_conserved() {
+        let g = complete(16).unwrap();
+        let mut r = rng(5);
+        let mut p = ChurnVisitExchange::new(
+            &g,
+            0,
+            &AgentConfig::default(),
+            0.2,
+            ProtocolOptions::none(),
+            &mut r,
+        )
+        .unwrap();
+        for _ in 0..50 {
+            p.step(&mut r);
+            assert_eq!(p.num_agents(), 16);
+            let flagged = (0..p.num_agents()).filter(|&a| p.is_agent_informed(a)).count();
+            assert_eq!(flagged, p.informed_agent_count());
+        }
+        assert!((p.churn() - 0.2).abs() < 1e-12);
+    }
+}

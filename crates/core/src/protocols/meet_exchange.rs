@@ -1,0 +1,410 @@
+//! The `meet-exchange` protocol: only agents store the rumor.
+
+use rand::{Rng, RngCore};
+
+use rumor_graphs::{Graph, VertexId};
+use rumor_walks::{AgentId, MultiWalk};
+
+use crate::metrics::EdgeTraffic;
+use crate::options::{AgentConfig, ProtocolOptions};
+use crate::protocol::Protocol;
+use crate::protocols::common::InformedSet;
+
+/// The `meet-exchange` protocol of Section 3 of the paper:
+///
+/// > A set of agents perform independent random walks starting from the
+/// > stationary distribution. In round zero, all agents that are on vertex `s`
+/// > become informed. If there is no agent on `s` in round zero, then the
+/// > first agent to visit `s` after round zero becomes informed (if more than
+/// > one agent visits `s` simultaneously, they all get informed). After that
+/// > point, vertex `s` does not inform any other agent. In each subsequent
+/// > round, whenever two agents meet and exactly one of them was informed in a
+/// > previous round, the other agent becomes informed as well.
+///
+/// Completion is "all agents informed". On bipartite graphs with non-lazy
+/// walks the broadcast time may be infinite (agents on different sides of the
+/// bipartition never meet); the paper's remedy — lazy walks — is available via
+/// [`AgentConfig::lazy`].
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_core::{AgentConfig, MeetExchange, Protocol, ProtocolOptions};
+/// use rumor_graphs::generators::star;
+///
+/// // Lemma 2(d): with lazy walks, meet-exchange on the star is O(log n).
+/// let g = star(200)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut mx = MeetExchange::new(&g, 3, &AgentConfig::default().lazy(), ProtocolOptions::none(), &mut rng);
+/// while !mx.is_complete() && mx.round() < 10_000 {
+///     mx.step(&mut rng);
+/// }
+/// assert!(mx.is_complete());
+/// assert!(mx.round() < 300);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeetExchange<'g> {
+    graph: &'g Graph,
+    source: VertexId,
+    walks: MultiWalk,
+    informed_agents: InformedSet,
+    /// `true` while the source vertex still holds the rumor (i.e. no agent has
+    /// picked it up yet).
+    source_active: bool,
+    round: u64,
+    messages_total: u64,
+    messages_last: u64,
+    edge_traffic: Option<EdgeTraffic>,
+}
+
+impl<'g> MeetExchange<'g> {
+    /// Creates the protocol: places the agents and informs those on `source`
+    /// (deactivating the source if at least one agent starts there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range, or if stationary placement is
+    /// requested on a graph with no edges.
+    pub fn new<R: Rng + ?Sized>(
+        graph: &'g Graph,
+        source: VertexId,
+        agents: &AgentConfig,
+        options: ProtocolOptions,
+        rng: &mut R,
+    ) -> Self {
+        assert!(source < graph.num_vertices(), "source out of range");
+        let count = agents.count.resolve(graph.num_vertices());
+        let walks = MultiWalk::new(graph, count, &agents.placement, agents.walk, rng);
+        let mut informed_agents = InformedSet::new(walks.num_agents());
+        for &agent in walks.agents_at(source) {
+            informed_agents.insert(agent);
+        }
+        let source_active = informed_agents.count() == 0;
+        MeetExchange {
+            graph,
+            source,
+            walks,
+            informed_agents,
+            source_active,
+            round: 0,
+            messages_total: 0,
+            messages_last: 0,
+            edge_traffic: if options.record_edge_traffic { Some(EdgeTraffic::new()) } else { None },
+        }
+    }
+
+    /// Read-only access to the agent walks.
+    pub fn walks(&self) -> &MultiWalk {
+        &self.walks
+    }
+
+    /// Whether agent `g` is informed.
+    pub fn is_agent_informed(&self, g: AgentId) -> bool {
+        self.informed_agents.contains(g)
+    }
+
+    /// `true` while no agent has picked the rumor up from the source yet.
+    pub fn is_source_active(&self) -> bool {
+        self.source_active
+    }
+}
+
+impl Protocol for MeetExchange<'_> {
+    fn name(&self) -> &'static str {
+        "meet-exchange"
+    }
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn source(&self) -> VertexId {
+        self.source
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        self.round += 1;
+        self.walks.step(self.graph, rng);
+        let mut moves = 0u64;
+        for agent in 0..self.walks.num_agents() {
+            let from = self.walks.previous_position(agent);
+            let to = self.walks.position(agent);
+            if from != to {
+                moves += 1;
+                if let Some(traffic) = &mut self.edge_traffic {
+                    traffic.record(from, to);
+                }
+            }
+        }
+        self.messages_last = moves;
+        self.messages_total += moves;
+
+        // Agents informed strictly before this round spread at meetings; the
+        // `informed_agents` set has not been updated yet this round, so it is
+        // exactly the previous-round set. Newly informed agents are buffered.
+        let mut newly_informed: Vec<AgentId> = Vec::new();
+
+        // Source pickup: the first agents to visit `s` become informed.
+        if self.source_active {
+            let visitors = self.walks.agents_at(self.source);
+            if !visitors.is_empty() {
+                newly_informed.extend_from_slice(visitors);
+                self.source_active = false;
+            }
+        }
+
+        // Meetings: on every vertex holding at least one previously-informed
+        // agent, all co-located agents become informed.
+        for (_, agents_here) in self.walks.occupied_vertices() {
+            if agents_here.len() < 2 {
+                continue;
+            }
+            if agents_here.iter().any(|&g| self.informed_agents.contains(g)) {
+                for &g in agents_here {
+                    if !self.informed_agents.contains(g) {
+                        newly_informed.push(g);
+                    }
+                }
+            }
+        }
+
+        for g in newly_informed {
+            self.informed_agents.insert(g);
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.informed_agents.is_full()
+    }
+
+    fn is_vertex_informed(&self, v: VertexId) -> bool {
+        self.source_active && v == self.source
+    }
+
+    fn informed_vertex_count(&self) -> usize {
+        usize::from(self.source_active)
+    }
+
+    fn informed_agent_count(&self) -> usize {
+        self.informed_agents.count()
+    }
+
+    fn num_agents(&self) -> usize {
+        self.walks.num_agents()
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.messages_total
+    }
+
+    fn messages_last_round(&self) -> u64 {
+        self.messages_last
+    }
+
+    fn edge_traffic(&self) -> Option<&EdgeTraffic> {
+        self.edge_traffic.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::{complete, double_star, star, SiameseHeavyBinaryTree};
+    use rumor_walks::Placement;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn run(p: &mut MeetExchange<'_>, cap: u64, rng: &mut StdRng) -> u64 {
+        while !p.is_complete() && p.round() < cap {
+            p.step(rng);
+        }
+        p.round()
+    }
+
+    #[test]
+    fn agents_on_source_start_informed_and_deactivate_source() {
+        let g = complete(8).unwrap();
+        let mut r = rng(1);
+        let cfg = AgentConfig::default().with_placement(Placement::AllAt(2));
+        let mx = MeetExchange::new(&g, 2, &cfg, ProtocolOptions::none(), &mut r);
+        assert_eq!(mx.informed_agent_count(), 8);
+        assert!(!mx.is_source_active());
+        assert!(mx.is_complete(), "all agents informed at round 0");
+        assert_eq!(mx.informed_vertex_count(), 0);
+    }
+
+    #[test]
+    fn source_stays_active_until_first_visit() {
+        let g = complete(8).unwrap();
+        let mut r = rng(2);
+        let cfg = AgentConfig::default().with_placement(Placement::AllAt(5));
+        let mut mx = MeetExchange::new(&g, 2, &cfg, ProtocolOptions::none(), &mut r);
+        assert!(mx.is_source_active());
+        assert!(mx.is_vertex_informed(2));
+        assert_eq!(mx.informed_agent_count(), 0);
+        // Run until the first pickup happens.
+        while mx.is_source_active() && mx.round() < 1_000 {
+            mx.step(&mut r);
+        }
+        assert!(!mx.is_source_active());
+        assert!(mx.informed_agent_count() >= 1);
+        assert!(!mx.is_vertex_informed(2), "source stops holding the rumor after pickup");
+    }
+
+    #[test]
+    fn completes_on_complete_graph() {
+        let g = complete(64).unwrap();
+        let mut r = rng(3);
+        let mut mx =
+            MeetExchange::new(&g, 0, &AgentConfig::default(), ProtocolOptions::none(), &mut r);
+        let rounds = run(&mut mx, 100_000, &mut r);
+        assert!(mx.is_complete(), "did not finish in {rounds} rounds");
+        assert_eq!(mx.informed_agent_count(), mx.num_agents());
+    }
+
+    #[test]
+    fn lazy_walks_terminate_on_bipartite_star_lemma2() {
+        let g = star(200).unwrap();
+        let mut r = rng(4);
+        let mut mx = MeetExchange::new(
+            &g,
+            0,
+            &AgentConfig::default().lazy(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
+        let rounds = run(&mut mx, 100_000, &mut r);
+        assert!(mx.is_complete());
+        assert!(rounds < 500, "lazy meet-exchange on star took {rounds} rounds");
+    }
+
+    #[test]
+    fn fast_on_double_star_lemma3() {
+        let g = double_star(200).unwrap();
+        let mut r = rng(5);
+        let mut mx = MeetExchange::new(
+            &g,
+            2,
+            &AgentConfig::default().lazy(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
+        let rounds = run(&mut mx, 1_000_000, &mut r);
+        assert!(mx.is_complete());
+        assert!(rounds < 1000, "double-star meet-exchange took {rounds} rounds");
+    }
+
+    #[test]
+    fn slow_on_siamese_heavy_tree_lemma8() {
+        // Lemma 8(c): Ω(n). Compare against push on the same graph.
+        let tree = SiameseHeavyBinaryTree::new(6).unwrap();
+        let g = tree.graph();
+        let mut r = rng(6);
+        let mut mx = MeetExchange::new(
+            g,
+            tree.a_leaf(),
+            &AgentConfig::default(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
+        let rounds = run(&mut mx, 1_000_000, &mut r);
+        assert!(mx.is_complete());
+        let mut push = crate::Push::new(g, tree.a_leaf(), ProtocolOptions::none());
+        while !push.is_complete() {
+            push.step(&mut r);
+        }
+        assert!(
+            rounds > 2 * push.round(),
+            "meet-exchange ({rounds}) should be much slower than push ({})",
+            push.round()
+        );
+    }
+
+    #[test]
+    fn informed_agents_monotone_and_conserved() {
+        let g = complete(32).unwrap();
+        let mut r = rng(7);
+        let mut mx =
+            MeetExchange::new(&g, 0, &AgentConfig::default(), ProtocolOptions::none(), &mut r);
+        let mut prev = mx.informed_agent_count();
+        while !mx.is_complete() && mx.round() < 10_000 {
+            mx.step(&mut r);
+            assert!(mx.informed_agent_count() >= prev);
+            assert_eq!(mx.num_agents(), 32);
+            prev = mx.informed_agent_count();
+        }
+    }
+
+    #[test]
+    fn same_round_meetings_do_not_chain() {
+        // An agent informed in the current round must not inform others until
+        // the next round. Construct a path 0-1-2-3 with the source at 0, one
+        // agent on 1 and one on 3. When the agent at 1 visits 0 it becomes
+        // informed, but an agent meeting it that same round at 0 only learns
+        // next round. This is a behavioural regression test of the
+        // "informed in a previous round" wording.
+        let g = rumor_graphs::generators::path(4).unwrap();
+        let mut r = rng(8);
+        let cfg = AgentConfig {
+            count: rumor_walks::AgentCount::Exact(2),
+            placement: Placement::Explicit(vec![1, 1]),
+            walk: rumor_walks::WalkConfig::simple(),
+        };
+        let mut mx = MeetExchange::new(&g, 0, &cfg, ProtocolOptions::none(), &mut r);
+        assert!(mx.is_source_active());
+        // Step until both agents happen to sit on the source vertex in the
+        // same round (they started together, so they stay within distance 2).
+        let mut both_at_source_round = None;
+        for _ in 0..10_000 {
+            mx.step(&mut r);
+            if mx.walks().position(0) == 0 && mx.walks().position(1) == 0 {
+                both_at_source_round = Some(mx.round());
+                break;
+            }
+            if mx.is_complete() {
+                break;
+            }
+        }
+        if let Some(_round) = both_at_source_round {
+            // Both picked the rumor up directly from the source (simultaneous
+            // visits all get informed) — this is the paper's rule, not chaining.
+            assert!(mx.informed_agent_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn zero_agents_is_vacuously_complete() {
+        let g = complete(8).unwrap();
+        let mut r = rng(9);
+        let cfg =
+            AgentConfig { count: rumor_walks::AgentCount::Exact(0), ..AgentConfig::default() };
+        let mx = MeetExchange::new(&g, 0, &cfg, ProtocolOptions::none(), &mut r);
+        assert!(mx.is_complete());
+    }
+
+    #[test]
+    fn edge_traffic_recorded_when_requested() {
+        let g = complete(12).unwrap();
+        let mut r = rng(10);
+        let mut mx = MeetExchange::new(
+            &g,
+            0,
+            &AgentConfig::default(),
+            ProtocolOptions::with_edge_traffic(),
+            &mut r,
+        );
+        run(&mut mx, 2_000, &mut r);
+        let traffic = mx.edge_traffic().unwrap();
+        assert_eq!(traffic.total(), mx.messages_sent());
+    }
+}

@@ -1,0 +1,213 @@
+//! The pull-only variant of randomized rumor spreading.
+
+use rand::RngCore;
+
+use rumor_graphs::{Graph, VertexId};
+
+use crate::metrics::EdgeTraffic;
+use crate::options::ProtocolOptions;
+use crate::protocol::Protocol;
+use crate::protocols::common::InformedSet;
+
+/// Pull-only rumor spreading: in each round every *uninformed* vertex calls a
+/// uniformly random neighbor and becomes informed if that neighbor was
+/// informed in a previous round.
+///
+/// The paper studies `push` and `push-pull`; pull-only is included as the
+/// natural third member of the family (and is what `push-pull` adds on top of
+/// `push`), useful for ablation experiments.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_core::{Protocol, ProtocolOptions, Pull};
+/// use rumor_graphs::generators::star;
+///
+/// // On the star, pull is fast: every leaf pulls from the center.
+/// let g = star(100)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut pull = Pull::new(&g, 0, ProtocolOptions::none());
+/// while !pull.is_complete() {
+///     pull.step(&mut rng);
+/// }
+/// assert!(pull.round() <= 2);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pull<'g> {
+    graph: &'g Graph,
+    source: VertexId,
+    informed: InformedSet,
+    round: u64,
+    messages_total: u64,
+    messages_last: u64,
+    edge_traffic: Option<EdgeTraffic>,
+}
+
+impl<'g> Pull<'g> {
+    /// Creates the protocol with the rumor at `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn new(graph: &'g Graph, source: VertexId, options: ProtocolOptions) -> Self {
+        assert!(source < graph.num_vertices(), "source out of range");
+        let mut informed = InformedSet::new(graph.num_vertices());
+        informed.insert(source);
+        Pull {
+            graph,
+            source,
+            informed,
+            round: 0,
+            messages_total: 0,
+            messages_last: 0,
+            edge_traffic: if options.record_edge_traffic { Some(EdgeTraffic::new()) } else { None },
+        }
+    }
+}
+
+impl Protocol for Pull<'_> {
+    fn name(&self) -> &'static str {
+        "pull"
+    }
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn source(&self) -> VertexId {
+        self.source
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        self.round += 1;
+        self.messages_last = 0;
+        let mut newly_informed: Vec<VertexId> = Vec::new();
+        for u in self.graph.vertices() {
+            if self.informed.contains(u) {
+                continue;
+            }
+            if let Some(v) = self.graph.random_neighbor(u, rng) {
+                self.messages_last += 1;
+                if let Some(traffic) = &mut self.edge_traffic {
+                    traffic.record(u, v);
+                }
+                if self.informed.contains(v) {
+                    newly_informed.push(u);
+                }
+            }
+        }
+        for u in newly_informed {
+            self.informed.insert(u);
+        }
+        self.messages_total += self.messages_last;
+    }
+
+    fn is_complete(&self) -> bool {
+        self.informed.is_full()
+    }
+
+    fn is_vertex_informed(&self, v: VertexId) -> bool {
+        self.informed.contains(v)
+    }
+
+    fn informed_vertex_count(&self) -> usize {
+        self.informed.count()
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.messages_total
+    }
+
+    fn messages_last_round(&self) -> u64 {
+        self.messages_last
+    }
+
+    fn edge_traffic(&self) -> Option<&EdgeTraffic> {
+        self.edge_traffic.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::{complete, star, STAR_CENTER};
+
+    #[test]
+    fn initial_state() {
+        let g = complete(5).unwrap();
+        let p = Pull::new(&g, 2, ProtocolOptions::none());
+        assert_eq!(p.name(), "pull");
+        assert_eq!(p.informed_vertex_count(), 1);
+        assert!(p.is_vertex_informed(2));
+    }
+
+    #[test]
+    fn pull_on_star_from_center_completes_in_two_rounds_whp() {
+        // Each leaf pulls from the center every round, so after round 1 every
+        // leaf is informed (deterministically: a leaf's only neighbor is the center).
+        let g = star(50).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = Pull::new(&g, STAR_CENTER, ProtocolOptions::none());
+        p.step(&mut rng);
+        assert!(p.is_complete(), "all leaves pull from the informed center in round 1");
+    }
+
+    #[test]
+    fn pull_on_star_from_leaf_is_slow_like_push_from_center() {
+        // From a leaf source, the center pulls from a uniform leaf, so it takes
+        // Θ(n) rounds before the center finds the informed leaf.
+        let g = star(40).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut total = 0u64;
+        let trials = 10;
+        for _ in 0..trials {
+            let mut p = Pull::new(&g, 1, ProtocolOptions::none());
+            while !p.is_complete() && p.round() < 100_000 {
+                p.step(&mut rng);
+            }
+            total += p.round();
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(mean > 10.0, "pull from leaf should wait for the center to find it, mean {mean}");
+    }
+
+    #[test]
+    fn completes_on_complete_graph() {
+        let g = complete(64).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = Pull::new(&g, 0, ProtocolOptions::none());
+        while !p.is_complete() && p.round() < 10_000 {
+            p.step(&mut rng);
+        }
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn messages_count_uninformed_vertices() {
+        let g = complete(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = Pull::new(&g, 0, ProtocolOptions::none());
+        let uninformed_before = (16 - p.informed_vertex_count()) as u64;
+        p.step(&mut rng);
+        assert_eq!(p.messages_last_round(), uninformed_before);
+    }
+
+    #[test]
+    fn edge_traffic_total_matches_messages() {
+        let g = complete(10).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut p = Pull::new(&g, 0, ProtocolOptions::with_edge_traffic());
+        while !p.is_complete() {
+            p.step(&mut rng);
+        }
+        assert_eq!(p.edge_traffic().unwrap().total(), p.messages_sent());
+    }
+}

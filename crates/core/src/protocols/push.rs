@@ -1,0 +1,268 @@
+//! The `push` protocol (randomized rumor spreading, push variant).
+
+use rand::RngCore;
+
+use rumor_graphs::{Graph, VertexId};
+
+use crate::metrics::EdgeTraffic;
+use crate::options::ProtocolOptions;
+use crate::protocol::Protocol;
+use crate::protocols::common::InformedSet;
+
+/// The `push` protocol of Demers et al., as defined in Section 3 of the paper:
+///
+/// > In round zero, vertex `s` becomes informed. In each round `t ≥ 1`, every
+/// > vertex `u` that was informed in a previous round samples a random
+/// > neighbor `v` to send the information to, and if `v` is not already
+/// > informed, it becomes informed in this round.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_core::{Protocol, ProtocolOptions, Push};
+/// use rumor_graphs::generators::complete;
+///
+/// let g = complete(64)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut push = Push::new(&g, 0, ProtocolOptions::none());
+/// while !push.is_complete() {
+///     push.step(&mut rng);
+/// }
+/// // Push on the complete graph informs everyone in Θ(log n) rounds.
+/// assert!(push.round() >= 6 && push.round() < 40);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Push<'g> {
+    graph: &'g Graph,
+    source: VertexId,
+    /// Vertices informed so far. Vertices informed during the current round
+    /// are buffered and merged at the end of the round, so a vertex informed
+    /// in round `t` starts pushing only in round `t + 1`.
+    informed: InformedSet,
+    round: u64,
+    messages_total: u64,
+    messages_last: u64,
+    edge_traffic: Option<EdgeTraffic>,
+}
+
+impl<'g> Push<'g> {
+    /// Creates the protocol with the rumor at `source` (round 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn new(graph: &'g Graph, source: VertexId, options: ProtocolOptions) -> Self {
+        assert!(source < graph.num_vertices(), "source out of range");
+        let mut informed = InformedSet::new(graph.num_vertices());
+        informed.insert(source);
+        Push {
+            graph,
+            source,
+            informed,
+            round: 0,
+            messages_total: 0,
+            messages_last: 0,
+            edge_traffic: if options.record_edge_traffic { Some(EdgeTraffic::new()) } else { None },
+        }
+    }
+}
+
+impl Protocol for Push<'_> {
+    fn name(&self) -> &'static str {
+        "push"
+    }
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn source(&self) -> VertexId {
+        self.source
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        self.round += 1;
+        self.messages_last = 0;
+        // Vertices informed in this round must not push until the next round:
+        // collect them separately and merge at the end.
+        let mut newly_informed: Vec<VertexId> = Vec::new();
+        for u in self.graph.vertices() {
+            if !self.informed.contains(u) {
+                continue;
+            }
+            if let Some(v) = self.graph.random_neighbor(u, rng) {
+                self.messages_last += 1;
+                if let Some(traffic) = &mut self.edge_traffic {
+                    traffic.record(u, v);
+                }
+                if !self.informed.contains(v) {
+                    newly_informed.push(v);
+                }
+            }
+        }
+        for v in newly_informed {
+            self.informed.insert(v);
+        }
+        self.messages_total += self.messages_last;
+    }
+
+    fn is_complete(&self) -> bool {
+        self.informed.is_full()
+    }
+
+    fn is_vertex_informed(&self, v: VertexId) -> bool {
+        self.informed.contains(v)
+    }
+
+    fn informed_vertex_count(&self) -> usize {
+        self.informed.count()
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.messages_total
+    }
+
+    fn messages_last_round(&self) -> u64 {
+        self.messages_last
+    }
+
+    fn edge_traffic(&self) -> Option<&EdgeTraffic> {
+        self.edge_traffic.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::{complete, path, star};
+
+    fn run_until_complete(p: &mut Push<'_>, cap: u64, rng: &mut StdRng) -> u64 {
+        while !p.is_complete() && p.round() < cap {
+            p.step(rng);
+        }
+        p.round()
+    }
+
+    #[test]
+    fn initial_state() {
+        let g = complete(8).unwrap();
+        let p = Push::new(&g, 3, ProtocolOptions::none());
+        assert_eq!(p.name(), "push");
+        assert_eq!(p.source(), 3);
+        assert_eq!(p.round(), 0);
+        assert_eq!(p.informed_vertex_count(), 1);
+        assert!(p.is_vertex_informed(3));
+        assert!(!p.is_vertex_informed(0));
+        assert!(!p.is_complete());
+        assert_eq!(p.num_agents(), 0);
+        assert_eq!(p.informed_agent_count(), 0);
+    }
+
+    #[test]
+    fn single_vertex_graph_is_immediately_complete() {
+        let g = rumor_graphs::Graph::from_edges(1, &[]).unwrap();
+        let p = Push::new(&g, 0, ProtocolOptions::none());
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn informs_everyone_on_complete_graph() {
+        let g = complete(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = Push::new(&g, 0, ProtocolOptions::none());
+        let rounds = run_until_complete(&mut p, 10_000, &mut rng);
+        assert!(p.is_complete());
+        assert!(rounds >= 5, "needs at least log2(n) rounds, got {rounds}");
+        assert!(rounds < 100);
+    }
+
+    #[test]
+    fn monotone_and_doubling_bound() {
+        // The informed set can at most double per round, and never shrinks.
+        let g = complete(64).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p = Push::new(&g, 0, ProtocolOptions::none());
+        let mut prev = p.informed_vertex_count();
+        while !p.is_complete() {
+            p.step(&mut rng);
+            let now = p.informed_vertex_count();
+            assert!(now >= prev, "informed set shrank");
+            assert!(now <= 2 * prev, "informed more than doubled in one round");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn messages_equal_informed_vertices_per_round() {
+        let g = complete(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = Push::new(&g, 0, ProtocolOptions::none());
+        let mut expected_total = 0u64;
+        while !p.is_complete() {
+            let informed_before = p.informed_vertex_count() as u64;
+            p.step(&mut rng);
+            assert_eq!(p.messages_last_round(), informed_before);
+            expected_total += informed_before;
+        }
+        assert_eq!(p.messages_sent(), expected_total);
+    }
+
+    #[test]
+    fn star_from_center_is_coupon_collector_slow() {
+        // Lemma 2(a): E[T_push] = Ω(n log n) on the star. With 30 leaves the
+        // expected time is ~30 · H(30) ≈ 120 rounds; check it exceeds the
+        // trivial lower bound of n-1 rounds most of the time.
+        let g = star(30).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total = 0u64;
+        let trials = 20;
+        for _ in 0..trials {
+            let mut p = Push::new(&g, 0, ProtocolOptions::none());
+            total += run_until_complete(&mut p, 100_000, &mut rng);
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(mean > 60.0, "star push mean {mean} suspiciously fast");
+    }
+
+    #[test]
+    fn path_takes_at_least_distance_rounds() {
+        let g = path(20).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut p = Push::new(&g, 0, ProtocolOptions::none());
+        let rounds = run_until_complete(&mut p, 100_000, &mut rng);
+        assert!(rounds >= 19, "information cannot outrun the graph distance");
+    }
+
+    #[test]
+    fn edge_traffic_recorded_when_requested() {
+        let g = complete(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = Push::new(&g, 0, ProtocolOptions::with_edge_traffic());
+        run_until_complete(&mut p, 1_000, &mut rng);
+        let traffic = p.edge_traffic().expect("edge traffic requested");
+        assert_eq!(traffic.total(), p.messages_sent());
+        assert!(traffic.used_edges() > 0);
+    }
+
+    #[test]
+    fn edge_traffic_absent_by_default() {
+        let g = complete(8).unwrap();
+        let p = Push::new(&g, 0, ProtocolOptions::none());
+        assert!(p.edge_traffic().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn rejects_out_of_range_source() {
+        let g = complete(4).unwrap();
+        let _ = Push::new(&g, 4, ProtocolOptions::none());
+    }
+}

@@ -1,0 +1,250 @@
+//! The `push-pull` protocol (Karp et al.).
+
+use rand::RngCore;
+
+use rumor_graphs::{Graph, VertexId};
+
+use crate::metrics::EdgeTraffic;
+use crate::options::ProtocolOptions;
+use crate::protocol::Protocol;
+use crate::protocols::common::InformedSet;
+
+/// The `push-pull` protocol, as defined in Section 3 of the paper:
+///
+/// > As in `push`, vertex `s` is informed in round zero. In each round
+/// > `t ≥ 1`, every vertex `u ∈ V` (informed or not) samples a random
+/// > neighbor `v` to exchange information with, and if exactly one of `u` and
+/// > `v` was informed before round `t`, then the other vertex becomes informed
+/// > as well.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_core::{Protocol, ProtocolOptions, PushPull};
+/// use rumor_graphs::generators::star;
+///
+/// // Lemma 2(b): push-pull on the star finishes in at most two rounds.
+/// let g = star(1000)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut pp = PushPull::new(&g, 5, ProtocolOptions::none());
+/// while !pp.is_complete() {
+///     pp.step(&mut rng);
+/// }
+/// assert!(pp.round() <= 2);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PushPull<'g> {
+    graph: &'g Graph,
+    source: VertexId,
+    informed: InformedSet,
+    round: u64,
+    messages_total: u64,
+    messages_last: u64,
+    edge_traffic: Option<EdgeTraffic>,
+}
+
+impl<'g> PushPull<'g> {
+    /// Creates the protocol with the rumor at `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn new(graph: &'g Graph, source: VertexId, options: ProtocolOptions) -> Self {
+        assert!(source < graph.num_vertices(), "source out of range");
+        let mut informed = InformedSet::new(graph.num_vertices());
+        informed.insert(source);
+        PushPull {
+            graph,
+            source,
+            informed,
+            round: 0,
+            messages_total: 0,
+            messages_last: 0,
+            edge_traffic: if options.record_edge_traffic { Some(EdgeTraffic::new()) } else { None },
+        }
+    }
+}
+
+impl Protocol for PushPull<'_> {
+    fn name(&self) -> &'static str {
+        "push-pull"
+    }
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn source(&self) -> VertexId {
+        self.source
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        self.round += 1;
+        self.messages_last = 0;
+        // "informed before round t" — evaluate membership against the state at
+        // the start of the round, so buffer the new vertices.
+        let mut newly_informed: Vec<VertexId> = Vec::new();
+        for u in self.graph.vertices() {
+            if let Some(v) = self.graph.random_neighbor(u, rng) {
+                self.messages_last += 1;
+                if let Some(traffic) = &mut self.edge_traffic {
+                    traffic.record(u, v);
+                }
+                let u_informed = self.informed.contains(u);
+                let v_informed = self.informed.contains(v);
+                if u_informed != v_informed {
+                    newly_informed.push(if u_informed { v } else { u });
+                }
+            }
+        }
+        for v in newly_informed {
+            self.informed.insert(v);
+        }
+        self.messages_total += self.messages_last;
+    }
+
+    fn is_complete(&self) -> bool {
+        self.informed.is_full()
+    }
+
+    fn is_vertex_informed(&self, v: VertexId) -> bool {
+        self.informed.contains(v)
+    }
+
+    fn informed_vertex_count(&self) -> usize {
+        self.informed.count()
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.messages_total
+    }
+
+    fn messages_last_round(&self) -> u64 {
+        self.messages_last
+    }
+
+    fn edge_traffic(&self) -> Option<&EdgeTraffic> {
+        self.edge_traffic.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::{complete, double_star, star, STAR_CENTER};
+
+    fn run(p: &mut PushPull<'_>, cap: u64, rng: &mut StdRng) -> u64 {
+        while !p.is_complete() && p.round() < cap {
+            p.step(rng);
+        }
+        p.round()
+    }
+
+    #[test]
+    fn initial_state() {
+        let g = complete(6).unwrap();
+        let p = PushPull::new(&g, 1, ProtocolOptions::none());
+        assert_eq!(p.name(), "push-pull");
+        assert_eq!(p.informed_vertex_count(), 1);
+        assert_eq!(p.round(), 0);
+    }
+
+    #[test]
+    fn star_completes_in_at_most_two_rounds() {
+        // Lemma 2(b): one round from the center, two from a leaf.
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = star(200).unwrap();
+        let mut from_center = PushPull::new(&g, STAR_CENTER, ProtocolOptions::none());
+        assert!(run(&mut from_center, 100, &mut rng) <= 1);
+        let mut from_leaf = PushPull::new(&g, 7, ProtocolOptions::none());
+        assert!(run(&mut from_leaf, 100, &mut rng) <= 2);
+    }
+
+    #[test]
+    fn double_star_is_slow() {
+        // Lemma 3(a): E[T_ppull] = Ω(n). With 60 leaves per star the
+        // center-center edge is sampled with probability ≤ 4/62 per round.
+        let g = double_star(60).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 15;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            let mut p = PushPull::new(&g, 2, ProtocolOptions::none());
+            total += run(&mut p, 1_000_000, &mut rng);
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(mean > 8.0, "double star should take Ω(n) rounds, mean {mean}");
+    }
+
+    #[test]
+    fn faster_than_push_alone_on_star() {
+        // Sanity: push-pull ≤ 2 rounds vs push's Ω(n log n) on the star.
+        let g = star(100).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pp = PushPull::new(&g, STAR_CENTER, ProtocolOptions::none());
+        let t_pp = run(&mut pp, 10_000, &mut rng);
+        let mut push = crate::Push::new(&g, STAR_CENTER, ProtocolOptions::none());
+        while !push.is_complete() {
+            push.step(&mut rng);
+        }
+        assert!(t_pp < push.round(), "push-pull {t_pp} not faster than push {}", push.round());
+    }
+
+    #[test]
+    fn every_vertex_sends_one_message_per_round() {
+        let g = complete(20).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = PushPull::new(&g, 0, ProtocolOptions::none());
+        p.step(&mut rng);
+        assert_eq!(p.messages_last_round(), 20);
+        p.step(&mut rng);
+        assert_eq!(p.messages_sent(), 40);
+    }
+
+    #[test]
+    fn monotone_informed_set() {
+        let g = complete(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut p = PushPull::new(&g, 0, ProtocolOptions::none());
+        let mut prev = 1;
+        while !p.is_complete() {
+            p.step(&mut rng);
+            assert!(p.informed_vertex_count() >= prev);
+            prev = p.informed_vertex_count();
+        }
+    }
+
+    #[test]
+    fn edge_traffic_concentrates_on_center_edges_of_star() {
+        // Fairness contrast (Section 1): push-pull's traffic is concentrated
+        // on whichever edges the center happens to sample, while every leaf
+        // calls the center every round — so center incident edges carry all
+        // traffic but the per-edge distribution is still fair *on the star*.
+        // The real unfairness shows on the double star: the center-center
+        // edge gets only O(1/n) of each center's calls.
+        let g = double_star(30).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = PushPull::new(&g, 0, ProtocolOptions::with_edge_traffic());
+        for _ in 0..200 {
+            p.step(&mut rng);
+        }
+        let traffic = p.edge_traffic().unwrap();
+        let bridge = traffic.count(0, 1) as f64;
+        // A typical leaf edge of center A is pulled on by its leaf every round
+        // (200 rounds) plus occasional pushes; the bridge is sampled only when
+        // a center picks the other center: expected ~2 * 200 / 31 ≈ 13.
+        let leaf_edge = traffic.count(0, 2) as f64;
+        assert!(
+            bridge < leaf_edge,
+            "bridge traffic {bridge} should be far below leaf-edge traffic {leaf_edge}"
+        );
+    }
+}

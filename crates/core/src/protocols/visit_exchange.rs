@@ -1,0 +1,383 @@
+//! The `visit-exchange` protocol: agents and vertices both store the rumor.
+
+use rand::{Rng, RngCore};
+
+use rumor_graphs::{Graph, VertexId};
+use rumor_walks::{AgentId, MultiWalk};
+
+use crate::metrics::EdgeTraffic;
+use crate::options::{AgentConfig, ProtocolOptions};
+use crate::protocol::Protocol;
+use crate::protocols::common::InformedSet;
+
+/// The `visit-exchange` protocol of Section 3 of the paper:
+///
+/// > Every agent performs an independent simple random walk, starting from the
+/// > stationary distribution. In round zero, vertex `s` becomes informed, and
+/// > every agent that is on vertex `s` becomes informed as well. In each
+/// > subsequent round, all agents do a single step of their random walk in
+/// > parallel. If an agent that was informed in a previous round visits a
+/// > vertex `v` that is not yet informed, then `v` becomes informed in this
+/// > round. Also, if an agent that is not yet informed visits a vertex which
+/// > got informed either in a previous round or in the current round, then the
+/// > agent becomes informed as well.
+///
+/// Completion is "all vertices informed" (which, per the paper, implies all
+/// agents are informed in the same round).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_core::{AgentConfig, Protocol, ProtocolOptions, VisitExchange};
+/// use rumor_graphs::generators::double_star;
+///
+/// // Lemma 3(b): on the double star visit-exchange finishes in O(log n) rounds.
+/// let g = double_star(200)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut vx = VisitExchange::new(&g, 2, &AgentConfig::default(), ProtocolOptions::none(), &mut rng);
+/// while !vx.is_complete() && vx.round() < 10_000 {
+///     vx.step(&mut rng);
+/// }
+/// assert!(vx.is_complete());
+/// assert!(vx.round() < 200);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VisitExchange<'g> {
+    graph: &'g Graph,
+    source: VertexId,
+    walks: MultiWalk,
+    informed_vertices: InformedSet,
+    informed_agents: InformedSet,
+    round: u64,
+    messages_total: u64,
+    messages_last: u64,
+    edge_traffic: Option<EdgeTraffic>,
+}
+
+impl<'g> VisitExchange<'g> {
+    /// Creates the protocol: places the agents, informs `source`, and informs
+    /// every agent already sitting on `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range, or if stationary placement is
+    /// requested on a graph with no edges.
+    pub fn new<R: Rng + ?Sized>(
+        graph: &'g Graph,
+        source: VertexId,
+        agents: &AgentConfig,
+        options: ProtocolOptions,
+        rng: &mut R,
+    ) -> Self {
+        assert!(source < graph.num_vertices(), "source out of range");
+        let count = agents.count.resolve(graph.num_vertices());
+        let walks = MultiWalk::new(graph, count, &agents.placement, agents.walk, rng);
+        let mut informed_vertices = InformedSet::new(graph.num_vertices());
+        informed_vertices.insert(source);
+        let mut informed_agents = InformedSet::new(walks.num_agents());
+        for &agent in walks.agents_at(source) {
+            informed_agents.insert(agent);
+        }
+        VisitExchange {
+            graph,
+            source,
+            walks,
+            informed_vertices,
+            informed_agents,
+            round: 0,
+            messages_total: 0,
+            messages_last: 0,
+            edge_traffic: if options.record_edge_traffic { Some(EdgeTraffic::new()) } else { None },
+        }
+    }
+
+    /// Read-only access to the agent walks (positions, occupancy).
+    pub fn walks(&self) -> &MultiWalk {
+        &self.walks
+    }
+
+    /// Whether agent `g` is informed.
+    pub fn is_agent_informed(&self, g: AgentId) -> bool {
+        self.informed_agents.contains(g)
+    }
+}
+
+impl Protocol for VisitExchange<'_> {
+    fn name(&self) -> &'static str {
+        "visit-exchange"
+    }
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn source(&self) -> VertexId {
+        self.source
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        self.round += 1;
+        self.walks.step(self.graph, rng);
+        // Message accounting: one message per agent that traversed an edge.
+        let mut moves = 0u64;
+        for agent in 0..self.walks.num_agents() {
+            let from = self.walks.previous_position(agent);
+            let to = self.walks.position(agent);
+            if from != to {
+                moves += 1;
+                if let Some(traffic) = &mut self.edge_traffic {
+                    traffic.record(from, to);
+                }
+            }
+        }
+        self.messages_last = moves;
+        self.messages_total += moves;
+
+        // Phase 1: agents informed in a *previous* round inform the vertices
+        // they visit this round. (self.informed_agents has not yet been
+        // updated this round, so it is exactly the previous-round set.)
+        for agent in 0..self.walks.num_agents() {
+            if self.informed_agents.contains(agent) {
+                self.informed_vertices.insert(self.walks.position(agent));
+            }
+        }
+        // Phase 2: agents visiting an informed vertex (informed in a previous
+        // round or in phase 1 of this round) become informed.
+        for agent in 0..self.walks.num_agents() {
+            if !self.informed_agents.contains(agent)
+                && self.informed_vertices.contains(self.walks.position(agent))
+            {
+                self.informed_agents.insert(agent);
+            }
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.informed_vertices.is_full()
+    }
+
+    fn is_vertex_informed(&self, v: VertexId) -> bool {
+        self.informed_vertices.contains(v)
+    }
+
+    fn informed_vertex_count(&self) -> usize {
+        self.informed_vertices.count()
+    }
+
+    fn informed_agent_count(&self) -> usize {
+        self.informed_agents.count()
+    }
+
+    fn num_agents(&self) -> usize {
+        self.walks.num_agents()
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.messages_total
+    }
+
+    fn messages_last_round(&self) -> u64 {
+        self.messages_last
+    }
+
+    fn edge_traffic(&self) -> Option<&EdgeTraffic> {
+        self.edge_traffic.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::{complete, double_star, star, HeavyBinaryTree};
+    use rumor_walks::Placement;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn run(p: &mut VisitExchange<'_>, cap: u64, rng: &mut StdRng) -> u64 {
+        while !p.is_complete() && p.round() < cap {
+            p.step(rng);
+        }
+        p.round()
+    }
+
+    #[test]
+    fn initial_state_informs_source_and_its_agents() {
+        let g = complete(10).unwrap();
+        let mut r = rng(1);
+        let cfg = AgentConfig::default().with_placement(Placement::AllAt(4));
+        let vx = VisitExchange::new(&g, 4, &cfg, ProtocolOptions::none(), &mut r);
+        assert_eq!(vx.informed_vertex_count(), 1);
+        assert!(vx.is_vertex_informed(4));
+        assert_eq!(vx.informed_agent_count(), 10, "all agents start on the source");
+        assert_eq!(vx.num_agents(), 10);
+    }
+
+    #[test]
+    fn agents_elsewhere_start_uninformed() {
+        let g = complete(10).unwrap();
+        let mut r = rng(2);
+        let cfg = AgentConfig::default().with_placement(Placement::AllAt(7));
+        let vx = VisitExchange::new(&g, 4, &cfg, ProtocolOptions::none(), &mut r);
+        assert_eq!(vx.informed_agent_count(), 0);
+    }
+
+    #[test]
+    fn completes_on_complete_graph_quickly() {
+        let g = complete(64).unwrap();
+        let mut r = rng(3);
+        let mut vx =
+            VisitExchange::new(&g, 0, &AgentConfig::default(), ProtocolOptions::none(), &mut r);
+        let rounds = run(&mut vx, 10_000, &mut r);
+        assert!(vx.is_complete());
+        assert!(rounds < 200, "rounds = {rounds}");
+        // Once all vertices are informed, all agents are too (paper's remark).
+        assert_eq!(vx.informed_agent_count(), vx.num_agents());
+    }
+
+    #[test]
+    fn fast_on_star_lemma2() {
+        // Lemma 2(c): O(log n) w.h.p.
+        let g = star(300).unwrap();
+        let mut r = rng(4);
+        let mut vx =
+            VisitExchange::new(&g, 5, &AgentConfig::default(), ProtocolOptions::none(), &mut r);
+        let rounds = run(&mut vx, 100_000, &mut r);
+        assert!(vx.is_complete());
+        assert!(rounds < 100, "star visit-exchange took {rounds} rounds");
+    }
+
+    #[test]
+    fn fast_on_double_star_lemma3() {
+        let g = double_star(300).unwrap();
+        let mut r = rng(5);
+        let mut vx =
+            VisitExchange::new(&g, 2, &AgentConfig::default(), ProtocolOptions::none(), &mut r);
+        let rounds = run(&mut vx, 100_000, &mut r);
+        assert!(vx.is_complete());
+        assert!(rounds < 150, "double-star visit-exchange took {rounds} rounds");
+    }
+
+    #[test]
+    fn slow_on_heavy_binary_tree_lemma4() {
+        // Lemma 4(b): Ω(n) in expectation — the root is rarely visited. With
+        // depth 7 (255 vertices) push takes ~O(log n) ≈ tens of rounds whereas
+        // visit-exchange should need hundreds.
+        let tree = HeavyBinaryTree::new(7).unwrap();
+        let g = tree.graph();
+        let mut r = rng(6);
+        let mut vx = VisitExchange::new(
+            g,
+            tree.a_leaf(),
+            &AgentConfig::default(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
+        let rounds = run(&mut vx, 1_000_000, &mut r);
+        assert!(vx.is_complete());
+        let mut push = crate::Push::new(g, tree.a_leaf(), ProtocolOptions::none());
+        while !push.is_complete() {
+            push.step(&mut r);
+        }
+        assert!(
+            rounds > 2 * push.round(),
+            "visit-exchange ({rounds}) should be much slower than push ({}) on the heavy tree",
+            push.round()
+        );
+    }
+
+    #[test]
+    fn informed_sets_are_monotone() {
+        let g = complete(32).unwrap();
+        let mut r = rng(7);
+        let mut vx =
+            VisitExchange::new(&g, 0, &AgentConfig::default(), ProtocolOptions::none(), &mut r);
+        let mut prev_v = vx.informed_vertex_count();
+        let mut prev_a = vx.informed_agent_count();
+        while !vx.is_complete() {
+            vx.step(&mut r);
+            assert!(vx.informed_vertex_count() >= prev_v);
+            assert!(vx.informed_agent_count() >= prev_a);
+            prev_v = vx.informed_vertex_count();
+            prev_a = vx.informed_agent_count();
+        }
+    }
+
+    #[test]
+    fn one_agent_per_vertex_variant_works() {
+        let g = complete(32).unwrap();
+        let mut r = rng(8);
+        let mut vx = VisitExchange::new(
+            &g,
+            0,
+            &AgentConfig::one_per_vertex(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
+        assert_eq!(vx.num_agents(), 32);
+        let rounds = run(&mut vx, 10_000, &mut r);
+        assert!(vx.is_complete());
+        assert!(rounds < 200);
+    }
+
+    #[test]
+    fn zero_agents_never_completes_beyond_source() {
+        let g = complete(8).unwrap();
+        let mut r = rng(9);
+        let cfg = AgentConfig {
+            count: rumor_walks::AgentCount::Exact(0),
+            ..AgentConfig::default()
+        };
+        let mut vx = VisitExchange::new(&g, 0, &cfg, ProtocolOptions::none(), &mut r);
+        for _ in 0..50 {
+            vx.step(&mut r);
+        }
+        assert_eq!(vx.informed_vertex_count(), 1);
+        assert!(!vx.is_complete());
+    }
+
+    #[test]
+    fn edge_traffic_is_roughly_fair_on_regular_graph() {
+        // The fairness property from Section 1: on a regular graph, stationary
+        // walks use all edges at (nearly) the same rate.
+        let g = complete(16).unwrap();
+        let mut r = rng(10);
+        let mut vx = VisitExchange::new(
+            &g,
+            0,
+            &AgentConfig::with_alpha(4.0),
+            ProtocolOptions::with_edge_traffic(),
+            &mut r,
+        );
+        for _ in 0..400 {
+            vx.step(&mut r);
+        }
+        let stats = vx.edge_traffic().unwrap().stats(&g, vx.round());
+        assert!(stats.unused_edges == 0);
+        assert!(
+            stats.max_to_mean_ratio < 1.6,
+            "visit-exchange traffic should be near-uniform, max/mean = {}",
+            stats.max_to_mean_ratio
+        );
+    }
+
+    #[test]
+    fn agent_informed_accessor_consistent_with_count() {
+        let g = complete(12).unwrap();
+        let mut r = rng(11);
+        let mut vx =
+            VisitExchange::new(&g, 0, &AgentConfig::default(), ProtocolOptions::none(), &mut r);
+        run(&mut vx, 1_000, &mut r);
+        let count = (0..vx.num_agents()).filter(|&a| vx.is_agent_informed(a)).count();
+        assert_eq!(count, vx.informed_agent_count());
+    }
+}

@@ -1,0 +1,119 @@
+//! Command-line experiment runner.
+//!
+//! ```text
+//! Usage: rumor-experiments [OPTIONS] [EXPERIMENT-ID ...]
+//!
+//! Options:
+//!   --scale <smoke|default|paper>   size/trial preset (default: default)
+//!   --seed <u64>                    base RNG seed (default: 0)
+//!   --threads <N>                   worker threads (default: all cores)
+//!   --markdown                      emit Markdown instead of plain text
+//!   --list                          list experiment ids and exit
+//!   --help                          show this help
+//!
+//! With no experiment ids, every registered experiment is run in order.
+//! ```
+
+use std::process::ExitCode;
+
+use rumor_experiments::{all_experiment_ids, run_experiment, ExperimentConfig, Scale};
+
+struct CliOptions {
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+    markdown: bool,
+    list: bool,
+    experiments: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "Usage: rumor-experiments [--scale smoke|default|paper] [--seed N] [--threads N] \
+     [--markdown] [--list] [EXPERIMENT-ID ...]"
+}
+
+fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut options = CliOptions {
+        scale: Scale::Default,
+        seed: 0,
+        threads: 0,
+        markdown: false,
+        list: false,
+        experiments: Vec::new(),
+    };
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = iter.next().ok_or("--scale requires a value")?;
+                options.scale =
+                    Scale::from_name(value).ok_or_else(|| format!("unknown scale {value:?}"))?;
+            }
+            "--seed" => {
+                let value = iter.next().ok_or("--seed requires a value")?;
+                options.seed = value.parse().map_err(|_| format!("invalid seed {value:?}"))?;
+            }
+            "--threads" => {
+                let value = iter.next().ok_or("--threads requires a value")?;
+                options.threads =
+                    value.parse().map_err(|_| format!("invalid thread count {value:?}"))?;
+            }
+            "--markdown" => options.markdown = true,
+            "--list" => options.list = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => options.experiments.push(other.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if options.list {
+        for id in all_experiment_ids() {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config = ExperimentConfig::new(options.scale)
+        .with_seed(options.seed)
+        .with_threads(options.threads);
+
+    let ids: Vec<String> = if options.experiments.is_empty() {
+        all_experiment_ids().into_iter().map(str::to_string).collect()
+    } else {
+        options.experiments.clone()
+    };
+
+    let mut failed = false;
+    for id in &ids {
+        match run_experiment(id, &config) {
+            Some(report) => {
+                if options.markdown {
+                    println!("{}", report.to_markdown());
+                } else {
+                    println!("{}", report.to_plain_text());
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id {id:?}; use --list to see the available ids");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,145 @@
+//! Experiment-wide configuration: how large and how many trials.
+
+use serde::{Deserialize, Serialize};
+
+/// How big an experiment run should be.
+///
+/// Every experiment interprets the scale as a multiplier on its graph-size
+/// grid and trial count. `Smoke` keeps everything small enough for CI and
+/// `cargo test`; `Default` is what `cargo run -p rumor-experiments` uses;
+/// `Paper` pushes sizes up for the cleanest scaling exponents (minutes of
+/// runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// Tiny sizes / few trials: seconds, used by tests.
+    Smoke,
+    /// Moderate sizes: the default for the CLI runner.
+    Default,
+    /// Large sizes / many trials: for generating the numbers in EXPERIMENTS.md.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `"smoke"`, `"default"`, or `"paper"`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Scale::Smoke),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Overall scale of the run.
+    pub scale: Scale,
+    /// Base RNG seed; every trial derives its own seed from this.
+    pub seed: u64,
+    /// Number of worker threads for trial execution (`0` = use all cores).
+    pub threads: usize,
+}
+
+impl ExperimentConfig {
+    /// Default-scale configuration with seed 0.
+    pub fn new(scale: Scale) -> Self {
+        ExperimentConfig { scale, seed: 0, threads: 0 }
+    }
+
+    /// Smoke-scale configuration used by tests.
+    pub fn smoke() -> Self {
+        Self::new(Scale::Smoke)
+    }
+
+    /// Replaces the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Picks one of three values according to the scale.
+    pub fn pick<T>(&self, smoke: T, default: T, paper: T) -> T {
+        match self.scale {
+            Scale::Smoke => smoke,
+            Scale::Default => default,
+            Scale::Paper => paper,
+        }
+    }
+
+    /// Number of trials per measurement point, already scaled.
+    pub fn trials(&self, smoke: usize, default: usize, paper: usize) -> usize {
+        self.pick(smoke, default, paper)
+    }
+
+    /// Resolves the worker-thread count.
+    pub fn worker_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::new(Scale::Default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_names_round_trip() {
+        for scale in [Scale::Smoke, Scale::Default, Scale::Paper] {
+            assert_eq!(Scale::from_name(scale.name()), Some(scale));
+            assert_eq!(scale.to_string(), scale.name());
+        }
+        assert_eq!(Scale::from_name("huge"), None);
+    }
+
+    #[test]
+    fn pick_follows_scale() {
+        assert_eq!(ExperimentConfig::new(Scale::Smoke).pick(1, 2, 3), 1);
+        assert_eq!(ExperimentConfig::new(Scale::Default).pick(1, 2, 3), 2);
+        assert_eq!(ExperimentConfig::new(Scale::Paper).pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let cfg = ExperimentConfig::smoke().with_seed(9).with_threads(2);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.worker_threads(), 2);
+    }
+
+    #[test]
+    fn worker_threads_defaults_to_positive() {
+        assert!(ExperimentConfig::default().worker_threads() >= 1);
+    }
+}

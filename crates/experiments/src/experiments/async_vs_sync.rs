@@ -1,0 +1,149 @@
+//! ASYNC — synchronous vs asynchronous rumor spreading (Section 2 related
+//! work: Sauerwald [41], Giakkoupis–Nazari–Woelfel [27]).
+//!
+//! Asynchronous `push` (unit-rate Poisson clocks) has the same asymptotic
+//! broadcast time as synchronous `push` on regular graphs; asynchronous
+//! `push-pull` can differ from its synchronous counterpart by bounded
+//! factors. The experiment measures both protocol pairs on regular graphs and
+//! on the star, reporting the sync/async ratio (time units vs rounds).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rumor_analysis::{Summary, Table};
+use rumor_core::{run_to_completion, AsyncPush, AsyncPushPull, ProtocolOptions, Push, PushPull};
+use rumor_graphs::generators::{logarithmic_degree, random_regular, star, STAR_CENTER};
+use rumor_graphs::{Graph, VertexId};
+
+use crate::config::ExperimentConfig;
+use crate::report::ExperimentReport;
+
+/// Identifier of this experiment.
+pub const ID: &str = "async-vs-sync";
+
+fn mean_rounds<F>(make: F, trials: usize, seed: u64) -> f64
+where
+    F: Fn(u64) -> u64,
+{
+    let times: Vec<u64> = (0..trials as u64).map(|t| make(seed.wrapping_add(t))).collect();
+    Summary::of_u64(&times).mean
+}
+
+fn measure(graph: &Graph, source: VertexId, trials: usize, seed: u64) -> [f64; 4] {
+    let sync_push = mean_rounds(
+        |s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            let mut p = Push::new(graph, source, ProtocolOptions::none());
+            run_to_completion(&mut p, 100_000_000, &mut rng).rounds
+        },
+        trials,
+        seed,
+    );
+    let async_push = mean_rounds(
+        |s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            let mut p = AsyncPush::new(graph, source, ProtocolOptions::none());
+            run_to_completion(&mut p, 100_000_000, &mut rng).rounds
+        },
+        trials,
+        seed,
+    );
+    let sync_pp = mean_rounds(
+        |s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            let mut p = PushPull::new(graph, source, ProtocolOptions::none());
+            run_to_completion(&mut p, 100_000_000, &mut rng).rounds
+        },
+        trials,
+        seed,
+    );
+    let async_pp = mean_rounds(
+        |s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            let mut p = AsyncPushPull::new(graph, source, ProtocolOptions::none());
+            run_to_completion(&mut p, 100_000_000, &mut rng).rounds
+        },
+        trials,
+        seed,
+    );
+    [sync_push, async_push, sync_pp, async_pp]
+}
+
+/// Runs the experiment at the configured scale.
+pub fn run(config: &ExperimentConfig) -> ExperimentReport {
+    let sizes: Vec<usize> =
+        config.pick(vec![128, 256], vec![256, 512, 1024, 2048], vec![1024, 2048, 4096, 8192]);
+    let trials = config.trials(4, 15, 30);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA5);
+
+    let mut report = ExperimentReport::new(
+        ID,
+        "Synchronous vs asynchronous rumor spreading",
+        "Related-work baseline reproduced for calibration: asynchronous push (Poisson clocks) has \
+         the same asymptotic broadcast time as synchronous push on regular graphs [41]; the star \
+         separates push from push-pull in both timing models.",
+    );
+
+    let mut table = Table::new(
+        "Mean broadcast time: synchronous rounds vs asynchronous time units",
+        &["graph", "push", "async-push", "push/async", "push-pull", "async-push-pull"],
+    );
+    let mut worst_ratio: f64 = 0.0;
+    let mut best_ratio = f64::INFINITY;
+    for &n in &sizes {
+        let d = logarithmic_degree(n, 2.0);
+        let graph = random_regular(n, d, &mut rng).expect("random regular generator");
+        let [sync_push, async_push, sync_pp, async_pp] = measure(&graph, 0, trials, config.seed);
+        let ratio = sync_push / async_push.max(1e-9);
+        worst_ratio = worst_ratio.max(ratio);
+        best_ratio = best_ratio.min(ratio);
+        table.push_row(&[
+            format!("random {d}-regular, n={n}"),
+            format!("{sync_push:.1}"),
+            format!("{async_push:.1}"),
+            format!("{ratio:.2}"),
+            format!("{sync_pp:.1}"),
+            format!("{async_pp:.1}"),
+        ]);
+    }
+    // The star: asynchronous push remains coupon-collector slow while both
+    // push-pull variants stay fast.
+    let star_leaves = config.pick(128, 1024, 4096);
+    let star_graph = star(star_leaves).expect("star generator");
+    let [sync_push, async_push, sync_pp, async_pp] =
+        measure(&star_graph, STAR_CENTER, trials, config.seed);
+    table.push_row(&[
+        format!("star, n={}", star_graph.num_vertices()),
+        format!("{sync_push:.1}"),
+        format!("{async_push:.1}"),
+        format!("{:.2}", sync_push / async_push.max(1e-9)),
+        format!("{sync_pp:.1}"),
+        format!("{async_pp:.1}"),
+    ]);
+    report.push_table(table);
+
+    report.push_note(format!(
+        "On regular graphs the synchronous/asynchronous push ratio stays within [{best_ratio:.2}, \
+         {worst_ratio:.2}] — a constant band, matching [41]."
+    ));
+    report.push_note(
+        "On the star both push variants remain Θ(n log n) while both push-pull variants finish in \
+         O(1) rounds/time units, so the paper's separations are not artifacts of synchrony.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_report() {
+        let report = run(&ExperimentConfig::smoke());
+        assert_eq!(report.id, ID);
+        assert_eq!(report.tables.len(), 1);
+        assert_eq!(report.notes.len(), 2);
+        // rows: one per regular size plus the star row
+        assert!(report.tables[0].num_rows() >= 3);
+    }
+}

@@ -1,0 +1,139 @@
+//! FIG1A — the star `S_n` (Fig. 1(a), Lemma 2).
+//!
+//! Claims reproduced: `E[T_push] = Ω(n log n)`, `T_ppull ≤ 2`,
+//! `T_visitx = O(log n)` w.h.p., and (with lazy walks) `T_meetx = O(log n)`
+//! w.h.p.
+
+use rumor_core::{AgentConfig, ProtocolKind};
+use rumor_graphs::generators::{star, STAR_CENTER};
+
+use crate::config::ExperimentConfig;
+use crate::report::ExperimentReport;
+use crate::sweep::{ProtocolSetup, ScalingSweep, SweepPoint};
+
+/// Identifier of this experiment.
+pub const ID: &str = "fig1a-star";
+
+/// Runs the experiment at the configured scale.
+pub fn run(config: &ExperimentConfig) -> ExperimentReport {
+    let sizes: Vec<usize> = config.pick(
+        vec![64, 128, 256],
+        vec![256, 512, 1024, 2048, 4096],
+        vec![1024, 2048, 4096, 8192, 16384, 32768],
+    );
+    let trials = config.trials(5, 20, 40);
+
+    let points: Vec<SweepPoint> = sizes
+        .iter()
+        .map(|&leaves| {
+            // The source is the center; the push lower bound is strongest there
+            // (the center must personally call almost every leaf).
+            SweepPoint::new(star(leaves).expect("star generator"), STAR_CENTER)
+        })
+        .collect();
+
+    let sweep = ScalingSweep {
+        points,
+        protocols: vec![
+            ProtocolSetup::new(ProtocolKind::Push),
+            ProtocolSetup::new(ProtocolKind::PushPull),
+            ProtocolSetup::lazy(ProtocolKind::VisitExchange),
+            ProtocolSetup::lazy(ProtocolKind::MeetExchange),
+        ],
+        trials,
+        max_rounds: 100_000_000,
+    };
+    let result = sweep.run(config);
+
+    let mut report = ExperimentReport::new(
+        ID,
+        "Star graph S_n",
+        "Lemma 2: E[T_push] = Ω(n log n); T_ppull ≤ 2; T_visitx, T_meetx = O(log n) w.h.p. \
+         (agent protocols use lazy walks because the star is bipartite).",
+    );
+    report.push_table(result.times_table("Mean broadcast time on the star (source = center)"));
+    report.push_table(result.fits_table("Fitted growth laws"));
+    report.push_table(result.ratio_table(
+        "push / visit-exchange mean-time ratio",
+        "push",
+        "visit-exchange",
+    ));
+
+    let push_fit = rumor_analysis::fit_power_law(&result.scaling_points("push"));
+    let visitx_fit = rumor_analysis::fit_power_law(&result.scaling_points("visit-exchange"));
+    report.push_note(format!(
+        "push empirical exponent {:.2} (coupon collector ⇒ ≈ 1); visit-exchange exponent {:.2} (logarithmic ⇒ ≈ 0).",
+        push_fit.exponent, visitx_fit.exponent
+    ));
+    report.push_note(format!(
+        "At the largest size, push is {:.0}× slower than visit-exchange and {:.0}× slower than push-pull.",
+        result.final_ratio("push", "visit-exchange"),
+        result.final_ratio("push", "push-pull")
+    ));
+
+    // Agent-density ablation at one fixed size: the paper assumes |A| = αn for
+    // constant α; check the broadcast time is insensitive to α ∈ {1/2, 1, 2}.
+    let ablation_leaves = *sizes.last().expect("non-empty sizes") / 2;
+    let ablation = ScalingSweep {
+        points: vec![SweepPoint::labelled(
+            star(ablation_leaves).expect("star generator"),
+            STAR_CENTER,
+            &format!("{} (fixed)", ablation_leaves + 1),
+        )],
+        protocols: vec![
+            ProtocolSetup::lazy(ProtocolKind::VisitExchange)
+                .with_label("visitx α=0.5")
+                .with_agents(AgentConfig::with_alpha(0.5).lazy()),
+            ProtocolSetup::lazy(ProtocolKind::VisitExchange)
+                .with_label("visitx α=1")
+                .with_agents(AgentConfig::with_alpha(1.0).lazy()),
+            ProtocolSetup::lazy(ProtocolKind::VisitExchange)
+                .with_label("visitx α=2")
+                .with_agents(AgentConfig::with_alpha(2.0).lazy()),
+        ],
+        trials,
+        max_rounds: 100_000_000,
+    };
+    let ablation_result = ablation.run(config);
+    report.push_table(
+        ablation_result.times_table("Ablation: agent density α on the star (visit-exchange)"),
+    );
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_reproduces_the_ordering() {
+        let report = run(&ExperimentConfig::smoke());
+        assert_eq!(report.id, ID);
+        assert!(report.tables.len() >= 4);
+        assert!(!report.notes.is_empty());
+    }
+
+    #[test]
+    fn push_is_much_slower_than_the_others() {
+        let config = ExperimentConfig::smoke();
+        let sizes = [128usize];
+        let points: Vec<SweepPoint> =
+            sizes.iter().map(|&l| SweepPoint::new(star(l).unwrap(), STAR_CENTER)).collect();
+        let sweep = ScalingSweep {
+            points,
+            protocols: vec![
+                ProtocolSetup::new(ProtocolKind::Push),
+                ProtocolSetup::new(ProtocolKind::PushPull),
+                ProtocolSetup::lazy(ProtocolKind::VisitExchange),
+            ],
+            trials: 5,
+            max_rounds: 10_000_000,
+        };
+        let result = sweep.run(&config);
+        // Lemma 2: push needs Ω(n log n) while push-pull ≤ 2 and visitx = O(log n).
+        assert!(result.final_ratio("push", "push-pull") > 20.0);
+        assert!(result.final_ratio("push", "visit-exchange") > 5.0);
+        assert!(result.summary("push-pull", 0).max <= 2.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! FIG1B — the double star `S²_n` (Fig. 1(b), Lemma 3).
+//!
+//! Claims reproduced: `E[T_ppull] = Ω(n)` while `T_visitx` and `T_meetx` are
+//! `O(log n)` w.h.p. This is the paper's showcase for the *local bandwidth
+//! fairness* of the agent protocols: the center–center edge is crossed by some
+//! agent with constant probability per round, but is sampled by `push-pull`
+//! only with probability `O(1/n)`.
+
+use rumor_core::ProtocolKind;
+use rumor_graphs::generators::double_star;
+
+use crate::config::ExperimentConfig;
+use crate::report::ExperimentReport;
+use crate::sweep::{ProtocolSetup, ScalingSweep, SweepPoint};
+
+/// Identifier of this experiment.
+pub const ID: &str = "fig1b-double-star";
+
+/// Runs the experiment at the configured scale.
+pub fn run(config: &ExperimentConfig) -> ExperimentReport {
+    let leaves_per_star: Vec<usize> = config.pick(
+        vec![32, 64, 128],
+        vec![128, 256, 512, 1024, 2048],
+        vec![512, 1024, 2048, 4096, 8192, 16384],
+    );
+    let trials = config.trials(5, 20, 40);
+
+    let points: Vec<SweepPoint> = leaves_per_star
+        .iter()
+        .map(|&l| {
+            let g = double_star(l).expect("double star generator");
+            // Source is a leaf of the first star — the worst case for push-pull.
+            SweepPoint::new(g, 2)
+        })
+        .collect();
+
+    let sweep = ScalingSweep {
+        points,
+        protocols: vec![
+            ProtocolSetup::new(ProtocolKind::Push),
+            ProtocolSetup::new(ProtocolKind::PushPull),
+            ProtocolSetup::lazy(ProtocolKind::VisitExchange),
+            ProtocolSetup::lazy(ProtocolKind::MeetExchange),
+            ProtocolSetup::new(ProtocolKind::PushPullVisitExchange).with_label("combined"),
+        ],
+        trials,
+        max_rounds: 100_000_000,
+    };
+    let result = sweep.run(config);
+
+    let mut report = ExperimentReport::new(
+        ID,
+        "Double star S²_n",
+        "Lemma 3: E[T_ppull] = Ω(n) while T_visitx, T_meetx = O(log n) w.h.p.; the combined \
+         push-pull + visit-exchange protocol inherits the logarithmic time.",
+    );
+    report.push_table(result.times_table("Mean broadcast time on the double star (source = leaf)"));
+    report.push_table(result.fits_table("Fitted growth laws"));
+    report.push_table(result.ratio_table(
+        "push-pull / visit-exchange mean-time ratio",
+        "push-pull",
+        "visit-exchange",
+    ));
+
+    let ppull_fit = rumor_analysis::fit_power_law(&result.scaling_points("push-pull"));
+    let visitx_fit = rumor_analysis::fit_power_law(&result.scaling_points("visit-exchange"));
+    report.push_note(format!(
+        "push-pull empirical exponent {:.2} (linear ⇒ ≈ 1); visit-exchange exponent {:.2} (logarithmic ⇒ ≈ 0).",
+        ppull_fit.exponent, visitx_fit.exponent
+    ));
+    report.push_note(format!(
+        "At the largest size push-pull is {:.0}× slower than visit-exchange; the combined protocol tracks visit-exchange ({:.1}× its time).",
+        result.final_ratio("push-pull", "visit-exchange"),
+        result.final_ratio("combined", "visit-exchange"),
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_shows_push_pull_losing() {
+        let report = run(&ExperimentConfig::smoke());
+        assert_eq!(report.id, ID);
+        assert!(report.tables.len() >= 3);
+    }
+
+    #[test]
+    fn push_pull_is_slower_than_agent_protocols() {
+        let config = ExperimentConfig::smoke();
+        // 256 leaves per star: large enough for the Ω(n) vs O(log n) gap of
+        // Lemma 3 to dominate the constants. Simple (non-lazy) walks for
+        // visit-exchange — laziness is only needed by meet-exchange here.
+        let g = double_star(256).unwrap();
+        let sweep = ScalingSweep {
+            points: vec![SweepPoint::new(g, 2)],
+            protocols: vec![
+                ProtocolSetup::new(ProtocolKind::PushPull),
+                ProtocolSetup::new(ProtocolKind::VisitExchange),
+                ProtocolSetup::new(ProtocolKind::PushPullVisitExchange).with_label("combined"),
+            ],
+            trials: 6,
+            max_rounds: 10_000_000,
+        };
+        let result = sweep.run(&config);
+        assert!(
+            result.final_ratio("push-pull", "visit-exchange") > 2.0,
+            "push-pull should be well behind visit-exchange on the double star"
+        );
+        // The combination is never much slower than visit-exchange alone.
+        assert!(result.final_ratio("combined", "visit-exchange") < 2.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! FIG1C — the heavy binary tree `B_n` (Fig. 1(c), Lemma 4).
+//!
+//! Claims reproduced: `T_push = O(log n)` w.h.p., `E[T_visitx] = Ω(n)` (the
+//! stationary distribution keeps virtually all agents inside the leaf clique,
+//! so the root waits `Ω(n)` rounds for its first visit), and for a leaf
+//! source `T_meetx = O(log n)` w.h.p. (all the agents meet quickly inside the
+//! leaf clique).
+
+use rumor_core::ProtocolKind;
+use rumor_graphs::generators::HeavyBinaryTree;
+
+use crate::config::ExperimentConfig;
+use crate::report::ExperimentReport;
+use crate::sweep::{ProtocolSetup, ScalingSweep, SweepPoint};
+
+/// Identifier of this experiment.
+pub const ID: &str = "fig1c-heavy-tree";
+
+/// Runs the experiment at the configured scale.
+pub fn run(config: &ExperimentConfig) -> ExperimentReport {
+    let depths: Vec<u32> = config.pick(vec![4, 5, 6], vec![6, 7, 8, 9, 10], vec![8, 9, 10, 11, 12, 13]);
+    let trials = config.trials(4, 15, 30);
+
+    let points: Vec<SweepPoint> = depths
+        .iter()
+        .map(|&depth| {
+            let tree = HeavyBinaryTree::new(depth).expect("heavy binary tree generator");
+            let source = tree.a_leaf();
+            SweepPoint::new(tree.into_graph(), source)
+        })
+        .collect();
+
+    let sweep = ScalingSweep {
+        points,
+        protocols: vec![
+            ProtocolSetup::new(ProtocolKind::Push),
+            ProtocolSetup::new(ProtocolKind::PushPull),
+            ProtocolSetup::new(ProtocolKind::VisitExchange),
+            ProtocolSetup::new(ProtocolKind::MeetExchange),
+            ProtocolSetup::new(ProtocolKind::PushPullVisitExchange).with_label("combined"),
+        ],
+        trials,
+        max_rounds: 100_000_000,
+    };
+    let result = sweep.run(config);
+
+    let mut report = ExperimentReport::new(
+        ID,
+        "Heavy binary tree B_n (leaves form a clique)",
+        "Lemma 4: T_push = O(log n) w.h.p.; E[T_visitx] = Ω(n); T_meetx = O(log n) w.h.p. for a \
+         leaf source. The rumor-spreading protocols win here; the combined protocol tracks push-pull.",
+    );
+    report.push_table(result.times_table("Mean broadcast time on the heavy binary tree (source = leaf)"));
+    report.push_table(result.fits_table("Fitted growth laws"));
+    report.push_table(result.ratio_table(
+        "visit-exchange / push mean-time ratio",
+        "visit-exchange",
+        "push",
+    ));
+
+    let push_fit = rumor_analysis::fit_power_law(&result.scaling_points("push"));
+    let visitx_fit = rumor_analysis::fit_power_law(&result.scaling_points("visit-exchange"));
+    let meetx_fit = rumor_analysis::fit_power_law(&result.scaling_points("meet-exchange"));
+    report.push_note(format!(
+        "Empirical exponents: push {:.2} (≈ 0 expected), visit-exchange {:.2} (≈ 1 expected), meet-exchange {:.2} (≈ 0 expected for a leaf source).",
+        push_fit.exponent, visitx_fit.exponent, meetx_fit.exponent
+    ));
+    report.push_note(format!(
+        "At the largest size visit-exchange is {:.0}× slower than push; meet-exchange stays within {:.1}× of push.",
+        result.final_ratio("visit-exchange", "push"),
+        result.final_ratio("meet-exchange", "push"),
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_report() {
+        let report = run(&ExperimentConfig::smoke());
+        assert_eq!(report.id, ID);
+        assert!(report.tables.len() >= 3);
+    }
+
+    #[test]
+    fn visit_exchange_is_the_slow_protocol_here() {
+        let config = ExperimentConfig::smoke();
+        let tree = HeavyBinaryTree::new(6).unwrap();
+        let source = tree.a_leaf();
+        let sweep = ScalingSweep {
+            points: vec![SweepPoint::new(tree.into_graph(), source)],
+            protocols: vec![
+                ProtocolSetup::new(ProtocolKind::Push),
+                ProtocolSetup::new(ProtocolKind::VisitExchange),
+                ProtocolSetup::new(ProtocolKind::MeetExchange),
+            ],
+            trials: 4,
+            max_rounds: 10_000_000,
+        };
+        let result = sweep.run(&config);
+        assert!(result.final_ratio("visit-exchange", "push") > 2.0);
+        assert!(
+            result.final_ratio("visit-exchange", "meet-exchange") > 1.5,
+            "meet-exchange from a leaf should beat visit-exchange"
+        );
+    }
+}

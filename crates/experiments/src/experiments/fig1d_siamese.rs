@@ -1,0 +1,104 @@
+//! FIG1D — the Siamese heavy binary tree `D_n` (Fig. 1(d), Lemma 8).
+//!
+//! Claims reproduced: `T_push = O(log n)` w.h.p. while *both* agent-based
+//! protocols need `Ω(n)` rounds in expectation — the rumor has to cross the
+//! merged root, which stationary agents rarely visit.
+
+use rumor_core::ProtocolKind;
+use rumor_graphs::generators::SiameseHeavyBinaryTree;
+
+use crate::config::ExperimentConfig;
+use crate::report::ExperimentReport;
+use crate::sweep::{ProtocolSetup, ScalingSweep, SweepPoint};
+
+/// Identifier of this experiment.
+pub const ID: &str = "fig1d-siamese";
+
+/// Runs the experiment at the configured scale.
+pub fn run(config: &ExperimentConfig) -> ExperimentReport {
+    let depths: Vec<u32> = config.pick(vec![4, 5], vec![5, 6, 7, 8, 9], vec![7, 8, 9, 10, 11, 12]);
+    let trials = config.trials(4, 15, 30);
+
+    let points: Vec<SweepPoint> = depths
+        .iter()
+        .map(|&depth| {
+            let tree = SiameseHeavyBinaryTree::new(depth).expect("siamese tree generator");
+            let source = tree.a_leaf();
+            SweepPoint::new(tree.into_graph(), source)
+        })
+        .collect();
+
+    let sweep = ScalingSweep {
+        points,
+        protocols: vec![
+            ProtocolSetup::new(ProtocolKind::Push),
+            ProtocolSetup::new(ProtocolKind::VisitExchange),
+            ProtocolSetup::new(ProtocolKind::MeetExchange),
+            ProtocolSetup::new(ProtocolKind::PushPullVisitExchange).with_label("combined"),
+        ],
+        trials,
+        max_rounds: 100_000_000,
+    };
+    let result = sweep.run(config);
+
+    let mut report = ExperimentReport::new(
+        ID,
+        "Siamese heavy binary trees D_n (two heavy trees sharing the root)",
+        "Lemma 8: T_push = O(log n) w.h.p.; E[T_visitx] = Ω(n); E[T_meetx] = Ω(n). Both agent \
+         protocols are stuck waiting for an agent to cross the shared root.",
+    );
+    report.push_table(result.times_table("Mean broadcast time on the Siamese heavy trees (source = leaf)"));
+    report.push_table(result.fits_table("Fitted growth laws"));
+    report.push_table(result.ratio_table(
+        "meet-exchange / push mean-time ratio",
+        "meet-exchange",
+        "push",
+    ));
+
+    let push_fit = rumor_analysis::fit_power_law(&result.scaling_points("push"));
+    let visitx_fit = rumor_analysis::fit_power_law(&result.scaling_points("visit-exchange"));
+    let meetx_fit = rumor_analysis::fit_power_law(&result.scaling_points("meet-exchange"));
+    report.push_note(format!(
+        "Empirical exponents: push {:.2} (≈ 0 expected), visit-exchange {:.2} and meet-exchange {:.2} (both ≈ 1 expected).",
+        push_fit.exponent, visitx_fit.exponent, meetx_fit.exponent
+    ));
+    report.push_note(format!(
+        "At the largest size push beats visit-exchange by {:.0}× and meet-exchange by {:.0}×.",
+        result.final_ratio("visit-exchange", "push"),
+        result.final_ratio("meet-exchange", "push"),
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_report() {
+        let report = run(&ExperimentConfig::smoke());
+        assert_eq!(report.id, ID);
+        assert!(report.tables.len() >= 3);
+        assert_eq!(report.notes.len(), 2);
+    }
+
+    #[test]
+    fn both_agent_protocols_lose_to_push() {
+        let config = ExperimentConfig::smoke();
+        let tree = SiameseHeavyBinaryTree::new(6).unwrap();
+        let source = tree.a_leaf();
+        let sweep = ScalingSweep {
+            points: vec![SweepPoint::new(tree.into_graph(), source)],
+            protocols: vec![
+                ProtocolSetup::new(ProtocolKind::Push),
+                ProtocolSetup::new(ProtocolKind::VisitExchange),
+                ProtocolSetup::new(ProtocolKind::MeetExchange),
+            ],
+            trials: 4,
+            max_rounds: 10_000_000,
+        };
+        let result = sweep.run(&config);
+        assert!(result.final_ratio("visit-exchange", "push") > 2.0);
+        assert!(result.final_ratio("meet-exchange", "push") > 2.0);
+    }
+}

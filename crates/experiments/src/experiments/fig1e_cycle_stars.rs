@@ -1,0 +1,104 @@
+//! FIG1E — the cycle of stars of cliques (Fig. 1(e), Lemma 9).
+//!
+//! Claims reproduced: on this (almost) regular graph,
+//! `E[T_visitx] = O(n^{2/3})` while `E[T_meetx] = Ω(n^{2/3} log n)` — a
+//! logarithmic-factor separation between the two agent protocols, caused by
+//! the ring vertices `c_i` not storing the rumor in `meet-exchange`.
+
+use rumor_core::ProtocolKind;
+use rumor_graphs::generators::CycleOfStarsOfCliques;
+
+use crate::config::ExperimentConfig;
+use crate::report::ExperimentReport;
+use crate::sweep::{ProtocolSetup, ScalingSweep, SweepPoint};
+
+/// Identifier of this experiment.
+pub const ID: &str = "fig1e-cycle-stars";
+
+/// Runs the experiment at the configured scale.
+pub fn run(config: &ExperimentConfig) -> ExperimentReport {
+    // The structural parameter m (cycle length = star size = clique size);
+    // n = m + m² + m³.
+    let ms: Vec<usize> = config.pick(vec![4, 5, 6], vec![6, 8, 10, 12], vec![8, 10, 12, 14, 16, 18]);
+    let trials = config.trials(3, 10, 20);
+
+    let points: Vec<SweepPoint> = ms
+        .iter()
+        .map(|&m| {
+            let g = CycleOfStarsOfCliques::new(m).expect("cycle of stars generator");
+            let source = g.a_clique_source();
+            SweepPoint::new(g.into_graph(), source)
+        })
+        .collect();
+
+    let sweep = ScalingSweep {
+        points,
+        protocols: vec![
+            ProtocolSetup::new(ProtocolKind::VisitExchange),
+            ProtocolSetup::new(ProtocolKind::MeetExchange),
+            ProtocolSetup::new(ProtocolKind::Push),
+        ],
+        trials,
+        max_rounds: 100_000_000,
+    };
+    let result = sweep.run(config);
+
+    let mut report = ExperimentReport::new(
+        ID,
+        "Cycle of stars of cliques (almost regular)",
+        "Lemma 9: E[T_visitx] = O(n^{2/3}) while E[T_meetx] = Ω(n^{2/3} log n); the two agent \
+         protocols are separated by a logarithmic factor on this graph.",
+    );
+    report.push_table(result.times_table("Mean broadcast time (source inside a clique Q_{0,0})"));
+    report.push_table(result.fits_table("Fitted growth laws"));
+    report.push_table(result.ratio_table(
+        "meet-exchange / visit-exchange mean-time ratio (should grow ≈ log n)",
+        "meet-exchange",
+        "visit-exchange",
+    ));
+
+    let visitx_fit = rumor_analysis::fit_power_law(&result.scaling_points("visit-exchange"));
+    let meetx_fit = rumor_analysis::fit_power_law(&result.scaling_points("meet-exchange"));
+    report.push_note(format!(
+        "Empirical exponents: visit-exchange {:.2} (2/3 ≈ 0.67 expected), meet-exchange {:.2} (slightly above 2/3 expected because of the extra log factor).",
+        visitx_fit.exponent, meetx_fit.exponent
+    ));
+    report.push_note(format!(
+        "The meet-exchange / visit-exchange ratio at the largest size is {:.2} (> 1, growing slowly with n as the Lemma predicts).",
+        result.final_ratio("meet-exchange", "visit-exchange")
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_report() {
+        let report = run(&ExperimentConfig::smoke());
+        assert_eq!(report.id, ID);
+        assert!(report.tables.len() >= 3);
+    }
+
+    #[test]
+    fn meet_exchange_is_slower_than_visit_exchange() {
+        let config = ExperimentConfig::smoke();
+        let g = CycleOfStarsOfCliques::new(6).unwrap();
+        let source = g.a_clique_source();
+        let sweep = ScalingSweep {
+            points: vec![SweepPoint::new(g.into_graph(), source)],
+            protocols: vec![
+                ProtocolSetup::new(ProtocolKind::VisitExchange),
+                ProtocolSetup::new(ProtocolKind::MeetExchange),
+            ],
+            trials: 5,
+            max_rounds: 10_000_000,
+        };
+        let result = sweep.run(&config);
+        assert!(
+            result.final_ratio("meet-exchange", "visit-exchange") > 1.0,
+            "meet-exchange should be slower than visit-exchange on this graph"
+        );
+    }
+}

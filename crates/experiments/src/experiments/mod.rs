@@ -1,0 +1,102 @@
+//! One module per reproduced figure/lemma/theorem. See `DESIGN.md` for the
+//! experiment index mapping each module to the paper.
+
+pub mod agent_density;
+pub mod async_vs_sync;
+pub mod combined;
+pub mod congestion;
+pub mod expansion;
+pub mod fairness;
+pub mod fig1a_star;
+pub mod fig1b_double_star;
+pub mod fig1c_heavy_tree;
+pub mod fig1d_siamese;
+pub mod fig1e_cycle_stars;
+pub mod meeting_time;
+pub mod placement;
+pub mod push_vs_pushpull;
+pub mod robustness_churn;
+pub mod thm1_regular;
+pub mod thm23_meetx;
+pub mod thm24_lower_bounds;
+
+use crate::config::ExperimentConfig;
+use crate::report::ExperimentReport;
+
+/// The function type every experiment exposes.
+pub type ExperimentFn = fn(&ExperimentConfig) -> ExperimentReport;
+
+/// Registry of every experiment, in presentation order.
+pub const REGISTRY: &[(&str, ExperimentFn)] = &[
+    (fig1a_star::ID, fig1a_star::run),
+    (fig1b_double_star::ID, fig1b_double_star::run),
+    (fig1c_heavy_tree::ID, fig1c_heavy_tree::run),
+    (fig1d_siamese::ID, fig1d_siamese::run),
+    (fig1e_cycle_stars::ID, fig1e_cycle_stars::run),
+    (thm1_regular::ID, thm1_regular::run),
+    (thm23_meetx::ID, thm23_meetx::run),
+    (thm24_lower_bounds::ID, thm24_lower_bounds::run),
+    (fairness::ID, fairness::run),
+    (congestion::ID, congestion::run),
+    (push_vs_pushpull::ID, push_vs_pushpull::run),
+    (combined::ID, combined::run),
+    (meeting_time::ID, meeting_time::run),
+    (placement::ID, placement::run),
+    (expansion::ID, expansion::run),
+    (async_vs_sync::ID, async_vs_sync::run),
+    (robustness_churn::ID, robustness_churn::run),
+    (agent_density::ID, agent_density::run),
+];
+
+/// Identifiers of all registered experiments, in presentation order.
+pub fn all_ids() -> Vec<&'static str> {
+    REGISTRY.iter().map(|&(id, _)| id).collect()
+}
+
+/// Runs the experiment with the given identifier, or returns `None` if no
+/// such experiment exists.
+pub fn run_by_id(id: &str, config: &ExperimentConfig) -> Option<ExperimentReport> {
+    REGISTRY.iter().find(|&&(name, _)| name == id).map(|&(_, f)| f(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_lowercase() {
+        let ids = all_ids();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "duplicate experiment ids");
+        for id in ids {
+            assert_eq!(id, id.to_lowercase(), "experiment ids should be lowercase: {id}");
+        }
+    }
+
+    #[test]
+    fn run_by_id_finds_registered_experiments() {
+        assert!(run_by_id("no-such-experiment", &ExperimentConfig::smoke()).is_none());
+        // Run the cheapest experiment through the registry path.
+        let report = run_by_id(fairness::ID, &ExperimentConfig::smoke()).unwrap();
+        assert_eq!(report.id, fairness::ID);
+    }
+
+    #[test]
+    fn registry_covers_all_figure_panels_and_theorems() {
+        let ids = all_ids();
+        for required in [
+            "fig1a-star",
+            "fig1b-double-star",
+            "fig1c-heavy-tree",
+            "fig1d-siamese",
+            "fig1e-cycle-stars",
+            "thm1-regular",
+            "thm23-meetx-vs-visitx",
+            "thm24-25-lower-bounds",
+        ] {
+            assert!(ids.contains(&required), "missing experiment {required}");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! PP-PUSH — `push` vs `push-pull`: equal on regular graphs, separated on
+//! stars.
+//!
+//! The introduction recalls two known facts the rest of the paper builds on:
+//! `push` and `push-pull` have the same asymptotic broadcast time on regular
+//! graphs ([27]), while on the star `push` needs `Ω(n log n)` rounds and
+//! `push-pull` needs at most 2. This experiment reproduces both, which also
+//! serves as a calibration check for the simulator.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rumor_core::ProtocolKind;
+use rumor_graphs::generators::{logarithmic_degree, random_regular, star, STAR_CENTER};
+
+use crate::config::ExperimentConfig;
+use crate::report::ExperimentReport;
+use crate::sweep::{ProtocolSetup, ScalingSweep, SweepPoint};
+
+/// Identifier of this experiment.
+pub const ID: &str = "push-vs-pushpull";
+
+/// Runs the experiment at the configured scale.
+pub fn run(config: &ExperimentConfig) -> ExperimentReport {
+    let sizes: Vec<usize> =
+        config.pick(vec![64, 128], vec![256, 512, 1024, 2048], vec![1024, 2048, 4096, 8192]);
+    let trials = config.trials(5, 20, 40);
+
+    let mut report = ExperimentReport::new(
+        ID,
+        "push vs push-pull: regular graphs vs the star",
+        "Background facts used by the paper: on regular graphs push and push-pull have the same \
+         asymptotic broadcast time [27]; on the star push needs Ω(n log n) rounds while push-pull \
+         needs at most two.",
+    );
+
+    // Regular graphs.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x99);
+    let regular_points: Vec<SweepPoint> = sizes
+        .iter()
+        .map(|&n| {
+            let d = logarithmic_degree(n, 2.0);
+            SweepPoint::labelled(
+                random_regular(n, d, &mut rng).expect("random regular generator"),
+                0,
+                &format!("{n} (d={d})"),
+            )
+        })
+        .collect();
+    let regular_sweep = ScalingSweep {
+        points: regular_points,
+        protocols: vec![
+            ProtocolSetup::new(ProtocolKind::Push),
+            ProtocolSetup::new(ProtocolKind::Pull),
+            ProtocolSetup::new(ProtocolKind::PushPull),
+        ],
+        trials,
+        max_rounds: 10_000_000,
+    };
+    let regular_result = regular_sweep.run(config);
+    report.push_table(regular_result.times_table("Random d-regular graphs (d ≈ 2·log2 n)"));
+    report.push_table(regular_result.ratio_table(
+        "Regular graphs: push / push-pull ratio (constant expected)",
+        "push",
+        "push-pull",
+    ));
+
+    // Stars.
+    let star_points: Vec<SweepPoint> =
+        sizes.iter().map(|&n| SweepPoint::new(star(n).expect("star"), STAR_CENTER)).collect();
+    let star_sweep = ScalingSweep {
+        points: star_points,
+        protocols: vec![
+            ProtocolSetup::new(ProtocolKind::Push),
+            ProtocolSetup::new(ProtocolKind::PushPull),
+        ],
+        trials,
+        max_rounds: 100_000_000,
+    };
+    let star_result = star_sweep.run(config);
+    report.push_table(star_result.times_table("Stars S_n (source = center)"));
+    report.push_table(star_result.fits_table("Star: fitted growth laws"));
+
+    report.push_note(format!(
+        "On regular graphs the push / push-pull ratio stays at {:.2} at the largest size; on the \
+         star it blows up to {:.0}.",
+        regular_result.final_ratio("push", "push-pull"),
+        star_result.final_ratio("push", "push-pull"),
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_report() {
+        let report = run(&ExperimentConfig::smoke());
+        assert_eq!(report.id, ID);
+        assert_eq!(report.tables.len(), 4);
+        assert_eq!(report.notes.len(), 1);
+    }
+
+    #[test]
+    fn ratio_is_constant_on_regular_but_large_on_star() {
+        let config = ExperimentConfig::smoke();
+        let mut rng = StdRng::seed_from_u64(5);
+        let regular = random_regular(256, 16, &mut rng).unwrap();
+        let regular_sweep = ScalingSweep {
+            points: vec![SweepPoint::new(regular, 0)],
+            protocols: vec![
+                ProtocolSetup::new(ProtocolKind::Push),
+                ProtocolSetup::new(ProtocolKind::PushPull),
+            ],
+            trials: 6,
+            max_rounds: 1_000_000,
+        };
+        let regular_result = regular_sweep.run(&config);
+        assert!(regular_result.final_ratio("push", "push-pull") < 4.0);
+
+        let star_sweep = ScalingSweep {
+            points: vec![SweepPoint::new(star(256).unwrap(), STAR_CENTER)],
+            protocols: vec![
+                ProtocolSetup::new(ProtocolKind::Push),
+                ProtocolSetup::new(ProtocolKind::PushPull),
+            ],
+            trials: 4,
+            max_rounds: 100_000_000,
+        };
+        let star_result = star_sweep.run(&config);
+        assert!(star_result.final_ratio("push", "push-pull") > 50.0);
+    }
+}

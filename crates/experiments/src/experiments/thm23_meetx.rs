@@ -1,0 +1,237 @@
+//! THM23 — `visit-exchange` is at most an additive `O(log n)` slower than
+//! `meet-exchange` on regular graphs of at least logarithmic degree.
+//!
+//! Theorem 23 states `P[T_visitx ≤ k + c·log n] ≥ P[T_meetx ≤ k] − n^{−λ}`,
+//! i.e. once all agents are informed it only takes `O(log n)` additional
+//! rounds for the agents to cover every vertex. The experiment measures the
+//! distribution of `T_visitx − T_meetx` on regular families and reports the
+//! excess normalized by `log2 n`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rumor_analysis::{Ecdf, Summary, Table};
+use rumor_core::{AgentConfig, ProtocolKind, SimulationSpec};
+use rumor_graphs::algorithms::is_bipartite;
+use rumor_graphs::generators::{hypercube, logarithmic_degree, random_regular};
+use rumor_graphs::Graph;
+
+use crate::config::ExperimentConfig;
+use crate::report::ExperimentReport;
+use crate::runner::broadcast_times;
+
+/// Identifier of this experiment.
+pub const ID: &str = "thm23-meetx-vs-visitx";
+
+struct Family {
+    label: String,
+    graph: Graph,
+}
+
+fn families(config: &ExperimentConfig) -> Vec<Family> {
+    let sizes: Vec<usize> =
+        config.pick(vec![128, 256], vec![256, 512, 1024, 2048], vec![1024, 2048, 4096, 8192]);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x23);
+    let mut out = Vec::new();
+    for &n in &sizes {
+        let d = logarithmic_degree(n, 2.0);
+        out.push(Family {
+            label: format!("random {d}-regular, n={n}"),
+            graph: random_regular(n, d, &mut rng).expect("random regular generator"),
+        });
+    }
+    let dims: Vec<u32> = config.pick(vec![7, 8], vec![8, 9, 10], vec![10, 11, 12, 13]);
+    for &dim in &dims {
+        out.push(Family {
+            label: format!("hypercube, n=2^{dim}"),
+            graph: hypercube(dim).expect("hypercube generator"),
+        });
+    }
+    out
+}
+
+/// Runs the experiment at the configured scale.
+pub fn run(config: &ExperimentConfig) -> ExperimentReport {
+    let trials = config.trials(4, 15, 30);
+    let mut report = ExperimentReport::new(
+        ID,
+        "Regular graphs: visit-exchange vs meet-exchange",
+        "Theorem 23: on d-regular graphs with d = Ω(log n), \
+         P[T_visitx ≤ k + c·log n] ≥ P[T_meetx ≤ k] − n^{-λ}; i.e. visit-exchange is at most an \
+         additive O(log n) behind meet-exchange (and is typically faster).",
+    );
+
+    let mut table = Table::new(
+        "Broadcast times and normalized excess (T_visitx − T_meetx) / log2 n",
+        &["graph", "mean T_visitx", "mean T_meetx", "mean excess / log2 n", "max excess / log2 n"],
+    );
+    // Theorem 23 is a statement about distributions, not means:
+    // P[T_visitx ≤ k + c·log n] ≥ P[T_meetx ≤ k] − n^{−λ}. The second table
+    // reports the smallest empirical shift that makes the visit-exchange ECDF
+    // dominate the meet-exchange ECDF (allowing one trial's worth of slack
+    // for the n^{−λ} term), normalized by log2 n — an estimate of c.
+    let mut shift_table = Table::new(
+        "Distributional form: smallest shift s with P[T_visitx ≤ k + s] ≥ P[T_meetx ≤ k] (slack = 1 trial)",
+        &["graph", "shift s (rounds)", "s / log2 n"],
+    );
+    let mut max_norm_shift = f64::MIN;
+    let mut max_norm_excess = f64::MIN;
+    for family in families(config) {
+        let n = family.graph.num_vertices();
+        let log2n = (n as f64).log2();
+        // Hypercubes are bipartite, so simple-walk meet-exchange could never
+        // complete there (parity trap). Follow the paper's Section 3 remedy
+        // and use lazy walks — for *both* agent protocols on such instances,
+        // so that the visit-exchange vs meet-exchange comparison stays
+        // apples-to-apples.
+        let agents = if is_bipartite(&family.graph) {
+            AgentConfig::default().lazy()
+        } else {
+            AgentConfig::default()
+        };
+        let visitx = broadcast_times(
+            &family.graph,
+            0,
+            &SimulationSpec::new(ProtocolKind::VisitExchange)
+                .with_seed(config.seed)
+                .with_agents(agents.clone()),
+            trials,
+            config,
+        );
+        let meetx = broadcast_times(
+            &family.graph,
+            0,
+            &SimulationSpec::new(ProtocolKind::MeetExchange)
+                .with_seed(config.seed)
+                .with_agents(agents),
+            trials,
+            config,
+        );
+        let visitx_summary = Summary::of_u64(&visitx);
+        let meetx_summary = Summary::of_u64(&meetx);
+        // Pairwise excess per trial (same seed index ⇒ same agent trajectories
+        // are *not* shared across protocols, so this is a distributional
+        // comparison, matching the probabilistic statement).
+        let excesses: Vec<f64> = visitx
+            .iter()
+            .zip(&meetx)
+            .map(|(&v, &m)| (v as f64 - m as f64) / log2n)
+            .collect();
+        let excess_summary = Summary::of(&excesses);
+        max_norm_excess = max_norm_excess.max(excess_summary.max);
+        table.push_row(&[
+            family.label.as_str(),
+            &format!("{:.1}", visitx_summary.mean),
+            &format!("{:.1}", meetx_summary.mean),
+            &format!("{:.2}", excess_summary.mean),
+            &format!("{:.2}", excess_summary.max),
+        ]);
+
+        let visitx_ecdf = Ecdf::new(&visitx);
+        let meetx_ecdf = Ecdf::new(&meetx);
+        let slack = 1.0 / trials as f64;
+        let shift = visitx_ecdf.smallest_dominating_shift(&meetx_ecdf, slack);
+        let norm_shift = shift as f64 / log2n;
+        max_norm_shift = max_norm_shift.max(norm_shift);
+        shift_table.push_row(&[
+            family.label.as_str(),
+            &shift.to_string(),
+            &format!("{norm_shift:.2}"),
+        ]);
+    }
+    report.push_table(table);
+    report.push_table(shift_table);
+    report.push_note(format!(
+        "The largest observed excess of T_visitx over T_meetx is {max_norm_excess:.2} · log2 n, \
+         consistent with the additive O(log n) bound of Theorem 23 (a bounded constant c)."
+    ));
+    report.push_note(format!(
+        "In the distributional form of the theorem, a shift of at most {max_norm_shift:.2} · log2 n \
+         already makes the visit-exchange ECDF dominate the meet-exchange ECDF on every family — \
+         an empirical estimate of the constant c."
+    ));
+    report.push_note(
+        "On most regular instances visit-exchange is actually faster than meet-exchange \
+         (negative excess): vertices relay the rumor to agents for free.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_report() {
+        let report = run(&ExperimentConfig::smoke());
+        assert_eq!(report.id, ID);
+        assert_eq!(report.tables.len(), 2);
+        assert!(report.tables[0].num_rows() >= 3);
+        assert_eq!(report.tables[0].num_rows(), report.tables[1].num_rows());
+        assert_eq!(report.notes.len(), 3);
+    }
+
+    #[test]
+    fn visitx_ecdf_dominates_meetx_ecdf_within_a_log_shift() {
+        // The distributional statement of Theorem 23 on a random regular graph.
+        let config = ExperimentConfig::smoke();
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 512;
+        let g = random_regular(n, 18, &mut rng).unwrap();
+        let trials = 8;
+        let visitx = broadcast_times(
+            &g,
+            0,
+            &SimulationSpec::new(ProtocolKind::VisitExchange).with_seed(2),
+            trials,
+            &config,
+        );
+        let meetx = broadcast_times(
+            &g,
+            0,
+            &SimulationSpec::new(ProtocolKind::MeetExchange).with_seed(2),
+            trials,
+            &config,
+        );
+        let shift = Ecdf::new(&visitx)
+            .smallest_dominating_shift(&Ecdf::new(&meetx), 1.0 / trials as f64);
+        assert!(
+            (shift as f64) <= 6.0 * (n as f64).log2(),
+            "needed a shift of {shift} rounds, far beyond O(log n)"
+        );
+    }
+
+    #[test]
+    fn visitx_excess_over_meetx_is_small_on_hypercube() {
+        let config = ExperimentConfig::smoke();
+        let g = hypercube(8).unwrap();
+        let trials = 6;
+        // Lazy walks on both protocols: the hypercube is bipartite.
+        let lazy = AgentConfig::default().lazy();
+        let visitx = broadcast_times(
+            &g,
+            0,
+            &SimulationSpec::new(ProtocolKind::VisitExchange)
+                .with_seed(1)
+                .with_agents(lazy.clone()),
+            trials,
+            &config,
+        );
+        let meetx = broadcast_times(
+            &g,
+            0,
+            &SimulationSpec::new(ProtocolKind::MeetExchange)
+                .with_seed(1)
+                .with_agents(lazy),
+            trials,
+            &config,
+        );
+        let mean_v = visitx.iter().sum::<u64>() as f64 / trials as f64;
+        let mean_m = meetx.iter().sum::<u64>() as f64 / trials as f64;
+        // Theorem 23 allows visit-exchange to trail by only O(log n) rounds.
+        assert!(
+            mean_v <= mean_m + 6.0 * (g.num_vertices() as f64).log2(),
+            "visit-exchange ({mean_v}) trails meet-exchange ({mean_m}) by more than O(log n)"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # rumor-experiments
+//!
+//! The benchmark/experiment harness of the `rumor` workspace: one experiment
+//! per figure panel, lemma, and theorem of *“How to Spread a Rumor: Call Your
+//! Neighbors or Take a Walk?”* (PODC 2019), plus mechanism experiments
+//! (bandwidth fairness, congestion/C-counters, push vs push-pull).
+//!
+//! Every experiment is a pure function
+//! `fn run(&ExperimentConfig) -> ExperimentReport` registered in
+//! [`experiments::REGISTRY`]; the `rumor-experiments` binary runs any subset
+//! and renders the reports as text or Markdown.
+//!
+//! ```
+//! use rumor_experiments::{all_experiment_ids, ExperimentConfig};
+//!
+//! // Every figure panel of the paper has a registered experiment.
+//! let ids = all_experiment_ids();
+//! assert!(ids.contains(&"fig1b-double-star"));
+//! assert!(ids.contains(&"thm1-regular"));
+//! // Reports can be produced at smoke scale in tests:
+//! let cfg = ExperimentConfig::smoke();
+//! assert_eq!(cfg.scale.name(), "smoke");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod config;
+pub mod experiments;
+mod report;
+mod runner;
+mod sweep;
+
+pub use config::{ExperimentConfig, Scale};
+pub use experiments::{all_ids as all_experiment_ids, run_by_id as run_experiment, REGISTRY};
+pub use report::ExperimentReport;
+pub use runner::{broadcast_times, run_trials};
+pub use sweep::{ProtocolSetup, ScalingSweep, SweepMeasurement, SweepPoint, SweepResult};

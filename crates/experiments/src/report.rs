@@ -1,0 +1,115 @@
+//! Experiment reports: the paper claim, the measured tables, and notes.
+
+use std::fmt::Write as _;
+
+use rumor_analysis::Table;
+
+/// The result of running one experiment: which paper claim it checks, the
+/// regenerated tables, and free-form notes (fit exponents, observed ratios).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentReport {
+    /// Short identifier, e.g. `"fig1a-star"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The paper claim being reproduced (lemma/theorem and statement).
+    pub claim: String,
+    /// Regenerated tables (broadcast times, fits, ratios, …).
+    pub tables: Vec<Table>,
+    /// Conclusions and measured quantities worth surfacing.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, claim: &str) -> Self {
+        ExperimentReport {
+            id: id.to_string(),
+            title: title.to_string(),
+            claim: claim.to_string(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a table.
+    pub fn push_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Appends a note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the full report as Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "**Paper claim.** {}\n", self.claim);
+        for table in &self.tables {
+            out.push_str(&table.to_markdown());
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out, "**Observations.**\n");
+            for note in &self.notes {
+                let _ = writeln!(out, "- {note}");
+            }
+        }
+        out
+    }
+
+    /// Renders the full report as plain text for terminal output.
+    pub fn to_plain_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} — {} ===", self.id, self.title);
+        let _ = writeln!(out, "Paper claim: {}\n", self.claim);
+        for table in &self.tables {
+            out.push_str(&table.to_plain_text());
+            out.push('\n');
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "* {note}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        let mut r = ExperimentReport::new("fig1a-star", "Star graph", "push is slow");
+        let mut t = Table::new("Times", &["n", "push"]);
+        t.push_row(&["64", "200"]);
+        r.push_table(t);
+        r.push_note("push grows like n log n");
+        r
+    }
+
+    #[test]
+    fn markdown_contains_all_sections() {
+        let md = sample().to_markdown();
+        assert!(md.contains("## fig1a-star — Star graph"));
+        assert!(md.contains("**Paper claim.** push is slow"));
+        assert!(md.contains("| n | push |"));
+        assert!(md.contains("- push grows like n log n"));
+    }
+
+    #[test]
+    fn plain_text_contains_all_sections() {
+        let text = sample().to_plain_text();
+        assert!(text.contains("=== fig1a-star"));
+        assert!(text.contains("Paper claim: push is slow"));
+        assert!(text.contains("push grows like n log n"));
+    }
+
+    #[test]
+    fn empty_report_renders_without_tables() {
+        let r = ExperimentReport::new("x", "y", "z");
+        assert!(r.to_markdown().contains("## x — y"));
+        assert!(!r.to_markdown().contains("Observations"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Bipartiteness testing (two-coloring by BFS).
+//!
+//! Bipartiteness matters for the agent-based protocols: on a bipartite graph,
+//! simple random walks preserve the parity of their starting side, so two
+//! agents started on opposite sides of the bipartition never co-locate and
+//! `meet-exchange` may never complete. The paper's remedy (Section 3) is to
+//! use *lazy* walks in that case; [`is_bipartite`] lets callers detect when
+//! the remedy is needed.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, VertexId};
+
+/// The side of the bipartition a vertex belongs to (see [`bipartition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The side containing the smallest vertex of its connected component.
+    Left,
+    /// The other side.
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// Two-colors the graph if it is bipartite.
+///
+/// Returns `Some(sides)` with one [`Side`] per vertex when the graph has no
+/// odd cycle, and `None` otherwise. In every connected component the smallest
+/// vertex is assigned [`Side::Left`]. Isolated vertices are `Left`. The empty
+/// graph yields `Some(vec![])`.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_graphs::algorithms::{bipartition, Side};
+/// use rumor_graphs::generators::{complete, path};
+///
+/// let sides = bipartition(&path(4)?).expect("paths are bipartite");
+/// assert_eq!(sides, vec![Side::Left, Side::Right, Side::Left, Side::Right]);
+///
+/// assert!(bipartition(&complete(3)?).is_none(), "triangles are odd cycles");
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+pub fn bipartition(graph: &Graph) -> Option<Vec<Side>> {
+    let n = graph.num_vertices();
+    let mut side: Vec<Option<Side>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if side[start].is_some() {
+            continue;
+        }
+        side[start] = Some(Side::Left);
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            let su = side[u].expect("queued vertices are colored");
+            for &v in graph.neighbors(u) {
+                let v = v as usize;
+                match side[v] {
+                    None => {
+                        side[v] = Some(su.other());
+                        queue.push_back(v);
+                    }
+                    Some(sv) if sv == su => return None,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    Some(side.into_iter().map(|s| s.expect("all vertices colored")).collect())
+}
+
+/// `true` if the graph contains no odd cycle.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_graphs::algorithms::is_bipartite;
+/// use rumor_graphs::generators::{complete, hypercube, star};
+///
+/// assert!(is_bipartite(&star(10)?));
+/// assert!(is_bipartite(&hypercube(5)?));
+/// assert!(!is_bipartite(&complete(4)?));
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+pub fn is_bipartite(graph: &Graph) -> bool {
+    bipartition(graph).is_some()
+}
+
+/// Returns the sizes `(left, right)` of the two sides of the bipartition, or
+/// `None` if the graph is not bipartite.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_graphs::algorithms::bipartition_sizes;
+/// use rumor_graphs::generators::star;
+///
+/// // The star's center is on one side, its 10 leaves on the other.
+/// assert_eq!(bipartition_sizes(&star(10)?), Some((1, 10)));
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+pub fn bipartition_sizes(graph: &Graph) -> Option<(usize, usize)> {
+    let sides = bipartition(graph)?;
+    let left = sides.iter().filter(|&&s| s == Side::Left).count();
+    Some((left, sides.len() - left))
+}
+
+/// `true` if edge `(u, v)` crosses the given bipartition.
+///
+/// Every edge of a bipartite graph crosses its bipartition; the helper exists
+/// for assertions and tests.
+pub fn crosses(sides: &[Side], u: VertexId, v: VertexId) -> bool {
+    sides[u] != sides[v]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{
+        complete, cycle, double_star, grid, hypercube, path, star, CycleOfStarsOfCliques,
+        HeavyBinaryTree,
+    };
+
+    #[test]
+    fn paths_stars_grids_and_hypercubes_are_bipartite() {
+        assert!(is_bipartite(&path(17).unwrap()));
+        assert!(is_bipartite(&star(40).unwrap()));
+        assert!(is_bipartite(&double_star(40).unwrap()));
+        assert!(is_bipartite(&grid(5, 7).unwrap()));
+        assert!(is_bipartite(&hypercube(6).unwrap()));
+    }
+
+    #[test]
+    fn even_cycles_are_bipartite_odd_cycles_are_not() {
+        assert!(is_bipartite(&cycle(8).unwrap()));
+        assert!(!is_bipartite(&cycle(9).unwrap()));
+    }
+
+    #[test]
+    fn cliques_and_clique_bearing_families_are_not_bipartite() {
+        assert!(!is_bipartite(&complete(3).unwrap()));
+        assert!(!is_bipartite(&complete(10).unwrap()));
+        assert!(!is_bipartite(HeavyBinaryTree::new(4).unwrap().graph()));
+        assert!(!is_bipartite(CycleOfStarsOfCliques::new(4).unwrap().graph()));
+    }
+
+    #[test]
+    fn trivial_graphs_are_bipartite() {
+        assert!(is_bipartite(&Graph::from_edges(0, &[]).unwrap()));
+        assert!(is_bipartite(&Graph::from_edges(1, &[]).unwrap()));
+        assert!(is_bipartite(&Graph::from_edges(3, &[]).unwrap()));
+    }
+
+    #[test]
+    fn every_edge_crosses_the_bipartition() {
+        let g = hypercube(5).unwrap();
+        let sides = bipartition(&g).unwrap();
+        for (u, v) in g.edges() {
+            assert!(crosses(&sides, u, v), "edge ({u}, {v}) does not cross");
+        }
+    }
+
+    #[test]
+    fn bipartition_sizes_split_the_hypercube_evenly() {
+        let g = hypercube(7).unwrap();
+        assert_eq!(bipartition_sizes(&g), Some((64, 64)));
+        assert_eq!(bipartition_sizes(&complete(5).unwrap()), None);
+    }
+
+    #[test]
+    fn smallest_vertex_of_each_component_is_left() {
+        // Two disjoint edges: vertices 0-1 and 2-3.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let sides = bipartition(&g).unwrap();
+        assert_eq!(sides[0], Side::Left);
+        assert_eq!(sides[2], Side::Left);
+        assert_eq!(sides[1], Side::Right);
+        assert_eq!(sides[3], Side::Right);
+    }
+
+    #[test]
+    fn side_other_is_an_involution() {
+        assert_eq!(Side::Left.other(), Side::Right);
+        assert_eq!(Side::Right.other(), Side::Left);
+        assert_eq!(Side::Left.other().other(), Side::Left);
+    }
+}

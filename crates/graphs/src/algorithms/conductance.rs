@@ -1,0 +1,166 @@
+//! Cut and conductance computations.
+//!
+//! The paper attributes the speed of the agent protocols on the double star to
+//! their *fair bandwidth use*: every edge is crossed at the same rate, so thin
+//! cuts (low conductance) are crossed as often as their size allows, whereas
+//! `push-pull` crosses a cut at a rate controlled by the degrees of its
+//! endpoints. These helpers let the experiments report the conductance of the
+//! cuts their graphs are built around.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::graph::{Graph, VertexId};
+
+/// Number of edges with exactly one endpoint in `side`.
+pub fn edge_boundary(graph: &Graph, side: &[VertexId]) -> usize {
+    let set: HashSet<VertexId> = side.iter().copied().collect();
+    let mut count = 0;
+    for &u in side {
+        for &v in graph.neighbors(u) {
+            if !set.contains(&(v as usize)) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Conductance of the cut `(side, V \ side)`:
+/// `|∂S| / min(vol(S), vol(V \ S))`, where `vol` is the sum of degrees.
+///
+/// Returns `None` if either side has zero volume (the conductance is
+/// undefined).
+pub fn cut_conductance(graph: &Graph, side: &[VertexId]) -> Option<f64> {
+    let set: HashSet<VertexId> = side.iter().copied().collect();
+    let vol_s: usize = side.iter().map(|&u| graph.degree(u)).sum();
+    let vol_rest = graph.total_degree().checked_sub(vol_s)?;
+    if vol_s == 0 || vol_rest == 0 {
+        return None;
+    }
+    let boundary = side
+        .iter()
+        .flat_map(|&u| graph.neighbors(u).iter().map(move |&v| (u, v as usize)))
+        .filter(|&(_, v)| !set.contains(&v))
+        .count();
+    Some(boundary as f64 / vol_s.min(vol_rest) as f64)
+}
+
+/// A cheap upper-bound estimate of the graph conductance obtained by testing
+/// `samples` random "ball" cuts (BFS balls around random vertices grown to a
+/// random radius) and returning the smallest conductance seen.
+///
+/// This is *not* the exact conductance (which is NP-hard); it is a diagnostic
+/// that reliably exposes the thin cuts in the paper's example graphs
+/// (double star, barbell, cycle of cliques).
+///
+/// Returns `None` for graphs with fewer than two vertices or no edges.
+pub fn graph_conductance_estimate<R: Rng + ?Sized>(
+    graph: &Graph,
+    samples: usize,
+    rng: &mut R,
+) -> Option<f64> {
+    let n = graph.num_vertices();
+    if n < 2 || graph.num_edges() == 0 {
+        return None;
+    }
+    let mut best: Option<f64> = None;
+    for _ in 0..samples {
+        let center = rng.gen_range(0..n);
+        let dist = crate::algorithms::bfs_distances(graph, center);
+        let max_dist = dist.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap_or(0);
+        if max_dist == 0 {
+            continue;
+        }
+        let radius = rng.gen_range(0..max_dist);
+        let side: Vec<VertexId> =
+            (0..n).filter(|&u| dist[u] != u32::MAX && dist[u] <= radius).collect();
+        if let Some(phi) = cut_conductance(graph, &side) {
+            best = Some(match best {
+                Some(b) => b.min(phi),
+                None => phi,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barbell, complete, double_star, DOUBLE_STAR_CENTER_A};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_boundary_of_barbell_bridge_cut() {
+        let g = barbell(5).unwrap();
+        let left: Vec<usize> = (0..5).collect();
+        assert_eq!(edge_boundary(&g, &left), 1);
+    }
+
+    #[test]
+    fn edge_boundary_of_whole_graph_is_zero() {
+        let g = complete(4).unwrap();
+        let all: Vec<usize> = (0..4).collect();
+        assert_eq!(edge_boundary(&g, &all), 0);
+    }
+
+    #[test]
+    fn conductance_of_double_star_half() {
+        let l = 10;
+        let g = double_star(l).unwrap();
+        // One star (center A and its leaves) against the other.
+        let mut side = vec![DOUBLE_STAR_CENTER_A];
+        side.extend(2..2 + l);
+        let phi = cut_conductance(&g, &side).unwrap();
+        // Boundary is the single center-center edge; volume of each side is l + 1... + leaves.
+        let vol = (l + 1) + l;
+        assert!((phi - 1.0 / vol as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_of_clique_half() {
+        let g = complete(8).unwrap();
+        let side: Vec<usize> = (0..4).collect();
+        let phi = cut_conductance(&g, &side).unwrap();
+        // Each of 4 vertices has 4 cross edges; volume of side is 4 * 7.
+        assert!((phi - 16.0 / 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_undefined_for_empty_side() {
+        let g = complete(4).unwrap();
+        assert_eq!(cut_conductance(&g, &[]), None);
+        let all: Vec<usize> = (0..4).collect();
+        assert_eq!(cut_conductance(&g, &all), None);
+    }
+
+    #[test]
+    fn estimate_detects_thin_cut_of_barbell() {
+        let g = barbell(12).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let phi = graph_conductance_estimate(&g, 50, &mut rng).unwrap();
+        // The bridge cut has conductance 1 / (12 * 11 + 1) ≈ 0.0076; the
+        // estimate should find something small.
+        assert!(phi < 0.05, "estimate {phi} did not expose the thin cut");
+    }
+
+    #[test]
+    fn estimate_is_large_for_expander_like_clique() {
+        let g = complete(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let phi = graph_conductance_estimate(&g, 30, &mut rng).unwrap();
+        assert!(phi > 0.4, "clique conductance estimate {phi} unexpectedly small");
+    }
+
+    #[test]
+    fn estimate_none_for_degenerate_graphs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let empty = crate::Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(graph_conductance_estimate(&empty, 5, &mut rng), None);
+        let single = crate::Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(graph_conductance_estimate(&single, 5, &mut rng), None);
+    }
+}

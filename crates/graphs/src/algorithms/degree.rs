@@ -1,0 +1,143 @@
+//! Degree statistics. Degree heterogeneity is the mechanism behind every
+//! separation example in the paper, so the experiment reports include these
+//! summaries for each graph.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+
+/// Summary statistics of a graph's degree sequence.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_graphs::{algorithms::DegreeStats, generators::star};
+/// let stats = DegreeStats::of(&star(9)?);
+/// assert_eq!(stats.min, 1);
+/// assert_eq!(stats.max, 9);
+/// assert!(!stats.is_regular());
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree `2m / n`.
+    pub mean: f64,
+    /// Population variance of the degree sequence.
+    pub variance: f64,
+}
+
+impl DegreeStats {
+    /// Computes the statistics for `graph`. For the empty graph all fields
+    /// are zero.
+    pub fn of(graph: &Graph) -> Self {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return DegreeStats { n: 0, m: 0, min: 0, max: 0, mean: 0.0, variance: 0.0 };
+        }
+        let degrees: Vec<usize> = graph.vertices().map(|u| graph.degree(u)).collect();
+        let min = *degrees.iter().min().expect("non-empty");
+        let max = *degrees.iter().max().expect("non-empty");
+        let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+        let variance =
+            degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        DegreeStats { n, m: graph.num_edges(), min, max, mean, variance }
+    }
+
+    /// `true` when every vertex has the same degree.
+    pub fn is_regular(&self) -> bool {
+        self.min == self.max
+    }
+
+    /// Ratio `max / min`; `f64::INFINITY` when the minimum degree is zero,
+    /// `1.0` for the empty graph. A crude heterogeneity measure.
+    pub fn heterogeneity(&self) -> f64 {
+        if self.n == 0 {
+            1.0
+        } else if self.min == 0 {
+            f64::INFINITY
+        } else {
+            self.max as f64 / self.min as f64
+        }
+    }
+}
+
+/// Histogram of the degree sequence: `histogram[d]` = number of vertices with
+/// degree `d` (length `max_degree + 1`; empty for the empty graph).
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let max = match graph.max_degree() {
+        Some(m) => m,
+        None => return Vec::new(),
+    };
+    let mut hist = vec![0usize; max + 1];
+    for u in graph.vertices() {
+        hist[graph.degree(u)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, double_star, star};
+    use crate::Graph;
+
+    #[test]
+    fn stats_of_star() {
+        let s = DegreeStats::of(&star(9).unwrap());
+        assert_eq!(s.n, 10);
+        assert_eq!(s.m, 9);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+        assert!((s.mean - 1.8).abs() < 1e-12);
+        assert!(s.variance > 0.0);
+        assert!(!s.is_regular());
+        assert!((s.heterogeneity() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_regular_graph() {
+        let s = DegreeStats::of(&complete(6).unwrap());
+        assert!(s.is_regular());
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 5);
+        assert!((s.variance).abs() < 1e-12);
+        assert!((s.heterogeneity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = DegreeStats::of(&Graph::from_edges(0, &[]).unwrap());
+        assert_eq!(s.n, 0);
+        assert!(s.is_regular());
+        assert_eq!(s.heterogeneity(), 1.0);
+    }
+
+    #[test]
+    fn stats_with_isolated_vertex() {
+        let s = DegreeStats::of(&Graph::from_edges(3, &[(0, 1)]).unwrap());
+        assert_eq!(s.min, 0);
+        assert!(s.heterogeneity().is_infinite());
+    }
+
+    #[test]
+    fn histogram_of_double_star() {
+        let hist = degree_histogram(&double_star(4).unwrap());
+        // 8 leaves of degree 1, 2 centers of degree 5.
+        assert_eq!(hist[1], 8);
+        assert_eq!(hist[5], 2);
+        assert_eq!(hist.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn histogram_of_empty_graph() {
+        assert!(degree_histogram(&Graph::from_edges(0, &[]).unwrap()).is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! Graph algorithms used by the experiments: traversal, connectivity,
+//! distance/diameter computation, bipartiteness, degree statistics, cut
+//! conductance, and spectral-gap / mixing-time estimates.
+
+mod bipartite;
+mod conductance;
+mod degree;
+mod spectral;
+mod traversal;
+
+pub use bipartite::{bipartition, bipartition_sizes, crosses, is_bipartite, Side};
+pub use conductance::{cut_conductance, edge_boundary, graph_conductance_estimate};
+pub use degree::{degree_histogram, DegreeStats};
+pub use spectral::{spectral_gap_estimate, SpectralEstimate};
+pub use traversal::{
+    bfs_distances, connected_components, diameter_exact, diameter_lower_bound, eccentricity,
+    is_connected,
+};

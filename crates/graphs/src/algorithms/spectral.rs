@@ -1,0 +1,271 @@
+//! Spectral estimates for the lazy random-walk transition matrix: second
+//! eigenvalue, spectral gap, and the classical mixing-time bound.
+//!
+//! Rumor-spreading broadcast times on regular graphs are governed by expansion
+//! (conductance / spectral gap): the paper cites bounds of this form for
+//! `push-pull` ([11, 26]) and for asynchronous spreading ([41]), and its own
+//! Theorem 1 transfers any such bound to `visit-exchange`. The experiments use
+//! these estimates to line broadcast times up against the expansion of each
+//! family (random regular graphs are expanders, the cycle of cliques is not).
+//!
+//! The estimate uses power iteration on the *lazy* transition matrix
+//! `P = (I + D^{-1} A) / 2`, whose spectrum lies in `[0, 1]`, deflating the
+//! known top eigenvector (the stationary distribution). No linear-algebra
+//! dependency is required; for the sizes used in the experiments (up to a few
+//! thousand vertices) the iteration converges in a few hundred matrix–vector
+//! products.
+
+use rand::Rng;
+
+use crate::graph::Graph;
+
+/// Result of [`spectral_gap_estimate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralEstimate {
+    /// Estimated second-largest eigenvalue of the lazy transition matrix
+    /// (in `[0, 1]`; smaller means better expansion).
+    pub lambda_2: f64,
+    /// Spectral gap `1 − λ₂` of the lazy walk.
+    pub gap: f64,
+    /// Number of power iterations performed.
+    pub iterations: usize,
+}
+
+impl SpectralEstimate {
+    /// The classical upper bound on the ε-mixing time of the lazy walk,
+    /// `t_mix(ε) ≤ (1 / gap) · ln(n / ε)` (valid for reversible chains; see
+    /// e.g. Levin–Peres). Returns `f64::INFINITY` when the gap estimate is
+    /// not positive.
+    pub fn mixing_time_bound(&self, n: usize, epsilon: f64) -> f64 {
+        if self.gap <= 0.0 || n == 0 {
+            return f64::INFINITY;
+        }
+        (1.0 / self.gap) * ((n as f64) / epsilon).ln()
+    }
+}
+
+/// Multiplies a vector by the lazy transition matrix `P = (I + D^{-1} A) / 2`.
+fn lazy_step(graph: &Graph, x: &[f64], out: &mut [f64]) {
+    for u in 0..graph.num_vertices() {
+        let deg = graph.degree(u);
+        let mut acc = 0.0;
+        if deg > 0 {
+            for &v in graph.neighbors(u) {
+                acc += x[v as usize];
+            }
+            acc /= deg as f64;
+        }
+        out[u] = 0.5 * (x[u] + acc);
+    }
+}
+
+/// Removes the component of `x` along the top eigenvector of the lazy walk.
+///
+/// For the random-walk transition matrix the top right-eigenvector is the
+/// all-ones vector under the degree-weighted inner product
+/// `⟨x, y⟩_π = Σ_u π(u) x(u) y(u)`, so deflation subtracts the π-weighted mean.
+fn deflate(graph: &Graph, x: &mut [f64]) {
+    let total = graph.total_degree() as f64;
+    if total == 0.0 {
+        return;
+    }
+    let mean: f64 =
+        (0..graph.num_vertices()).map(|u| graph.degree(u) as f64 * x[u]).sum::<f64>() / total;
+    for value in x.iter_mut() {
+        *value -= mean;
+    }
+}
+
+/// The π-weighted norm used for normalization during power iteration.
+fn pi_norm(graph: &Graph, x: &[f64]) -> f64 {
+    let total = graph.total_degree() as f64;
+    if total == 0.0 {
+        return 0.0;
+    }
+    (0..graph.num_vertices())
+        .map(|u| graph.degree(u) as f64 / total * x[u] * x[u])
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Estimates the second eigenvalue and spectral gap of the lazy random walk on
+/// `graph` by deflated power iteration.
+///
+/// `max_iterations` caps the work; `tolerance` stops the iteration early once
+/// the eigenvalue estimate is stable between consecutive iterations. The
+/// estimate is a *lower* bound on λ₂ in exact arithmetic (power iteration
+/// converges from below through Rayleigh quotients), which makes the derived
+/// gap an upper bound — adequate for the qualitative expander/non-expander
+/// comparisons the experiments make.
+///
+/// Returns `None` for graphs with fewer than two vertices or no edges.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_graphs::algorithms::spectral_gap_estimate;
+/// use rumor_graphs::generators::complete;
+///
+/// let g = complete(32)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let est = spectral_gap_estimate(&g, 500, 1e-9, &mut rng).unwrap();
+/// // The complete graph is the best possible expander: the lazy walk's gap
+/// // is close to 1/2.
+/// assert!(est.gap > 0.4);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+pub fn spectral_gap_estimate<R: Rng + ?Sized>(
+    graph: &Graph,
+    max_iterations: usize,
+    tolerance: f64,
+    rng: &mut R,
+) -> Option<SpectralEstimate> {
+    let n = graph.num_vertices();
+    if n < 2 || graph.num_edges() == 0 {
+        return None;
+    }
+
+    // Random start, deflated so it is π-orthogonal to the top eigenvector.
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    deflate(graph, &mut x);
+    let norm = pi_norm(graph, &x);
+    if norm == 0.0 {
+        return None;
+    }
+    for value in x.iter_mut() {
+        *value /= norm;
+    }
+
+    let mut y = vec![0.0; n];
+    let mut lambda = 0.0;
+    let mut iterations = 0;
+    for it in 1..=max_iterations.max(1) {
+        iterations = it;
+        lazy_step(graph, &x, &mut y);
+        deflate(graph, &mut y);
+        let norm = pi_norm(graph, &y);
+        if norm <= f64::MIN_POSITIVE {
+            // The iterate collapsed into the top eigenspace: the rest of the
+            // spectrum is (numerically) zero, i.e. the gap is as large as the
+            // lazy walk allows.
+            return Some(SpectralEstimate { lambda_2: 0.0, gap: 1.0, iterations });
+        }
+        let new_lambda = norm; // ‖P x‖_π for a π-normalized, deflated x.
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / norm;
+        }
+        if (new_lambda - lambda).abs() < tolerance && it > 1 {
+            lambda = new_lambda;
+            break;
+        }
+        lambda = new_lambda;
+    }
+
+    let lambda_2 = lambda.clamp(0.0, 1.0);
+    Some(SpectralEstimate { lambda_2, gap: 1.0 - lambda_2, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle, double_star, hypercube, path, random_regular};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn estimate(graph: &Graph) -> SpectralEstimate {
+        spectral_gap_estimate(graph, 3_000, 1e-10, &mut rng(11)).expect("valid graph")
+    }
+
+    #[test]
+    fn complete_graph_has_a_large_gap() {
+        // Lazy walk on K_n: eigenvalues are 1 and (1 − n/(2(n−1))) ≈ 1/2, so
+        // λ₂ ≈ 0.48 and the gap ≈ 0.52 for n = 24.
+        let est = estimate(&complete(24).unwrap());
+        assert!(est.gap > 0.45, "gap {} too small for a clique", est.gap);
+        assert!(est.lambda_2 < 0.55);
+    }
+
+    #[test]
+    fn long_cycle_has_a_tiny_gap() {
+        // Lazy walk on C_n: gap = (1 − cos(2π/n)) / 2 ≈ π²/n², i.e. ~0.002
+        // for n = 64.
+        let est = estimate(&cycle(64).unwrap());
+        assert!(est.gap < 0.02, "gap {} too large for a long cycle", est.gap);
+        let exact = (1.0 - (2.0 * std::f64::consts::PI / 64.0).cos()) / 2.0;
+        assert!(
+            (est.lambda_2 - (1.0 - exact)).abs() < 0.01,
+            "λ₂ {} far from the exact value {}",
+            est.lambda_2,
+            1.0 - exact
+        );
+    }
+
+    #[test]
+    fn path_gap_matches_known_value() {
+        // Lazy walk on P_n: λ₂ = (1 + cos(π/n)) / 2.
+        let n = 40;
+        let est = estimate(&path(n).unwrap());
+        let exact = (1.0 + (std::f64::consts::PI / n as f64).cos()) / 2.0;
+        assert!((est.lambda_2 - exact).abs() < 0.01, "λ₂ {} vs exact {exact}", est.lambda_2);
+    }
+
+    #[test]
+    fn random_regular_graph_is_an_expander() {
+        let g = random_regular(256, 12, &mut rng(3)).unwrap();
+        let est = estimate(&g);
+        // Friedman's theorem: λ₂ of the non-lazy walk ≈ 2√(d−1)/d ≈ 0.55, so
+        // the lazy gap is ≈ (1 − 0.55)/2 ≈ 0.22. Anything clearly bounded
+        // away from zero is what the experiments rely on.
+        assert!(est.gap > 0.1, "random regular graph gap {} unexpectedly small", est.gap);
+    }
+
+    #[test]
+    fn double_star_gap_is_tiny() {
+        let est = estimate(&double_star(64).unwrap());
+        assert!(est.gap < 0.05, "double star gap {} should be tiny (thin bridge)", est.gap);
+    }
+
+    #[test]
+    fn hypercube_gap_matches_dimension() {
+        // Lazy walk on the d-dimensional hypercube: gap = 1/(2d)... the
+        // non-lazy gap is 2/d, halved by laziness.
+        let d = 7;
+        let est = estimate(&hypercube(d).unwrap());
+        let exact = 1.0 / d as f64;
+        assert!((est.gap - exact).abs() < 0.02, "gap {} vs exact {exact}", est.gap);
+    }
+
+    #[test]
+    fn mixing_time_bound_behaves() {
+        let est = estimate(&complete(16).unwrap());
+        let bound = est.mixing_time_bound(16, 0.01);
+        assert!(bound.is_finite() && bound > 0.0);
+        // A zero gap yields an infinite bound rather than a panic.
+        let degenerate = SpectralEstimate { lambda_2: 1.0, gap: 0.0, iterations: 1 };
+        assert!(degenerate.mixing_time_bound(16, 0.01).is_infinite());
+    }
+
+    #[test]
+    fn degenerate_graphs_yield_none() {
+        let mut r = rng(0);
+        assert!(spectral_gap_estimate(&Graph::from_edges(0, &[]).unwrap(), 10, 1e-6, &mut r)
+            .is_none());
+        assert!(spectral_gap_estimate(&Graph::from_edges(1, &[]).unwrap(), 10, 1e-6, &mut r)
+            .is_none());
+        assert!(spectral_gap_estimate(&Graph::from_edges(3, &[]).unwrap(), 10, 1e-6, &mut r)
+            .is_none());
+    }
+
+    #[test]
+    fn estimate_is_deterministic_for_a_fixed_seed() {
+        let g = random_regular(128, 8, &mut rng(4)).unwrap();
+        let a = spectral_gap_estimate(&g, 1_000, 1e-9, &mut rng(9)).unwrap();
+        let b = spectral_gap_estimate(&g, 1_000, 1e-9, &mut rng(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

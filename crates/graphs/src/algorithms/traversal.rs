@@ -1,0 +1,215 @@
+//! Breadth-first traversal, connectivity, and diameter computations.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, VertexId};
+
+/// Distance marker for unreachable vertices in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `source` to every vertex; unreachable vertices get
+/// [`UNREACHABLE`].
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_graphs::{algorithms::bfs_distances, generators::path};
+/// let g = path(4)?;
+/// assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+pub fn bfs_distances(graph: &Graph, source: VertexId) -> Vec<u32> {
+    assert!(source < graph.num_vertices(), "source out of range");
+    let mut dist = vec![UNREACHABLE; graph.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for &v in graph.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == UNREACHABLE {
+                dist[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Returns `true` if the graph is connected. The empty graph and the
+/// single-vertex graph count as connected.
+pub fn is_connected(graph: &Graph) -> bool {
+    let n = graph.num_vertices();
+    if n <= 1 {
+        return true;
+    }
+    bfs_distances(graph, 0).iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Assigns a component id to every vertex and returns `(ids, component_count)`.
+/// Component ids are consecutive integers starting at 0, in order of the
+/// smallest vertex in each component.
+pub fn connected_components(graph: &Graph) -> (Vec<usize>, usize) {
+    let n = graph.num_vertices();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in graph.neighbors(u) {
+                let v = v as usize;
+                if comp[v] == usize::MAX {
+                    comp[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next)
+}
+
+/// The eccentricity of `source`: the largest BFS distance to any reachable
+/// vertex. Returns `None` if some vertex is unreachable from `source`.
+pub fn eccentricity(graph: &Graph, source: VertexId) -> Option<u32> {
+    let dist = bfs_distances(graph, source);
+    let mut max = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max)
+}
+
+/// Exact diameter by running BFS from every vertex — `O(n (n + m))`, intended
+/// for the modest graph sizes used in tests and experiment sanity checks.
+///
+/// Returns `None` for disconnected or empty graphs.
+pub fn diameter_exact(graph: &Graph) -> Option<u32> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for u in 0..n {
+        best = best.max(eccentricity(graph, u)?);
+    }
+    Some(best)
+}
+
+/// Fast diameter lower bound by a double BFS sweep (exact on trees, a good
+/// estimate elsewhere). Returns `None` for disconnected or empty graphs.
+pub fn diameter_lower_bound(graph: &Graph) -> Option<u32> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    let first = bfs_distances(graph, 0);
+    if first.iter().any(|&d| d == UNREACHABLE) {
+        return None;
+    }
+    let far = first.iter().enumerate().max_by_key(|(_, &d)| d).map(|(u, _)| u).unwrap_or(0);
+    eccentricity(graph, far)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle, double_star, path, star};
+    use crate::Graph;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5).unwrap();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable_marked() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_connected(&path(6).unwrap()));
+        assert!(is_connected(&Graph::from_edges(1, &[]).unwrap()));
+        assert!(is_connected(&Graph::from_edges(0, &[]).unwrap()));
+        assert!(!is_connected(&Graph::from_edges(3, &[(0, 1)]).unwrap()));
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (3, 4)]).unwrap();
+        let (ids, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[2], ids[3]);
+        assert_eq!(ids[3], ids[4]);
+        assert_ne!(ids[0], ids[2]);
+        assert_ne!(ids[2], ids[5]);
+    }
+
+    #[test]
+    fn components_of_connected_graph() {
+        let (ids, count) = connected_components(&cycle(5).unwrap());
+        assert_eq!(count, 1);
+        assert!(ids.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn eccentricity_and_diameter_on_path() {
+        let g = path(7).unwrap();
+        assert_eq!(eccentricity(&g, 0), Some(6));
+        assert_eq!(eccentricity(&g, 3), Some(3));
+        assert_eq!(diameter_exact(&g), Some(6));
+        assert_eq!(diameter_lower_bound(&g), Some(6));
+    }
+
+    #[test]
+    fn diameter_of_standard_graphs() {
+        assert_eq!(diameter_exact(&complete(8).unwrap()), Some(1));
+        assert_eq!(diameter_exact(&star(9).unwrap()), Some(2));
+        assert_eq!(diameter_exact(&double_star(5).unwrap()), Some(3));
+        assert_eq!(diameter_exact(&cycle(8).unwrap()), Some(4));
+        assert_eq!(diameter_exact(&cycle(9).unwrap()), Some(4));
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        assert_eq!(diameter_exact(&g), None);
+        assert_eq!(diameter_lower_bound(&g), None);
+        assert_eq!(eccentricity(&g, 0), None);
+    }
+
+    #[test]
+    fn diameter_of_empty_graph() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(diameter_exact(&g), None);
+        assert_eq!(diameter_lower_bound(&g), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bfs_panics_on_bad_source() {
+        let g = path(3).unwrap();
+        let _ = bfs_distances(&g, 10);
+    }
+}

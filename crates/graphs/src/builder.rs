@@ -1,0 +1,294 @@
+//! Incremental construction of [`Graph`] values.
+
+use std::collections::HashSet;
+
+use crate::error::{GraphError, Result};
+use crate::graph::{Graph, VertexId};
+
+/// Builder for [`Graph`].
+///
+/// Collects undirected edges, rejects self-loops and duplicates, and produces
+/// the CSR representation in one pass at [`GraphBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// use rumor_graphs::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// b.add_edge(2, 3)?;
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+    seen: HashSet<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new(), seen: HashSet::new() }
+    }
+
+    /// Creates a builder for `n` vertices, reserving space for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(m), seen: HashSet::with_capacity(m) }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the undirected edge `(u, v)` has already been added.
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let key = Self::key(u, v);
+        self.seen.contains(&key)
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is `>= n`,
+    /// [`GraphError::SelfLoop`] if `u == v`, and
+    /// [`GraphError::DuplicateEdge`] if the edge was added before.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
+        if u >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        let key = Self::key(u, v);
+        if !self.seen.insert(key) {
+            return Err(GraphError::DuplicateEdge { u: key.0 as usize, v: key.1 as usize });
+        }
+        self.edges.push(key);
+        Ok(())
+    }
+
+    /// Adds the edge `(u, v)` if it is not already present, ignoring duplicates.
+    ///
+    /// Useful for generators whose natural description produces some edges
+    /// more than once (e.g. overlapping cliques).
+    ///
+    /// Returns `true` if the edge was newly added.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same range and self-loop errors as [`GraphBuilder::add_edge`].
+    pub fn add_edge_dedup(&mut self, u: VertexId, v: VertexId) -> Result<bool> {
+        match self.add_edge(u, v) {
+            Ok(()) => Ok(true),
+            Err(GraphError::DuplicateEdge { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Adds every edge of `edges`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`GraphBuilder::add_edge`].
+    pub fn add_edges<I>(&mut self, edges: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        for (u, v) in edges {
+            self.add_edge(u, v)?;
+        }
+        Ok(())
+    }
+
+    /// Adds all `k * (k - 1) / 2` edges of a clique over `vertices`,
+    /// skipping edges that already exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns range/self-loop errors if `vertices` contains an out-of-range
+    /// index or a repeated vertex.
+    pub fn add_clique(&mut self, vertices: &[VertexId]) -> Result<()> {
+        for (i, &u) in vertices.iter().enumerate() {
+            for &v in &vertices[i + 1..] {
+                if u == v {
+                    return Err(GraphError::SelfLoop { vertex: u });
+                }
+                self.add_edge_dedup(u, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes the builder into an immutable CSR [`Graph`].
+    pub fn build(self) -> Graph {
+        let n = self.n;
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut adjacency = vec![0u32; acc];
+        for &(u, v) in &self.edges {
+            adjacency[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            adjacency[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort each adjacency list so neighbor lookups can binary search.
+        for u in 0..n {
+            adjacency[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+        Graph::from_csr(offsets, adjacency, self.edges.len())
+    }
+
+    fn key(u: VertexId, v: VertexId) -> (u32, u32) {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        (a as u32, b as u32)
+    }
+}
+
+impl Extend<(VertexId, VertexId)> for GraphBuilder {
+    /// Adds edges, panicking on invalid edges.
+    ///
+    /// Prefer [`GraphBuilder::add_edges`] when the input is untrusted.
+    fn extend<T: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: T) {
+        for (u, v) in iter {
+            self.add_edge(u, v).expect("invalid edge passed to GraphBuilder::extend");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sorts_adjacency() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 4).unwrap();
+        b.add_edge(0, 2).unwrap();
+        b.add_edge(0, 3).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn duplicate_edge_rejected_in_both_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        assert!(matches!(b.add_edge(1, 0), Err(GraphError::DuplicateEdge { .. })));
+        assert!(matches!(b.add_edge(0, 1), Err(GraphError::DuplicateEdge { .. })));
+    }
+
+    #[test]
+    fn add_edge_dedup_reports_whether_added() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge_dedup(0, 1).unwrap());
+        assert!(!b.add_edge_dedup(1, 0).unwrap());
+        assert_eq!(b.num_edges(), 1);
+    }
+
+    #[test]
+    fn add_edge_dedup_still_rejects_self_loops() {
+        let mut b = GraphBuilder::new(3);
+        assert!(matches!(b.add_edge_dedup(2, 2), Err(GraphError::SelfLoop { vertex: 2 })));
+    }
+
+    #[test]
+    fn add_clique_creates_all_pairs() {
+        let mut b = GraphBuilder::new(5);
+        b.add_clique(&[1, 2, 3, 4]).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 0);
+        for u in 1..5 {
+            assert_eq!(g.degree(u), 3);
+        }
+    }
+
+    #[test]
+    fn add_clique_tolerates_existing_edges() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_clique(&[0, 1, 2]).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn add_edges_bulk() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edges([(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(b.num_edges(), 3);
+    }
+
+    #[test]
+    fn contains_edge_checks_normalized_key() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(2, 1).unwrap();
+        assert!(b.contains_edge(1, 2));
+        assert!(b.contains_edge(2, 1));
+        assert!(!b.contains_edge(0, 1));
+    }
+
+    #[test]
+    fn extend_adds_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.extend([(0, 1), (1, 2)]);
+        assert_eq!(b.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid edge")]
+    fn extend_panics_on_invalid_edge() {
+        let mut b = GraphBuilder::new(2);
+        b.extend([(0, 5)]);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = GraphBuilder::with_capacity(10, 20);
+        assert_eq!(b.num_vertices(), 10);
+        b.add_edge(0, 9).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn built_graph_validates() {
+        let mut b = GraphBuilder::new(6);
+        b.add_clique(&[0, 1, 2]).unwrap();
+        b.add_edge(2, 3).unwrap();
+        b.add_edge(3, 4).unwrap();
+        b.add_edge(4, 5).unwrap();
+        let g = b.build();
+        g.validate().unwrap();
+        assert_eq!(g.num_edges(), 6);
+    }
+}

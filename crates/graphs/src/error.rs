@@ -1,0 +1,132 @@
+//! Error types for graph construction and generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or generating graphs.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_graphs::{GraphBuilder, GraphError};
+///
+/// let mut b = GraphBuilder::new(2);
+/// let err = b.add_edge(0, 5).unwrap_err();
+/// assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An endpoint of an edge referred to a vertex index `vertex >= n`.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// The number of vertices in the graph under construction.
+        n: usize,
+    },
+    /// A self-loop `(u, u)` was added; the protocols in this crate family are
+    /// defined on simple graphs.
+    SelfLoop {
+        /// The vertex with the attempted self-loop.
+        vertex: usize,
+    },
+    /// The same undirected edge was added twice.
+    DuplicateEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// A generator was asked for a graph with invalid parameters
+    /// (e.g. a `d`-regular graph with `n * d` odd, or `d >= n`).
+    InvalidParameters {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A randomized generator (e.g. the configuration model) failed to produce
+    /// a simple connected graph within its retry budget.
+    GenerationFailed {
+        /// Human-readable description of what was being generated.
+        reason: String,
+    },
+    /// An operation that requires a connected graph was given a disconnected one.
+    Disconnected,
+    /// An operation that requires a non-empty graph was given an empty one.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex index {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at vertex {vertex} is not allowed")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate undirected edge ({u}, {v})")
+            }
+            GraphError::InvalidParameters { reason } => {
+                write!(f, "invalid generator parameters: {reason}")
+            }
+            GraphError::GenerationFailed { reason } => {
+                write!(f, "graph generation failed: {reason}")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::EmptyGraph => write!(f, "graph has no vertices"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_vertex_out_of_range() {
+        let e = GraphError::VertexOutOfRange { vertex: 7, n: 3 };
+        assert_eq!(e.to_string(), "vertex index 7 out of range for graph with 3 vertices");
+    }
+
+    #[test]
+    fn display_self_loop() {
+        let e = GraphError::SelfLoop { vertex: 2 };
+        assert!(e.to_string().contains("self-loop at vertex 2"));
+    }
+
+    #[test]
+    fn display_duplicate_edge() {
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+    }
+
+    #[test]
+    fn display_invalid_parameters() {
+        let e = GraphError::InvalidParameters { reason: "d must be < n".into() };
+        assert!(e.to_string().contains("d must be < n"));
+    }
+
+    #[test]
+    fn display_generation_failed() {
+        let e = GraphError::GenerationFailed { reason: "too many retries".into() };
+        assert!(e.to_string().contains("too many retries"));
+    }
+
+    #[test]
+    fn display_disconnected_and_empty() {
+        assert_eq!(GraphError::Disconnected.to_string(), "graph is not connected");
+        assert_eq!(GraphError::EmptyGraph.to_string(), "graph has no vertices");
+    }
+
+    #[test]
+    fn error_is_std_error_and_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<GraphError>();
+    }
+}

@@ -1,0 +1,27 @@
+//! Graph generators for every family used in the paper's analysis plus a set
+//! of standard regular and random families used by the regular-graph theorems.
+//!
+//! | Paper reference | Generator |
+//! |---|---|
+//! | Fig. 1(a), Lemma 2 (star) | [`star`] |
+//! | Fig. 1(b), Lemma 3 (double star) | [`double_star`] |
+//! | Fig. 1(c), Lemma 4 (heavy binary tree) | [`HeavyBinaryTree`] |
+//! | Fig. 1(d), Lemma 8 (Siamese heavy trees) | [`SiameseHeavyBinaryTree`] |
+//! | Fig. 1(e), Lemma 9 (cycle of stars of cliques) | [`CycleOfStarsOfCliques`] |
+//! | Theorem 1 regime (`d`-regular, `d = Ω(log n)`) | [`random_regular`], [`hypercube`], [`complete`], [`cycle_of_cliques`], [`matched_communities`] |
+//! | Extra non-regular stress tests | [`erdos_renyi`], [`barbell`], [`lollipop`], [`grid`], [`binary_tree`] |
+
+mod basic;
+mod paper;
+mod random;
+mod regular;
+
+pub use basic::{
+    binary_tree, binary_tree_leaves, binary_tree_size, complete, cycle, double_star, grid,
+    hypercube, path, star, torus, DOUBLE_STAR_CENTER_A, DOUBLE_STAR_CENTER_B, STAR_CENTER,
+};
+pub use paper::{CycleOfStarsOfCliques, HeavyBinaryTree, SiameseHeavyBinaryTree};
+pub use random::{barbell, connected_erdos_renyi, erdos_renyi, lollipop};
+pub use regular::{
+    cycle_of_cliques, logarithmic_degree, matched_communities, random_regular,
+};

@@ -1,0 +1,365 @@
+//! Regular-graph generators used by the Theorem 1 / 23 / 24 / 25 experiments.
+//!
+//! The paper's main technical results hold for every `d`-regular graph with
+//! `d = Ω(log n)`. The experiments exercise them on:
+//!
+//! * uniformly random `d`-regular graphs (configuration model),
+//! * the hypercube (`d = log2 n`, in [`basic`](crate::generators::basic)),
+//! * a cycle of `(d+1)`-cliques (a regular graph with *polynomial* broadcast
+//!   time, the "path of d-cliques" example mentioned after Theorem 1), and
+//! * the complete graph (`d = n − 1`).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::algorithms::is_connected;
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+
+/// Maximum number of outer restarts (full re-pairings) before giving up.
+const RANDOM_REGULAR_MAX_ATTEMPTS: usize = 50;
+
+/// Generates a random simple connected `d`-regular graph on `n` vertices.
+///
+/// The construction is the configuration (pairing) model followed by a repair
+/// phase: stubs are paired uniformly at random, and then self-loops and
+/// parallel edges are eliminated by random double-edge swaps (each swap
+/// replaces a defective pair `(u,v)` and a random good pair `(x,y)` by
+/// `(u,x)` and `(v,y)` when that keeps the graph simple). The repair phase
+/// preserves the degree sequence exactly. If the result is disconnected the
+/// whole pairing restarts. This is the standard practical sampler for random
+/// regular graphs; it is not exactly uniform but is asymptotically so for
+/// fixed `d`, and its mixing/expansion behaviour is indistinguishable for the
+/// purposes of the experiments.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `d == 0`, `d >= n`, or
+/// `n * d` is odd; [`GraphError::GenerationFailed`] if no simple connected
+/// graph was produced within the retry budget.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = rumor_graphs::generators::random_regular(100, 6, &mut rng)?;
+/// assert_eq!(g.regular_degree(), Some(6));
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Result<Graph> {
+    if d == 0 {
+        return Err(GraphError::InvalidParameters { reason: "random_regular requires d >= 1".into() });
+    }
+    if d >= n {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("random_regular requires d < n (got d = {d}, n = {n})"),
+        });
+    }
+    if (n * d) % 2 != 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "random_regular requires n * d to be even".into(),
+        });
+    }
+
+    for _ in 0..RANDOM_REGULAR_MAX_ATTEMPTS {
+        if let Some(g) = pair_and_repair(n, d, rng) {
+            if is_connected(&g) {
+                return Ok(g);
+            }
+        }
+    }
+    Err(GraphError::GenerationFailed {
+        reason: format!("configuration model failed for n = {n}, d = {d} after {RANDOM_REGULAR_MAX_ATTEMPTS} attempts"),
+    })
+}
+
+/// One pairing attempt followed by double-edge-swap repair; `None` if repair
+/// did not converge.
+fn pair_and_repair<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Option<Graph> {
+    use std::collections::HashSet;
+
+    let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
+    for u in 0..n {
+        for _ in 0..d {
+            stubs.push(u as u32);
+        }
+    }
+    stubs.shuffle(rng);
+
+    let m = n * d / 2;
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m);
+    for pair in stubs.chunks_exact(2) {
+        edges.push((pair[0], pair[1]));
+    }
+
+    let key = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(m);
+    // Indices of edges that are self-loops or duplicates of an earlier edge.
+    let mut defective: Vec<usize> = Vec::new();
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if u == v || !seen.insert(key(u, v)) {
+            defective.push(i);
+        }
+    }
+
+    // Repair defective edges by random double-edge swaps. Each iteration
+    // either fixes a defective edge or burns one unit of budget.
+    let mut budget = 200 * (defective.len() + 1) + 100;
+    while let Some(&i) = defective.last() {
+        if budget == 0 {
+            return None;
+        }
+        budget -= 1;
+        let (u, v) = edges[i];
+        let j = rng.gen_range(0..edges.len());
+        if j == i || defective.contains(&j) {
+            continue;
+        }
+        let (x, y) = edges[j];
+        // Propose replacing (u,v),(x,y) with (u,x),(v,y); randomize orientation
+        // of the partner edge so both swap variants are reachable.
+        let (x, y) = if rng.gen_bool(0.5) { (x, y) } else { (y, x) };
+        if u == x || v == y {
+            continue;
+        }
+        if seen.contains(&key(u, x)) || seen.contains(&key(v, y)) {
+            continue;
+        }
+        // The partner edge (x,y) is a good edge: remove it from the seen set.
+        seen.remove(&key(x, y));
+        // The defective edge may or may not be present in `seen` (self-loops
+        // and duplicates never were); removal is a no-op in that case because
+        // the surviving original copy keeps its entry.
+        seen.insert(key(u, x));
+        seen.insert(key(v, y));
+        edges[i] = (u, x);
+        edges[j] = (v, y);
+        defective.pop();
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for &(u, v) in &edges {
+        b.add_edge(u as usize, v as usize).ok()?;
+    }
+    Some(b.build())
+}
+
+/// A cycle of `num_cliques` cliques, each on `d + 1` vertices, giving a
+/// connected `d`-regular graph with `num_cliques * (d + 1)` vertices.
+///
+/// Construction: inside clique `i` (vertices `i*(d+1) .. (i+1)*(d+1)`), all
+/// pairs are connected *except* the pair (first, second); the "second" vertex
+/// of clique `i` is instead connected to the "first" vertex of clique
+/// `i + 1 mod num_cliques`. Every vertex therefore has degree exactly `d`.
+///
+/// This is the regular family on which broadcast is slow (`Ω(num_cliques)` for
+/// every protocol): it plays the role of the "path of `d`-cliques" the paper
+/// mentions as the slow extreme among regular graphs.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `num_cliques < 3` or `d < 2`.
+pub fn cycle_of_cliques(num_cliques: usize, d: usize) -> Result<Graph> {
+    if num_cliques < 3 {
+        return Err(GraphError::InvalidParameters {
+            reason: "cycle_of_cliques requires num_cliques >= 3".into(),
+        });
+    }
+    if d < 2 {
+        return Err(GraphError::InvalidParameters { reason: "cycle_of_cliques requires d >= 2".into() });
+    }
+    let k = d + 1;
+    let n = num_cliques * k;
+    let mut b = GraphBuilder::with_capacity(n, num_cliques * (k * (k - 1) / 2));
+    for i in 0..num_cliques {
+        let base = i * k;
+        for a in 0..k {
+            for c in (a + 1)..k {
+                // Omit the (first, second) pair: its two endpoints get the
+                // inter-clique edges instead.
+                if a == 0 && c == 1 {
+                    continue;
+                }
+                b.add_edge(base + a, base + c)?;
+            }
+        }
+        // Connect this clique's "second" vertex to the next clique's "first".
+        let next_base = ((i + 1) % num_cliques) * k;
+        b.add_edge(base + 1, next_base)?;
+    }
+    Ok(b.build())
+}
+
+/// A `d`-regular "two-community" graph: two random `d/2`-regular-ish halves
+/// joined by a perfect matching, built so that the whole graph is exactly
+/// `d`-regular. Used as an extra regular topology with a sparse cut, stressing
+/// the `T_push ≍ T_visitx` equivalence away from expanders.
+///
+/// Each half has `half_n` vertices with an internal random `(d-1)`-regular
+/// graph; the matching between halves contributes the final degree unit.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `d < 3`, `half_n <= d`, or
+/// `half_n * (d - 1)` is odd; [`GraphError::GenerationFailed`] if the
+/// internal random-regular generation fails.
+pub fn matched_communities<R: Rng + ?Sized>(half_n: usize, d: usize, rng: &mut R) -> Result<Graph> {
+    if d < 3 {
+        return Err(GraphError::InvalidParameters {
+            reason: "matched_communities requires d >= 3".into(),
+        });
+    }
+    if half_n <= d {
+        return Err(GraphError::InvalidParameters {
+            reason: "matched_communities requires half_n > d".into(),
+        });
+    }
+    if (half_n * (d - 1)) % 2 != 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "matched_communities requires half_n * (d - 1) to be even".into(),
+        });
+    }
+    let a = random_regular(half_n, d - 1, rng)?;
+    let b_half = random_regular(half_n, d - 1, rng)?;
+    let n = 2 * half_n;
+    let mut builder = GraphBuilder::with_capacity(n, half_n * (d - 1) + half_n);
+    for (u, v) in a.edges() {
+        builder.add_edge(u, v)?;
+    }
+    for (u, v) in b_half.edges() {
+        builder.add_edge(u + half_n, v + half_n)?;
+    }
+    // Perfect matching across the cut.
+    let mut right: Vec<usize> = (half_n..n).collect();
+    right.shuffle(rng);
+    for (u, &v) in right.iter().enumerate().map(|(i, v)| (i, v)) {
+        builder.add_edge(u, v)?;
+    }
+    Ok(builder.build())
+}
+
+/// Chooses an even degree close to `factor * log2(n)`, suitable for the
+/// `d = Θ(log n)` regime of Theorem 1. The returned degree is at least 4 and
+/// always makes `n * d` even.
+pub fn logarithmic_degree(n: usize, factor: f64) -> usize {
+    let log = (n.max(2) as f64).log2();
+    let mut d = (factor * log).round() as usize;
+    if d < 4 {
+        d = 4;
+    }
+    if d % 2 == 1 {
+        d += 1;
+    }
+    if d >= n {
+        d = if n > 2 { ((n - 1) / 2) * 2 } else { 2 };
+    }
+    d.max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_regular_basic_properties() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = random_regular(64, 6, &mut rng).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.num_vertices(), 64);
+        assert_eq!(g.regular_degree(), Some(6));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn random_regular_various_sizes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(n, d) in &[(10, 3), (50, 4), (128, 8), (200, 11)] {
+            if (n * d) % 2 == 1 {
+                continue;
+            }
+            let g = random_regular(n, d, &mut rng).unwrap();
+            assert_eq!(g.regular_degree(), Some(d), "n={n} d={d}");
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn random_regular_rejects_invalid_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(random_regular(10, 0, &mut rng).is_err());
+        assert!(random_regular(10, 10, &mut rng).is_err());
+        assert!(random_regular(5, 3, &mut rng).is_err()); // n*d odd
+    }
+
+    #[test]
+    fn random_regular_is_reproducible_with_same_seed() {
+        let g1 = random_regular(40, 4, &mut StdRng::seed_from_u64(5)).unwrap();
+        let g2 = random_regular(40, 4, &mut StdRng::seed_from_u64(5)).unwrap();
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn cycle_of_cliques_is_regular_and_connected() {
+        let g = cycle_of_cliques(5, 6).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.num_vertices(), 5 * 7);
+        assert_eq!(g.regular_degree(), Some(6));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn cycle_of_cliques_small_degree() {
+        let g = cycle_of_cliques(4, 2).unwrap();
+        assert_eq!(g.regular_degree(), Some(2));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn cycle_of_cliques_rejects_invalid() {
+        assert!(cycle_of_cliques(2, 4).is_err());
+        assert!(cycle_of_cliques(5, 1).is_err());
+    }
+
+    #[test]
+    fn matched_communities_is_regular() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = matched_communities(30, 5, &mut rng).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.num_vertices(), 60);
+        assert_eq!(g.regular_degree(), Some(5));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn matched_communities_rejects_invalid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matched_communities(30, 2, &mut rng).is_err());
+        assert!(matched_communities(4, 5, &mut rng).is_err());
+        assert!(matched_communities(31, 4, &mut rng).is_err()); // odd product
+    }
+
+    #[test]
+    fn logarithmic_degree_is_even_and_reasonable() {
+        for &n in &[16usize, 100, 1000, 10_000, 100_000] {
+            let d = logarithmic_degree(n, 2.0);
+            assert!(d >= 4);
+            assert_eq!(d % 2, 0);
+            assert!(d < n);
+            let log = (n as f64).log2();
+            assert!((d as f64) <= 2.0 * log + 2.0, "n = {n}, d = {d}");
+        }
+    }
+
+    #[test]
+    fn logarithmic_degree_tiny_graphs() {
+        assert!(logarithmic_degree(5, 2.0) >= 2);
+        assert!(logarithmic_degree(5, 2.0) < 5);
+    }
+}

@@ -1,0 +1,499 @@
+//! The immutable CSR (compressed sparse row) graph type used by all protocols.
+//!
+//! The rumor-spreading and agent-walk simulations in this workspace spend
+//! almost all of their time sampling random neighbors of vertices, so the
+//! graph representation is optimized for exactly that: adjacency lists stored
+//! contiguously in one `Vec<u32>` with an offset table, giving `O(1)` access
+//! to `deg(u)` and to the `i`-th neighbor of `u`.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GraphError, Result};
+
+/// Vertex identifier. Vertices of an `n`-vertex graph are `0..n`.
+pub type VertexId = usize;
+
+/// An immutable, simple, undirected graph in CSR form.
+///
+/// Construct a [`Graph`] through [`GraphBuilder`](crate::GraphBuilder), one of
+/// the generators in [`generators`](crate::generators), or
+/// [`Graph::from_edges`].
+///
+/// # Examples
+///
+/// ```
+/// use rumor_graphs::Graph;
+///
+/// // A triangle.
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.degree(0), 2);
+/// assert!(g.is_regular());
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// `offsets[u]..offsets[u + 1]` indexes `adjacency` for vertex `u`.
+    offsets: Vec<usize>,
+    /// Concatenated adjacency lists, neighbors of each vertex sorted ascending.
+    adjacency: Vec<u32>,
+    /// Number of undirected edges.
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Builds a graph with `n` vertices from an undirected edge list.
+    ///
+    /// Edges may be listed in either orientation but each undirected edge must
+    /// appear exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is `>= n`,
+    /// [`GraphError::SelfLoop`] for an edge `(u, u)`, and
+    /// [`GraphError::DuplicateEdge`] if an undirected edge appears twice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rumor_graphs::Graph;
+    /// let path = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+    /// assert_eq!(path.degree(1), 2);
+    /// # Ok::<(), rumor_graphs::GraphError>(())
+    /// ```
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Result<Self> {
+        let mut builder = crate::builder::GraphBuilder::new(n);
+        for &(u, v) in edges {
+            builder.add_edge(u, v)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Internal constructor used by [`GraphBuilder`](crate::GraphBuilder).
+    ///
+    /// `adjacency[offsets[u]..offsets[u+1]]` must hold the sorted neighbors of `u`.
+    pub(crate) fn from_csr(offsets: Vec<usize>, adjacency: Vec<u32>, num_edges: usize) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), adjacency.len());
+        debug_assert_eq!(adjacency.len(), 2 * num_edges);
+        Graph { offsets, adjacency, num_edges }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sum of all degrees, i.e. `2 |E|`. This is the normalizing constant of
+    /// the stationary distribution of a simple random walk.
+    #[inline]
+    pub fn total_degree(&self) -> usize {
+        2 * self.num_edges
+    }
+
+    /// Degree of vertex `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.num_vertices()`.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// The neighbors of `u`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.num_vertices()`.
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[u32] {
+        &self.adjacency[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// The `i`-th neighbor of `u` (`0 <= i < deg(u)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `i` is out of range.
+    #[inline]
+    pub fn neighbor(&self, u: VertexId, i: usize) -> VertexId {
+        self.adjacency[self.offsets[u] + i] as VertexId
+    }
+
+    /// Samples a uniformly random neighbor of `u`, or `None` if `u` is isolated.
+    ///
+    /// This is the primitive used by every protocol in the workspace: `push`,
+    /// `push-pull` and the random-walk agents all move to a uniform neighbor.
+    #[inline]
+    pub fn random_neighbor<R: Rng + ?Sized>(&self, u: VertexId, rng: &mut R) -> Option<VertexId> {
+        let d = self.degree(u);
+        if d == 0 {
+            None
+        } else {
+            Some(self.neighbor(u, rng.gen_range(0..d)))
+        }
+    }
+
+    /// Returns `true` if `(u, v)` is an edge. `O(log deg(u))`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u >= self.num_vertices() || v >= self.num_vertices() {
+            return false;
+        }
+        self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Iterator over all vertices `0..n`.
+    pub fn vertices(&self) -> std::ops::Range<VertexId> {
+        0..self.num_vertices()
+    }
+
+    /// Iterator over every undirected edge `(u, v)` with `u < v`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rumor_graphs::Graph;
+    /// let g = Graph::from_edges(3, &[(2, 0), (1, 2)]).unwrap();
+    /// let edges: Vec<_> = g.edges().collect();
+    /// assert_eq!(edges, vec![(0, 2), (1, 2)]);
+    /// ```
+    pub fn edges(&self) -> Edges<'_> {
+        Edges { graph: self, u: 0, i: 0 }
+    }
+
+    /// Minimum degree over all vertices. Returns `None` for the empty graph.
+    pub fn min_degree(&self) -> Option<usize> {
+        self.vertices().map(|u| self.degree(u)).min()
+    }
+
+    /// Maximum degree over all vertices. Returns `None` for the empty graph.
+    pub fn max_degree(&self) -> Option<usize> {
+        self.vertices().map(|u| self.degree(u)).max()
+    }
+
+    /// Average degree `2|E| / n`, or `0.0` for the empty graph.
+    pub fn average_degree(&self) -> f64 {
+        let n = self.num_vertices();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_degree() as f64 / n as f64
+        }
+    }
+
+    /// Returns `true` if every vertex has the same degree.
+    ///
+    /// Regular graphs are where the paper's main equivalence theorem
+    /// (`T_push ≍ T_visitx`) applies.
+    pub fn is_regular(&self) -> bool {
+        match (self.min_degree(), self.max_degree()) {
+            (Some(lo), Some(hi)) => lo == hi,
+            _ => true,
+        }
+    }
+
+    /// If the graph is `d`-regular, returns `Some(d)`; otherwise `None`.
+    pub fn regular_degree(&self) -> Option<usize> {
+        if self.num_vertices() == 0 {
+            return None;
+        }
+        let d = self.degree(0);
+        if self.vertices().all(|u| self.degree(u) == d) {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// The stationary distribution of a simple random walk:
+    /// `π(u) = deg(u) / (2 |E|)`.
+    ///
+    /// The agent protocols of the paper start their agents from this
+    /// distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges (the distribution is undefined).
+    pub fn stationary_distribution(&self) -> Vec<f64> {
+        assert!(self.num_edges > 0, "stationary distribution undefined without edges");
+        let total = self.total_degree() as f64;
+        self.vertices().map(|u| self.degree(u) as f64 / total).collect()
+    }
+
+    /// Samples a vertex from the stationary distribution (degree-proportional).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges.
+    pub fn sample_stationary<R: Rng + ?Sized>(&self, rng: &mut R) -> VertexId {
+        assert!(self.num_edges > 0, "stationary sampling undefined without edges");
+        // Sampling a uniform position in the concatenated adjacency array and
+        // mapping it back to its owning vertex is exactly degree-proportional.
+        let pos = rng.gen_range(0..self.adjacency.len());
+        // Binary search for the vertex owning `pos` in `offsets`.
+        match self.offsets.binary_search(&pos) {
+            Ok(mut idx) => {
+                // `pos` is the start of some vertex's list; skip empty lists.
+                while idx + 1 < self.offsets.len() && self.offsets[idx + 1] == pos {
+                    idx += 1;
+                }
+                idx
+            }
+            Err(idx) => idx - 1,
+        }
+    }
+
+    /// Total memory used by the CSR arrays, in bytes (diagnostic).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.adjacency.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Checks basic invariants (sorted adjacency, symmetric edges, no loops).
+    ///
+    /// Generators call this in debug builds; it is also handy in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.num_vertices();
+        for u in self.vertices() {
+            let neigh = self.neighbors(u);
+            for w in neigh.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(GraphError::DuplicateEdge { u, v: w[1] as usize });
+                }
+            }
+            for &v in neigh {
+                let v = v as usize;
+                if v >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: v, n });
+                }
+                if v == u {
+                    return Err(GraphError::SelfLoop { vertex: u });
+                }
+                if !self.has_edge(v, u) {
+                    return Err(GraphError::GenerationFailed {
+                        reason: format!("edge ({u}, {v}) is not symmetric"),
+                    });
+                }
+            }
+        }
+        if self.adjacency.len() != 2 * self.num_edges {
+            return Err(GraphError::GenerationFailed {
+                reason: "edge count does not match adjacency length".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("num_vertices", &self.num_vertices())
+            .field("num_edges", &self.num_edges())
+            .field("min_degree", &self.min_degree())
+            .field("max_degree", &self.max_degree())
+            .finish()
+    }
+}
+
+/// Iterator over the undirected edges of a [`Graph`], produced by [`Graph::edges`].
+#[derive(Debug, Clone)]
+pub struct Edges<'a> {
+    graph: &'a Graph,
+    u: VertexId,
+    i: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = (VertexId, VertexId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.graph.num_vertices();
+        while self.u < n {
+            let neigh = self.graph.neighbors(self.u);
+            while self.i < neigh.len() {
+                let v = neigh[self.i] as VertexId;
+                self.i += 1;
+                if self.u < v {
+                    return Some((self.u, v));
+                }
+            }
+            self.u += 1;
+            self.i = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn from_edges_counts() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.total_degree(), 6);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(4, &[(3, 0), (0, 1), (2, 0)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn neighbor_by_index() {
+        let g = Graph::from_edges(4, &[(0, 2), (0, 3), (0, 1)]).unwrap();
+        assert_eq!(g.neighbor(0, 0), 1);
+        assert_eq!(g.neighbor(0, 1), 2);
+        assert_eq!(g.neighbor(0, 2), 3);
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+        assert!(!g.has_edge(0, 5));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap(); // star
+        assert_eq!(g.min_degree(), Some(1));
+        assert_eq!(g.max_degree(), Some(3));
+        assert!((g.average_degree() - 1.5).abs() < 1e-12);
+        assert!(!g.is_regular());
+        assert_eq!(g.regular_degree(), None);
+    }
+
+    #[test]
+    fn regular_graph_detection() {
+        let g = triangle();
+        assert!(g.is_regular());
+        assert_eq!(g.regular_degree(), Some(2));
+    }
+
+    #[test]
+    fn stationary_distribution_sums_to_one_and_is_degree_proportional() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let pi = g.stationary_distribution();
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((pi[0] - 0.5).abs() < 1e-12);
+        assert!((pi[1] - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_stationary_is_degree_biased() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 60_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..trials {
+            counts[g.sample_stationary(&mut rng)] += 1;
+        }
+        let center_frac = counts[0] as f64 / trials as f64;
+        assert!((center_frac - 0.5).abs() < 0.02, "center fraction {center_frac}");
+        for &leaf in &counts[1..] {
+            let frac = leaf as f64 / trials as f64;
+            assert!((frac - 1.0 / 6.0).abs() < 0.02, "leaf fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn random_neighbor_uniform() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 30_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..trials {
+            counts[g.random_neighbor(0, &mut rng).unwrap()] += 1;
+        }
+        for &c in &counts[1..] {
+            let frac = c as f64 / trials as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "fraction {frac}");
+        }
+        assert_eq!(counts[0], 0);
+    }
+
+    #[test]
+    fn random_neighbor_isolated_vertex() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(g.random_neighbor(2, &mut rng), None);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_graph() {
+        assert!(triangle().validate().is_ok());
+    }
+
+    #[test]
+    fn from_edges_rejects_bad_input() {
+        assert!(matches!(
+            Graph::from_edges(3, &[(0, 3)]),
+            Err(GraphError::VertexOutOfRange { vertex: 3, n: 3 })
+        ));
+        assert!(matches!(Graph::from_edges(3, &[(1, 1)]), Err(GraphError::SelfLoop { vertex: 1 })));
+        assert!(matches!(
+            Graph::from_edges(3, &[(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_behaviour() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.min_degree(), None);
+        assert!(g.is_regular());
+        assert_eq!(g.regular_degree(), None);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn debug_formatting_is_nonempty() {
+        let s = format!("{:?}", triangle());
+        assert!(s.contains("Graph"));
+        assert!(s.contains("num_vertices"));
+    }
+
+    #[test]
+    fn memory_bytes_positive() {
+        assert!(triangle().memory_bytes() > 0);
+    }
+}

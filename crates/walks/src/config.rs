@@ -1,0 +1,94 @@
+//! Configuration of the random walks performed by agents.
+
+use serde::{Deserialize, Serialize};
+
+/// How an agent's random walk steps each round.
+///
+/// The paper's `visit-exchange` and `meet-exchange` agents perform *simple*
+/// random walks; on bipartite graphs (e.g. the star) the paper switches to
+/// *lazy* walks — staying put with probability 1/2 — so that `meet-exchange`
+/// has finite expected broadcast time (Section 3).
+///
+/// # Examples
+///
+/// ```
+/// use rumor_walks::WalkConfig;
+///
+/// let simple = WalkConfig::simple();
+/// assert_eq!(simple.laziness(), 0.0);
+///
+/// let lazy = WalkConfig::lazy();
+/// assert_eq!(lazy.laziness(), 0.5);
+///
+/// let custom = WalkConfig::with_laziness(0.25).unwrap();
+/// assert_eq!(custom.laziness(), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WalkConfig {
+    /// Probability of staying put in a round, in `[0, 1)`.
+    laziness: f64,
+}
+
+impl WalkConfig {
+    /// A simple random walk: always move to a uniformly random neighbor.
+    pub fn simple() -> Self {
+        WalkConfig { laziness: 0.0 }
+    }
+
+    /// The standard lazy walk: stay put with probability `1/2`.
+    pub fn lazy() -> Self {
+        WalkConfig { laziness: 0.5 }
+    }
+
+    /// A walk that stays put with the given probability each round.
+    ///
+    /// Returns `None` if `laziness` is not in `[0, 1)` or is not finite.
+    pub fn with_laziness(laziness: f64) -> Option<Self> {
+        if laziness.is_finite() && (0.0..1.0).contains(&laziness) {
+            Some(WalkConfig { laziness })
+        } else {
+            None
+        }
+    }
+
+    /// The stay-put probability.
+    pub fn laziness(&self) -> f64 {
+        self.laziness
+    }
+
+    /// `true` if this is a lazy (non-zero hold probability) walk.
+    pub fn is_lazy(&self) -> bool {
+        self.laziness > 0.0
+    }
+}
+
+impl Default for WalkConfig {
+    /// The default is the paper's baseline: a simple (non-lazy) random walk.
+    fn default() -> Self {
+        WalkConfig::simple()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(WalkConfig::simple().laziness(), 0.0);
+        assert!(!WalkConfig::simple().is_lazy());
+        assert_eq!(WalkConfig::lazy().laziness(), 0.5);
+        assert!(WalkConfig::lazy().is_lazy());
+        assert_eq!(WalkConfig::default(), WalkConfig::simple());
+    }
+
+    #[test]
+    fn with_laziness_validates() {
+        assert!(WalkConfig::with_laziness(0.0).is_some());
+        assert!(WalkConfig::with_laziness(0.99).is_some());
+        assert!(WalkConfig::with_laziness(1.0).is_none());
+        assert!(WalkConfig::with_laziness(-0.1).is_none());
+        assert!(WalkConfig::with_laziness(f64::NAN).is_none());
+        assert!(WalkConfig::with_laziness(f64::INFINITY).is_none());
+    }
+}

@@ -1,0 +1,282 @@
+//! Monte-Carlo estimators for classic random-walk quantities: hitting,
+//! meeting, and cover times.
+//!
+//! `meet-exchange` is known (Dimitriou–Nikoletseas–Spirakis, cited by the
+//! paper as [16]) to broadcast within `O(log n)` times the *meeting time* of
+//! two walks; the experiment suite uses these estimators to report meeting and
+//! cover times alongside broadcast times so that relationship can be checked
+//! empirically.
+
+use rand::Rng;
+
+use rumor_graphs::{Graph, VertexId};
+
+use crate::config::WalkConfig;
+use crate::multiwalk::MultiWalk;
+use crate::single::RandomWalk;
+
+/// Result of a Monte-Carlo estimate that may be truncated by a round cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Mean of the observed values (capped trials contribute the cap).
+    pub mean: f64,
+    /// Fraction of trials that hit the round cap before finishing.
+    pub truncated_fraction: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+impl Estimate {
+    fn from_samples(samples: &[u64], cap: u64) -> Self {
+        let trials = samples.len();
+        let mean = if trials == 0 {
+            0.0
+        } else {
+            samples.iter().map(|&s| s as f64).sum::<f64>() / trials as f64
+        };
+        let truncated = samples.iter().filter(|&&s| s >= cap).count();
+        Estimate { mean, truncated_fraction: truncated as f64 / trials.max(1) as f64, trials }
+    }
+}
+
+/// Estimates the expected hitting time from `source` to `target`: the number
+/// of steps a walk started at `source` needs to first reach `target`.
+///
+/// Each trial is capped at `max_rounds` steps; capped trials contribute
+/// `max_rounds` to the mean and are reported in
+/// [`Estimate::truncated_fraction`].
+///
+/// # Panics
+///
+/// Panics if `source`/`target` are out of range or `trials == 0`.
+pub fn hitting_time<R: Rng + ?Sized>(
+    graph: &Graph,
+    source: VertexId,
+    target: VertexId,
+    config: WalkConfig,
+    trials: usize,
+    max_rounds: u64,
+    rng: &mut R,
+) -> Estimate {
+    assert!(trials > 0, "hitting_time requires at least one trial");
+    assert!(source < graph.num_vertices() && target < graph.num_vertices());
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut walk = RandomWalk::new(source, config);
+        let mut rounds = 0u64;
+        while walk.position() != target && rounds < max_rounds {
+            walk.step(graph, rng);
+            rounds += 1;
+        }
+        samples.push(rounds);
+    }
+    Estimate::from_samples(&samples, max_rounds)
+}
+
+/// Estimates the expected meeting time of two independent walks started at
+/// `a` and `b` (number of synchronous rounds until they occupy the same
+/// vertex at the end of a round).
+///
+/// # Panics
+///
+/// Panics if `a`/`b` are out of range or `trials == 0`.
+pub fn meeting_time<R: Rng + ?Sized>(
+    graph: &Graph,
+    a: VertexId,
+    b: VertexId,
+    config: WalkConfig,
+    trials: usize,
+    max_rounds: u64,
+    rng: &mut R,
+) -> Estimate {
+    assert!(trials > 0, "meeting_time requires at least one trial");
+    assert!(a < graph.num_vertices() && b < graph.num_vertices());
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut wa = RandomWalk::new(a, config);
+        let mut wb = RandomWalk::new(b, config);
+        let mut rounds = 0u64;
+        while wa.position() != wb.position() && rounds < max_rounds {
+            wa.step(graph, rng);
+            wb.step(graph, rng);
+            rounds += 1;
+        }
+        samples.push(rounds);
+    }
+    Estimate::from_samples(&samples, max_rounds)
+}
+
+/// Estimates the cover time of a single walk started at `source`: the number
+/// of steps until every vertex has been visited at least once.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `trials == 0`.
+pub fn cover_time<R: Rng + ?Sized>(
+    graph: &Graph,
+    source: VertexId,
+    config: WalkConfig,
+    trials: usize,
+    max_rounds: u64,
+    rng: &mut R,
+) -> Estimate {
+    assert!(trials > 0, "cover_time requires at least one trial");
+    assert!(source < graph.num_vertices());
+    let n = graph.num_vertices();
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut visited = vec![false; n];
+        let mut remaining = n;
+        let mut walk = RandomWalk::new(source, config);
+        visited[source] = true;
+        remaining -= 1;
+        let mut rounds = 0u64;
+        while remaining > 0 && rounds < max_rounds {
+            let v = walk.step(graph, rng);
+            rounds += 1;
+            if !visited[v] {
+                visited[v] = true;
+                remaining -= 1;
+            }
+        }
+        samples.push(rounds);
+    }
+    Estimate::from_samples(&samples, max_rounds)
+}
+
+/// Estimates the cover time of `num_walks` independent walks started from the
+/// stationary distribution — the quantity that governs the final phase of
+/// `visit-exchange` (Theorem 23 argues every vertex is visited within
+/// `O(log n)` rounds once `Θ(n)` informed agents are walking).
+///
+/// # Panics
+///
+/// Panics if `num_walks == 0`, `trials == 0`, or the graph has no edges.
+pub fn multi_cover_time<R: Rng + ?Sized>(
+    graph: &Graph,
+    num_walks: usize,
+    config: WalkConfig,
+    trials: usize,
+    max_rounds: u64,
+    rng: &mut R,
+) -> Estimate {
+    assert!(num_walks > 0, "multi_cover_time requires at least one walk");
+    assert!(trials > 0, "multi_cover_time requires at least one trial");
+    let n = graph.num_vertices();
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut walks =
+            MultiWalk::new(graph, num_walks, &crate::Placement::Stationary, config, rng);
+        let mut visited = vec![false; n];
+        let mut remaining = n;
+        for &v in walks.positions() {
+            if !visited[v] {
+                visited[v] = true;
+                remaining -= 1;
+            }
+        }
+        let mut rounds = 0u64;
+        while remaining > 0 && rounds < max_rounds {
+            walks.step(graph, rng);
+            rounds += 1;
+            for &v in walks.positions() {
+                if !visited[v] {
+                    visited[v] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        samples.push(rounds);
+    }
+    Estimate::from_samples(&samples, max_rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::{complete, cycle, path, star};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn hitting_time_on_complete_graph_is_about_n() {
+        // On K_n the hitting time of a specific other vertex is (n-1) in expectation.
+        let g = complete(20).unwrap();
+        let est = hitting_time(&g, 0, 7, WalkConfig::simple(), 400, 10_000, &mut rng(1));
+        assert_eq!(est.trials, 400);
+        assert_eq!(est.truncated_fraction, 0.0);
+        assert!((est.mean - 19.0).abs() < 4.0, "mean {}", est.mean);
+    }
+
+    #[test]
+    fn hitting_time_of_source_is_zero() {
+        let g = complete(5).unwrap();
+        let est = hitting_time(&g, 3, 3, WalkConfig::simple(), 10, 100, &mut rng(2));
+        assert_eq!(est.mean, 0.0);
+    }
+
+    #[test]
+    fn hitting_time_truncation_reported() {
+        // Unreachable target: walk on one component, target in another.
+        let g = rumor_graphs::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let est = hitting_time(&g, 0, 2, WalkConfig::simple(), 5, 50, &mut rng(3));
+        assert_eq!(est.truncated_fraction, 1.0);
+        assert_eq!(est.mean, 50.0);
+    }
+
+    #[test]
+    fn meeting_time_on_star_with_lazy_walks_is_small() {
+        // Lemma 2(d): on the star, two lazy walks are both at the center with
+        // probability 1/4 per round, so the meeting time is ~4 rounds.
+        let g = star(50).unwrap();
+        let est = meeting_time(&g, 1, 2, WalkConfig::lazy(), 500, 10_000, &mut rng(4));
+        assert!(est.mean < 15.0, "mean {}", est.mean);
+        assert_eq!(est.truncated_fraction, 0.0);
+    }
+
+    #[test]
+    fn meeting_time_zero_when_starting_together() {
+        let g = cycle(6).unwrap();
+        let est = meeting_time(&g, 2, 2, WalkConfig::simple(), 5, 100, &mut rng(5));
+        assert_eq!(est.mean, 0.0);
+    }
+
+    #[test]
+    fn cover_time_of_cycle_scales_quadratically() {
+        // Cover time of a cycle of length n is n^2/2 in expectation (here n=12 → 72).
+        let g = cycle(12).unwrap();
+        let est = cover_time(&g, 0, WalkConfig::simple(), 300, 100_000, &mut rng(6));
+        assert!((est.mean - 72.0).abs() < 20.0, "mean {}", est.mean);
+    }
+
+    #[test]
+    fn cover_time_of_single_vertex_is_zero() {
+        let g = rumor_graphs::Graph::from_edges(1, &[]).unwrap();
+        let est = cover_time(&g, 0, WalkConfig::simple(), 3, 10, &mut rng(7));
+        assert_eq!(est.mean, 0.0);
+    }
+
+    #[test]
+    fn multi_cover_is_much_faster_than_single_cover() {
+        let g = path(30).unwrap();
+        let single = cover_time(&g, 0, WalkConfig::simple(), 50, 1_000_000, &mut rng(8));
+        let multi = multi_cover_time(&g, 30, WalkConfig::simple(), 50, 1_000_000, &mut rng(9));
+        assert!(
+            multi.mean * 3.0 < single.mean,
+            "multi cover {} not much faster than single cover {}",
+            multi.mean,
+            single.mean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let g = cycle(5).unwrap();
+        let _ = hitting_time(&g, 0, 1, WalkConfig::simple(), 0, 10, &mut rng(0));
+    }
+}

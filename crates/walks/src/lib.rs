@@ -1,0 +1,105 @@
+//! # rumor-walks
+//!
+//! Random-walk substrate for the `rumor` workspace (reproduction of
+//! *“How to Spread a Rumor: Call Your Neighbors or Take a Walk?”*, PODC 2019).
+//!
+//! The agent-based protocols of the paper (`visit-exchange`, `meet-exchange`)
+//! disseminate a rumor with a collection of agents performing independent
+//! random walks. This crate provides:
+//!
+//! * [`WalkConfig`] — simple vs. lazy walks (the paper uses lazy walks on
+//!   bipartite graphs so `meet-exchange` terminates);
+//! * [`Placement`] and [`AgentCount`] — how many agents and where they start
+//!   (stationary distribution by default, exactly as in the paper);
+//! * [`RandomWalk`] — a single walk;
+//! * [`MultiWalk`] — `|A|` walks advanced in lock-step with per-vertex
+//!   occupancy tracking (the quantity `|Z_v(t)|` from the paper's proofs);
+//! * [`estimators`] — Monte-Carlo hitting/meeting/cover time estimates used
+//!   by the experiment reports.
+//!
+//! ## Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rumor_graphs::generators::random_regular;
+//! use rumor_walks::{AgentCount, MultiWalk, Placement, WalkConfig};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let g = random_regular(128, 8, &mut rng)?;
+//! let agents = AgentCount::Linear { alpha: 1.0 }.resolve(g.num_vertices());
+//! let mut walks = MultiWalk::new(&g, agents, &Placement::Stationary, WalkConfig::simple(), &mut rng);
+//! for _ in 0..10 {
+//!     walks.step(&g, &mut rng);
+//! }
+//! assert_eq!(walks.round(), 10);
+//! assert_eq!(walks.num_agents(), 128);
+//! # Ok::<(), rumor_graphs::GraphError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod config;
+pub mod estimators;
+mod multiwalk;
+mod placement;
+mod single;
+
+pub use config::WalkConfig;
+pub use estimators::{cover_time, hitting_time, meeting_time, multi_cover_time, Estimate};
+pub use multiwalk::{AgentId, MultiWalk};
+pub use placement::{AgentCount, Placement};
+pub use single::RandomWalk;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::connected_erdos_renyi;
+
+    proptest! {
+        /// Agents are conserved and only move along edges, for arbitrary
+        /// connected graphs, agent counts, and laziness.
+        #[test]
+        fn multiwalk_moves_along_edges(
+            n in 2usize..40,
+            agents in 1usize..60,
+            lazy in 0u8..2,
+            seed in 0u64..200,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = connected_erdos_renyi(n, 0.3, &mut rng).unwrap();
+            let config = if lazy == 1 { WalkConfig::lazy() } else { WalkConfig::simple() };
+            let mut w = MultiWalk::new(&g, agents, &Placement::Stationary, config, &mut rng);
+            for _ in 0..10 {
+                let before: Vec<_> = w.positions().to_vec();
+                w.step(&g, &mut rng);
+                prop_assert_eq!(w.positions().len(), agents);
+                prop_assert_eq!(w.occupancy_counts().iter().sum::<usize>(), agents);
+                for (agent, &prev) in before.iter().enumerate() {
+                    let now = w.position(agent);
+                    prop_assert!(now == prev || g.has_edge(prev, now));
+                }
+            }
+        }
+
+        /// Occupancy bookkeeping matches positions exactly after any number of steps.
+        #[test]
+        fn occupancy_matches_positions(n in 2usize..30, agents in 1usize..40, seed in 0u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = connected_erdos_renyi(n, 0.4, &mut rng).unwrap();
+            let mut w = MultiWalk::new(&g, agents, &Placement::UniformRandom, WalkConfig::simple(), &mut rng);
+            for _ in 0..5 {
+                w.step(&g, &mut rng);
+            }
+            for v in g.vertices() {
+                let from_occupancy = w.agents_at(v).len();
+                let from_positions = w.positions().iter().filter(|&&p| p == v).count();
+                prop_assert_eq!(from_occupancy, from_positions);
+            }
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Many independent random walks advanced in lock-step.
+//!
+//! This is the agent substrate of `visit-exchange` and `meet-exchange`: a set
+//! `A` of agents, each performing an independent (possibly lazy) random walk,
+//! all taking one step per synchronous round. The structure also maintains
+//! per-vertex occupancy so protocols can ask "which agents are on `v` right
+//! now?" in `O(occupants)` time.
+
+use rand::Rng;
+
+use rumor_graphs::{Graph, VertexId};
+
+use crate::config::WalkConfig;
+
+/// Identifier of an agent: an index in `0..num_agents`.
+pub type AgentId = usize;
+
+/// A collection of independent random walks ("agents") on a shared graph,
+/// advanced synchronously.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_graphs::generators::complete;
+/// use rumor_walks::{MultiWalk, Placement, WalkConfig};
+///
+/// let g = complete(16)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut walks = MultiWalk::new(&g, 16, &Placement::Stationary, WalkConfig::simple(), &mut rng);
+/// assert_eq!(walks.num_agents(), 16);
+/// walks.step(&g, &mut rng);
+/// assert_eq!(walks.round(), 1);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiWalk {
+    /// Current vertex of each agent.
+    positions: Vec<VertexId>,
+    /// Vertex of each agent in the previous round (before the last `step`).
+    previous: Vec<VertexId>,
+    /// `occupants[v]` lists agents currently at `v`.
+    occupants: Vec<Vec<AgentId>>,
+    config: WalkConfig,
+    round: u64,
+}
+
+impl MultiWalk {
+    /// Creates `count` agents placed by `placement` (see
+    /// [`Placement::sample`](crate::Placement::sample) for how `count`
+    /// interacts with the placement kind).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as `Placement::sample`.
+    pub fn new<R: Rng + ?Sized>(
+        graph: &Graph,
+        count: usize,
+        placement: &crate::Placement,
+        config: WalkConfig,
+        rng: &mut R,
+    ) -> Self {
+        let positions = placement.sample(graph, count, rng);
+        Self::from_positions(graph, positions, config)
+    }
+
+    /// Creates agents at explicitly given starting vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a position is out of range.
+    pub fn from_positions(graph: &Graph, positions: Vec<VertexId>, config: WalkConfig) -> Self {
+        let n = graph.num_vertices();
+        let mut occupants = vec![Vec::new(); n];
+        for (agent, &v) in positions.iter().enumerate() {
+            assert!(v < n, "agent position {v} out of range");
+            occupants[v].push(agent);
+        }
+        MultiWalk { previous: positions.clone(), positions, occupants, config, round: 0 }
+    }
+
+    /// Number of agents.
+    pub fn num_agents(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of synchronous steps taken so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The walk configuration shared by all agents.
+    pub fn config(&self) -> WalkConfig {
+        self.config
+    }
+
+    /// Current position of `agent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent >= self.num_agents()`.
+    pub fn position(&self, agent: AgentId) -> VertexId {
+        self.positions[agent]
+    }
+
+    /// Position of `agent` before the most recent [`MultiWalk::step`]
+    /// (equal to its current position before any step has been taken).
+    pub fn previous_position(&self, agent: AgentId) -> VertexId {
+        self.previous[agent]
+    }
+
+    /// All current positions, indexed by agent.
+    pub fn positions(&self) -> &[VertexId] {
+        &self.positions
+    }
+
+    /// The agents currently occupying vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn agents_at(&self, v: VertexId) -> &[AgentId] {
+        &self.occupants[v]
+    }
+
+    /// Number of agents currently at vertex `v` (`|Z_v(t)|` in the paper).
+    pub fn occupancy(&self, v: VertexId) -> usize {
+        self.occupants[v].len()
+    }
+
+    /// Occupancy of every vertex as a vector of counts.
+    pub fn occupancy_counts(&self) -> Vec<usize> {
+        self.occupants.iter().map(Vec::len).collect()
+    }
+
+    /// Total number of agents in the closed neighborhood sense used by the
+    /// paper's tweaked processes: the number of agents currently sitting on
+    /// *neighbors* of `u` (i.e. the agents that could visit `u` next round).
+    pub fn neighborhood_occupancy(&self, graph: &Graph, u: VertexId) -> usize {
+        graph.neighbors(u).iter().map(|&v| self.occupancy(v as usize)).sum()
+    }
+
+    /// Advances every agent by one synchronous step and increments the round
+    /// counter. Lazy agents stay put with probability `config.laziness()`.
+    ///
+    /// Agents on isolated vertices never move.
+    pub fn step<R: Rng + ?Sized>(&mut self, graph: &Graph, rng: &mut R) {
+        let laziness = self.config.laziness();
+        std::mem::swap(&mut self.previous, &mut self.positions);
+        // `previous` now holds the positions before this step; recompute
+        // `positions` from it.
+        for agent in 0..self.previous.len() {
+            let at = self.previous[agent];
+            let stay = laziness > 0.0 && rng.gen_bool(laziness);
+            let next = if stay { at } else { graph.random_neighbor(at, rng).unwrap_or(at) };
+            self.positions[agent] = next;
+        }
+        self.rebuild_occupancy();
+        self.round += 1;
+    }
+
+    /// Moves a single agent to an explicit vertex (used by tweaked processes
+    /// that teleport or add agents for analysis purposes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` or `to` is out of range.
+    pub fn teleport(&mut self, agent: AgentId, to: VertexId) {
+        assert!(to < self.occupants.len(), "teleport target out of range");
+        let from = self.positions[agent];
+        if from == to {
+            return;
+        }
+        self.occupants[from].retain(|&a| a != agent);
+        self.occupants[to].push(agent);
+        self.positions[agent] = to;
+    }
+
+    /// Iterates over `(vertex, agents_here)` pairs for vertices with at least
+    /// one agent.
+    pub fn occupied_vertices(&self) -> impl Iterator<Item = (VertexId, &[AgentId])> {
+        self.occupants
+            .iter()
+            .enumerate()
+            .filter(|(_, agents)| !agents.is_empty())
+            .map(|(v, agents)| (v, agents.as_slice()))
+    }
+
+    fn rebuild_occupancy(&mut self) {
+        for list in &mut self.occupants {
+            list.clear();
+        }
+        for (agent, &v) in self.positions.iter().enumerate() {
+            self.occupants[v].push(agent);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Placement;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::{complete, cycle, path, star};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn construction_and_occupancy() {
+        let g = complete(8).unwrap();
+        let w = MultiWalk::from_positions(&g, vec![0, 0, 3, 7], WalkConfig::simple());
+        assert_eq!(w.num_agents(), 4);
+        assert_eq!(w.occupancy(0), 2);
+        assert_eq!(w.occupancy(3), 1);
+        assert_eq!(w.occupancy(1), 0);
+        assert_eq!(w.agents_at(0), &[0, 1]);
+        assert_eq!(w.position(2), 3);
+        assert_eq!(w.round(), 0);
+        let total: usize = w.occupancy_counts().iter().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn step_conserves_agents_and_counts_rounds() {
+        let g = cycle(10).unwrap();
+        let mut r = rng(3);
+        let mut w =
+            MultiWalk::new(&g, 20, &Placement::Stationary, WalkConfig::simple(), &mut r);
+        for round in 1..=50u64 {
+            w.step(&g, &mut r);
+            assert_eq!(w.round(), round);
+            assert_eq!(w.occupancy_counts().iter().sum::<usize>(), 20);
+            assert_eq!(w.positions().len(), 20);
+        }
+    }
+
+    #[test]
+    fn simple_walk_always_moves_on_cycle() {
+        let g = cycle(6).unwrap();
+        let mut r = rng(5);
+        let mut w = MultiWalk::from_positions(&g, vec![0, 2, 4], WalkConfig::simple());
+        for _ in 0..20 {
+            let before: Vec<_> = w.positions().to_vec();
+            w.step(&g, &mut r);
+            for (agent, &prev) in before.iter().enumerate() {
+                assert_ne!(w.position(agent), prev, "simple walk must move every round");
+                assert!(g.has_edge(prev, w.position(agent)));
+                assert_eq!(w.previous_position(agent), prev);
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_walk_sometimes_stays() {
+        let g = cycle(6).unwrap();
+        let mut r = rng(7);
+        let mut w = MultiWalk::from_positions(&g, vec![0; 200], WalkConfig::lazy());
+        w.step(&g, &mut r);
+        let stayed = (0..200).filter(|&a| w.position(a) == 0).count();
+        // With laziness 1/2, about half should stay.
+        assert!(stayed > 60 && stayed < 140, "stayed = {stayed}");
+    }
+
+    #[test]
+    fn walk_on_star_alternates_between_center_and_leaves() {
+        let g = star(5).unwrap();
+        let mut r = rng(11);
+        let mut w = MultiWalk::from_positions(&g, vec![0], WalkConfig::simple());
+        // Start at center: odd rounds at a leaf, even rounds at the center.
+        for round in 1..=10 {
+            w.step(&g, &mut r);
+            if round % 2 == 1 {
+                assert_ne!(w.position(0), 0);
+            } else {
+                assert_eq!(w.position(0), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_agent_never_moves() {
+        let g = rumor_graphs::Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut r = rng(0);
+        let mut w = MultiWalk::from_positions(&g, vec![2], WalkConfig::simple());
+        for _ in 0..5 {
+            w.step(&g, &mut r);
+            assert_eq!(w.position(0), 2);
+        }
+    }
+
+    #[test]
+    fn neighborhood_occupancy_counts_neighbors_only() {
+        let g = path(4).unwrap(); // 0-1-2-3
+        let w = MultiWalk::from_positions(&g, vec![0, 1, 1, 3], WalkConfig::simple());
+        // Neighbors of 2 are 1 and 3: agents 1, 2 (at vertex 1) and 3 (at vertex 3).
+        assert_eq!(w.neighborhood_occupancy(&g, 2), 3);
+        // Neighbors of 0 are {1}: two agents there.
+        assert_eq!(w.neighborhood_occupancy(&g, 0), 2);
+    }
+
+    #[test]
+    fn teleport_moves_agent_and_updates_occupancy() {
+        let g = complete(5).unwrap();
+        let mut w = MultiWalk::from_positions(&g, vec![0, 1], WalkConfig::simple());
+        w.teleport(0, 4);
+        assert_eq!(w.position(0), 4);
+        assert_eq!(w.occupancy(0), 0);
+        assert_eq!(w.occupancy(4), 1);
+        // Teleporting to the same vertex is a no-op.
+        w.teleport(0, 4);
+        assert_eq!(w.occupancy(4), 1);
+    }
+
+    #[test]
+    fn occupied_vertices_lists_only_nonempty() {
+        let g = complete(6).unwrap();
+        let w = MultiWalk::from_positions(&g, vec![2, 2, 5], WalkConfig::simple());
+        let occ: Vec<_> = w.occupied_vertices().map(|(v, a)| (v, a.len())).collect();
+        assert_eq!(occ, vec![(2, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn stationary_distribution_is_preserved_in_aggregate() {
+        // On a star, the stationary measure puts 1/2 on the center. Start from
+        // stationarity, run many rounds and check the empirical occupancy of the
+        // center over time stays near 1/2 of all agents (the walk is already mixed,
+        // up to parity effects, so average over a window of two rounds).
+        let g = star(20).unwrap();
+        let mut r = rng(23);
+        let agents = 2000;
+        let mut w = MultiWalk::new(&g, agents, &Placement::Stationary, WalkConfig::lazy(), &mut r);
+        let mut center_sum = 0usize;
+        let rounds = 200;
+        for _ in 0..rounds {
+            w.step(&g, &mut r);
+            center_sum += w.occupancy(0);
+        }
+        let avg_fraction = center_sum as f64 / (rounds * agents) as f64;
+        assert!((avg_fraction - 0.5).abs() < 0.05, "center fraction {avg_fraction}");
+    }
+}

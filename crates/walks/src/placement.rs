@@ -1,0 +1,175 @@
+//! Initial placement of agents on the graph.
+//!
+//! The paper's default is a *linear* number of agents (`|A| = α n`), each
+//! started independently from the stationary distribution
+//! `π(u) = deg(u) / 2|E|`. For regular graphs it also considers the variant
+//! with exactly one agent per vertex (remark after Lemma 11).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use rumor_graphs::{Graph, VertexId};
+
+/// How many agents to create, as a function of the graph size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AgentCount {
+    /// Exactly this many agents.
+    Exact(usize),
+    /// `ceil(alpha * n)` agents, the paper's `|A| = α n` assumption.
+    Linear {
+        /// The proportionality constant `α`.
+        alpha: f64,
+    },
+}
+
+impl AgentCount {
+    /// Resolves the specification to a concrete count for an `n`-vertex graph.
+    pub fn resolve(&self, n: usize) -> usize {
+        match *self {
+            AgentCount::Exact(k) => k,
+            AgentCount::Linear { alpha } => (alpha * n as f64).ceil().max(0.0) as usize,
+        }
+    }
+
+    /// One agent per vertex (`α = 1`).
+    pub fn one_per_vertex() -> Self {
+        AgentCount::Linear { alpha: 1.0 }
+    }
+}
+
+impl Default for AgentCount {
+    fn default() -> Self {
+        AgentCount::one_per_vertex()
+    }
+}
+
+/// Where the agents start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Each agent starts at an independent sample of the stationary
+    /// distribution (the paper's default assumption).
+    Stationary,
+    /// Exactly one agent per vertex, in vertex order; the agent count is
+    /// forced to `n`. (The regular-graph results also hold in this model.)
+    OneUniquePerVertex,
+    /// Each agent starts at an independent *uniformly* random vertex
+    /// (differs from `Stationary` on non-regular graphs).
+    UniformRandom,
+    /// All agents start on one designated vertex.
+    AllAt(VertexId),
+    /// Explicit starting vertex per agent; the agent count is forced to the
+    /// length of the vector.
+    Explicit(Vec<VertexId>),
+}
+
+impl Placement {
+    /// Samples starting positions for `count` agents on `graph`.
+    ///
+    /// For [`Placement::OneUniquePerVertex`] and [`Placement::Explicit`] the
+    /// requested `count` is ignored (the placement defines it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty, if [`Placement::AllAt`] names an
+    /// out-of-range vertex, if an explicit position is out of range, or if
+    /// stationary sampling is requested on a graph with no edges.
+    pub fn sample<R: Rng + ?Sized>(&self, graph: &Graph, count: usize, rng: &mut R) -> Vec<VertexId> {
+        let n = graph.num_vertices();
+        assert!(n > 0, "cannot place agents on an empty graph");
+        match self {
+            Placement::Stationary => (0..count).map(|_| graph.sample_stationary(rng)).collect(),
+            Placement::OneUniquePerVertex => (0..n).collect(),
+            Placement::UniformRandom => (0..count).map(|_| rng.gen_range(0..n)).collect(),
+            Placement::AllAt(v) => {
+                assert!(*v < n, "AllAt vertex out of range");
+                vec![*v; count]
+            }
+            Placement::Explicit(positions) => {
+                for &p in positions {
+                    assert!(p < n, "explicit agent position {p} out of range");
+                }
+                positions.clone()
+            }
+        }
+    }
+}
+
+impl Default for Placement {
+    fn default() -> Self {
+        Placement::Stationary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::{complete, star};
+
+    #[test]
+    fn agent_count_resolution() {
+        assert_eq!(AgentCount::Exact(7).resolve(100), 7);
+        assert_eq!(AgentCount::Linear { alpha: 1.0 }.resolve(100), 100);
+        assert_eq!(AgentCount::Linear { alpha: 0.5 }.resolve(101), 51);
+        assert_eq!(AgentCount::Linear { alpha: 2.0 }.resolve(10), 20);
+        assert_eq!(AgentCount::one_per_vertex().resolve(42), 42);
+        assert_eq!(AgentCount::default().resolve(9), 9);
+    }
+
+    #[test]
+    fn stationary_placement_is_degree_biased() {
+        let g = star(9).unwrap(); // center has half the total degree
+        let mut rng = StdRng::seed_from_u64(2);
+        let starts = Placement::Stationary.sample(&g, 40_000, &mut rng);
+        let at_center = starts.iter().filter(|&&v| v == 0).count() as f64 / starts.len() as f64;
+        assert!((at_center - 0.5).abs() < 0.02, "center fraction {at_center}");
+    }
+
+    #[test]
+    fn uniform_placement_is_not_degree_biased() {
+        let g = star(9).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let starts = Placement::UniformRandom.sample(&g, 40_000, &mut rng);
+        let at_center = starts.iter().filter(|&&v| v == 0).count() as f64 / starts.len() as f64;
+        assert!((at_center - 0.1).abs() < 0.02, "center fraction {at_center}");
+    }
+
+    #[test]
+    fn one_per_vertex_ignores_count() {
+        let g = complete(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let starts = Placement::OneUniquePerVertex.sample(&g, 3, &mut rng);
+        assert_eq!(starts, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn all_at_and_explicit() {
+        let g = complete(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Placement::AllAt(3).sample(&g, 4, &mut rng), vec![3, 3, 3, 3]);
+        let explicit = Placement::Explicit(vec![4, 0, 2]);
+        assert_eq!(explicit.sample(&g, 99, &mut rng), vec![4, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn all_at_rejects_out_of_range() {
+        let g = complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Placement::AllAt(9).sample(&g, 1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explicit_rejects_out_of_range() {
+        let g = complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Placement::Explicit(vec![0, 7]).sample(&g, 2, &mut rng);
+    }
+
+    #[test]
+    fn default_placement_is_stationary() {
+        assert_eq!(Placement::default(), Placement::Stationary);
+    }
+}

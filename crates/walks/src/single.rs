@@ -1,0 +1,146 @@
+//! A single random walk, with optional trajectory recording.
+
+use rand::Rng;
+
+use rumor_graphs::{Graph, VertexId};
+
+use crate::config::WalkConfig;
+
+/// A single (possibly lazy) random walk on a graph.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_graphs::generators::cycle;
+/// use rumor_walks::{RandomWalk, WalkConfig};
+///
+/// let g = cycle(10)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut walk = RandomWalk::new(0, WalkConfig::simple());
+/// walk.step(&g, &mut rng);
+/// assert!(g.has_edge(0, walk.position()));
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    position: VertexId,
+    steps: u64,
+    config: WalkConfig,
+}
+
+impl RandomWalk {
+    /// Creates a walk at `start`.
+    pub fn new(start: VertexId, config: WalkConfig) -> Self {
+        RandomWalk { position: start, steps: 0, config }
+    }
+
+    /// Current vertex.
+    pub fn position(&self) -> VertexId {
+        self.position
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The walk configuration.
+    pub fn config(&self) -> WalkConfig {
+        self.config
+    }
+
+    /// Takes one step and returns the new position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current position is out of range for `graph`.
+    pub fn step<R: Rng + ?Sized>(&mut self, graph: &Graph, rng: &mut R) -> VertexId {
+        let stay = self.config.laziness() > 0.0 && rng.gen_bool(self.config.laziness());
+        if !stay {
+            if let Some(next) = graph.random_neighbor(self.position, rng) {
+                self.position = next;
+            }
+        }
+        self.steps += 1;
+        self.position
+    }
+
+    /// Runs the walk for `rounds` steps, returning the visited trajectory
+    /// (including the starting vertex, so the result has `rounds + 1` entries).
+    pub fn trajectory<R: Rng + ?Sized>(
+        &mut self,
+        graph: &Graph,
+        rounds: usize,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(rounds + 1);
+        out.push(self.position);
+        for _ in 0..rounds {
+            out.push(self.step(graph, rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rumor_graphs::generators::{cycle, path, star};
+
+    #[test]
+    fn step_moves_along_edges() {
+        let g = cycle(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = RandomWalk::new(3, WalkConfig::simple());
+        for _ in 0..30 {
+            let before = w.position();
+            let after = w.step(&g, &mut rng);
+            assert!(g.has_edge(before, after));
+        }
+        assert_eq!(w.steps(), 30);
+    }
+
+    #[test]
+    fn trajectory_has_expected_length_and_connectivity() {
+        let g = path(10).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = RandomWalk::new(5, WalkConfig::simple());
+        let traj = w.trajectory(&g, 25, &mut rng);
+        assert_eq!(traj.len(), 26);
+        assert_eq!(traj[0], 5);
+        for pair in traj.windows(2) {
+            assert!(g.has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn lazy_walk_trajectory_may_repeat_vertices() {
+        let g = cycle(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = RandomWalk::new(0, WalkConfig::lazy());
+        let traj = w.trajectory(&g, 200, &mut rng);
+        assert!(traj.windows(2).any(|p| p[0] == p[1]), "lazy walk never stayed put");
+    }
+
+    #[test]
+    fn walk_visits_all_of_a_small_star_quickly() {
+        let g = star(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut w = RandomWalk::new(0, WalkConfig::simple());
+        let traj = w.trajectory(&g, 200, &mut rng);
+        let mut seen: Vec<bool> = vec![false; 5];
+        for &v in &traj {
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "cover of the star incomplete: {seen:?}");
+    }
+
+    #[test]
+    fn config_accessor() {
+        let w = RandomWalk::new(0, WalkConfig::lazy());
+        assert!(w.config().is_lazy());
+    }
+}

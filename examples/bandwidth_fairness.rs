@@ -1,0 +1,104 @@
+//! Bandwidth-fairness demo (Section 1 of the paper): why the agent protocols
+//! win on the double star.
+//!
+//! Runs `push-pull` and `visit-exchange` on the double star with per-edge
+//! traffic recording and prints the dispersion of edge usage, plus the traffic
+//! seen by the critical center–center bridge edge.
+//!
+//! ```text
+//! cargo run --release --example bandwidth_fairness
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rumor_analysis::Table;
+use rumor_core::{
+    run_to_completion, Protocol, ProtocolOptions, PushPull, VisitExchange,
+};
+use rumor_core::AgentConfig;
+use rumor_graphs::generators::{double_star, DOUBLE_STAR_CENTER_A, DOUBLE_STAR_CENTER_B};
+use rumor_graphs::GraphError;
+
+fn main() -> Result<(), GraphError> {
+    let leaves = 500;
+    let graph = double_star(leaves)?;
+    let rounds_horizon = 400;
+    println!(
+        "double star with {} vertices; comparing per-edge traffic over {} rounds\n",
+        graph.num_vertices(),
+        rounds_horizon
+    );
+
+    let mut table = Table::new(
+        "Per-edge traffic (bridge = the center-center edge that gates the broadcast)",
+        &["protocol", "bridge uses/round", "mean edge uses/round", "max/mean", "coeff. of variation"],
+    );
+
+    // push-pull: every vertex calls a random neighbor each round.
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut push_pull = PushPull::new(&graph, 2, ProtocolOptions::with_edge_traffic());
+    // Run for a fixed horizon (ignore completion) to measure steady-state usage.
+    for _ in 0..rounds_horizon {
+        push_pull.step(&mut rng);
+    }
+    let pp_traffic = push_pull.edge_traffic().expect("traffic requested");
+    let pp_stats = pp_traffic.stats(&graph, rounds_horizon);
+    table.push_row(&[
+        "push-pull".to_string(),
+        format!(
+            "{:.4}",
+            pp_traffic.count(DOUBLE_STAR_CENTER_A, DOUBLE_STAR_CENTER_B) as f64 / rounds_horizon as f64
+        ),
+        format!("{:.4}", pp_stats.mean_per_round),
+        format!("{:.1}", pp_stats.max_to_mean_ratio),
+        format!("{:.2}", pp_stats.coefficient_of_variation),
+    ]);
+
+    // visit-exchange: stationary agents cross every edge at the same rate.
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut visitx = VisitExchange::new(
+        &graph,
+        2,
+        &AgentConfig::default().lazy(),
+        ProtocolOptions::with_edge_traffic(),
+        &mut rng,
+    );
+    for _ in 0..rounds_horizon {
+        visitx.step(&mut rng);
+    }
+    let vx_traffic = visitx.edge_traffic().expect("traffic requested");
+    let vx_stats = vx_traffic.stats(&graph, rounds_horizon);
+    table.push_row(&[
+        "visit-exchange".to_string(),
+        format!(
+            "{:.4}",
+            vx_traffic.count(DOUBLE_STAR_CENTER_A, DOUBLE_STAR_CENTER_B) as f64 / rounds_horizon as f64
+        ),
+        format!("{:.4}", vx_stats.mean_per_round),
+        format!("{:.1}", vx_stats.max_to_mean_ratio),
+        format!("{:.2}", vx_stats.coefficient_of_variation),
+    ]);
+
+    print!("{}", table.to_plain_text());
+
+    // And the consequence: the actual broadcast times.
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut pp = PushPull::new(&graph, 2, ProtocolOptions::none());
+    let pp_outcome = run_to_completion(&mut pp, 10_000_000, &mut rng);
+    let mut vx = VisitExchange::new(
+        &graph,
+        2,
+        &AgentConfig::default().lazy(),
+        ProtocolOptions::none(),
+        &mut rng,
+    );
+    let vx_outcome = run_to_completion(&mut vx, 10_000_000, &mut rng);
+    println!(
+        "\nBroadcast times on this instance: push-pull {} rounds vs visit-exchange {} rounds.\n\
+         The bridge edge is the bottleneck: push-pull crosses it only when a hub happens to\n\
+         sample it (probability O(1/n) per round) while about one agent per round walks across,\n\
+         which is exactly the paper's locally-fair-bandwidth explanation of Lemma 3.",
+        pp_outcome.rounds, vx_outcome.rounds
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Quickstart: build a graph, run all of the paper's protocols once, and
+//! print their broadcast times.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rumor_analysis::Table;
+use rumor_core::{simulate, ProtocolKind, SimulationSpec};
+use rumor_graphs::generators::double_star;
+use rumor_graphs::GraphError;
+
+fn main() -> Result<(), GraphError> {
+    // The double star of Fig. 1(b): two hubs joined by one edge, 500 leaves each.
+    let graph = double_star(500)?;
+    let source = 2; // a leaf of the first star
+    println!(
+        "double star: {} vertices, {} edges, source = leaf {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        source
+    );
+
+    let mut table = Table::new("One run of each protocol (seed 42)", &["protocol", "rounds", "messages"]);
+    for kind in ProtocolKind::ALL {
+        // `adapted_to` switches meet-exchange to lazy walks here: the double
+        // star is bipartite, and simple walks could be parity-trapped forever.
+        let spec = SimulationSpec::new(kind).with_seed(42).adapted_to(&graph);
+        let outcome = simulate(&graph, source, &spec);
+        table.push_row(&[
+            kind.name().to_string(),
+            outcome.rounds.to_string(),
+            outcome.total_messages.to_string(),
+        ]);
+    }
+    print!("{}", table.to_plain_text());
+
+    println!(
+        "\nNote how push and push-pull need hundreds of rounds (the bridge edge is sampled with\n\
+         probability O(1/n) per round) while the agent-based protocols finish in a few dozen —\n\
+         that is Lemma 3 of the paper."
+    );
+    Ok(())
+}
