@@ -122,10 +122,16 @@ pub struct PowerLawFit {
 /// assert!(fit.r_squared > 0.999);
 /// ```
 pub fn fit_power_law(points: &[(f64, f64)]) -> PowerLawFit {
-    assert!(points.len() >= 2, "power-law fit requires at least two points");
+    assert!(
+        points.len() >= 2,
+        "power-law fit requires at least two points"
+    );
     for &(n, t) in points {
         assert!(n >= 2.0, "power-law fit requires n >= 2");
-        assert!(t > 0.0 && t.is_finite(), "power-law fit requires positive measurements");
+        assert!(
+            t > 0.0 && t.is_finite(),
+            "power-law fit requires positive measurements"
+        );
     }
     let logs: Vec<(f64, f64)> = points.iter().map(|&(n, t)| (n.ln(), t.ln())).collect();
     let k = logs.len() as f64;
@@ -136,8 +142,16 @@ pub fn fit_power_law(points: &[(f64, f64)]) -> PowerLawFit {
     let syy: f64 = logs.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
     let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy > 0.0 && sxx > 0.0 { (sxy * sxy) / (sxx * syy) } else { 1.0 };
-    PowerLawFit { exponent: slope, constant: intercept.exp(), r_squared }
+    let r_squared = if syy > 0.0 && sxx > 0.0 {
+        (sxy * sxy) / (sxx * syy)
+    } else {
+        1.0
+    };
+    PowerLawFit {
+        exponent: slope,
+        constant: intercept.exp(),
+        r_squared,
+    }
 }
 
 /// Result of fitting one [`GrowthLaw`] shape.
@@ -161,17 +175,25 @@ pub fn fit_law(points: &[(f64, f64)], law: GrowthLaw) -> LawFit {
     assert!(points.len() >= 2, "law fit requires at least two points");
     for &(n, t) in points {
         assert!(n >= 2.0, "law fit requires n >= 2");
-        assert!(t > 0.0 && t.is_finite(), "law fit requires positive measurements");
+        assert!(
+            t > 0.0 && t.is_finite(),
+            "law fit requires positive measurements"
+        );
     }
     // In the log domain the model is ln T = ln c + ln f(n); the least-squares
     // estimate of ln c is the mean residual.
-    let residuals: Vec<f64> =
-        points.iter().map(|&(n, t)| t.ln() - law.evaluate(n).ln()).collect();
+    let residuals: Vec<f64> = points
+        .iter()
+        .map(|&(n, t)| t.ln() - law.evaluate(n).ln())
+        .collect();
     let ln_c = residuals.iter().sum::<f64>() / residuals.len() as f64;
-    let rms = (residuals.iter().map(|r| (r - ln_c).powi(2)).sum::<f64>()
-        / residuals.len() as f64)
-        .sqrt();
-    LawFit { law, constant: ln_c.exp(), rms_relative_error: rms }
+    let rms =
+        (residuals.iter().map(|r| (r - ln_c).powi(2)).sum::<f64>() / residuals.len() as f64).sqrt();
+    LawFit {
+        law,
+        constant: ln_c.exp(),
+        rms_relative_error: rms,
+    }
 }
 
 /// Fits every candidate law and returns them sorted from best to worst fit.
@@ -180,7 +202,10 @@ pub fn fit_law(points: &[(f64, f64)], law: GrowthLaw) -> LawFit {
 ///
 /// Same conditions as [`fit_power_law`].
 pub fn rank_laws(points: &[(f64, f64)]) -> Vec<LawFit> {
-    let mut fits: Vec<LawFit> = GrowthLaw::ALL.iter().map(|&law| fit_law(points, law)).collect();
+    let mut fits: Vec<LawFit> = GrowthLaw::ALL
+        .iter()
+        .map(|&law| fit_law(points, law))
+        .collect();
     fits.sort_by(|a, b| {
         a.rms_relative_error
             .partial_cmp(&b.rms_relative_error)
@@ -231,7 +256,10 @@ mod tests {
             if law == GrowthLaw::Constant {
                 continue;
             }
-            assert!(law.evaluate(1000.0) > law.evaluate(10.0), "{law} is not increasing");
+            assert!(
+                law.evaluate(1000.0) > law.evaluate(10.0),
+                "{law} is not increasing"
+            );
         }
     }
 

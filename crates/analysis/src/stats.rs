@@ -43,8 +43,14 @@ impl Summary {
     ///
     /// Panics if `samples` is empty or contains a non-finite value.
     pub fn of(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "Summary::of requires at least one sample");
-        assert!(samples.iter().all(|x| x.is_finite()), "samples must be finite");
+        assert!(
+            !samples.is_empty(),
+            "Summary::of requires at least one sample"
+        );
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "samples must be finite"
+        );
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let std_dev = if n > 1 {
@@ -128,12 +134,21 @@ impl MeanRatio {
     ///
     /// Panics if the denominator's mean is zero.
     pub fn of(numerator: &Summary, denominator: &Summary) -> Self {
-        assert!(denominator.mean.abs() > f64::EPSILON, "denominator mean must be non-zero");
+        assert!(
+            denominator.mean.abs() > f64::EPSILON,
+            "denominator mean must be non-zero"
+        );
         let ratio = numerator.mean / denominator.mean;
-        let rel_num =
-            if numerator.mean.abs() > 0.0 { numerator.ci95_half_width() / numerator.mean } else { 0.0 };
+        let rel_num = if numerator.mean.abs() > 0.0 {
+            numerator.ci95_half_width() / numerator.mean
+        } else {
+            0.0
+        };
         let rel_den = denominator.ci95_half_width() / denominator.mean;
-        MeanRatio { ratio, relative_error: rel_num + rel_den }
+        MeanRatio {
+            ratio,
+            relative_error: rel_num + rel_den,
+        }
     }
 }
 

@@ -25,7 +25,13 @@ fn congestion_instrumentation(c: &mut Criterion) {
         b.iter(|| {
             seed = seed.wrapping_add(1);
             let mut trial_rng = StdRng::seed_from_u64(seed);
-            CCounterTrace::run(&graph, 0, &AgentConfig::default(), 1_000_000, &mut trial_rng)
+            CCounterTrace::run(
+                &graph,
+                0,
+                &AgentConfig::default(),
+                1_000_000,
+                &mut trial_rng,
+            )
         });
     });
     group.bench_function("coupled_run_lemma13", |b| {

@@ -39,23 +39,27 @@ fn churn_visit_exchange(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for churn in [0.0, 0.05, 0.25] {
-        group.bench_with_input(BenchmarkId::new("churn", format!("{churn}")), &churn, |b, &churn| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                let mut rng = StdRng::seed_from_u64(seed);
-                let mut p = ChurnVisitExchange::new(
-                    &graph,
-                    2,
-                    &AgentConfig::default().lazy(),
-                    churn,
-                    ProtocolOptions::none(),
-                    &mut rng,
-                )
-                .expect("valid churn");
-                run_to_completion(&mut p, 1_000_000, &mut rng)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("churn", format!("{churn}")),
+            &churn,
+            |b, &churn| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut p = ChurnVisitExchange::new(
+                        &graph,
+                        2,
+                        &AgentConfig::default().lazy(),
+                        churn,
+                        ProtocolOptions::none(),
+                        &mut rng,
+                    )
+                    .expect("valid churn");
+                    run_to_completion(&mut p, 1_000_000, &mut rng)
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -76,16 +80,25 @@ fn sublinear_agents(c: &mut Criterion) {
                 ..AgentConfig::default()
             })
             .with_max_rounds(1_000_000);
-        group.bench_with_input(BenchmarkId::new("visit-exchange", agents), &spec, |b, spec| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                simulate(&graph, 0, &spec.clone().with_seed(seed))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("visit-exchange", agents),
+            &spec,
+            |b, spec| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    simulate(&graph, 0, &spec.clone().with_seed(seed))
+                });
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, async_push_regular, churn_visit_exchange, sublinear_agents);
+criterion_group!(
+    benches,
+    async_push_regular,
+    churn_visit_exchange,
+    sublinear_agents
+);
 criterion_main!(benches);

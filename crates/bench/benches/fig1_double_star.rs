@@ -13,7 +13,10 @@ use rumor_graphs::generators::double_star;
 fn fig1b_double_star(c: &mut Criterion) {
     let graph = double_star(256).expect("double star generator");
     let mut protocols = paper_protocols_lazy();
-    protocols.push(BenchProtocol::new("combined", ProtocolKind::PushPullVisitExchange));
+    protocols.push(BenchProtocol::new(
+        "combined",
+        ProtocolKind::PushPullVisitExchange,
+    ));
     // Source is a leaf of the first star.
     bench_broadcast(c, "fig1b_double_star", &graph, 2, &protocols);
 }

@@ -11,7 +11,13 @@ use rumor_graphs::generators::{star, STAR_CENTER};
 
 fn fig1a_star(c: &mut Criterion) {
     let graph = star(512).expect("star generator");
-    bench_broadcast(c, "fig1a_star", &graph, STAR_CENTER, &paper_protocols_lazy());
+    bench_broadcast(
+        c,
+        "fig1a_star",
+        &graph,
+        STAR_CENTER,
+        &paper_protocols_lazy(),
+    );
 }
 
 criterion_group!(benches, fig1a_star);

@@ -29,7 +29,13 @@ fn push_vs_pushpull_regular(c: &mut Criterion) {
 
 fn push_vs_pushpull_star(c: &mut Criterion) {
     let graph = star(512).expect("star generator");
-    bench_broadcast(c, "push_vs_pushpull_star", &graph, STAR_CENTER, &protocols());
+    bench_broadcast(
+        c,
+        "push_vs_pushpull_star",
+        &graph,
+        STAR_CENTER,
+        &protocols(),
+    );
 }
 
 criterion_group!(benches, push_vs_pushpull_regular, push_vs_pushpull_star);

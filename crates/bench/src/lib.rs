@@ -28,12 +28,20 @@ pub struct BenchProtocol {
 impl BenchProtocol {
     /// Entry with the default agent configuration.
     pub fn new(label: &'static str, kind: ProtocolKind) -> Self {
-        BenchProtocol { label, kind, agents: AgentConfig::default() }
+        BenchProtocol {
+            label,
+            kind,
+            agents: AgentConfig::default(),
+        }
     }
 
     /// Entry with lazy agent walks (bipartite graphs).
     pub fn lazy(label: &'static str, kind: ProtocolKind) -> Self {
-        BenchProtocol { label, kind, agents: AgentConfig::default().lazy() }
+        BenchProtocol {
+            label,
+            kind,
+            agents: AgentConfig::default().lazy(),
+        }
     }
 }
 

@@ -1,22 +1,44 @@
 //! Driving protocols to completion and collecting outcomes.
+//!
+//! Two paths lead through this module:
+//!
+//! * [`simulate`] — the hot path. It knows the concrete protocol type from
+//!   [`ProtocolKind`], so the whole run loop is monomorphized over both the
+//!   protocol and the engine's fast RNG ([`SmallRng`], xoshiro256++): no
+//!   per-round virtual calls, no per-sample `dyn RngCore` dispatch, and no
+//!   history allocation unless [`ProtocolOptions::record_history`] asks for
+//!   it.
+//! * [`run_to_completion`] — the flexible path for callers holding any
+//!   `P: Protocol` (including `Box<dyn Protocol>` from [`build_protocol`])
+//!   and their own `dyn RngCore`. It always records history, as documented.
+//!
+//! **Determinism guarantee:** a simulation outcome is a pure function of
+//! `(graph, source, spec)`. [`simulate`] derives all randomness from one
+//! `SmallRng` seeded with `spec.seed`, protocols draw their variates in a
+//! fixed documented order, and the parallel trial runner assigns one
+//! derived seed per trial — so the same spec and seed give the same outcome
+//! on every machine and at every thread count.
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
 
 use rumor_graphs::{Graph, VertexId};
 
 use crate::metrics::{BroadcastOutcome, RoundRecord};
 use crate::options::{AgentConfig, ProtocolOptions};
-use crate::protocol::{build_protocol, Protocol, ProtocolKind};
+use crate::protocol::{FastStep, Protocol, ProtocolKind};
+use crate::protocols::{
+    AsyncPush, AsyncPushPull, MeetExchange, Pull, Push, PushPull, PushPullVisitExchange,
+    VisitExchange,
+};
 
 /// Runs `protocol` until it completes or `max_rounds` rounds have elapsed, and
 /// collects the outcome.
 ///
-/// Per-round history is recorded for every round (the caller decides whether
-/// to keep it by constructing the protocol with or without
-/// [`ProtocolOptions::record_history`]; this function always records — it is
-/// cheap relative to a round — but drops the history if the protocol was not
-/// asked to keep it, so that outcomes stay small in large sweeps).
+/// Per-round history is always recorded on this path (it is cheap relative to
+/// a round at this API's typical scales); use [`simulate`] for large sweeps —
+/// it skips history entirely unless
+/// [`ProtocolOptions::record_history`] is set.
 ///
 /// # Examples
 ///
@@ -32,22 +54,41 @@ use crate::protocol::{build_protocol, Protocol, ProtocolKind};
 /// assert!(outcome.completed);
 /// # Ok::<(), rumor_graphs::GraphError>(())
 /// ```
-pub fn run_to_completion<P>(protocol: &mut P, max_rounds: u64, rng: &mut dyn RngCore) -> BroadcastOutcome
+pub fn run_to_completion<P>(
+    protocol: &mut P,
+    max_rounds: u64,
+    rng: &mut dyn RngCore,
+) -> BroadcastOutcome
 where
     P: Protocol + ?Sized,
 {
-    run_with_history(protocol, max_rounds, rng)
-}
-
-fn run_with_history<P>(protocol: &mut P, max_rounds: u64, rng: &mut dyn RngCore) -> BroadcastOutcome
-where
-    P: Protocol + ?Sized,
-{
-    let record_history = true;
     let mut history = Vec::new();
     while !protocol.is_complete() && protocol.round() < max_rounds {
         protocol.step(rng);
-        if record_history {
+        history.push(RoundRecord {
+            round: protocol.round(),
+            informed_vertices: protocol.informed_vertex_count(),
+            informed_agents: protocol.informed_agent_count(),
+            messages: protocol.messages_last_round(),
+        });
+    }
+    collect_outcome(protocol, history)
+}
+
+/// Monomorphized run loop: `P` and `R` are concrete here, so every protocol
+/// round inlines down to the RNG's arithmetic. `record_history` is threaded
+/// through (rather than read from the protocol) so that sweeps which do not
+/// want history never allocate a single [`RoundRecord`].
+fn run_fast<P: FastStep, R: Rng + ?Sized>(
+    protocol: &mut P,
+    max_rounds: u64,
+    record_history: bool,
+    rng: &mut R,
+) -> BroadcastOutcome {
+    let mut history = Vec::new();
+    if record_history {
+        while !protocol.is_complete() && protocol.round() < max_rounds {
+            protocol.fast_step(rng);
             history.push(RoundRecord {
                 round: protocol.round(),
                 informed_vertices: protocol.informed_vertex_count(),
@@ -55,9 +96,22 @@ where
                 messages: protocol.messages_last_round(),
             });
         }
+    } else {
+        while !protocol.is_complete() && protocol.round() < max_rounds {
+            protocol.fast_step(rng);
+        }
     }
+    collect_outcome(protocol, history)
+}
+
+fn collect_outcome<P: Protocol + ?Sized>(
+    protocol: &P,
+    history: Vec<RoundRecord>,
+) -> BroadcastOutcome {
     let rounds = protocol.round();
-    let edge_traffic = protocol.edge_traffic().map(|t| t.stats(protocol.graph(), rounds.max(1)));
+    let edge_traffic = protocol
+        .edge_traffic()
+        .map(|t| t.stats(protocol.graph(), rounds.max(1)));
     BroadcastOutcome {
         protocol: protocol.name().to_string(),
         rounds,
@@ -72,7 +126,12 @@ where
 
 /// One-call simulation: builds a protocol of `kind` on `graph` with the rumor
 /// at `source`, runs it to completion (or `max_rounds`), and returns the
-/// outcome. The run is fully determined by `seed`.
+/// outcome. The run is fully determined by `seed` (see the module docs for
+/// the determinism guarantee).
+///
+/// This is the hot path: the protocol is constructed concretely (no trait
+/// object) and driven by the engine's fast RNG, so per-sample costs are fully
+/// inlined.
 ///
 /// # Panics
 ///
@@ -92,14 +151,57 @@ where
 /// # Ok::<(), rumor_graphs::GraphError>(())
 /// ```
 pub fn simulate(graph: &Graph, source: VertexId, spec: &SimulationSpec) -> BroadcastOutcome {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
-    let mut protocol =
-        build_protocol(spec.kind, graph, source, &spec.agents, spec.options, &mut rng);
-    let mut outcome = run_to_completion(protocol.as_mut(), spec.max_rounds, &mut rng);
-    if !spec.options.record_history {
-        outcome.history.clear();
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let record = spec.options.record_history;
+    let rounds = spec.max_rounds;
+    match spec.kind {
+        ProtocolKind::Push => {
+            let mut p = Push::new(graph, source, spec.options);
+            run_fast(&mut p, rounds, record, &mut rng)
+        }
+        ProtocolKind::Pull => {
+            let mut p = Pull::new(graph, source, spec.options);
+            run_fast(&mut p, rounds, record, &mut rng)
+        }
+        ProtocolKind::PushPull => {
+            let mut p = PushPull::new(graph, source, spec.options);
+            run_fast(&mut p, rounds, record, &mut rng)
+        }
+        ProtocolKind::VisitExchange => {
+            let mut p = VisitExchange::new(graph, source, &spec.agents, spec.options, &mut rng);
+            run_fast(&mut p, rounds, record, &mut rng)
+        }
+        ProtocolKind::MeetExchange => {
+            let mut p = MeetExchange::new(graph, source, &spec.agents, spec.options, &mut rng);
+            run_fast(&mut p, rounds, record, &mut rng)
+        }
+        ProtocolKind::PushPullVisitExchange => {
+            let mut p =
+                PushPullVisitExchange::new(graph, source, &spec.agents, spec.options, &mut rng);
+            run_fast(&mut p, rounds, record, &mut rng)
+        }
     }
-    outcome
+}
+
+/// Like [`simulate`], but for the asynchronous protocol variants that are not
+/// part of [`ProtocolKind`]. Runs `async-push` when `push_pull` is false,
+/// `async-push-pull` otherwise, with the same determinism guarantee.
+pub fn simulate_async(
+    graph: &Graph,
+    source: VertexId,
+    push_pull: bool,
+    options: ProtocolOptions,
+    max_rounds: u64,
+    seed: u64,
+) -> BroadcastOutcome {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    if push_pull {
+        let mut p = AsyncPushPull::new(graph, source, options);
+        run_fast(&mut p, max_rounds, options.record_history, &mut rng)
+    } else {
+        let mut p = AsyncPush::new(graph, source, options);
+        run_fast(&mut p, max_rounds, options.record_history, &mut rng)
+    }
 }
 
 /// A complete, reproducible description of one simulation run.
@@ -236,10 +338,30 @@ mod tests {
     }
 
     #[test]
+    fn simulate_async_is_reproducible_and_completes() {
+        let g = complete(32).unwrap();
+        let a = simulate_async(&g, 0, false, ProtocolOptions::none(), 100_000, 9);
+        let b = simulate_async(&g, 0, false, ProtocolOptions::none(), 100_000, 9);
+        assert_eq!(a, b);
+        assert!(a.completed);
+        assert_eq!(a.protocol, "async-push");
+        assert!(
+            a.history.is_empty(),
+            "history must not be allocated unless requested"
+        );
+        let pp = simulate_async(&g, 0, true, ProtocolOptions::with_history(), 100_000, 9);
+        assert!(pp.completed);
+        assert_eq!(pp.protocol, "async-push-pull");
+        assert_eq!(pp.history.len() as u64, pp.rounds);
+    }
+
+    #[test]
     fn simulate_every_kind_completes_on_small_complete_graph() {
         let g = complete(20).unwrap();
         for kind in ProtocolKind::ALL {
-            let spec = SimulationSpec::new(kind).with_seed(5).with_max_rounds(100_000);
+            let spec = SimulationSpec::new(kind)
+                .with_seed(5)
+                .with_max_rounds(100_000);
             let outcome = simulate(&g, 3, &spec);
             assert!(outcome.completed, "{kind} did not complete");
             assert_eq!(outcome.protocol, kind.name());
@@ -259,7 +381,10 @@ mod tests {
                 .with_options(ProtocolOptions::with_history()),
         );
         assert!(!with.history.is_empty());
-        assert_eq!(with.rounds, without.rounds, "history must not perturb the run");
+        assert_eq!(
+            with.rounds, without.rounds,
+            "history must not perturb the run"
+        );
     }
 
     #[test]
@@ -308,7 +433,10 @@ mod tests {
             .with_max_rounds(200_000)
             .adapted_to(&g);
         let outcome = simulate(&g, 0, &spec);
-        assert!(outcome.completed, "lazy meet-exchange must finish on the hypercube");
+        assert!(
+            outcome.completed,
+            "lazy meet-exchange must finish on the hypercube"
+        );
     }
 
     #[test]

@@ -189,7 +189,11 @@ impl CCounterTrace {
                 max: nb_max,
                 min: nb_min,
                 max_per_degree: nb_max_per_deg,
-                min_per_degree: if nb_min_per_deg.is_finite() { nb_min_per_deg } else { 0.0 },
+                min_per_degree: if nb_min_per_deg.is_finite() {
+                    nb_min_per_deg
+                } else {
+                    0.0
+                },
             },
         }
     }
@@ -207,7 +211,11 @@ impl CCounterTrace {
     /// of Section 5, an upper bound on the broadcast time of `push`
     /// (Lemma 13 plus `T_push = max_u τ_u`).
     pub fn max_c_counter(&self) -> Option<u64> {
-        self.c_counter_at_information.iter().copied().filter(|&c| c != u64::MAX).max()
+        self.c_counter_at_information
+            .iter()
+            .copied()
+            .filter(|&c| c != u64::MAX)
+            .max()
     }
 }
 
@@ -257,7 +265,11 @@ mod tests {
         assert!(trace.completed);
         // Source has counter 0; everything else is >= 0 trivially, but at least
         // one late vertex should have a strictly positive counter.
-        let positive = trace.c_counter_at_information.iter().filter(|&&c| c > 0).count();
+        let positive = trace
+            .c_counter_at_information
+            .iter()
+            .filter(|&&c| c > 0)
+            .count();
         assert!(positive > 0);
     }
 
@@ -289,7 +301,7 @@ mod tests {
         let trace = CCounterTrace::run(&g, 0, &AgentConfig::default(), 1, &mut r);
         assert!(!trace.completed);
         assert_eq!(trace.broadcast_time(), None);
-        assert!(trace.informed_round.iter().any(|&t| t == u64::MAX));
+        assert!(trace.informed_round.contains(&u64::MAX));
     }
 
     #[test]

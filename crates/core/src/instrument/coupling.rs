@@ -83,22 +83,34 @@ impl CoupledRun {
     ) -> CouplingReport {
         let n = graph.num_vertices();
         assert!(source < n, "source out of range");
-        assert!(graph.num_edges() > 0, "coupling requires a graph with edges");
+        assert!(
+            graph.num_edges() > 0,
+            "coupling requires a graph with edges"
+        );
         assert!(
             graph.min_degree().unwrap_or(0) > 0,
             "coupling requires a graph without isolated vertices"
         );
 
         // Shared neighbor streams w_u(·), generated lazily from a dedicated RNG.
-        let mut shared = SharedStreams::new(n, StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1)));
+        let mut shared = SharedStreams::new(
+            n,
+            StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1)),
+        );
 
         // --- Coupled visit-exchange -------------------------------------------------
         let mut walk_rng = StdRng::seed_from_u64(seed.wrapping_add(0xA5A5_A5A5));
         let count = agents.count.resolve(n);
-        let positions_init =
-            agents.placement.sample(graph, count, &mut walk_rng);
+        let positions_init = agents.placement.sample(graph, count, &mut walk_rng);
         let (visitx_informed_round, c_counter, visitx_time, visitx_completed) =
-            run_coupled_visit_exchange(graph, source, positions_init, max_rounds, &mut shared, &mut walk_rng);
+            run_coupled_visit_exchange(
+                graph,
+                source,
+                positions_init,
+                max_rounds,
+                &mut shared,
+                &mut walk_rng,
+            );
 
         // --- Coupled push ------------------------------------------------------------
         let (push_informed_round, push_time, push_completed) =
@@ -133,7 +145,10 @@ struct SharedStreams {
 
 impl SharedStreams {
     fn new(n: usize, rng: StdRng) -> Self {
-        SharedStreams { lists: vec![Vec::new(); n], rng }
+        SharedStreams {
+            lists: vec![Vec::new(); n],
+            rng,
+        }
     }
 
     /// The `i`-th (0-based) shared neighbor choice of vertex `u`.
@@ -202,12 +217,14 @@ fn run_coupled_visit_exchange(
         let previous = positions.clone();
         for agent in 0..num_agents {
             let u = previous[agent];
-            let destination = if informed_round[u] <= round - 1 {
+            let destination = if informed_round[u] < round {
                 let i = consumed[u];
                 consumed[u] += 1;
                 shared.get(graph, u, i)
             } else {
-                graph.random_neighbor(u, walk_rng).expect("no isolated vertices")
+                graph
+                    .random_neighbor(u, walk_rng)
+                    .expect("no isolated vertices")
             };
             positions[agent] = destination;
         }
@@ -240,8 +257,8 @@ fn run_coupled_visit_exchange(
             c_current[u] = c;
             c_at_information[u] = c;
         }
-        for agent in 0..num_agents {
-            if !informed_agents.contains(agent) && informed_vertices.contains(positions[agent]) {
+        for (agent, &position) in positions.iter().enumerate() {
+            if !informed_agents.contains(agent) && informed_vertices.contains(position) {
                 informed_agents.insert(agent);
             }
         }
@@ -269,8 +286,7 @@ fn run_coupled_push(
     while !informed.is_full() && round < max_rounds {
         round += 1;
         let mut newly: Vec<VertexId> = Vec::new();
-        for u in 0..n {
-            let tau = informed_round[u];
+        for (u, &tau) in informed_round.iter().enumerate() {
             if tau >= round {
                 // Not informed before this round (tau == u64::MAX or informed this round).
                 continue;
@@ -300,7 +316,11 @@ mod tests {
         let g = complete(32).unwrap();
         let report = CoupledRun::run(&g, 0, &AgentConfig::default(), 100_000, 7);
         assert!(report.completed);
-        assert!(report.lemma13_holds(), "{} violations", report.lemma13_violations);
+        assert!(
+            report.lemma13_holds(),
+            "{} violations",
+            report.lemma13_violations
+        );
         assert!(report.push_time > 0);
         assert!(report.visitx_time > 0);
     }
@@ -338,7 +358,13 @@ mod tests {
         let g = random_regular(128, 10, &mut seed_rng).unwrap();
         let report = CoupledRun::run(&g, 5, &AgentConfig::default(), 1_000_000, 9);
         assert!(report.completed);
-        let max_c = report.c_counter.iter().copied().filter(|&c| c != u64::MAX).max().unwrap();
+        let max_c = report
+            .c_counter
+            .iter()
+            .copied()
+            .filter(|&c| c != u64::MAX)
+            .max()
+            .unwrap();
         assert!(
             report.push_time <= max_c,
             "push time {} exceeds max C-counter {max_c}",

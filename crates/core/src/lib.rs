@@ -46,6 +46,35 @@
 //!   [`EdgeTrafficStats`] — measurements.
 //! * [`instrument`] — the proof machinery of Sections 5–6 (visit counters,
 //!   C-counters, the push/visit-exchange coupling) made executable.
+//!
+//! ## Engine architecture
+//!
+//! The hot path is frontier-based and monomorphized:
+//!
+//! * Informed sets are a bitset + dense-list hybrid, and per-protocol
+//!   boundary trackers maintain neighbor counters so each round draws only
+//!   for vertices whose draw can change the state (informed pushers with an
+//!   uninformed neighbor, uninformed pullers with an informed neighbor, the
+//!   informed edge boundary for push-pull). Skipped vertices' messages are
+//!   counted arithmetically; skipping a draw whose every outcome leaves the
+//!   state unchanged does not alter the trajectory's law. Per-round draw
+//!   cost is O(|boundary|), counter upkeep O(|E|) over a run, and
+//!   `newly_informed` buffers are reused across rounds. With
+//!   [`ProtocolOptions::record_edge_traffic`] set, every draw is realized
+//!   instead (per-edge traffic must observe it).
+//! * Every protocol exposes a generic `step_with<R: Rng>` next to the
+//!   object-safe [`Protocol::step`]; [`simulate`] drives concrete protocol
+//!   types with the engine's fast RNG (xoshiro256++ `SmallRng`), so neighbor
+//!   sampling inlines with no per-draw virtual dispatch. `StdRng` (ChaCha12)
+//!   remains available for callers that want it.
+//! * **Determinism:** an outcome is a pure function of `(graph, source,
+//!   spec)` — same spec + seed ⇒ same outcome, regardless of machine or
+//!   thread count. Both sampling modes draw RNG variates in ascending vertex
+//!   order and are pinned bit-identical against naive reference
+//!   implementations by `tests/equivalence.rs`.
+//! * Per-round history is recorded only when
+//!   [`ProtocolOptions::record_history`] is set; large sweeps allocate no
+//!   [`RoundRecord`]s at all.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -59,7 +88,7 @@ mod protocols;
 
 pub mod instrument;
 
-pub use engine::{run_to_completion, simulate, SimulationSpec};
+pub use engine::{run_to_completion, simulate, simulate_async, SimulationSpec};
 pub use metrics::{BroadcastOutcome, EdgeTraffic, EdgeTrafficStats, RoundRecord};
 pub use options::{AgentConfig, ProtocolOptions};
 pub use protocol::{build_protocol, Protocol, ProtocolKind};

@@ -80,9 +80,15 @@ impl BroadcastOutcome {
     ///
     /// Panics if `fraction` is not in `(0, 1]`.
     pub fn time_to_fraction(&self, total_vertices: usize, fraction: f64) -> Option<u64> {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let threshold = (fraction * total_vertices as f64).ceil() as usize;
-        self.history.iter().find(|r| r.informed_vertices >= threshold).map(|r| r.round)
+        self.history
+            .iter()
+            .find(|r| r.informed_vertices >= threshold)
+            .map(|r| r.round)
     }
 }
 
@@ -106,13 +112,21 @@ impl EdgeTraffic {
 
     /// Records one use of the undirected edge `(u, v)`.
     pub fn record(&mut self, u: VertexId, v: VertexId) {
-        let key = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+        let key = if u < v {
+            (u as u32, v as u32)
+        } else {
+            (v as u32, u as u32)
+        };
         *self.counts.entry(key).or_insert(0) += 1;
     }
 
     /// Number of uses of the undirected edge `(u, v)`.
     pub fn count(&self, u: VertexId, v: VertexId) -> u64 {
-        let key = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+        let key = if u < v {
+            (u as u32, v as u32)
+        } else {
+            (v as u32, u as u32)
+        };
         self.counts.get(&key).copied().unwrap_or(0)
     }
 
@@ -165,7 +179,10 @@ impl EdgeTraffic {
             mean_per_round: mean / rounds as f64,
             coefficient_of_variation: if mean > 0.0 { std / mean } else { 0.0 },
             max_to_mean_ratio: if mean > 0.0 { max as f64 / mean } else { 0.0 },
-            unused_edges: graph.edges().filter(|&(u, v)| self.count(u, v) == 0).count(),
+            unused_edges: graph
+                .edges()
+                .filter(|&(u, v)| self.count(u, v) == 0)
+                .count(),
         }
     }
 }
@@ -288,9 +305,24 @@ mod tests {
             informed_agents: 0,
             total_messages: 12,
             history: vec![
-                RoundRecord { round: 1, informed_vertices: 2, informed_agents: 0, messages: 1 },
-                RoundRecord { round: 2, informed_vertices: 5, informed_agents: 0, messages: 3 },
-                RoundRecord { round: 3, informed_vertices: 8, informed_agents: 0, messages: 8 },
+                RoundRecord {
+                    round: 1,
+                    informed_vertices: 2,
+                    informed_agents: 0,
+                    messages: 1,
+                },
+                RoundRecord {
+                    round: 2,
+                    informed_vertices: 5,
+                    informed_agents: 0,
+                    messages: 3,
+                },
+                RoundRecord {
+                    round: 3,
+                    informed_vertices: 8,
+                    informed_agents: 0,
+                    messages: 8,
+                },
             ],
             edge_traffic: None,
         };

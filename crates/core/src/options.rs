@@ -48,7 +48,10 @@ impl AgentConfig {
 
     /// Baseline configuration with a different linear density `α`.
     pub fn with_alpha(alpha: f64) -> Self {
-        AgentConfig { count: AgentCount::Linear { alpha }, ..Self::new() }
+        AgentConfig {
+            count: AgentCount::Linear { alpha },
+            ..Self::new()
+        }
     }
 
     /// Exactly one agent started on each vertex (the alternative model for
@@ -108,17 +111,26 @@ impl ProtocolOptions {
 
     /// Record per-round history.
     pub fn with_history() -> Self {
-        ProtocolOptions { record_history: true, ..Default::default() }
+        ProtocolOptions {
+            record_history: true,
+            ..Default::default()
+        }
     }
 
     /// Record per-edge traffic (for the bandwidth-fairness experiments).
     pub fn with_edge_traffic() -> Self {
-        ProtocolOptions { record_edge_traffic: true, ..Default::default() }
+        ProtocolOptions {
+            record_edge_traffic: true,
+            ..Default::default()
+        }
     }
 
     /// Record everything.
     pub fn full() -> Self {
-        ProtocolOptions { record_history: true, record_edge_traffic: true }
+        ProtocolOptions {
+            record_history: true,
+            record_edge_traffic: true,
+        }
     }
 }
 
@@ -162,6 +174,8 @@ mod tests {
         assert!(ProtocolOptions::with_history().record_history);
         assert!(!ProtocolOptions::with_history().record_edge_traffic);
         assert!(ProtocolOptions::with_edge_traffic().record_edge_traffic);
-        assert!(ProtocolOptions::full().record_history && ProtocolOptions::full().record_edge_traffic);
+        assert!(
+            ProtocolOptions::full().record_history && ProtocolOptions::full().record_edge_traffic
+        );
     }
 }

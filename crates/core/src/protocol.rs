@@ -72,6 +72,26 @@ pub trait Protocol {
     }
 }
 
+/// The monomorphization hook of the hot path (crate-internal).
+///
+/// [`Protocol::step`] must stay object-safe (the harness stores
+/// `Box<dyn Protocol>`), which forces its RNG argument to be `&mut dyn
+/// RngCore` — and a virtual call per random number is the single largest
+/// constant-factor cost in a simulation round. `FastStep` carries the same
+/// round logic as a generic method, so [`crate::simulate`] — which knows the
+/// concrete protocol type from [`ProtocolKind`] — can drive whole runs with
+/// the engine's concrete fast RNG, letting every `gen_range` inline.
+///
+/// Implementations must guarantee `FastStep::fast_step` and
+/// [`Protocol::step`] perform the identical state transition and draw the
+/// identical random variates in the identical order (each protocol's
+/// `Protocol::step` simply forwards to its public `step_with`, which is also
+/// what `fast_step` calls).
+pub(crate) trait FastStep: Protocol {
+    /// One synchronous round, generic over the RNG.
+    fn fast_step<R: rand::Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
 /// Selector for the protocol implementations, used by
 /// [`build_protocol`] and the experiment harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -169,15 +189,15 @@ pub fn build_protocol<'g, R: rand::Rng + ?Sized>(
         ProtocolKind::Push => Box::new(crate::Push::new(graph, source, options)),
         ProtocolKind::Pull => Box::new(crate::Pull::new(graph, source, options)),
         ProtocolKind::PushPull => Box::new(crate::PushPull::new(graph, source, options)),
-        ProtocolKind::VisitExchange => {
-            Box::new(crate::VisitExchange::new(graph, source, agents, options, rng))
-        }
-        ProtocolKind::MeetExchange => {
-            Box::new(crate::MeetExchange::new(graph, source, agents, options, rng))
-        }
-        ProtocolKind::PushPullVisitExchange => {
-            Box::new(crate::PushPullVisitExchange::new(graph, source, agents, options, rng))
-        }
+        ProtocolKind::VisitExchange => Box::new(crate::VisitExchange::new(
+            graph, source, agents, options, rng,
+        )),
+        ProtocolKind::MeetExchange => Box::new(crate::MeetExchange::new(
+            graph, source, agents, options, rng,
+        )),
+        ProtocolKind::PushPullVisitExchange => Box::new(crate::PushPullVisitExchange::new(
+            graph, source, agents, options, rng,
+        )),
     }
 }
 

@@ -18,7 +18,7 @@ use rumor_graphs::{Graph, VertexId};
 
 use crate::metrics::EdgeTraffic;
 use crate::options::ProtocolOptions;
-use crate::protocol::Protocol;
+use crate::protocol::{FastStep, Protocol};
 use crate::protocols::common::InformedSet;
 
 /// Which exchange rule an activated vertex applies.
@@ -54,7 +54,11 @@ impl<'g> AsyncRumor<'g> {
             round: 0,
             messages_total: 0,
             messages_last: 0,
-            edge_traffic: if options.record_edge_traffic { Some(EdgeTraffic::new()) } else { None },
+            edge_traffic: if options.record_edge_traffic {
+                Some(EdgeTraffic::new())
+            } else {
+                None
+            },
         }
     }
 
@@ -62,7 +66,7 @@ impl<'g> AsyncRumor<'g> {
     /// synchronous protocols there is no "informed before this round" buffer:
     /// activations are sequential, so information can chain within a time
     /// unit, exactly as in the continuous-time model.
-    fn step(&mut self, rng: &mut dyn RngCore) {
+    fn step_with<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.round += 1;
         self.messages_last = 0;
         let n = self.graph.num_vertices();
@@ -114,6 +118,22 @@ macro_rules! async_protocol {
             }
         }
 
+        impl<'g> $name<'g> {
+            /// Executes one time unit (`n` activations), monomorphized over
+            /// the RNG (the hot path used by the engine; [`Protocol::step`]
+            /// forwards here).
+            pub fn step_with<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+                self.inner.step_with(rng);
+            }
+        }
+
+        impl FastStep for $name<'_> {
+            #[inline]
+            fn fast_step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+                self.inner.step_with(rng);
+            }
+        }
+
         impl Protocol for $name<'_> {
             fn name(&self) -> &'static str {
                 $proto_name
@@ -132,7 +152,7 @@ macro_rules! async_protocol {
             }
 
             fn step(&mut self, rng: &mut dyn RngCore) {
-                self.inner.step(rng);
+                self.inner.step_with(rng);
             }
 
             fn is_complete(&self) -> bool {
@@ -213,7 +233,7 @@ mod tests {
         let mut p = AsyncPush::new(&g, 0, ProtocolOptions::none());
         let t = run(&mut p, 10_000, &mut rng);
         assert!(p.is_complete());
-        assert!(t >= 3 && t < 60, "async push took {t} time units");
+        assert!((3..60).contains(&t), "async push took {t} time units");
     }
 
     #[test]
@@ -232,7 +252,10 @@ mod tests {
             async_total += run(&mut asyn, 100_000, &mut rng);
         }
         let ratio = async_total as f64 / sync_total as f64;
-        assert!((0.3..3.0).contains(&ratio), "async/sync push ratio {ratio} not a constant");
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "async/sync push ratio {ratio} not a constant"
+        );
     }
 
     #[test]
@@ -243,7 +266,10 @@ mod tests {
         let t_push = run(&mut push, 1_000_000, &mut rng);
         let mut pp = AsyncPushPull::new(&g, STAR_CENTER, ProtocolOptions::none());
         let t_pp = run(&mut pp, 1_000_000, &mut rng);
-        assert!(t_pp < t_push, "async push-pull ({t_pp}) should beat async push ({t_push})");
+        assert!(
+            t_pp < t_push,
+            "async push-pull ({t_pp}) should beat async push ({t_push})"
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@ use rumor_walks::MultiWalk;
 
 use crate::metrics::EdgeTraffic;
 use crate::options::{AgentConfig, ProtocolOptions};
-use crate::protocol::Protocol;
-use crate::protocols::common::InformedSet;
+use crate::protocol::{FastStep, Protocol};
+use crate::protocols::common::{InformedSet, PushPullFrontier};
 
 /// `push-pull` and `visit-exchange` running simultaneously over one shared
 /// set of informed vertices.
@@ -49,7 +49,12 @@ pub struct PushPullVisitExchange<'g> {
     source: VertexId,
     walks: MultiWalk,
     informed_vertices: InformedSet,
+    /// Boundary tracker for the push-pull phase (also updated when agents
+    /// inform vertices in phase B, which moves the boundary).
+    frontier: PushPullFrontier,
     informed_agents: InformedSet,
+    /// Reusable per-round buffer (vertices in phase A, agents in phase B).
+    newly_informed: Vec<u32>,
     round: u64,
     messages_total: u64,
     messages_last: u64,
@@ -74,7 +79,9 @@ impl<'g> PushPullVisitExchange<'g> {
         let count = agents.count.resolve(graph.num_vertices());
         let walks = MultiWalk::new(graph, count, &agents.placement, agents.walk, rng);
         let mut informed_vertices = InformedSet::new(graph.num_vertices());
+        let mut frontier = PushPullFrontier::new(graph);
         informed_vertices.insert(source);
+        frontier.on_informed(graph, source, &informed_vertices);
         let mut informed_agents = InformedSet::new(walks.num_agents());
         for &agent in walks.agents_at(source) {
             informed_agents.insert(agent);
@@ -84,17 +91,116 @@ impl<'g> PushPullVisitExchange<'g> {
             source,
             walks,
             informed_vertices,
+            frontier,
             informed_agents,
+            newly_informed: Vec::new(),
             round: 0,
             messages_total: 0,
             messages_last: 0,
-            edge_traffic: if options.record_edge_traffic { Some(EdgeTraffic::new()) } else { None },
+            edge_traffic: if options.record_edge_traffic {
+                Some(EdgeTraffic::new())
+            } else {
+                None
+            },
         }
     }
 
     /// Read-only access to the agent walks.
     pub fn walks(&self) -> &MultiWalk {
         &self.walks
+    }
+
+    /// Executes one synchronous round, monomorphized over the RNG (the hot
+    /// path used by the engine; [`Protocol::step`] forwards here).
+    pub fn step_with<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.round += 1;
+        let mut messages = 0u64;
+        let graph = self.graph;
+
+        // Phase A: push-pull among vertices, evaluated against the informed
+        // set at the start of the round. Only boundary vertices draw (see
+        // [`PushPullFrontier`]); with edge traffic enabled every vertex's
+        // draw is realized.
+        {
+            let informed = &self.informed_vertices;
+            let newly = &mut self.newly_informed;
+            newly.clear();
+            if let Some(traffic) = self.edge_traffic.as_mut() {
+                for u in graph.vertices() {
+                    if let Some(v) = graph.random_neighbor(u, rng) {
+                        traffic.record(u, v);
+                        let u_informed = informed.contains(u);
+                        if u_informed != informed.contains(v) {
+                            newly.push(if u_informed { v as u32 } else { u as u32 });
+                        }
+                    }
+                }
+            } else {
+                for u in self.frontier.active.ones() {
+                    let v = graph.random_neighbor_nonisolated(u, rng);
+                    let u_informed = informed.contains(u);
+                    if u_informed != informed.contains(v) {
+                        newly.push(if u_informed { v as u32 } else { u as u32 });
+                    }
+                }
+            }
+        }
+        messages += self.frontier.senders;
+        for i in 0..self.newly_informed.len() {
+            let v = self.newly_informed[i] as usize;
+            if self.informed_vertices.insert(v) {
+                self.frontier.on_informed(graph, v, &self.informed_vertices);
+            }
+        }
+
+        // Phase B: visit-exchange. Agents walk one step; agents informed in a
+        // previous round inform the vertices they visit; agents standing on an
+        // informed vertex (including vertices informed this round) learn.
+        messages += if let Some(traffic) = self.edge_traffic.as_mut() {
+            self.walks.step(graph, rng);
+            let mut moves = 0u64;
+            for agent in 0..self.walks.num_agents() {
+                let from = self.walks.previous_position(agent);
+                let to = self.walks.position(agent);
+                if from != to {
+                    moves += 1;
+                    traffic.record(from, to);
+                }
+            }
+            moves
+        } else {
+            self.walks.step_counting(graph, rng)
+        };
+        let walks = &self.walks;
+        let informed_agents = &self.informed_agents;
+        let informed_vertices = &mut self.informed_vertices;
+        let frontier = &mut self.frontier;
+        for &agent in informed_agents.informed() {
+            let position = walks.position(agent as usize);
+            if informed_vertices.insert(position) {
+                frontier.on_informed(graph, position, informed_vertices);
+            }
+        }
+        let newly = &mut self.newly_informed;
+        newly.clear();
+        for agent in informed_agents.zeros() {
+            if informed_vertices.contains(walks.position(agent)) {
+                newly.push(agent as u32);
+            }
+        }
+        for i in 0..self.newly_informed.len() {
+            self.informed_agents.insert(self.newly_informed[i] as usize);
+        }
+
+        self.messages_last = messages;
+        self.messages_total += messages;
+    }
+}
+
+impl FastStep for PushPullVisitExchange<'_> {
+    #[inline]
+    fn fast_step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.step_with(rng)
     }
 }
 
@@ -116,58 +222,7 @@ impl Protocol for PushPullVisitExchange<'_> {
     }
 
     fn step(&mut self, rng: &mut dyn RngCore) {
-        self.round += 1;
-        let mut messages = 0u64;
-
-        // Phase A: push-pull among vertices, evaluated against the informed
-        // set at the start of the round.
-        let mut newly_informed: Vec<VertexId> = Vec::new();
-        for u in self.graph.vertices() {
-            if let Some(v) = self.graph.random_neighbor(u, rng) {
-                messages += 1;
-                if let Some(traffic) = &mut self.edge_traffic {
-                    traffic.record(u, v);
-                }
-                let u_informed = self.informed_vertices.contains(u);
-                let v_informed = self.informed_vertices.contains(v);
-                if u_informed != v_informed {
-                    newly_informed.push(if u_informed { v } else { u });
-                }
-            }
-        }
-        for v in newly_informed {
-            self.informed_vertices.insert(v);
-        }
-
-        // Phase B: visit-exchange. Agents walk one step; agents informed in a
-        // previous round inform the vertices they visit; agents standing on an
-        // informed vertex (including vertices informed this round) learn.
-        self.walks.step(self.graph, rng);
-        for agent in 0..self.walks.num_agents() {
-            let from = self.walks.previous_position(agent);
-            let to = self.walks.position(agent);
-            if from != to {
-                messages += 1;
-                if let Some(traffic) = &mut self.edge_traffic {
-                    traffic.record(from, to);
-                }
-            }
-        }
-        for agent in 0..self.walks.num_agents() {
-            if self.informed_agents.contains(agent) {
-                self.informed_vertices.insert(self.walks.position(agent));
-            }
-        }
-        for agent in 0..self.walks.num_agents() {
-            if !self.informed_agents.contains(agent)
-                && self.informed_vertices.contains(self.walks.position(agent))
-            {
-                self.informed_agents.insert(agent);
-            }
-        }
-
-        self.messages_last = messages;
-        self.messages_total += messages;
+        self.step_with(rng)
     }
 
     fn is_complete(&self) -> bool {
@@ -250,7 +305,10 @@ mod tests {
         );
         let t = run_combined(&mut combo, 100_000, &mut r);
         assert!(combo.is_complete());
-        assert!(t < 200, "combined protocol took {t} rounds on the double star");
+        assert!(
+            t < 200,
+            "combined protocol took {t} rounds on the double star"
+        );
     }
 
     #[test]
@@ -269,7 +327,10 @@ mod tests {
         );
         let t = run_combined(&mut combo, 1_000_000, &mut r);
         assert!(combo.is_complete());
-        assert!(t < 100, "combined protocol took {t} rounds on the heavy tree");
+        assert!(
+            t < 100,
+            "combined protocol took {t} rounds on the heavy tree"
+        );
     }
 
     #[test]

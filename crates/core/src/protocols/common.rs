@@ -1,57 +1,369 @@
-//! Small shared helpers for the protocol implementations.
+//! Shared hot-path data structures for the protocol implementations.
 
 use rumor_graphs::VertexId;
 
-/// A monotone set of informed vertices (or agents) with O(1) membership,
-/// insertion, and cardinality.
+/// A monotone set over a fixed universe `0..n`, engineered for the simulation
+/// hot path:
+///
+/// * **bitset membership** — `contains`/`insert` are O(1) with one word load;
+/// * **dense member list** — a `Vec<u32>` of members in insertion order with a
+///   cached count, so "iterate only the informed items" is O(|informed|)
+///   (used for agent sets, where iteration order is immaterial);
+/// * **word-at-a-time ordered iteration** — [`InformedSet::ones`] /
+///   [`InformedSet::zeros`] walk members / non-members in ascending order by
+///   scanning 64 items per word load, so "iterate only the uninformed items"
+///   costs O(n/64 + |uninformed|) instead of O(n) membership tests.
+///
+/// The ascending iterators are what lets the frontier-based protocol steps
+/// consume the RNG in exactly the same order as a naive full 0..n scan, which
+/// is the contract the equivalence tests in `tests/equivalence.rs` pin down.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct InformedSet {
-    member: Vec<bool>,
-    count: usize,
+    /// One bit per item; bits at positions `>= universe` are never set.
+    bits: Vec<u64>,
+    /// Members in insertion order. `dense.len()` is the cached count.
+    dense: Vec<u32>,
+    universe: usize,
 }
 
 impl InformedSet {
     /// An empty set over a universe of `n` items.
     pub(crate) fn new(n: usize) -> Self {
-        InformedSet { member: vec![false; n], count: 0 }
+        InformedSet {
+            bits: vec![0; n.div_ceil(64)],
+            dense: Vec::new(),
+            universe: n,
+        }
     }
 
     /// Universe size.
     #[allow(dead_code)] // used in tests and kept for API symmetry
     pub(crate) fn universe(&self) -> usize {
-        self.member.len()
+        self.universe
     }
 
     /// Number of informed items.
+    #[inline]
     pub(crate) fn count(&self) -> usize {
-        self.count
+        self.dense.len()
     }
 
     /// Whether item `i` is informed.
+    #[inline]
     pub(crate) fn contains(&self, i: usize) -> bool {
-        self.member[i]
+        debug_assert!(i < self.universe);
+        self.bits[i >> 6] & (1u64 << (i & 63)) != 0
     }
 
     /// Marks item `i` informed; returns `true` if it was newly inserted.
+    #[inline]
     pub(crate) fn insert(&mut self, i: usize) -> bool {
-        if self.member[i] {
+        debug_assert!(i < self.universe);
+        let word = &mut self.bits[i >> 6];
+        let mask = 1u64 << (i & 63);
+        if *word & mask != 0 {
             false
         } else {
-            self.member[i] = true;
-            self.count += 1;
+            *word |= mask;
+            self.dense.push(i as u32);
             true
         }
     }
 
     /// Whether every item is informed.
+    #[inline]
     pub(crate) fn is_full(&self) -> bool {
-        self.count == self.member.len()
+        self.dense.len() == self.universe
     }
 
-    /// Iterator over the informed items.
+    /// The informed items in insertion order (the "frontier list").
+    #[inline]
+    pub(crate) fn informed(&self) -> &[u32] {
+        &self.dense
+    }
+
+    /// Iterator over the informed items in ascending order.
+    pub(crate) fn ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.bits,
+            current: self.bits.first().copied().unwrap_or(0),
+            word_idx: 0,
+        }
+    }
+
+    /// Iterator over the *uninformed* items in ascending order.
+    pub(crate) fn zeros(&self) -> Zeros<'_> {
+        let first = self.complement_word(0);
+        Zeros {
+            set: self,
+            current: first,
+            word_idx: 0,
+        }
+    }
+
+    /// The `idx`-th word of the complement, with out-of-universe bits cleared.
+    #[inline]
+    fn complement_word(&self, idx: usize) -> u64 {
+        match self.bits.get(idx) {
+            None => 0,
+            Some(&w) => {
+                let inverted = !w;
+                let bits_before = idx * 64;
+                if self.universe - bits_before >= 64 {
+                    inverted
+                } else {
+                    inverted & ((1u64 << (self.universe - bits_before)) - 1)
+                }
+            }
+        }
+    }
+
+    /// Iterator over the informed items in ascending order (compatibility
+    /// alias used by tests and metrics code).
     #[allow(dead_code)]
     pub(crate) fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.member.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i)
+        self.ones()
+    }
+}
+
+/// Ascending iterator over set bits (see [`InformedSet::ones`]).
+#[derive(Debug, Clone)]
+pub(crate) struct Ones<'a> {
+    words: &'a [u64],
+    current: u64,
+    word_idx: usize,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+/// Ascending iterator over unset bits within the universe
+/// (see [`InformedSet::zeros`]).
+#[derive(Debug, Clone)]
+pub(crate) struct Zeros<'a> {
+    set: &'a InformedSet,
+    current: u64,
+    word_idx: usize,
+}
+
+impl Iterator for Zeros<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx * 64 >= self.set.universe {
+                return None;
+            }
+            self.current = self.set.complement_word(self.word_idx);
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+/// A plain fixed-size bitset with O(1) set/clear and ascending word-at-a-time
+/// iteration, used for the *active* (boundary) sets below. Unlike
+/// [`InformedSet`] it is not monotone — bits are cleared when a vertex
+/// saturates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Bits {
+    words: Vec<u64>,
+}
+
+impl Bits {
+    pub(crate) fn new(n: usize) -> Self {
+        Bits {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, i: usize) {
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    #[inline]
+    pub(crate) fn clear(&mut self, i: usize) {
+        self.words[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    /// Iterator over set bits in ascending order.
+    pub(crate) fn ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            current: self.words.first().copied().unwrap_or(0),
+            word_idx: 0,
+        }
+    }
+}
+
+/// Boundary tracker for `push`: the set of informed vertices that still have
+/// at least one uninformed neighbor.
+///
+/// A push from an informed vertex whose neighbors are *all* informed cannot
+/// change the state, whatever the draw — so the engine counts its message
+/// arithmetically and skips the sample. Skipping a draw whose every outcome
+/// leaves the state unchanged does not alter the law of the informed-set
+/// trajectory; it only advances the RNG stream differently. The per-vertex
+/// uninformed-neighbor counters cost O(deg(v)) when v becomes informed —
+/// O(|E|) over a whole run — and turn the per-round draw count from
+/// O(|informed|) into O(|boundary|).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PushFrontier {
+    /// Per-vertex count of *uninformed* neighbors.
+    uninformed_nb: Vec<u32>,
+    /// Informed vertices with `uninformed_nb > 0` (and degree > 0).
+    pub(crate) active: Bits,
+    /// Number of informed vertices with degree > 0 (= messages per round).
+    pub(crate) senders: u64,
+}
+
+impl PushFrontier {
+    pub(crate) fn new(graph: &rumor_graphs::Graph) -> Self {
+        let n = graph.num_vertices();
+        PushFrontier {
+            uninformed_nb: graph.vertices().map(|u| graph.degree(u) as u32).collect(),
+            active: Bits::new(n),
+            senders: 0,
+        }
+    }
+
+    /// Must be called exactly once per vertex, immediately after it is
+    /// inserted into `informed`. Within a round, call it per vertex in the
+    /// merge loop (interleaved inserts are handled: saturation of a vertex
+    /// informed later in the same batch is re-checked when its own call
+    /// runs).
+    pub(crate) fn on_informed(
+        &mut self,
+        graph: &rumor_graphs::Graph,
+        v: VertexId,
+        informed: &InformedSet,
+    ) {
+        for &w in graph.neighbors(v) {
+            let w = w as usize;
+            let c = &mut self.uninformed_nb[w];
+            *c -= 1;
+            if *c == 0 && informed.contains(w) {
+                self.active.clear(w);
+            }
+        }
+        if graph.degree(v) > 0 {
+            self.senders += 1;
+            if self.uninformed_nb[v] > 0 {
+                self.active.set(v);
+            }
+        }
+    }
+}
+
+/// Boundary tracker for `pull`: the set of uninformed vertices that have at
+/// least one informed neighbor (only their pulls can succeed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PullFrontier {
+    /// Per-vertex count of *informed* neighbors.
+    informed_nb: Vec<u32>,
+    /// Uninformed vertices with `informed_nb > 0`.
+    pub(crate) active: Bits,
+    /// Number of uninformed vertices with degree > 0 (= messages per round).
+    pub(crate) pollers: u64,
+}
+
+impl PullFrontier {
+    pub(crate) fn new(graph: &rumor_graphs::Graph) -> Self {
+        let n = graph.num_vertices();
+        PullFrontier {
+            informed_nb: vec![0; n],
+            active: Bits::new(n),
+            pollers: graph.vertices().filter(|&u| graph.degree(u) > 0).count() as u64,
+        }
+    }
+
+    /// Must be called exactly once per vertex, immediately after it is
+    /// inserted into `informed`.
+    pub(crate) fn on_informed(
+        &mut self,
+        graph: &rumor_graphs::Graph,
+        v: VertexId,
+        informed: &InformedSet,
+    ) {
+        if graph.degree(v) > 0 {
+            self.pollers -= 1;
+        }
+        self.active.clear(v);
+        for &w in graph.neighbors(v) {
+            let w = w as usize;
+            self.informed_nb[w] += 1;
+            if !informed.contains(w) {
+                self.active.set(w);
+            }
+        }
+    }
+}
+
+/// Boundary tracker for `push-pull`: the set of vertices whose exchange can
+/// change the state — informed vertices with an uninformed neighbor, and
+/// uninformed vertices with an informed neighbor (the edge boundary of the
+/// informed set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PushPullFrontier {
+    /// Per-vertex count of *informed* neighbors.
+    informed_nb: Vec<u32>,
+    /// Vertices on the informed/uninformed edge boundary.
+    pub(crate) active: Bits,
+    /// Number of vertices with degree > 0 (= messages per round, constant).
+    pub(crate) senders: u64,
+}
+
+impl PushPullFrontier {
+    pub(crate) fn new(graph: &rumor_graphs::Graph) -> Self {
+        let n = graph.num_vertices();
+        PushPullFrontier {
+            informed_nb: vec![0; n],
+            active: Bits::new(n),
+            senders: graph.vertices().filter(|&u| graph.degree(u) > 0).count() as u64,
+        }
+    }
+
+    /// Must be called exactly once per vertex, immediately after it is
+    /// inserted into `informed`.
+    pub(crate) fn on_informed(
+        &mut self,
+        graph: &rumor_graphs::Graph,
+        v: VertexId,
+        informed: &InformedSet,
+    ) {
+        // v moves from the pull side to the push side of the boundary.
+        if (self.informed_nb[v] as usize) < graph.degree(v) {
+            self.active.set(v);
+        } else {
+            self.active.clear(v);
+        }
+        for &w in graph.neighbors(v) {
+            let w = w as usize;
+            self.informed_nb[w] += 1;
+            if informed.contains(w) {
+                if self.informed_nb[w] as usize == graph.degree(w) {
+                    self.active.clear(w);
+                }
+            } else {
+                self.active.set(w);
+            }
+        }
     }
 }
 
@@ -70,6 +382,7 @@ mod tests {
         assert!(!s.insert(3));
         assert_eq!(s.count(), 1);
         assert!(!s.is_full());
+        assert_eq!(s.informed(), &[3]);
     }
 
     #[test]
@@ -80,11 +393,122 @@ mod tests {
         }
         assert!(s.is_full());
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(s.zeros().count(), 0);
     }
 
     #[test]
     fn empty_universe_is_full() {
         let s = InformedSet::new(0);
         assert!(s.is_full());
+        assert_eq!(s.ones().count(), 0);
+        assert_eq!(s.zeros().count(), 0);
+    }
+
+    #[test]
+    fn ordered_iteration_across_word_boundaries() {
+        let n = 200;
+        let mut s = InformedSet::new(n);
+        let members = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        // Insert out of order; ones() must still be ascending.
+        for &i in members.iter().rev() {
+            s.insert(i);
+        }
+        assert_eq!(s.ones().collect::<Vec<_>>(), members);
+        // dense keeps insertion order.
+        assert_eq!(
+            s.informed().iter().map(|&x| x as usize).collect::<Vec<_>>(),
+            members.iter().rev().copied().collect::<Vec<_>>()
+        );
+        // zeros() is exactly the ascending complement.
+        let zeros: Vec<usize> = s.zeros().collect();
+        let expected: Vec<usize> = (0..n).filter(|i| !members.contains(i)).collect();
+        assert_eq!(zeros, expected);
+    }
+
+    #[test]
+    fn zeros_respects_non_multiple_of_64_universe() {
+        let mut s = InformedSet::new(70);
+        for i in 0..70 {
+            assert!(s.zeros().any(|z| z == i));
+            s.insert(i);
+        }
+        assert_eq!(s.zeros().count(), 0);
+        assert!(s.is_full());
+        // No phantom items beyond the universe.
+        assert_eq!(s.ones().max(), Some(69));
+    }
+
+    #[test]
+    fn bits_set_clear_and_iterate() {
+        let mut b = Bits::new(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+        b.clear(64);
+        b.set(64); // idempotent re-set
+        b.set(3);
+        b.clear(0);
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![3, 64, 129]);
+    }
+
+    #[test]
+    fn push_frontier_tracks_saturation_on_a_triangle() {
+        let g = rumor_graphs::Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let mut informed = InformedSet::new(3);
+        let mut f = PushFrontier::new(&g);
+        informed.insert(0);
+        f.on_informed(&g, 0, &informed);
+        assert_eq!(f.active.ones().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(f.senders, 1);
+        informed.insert(1);
+        f.on_informed(&g, 1, &informed);
+        assert_eq!(f.active.ones().collect::<Vec<_>>(), vec![0, 1]);
+        informed.insert(2);
+        f.on_informed(&g, 2, &informed);
+        // Everyone informed: no vertex can inform anyone, but all still send.
+        assert_eq!(f.active.ones().count(), 0);
+        assert_eq!(f.senders, 3);
+    }
+
+    #[test]
+    fn pull_frontier_activates_neighbors_of_the_informed() {
+        let g = rumor_graphs::Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut informed = InformedSet::new(4);
+        let mut f = PullFrontier::new(&g);
+        assert_eq!(f.pollers, 4);
+        informed.insert(1);
+        f.on_informed(&g, 1, &informed);
+        // Only 0 and 2 border the informed set; 3's pull cannot succeed.
+        assert_eq!(f.active.ones().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(f.pollers, 3);
+    }
+
+    #[test]
+    fn push_pull_frontier_is_the_edge_boundary() {
+        let g = rumor_graphs::Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut informed = InformedSet::new(4);
+        let mut f = PushPullFrontier::new(&g);
+        assert_eq!(f.senders, 4);
+        informed.insert(0);
+        f.on_informed(&g, 0, &informed);
+        // Boundary: 0 (informed, uninformed neighbor) and 1 (uninformed,
+        // informed neighbor). 2 and 3 are inactive.
+        assert_eq!(f.active.ones().collect::<Vec<_>>(), vec![0, 1]);
+        informed.insert(1);
+        f.on_informed(&g, 1, &informed);
+        // Now 0 is saturated, the boundary moved to the 1–2 edge.
+        assert_eq!(f.active.ones().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn ones_and_zeros_partition_the_universe() {
+        let mut s = InformedSet::new(129);
+        for i in (0..129).step_by(3) {
+            s.insert(i);
+        }
+        let mut all: Vec<usize> = s.ones().chain(s.zeros()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..129).collect::<Vec<_>>());
     }
 }

@@ -20,7 +20,7 @@ use rumor_walks::{AgentId, MultiWalk};
 
 use crate::metrics::EdgeTraffic;
 use crate::options::{AgentConfig, ProtocolOptions};
-use crate::protocol::Protocol;
+use crate::protocol::{FastStep, Protocol};
 use crate::protocols::common::InformedSet;
 
 /// `visit-exchange` under agent churn (the fault-tolerance variant sketched in
@@ -122,7 +122,11 @@ impl<'g> ChurnVisitExchange<'g> {
             round: 0,
             messages_total: 0,
             messages_last: 0,
-            edge_traffic: if options.record_edge_traffic { Some(EdgeTraffic::new()) } else { None },
+            edge_traffic: if options.record_edge_traffic {
+                Some(EdgeTraffic::new())
+            } else {
+                None
+            },
         })
     }
 
@@ -154,6 +158,70 @@ impl<'g> ChurnVisitExchange<'g> {
             self.informed_agent_count -= 1;
         }
     }
+
+    /// Executes one synchronous round, monomorphized over the RNG (the hot
+    /// path used by the engine; [`Protocol::step`] forwards here).
+    ///
+    /// The informed-agent flags are *not* monotone under churn (rebirth
+    /// clears them), so this variant keeps plain per-agent flags rather than
+    /// the frontier set, and only fuses the move/message pass.
+    pub fn step_with<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.round += 1;
+
+        // Churn phase: each agent dies independently; its slot is reborn as an
+        // uninformed agent at a fresh stationary-random vertex.
+        if self.churn > 0.0 {
+            for agent in 0..self.walks.num_agents() {
+                if rng.gen_bool(self.churn) {
+                    self.deaths_total += 1;
+                    self.mark_agent_reborn(agent);
+                    let rebirth = self.graph.sample_stationary(rng);
+                    self.walks.teleport(agent, rebirth);
+                }
+            }
+        }
+
+        // Walk phase (identical to visit-exchange).
+        let moves = if let Some(traffic) = self.edge_traffic.as_mut() {
+            self.walks.step(self.graph, rng);
+            let mut moves = 0u64;
+            for agent in 0..self.walks.num_agents() {
+                let from = self.walks.previous_position(agent);
+                let to = self.walks.position(agent);
+                if from != to {
+                    moves += 1;
+                    traffic.record(from, to);
+                }
+            }
+            moves
+        } else {
+            self.walks.step_counting(self.graph, rng)
+        };
+        self.messages_last = moves;
+        self.messages_total += moves;
+
+        // Exchange phase: previously informed agents inform vertices, then
+        // agents standing on informed vertices become informed.
+        for agent in 0..self.walks.num_agents() {
+            if self.informed_agents[agent] {
+                self.informed_vertices.insert(self.walks.position(agent));
+            }
+        }
+        for agent in 0..self.walks.num_agents() {
+            if !self.informed_agents[agent]
+                && self.informed_vertices.contains(self.walks.position(agent))
+            {
+                self.mark_agent_informed(agent);
+            }
+        }
+    }
+}
+
+impl FastStep for ChurnVisitExchange<'_> {
+    #[inline]
+    fn fast_step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.step_with(rng)
+    }
 }
 
 impl Protocol for ChurnVisitExchange<'_> {
@@ -174,51 +242,7 @@ impl Protocol for ChurnVisitExchange<'_> {
     }
 
     fn step(&mut self, rng: &mut dyn RngCore) {
-        self.round += 1;
-
-        // Churn phase: each agent dies independently; its slot is reborn as an
-        // uninformed agent at a fresh stationary-random vertex.
-        if self.churn > 0.0 {
-            for agent in 0..self.walks.num_agents() {
-                if rng.gen_bool(self.churn) {
-                    self.deaths_total += 1;
-                    self.mark_agent_reborn(agent);
-                    let rebirth = self.graph.sample_stationary(rng);
-                    self.walks.teleport(agent, rebirth);
-                }
-            }
-        }
-
-        // Walk phase (identical to visit-exchange).
-        self.walks.step(self.graph, rng);
-        let mut moves = 0u64;
-        for agent in 0..self.walks.num_agents() {
-            let from = self.walks.previous_position(agent);
-            let to = self.walks.position(agent);
-            if from != to {
-                moves += 1;
-                if let Some(traffic) = &mut self.edge_traffic {
-                    traffic.record(from, to);
-                }
-            }
-        }
-        self.messages_last = moves;
-        self.messages_total += moves;
-
-        // Exchange phase: previously informed agents inform vertices, then
-        // agents standing on informed vertices become informed.
-        for agent in 0..self.walks.num_agents() {
-            if self.informed_agents[agent] {
-                self.informed_vertices.insert(self.walks.position(agent));
-            }
-        }
-        for agent in 0..self.walks.num_agents() {
-            if !self.informed_agents[agent]
-                && self.informed_vertices.contains(self.walks.position(agent))
-            {
-                self.mark_agent_informed(agent);
-            }
-        }
+        self.step_with(rng)
     }
 
     fn is_complete(&self) -> bool {
@@ -306,7 +330,10 @@ mod tests {
             )
             .is_err());
         }
-        assert_eq!(InvalidChurnError.to_string(), "churn probability must be a finite value in [0, 1)");
+        assert_eq!(
+            InvalidChurnError.to_string(),
+            "churn probability must be a finite value in [0, 1)"
+        );
     }
 
     #[test]
@@ -369,10 +396,16 @@ mod tests {
         };
         let calm = time_at(0.0, &mut r);
         let stormy = time_at(0.3, &mut r);
-        assert!(stormy >= calm * 0.5, "churn unexpectedly accelerated the broadcast");
+        assert!(
+            stormy >= calm * 0.5,
+            "churn unexpectedly accelerated the broadcast"
+        );
         // Even 30% churn keeps the broadcast within a small factor: the
         // vertices hold the rumor, so fresh agents are re-informed quickly.
-        assert!(stormy < calm * 20.0, "churn blew the broadcast time up: {calm} -> {stormy}");
+        assert!(
+            stormy < calm * 20.0,
+            "churn blew the broadcast time up: {calm} -> {stormy}"
+        );
     }
 
     #[test]
@@ -393,7 +426,10 @@ mod tests {
         let mut prev_agents = p.informed_agent_count();
         for _ in 0..200 {
             p.step(&mut r);
-            assert!(p.informed_vertex_count() >= prev_vertices, "vertex knowledge is permanent");
+            assert!(
+                p.informed_vertex_count() >= prev_vertices,
+                "vertex knowledge is permanent"
+            );
             prev_vertices = p.informed_vertex_count();
             if p.informed_agent_count() < prev_agents {
                 saw_agent_decrease = true;
@@ -424,7 +460,9 @@ mod tests {
         for _ in 0..50 {
             p.step(&mut r);
             assert_eq!(p.num_agents(), 16);
-            let flagged = (0..p.num_agents()).filter(|&a| p.is_agent_informed(a)).count();
+            let flagged = (0..p.num_agents())
+                .filter(|&a| p.is_agent_informed(a))
+                .count();
             assert_eq!(flagged, p.informed_agent_count());
         }
         assert!((p.churn() - 0.2).abs() < 1e-12);

@@ -1,13 +1,13 @@
 //! The pull-only variant of randomized rumor spreading.
 
-use rand::RngCore;
+use rand::{Rng, RngCore};
 
 use rumor_graphs::{Graph, VertexId};
 
 use crate::metrics::EdgeTraffic;
 use crate::options::ProtocolOptions;
-use crate::protocol::Protocol;
-use crate::protocols::common::InformedSet;
+use crate::protocol::{FastStep, Protocol};
+use crate::protocols::common::{InformedSet, PullFrontier};
 
 /// Pull-only rumor spreading: in each round every *uninformed* vertex calls a
 /// uniformly random neighbor and becomes informed if that neighbor was
@@ -16,6 +16,13 @@ use crate::protocols::common::InformedSet;
 /// The paper studies `push` and `push-pull`; pull-only is included as the
 /// natural third member of the family (and is what `push-pull` adds on top of
 /// `push`), useful for ablation experiments.
+///
+/// Only uninformed vertices act, and only pulls by vertices with an informed
+/// neighbor can succeed — so the hot path iterates just that boundary (see
+/// [`PullFrontier`]), counting the hopeless pollers' messages arithmetically.
+/// With [`ProtocolOptions::record_edge_traffic`] enabled every poller's draw
+/// is realized, which is also the mode that is draw-for-draw identical to a
+/// naive full `0..n` scan.
 ///
 /// # Examples
 ///
@@ -39,6 +46,10 @@ pub struct Pull<'g> {
     graph: &'g Graph,
     source: VertexId,
     informed: InformedSet,
+    /// Boundary tracker: uninformed vertices whose pulls can succeed.
+    frontier: PullFrontier,
+    /// Reusable per-round buffer of vertices that learned this round.
+    newly_informed: Vec<u32>,
     round: u64,
     messages_total: u64,
     messages_last: u64,
@@ -54,16 +65,74 @@ impl<'g> Pull<'g> {
     pub fn new(graph: &'g Graph, source: VertexId, options: ProtocolOptions) -> Self {
         assert!(source < graph.num_vertices(), "source out of range");
         let mut informed = InformedSet::new(graph.num_vertices());
+        let mut frontier = PullFrontier::new(graph);
         informed.insert(source);
+        frontier.on_informed(graph, source, &informed);
         Pull {
             graph,
             source,
             informed,
+            frontier,
+            newly_informed: Vec::new(),
             round: 0,
             messages_total: 0,
             messages_last: 0,
-            edge_traffic: if options.record_edge_traffic { Some(EdgeTraffic::new()) } else { None },
+            edge_traffic: if options.record_edge_traffic {
+                Some(EdgeTraffic::new())
+            } else {
+                None
+            },
         }
+    }
+
+    /// Executes one synchronous round, monomorphized over the RNG (the hot
+    /// path used by the engine; [`Protocol::step`] forwards here).
+    pub fn step_with<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.round += 1;
+        let graph = self.graph;
+        {
+            let informed = &self.informed;
+            let newly = &mut self.newly_informed;
+            newly.clear();
+            if let Some(traffic) = self.edge_traffic.as_mut() {
+                // Observability mode: realize every poller's draw (draw-for-
+                // draw identical to a naive full scan over 0..n).
+                for u in informed.zeros() {
+                    if let Some(v) = graph.random_neighbor(u, rng) {
+                        traffic.record(u, v);
+                        if informed.contains(v) {
+                            newly.push(u as u32);
+                        }
+                    }
+                }
+            } else {
+                // Fast mode: only pollers with an informed neighbor draw; a
+                // poller with none cannot learn this round, so its message is
+                // accounted without sampling.
+                for u in self.frontier.active.ones() {
+                    let v = graph.random_neighbor_nonisolated(u, rng);
+                    if informed.contains(v) {
+                        newly.push(u as u32);
+                    }
+                }
+            }
+        }
+        // One message per uninformed vertex with a neighbor.
+        self.messages_last = self.frontier.pollers;
+        self.messages_total += self.messages_last;
+        for i in 0..self.newly_informed.len() {
+            let v = self.newly_informed[i] as usize;
+            if self.informed.insert(v) {
+                self.frontier.on_informed(graph, v, &self.informed);
+            }
+        }
+    }
+}
+
+impl FastStep for Pull<'_> {
+    #[inline]
+    fn fast_step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.step_with(rng)
     }
 }
 
@@ -85,27 +154,7 @@ impl Protocol for Pull<'_> {
     }
 
     fn step(&mut self, rng: &mut dyn RngCore) {
-        self.round += 1;
-        self.messages_last = 0;
-        let mut newly_informed: Vec<VertexId> = Vec::new();
-        for u in self.graph.vertices() {
-            if self.informed.contains(u) {
-                continue;
-            }
-            if let Some(v) = self.graph.random_neighbor(u, rng) {
-                self.messages_last += 1;
-                if let Some(traffic) = &mut self.edge_traffic {
-                    traffic.record(u, v);
-                }
-                if self.informed.contains(v) {
-                    newly_informed.push(u);
-                }
-            }
-        }
-        for u in newly_informed {
-            self.informed.insert(u);
-        }
-        self.messages_total += self.messages_last;
+        self.step_with(rng)
     }
 
     fn is_complete(&self) -> bool {
@@ -157,7 +206,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut p = Pull::new(&g, STAR_CENTER, ProtocolOptions::none());
         p.step(&mut rng);
-        assert!(p.is_complete(), "all leaves pull from the informed center in round 1");
+        assert!(
+            p.is_complete(),
+            "all leaves pull from the informed center in round 1"
+        );
     }
 
     #[test]
@@ -176,7 +228,10 @@ mod tests {
             total += p.round();
         }
         let mean = total as f64 / trials as f64;
-        assert!(mean > 10.0, "pull from leaf should wait for the center to find it, mean {mean}");
+        assert!(
+            mean > 10.0,
+            "pull from leaf should wait for the center to find it, mean {mean}"
+        );
     }
 
     #[test]

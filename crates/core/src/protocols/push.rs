@@ -1,13 +1,13 @@
 //! The `push` protocol (randomized rumor spreading, push variant).
 
-use rand::RngCore;
+use rand::{Rng, RngCore};
 
 use rumor_graphs::{Graph, VertexId};
 
 use crate::metrics::EdgeTraffic;
 use crate::options::ProtocolOptions;
-use crate::protocol::Protocol;
-use crate::protocols::common::InformedSet;
+use crate::protocol::{FastStep, Protocol};
+use crate::protocols::common::{InformedSet, PushFrontier};
 
 /// The `push` protocol of Demers et al., as defined in Section 3 of the paper:
 ///
@@ -15,6 +15,14 @@ use crate::protocols::common::InformedSet;
 /// > vertex `u` that was informed in a previous round samples a random
 /// > neighbor `v` to send the information to, and if `v` is not already
 /// > informed, it becomes informed in this round.
+///
+/// Only informed vertices act, and only pushes from informed vertices with an
+/// uninformed neighbor can change the state — so the hot path iterates just
+/// that boundary (see [`PushFrontier`]), counting the saturated vertices'
+/// messages arithmetically. With
+/// [`ProtocolOptions::record_edge_traffic`] enabled every sender's draw is
+/// realized (per-edge traffic must observe it), which is also the mode that
+/// is draw-for-draw identical to a naive full `0..n` scan.
 ///
 /// # Examples
 ///
@@ -38,9 +46,13 @@ pub struct Push<'g> {
     graph: &'g Graph,
     source: VertexId,
     /// Vertices informed so far. Vertices informed during the current round
-    /// are buffered and merged at the end of the round, so a vertex informed
-    /// in round `t` starts pushing only in round `t + 1`.
+    /// are buffered in `newly_informed` and merged at the end of the round,
+    /// so a vertex informed in round `t` starts pushing only in round `t + 1`.
     informed: InformedSet,
+    /// Boundary tracker: informed vertices that can still inform someone.
+    frontier: PushFrontier,
+    /// Reusable per-round buffer (never reallocated after warm-up).
+    newly_informed: Vec<u32>,
     round: u64,
     messages_total: u64,
     messages_last: u64,
@@ -56,16 +68,79 @@ impl<'g> Push<'g> {
     pub fn new(graph: &'g Graph, source: VertexId, options: ProtocolOptions) -> Self {
         assert!(source < graph.num_vertices(), "source out of range");
         let mut informed = InformedSet::new(graph.num_vertices());
+        let mut frontier = PushFrontier::new(graph);
         informed.insert(source);
+        frontier.on_informed(graph, source, &informed);
         Push {
             graph,
             source,
             informed,
+            frontier,
+            newly_informed: Vec::new(),
             round: 0,
             messages_total: 0,
             messages_last: 0,
-            edge_traffic: if options.record_edge_traffic { Some(EdgeTraffic::new()) } else { None },
+            edge_traffic: if options.record_edge_traffic {
+                Some(EdgeTraffic::new())
+            } else {
+                None
+            },
         }
+    }
+
+    /// Executes one synchronous round, monomorphized over the RNG.
+    ///
+    /// This is the hot path: the engine calls it with its concrete fast RNG so
+    /// neighbor sampling inlines with no per-sample dynamic dispatch.
+    /// [`Protocol::step`] forwards here through `dyn RngCore` for callers that
+    /// hold a trait object.
+    pub fn step_with<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.round += 1;
+        let graph = self.graph;
+        {
+            let informed = &self.informed;
+            let newly = &mut self.newly_informed;
+            newly.clear();
+            if let Some(traffic) = self.edge_traffic.as_mut() {
+                // Observability mode: realize every sender's draw so per-edge
+                // traffic is complete. This mode is draw-for-draw identical
+                // to a naive full scan over 0..n.
+                for u in informed.ones() {
+                    if let Some(v) = graph.random_neighbor(u, rng) {
+                        traffic.record(u, v);
+                        if !informed.contains(v) {
+                            newly.push(v as u32);
+                        }
+                    }
+                }
+            } else {
+                // Fast mode: only boundary vertices draw; a saturated
+                // vertex's push cannot change the state, so its message is
+                // accounted without sampling a target.
+                for u in self.frontier.active.ones() {
+                    let v = graph.random_neighbor_nonisolated(u, rng);
+                    if !informed.contains(v) {
+                        newly.push(v as u32);
+                    }
+                }
+            }
+        }
+        // One message per informed vertex with a neighbor, saturated or not.
+        self.messages_last = self.frontier.senders;
+        self.messages_total += self.messages_last;
+        for i in 0..self.newly_informed.len() {
+            let v = self.newly_informed[i] as usize;
+            if self.informed.insert(v) {
+                self.frontier.on_informed(graph, v, &self.informed);
+            }
+        }
+    }
+}
+
+impl FastStep for Push<'_> {
+    #[inline]
+    fn fast_step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.step_with(rng)
     }
 }
 
@@ -87,29 +162,7 @@ impl Protocol for Push<'_> {
     }
 
     fn step(&mut self, rng: &mut dyn RngCore) {
-        self.round += 1;
-        self.messages_last = 0;
-        // Vertices informed in this round must not push until the next round:
-        // collect them separately and merge at the end.
-        let mut newly_informed: Vec<VertexId> = Vec::new();
-        for u in self.graph.vertices() {
-            if !self.informed.contains(u) {
-                continue;
-            }
-            if let Some(v) = self.graph.random_neighbor(u, rng) {
-                self.messages_last += 1;
-                if let Some(traffic) = &mut self.edge_traffic {
-                    traffic.record(u, v);
-                }
-                if !self.informed.contains(v) {
-                    newly_informed.push(v);
-                }
-            }
-        }
-        for v in newly_informed {
-            self.informed.insert(v);
-        }
-        self.messages_total += self.messages_last;
+        self.step_with(rng)
     }
 
     fn is_complete(&self) -> bool {
@@ -136,7 +189,6 @@ impl Protocol for Push<'_> {
         self.edge_traffic.as_ref()
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,7 @@ use rumor_walks::{AgentId, MultiWalk};
 
 use crate::metrics::EdgeTraffic;
 use crate::options::{AgentConfig, ProtocolOptions};
-use crate::protocol::Protocol;
+use crate::protocol::{FastStep, Protocol};
 use crate::protocols::common::InformedSet;
 
 /// The `visit-exchange` protocol of Section 3 of the paper:
@@ -50,6 +50,8 @@ pub struct VisitExchange<'g> {
     walks: MultiWalk,
     informed_vertices: InformedSet,
     informed_agents: InformedSet,
+    /// Reusable per-round buffer of agents that learned this round.
+    newly_informed: Vec<u32>,
     round: u64,
     messages_total: u64,
     messages_last: u64,
@@ -86,10 +88,15 @@ impl<'g> VisitExchange<'g> {
             walks,
             informed_vertices,
             informed_agents,
+            newly_informed: Vec::new(),
             round: 0,
             messages_total: 0,
             messages_last: 0,
-            edge_traffic: if options.record_edge_traffic { Some(EdgeTraffic::new()) } else { None },
+            edge_traffic: if options.record_edge_traffic {
+                Some(EdgeTraffic::new())
+            } else {
+                None
+            },
         }
     }
 
@@ -101,6 +108,66 @@ impl<'g> VisitExchange<'g> {
     /// Whether agent `g` is informed.
     pub fn is_agent_informed(&self, g: AgentId) -> bool {
         self.informed_agents.contains(g)
+    }
+
+    /// Executes one synchronous round, monomorphized over the RNG (the hot
+    /// path used by the engine; [`Protocol::step`] forwards here).
+    ///
+    /// The naive implementation walked the agents, then made three more full
+    /// passes over them (message accounting, informed-agents-inform-vertices,
+    /// agents-learn-from-vertices). Here message accounting is fused into the
+    /// walk step, the inform pass touches only the *informed* agents (dense
+    /// list), and the learn pass touches only the *uninformed* agents
+    /// (complement iteration) — one full pass total.
+    pub fn step_with<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.round += 1;
+        // Move all agents; one message per traversed edge.
+        let moves = if let Some(traffic) = self.edge_traffic.as_mut() {
+            self.walks.step(self.graph, rng);
+            let mut moves = 0u64;
+            for agent in 0..self.walks.num_agents() {
+                let from = self.walks.previous_position(agent);
+                let to = self.walks.position(agent);
+                if from != to {
+                    moves += 1;
+                    traffic.record(from, to);
+                }
+            }
+            moves
+        } else {
+            self.walks.step_counting(self.graph, rng)
+        };
+        self.messages_last = moves;
+        self.messages_total += moves;
+
+        // Phase 1: agents informed in a *previous* round inform the vertices
+        // they visit this round. (`informed_agents` has not yet been updated
+        // this round, so its dense list is exactly the previous-round set.)
+        let walks = &self.walks;
+        let informed_agents = &self.informed_agents;
+        let informed_vertices = &mut self.informed_vertices;
+        for &agent in informed_agents.informed() {
+            informed_vertices.insert(walks.position(agent as usize));
+        }
+        // Phase 2: uninformed agents visiting an informed vertex (informed in
+        // a previous round or in phase 1 of this round) become informed.
+        let newly = &mut self.newly_informed;
+        newly.clear();
+        for agent in informed_agents.zeros() {
+            if informed_vertices.contains(walks.position(agent)) {
+                newly.push(agent as u32);
+            }
+        }
+        for i in 0..self.newly_informed.len() {
+            self.informed_agents.insert(self.newly_informed[i] as usize);
+        }
+    }
+}
+
+impl FastStep for VisitExchange<'_> {
+    #[inline]
+    fn fast_step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.step_with(rng)
     }
 }
 
@@ -122,40 +189,7 @@ impl Protocol for VisitExchange<'_> {
     }
 
     fn step(&mut self, rng: &mut dyn RngCore) {
-        self.round += 1;
-        self.walks.step(self.graph, rng);
-        // Message accounting: one message per agent that traversed an edge.
-        let mut moves = 0u64;
-        for agent in 0..self.walks.num_agents() {
-            let from = self.walks.previous_position(agent);
-            let to = self.walks.position(agent);
-            if from != to {
-                moves += 1;
-                if let Some(traffic) = &mut self.edge_traffic {
-                    traffic.record(from, to);
-                }
-            }
-        }
-        self.messages_last = moves;
-        self.messages_total += moves;
-
-        // Phase 1: agents informed in a *previous* round inform the vertices
-        // they visit this round. (self.informed_agents has not yet been
-        // updated this round, so it is exactly the previous-round set.)
-        for agent in 0..self.walks.num_agents() {
-            if self.informed_agents.contains(agent) {
-                self.informed_vertices.insert(self.walks.position(agent));
-            }
-        }
-        // Phase 2: agents visiting an informed vertex (informed in a previous
-        // round or in phase 1 of this round) become informed.
-        for agent in 0..self.walks.num_agents() {
-            if !self.informed_agents.contains(agent)
-                && self.informed_vertices.contains(self.walks.position(agent))
-            {
-                self.informed_agents.insert(agent);
-            }
-        }
+        self.step_with(rng)
     }
 
     fn is_complete(&self) -> bool {
@@ -218,7 +252,11 @@ mod tests {
         let vx = VisitExchange::new(&g, 4, &cfg, ProtocolOptions::none(), &mut r);
         assert_eq!(vx.informed_vertex_count(), 1);
         assert!(vx.is_vertex_informed(4));
-        assert_eq!(vx.informed_agent_count(), 10, "all agents start on the source");
+        assert_eq!(
+            vx.informed_agent_count(),
+            10,
+            "all agents start on the source"
+        );
         assert_eq!(vx.num_agents(), 10);
     }
 
@@ -235,8 +273,13 @@ mod tests {
     fn completes_on_complete_graph_quickly() {
         let g = complete(64).unwrap();
         let mut r = rng(3);
-        let mut vx =
-            VisitExchange::new(&g, 0, &AgentConfig::default(), ProtocolOptions::none(), &mut r);
+        let mut vx = VisitExchange::new(
+            &g,
+            0,
+            &AgentConfig::default(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
         let rounds = run(&mut vx, 10_000, &mut r);
         assert!(vx.is_complete());
         assert!(rounds < 200, "rounds = {rounds}");
@@ -249,8 +292,13 @@ mod tests {
         // Lemma 2(c): O(log n) w.h.p.
         let g = star(300).unwrap();
         let mut r = rng(4);
-        let mut vx =
-            VisitExchange::new(&g, 5, &AgentConfig::default(), ProtocolOptions::none(), &mut r);
+        let mut vx = VisitExchange::new(
+            &g,
+            5,
+            &AgentConfig::default(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
         let rounds = run(&mut vx, 100_000, &mut r);
         assert!(vx.is_complete());
         assert!(rounds < 100, "star visit-exchange took {rounds} rounds");
@@ -260,11 +308,19 @@ mod tests {
     fn fast_on_double_star_lemma3() {
         let g = double_star(300).unwrap();
         let mut r = rng(5);
-        let mut vx =
-            VisitExchange::new(&g, 2, &AgentConfig::default(), ProtocolOptions::none(), &mut r);
+        let mut vx = VisitExchange::new(
+            &g,
+            2,
+            &AgentConfig::default(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
         let rounds = run(&mut vx, 100_000, &mut r);
         assert!(vx.is_complete());
-        assert!(rounds < 150, "double-star visit-exchange took {rounds} rounds");
+        assert!(
+            rounds < 150,
+            "double-star visit-exchange took {rounds} rounds"
+        );
     }
 
     #[test]
@@ -299,8 +355,13 @@ mod tests {
     fn informed_sets_are_monotone() {
         let g = complete(32).unwrap();
         let mut r = rng(7);
-        let mut vx =
-            VisitExchange::new(&g, 0, &AgentConfig::default(), ProtocolOptions::none(), &mut r);
+        let mut vx = VisitExchange::new(
+            &g,
+            0,
+            &AgentConfig::default(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
         let mut prev_v = vx.informed_vertex_count();
         let mut prev_a = vx.informed_agent_count();
         while !vx.is_complete() {
@@ -374,10 +435,17 @@ mod tests {
     fn agent_informed_accessor_consistent_with_count() {
         let g = complete(12).unwrap();
         let mut r = rng(11);
-        let mut vx =
-            VisitExchange::new(&g, 0, &AgentConfig::default(), ProtocolOptions::none(), &mut r);
+        let mut vx = VisitExchange::new(
+            &g,
+            0,
+            &AgentConfig::default(),
+            ProtocolOptions::none(),
+            &mut r,
+        );
         run(&mut vx, 1_000, &mut r);
-        let count = (0..vx.num_agents()).filter(|&a| vx.is_agent_informed(a)).count();
+        let count = (0..vx.num_agents())
+            .filter(|&a| vx.is_agent_informed(a))
+            .count();
         assert_eq!(count, vx.informed_agent_count());
     }
 }

@@ -1,0 +1,333 @@
+//! Equivalence of the frontier-based protocol steps with naive references.
+//!
+//! The engine's sampling contract has two modes, and both are pinned here
+//! against deliberately naive reference implementations (`Vec<bool>`
+//! membership, full `0..n` scans, per-round predicate recomputation by
+//! scanning neighbor lists, fresh buffer allocation every round):
+//!
+//! * **Observability mode** (`record_edge_traffic` on): every acting vertex
+//!   realizes its draw. This is draw-for-draw identical to the plain
+//!   transcription of the paper's protocol definitions, so the trajectories
+//!   must match a plain always-draw reference *exactly* for any fixed seed.
+//! * **Fast mode** (default): a vertex whose draw provably cannot change the
+//!   state — an informed pusher with no uninformed neighbor, an uninformed
+//!   puller with no informed neighbor, a push-pull vertex not on the informed
+//!   edge boundary — skips the sample (its message is still counted).
+//!   Skipping a draw whose every outcome leaves the state unchanged does not
+//!   alter the *law* of the informed-set trajectory; it only shifts the RNG
+//!   stream. The reference for this mode applies the same skip predicate,
+//!   but computes it naively by scanning each vertex's neighbor list every
+//!   round, whereas the engine maintains boundary counters incrementally —
+//!   identical trajectories for identical seeds pin the incremental
+//!   bookkeeping against the obviously-correct recomputation.
+//!
+//! Both implementations visit vertices in ascending order, which is what
+//! makes the RNG streams comparable at all.
+
+use rand::rngs::{SmallRng, StdRng};
+use rand::{Rng, SeedableRng};
+
+use rumor_core::{Protocol, ProtocolOptions, Pull, Push, PushPull};
+use rumor_graphs::generators::{
+    complete, connected_erdos_renyi, cycle, double_star, path, star, HeavyBinaryTree,
+};
+use rumor_graphs::Graph;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Rule {
+    Push,
+    Pull,
+    PushPull,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Every acting vertex draws (matches the engine's edge-traffic mode).
+    AlwaysDraw,
+    /// Draws that provably cannot change the state are skipped (matches the
+    /// engine's fast mode); the predicate is recomputed naively per round.
+    SkipDeadDraws,
+}
+
+/// Deliberately naive reference implementation.
+struct NaiveRumor {
+    informed: Vec<bool>,
+    count: usize,
+    rule: Rule,
+    mode: Mode,
+}
+
+impl NaiveRumor {
+    fn new(n: usize, source: usize, rule: Rule, mode: Mode) -> Self {
+        let mut informed = vec![false; n];
+        informed[source] = true;
+        NaiveRumor {
+            informed,
+            count: 1,
+            rule,
+            mode,
+        }
+    }
+
+    fn insert(&mut self, v: usize) {
+        if !self.informed[v] {
+            self.informed[v] = true;
+            self.count += 1;
+        }
+    }
+
+    /// Naive per-round skip predicate: scan u's neighbors.
+    fn acts(&self, graph: &Graph, u: usize) -> bool {
+        if self.mode == Mode::AlwaysDraw {
+            return true;
+        }
+        let neighbors = graph.neighbors(u);
+        match self.rule {
+            Rule::Push => neighbors.iter().any(|&v| !self.informed[v as usize]),
+            Rule::Pull => neighbors.iter().any(|&v| self.informed[v as usize]),
+            Rule::PushPull => {
+                if self.informed[u] {
+                    neighbors.iter().any(|&v| !self.informed[v as usize])
+                } else {
+                    neighbors.iter().any(|&v| self.informed[v as usize])
+                }
+            }
+        }
+    }
+
+    fn step<R: Rng>(&mut self, graph: &Graph, rng: &mut R) {
+        let mut newly: Vec<usize> = Vec::new();
+        for u in graph.vertices() {
+            let eligible = match self.rule {
+                Rule::Push => self.informed[u],
+                Rule::Pull => !self.informed[u],
+                Rule::PushPull => true,
+            };
+            if !eligible || !self.acts(graph, u) {
+                continue;
+            }
+            if let Some(v) = graph.random_neighbor(u, rng) {
+                match self.rule {
+                    Rule::Push => {
+                        if !self.informed[v] {
+                            newly.push(v);
+                        }
+                    }
+                    Rule::Pull => {
+                        if self.informed[v] {
+                            newly.push(u);
+                        }
+                    }
+                    Rule::PushPull => {
+                        if self.informed[u] != self.informed[v] {
+                            newly.push(if self.informed[u] { v } else { u });
+                        }
+                    }
+                }
+            }
+        }
+        for v in newly {
+            self.insert(v);
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.count == self.informed.len()
+    }
+}
+
+/// Steps the frontier protocol and the naive reference in lockstep from two
+/// identically seeded RNGs and asserts the informed sets match after every
+/// round.
+fn assert_trajectories_match<P, S>(
+    graph: &Graph,
+    source: usize,
+    rule: Rule,
+    mode: Mode,
+    seed: u64,
+    mut make: S,
+) where
+    P: Protocol,
+    S: FnMut() -> P,
+{
+    let mut frontier = make();
+    let mut naive = NaiveRumor::new(graph.num_vertices(), source, rule, mode);
+    let mut rng_frontier = SmallRng::seed_from_u64(seed);
+    let mut rng_naive = SmallRng::seed_from_u64(seed);
+
+    let cap = 200_000;
+    let mut rounds = 0;
+    while !frontier.is_complete() && rounds < cap {
+        frontier.step(&mut rng_frontier);
+        naive.step(graph, &mut rng_naive);
+        rounds += 1;
+        assert_eq!(
+            frontier.informed_vertex_count(),
+            naive.count,
+            "count diverged at round {rounds} (seed {seed})"
+        );
+        for v in graph.vertices() {
+            assert_eq!(
+                frontier.is_vertex_informed(v),
+                naive.informed[v],
+                "membership of {v} diverged at round {rounds} (seed {seed})"
+            );
+        }
+    }
+    assert!(
+        frontier.is_complete(),
+        "frontier run hit the {cap}-round cap"
+    );
+    assert!(
+        naive.is_complete(),
+        "naive run incomplete when frontier completed"
+    );
+}
+
+fn families() -> Vec<(&'static str, Graph, usize)> {
+    let mut rng = StdRng::seed_from_u64(999);
+    vec![
+        ("complete", complete(40).unwrap(), 0),
+        ("star-from-center", star(60).unwrap(), 0),
+        ("star-from-leaf", star(60).unwrap(), 7),
+        ("double-star", double_star(30).unwrap(), 2),
+        ("path", path(50).unwrap(), 10),
+        ("cycle", cycle(48).unwrap(), 0),
+        (
+            "heavy-tree",
+            HeavyBinaryTree::new(5).unwrap().into_graph(),
+            0,
+        ),
+        (
+            "erdos-renyi",
+            connected_erdos_renyi(45, 0.2, &mut rng).unwrap(),
+            3,
+        ),
+    ]
+}
+
+/// Options that put the engine in observability (always-draw) mode.
+fn traffic() -> ProtocolOptions {
+    ProtocolOptions::with_edge_traffic()
+}
+
+#[test]
+fn push_fast_mode_matches_skip_reference() {
+    for (name, graph, source) in families() {
+        for seed in [0u64, 1, 7, 42] {
+            assert_trajectories_match(
+                &graph,
+                source,
+                Rule::Push,
+                Mode::SkipDeadDraws,
+                seed,
+                || Push::new(&graph, source, ProtocolOptions::none()),
+            );
+        }
+        println!("push (fast) equivalent on {name}");
+    }
+}
+
+#[test]
+fn push_traffic_mode_matches_plain_reference() {
+    for (name, graph, source) in families() {
+        for seed in [0u64, 1, 7, 42] {
+            assert_trajectories_match(&graph, source, Rule::Push, Mode::AlwaysDraw, seed, || {
+                Push::new(&graph, source, traffic())
+            });
+        }
+        println!("push (traffic) equivalent on {name}");
+    }
+}
+
+#[test]
+fn pull_fast_mode_matches_skip_reference() {
+    for (name, graph, source) in families() {
+        for seed in [0u64, 1, 7, 42] {
+            assert_trajectories_match(
+                &graph,
+                source,
+                Rule::Pull,
+                Mode::SkipDeadDraws,
+                seed,
+                || Pull::new(&graph, source, ProtocolOptions::none()),
+            );
+        }
+        println!("pull (fast) equivalent on {name}");
+    }
+}
+
+#[test]
+fn pull_traffic_mode_matches_plain_reference() {
+    for (name, graph, source) in families() {
+        for seed in [0u64, 1, 7, 42] {
+            assert_trajectories_match(&graph, source, Rule::Pull, Mode::AlwaysDraw, seed, || {
+                Pull::new(&graph, source, traffic())
+            });
+        }
+        println!("pull (traffic) equivalent on {name}");
+    }
+}
+
+#[test]
+fn push_pull_fast_mode_matches_skip_reference() {
+    for (name, graph, source) in families() {
+        for seed in [0u64, 1, 7, 42] {
+            assert_trajectories_match(
+                &graph,
+                source,
+                Rule::PushPull,
+                Mode::SkipDeadDraws,
+                seed,
+                || PushPull::new(&graph, source, ProtocolOptions::none()),
+            );
+        }
+        println!("push-pull (fast) equivalent on {name}");
+    }
+}
+
+#[test]
+fn push_pull_traffic_mode_matches_plain_reference() {
+    for (name, graph, source) in families() {
+        for seed in [0u64, 1, 7, 42] {
+            assert_trajectories_match(
+                &graph,
+                source,
+                Rule::PushPull,
+                Mode::AlwaysDraw,
+                seed,
+                || PushPull::new(&graph, source, traffic()),
+            );
+        }
+        println!("push-pull (traffic) equivalent on {name}");
+    }
+}
+
+#[test]
+fn message_counts_are_mode_independent() {
+    // The fast mode skips draws, never messages: per-round and total message
+    // counts must equal the always-draw mode's counts on runs of the same
+    // length. Compare against analytic counts on the complete graph, where
+    // every vertex always has both informed and uninformed neighbors until
+    // the very last rounds.
+    let g = complete(24).unwrap();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut p = Push::new(&g, 0, ProtocolOptions::none());
+    let mut expected_total = 0u64;
+    while !p.is_complete() {
+        let informed_before = p.informed_vertex_count() as u64;
+        p.step(&mut rng);
+        assert_eq!(p.messages_last_round(), informed_before);
+        expected_total += informed_before;
+    }
+    assert_eq!(p.messages_sent(), expected_total);
+
+    let mut q = Pull::new(&g, 0, ProtocolOptions::none());
+    let uninformed_before = (24 - q.informed_vertex_count()) as u64;
+    q.step(&mut rng);
+    assert_eq!(q.messages_last_round(), uninformed_before);
+
+    let mut r = PushPull::new(&g, 0, ProtocolOptions::none());
+    r.step(&mut rng);
+    assert_eq!(r.messages_last_round(), 24);
+}

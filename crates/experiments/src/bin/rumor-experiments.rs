@@ -51,12 +51,15 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             }
             "--seed" => {
                 let value = iter.next().ok_or("--seed requires a value")?;
-                options.seed = value.parse().map_err(|_| format!("invalid seed {value:?}"))?;
+                options.seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid seed {value:?}"))?;
             }
             "--threads" => {
                 let value = iter.next().ok_or("--threads requires a value")?;
-                options.threads =
-                    value.parse().map_err(|_| format!("invalid thread count {value:?}"))?;
+                options.threads = value
+                    .parse()
+                    .map_err(|_| format!("invalid thread count {value:?}"))?;
             }
             "--markdown" => options.markdown = true,
             "--list" => options.list = true,
@@ -90,7 +93,10 @@ fn main() -> ExitCode {
         .with_threads(options.threads);
 
     let ids: Vec<String> = if options.experiments.is_empty() {
-        all_experiment_ids().into_iter().map(str::to_string).collect()
+        all_experiment_ids()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
     } else {
         options.experiments.clone()
     };

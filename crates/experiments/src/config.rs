@@ -60,7 +60,11 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// Default-scale configuration with seed 0.
     pub fn new(scale: Scale) -> Self {
-        ExperimentConfig { scale, seed: 0, threads: 0 }
+        ExperimentConfig {
+            scale,
+            seed: 0,
+            threads: 0,
+        }
     }
 
     /// Smoke-scale configuration used by tests.
@@ -99,7 +103,9 @@ impl ExperimentConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }

@@ -76,18 +76,41 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
     let d = logarithmic_degree(n, 2.0);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xDE);
     let regular = random_regular(n, d, &mut rng).expect("random regular generator");
-    let ppull_regular =
-        mean_time(&regular, 0, ProtocolKind::PushPull, AgentConfig::default(), trials, config.seed);
+    let ppull_regular = mean_time(
+        &regular,
+        0,
+        ProtocolKind::PushPull,
+        AgentConfig::default(),
+        trials,
+        config.seed,
+    );
     let mut regular_table = Table::new(
-        &format!("Random {d}-regular graph (n = {n}); push-pull baseline = {ppull_regular:.1} rounds"),
+        &format!(
+            "Random {d}-regular graph (n = {n}); push-pull baseline = {ppull_regular:.1} rounds"
+        ),
         &["|A|", "agents", "visit-exchange", "meet-exchange"],
     );
     for (label, count) in levels(n) {
-        let agents = AgentConfig { count: AgentCount::Exact(count), ..AgentConfig::default() };
-        let visitx =
-            mean_time(&regular, 0, ProtocolKind::VisitExchange, agents.clone(), trials, config.seed);
-        let meetx =
-            mean_time(&regular, 0, ProtocolKind::MeetExchange, agents, trials, config.seed);
+        let agents = AgentConfig {
+            count: AgentCount::Exact(count),
+            ..AgentConfig::default()
+        };
+        let visitx = mean_time(
+            &regular,
+            0,
+            ProtocolKind::VisitExchange,
+            agents.clone(),
+            trials,
+            config.seed,
+        );
+        let meetx = mean_time(
+            &regular,
+            0,
+            ProtocolKind::MeetExchange,
+            agents,
+            trials,
+            config.seed,
+        );
         regular_table.push_row(&[
             label,
             count.to_string(),
@@ -101,8 +124,14 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
     let leaves = config.pick(64, 512, 2048);
     let dstar = double_star(leaves).expect("double star generator");
     let dn = dstar.num_vertices();
-    let ppull_dstar =
-        mean_time(&dstar, 2, ProtocolKind::PushPull, AgentConfig::default(), trials, config.seed);
+    let ppull_dstar = mean_time(
+        &dstar,
+        2,
+        ProtocolKind::PushPull,
+        AgentConfig::default(),
+        trials,
+        config.seed,
+    );
     let mut dstar_table = Table::new(
         &format!("Double star (n = {dn}); push-pull baseline = {ppull_dstar:.1} rounds"),
         &["|A|", "agents", "visit-exchange", "meet-exchange"],
@@ -114,9 +143,22 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
             ..AgentConfig::default()
         }
         .lazy();
-        let visitx =
-            mean_time(&dstar, 2, ProtocolKind::VisitExchange, agents.clone(), trials, config.seed);
-        let meetx = mean_time(&dstar, 2, ProtocolKind::MeetExchange, agents, trials, config.seed);
+        let visitx = mean_time(
+            &dstar,
+            2,
+            ProtocolKind::VisitExchange,
+            agents.clone(),
+            trials,
+            config.seed,
+        );
+        let meetx = mean_time(
+            &dstar,
+            2,
+            ProtocolKind::MeetExchange,
+            agents,
+            trials,
+            config.seed,
+        );
         if visitx < ppull_dstar && crossover.is_none() {
             crossover = Some(label.clone());
         }
@@ -155,10 +197,19 @@ mod tests {
     fn fewer_agents_means_slower_visit_exchange() {
         let mut rng = StdRng::seed_from_u64(9);
         let g = random_regular(256, 16, &mut rng).unwrap();
-        let sparse = AgentConfig { count: AgentCount::Exact(16), ..AgentConfig::default() };
-        let dense = AgentConfig { count: AgentCount::Exact(512), ..AgentConfig::default() };
+        let sparse = AgentConfig {
+            count: AgentCount::Exact(16),
+            ..AgentConfig::default()
+        };
+        let dense = AgentConfig {
+            count: AgentCount::Exact(512),
+            ..AgentConfig::default()
+        };
         let slow = mean_time(&g, 0, ProtocolKind::VisitExchange, sparse, 4, 1);
         let fast = mean_time(&g, 0, ProtocolKind::VisitExchange, dense, 4, 1);
-        assert!(slow > fast, "sparse agents ({slow}) should be slower than dense ({fast})");
+        assert!(
+            slow > fast,
+            "sparse agents ({slow}) should be slower than dense ({fast})"
+        );
     }
 }

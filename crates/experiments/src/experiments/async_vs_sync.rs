@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rumor_analysis::{Summary, Table};
-use rumor_core::{run_to_completion, AsyncPush, AsyncPushPull, ProtocolOptions, Push, PushPull};
+use rumor_core::{simulate, simulate_async, ProtocolKind, ProtocolOptions, SimulationSpec};
 use rumor_graphs::generators::{logarithmic_degree, random_regular, star, STAR_CENTER};
 use rumor_graphs::{Graph, VertexId};
 
@@ -25,44 +25,37 @@ fn mean_rounds<F>(make: F, trials: usize, seed: u64) -> f64
 where
     F: Fn(u64) -> u64,
 {
-    let times: Vec<u64> = (0..trials as u64).map(|t| make(seed.wrapping_add(t))).collect();
+    let times: Vec<u64> = (0..trials as u64)
+        .map(|t| make(seed.wrapping_add(t)))
+        .collect();
     Summary::of_u64(&times).mean
 }
 
+const MAX_ROUNDS: u64 = 100_000_000;
+
 fn measure(graph: &Graph, source: VertexId, trials: usize, seed: u64) -> [f64; 4] {
+    let sync_spec = |kind: ProtocolKind, s: u64| {
+        SimulationSpec::new(kind)
+            .with_seed(s)
+            .with_max_rounds(MAX_ROUNDS)
+    };
     let sync_push = mean_rounds(
-        |s| {
-            let mut rng = StdRng::seed_from_u64(s);
-            let mut p = Push::new(graph, source, ProtocolOptions::none());
-            run_to_completion(&mut p, 100_000_000, &mut rng).rounds
-        },
+        |s| simulate(graph, source, &sync_spec(ProtocolKind::Push, s)).rounds,
         trials,
         seed,
     );
     let async_push = mean_rounds(
-        |s| {
-            let mut rng = StdRng::seed_from_u64(s);
-            let mut p = AsyncPush::new(graph, source, ProtocolOptions::none());
-            run_to_completion(&mut p, 100_000_000, &mut rng).rounds
-        },
+        |s| simulate_async(graph, source, false, ProtocolOptions::none(), MAX_ROUNDS, s).rounds,
         trials,
         seed,
     );
     let sync_pp = mean_rounds(
-        |s| {
-            let mut rng = StdRng::seed_from_u64(s);
-            let mut p = PushPull::new(graph, source, ProtocolOptions::none());
-            run_to_completion(&mut p, 100_000_000, &mut rng).rounds
-        },
+        |s| simulate(graph, source, &sync_spec(ProtocolKind::PushPull, s)).rounds,
         trials,
         seed,
     );
     let async_pp = mean_rounds(
-        |s| {
-            let mut rng = StdRng::seed_from_u64(s);
-            let mut p = AsyncPushPull::new(graph, source, ProtocolOptions::none());
-            run_to_completion(&mut p, 100_000_000, &mut rng).rounds
-        },
+        |s| simulate_async(graph, source, true, ProtocolOptions::none(), MAX_ROUNDS, s).rounds,
         trials,
         seed,
     );
@@ -71,8 +64,11 @@ fn measure(graph: &Graph, source: VertexId, trials: usize, seed: u64) -> [f64; 4
 
 /// Runs the experiment at the configured scale.
 pub fn run(config: &ExperimentConfig) -> ExperimentReport {
-    let sizes: Vec<usize> =
-        config.pick(vec![128, 256], vec![256, 512, 1024, 2048], vec![1024, 2048, 4096, 8192]);
+    let sizes: Vec<usize> = config.pick(
+        vec![128, 256],
+        vec![256, 512, 1024, 2048],
+        vec![1024, 2048, 4096, 8192],
+    );
     let trials = config.trials(4, 15, 30);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA5);
 
@@ -86,7 +82,14 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
 
     let mut table = Table::new(
         "Mean broadcast time: synchronous rounds vs asynchronous time units",
-        &["graph", "push", "async-push", "push/async", "push-pull", "async-push-pull"],
+        &[
+            "graph",
+            "push",
+            "async-push",
+            "push/async",
+            "push-pull",
+            "async-push-pull",
+        ],
     );
     let mut worst_ratio: f64 = 0.0;
     let mut best_ratio = f64::INFINITY;

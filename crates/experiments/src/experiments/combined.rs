@@ -26,7 +26,11 @@ use crate::sweep::{ProtocolSetup, ScalingSweep, SweepPoint};
 pub const ID: &str = "combined-protocol";
 
 fn protocols(lazy: bool) -> Vec<ProtocolSetup> {
-    let agents = if lazy { AgentConfig::default().lazy() } else { AgentConfig::default() };
+    let agents = if lazy {
+        AgentConfig::default().lazy()
+    } else {
+        AgentConfig::default()
+    };
     vec![
         ProtocolSetup::new(ProtocolKind::PushPull),
         ProtocolSetup::new(ProtocolKind::VisitExchange).with_agents(agents.clone()),
@@ -58,7 +62,8 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
     );
 
     // Family 1: double stars — push-pull alone needs Ω(n) rounds (Lemma 3).
-    let leaves: Vec<usize> = config.pick(vec![64, 128], vec![256, 512, 1024], vec![1024, 2048, 4096]);
+    let leaves: Vec<usize> =
+        config.pick(vec![64, 128], vec![256, 512, 1024], vec![1024, 2048, 4096]);
     let dstar_sweep = ScalingSweep {
         points: leaves
             .iter()
@@ -194,9 +199,20 @@ mod tests {
         let tree = HeavyBinaryTree::new(7).unwrap();
         let source = tree.a_leaf();
         let default = AgentConfig::default();
-        let visitx = mean_rounds(tree.graph(), source, ProtocolKind::VisitExchange, &default, 5);
-        let combined =
-            mean_rounds(tree.graph(), source, ProtocolKind::PushPullVisitExchange, &default, 5);
+        let visitx = mean_rounds(
+            tree.graph(),
+            source,
+            ProtocolKind::VisitExchange,
+            &default,
+            5,
+        );
+        let combined = mean_rounds(
+            tree.graph(),
+            source,
+            ProtocolKind::PushPullVisitExchange,
+            &default,
+            5,
+        );
         assert!(
             combined * 2.0 < visitx,
             "combined ({combined}) should be much faster than visit-exchange ({visitx}) on the \

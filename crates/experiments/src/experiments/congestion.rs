@@ -36,8 +36,11 @@ struct Instance {
 }
 
 fn instances(config: &ExperimentConfig) -> Vec<Instance> {
-    let sizes: Vec<usize> =
-        config.pick(vec![128, 256], vec![256, 512, 1024, 2048], vec![1024, 2048, 4096, 8192]);
+    let sizes: Vec<usize> = config.pick(
+        vec![128, 256],
+        vec![256, 512, 1024, 2048],
+        vec![1024, 2048, 4096, 8192],
+    );
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xC0);
     let mut out = Vec::new();
     for &n in &sizes {
@@ -81,7 +84,13 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
     );
     let mut coupling_table = Table::new(
         "The coupling of Section 5.1 (per-trial worst case over vertices)",
-        &["graph", "coupled T_push", "coupled T_visitx", "T_push / T_visitx", "Lemma 13 violations"],
+        &[
+            "graph",
+            "coupled T_push",
+            "coupled T_visitx",
+            "T_push / T_visitx",
+            "Lemma 13 violations",
+        ],
     );
 
     let mut worst_c_ratio = 0.0f64;

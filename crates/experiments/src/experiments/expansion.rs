@@ -199,10 +199,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let gaps: Vec<f64> = fams
             .iter()
-            .map(|f| spectral_gap_estimate(&f.graph, 2_000, 1e-9, &mut rng).unwrap().gap)
+            .map(|f| {
+                spectral_gap_estimate(&f.graph, 2_000, 1e-9, &mut rng)
+                    .unwrap()
+                    .gap
+            })
             .collect();
         // Families are ordered: random regular, hypercube, cycle of cliques.
-        assert!(gaps[0] > gaps[2], "expander gap {} vs clique chain {}", gaps[0], gaps[2]);
-        assert!(gaps[1] > gaps[2], "hypercube gap {} vs clique chain {}", gaps[1], gaps[2]);
+        assert!(
+            gaps[0] > gaps[2],
+            "expander gap {} vs clique chain {}",
+            gaps[0],
+            gaps[2]
+        );
+        assert!(
+            gaps[1] > gaps[2],
+            "hypercube gap {} vs clique chain {}",
+            gaps[1],
+            gaps[2]
+        );
     }
 }

@@ -118,8 +118,10 @@ mod tests {
     fn push_is_much_slower_than_the_others() {
         let config = ExperimentConfig::smoke();
         let sizes = [128usize];
-        let points: Vec<SweepPoint> =
-            sizes.iter().map(|&l| SweepPoint::new(star(l).unwrap(), STAR_CENTER)).collect();
+        let points: Vec<SweepPoint> = sizes
+            .iter()
+            .map(|&l| SweepPoint::new(star(l).unwrap(), STAR_CENTER))
+            .collect();
         let sweep = ScalingSweep {
             points,
             protocols: vec![

@@ -18,7 +18,11 @@ pub const ID: &str = "fig1c-heavy-tree";
 
 /// Runs the experiment at the configured scale.
 pub fn run(config: &ExperimentConfig) -> ExperimentReport {
-    let depths: Vec<u32> = config.pick(vec![4, 5, 6], vec![6, 7, 8, 9, 10], vec![8, 9, 10, 11, 12, 13]);
+    let depths: Vec<u32> = config.pick(
+        vec![4, 5, 6],
+        vec![6, 7, 8, 9, 10],
+        vec![8, 9, 10, 11, 12, 13],
+    );
     let trials = config.trials(4, 15, 30);
 
     let points: Vec<SweepPoint> = depths
@@ -50,7 +54,9 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
         "Lemma 4: T_push = O(log n) w.h.p.; E[T_visitx] = Ω(n); T_meetx = O(log n) w.h.p. for a \
          leaf source. The rumor-spreading protocols win here; the combined protocol tracks push-pull.",
     );
-    report.push_table(result.times_table("Mean broadcast time on the heavy binary tree (source = leaf)"));
+    report.push_table(
+        result.times_table("Mean broadcast time on the heavy binary tree (source = leaf)"),
+    );
     report.push_table(result.fits_table("Fitted growth laws"));
     report.push_table(result.ratio_table(
         "visit-exchange / push mean-time ratio",

@@ -47,7 +47,9 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
         "Lemma 8: T_push = O(log n) w.h.p.; E[T_visitx] = Ω(n); E[T_meetx] = Ω(n). Both agent \
          protocols are stuck waiting for an agent to cross the shared root.",
     );
-    report.push_table(result.times_table("Mean broadcast time on the Siamese heavy trees (source = leaf)"));
+    report.push_table(
+        result.times_table("Mean broadcast time on the Siamese heavy trees (source = leaf)"),
+    );
     report.push_table(result.fits_table("Fitted growth laws"));
     report.push_table(result.ratio_table(
         "meet-exchange / push mean-time ratio",

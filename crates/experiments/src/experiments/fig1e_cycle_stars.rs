@@ -19,7 +19,11 @@ pub const ID: &str = "fig1e-cycle-stars";
 pub fn run(config: &ExperimentConfig) -> ExperimentReport {
     // The structural parameter m (cycle length = star size = clique size);
     // n = m + m² + m³.
-    let ms: Vec<usize> = config.pick(vec![4, 5, 6], vec![6, 8, 10, 12], vec![8, 10, 12, 14, 16, 18]);
+    let ms: Vec<usize> = config.pick(
+        vec![4, 5, 6],
+        vec![6, 8, 10, 12],
+        vec![8, 10, 12, 14, 16, 18],
+    );
     let trials = config.trials(3, 10, 20);
 
     let points: Vec<SweepPoint> = ms

@@ -17,7 +17,9 @@ use rand::SeedableRng;
 use rumor_analysis::{Summary, Table};
 use rumor_core::{AgentConfig, ProtocolKind, SimulationSpec};
 use rumor_graphs::algorithms::is_bipartite;
-use rumor_graphs::generators::{complete, logarithmic_degree, random_regular, CycleOfStarsOfCliques};
+use rumor_graphs::generators::{
+    complete, logarithmic_degree, random_regular, CycleOfStarsOfCliques,
+};
 use rumor_graphs::{Graph, VertexId};
 use rumor_walks::{meeting_time, WalkConfig};
 
@@ -84,7 +86,13 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
 
     let mut table = Table::new(
         "Meeting time of two walks vs meet-exchange broadcast time",
-        &["graph", "t_meet (two walks)", "mean T_meetx", "T_meetx / t_meet", "log2 n"],
+        &[
+            "graph",
+            "t_meet (two walks)",
+            "mean T_meetx",
+            "T_meetx / t_meet",
+            "log2 n",
+        ],
     );
     let mut worst_normalized = f64::MIN;
     for family in families(config) {
@@ -168,8 +176,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let n = 256;
         let g = random_regular(n, 16, &mut rng).unwrap();
-        let meet =
-            meeting_time(&g, 0, n / 2, WalkConfig::simple(), 40, 1_000_000, &mut rng);
+        let meet = meeting_time(&g, 0, n / 2, WalkConfig::simple(), 40, 1_000_000, &mut rng);
         let meetx = broadcast_times(
             &g,
             0,

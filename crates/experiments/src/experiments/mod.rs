@@ -56,7 +56,10 @@ pub fn all_ids() -> Vec<&'static str> {
 /// Runs the experiment with the given identifier, or returns `None` if no
 /// such experiment exists.
 pub fn run_by_id(id: &str, config: &ExperimentConfig) -> Option<ExperimentReport> {
-    REGISTRY.iter().find(|&&(name, _)| name == id).map(|&(_, f)| f(config))
+    REGISTRY
+        .iter()
+        .find(|&&(name, _)| name == id)
+        .map(|&(_, f)| f(config))
 }
 
 #[cfg(test)]
@@ -71,7 +74,11 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), ids.len(), "duplicate experiment ids");
         for id in ids {
-            assert_eq!(id, id.to_lowercase(), "experiment ids should be lowercase: {id}");
+            assert_eq!(
+                id,
+                id.to_lowercase(),
+                "experiment ids should be lowercase: {id}"
+            );
         }
     }
 

@@ -65,7 +65,11 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
     );
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x71AC);
     let mut worst_regular_ratio: f64 = 1.0;
-    let sizes: Vec<usize> = config.pick(vec![128, 256], vec![512, 1024, 2048], vec![2048, 4096, 8192]);
+    let sizes: Vec<usize> = config.pick(
+        vec![128, 256],
+        vec![512, 1024, 2048],
+        vec![2048, 4096, 8192],
+    );
     let mut regular_families: Vec<(String, Graph)> = sizes
         .iter()
         .map(|&n| {
@@ -77,16 +81,34 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
         })
         .collect();
     let dim = config.pick(7, 10, 12);
-    regular_families
-        .push((format!("hypercube, n=2^{dim}"), hypercube(dim).expect("hypercube generator")));
+    regular_families.push((
+        format!("hypercube, n=2^{dim}"),
+        hypercube(dim).expect("hypercube generator"),
+    ));
 
     for (label, graph) in &regular_families {
         for kind in [ProtocolKind::VisitExchange, ProtocolKind::MeetExchange] {
-            let stationary =
-                mean(&times_for(graph, 0, kind, AgentConfig::default(), trials, config));
-            let one_per_vertex =
-                mean(&times_for(graph, 0, kind, AgentConfig::one_per_vertex(), trials, config));
-            let ratio = if one_per_vertex > 0.0 { stationary / one_per_vertex } else { f64::NAN };
+            let stationary = mean(&times_for(
+                graph,
+                0,
+                kind,
+                AgentConfig::default(),
+                trials,
+                config,
+            ));
+            let one_per_vertex = mean(&times_for(
+                graph,
+                0,
+                kind,
+                AgentConfig::one_per_vertex(),
+                trials,
+                config,
+            ));
+            let ratio = if one_per_vertex > 0.0 {
+                stationary / one_per_vertex
+            } else {
+                f64::NAN
+            };
             worst_regular_ratio = worst_regular_ratio.max(ratio.max(1.0 / ratio));
             regular_table.push_row(&[
                 label.as_str(),
@@ -116,21 +138,44 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
             graph.num_vertices(),
             internal.len()
         ),
-        &["placement", "agents on internal vertices at round 0", "mean T_visitx", "mean T_meetx"],
+        &[
+            "placement",
+            "agents on internal vertices at round 0",
+            "mean T_visitx",
+            "mean T_meetx",
+        ],
     );
     let mut stationary_internal = 0.0;
-    for (label, agents) in
-        [("stationary", AgentConfig::default()), ("one per vertex", AgentConfig::one_per_vertex())]
-    {
-        let occupancy =
-            mean_internal_occupancy(graph, &agents, internal.clone(), occupancy_trials, config.seed);
+    for (label, agents) in [
+        ("stationary", AgentConfig::default()),
+        ("one per vertex", AgentConfig::one_per_vertex()),
+    ] {
+        let occupancy = mean_internal_occupancy(
+            graph,
+            &agents,
+            internal.clone(),
+            occupancy_trials,
+            config.seed,
+        );
         if label == "stationary" {
             stationary_internal = occupancy;
         }
-        let visitx =
-            mean(&times_for(graph, source, ProtocolKind::VisitExchange, agents.clone(), trials, config));
-        let meetx =
-            mean(&times_for(graph, source, ProtocolKind::MeetExchange, agents, trials, config));
+        let visitx = mean(&times_for(
+            graph,
+            source,
+            ProtocolKind::VisitExchange,
+            agents.clone(),
+            trials,
+            config,
+        ));
+        let meetx = mean(&times_for(
+            graph,
+            source,
+            ProtocolKind::MeetExchange,
+            agents,
+            trials,
+            config,
+        ));
         tree_table.push_row(&[
             label.to_string(),
             format!("{occupancy:.1}"),
@@ -171,7 +216,11 @@ fn mean_internal_occupancy(
     for t in 0..trials {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x1ACE_u64.wrapping_add(t as u64));
         let walks = MultiWalk::new(graph, count, &agents.placement, agents.walk, &mut rng);
-        total += walks.positions().iter().filter(|&&v| internal.contains(&v)).count();
+        total += walks
+            .positions()
+            .iter()
+            .filter(|&&v| internal.contains(&v))
+            .count();
     }
     total as f64 / trials as f64
 }
@@ -226,8 +275,13 @@ mod tests {
         let internal = tree.internal_vertices();
         let stationary =
             mean_internal_occupancy(graph, &AgentConfig::default(), internal.clone(), 20, 3);
-        let one_per_vertex =
-            mean_internal_occupancy(graph, &AgentConfig::one_per_vertex(), internal.clone(), 20, 3);
+        let one_per_vertex = mean_internal_occupancy(
+            graph,
+            &AgentConfig::one_per_vertex(),
+            internal.clone(),
+            20,
+            3,
+        );
         // One-per-vertex starts exactly one agent on every internal vertex;
         // stationary placement puts only O(1) agents there in expectation
         // (the fact behind Lemma 4(b)).

@@ -22,8 +22,11 @@ pub const ID: &str = "push-vs-pushpull";
 
 /// Runs the experiment at the configured scale.
 pub fn run(config: &ExperimentConfig) -> ExperimentReport {
-    let sizes: Vec<usize> =
-        config.pick(vec![64, 128], vec![256, 512, 1024, 2048], vec![1024, 2048, 4096, 8192]);
+    let sizes: Vec<usize> = config.pick(
+        vec![64, 128],
+        vec![256, 512, 1024, 2048],
+        vec![1024, 2048, 4096, 8192],
+    );
     let trials = config.trials(5, 20, 40);
 
     let mut report = ExperimentReport::new(
@@ -66,8 +69,10 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
     ));
 
     // Stars.
-    let star_points: Vec<SweepPoint> =
-        sizes.iter().map(|&n| SweepPoint::new(star(n).expect("star"), STAR_CENTER)).collect();
+    let star_points: Vec<SweepPoint> = sizes
+        .iter()
+        .map(|&n| SweepPoint::new(star(n).expect("star"), STAR_CENTER))
+        .collect();
     let star_sweep = ScalingSweep {
         points: star_points,
         protocols: vec![

@@ -69,7 +69,10 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
     let dstar = double_star(leaves).expect("double star generator");
     let lazy = AgentConfig::default().lazy();
     let mut dstar_table = Table::new(
-        &format!("Double star (n = {}): broadcast time vs per-round churn", dstar.num_vertices()),
+        &format!(
+            "Double star (n = {}): broadcast time vs per-round churn",
+            dstar.num_vertices()
+        ),
         &["churn", "mean rounds", "slowdown vs churn-free"],
     );
     let dstar_baseline = mean_time(&dstar, 2, &lazy, 0.0, trials, config.seed);
@@ -78,7 +81,11 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
         let t = mean_time(&dstar, 2, &lazy, churn, trials, config.seed);
         let slowdown = t / dstar_baseline.max(1e-9);
         dstar_worst_slowdown = dstar_worst_slowdown.max(slowdown);
-        dstar_table.push_row(&[format!("{churn:.2}"), format!("{t:.1}"), format!("{slowdown:.2}×")]);
+        dstar_table.push_row(&[
+            format!("{churn:.2}"),
+            format!("{t:.1}"),
+            format!("{slowdown:.2}×"),
+        ]);
     }
     report.push_table(dstar_table);
 
@@ -98,7 +105,11 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
         let t = mean_time(&regular, 0, &default_agents, churn, trials, config.seed);
         let slowdown = t / regular_baseline.max(1e-9);
         regular_worst_slowdown = regular_worst_slowdown.max(slowdown);
-        regular_table.push_row(&[format!("{churn:.2}"), format!("{t:.1}"), format!("{slowdown:.2}×")]);
+        regular_table.push_row(&[
+            format!("{churn:.2}"),
+            format!("{t:.1}"),
+            format!("{slowdown:.2}×"),
+        ]);
     }
     report.push_table(regular_table);
 

@@ -35,7 +35,12 @@ fn protocols() -> Vec<ProtocolSetup> {
 }
 
 fn family_sweep(points: Vec<SweepPoint>, trials: usize) -> ScalingSweep {
-    ScalingSweep { points, protocols: protocols(), trials, max_rounds: 100_000_000 }
+    ScalingSweep {
+        points,
+        protocols: protocols(),
+        trials,
+        max_rounds: 100_000_000,
+    }
 }
 
 fn random_regular_points(sizes: &[usize], seed: u64) -> Vec<SweepPoint> {
@@ -52,8 +57,11 @@ fn random_regular_points(sizes: &[usize], seed: u64) -> Vec<SweepPoint> {
 
 /// Runs the experiment at the configured scale.
 pub fn run(config: &ExperimentConfig) -> ExperimentReport {
-    let sizes: Vec<usize> =
-        config.pick(vec![64, 128], vec![256, 512, 1024, 2048], vec![1024, 2048, 4096, 8192, 16384]);
+    let sizes: Vec<usize> = config.pick(
+        vec![64, 128],
+        vec![256, 512, 1024, 2048],
+        vec![1024, 2048, 4096, 8192, 16384],
+    );
     let trials = config.trials(4, 15, 30);
 
     let mut report = ExperimentReport::new(
@@ -92,7 +100,8 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
 
     // Family 3: cycle of cliques — a regular graph where both protocols are
     // polynomially slow; the theorem still forces the ratio to stay constant.
-    let clique_counts: Vec<usize> = config.pick(vec![6, 10], vec![8, 16, 32, 64], vec![16, 32, 64, 128, 256]);
+    let clique_counts: Vec<usize> =
+        config.pick(vec![6, 10], vec![8, 16, 32, 64], vec![16, 32, 64, 128, 256]);
     let cc_points: Vec<SweepPoint> = clique_counts
         .iter()
         .map(|&k| {
@@ -113,7 +122,11 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
     ));
 
     // Family 4: complete graphs (d = n − 1, the densest regular family).
-    let complete_sizes: Vec<usize> = config.pick(vec![64, 128], vec![128, 256, 512, 1024], vec![512, 1024, 2048, 4096]);
+    let complete_sizes: Vec<usize> = config.pick(
+        vec![64, 128],
+        vec![128, 256, 512, 1024],
+        vec![512, 1024, 2048, 4096],
+    );
     let kn_points: Vec<SweepPoint> = complete_sizes
         .iter()
         .map(|&n| SweepPoint::new(complete(n).expect("complete graph"), 0))

@@ -29,8 +29,11 @@ struct Family {
 }
 
 fn families(config: &ExperimentConfig) -> Vec<Family> {
-    let sizes: Vec<usize> =
-        config.pick(vec![128, 256], vec![256, 512, 1024, 2048], vec![1024, 2048, 4096, 8192]);
+    let sizes: Vec<usize> = config.pick(
+        vec![128, 256],
+        vec![256, 512, 1024, 2048],
+        vec![1024, 2048, 4096, 8192],
+    );
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x23);
     let mut out = Vec::new();
     for &n in &sizes {
@@ -63,7 +66,13 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
 
     let mut table = Table::new(
         "Broadcast times and normalized excess (T_visitx − T_meetx) / log2 n",
-        &["graph", "mean T_visitx", "mean T_meetx", "mean excess / log2 n", "max excess / log2 n"],
+        &[
+            "graph",
+            "mean T_visitx",
+            "mean T_meetx",
+            "mean excess / log2 n",
+            "max excess / log2 n",
+        ],
     );
     // Theorem 23 is a statement about distributions, not means:
     // P[T_visitx ≤ k + c·log n] ≥ P[T_meetx ≤ k] − n^{−λ}. The second table
@@ -193,8 +202,8 @@ mod tests {
             trials,
             &config,
         );
-        let shift = Ecdf::new(&visitx)
-            .smallest_dominating_shift(&Ecdf::new(&meetx), 1.0 / trials as f64);
+        let shift =
+            Ecdf::new(&visitx).smallest_dominating_shift(&Ecdf::new(&meetx), 1.0 / trials as f64);
         assert!(
             (shift as f64) <= 6.0 * (n as f64).log2(),
             "needed a shift of {shift} rounds, far beyond O(log n)"

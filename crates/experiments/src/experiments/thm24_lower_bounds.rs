@@ -24,8 +24,11 @@ pub const ID: &str = "thm24-25-lower-bounds";
 
 /// Runs the experiment at the configured scale.
 pub fn run(config: &ExperimentConfig) -> ExperimentReport {
-    let sizes: Vec<usize> =
-        config.pick(vec![128, 256], vec![256, 512, 1024, 2048], vec![1024, 2048, 4096, 8192, 16384]);
+    let sizes: Vec<usize> = config.pick(
+        vec![128, 256],
+        vec![256, 512, 1024, 2048],
+        vec![1024, 2048, 4096, 8192, 16384],
+    );
     let trials = config.trials(5, 20, 40);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x24);
 

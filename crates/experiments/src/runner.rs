@@ -1,7 +1,14 @@
 //! Parallel execution of repeated simulation trials.
+//!
+//! Trials are distributed with a lock-free ticket counter: workers claim the
+//! next trial index with a single `fetch_add` and write the outcome into that
+//! trial's pre-allocated result slot, so there is no shared queue, no mutex,
+//! and no contention beyond the one atomic increment per trial. Results come
+//! back ordered by trial index regardless of which worker ran what, which is
+//! what makes single- and multi-threaded runs bit-identical.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use rumor_core::{simulate, BroadcastOutcome, SimulationSpec};
 use rumor_graphs::{Graph, VertexId};
@@ -11,6 +18,9 @@ use crate::config::ExperimentConfig;
 /// Runs `trials` independent simulations of `spec` (seeds
 /// `spec.seed, spec.seed + 1, …`) on `graph`, distributing them over the
 /// configured worker threads, and returns the outcomes ordered by trial index.
+///
+/// Each trial is a pure function of its derived seed, so the result is
+/// independent of the thread count and of scheduling order.
 ///
 /// # Panics
 ///
@@ -42,33 +52,31 @@ pub fn run_trials(
     assert!(source < graph.num_vertices(), "source out of range");
 
     let workers = config.worker_threads().min(trials).max(1);
-    let results: Mutex<Vec<Option<BroadcastOutcome>>> = Mutex::new(vec![None; trials]);
-    let next: Mutex<usize> = Mutex::new(0);
 
-    thread::scope(|scope| {
+    // One write-once slot per trial, pre-partitioned so workers never touch
+    // each other's results; a ticket counter hands out trial indices.
+    let slots: Vec<OnceLock<BroadcastOutcome>> = (0..trials).map(|_| OnceLock::new()).collect();
+    let ticket = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let trial = {
-                    let mut guard = next.lock();
-                    if *guard >= trials {
-                        break;
-                    }
-                    let t = *guard;
-                    *guard += 1;
-                    t
-                };
+            scope.spawn(|| loop {
+                let trial = ticket.fetch_add(1, Ordering::Relaxed);
+                if trial >= trials {
+                    break;
+                }
                 let trial_spec = spec.clone().with_seed(spec.seed.wrapping_add(trial as u64));
                 let outcome = simulate(graph, source, &trial_spec);
-                results.lock()[trial] = Some(outcome);
+                slots[trial]
+                    .set(outcome)
+                    .unwrap_or_else(|_| unreachable!("trial {trial} claimed twice"));
             });
         }
-    })
-    .expect("trial worker panicked");
+    });
 
-    results
-        .into_inner()
+    slots
         .into_iter()
-        .map(|o| o.expect("every trial index was filled"))
+        .map(|slot| slot.into_inner().expect("every trial index was filled"))
         .collect()
 }
 
@@ -82,7 +90,10 @@ pub fn broadcast_times(
     trials: usize,
     config: &ExperimentConfig,
 ) -> Vec<u64> {
-    run_trials(graph, source, spec, trials, config).into_iter().map(|o| o.rounds).collect()
+    run_trials(graph, source, spec, trials, config)
+        .into_iter()
+        .map(|o| o.rounds)
+        .collect()
 }
 
 #[cfg(test)]
@@ -98,7 +109,10 @@ mod tests {
         let spec = SimulationSpec::new(ProtocolKind::Push).with_seed(100);
         let a = run_trials(&g, 0, &spec, 6, &cfg);
         let b = run_trials(&g, 0, &spec, 6, &cfg);
-        assert_eq!(a, b, "same seeds must give the same outcomes in the same order");
+        assert_eq!(
+            a, b,
+            "same seeds must give the same outcomes in the same order"
+        );
         // Different trials use different seeds, so not all outcomes are equal.
         assert!(a.windows(2).any(|w| w[0] != w[1]));
     }
@@ -110,6 +124,14 @@ mod tests {
         let seq = run_trials(&g, 0, &spec, 5, &ExperimentConfig::smoke().with_threads(1));
         let par = run_trials(&g, 0, &spec, 5, &ExperimentConfig::smoke().with_threads(4));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn more_workers_than_trials_is_fine() {
+        let g = complete(12).unwrap();
+        let spec = SimulationSpec::new(ProtocolKind::PushPull).with_seed(1);
+        let out = run_trials(&g, 0, &spec, 2, &ExperimentConfig::smoke().with_threads(16));
+        assert_eq!(out.len(), 2);
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub struct ProtocolSetup {
 impl ProtocolSetup {
     /// A setup with the paper's default agent configuration.
     pub fn new(kind: ProtocolKind) -> Self {
-        ProtocolSetup { label: kind.name().to_string(), kind, agents: AgentConfig::default() }
+        ProtocolSetup {
+            label: kind.name().to_string(),
+            kind,
+            agents: AgentConfig::default(),
+        }
     }
 
     /// A setup with lazy agent walks (for bipartite graphs, as in the paper).
@@ -64,12 +68,20 @@ impl SweepPoint {
     /// Creates a point labelled by the vertex count.
     pub fn new(graph: Graph, source: VertexId) -> Self {
         let label = graph.num_vertices().to_string();
-        SweepPoint { graph, source, label }
+        SweepPoint {
+            graph,
+            source,
+            label,
+        }
     }
 
     /// Creates a point with an explicit row label.
     pub fn labelled(graph: Graph, source: VertexId, label: &str) -> Self {
-        SweepPoint { graph, source, label: label.to_string() }
+        SweepPoint {
+            graph,
+            source,
+            label: label.to_string(),
+        }
     }
 }
 
@@ -94,7 +106,10 @@ impl ScalingSweep {
     /// Panics if the sweep has no points, no protocols, or zero trials.
     pub fn run(&self, config: &ExperimentConfig) -> SweepResult {
         assert!(!self.points.is_empty(), "sweep needs at least one point");
-        assert!(!self.protocols.is_empty(), "sweep needs at least one protocol");
+        assert!(
+            !self.protocols.is_empty(),
+            "sweep needs at least one protocol"
+        );
         assert!(self.trials > 0, "sweep needs at least one trial");
         let mut measurements = Vec::with_capacity(self.points.len());
         for (point_idx, point) in self.points.iter().enumerate() {
@@ -203,7 +218,11 @@ impl SweepResult {
         for m in &self.measurements {
             let mut row = vec![m.label.clone()];
             for (i, s) in m.summaries.iter().enumerate() {
-                let mut cell = format!("{} ±{}", format_value(s.mean), format_value(s.ci95_half_width()));
+                let mut cell = format!(
+                    "{} ±{}",
+                    format_value(s.mean),
+                    format_value(s.ci95_half_width())
+                );
                 if m.truncated[i] > 0 {
                     cell.push_str(&format!(" ({} capped)", m.truncated[i]));
                 }
@@ -216,8 +235,15 @@ impl SweepResult {
 
     /// Table of fitted growth exponents and best-fitting laws per protocol.
     pub fn fits_table(&self, title: &str) -> Table {
-        let mut table =
-            Table::new(title, &["protocol", "empirical exponent", "best-fit law", "rms residual"]);
+        let mut table = Table::new(
+            title,
+            &[
+                "protocol",
+                "empirical exponent",
+                "best-fit law",
+                "rms residual",
+            ],
+        );
         for label in &self.protocols {
             let points = self.scaling_points(label);
             if points.len() < 2 {
@@ -240,8 +266,7 @@ impl SweepResult {
     pub fn ratio_table(&self, title: &str, numerator: &str, denominator: &str) -> Table {
         let ia = self.protocol_index(numerator);
         let ib = self.protocol_index(denominator);
-        let mut table =
-            Table::new(title, &["n", &format!("{numerator} / {denominator}")]);
+        let mut table = Table::new(title, &["n", &format!("{numerator} / {denominator}")]);
         for m in &self.measurements {
             let ratio = m.summaries[ia].mean / m.summaries[ib].mean.max(1e-9);
             table.push_row(&[m.label.clone(), format!("{ratio:.2}")]);
@@ -273,7 +298,10 @@ mod tests {
     #[test]
     fn sweep_produces_expected_shape() {
         let result = small_sweep().run(&ExperimentConfig::smoke());
-        assert_eq!(result.protocols, vec!["push".to_string(), "visitx".to_string()]);
+        assert_eq!(
+            result.protocols,
+            vec!["push".to_string(), "visitx".to_string()]
+        );
         assert_eq!(result.measurements.len(), 2);
         assert_eq!(result.measurements[0].summaries.len(), 2);
         assert_eq!(result.measurements[0].n, 16);

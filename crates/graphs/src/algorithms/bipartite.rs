@@ -74,7 +74,11 @@ pub fn bipartition(graph: &Graph) -> Option<Vec<Side>> {
             }
         }
     }
-    Some(side.into_iter().map(|s| s.expect("all vertices colored")).collect())
+    Some(
+        side.into_iter()
+            .map(|s| s.expect("all vertices colored"))
+            .collect(),
+    )
 }
 
 /// `true` if the graph contains no odd cycle.
@@ -149,7 +153,9 @@ mod tests {
         assert!(!is_bipartite(&complete(3).unwrap()));
         assert!(!is_bipartite(&complete(10).unwrap()));
         assert!(!is_bipartite(HeavyBinaryTree::new(4).unwrap().graph()));
-        assert!(!is_bipartite(CycleOfStarsOfCliques::new(4).unwrap().graph()));
+        assert!(!is_bipartite(
+            CycleOfStarsOfCliques::new(4).unwrap().graph()
+        ));
     }
 
     #[test]

@@ -69,13 +69,19 @@ pub fn graph_conductance_estimate<R: Rng + ?Sized>(
     for _ in 0..samples {
         let center = rng.gen_range(0..n);
         let dist = crate::algorithms::bfs_distances(graph, center);
-        let max_dist = dist.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap_or(0);
+        let max_dist = dist
+            .iter()
+            .filter(|&&d| d != u32::MAX)
+            .max()
+            .copied()
+            .unwrap_or(0);
         if max_dist == 0 {
             continue;
         }
         let radius = rng.gen_range(0..max_dist);
-        let side: Vec<VertexId> =
-            (0..n).filter(|&u| dist[u] != u32::MAX && dist[u] <= radius).collect();
+        let side: Vec<VertexId> = (0..n)
+            .filter(|&u| dist[u] != u32::MAX && dist[u] <= radius)
+            .collect();
         if let Some(phi) = cut_conductance(graph, &side) {
             best = Some(match best {
                 Some(b) => b.min(phi),
@@ -152,7 +158,10 @@ mod tests {
         let g = complete(16).unwrap();
         let mut rng = StdRng::seed_from_u64(17);
         let phi = graph_conductance_estimate(&g, 30, &mut rng).unwrap();
-        assert!(phi > 0.4, "clique conductance estimate {phi} unexpectedly small");
+        assert!(
+            phi > 0.4,
+            "clique conductance estimate {phi} unexpectedly small"
+        );
     }
 
     #[test]

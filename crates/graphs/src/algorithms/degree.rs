@@ -40,15 +40,32 @@ impl DegreeStats {
     pub fn of(graph: &Graph) -> Self {
         let n = graph.num_vertices();
         if n == 0 {
-            return DegreeStats { n: 0, m: 0, min: 0, max: 0, mean: 0.0, variance: 0.0 };
+            return DegreeStats {
+                n: 0,
+                m: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                variance: 0.0,
+            };
         }
         let degrees: Vec<usize> = graph.vertices().map(|u| graph.degree(u)).collect();
         let min = *degrees.iter().min().expect("non-empty");
         let max = *degrees.iter().max().expect("non-empty");
         let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
-        let variance =
-            degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
-        DegreeStats { n, m: graph.num_edges(), min, max, mean, variance }
+        let variance = degrees
+            .iter()
+            .map(|&d| (d as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        DegreeStats {
+            n,
+            m: graph.num_edges(),
+            min,
+            max,
+            mean,
+            variance,
+        }
     }
 
     /// `true` when every vertex has the same degree.

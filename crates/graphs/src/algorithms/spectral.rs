@@ -69,8 +69,10 @@ fn deflate(graph: &Graph, x: &mut [f64]) {
     if total == 0.0 {
         return;
     }
-    let mean: f64 =
-        (0..graph.num_vertices()).map(|u| graph.degree(u) as f64 * x[u]).sum::<f64>() / total;
+    let mean: f64 = (0..graph.num_vertices())
+        .map(|u| graph.degree(u) as f64 * x[u])
+        .sum::<f64>()
+        / total;
     for value in x.iter_mut() {
         *value -= mean;
     }
@@ -149,7 +151,11 @@ pub fn spectral_gap_estimate<R: Rng + ?Sized>(
             // The iterate collapsed into the top eigenspace: the rest of the
             // spectrum is (numerically) zero, i.e. the gap is as large as the
             // lazy walk allows.
-            return Some(SpectralEstimate { lambda_2: 0.0, gap: 1.0, iterations });
+            return Some(SpectralEstimate {
+                lambda_2: 0.0,
+                gap: 1.0,
+                iterations,
+            });
         }
         let new_lambda = norm; // ‖P x‖_π for a π-normalized, deflated x.
         for (xi, yi) in x.iter_mut().zip(&y) {
@@ -163,7 +169,11 @@ pub fn spectral_gap_estimate<R: Rng + ?Sized>(
     }
 
     let lambda_2 = lambda.clamp(0.0, 1.0);
-    Some(SpectralEstimate { lambda_2, gap: 1.0 - lambda_2, iterations })
+    Some(SpectralEstimate {
+        lambda_2,
+        gap: 1.0 - lambda_2,
+        iterations,
+    })
 }
 
 #[cfg(test)]
@@ -211,7 +221,11 @@ mod tests {
         let n = 40;
         let est = estimate(&path(n).unwrap());
         let exact = (1.0 + (std::f64::consts::PI / n as f64).cos()) / 2.0;
-        assert!((est.lambda_2 - exact).abs() < 0.01, "λ₂ {} vs exact {exact}", est.lambda_2);
+        assert!(
+            (est.lambda_2 - exact).abs() < 0.01,
+            "λ₂ {} vs exact {exact}",
+            est.lambda_2
+        );
     }
 
     #[test]
@@ -221,13 +235,21 @@ mod tests {
         // Friedman's theorem: λ₂ of the non-lazy walk ≈ 2√(d−1)/d ≈ 0.55, so
         // the lazy gap is ≈ (1 − 0.55)/2 ≈ 0.22. Anything clearly bounded
         // away from zero is what the experiments rely on.
-        assert!(est.gap > 0.1, "random regular graph gap {} unexpectedly small", est.gap);
+        assert!(
+            est.gap > 0.1,
+            "random regular graph gap {} unexpectedly small",
+            est.gap
+        );
     }
 
     #[test]
     fn double_star_gap_is_tiny() {
         let est = estimate(&double_star(64).unwrap());
-        assert!(est.gap < 0.05, "double star gap {} should be tiny (thin bridge)", est.gap);
+        assert!(
+            est.gap < 0.05,
+            "double star gap {} should be tiny (thin bridge)",
+            est.gap
+        );
     }
 
     #[test]
@@ -237,7 +259,11 @@ mod tests {
         let d = 7;
         let est = estimate(&hypercube(d).unwrap());
         let exact = 1.0 / d as f64;
-        assert!((est.gap - exact).abs() < 0.02, "gap {} vs exact {exact}", est.gap);
+        assert!(
+            (est.gap - exact).abs() < 0.02,
+            "gap {} vs exact {exact}",
+            est.gap
+        );
     }
 
     #[test]
@@ -246,19 +272,26 @@ mod tests {
         let bound = est.mixing_time_bound(16, 0.01);
         assert!(bound.is_finite() && bound > 0.0);
         // A zero gap yields an infinite bound rather than a panic.
-        let degenerate = SpectralEstimate { lambda_2: 1.0, gap: 0.0, iterations: 1 };
+        let degenerate = SpectralEstimate {
+            lambda_2: 1.0,
+            gap: 0.0,
+            iterations: 1,
+        };
         assert!(degenerate.mixing_time_bound(16, 0.01).is_infinite());
     }
 
     #[test]
     fn degenerate_graphs_yield_none() {
         let mut r = rng(0);
-        assert!(spectral_gap_estimate(&Graph::from_edges(0, &[]).unwrap(), 10, 1e-6, &mut r)
-            .is_none());
-        assert!(spectral_gap_estimate(&Graph::from_edges(1, &[]).unwrap(), 10, 1e-6, &mut r)
-            .is_none());
-        assert!(spectral_gap_estimate(&Graph::from_edges(3, &[]).unwrap(), 10, 1e-6, &mut r)
-            .is_none());
+        assert!(
+            spectral_gap_estimate(&Graph::from_edges(0, &[]).unwrap(), 10, 1e-6, &mut r).is_none()
+        );
+        assert!(
+            spectral_gap_estimate(&Graph::from_edges(1, &[]).unwrap(), 10, 1e-6, &mut r).is_none()
+        );
+        assert!(
+            spectral_gap_estimate(&Graph::from_edges(3, &[]).unwrap(), 10, 1e-6, &mut r).is_none()
+        );
     }
 
     #[test]

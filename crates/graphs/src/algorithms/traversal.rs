@@ -117,10 +117,15 @@ pub fn diameter_lower_bound(graph: &Graph) -> Option<u32> {
         return None;
     }
     let first = bfs_distances(graph, 0);
-    if first.iter().any(|&d| d == UNREACHABLE) {
+    if first.contains(&UNREACHABLE) {
         return None;
     }
-    let far = first.iter().enumerate().max_by_key(|(_, &d)| d).map(|(u, _)| u).unwrap_or(0);
+    let far = first
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &d)| d)
+        .map(|(u, _)| u)
+        .unwrap_or(0);
     eccentricity(graph, far)
 }
 

@@ -34,12 +34,20 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new(), seen: HashSet::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            seen: HashSet::new(),
+        }
     }
 
     /// Creates a builder for `n` vertices, reserving space for `m` edges.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m), seen: HashSet::with_capacity(m) }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+            seen: HashSet::with_capacity(m),
+        }
     }
 
     /// Number of vertices the built graph will have.
@@ -67,17 +75,26 @@ impl GraphBuilder {
     /// [`GraphError::DuplicateEdge`] if the edge was added before.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
         if u >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
         }
         let key = Self::key(u, v);
         if !self.seen.insert(key) {
-            return Err(GraphError::DuplicateEdge { u: key.0 as usize, v: key.1 as usize });
+            return Err(GraphError::DuplicateEdge {
+                u: key.0 as usize,
+                v: key.1 as usize,
+            });
         }
         self.edges.push(key);
         Ok(())
@@ -177,7 +194,8 @@ impl Extend<(VertexId, VertexId)> for GraphBuilder {
     /// Prefer [`GraphBuilder::add_edges`] when the input is untrusted.
     fn extend<T: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: T) {
         for (u, v) in iter {
-            self.add_edge(u, v).expect("invalid edge passed to GraphBuilder::extend");
+            self.add_edge(u, v)
+                .expect("invalid edge passed to GraphBuilder::extend");
         }
     }
 }
@@ -201,8 +219,14 @@ mod tests {
     fn duplicate_edge_rejected_in_both_orientations() {
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 1).unwrap();
-        assert!(matches!(b.add_edge(1, 0), Err(GraphError::DuplicateEdge { .. })));
-        assert!(matches!(b.add_edge(0, 1), Err(GraphError::DuplicateEdge { .. })));
+        assert!(matches!(
+            b.add_edge(1, 0),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 1),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
     }
 
     #[test]
@@ -216,7 +240,10 @@ mod tests {
     #[test]
     fn add_edge_dedup_still_rejects_self_loops() {
         let mut b = GraphBuilder::new(3);
-        assert!(matches!(b.add_edge_dedup(2, 2), Err(GraphError::SelfLoop { vertex: 2 })));
+        assert!(matches!(
+            b.add_edge_dedup(2, 2),
+            Err(GraphError::SelfLoop { vertex: 2 })
+        ));
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex index {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex index {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => {
                 write!(f, "self-loop at vertex {vertex} is not allowed")
@@ -91,7 +94,10 @@ mod tests {
     #[test]
     fn display_vertex_out_of_range() {
         let e = GraphError::VertexOutOfRange { vertex: 7, n: 3 };
-        assert_eq!(e.to_string(), "vertex index 7 out of range for graph with 3 vertices");
+        assert_eq!(
+            e.to_string(),
+            "vertex index 7 out of range for graph with 3 vertices"
+        );
     }
 
     #[test]
@@ -108,19 +114,26 @@ mod tests {
 
     #[test]
     fn display_invalid_parameters() {
-        let e = GraphError::InvalidParameters { reason: "d must be < n".into() };
+        let e = GraphError::InvalidParameters {
+            reason: "d must be < n".into(),
+        };
         assert!(e.to_string().contains("d must be < n"));
     }
 
     #[test]
     fn display_generation_failed() {
-        let e = GraphError::GenerationFailed { reason: "too many retries".into() };
+        let e = GraphError::GenerationFailed {
+            reason: "too many retries".into(),
+        };
         assert!(e.to_string().contains("too many retries"));
     }
 
     #[test]
     fn display_disconnected_and_empty() {
-        assert_eq!(GraphError::Disconnected.to_string(), "graph is not connected");
+        assert_eq!(
+            GraphError::Disconnected.to_string(),
+            "graph is not connected"
+        );
         assert_eq!(GraphError::EmptyGraph.to_string(), "graph has no vertices");
     }
 

@@ -25,7 +25,9 @@ use crate::graph::Graph;
 /// ```
 pub fn path(n: usize) -> Result<Graph> {
     if n == 0 {
-        return Err(GraphError::InvalidParameters { reason: "path requires n >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "path requires n >= 1".into(),
+        });
     }
     let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
     for u in 1..n {
@@ -41,7 +43,9 @@ pub fn path(n: usize) -> Result<Graph> {
 /// Returns [`GraphError::InvalidParameters`] if `n < 3`.
 pub fn cycle(n: usize) -> Result<Graph> {
     if n < 3 {
-        return Err(GraphError::InvalidParameters { reason: "cycle requires n >= 3".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "cycle requires n >= 3".into(),
+        });
     }
     let mut b = GraphBuilder::with_capacity(n, n);
     for u in 1..n {
@@ -58,7 +62,9 @@ pub fn cycle(n: usize) -> Result<Graph> {
 /// Returns [`GraphError::InvalidParameters`] if `n < 2`.
 pub fn complete(n: usize) -> Result<Graph> {
     if n < 2 {
-        return Err(GraphError::InvalidParameters { reason: "complete requires n >= 2".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "complete requires n >= 2".into(),
+        });
     }
     let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
     let vertices: Vec<usize> = (0..n).collect();
@@ -77,7 +83,9 @@ pub fn complete(n: usize) -> Result<Graph> {
 /// Returns [`GraphError::InvalidParameters`] if `leaves == 0`.
 pub fn star(leaves: usize) -> Result<Graph> {
     if leaves == 0 {
-        return Err(GraphError::InvalidParameters { reason: "star requires >= 1 leaf".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "star requires >= 1 leaf".into(),
+        });
     }
     let n = leaves + 1;
     let mut b = GraphBuilder::with_capacity(n, leaves);
@@ -134,7 +142,9 @@ pub const DOUBLE_STAR_CENTER_B: usize = 1;
 /// practical sizes).
 pub fn binary_tree(depth: u32) -> Result<Graph> {
     if depth > 40 {
-        return Err(GraphError::InvalidParameters { reason: "binary_tree depth too large".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "binary_tree depth too large".into(),
+        });
     }
     let n = (1usize << (depth + 1)) - 1;
     let mut b = GraphBuilder::with_capacity(n, n - 1);
@@ -166,7 +176,9 @@ pub fn binary_tree_leaves(depth: u32) -> std::ops::Range<usize> {
 /// Returns [`GraphError::InvalidParameters`] if either dimension is `0`.
 pub fn grid(rows: usize, cols: usize) -> Result<Graph> {
     if rows == 0 || cols == 0 {
-        return Err(GraphError::InvalidParameters { reason: "grid requires rows, cols >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "grid requires rows, cols >= 1".into(),
+        });
     }
     let n = rows * cols;
     let mut b = GraphBuilder::with_capacity(n, 2 * n);
@@ -192,7 +204,9 @@ pub fn grid(rows: usize, cols: usize) -> Result<Graph> {
 /// Returns [`GraphError::InvalidParameters`] if either dimension is `< 3`.
 pub fn torus(rows: usize, cols: usize) -> Result<Graph> {
     if rows < 3 || cols < 3 {
-        return Err(GraphError::InvalidParameters { reason: "torus requires rows, cols >= 3".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "torus requires rows, cols >= 3".into(),
+        });
     }
     let n = rows * cols;
     let mut b = GraphBuilder::with_capacity(n, 2 * n);

@@ -22,6 +22,4 @@ pub use basic::{
 };
 pub use paper::{CycleOfStarsOfCliques, HeavyBinaryTree, SiameseHeavyBinaryTree};
 pub use random::{barbell, connected_erdos_renyi, erdos_renyi, lollipop};
-pub use regular::{
-    cycle_of_cliques, logarithmic_degree, matched_communities, random_regular,
-};
+pub use regular::{cycle_of_cliques, logarithmic_degree, matched_communities, random_regular};

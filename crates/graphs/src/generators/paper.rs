@@ -51,7 +51,10 @@ impl HeavyBinaryTree {
         }
         let leaves: Vec<VertexId> = (first_leaf..n).collect();
         b.add_clique(&leaves)?;
-        Ok(HeavyBinaryTree { graph: b.build(), depth })
+        Ok(HeavyBinaryTree {
+            graph: b.build(),
+            depth,
+        })
     }
 
     /// Builds the smallest heavy binary tree with at least `min_vertices`
@@ -139,8 +142,10 @@ impl SiameseHeavyBinaryTree {
         let n = 2 * tree_size - 1;
         let first_leaf = (1usize << depth) - 1;
         let leaf_count = tree_size - first_leaf;
-        let mut b =
-            GraphBuilder::with_capacity(n, 2 * ((tree_size - 1) + leaf_count * (leaf_count - 1) / 2));
+        let mut b = GraphBuilder::with_capacity(
+            n,
+            2 * ((tree_size - 1) + leaf_count * (leaf_count - 1) / 2),
+        );
 
         // First copy: heap numbering 0..tree_size.
         for u in 1..tree_size {
@@ -158,7 +163,11 @@ impl SiameseHeavyBinaryTree {
         let leaves_b: Vec<VertexId> = (first_leaf..tree_size).map(map).collect();
         b.add_clique(&leaves_b)?;
 
-        Ok(SiameseHeavyBinaryTree { graph: b.build(), depth, tree_size })
+        Ok(SiameseHeavyBinaryTree {
+            graph: b.build(),
+            depth,
+            tree_size,
+        })
     }
 
     /// Builds the smallest instance with at least `min_vertices` vertices.
@@ -272,7 +281,10 @@ impl CycleOfStarsOfCliques {
                 b.add_clique(&clique)?;
             }
         }
-        Ok(CycleOfStarsOfCliques { graph: b.build(), m })
+        Ok(CycleOfStarsOfCliques {
+            graph: b.build(),
+            m,
+        })
     }
 
     /// Builds the smallest instance with at least `min_vertices` vertices,

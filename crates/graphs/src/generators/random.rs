@@ -28,7 +28,9 @@ use crate::graph::Graph;
 /// ```
 pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
     if n == 0 {
-        return Err(GraphError::InvalidParameters { reason: "erdos_renyi requires n >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "erdos_renyi requires n >= 1".into(),
+        });
     }
     if !(0.0..=1.0).contains(&p) {
         return Err(GraphError::InvalidParameters {
@@ -86,7 +88,9 @@ pub fn connected_erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> 
 /// Returns [`GraphError::InvalidParameters`] if `k < 2`.
 pub fn barbell(k: usize) -> Result<Graph> {
     if k < 2 {
-        return Err(GraphError::InvalidParameters { reason: "barbell requires k >= 2".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "barbell requires k >= 2".into(),
+        });
     }
     let n = 2 * k;
     let mut b = GraphBuilder::with_capacity(n, k * (k - 1) + 1);
@@ -108,10 +112,14 @@ pub fn barbell(k: usize) -> Result<Graph> {
 /// Returns [`GraphError::InvalidParameters`] if `k < 2` or `tail == 0`.
 pub fn lollipop(k: usize, tail: usize) -> Result<Graph> {
     if k < 2 {
-        return Err(GraphError::InvalidParameters { reason: "lollipop requires k >= 2".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "lollipop requires k >= 2".into(),
+        });
     }
     if tail == 0 {
-        return Err(GraphError::InvalidParameters { reason: "lollipop requires tail >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "lollipop requires tail >= 1".into(),
+        });
     }
     let n = k + tail;
     let mut b = GraphBuilder::with_capacity(n, k * (k - 1) / 2 + tail);
@@ -148,7 +156,10 @@ mod tests {
         let g = erdos_renyi(n, p, &mut rng).unwrap();
         let expected = p * (n * (n - 1) / 2) as f64;
         let actual = g.num_edges() as f64;
-        assert!((actual - expected).abs() < 0.15 * expected, "expected ~{expected}, got {actual}");
+        assert!(
+            (actual - expected).abs() < 0.15 * expected,
+            "expected ~{expected}, got {actual}"
+        );
     }
 
     #[test]

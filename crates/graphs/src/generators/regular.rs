@@ -50,14 +50,16 @@ const RANDOM_REGULAR_MAX_ATTEMPTS: usize = 50;
 /// ```
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Result<Graph> {
     if d == 0 {
-        return Err(GraphError::InvalidParameters { reason: "random_regular requires d >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "random_regular requires d >= 1".into(),
+        });
     }
     if d >= n {
         return Err(GraphError::InvalidParameters {
             reason: format!("random_regular requires d < n (got d = {d}, n = {n})"),
         });
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::InvalidParameters {
             reason: "random_regular requires n * d to be even".into(),
         });
@@ -168,7 +170,9 @@ pub fn cycle_of_cliques(num_cliques: usize, d: usize) -> Result<Graph> {
         });
     }
     if d < 2 {
-        return Err(GraphError::InvalidParameters { reason: "cycle_of_cliques requires d >= 2".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "cycle_of_cliques requires d >= 2".into(),
+        });
     }
     let k = d + 1;
     let n = num_cliques * k;
@@ -216,7 +220,7 @@ pub fn matched_communities<R: Rng + ?Sized>(half_n: usize, d: usize, rng: &mut R
             reason: "matched_communities requires half_n > d".into(),
         });
     }
-    if (half_n * (d - 1)) % 2 != 0 {
+    if !(half_n * (d - 1)).is_multiple_of(2) {
         return Err(GraphError::InvalidParameters {
             reason: "matched_communities requires half_n * (d - 1) to be even".into(),
         });
@@ -234,7 +238,7 @@ pub fn matched_communities<R: Rng + ?Sized>(half_n: usize, d: usize, rng: &mut R
     // Perfect matching across the cut.
     let mut right: Vec<usize> = (half_n..n).collect();
     right.shuffle(rng);
-    for (u, &v) in right.iter().enumerate().map(|(i, v)| (i, v)) {
+    for (u, &v) in right.iter().enumerate() {
         builder.add_edge(u, v)?;
     }
     Ok(builder.build())

@@ -78,7 +78,11 @@ impl Graph {
     pub(crate) fn from_csr(offsets: Vec<usize>, adjacency: Vec<u32>, num_edges: usize) -> Self {
         debug_assert_eq!(*offsets.last().unwrap_or(&0), adjacency.len());
         debug_assert_eq!(adjacency.len(), 2 * num_edges);
-        Graph { offsets, adjacency, num_edges }
+        Graph {
+            offsets,
+            adjacency,
+            num_edges,
+        }
     }
 
     /// Number of vertices `n`.
@@ -134,14 +138,56 @@ impl Graph {
     ///
     /// This is the primitive used by every protocol in the workspace: `push`,
     /// `push-pull` and the random-walk agents all move to a uniform neighbor.
+    /// It sits on the innermost simulation loop, so the adjacency read skips
+    /// bounds checks (safe by the CSR invariant `offsets[u] + i < offsets[u+1]
+    /// <= adjacency.len()`, which [`Graph::validate`] and the builder
+    /// establish).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.num_vertices()`.
     #[inline]
+    #[allow(unsafe_code)]
     pub fn random_neighbor<R: Rng + ?Sized>(&self, u: VertexId, rng: &mut R) -> Option<VertexId> {
-        let d = self.degree(u);
-        if d == 0 {
+        let start = self.offsets[u];
+        let end = self.offsets[u + 1];
+        if start == end {
             None
         } else {
-            Some(self.neighbor(u, rng.gen_range(0..d)))
+            let i = rng.gen_range(start..end);
+            debug_assert!(i < self.adjacency.len());
+            // SAFETY: start <= i < end <= adjacency.len() (CSR invariant).
+            Some(unsafe { *self.adjacency.get_unchecked(i) } as VertexId)
         }
+    }
+
+    /// Samples a uniformly random neighbor of a vertex known to have at least
+    /// one neighbor, skipping the isolation branch of
+    /// [`Graph::random_neighbor`]. Intended for hot loops that have already
+    /// established `deg(u) > 0` (e.g. agents placed from the stationary
+    /// distribution, which never sit on isolated vertices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.num_vertices()`; may panic or return an arbitrary
+    /// neighbor-of-someone if `deg(u) == 0` (debug builds assert).
+    #[inline]
+    #[allow(unsafe_code)]
+    pub fn random_neighbor_nonisolated<R: Rng + ?Sized>(
+        &self,
+        u: VertexId,
+        rng: &mut R,
+    ) -> VertexId {
+        let start = self.offsets[u];
+        let end = self.offsets[u + 1];
+        debug_assert!(
+            start < end,
+            "random_neighbor_nonisolated on isolated vertex {u}"
+        );
+        let i = rng.gen_range(start..end);
+        debug_assert!(i < self.adjacency.len());
+        // SAFETY: start <= i < end <= adjacency.len() (CSR invariant).
+        unsafe { *self.adjacency.get_unchecked(i) as VertexId }
     }
 
     /// Returns `true` if `(u, v)` is an edge. `O(log deg(u))`.
@@ -168,7 +214,11 @@ impl Graph {
     /// assert_eq!(edges, vec![(0, 2), (1, 2)]);
     /// ```
     pub fn edges(&self) -> Edges<'_> {
-        Edges { graph: self, u: 0, i: 0 }
+        Edges {
+            graph: self,
+            u: 0,
+            i: 0,
+        }
     }
 
     /// Minimum degree over all vertices. Returns `None` for the empty graph.
@@ -225,9 +275,14 @@ impl Graph {
     ///
     /// Panics if the graph has no edges (the distribution is undefined).
     pub fn stationary_distribution(&self) -> Vec<f64> {
-        assert!(self.num_edges > 0, "stationary distribution undefined without edges");
+        assert!(
+            self.num_edges > 0,
+            "stationary distribution undefined without edges"
+        );
         let total = self.total_degree() as f64;
-        self.vertices().map(|u| self.degree(u) as f64 / total).collect()
+        self.vertices()
+            .map(|u| self.degree(u) as f64 / total)
+            .collect()
     }
 
     /// Samples a vertex from the stationary distribution (degree-proportional).
@@ -236,7 +291,10 @@ impl Graph {
     ///
     /// Panics if the graph has no edges.
     pub fn sample_stationary<R: Rng + ?Sized>(&self, rng: &mut R) -> VertexId {
-        assert!(self.num_edges > 0, "stationary sampling undefined without edges");
+        assert!(
+            self.num_edges > 0,
+            "stationary sampling undefined without edges"
+        );
         // Sampling a uniform position in the concatenated adjacency array and
         // mapping it back to its owning vertex is exactly degree-proportional.
         let pos = rng.gen_range(0..self.adjacency.len());
@@ -272,7 +330,10 @@ impl Graph {
             let neigh = self.neighbors(u);
             for w in neigh.windows(2) {
                 if w[0] >= w[1] {
-                    return Err(GraphError::DuplicateEdge { u, v: w[1] as usize });
+                    return Err(GraphError::DuplicateEdge {
+                        u,
+                        v: w[1] as usize,
+                    });
                 }
             }
             for &v in neigh {
@@ -426,7 +487,10 @@ mod tests {
             counts[g.sample_stationary(&mut rng)] += 1;
         }
         let center_frac = counts[0] as f64 / trials as f64;
-        assert!((center_frac - 0.5).abs() < 0.02, "center fraction {center_frac}");
+        assert!(
+            (center_frac - 0.5).abs() < 0.02,
+            "center fraction {center_frac}"
+        );
         for &leaf in &counts[1..] {
             let frac = leaf as f64 / trials as f64;
             assert!((frac - 1.0 / 6.0).abs() < 0.02, "leaf fraction {frac}");
@@ -467,7 +531,10 @@ mod tests {
             Graph::from_edges(3, &[(0, 3)]),
             Err(GraphError::VertexOutOfRange { vertex: 3, n: 3 })
         ));
-        assert!(matches!(Graph::from_edges(3, &[(1, 1)]), Err(GraphError::SelfLoop { vertex: 1 })));
+        assert!(matches!(
+            Graph::from_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
         assert!(matches!(
             Graph::from_edges(3, &[(0, 1), (1, 0)]),
             Err(GraphError::DuplicateEdge { .. })

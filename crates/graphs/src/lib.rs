@@ -41,7 +41,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
+// Unsafe is denied by default; the only exception is the bounds-check-free
+// adjacency read in `Graph::random_neighbor{,_nonisolated}` (the innermost
+// simulation loop), which carries its own safety argument.
+#![deny(unsafe_code)]
 
 mod builder;
 mod error;

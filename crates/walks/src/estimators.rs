@@ -35,7 +35,11 @@ impl Estimate {
             samples.iter().map(|&s| s as f64).sum::<f64>() / trials as f64
         };
         let truncated = samples.iter().filter(|&&s| s >= cap).count();
-        Estimate { mean, truncated_fraction: truncated as f64 / trials.max(1) as f64, trials }
+        Estimate {
+            mean,
+            truncated_fraction: truncated as f64 / trials.max(1) as f64,
+            trials,
+        }
     }
 }
 

@@ -41,6 +41,13 @@ pub struct MultiWalk {
     previous: Vec<VertexId>,
     /// `occupants[v]` lists agents currently at `v`.
     occupants: Vec<Vec<AgentId>>,
+    /// Vertices with a nonempty occupant list (no duplicates). Maintaining
+    /// this makes per-step occupancy upkeep O(|A|) instead of O(n + |A|): a
+    /// step only clears the lists that were actually populated, and
+    /// [`MultiWalk::occupied_vertices`] never scans empty vertices.
+    touched: Vec<u32>,
+    /// `touched_flags[v]` ⇔ `v ∈ touched`.
+    touched_flags: Vec<bool>,
     config: WalkConfig,
     round: u64,
 }
@@ -71,12 +78,20 @@ impl MultiWalk {
     /// Panics if a position is out of range.
     pub fn from_positions(graph: &Graph, positions: Vec<VertexId>, config: WalkConfig) -> Self {
         let n = graph.num_vertices();
-        let mut occupants = vec![Vec::new(); n];
-        for (agent, &v) in positions.iter().enumerate() {
+        for &v in &positions {
             assert!(v < n, "agent position {v} out of range");
-            occupants[v].push(agent);
         }
-        MultiWalk { previous: positions.clone(), positions, occupants, config, round: 0 }
+        let mut walk = MultiWalk {
+            previous: positions.clone(),
+            positions,
+            occupants: vec![Vec::new(); n],
+            touched: Vec::new(),
+            touched_flags: vec![false; n],
+            config,
+            round: 0,
+        };
+        walk.fill_occupancy();
+        walk
     }
 
     /// Number of agents.
@@ -137,7 +152,11 @@ impl MultiWalk {
     /// paper's tweaked processes: the number of agents currently sitting on
     /// *neighbors* of `u` (i.e. the agents that could visit `u` next round).
     pub fn neighborhood_occupancy(&self, graph: &Graph, u: VertexId) -> usize {
-        graph.neighbors(u).iter().map(|&v| self.occupancy(v as usize)).sum()
+        graph
+            .neighbors(u)
+            .iter()
+            .map(|&v| self.occupancy(v as usize))
+            .sum()
     }
 
     /// Advances every agent by one synchronous step and increments the round
@@ -145,18 +164,44 @@ impl MultiWalk {
     ///
     /// Agents on isolated vertices never move.
     pub fn step<R: Rng + ?Sized>(&mut self, graph: &Graph, rng: &mut R) {
+        self.step_counting(graph, rng);
+    }
+
+    /// Advances every agent by one synchronous step (exactly like
+    /// [`MultiWalk::step`]) and returns the number of agents that traversed an
+    /// edge, i.e. whose position changed.
+    ///
+    /// This fuses the protocols' message-accounting pass into the movement
+    /// loop, saving one full iteration over the agents per round.
+    pub fn step_counting<R: Rng + ?Sized>(&mut self, graph: &Graph, rng: &mut R) -> u64 {
         let laziness = self.config.laziness();
         std::mem::swap(&mut self.previous, &mut self.positions);
         // `previous` now holds the positions before this step; recompute
         // `positions` from it.
-        for agent in 0..self.previous.len() {
-            let at = self.previous[agent];
-            let stay = laziness > 0.0 && rng.gen_bool(laziness);
-            let next = if stay { at } else { graph.random_neighbor(at, rng).unwrap_or(at) };
-            self.positions[agent] = next;
+        let mut moves = 0u64;
+        if laziness > 0.0 {
+            for agent in 0..self.previous.len() {
+                let at = self.previous[agent];
+                let next = if rng.gen_bool(laziness) {
+                    at
+                } else {
+                    graph.random_neighbor(at, rng).unwrap_or(at)
+                };
+                moves += u64::from(next != at);
+                self.positions[agent] = next;
+            }
+        } else {
+            for agent in 0..self.previous.len() {
+                let at = self.previous[agent];
+                let next = graph.random_neighbor(at, rng).unwrap_or(at);
+                moves += u64::from(next != at);
+                self.positions[agent] = next;
+            }
         }
-        self.rebuild_occupancy();
+        self.clear_occupancy();
+        self.fill_occupancy();
         self.round += 1;
+        moves
     }
 
     /// Moves a single agent to an explicit vertex (used by tweaked processes
@@ -172,25 +217,42 @@ impl MultiWalk {
             return;
         }
         self.occupants[from].retain(|&a| a != agent);
+        if !self.touched_flags[to] {
+            self.touched_flags[to] = true;
+            self.touched.push(to as u32);
+        }
         self.occupants[to].push(agent);
         self.positions[agent] = to;
     }
 
     /// Iterates over `(vertex, agents_here)` pairs for vertices with at least
-    /// one agent.
+    /// one agent, in O(occupied vertices) — empty vertices are never visited.
+    ///
+    /// The iteration order is unspecified (it follows the internal touched
+    /// list, not ascending vertex ids).
     pub fn occupied_vertices(&self) -> impl Iterator<Item = (VertexId, &[AgentId])> {
-        self.occupants
+        self.touched
             .iter()
-            .enumerate()
+            .map(|&v| (v as VertexId, self.occupants[v as usize].as_slice()))
             .filter(|(_, agents)| !agents.is_empty())
-            .map(|(v, agents)| (v, agents.as_slice()))
     }
 
-    fn rebuild_occupancy(&mut self) {
-        for list in &mut self.occupants {
-            list.clear();
+    /// Clears exactly the occupant lists that are currently populated.
+    fn clear_occupancy(&mut self) {
+        for &v in &self.touched {
+            self.occupants[v as usize].clear();
+            self.touched_flags[v as usize] = false;
         }
+        self.touched.clear();
+    }
+
+    /// Rebuilds occupant lists and the touched list from `positions`.
+    fn fill_occupancy(&mut self) {
         for (agent, &v) in self.positions.iter().enumerate() {
+            if !self.touched_flags[v] {
+                self.touched_flags[v] = true;
+                self.touched.push(v as u32);
+            }
             self.occupants[v].push(agent);
         }
     }
@@ -227,8 +289,7 @@ mod tests {
     fn step_conserves_agents_and_counts_rounds() {
         let g = cycle(10).unwrap();
         let mut r = rng(3);
-        let mut w =
-            MultiWalk::new(&g, 20, &Placement::Stationary, WalkConfig::simple(), &mut r);
+        let mut w = MultiWalk::new(&g, 20, &Placement::Stationary, WalkConfig::simple(), &mut r);
         for round in 1..=50u64 {
             w.step(&g, &mut r);
             assert_eq!(w.round(), round);
@@ -331,7 +392,13 @@ mod tests {
         let g = star(20).unwrap();
         let mut r = rng(23);
         let agents = 2000;
-        let mut w = MultiWalk::new(&g, agents, &Placement::Stationary, WalkConfig::lazy(), &mut r);
+        let mut w = MultiWalk::new(
+            &g,
+            agents,
+            &Placement::Stationary,
+            WalkConfig::lazy(),
+            &mut r,
+        );
         let mut center_sum = 0usize;
         let rounds = 200;
         for _ in 0..rounds {
@@ -339,6 +406,9 @@ mod tests {
             center_sum += w.occupancy(0);
         }
         let avg_fraction = center_sum as f64 / (rounds * agents) as f64;
-        assert!((avg_fraction - 0.5).abs() < 0.05, "center fraction {avg_fraction}");
+        assert!(
+            (avg_fraction - 0.5).abs() < 0.05,
+            "center fraction {avg_fraction}"
+        );
     }
 }

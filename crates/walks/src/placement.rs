@@ -44,10 +44,11 @@ impl Default for AgentCount {
 }
 
 /// Where the agents start.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub enum Placement {
     /// Each agent starts at an independent sample of the stationary
     /// distribution (the paper's default assumption).
+    #[default]
     Stationary,
     /// Exactly one agent per vertex, in vertex order; the agent count is
     /// forced to `n`. (The regular-graph results also hold in this model.)
@@ -73,7 +74,12 @@ impl Placement {
     /// Panics if the graph is empty, if [`Placement::AllAt`] names an
     /// out-of-range vertex, if an explicit position is out of range, or if
     /// stationary sampling is requested on a graph with no edges.
-    pub fn sample<R: Rng + ?Sized>(&self, graph: &Graph, count: usize, rng: &mut R) -> Vec<VertexId> {
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
         let n = graph.num_vertices();
         assert!(n > 0, "cannot place agents on an empty graph");
         match self {
@@ -91,12 +97,6 @@ impl Placement {
                 positions.clone()
             }
         }
-    }
-}
-
-impl Default for Placement {
-    fn default() -> Self {
-        Placement::Stationary
     }
 }
 
@@ -123,7 +123,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let starts = Placement::Stationary.sample(&g, 40_000, &mut rng);
         let at_center = starts.iter().filter(|&&v| v == 0).count() as f64 / starts.len() as f64;
-        assert!((at_center - 0.5).abs() < 0.02, "center fraction {at_center}");
+        assert!(
+            (at_center - 0.5).abs() < 0.02,
+            "center fraction {at_center}"
+        );
     }
 
     #[test]
@@ -132,7 +135,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let starts = Placement::UniformRandom.sample(&g, 40_000, &mut rng);
         let at_center = starts.iter().filter(|&&v| v == 0).count() as f64 / starts.len() as f64;
-        assert!((at_center - 0.1).abs() < 0.02, "center fraction {at_center}");
+        assert!(
+            (at_center - 0.1).abs() < 0.02,
+            "center fraction {at_center}"
+        );
     }
 
     #[test]
@@ -147,7 +153,10 @@ mod tests {
     fn all_at_and_explicit() {
         let g = complete(5).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(Placement::AllAt(3).sample(&g, 4, &mut rng), vec![3, 3, 3, 3]);
+        assert_eq!(
+            Placement::AllAt(3).sample(&g, 4, &mut rng),
+            vec![3, 3, 3, 3]
+        );
         let explicit = Placement::Explicit(vec![4, 0, 2]);
         assert_eq!(explicit.sample(&g, 99, &mut rng), vec![4, 0, 2]);
     }

@@ -32,7 +32,11 @@ pub struct RandomWalk {
 impl RandomWalk {
     /// Creates a walk at `start`.
     pub fn new(start: VertexId, config: WalkConfig) -> Self {
-        RandomWalk { position: start, steps: 0, config }
+        RandomWalk {
+            position: start,
+            steps: 0,
+            config,
+        }
     }
 
     /// Current vertex.
@@ -122,7 +126,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut w = RandomWalk::new(0, WalkConfig::lazy());
         let traj = w.trajectory(&g, 200, &mut rng);
-        assert!(traj.windows(2).any(|p| p[0] == p[1]), "lazy walk never stayed put");
+        assert!(
+            traj.windows(2).any(|p| p[0] == p[1]),
+            "lazy walk never stayed put"
+        );
     }
 
     #[test]
@@ -135,7 +142,10 @@ mod tests {
         for &v in &traj {
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "cover of the star incomplete: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "cover of the star incomplete: {seen:?}"
+        );
     }
 
     #[test]

@@ -12,10 +12,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rumor_analysis::Table;
-use rumor_core::{
-    run_to_completion, Protocol, ProtocolOptions, PushPull, VisitExchange,
-};
 use rumor_core::AgentConfig;
+use rumor_core::{run_to_completion, Protocol, ProtocolOptions, PushPull, VisitExchange};
 use rumor_graphs::generators::{double_star, DOUBLE_STAR_CENTER_A, DOUBLE_STAR_CENTER_B};
 use rumor_graphs::GraphError;
 
@@ -31,7 +29,13 @@ fn main() -> Result<(), GraphError> {
 
     let mut table = Table::new(
         "Per-edge traffic (bridge = the center-center edge that gates the broadcast)",
-        &["protocol", "bridge uses/round", "mean edge uses/round", "max/mean", "coeff. of variation"],
+        &[
+            "protocol",
+            "bridge uses/round",
+            "mean edge uses/round",
+            "max/mean",
+            "coeff. of variation",
+        ],
     );
 
     // push-pull: every vertex calls a random neighbor each round.
@@ -47,7 +51,8 @@ fn main() -> Result<(), GraphError> {
         "push-pull".to_string(),
         format!(
             "{:.4}",
-            pp_traffic.count(DOUBLE_STAR_CENTER_A, DOUBLE_STAR_CENTER_B) as f64 / rounds_horizon as f64
+            pp_traffic.count(DOUBLE_STAR_CENTER_A, DOUBLE_STAR_CENTER_B) as f64
+                / rounds_horizon as f64
         ),
         format!("{:.4}", pp_stats.mean_per_round),
         format!("{:.1}", pp_stats.max_to_mean_ratio),
@@ -72,7 +77,8 @@ fn main() -> Result<(), GraphError> {
         "visit-exchange".to_string(),
         format!(
             "{:.4}",
-            vx_traffic.count(DOUBLE_STAR_CENTER_A, DOUBLE_STAR_CENTER_B) as f64 / rounds_horizon as f64
+            vx_traffic.count(DOUBLE_STAR_CENTER_A, DOUBLE_STAR_CENTER_B) as f64
+                / rounds_horizon as f64
         ),
         format!("{:.4}", vx_stats.mean_per_round),
         format!("{:.1}", vx_stats.max_to_mean_ratio),

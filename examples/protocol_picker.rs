@@ -36,20 +36,30 @@ use rumor_graphs::{Graph, VertexId};
 /// in the usage text.
 const FAMILIES: &[(&str, &str)] = &[
     ("star", "one hub, `size` leaves (Fig. 1a)"),
-    ("double-star", "two hubs joined by an edge, `size` leaves each (Fig. 1b)"),
-    ("heavy-tree", "binary tree of depth `size` with a clique on the leaves (Fig. 1c)"),
-    ("siamese", "two heavy binary trees of depth `size` sharing a root (Fig. 1d)"),
+    (
+        "double-star",
+        "two hubs joined by an edge, `size` leaves each (Fig. 1b)",
+    ),
+    (
+        "heavy-tree",
+        "binary tree of depth `size` with a clique on the leaves (Fig. 1c)",
+    ),
+    (
+        "siamese",
+        "two heavy binary trees of depth `size` sharing a root (Fig. 1d)",
+    ),
     ("cycle-stars", "cycle of `size` stars of cliques (Fig. 1e)"),
-    ("regular", "random d-regular graph on `size` vertices, d ≈ 2·log2 n (Theorem 1)"),
+    (
+        "regular",
+        "random d-regular graph on `size` vertices, d ≈ 2·log2 n (Theorem 1)",
+    ),
     ("hypercube", "`size`-dimensional hypercube"),
     ("complete", "complete graph on `size` vertices"),
     ("grid", "`size` × `size` grid"),
 ];
 
 fn usage() -> String {
-    let mut text = String::from(
-        "usage: protocol_picker <family> [size] [trials]\n\nfamilies:\n",
-    );
+    let mut text = String::from("usage: protocol_picker <family> [size] [trials]\n\nfamilies:\n");
     for (name, description) in FAMILIES {
         text.push_str(&format!("  {name:<12} {description}\n"));
     }
@@ -169,8 +179,7 @@ fn main() -> ExitCode {
             messages.push(outcome.total_messages);
         }
         let summary = Summary::of_u64(&rounds);
-        let mean_messages =
-            messages.iter().map(|&m| m as f64).sum::<f64>() / messages.len() as f64;
+        let mean_messages = messages.iter().map(|&m| m as f64).sum::<f64>() / messages.len() as f64;
         table.push_row(&[
             kind.name().to_string(),
             format!("{:.1}", summary.mean),
@@ -178,14 +187,18 @@ fn main() -> ExitCode {
             format!("{:.0}", summary.max),
             format!("{mean_messages:.0}"),
         ]);
-        if best.map_or(true, |(_, b)| summary.mean < b) {
+        if best.is_none_or(|(_, b)| summary.mean < b) {
             best = Some((kind, summary.mean));
         }
     }
     print!("{}", table.to_plain_text());
 
     if let Some((kind, mean)) = best {
-        println!("\nrecommendation: {} (mean {:.1} rounds on this topology)", kind.name(), mean);
+        println!(
+            "\nrecommendation: {} (mean {:.1} rounds on this topology)",
+            kind.name(),
+            mean
+        );
         println!(
             "caveat: the agent-based protocols additionally move {} agents every round; if raw\n\
              message count matters more than rounds, compare the last column too.",

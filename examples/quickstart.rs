@@ -21,7 +21,10 @@ fn main() -> Result<(), GraphError> {
         source
     );
 
-    let mut table = Table::new("One run of each protocol (seed 42)", &["protocol", "rounds", "messages"]);
+    let mut table = Table::new(
+        "One run of each protocol (seed 42)",
+        &["protocol", "rounds", "messages"],
+    );
     for kind in ProtocolKind::ALL {
         // `adapted_to` switches meet-exchange to lazy walks here: the double
         // star is bipartite, and simple walks could be parity-trapped forever.

@@ -1,0 +1,11 @@
+//! Umbrella crate for the `rumor` workspace.
+//!
+//! Re-exports the member crates under short names so examples, integration
+//! tests, and downstream users can depend on a single package. See the
+//! workspace `README.md` for the architecture overview.
+
+pub use rumor_analysis as analysis;
+pub use rumor_core as core;
+pub use rumor_experiments as experiments;
+pub use rumor_graphs as graphs;
+pub use rumor_walks as walks;

@@ -14,8 +14,8 @@ use rumor_experiments::{all_experiment_ids, run_experiment, ExperimentConfig};
 use rumor_graphs::algorithms::{diameter_exact, is_connected, DegreeStats};
 use rumor_graphs::generators::{
     barbell, complete, connected_erdos_renyi, cycle, cycle_of_cliques, double_star, grid,
-    hypercube, lollipop, path, random_regular, star, torus, CycleOfStarsOfCliques,
-    HeavyBinaryTree, SiameseHeavyBinaryTree,
+    hypercube, lollipop, path, random_regular, star, torus, CycleOfStarsOfCliques, HeavyBinaryTree,
+    SiameseHeavyBinaryTree,
 };
 use rumor_walks::{estimators, Placement, RandomWalk, WalkConfig};
 
@@ -35,16 +35,27 @@ fn every_generator_supports_every_protocol() {
         ("hypercube", hypercube(5).unwrap()),
         ("random-regular", random_regular(20, 4, &mut rng).unwrap()),
         ("cycle-of-cliques", cycle_of_cliques(4, 4).unwrap()),
-        ("erdos-renyi", connected_erdos_renyi(20, 0.3, &mut rng).unwrap()),
+        (
+            "erdos-renyi",
+            connected_erdos_renyi(20, 0.3, &mut rng).unwrap(),
+        ),
         ("barbell", barbell(8).unwrap()),
         ("lollipop", lollipop(8, 5).unwrap()),
         ("heavy-tree", HeavyBinaryTree::new(3).unwrap().into_graph()),
-        ("siamese", SiameseHeavyBinaryTree::new(3).unwrap().into_graph()),
-        ("cycle-of-stars", CycleOfStarsOfCliques::new(3).unwrap().into_graph()),
+        (
+            "siamese",
+            SiameseHeavyBinaryTree::new(3).unwrap().into_graph(),
+        ),
+        (
+            "cycle-of-stars",
+            CycleOfStarsOfCliques::new(3).unwrap().into_graph(),
+        ),
     ];
     for (name, graph) in &graphs {
         assert!(is_connected(graph), "{name} is not connected");
-        graph.validate().unwrap_or_else(|e| panic!("{name} failed validation: {e}"));
+        graph
+            .validate()
+            .unwrap_or_else(|e| panic!("{name} failed validation: {e}"));
         for kind in ProtocolKind::ALL {
             let agents = AgentConfig::default().lazy(); // lazy walks work everywhere
             let spec = SimulationSpec::new(kind)
@@ -109,7 +120,12 @@ fn walks_instrumentation_and_analysis_compose() {
     // Analysis over simulated times.
     let times: Vec<u64> = (0..6)
         .map(|seed| {
-            simulate(&graph, 0, &SimulationSpec::new(ProtocolKind::PushPull).with_seed(seed)).rounds
+            simulate(
+                &graph,
+                0,
+                &SimulationSpec::new(ProtocolKind::PushPull).with_seed(seed),
+            )
+            .rounds
         })
         .collect();
     let summary = Summary::of_u64(&times);
@@ -133,8 +149,9 @@ fn placements_differ_on_non_regular_graphs() {
     let mut rng = StdRng::seed_from_u64(8);
     let stationary = Placement::Stationary.sample(&graph, 10_000, &mut rng);
     let uniform = Placement::UniformRandom.sample(&graph, 10_000, &mut rng);
-    let frac_center =
-        |positions: &[usize]| positions.iter().filter(|&&v| v == 0).count() as f64 / positions.len() as f64;
+    let frac_center = |positions: &[usize]| {
+        positions.iter().filter(|&&v| v == 0).count() as f64 / positions.len() as f64
+    };
     assert!(frac_center(&stationary) > 0.4);
     assert!(frac_center(&uniform) < 0.1);
 }

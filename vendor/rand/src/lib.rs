@@ -1,0 +1,448 @@
+//! Vendored, dependency-free subset of the `rand` 0.8 API.
+//!
+//! The build environment for this workspace has no access to a crates
+//! registry, so the `rand` surface the simulator needs is implemented here
+//! from scratch:
+//!
+//! * [`RngCore`] / [`Rng`] / [`SeedableRng`] — the trait vocabulary, with the
+//!   same blanket-impl structure as upstream (`Rng` is implemented for every
+//!   `RngCore`, including unsized `dyn RngCore`).
+//! * [`rngs::StdRng`] — ChaCha12, matching upstream's choice of a
+//!   cryptographically strong but comparatively slow default.
+//! * [`rngs::SmallRng`] — xoshiro256++, the small fast generator the
+//!   simulation engine uses on its hot path.
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates.
+//!
+//! Determinism: all generators here are pure functions of their seed, so any
+//! simulation seeded through [`SeedableRng::seed_from_u64`] is exactly
+//! reproducible. The byte streams are **not** bit-compatible with crates.io
+//! `rand`; only the API is.
+
+#![deny(missing_docs)]
+
+use core::ops::Range;
+
+/// The core of a random number generator: a source of random words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed (expanded
+    /// internally with SplitMix64, so nearby seeds give unrelated streams).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience methods layered on top of [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability must be in [0, 1]"
+        );
+        // 53 random bits give a uniform f64 in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that can be sampled uniformly from a `Range<Self>`.
+pub trait SampleRange: Sized {
+    /// Samples uniformly from `range` using `rng`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Uniform `u64` in `[0, bound)` via Lemire's widening-multiply method with
+/// rejection (unbiased).
+#[inline]
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let mut m = (rng.next_u64() as u128) * (bound as u128);
+    let mut lo = m as u64;
+    if lo < bound {
+        // Threshold = 2^64 mod bound; values below it would be biased.
+        let threshold = bound.wrapping_neg() % bound;
+        while lo < threshold {
+            m = (rng.next_u64() as u128) * (bound as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample from empty range");
+                let width = (range.end as u64).wrapping_sub(range.start as u64);
+                range.start.wrapping_add(bounded_u64(rng, width) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample from empty range");
+                let width = (range.end as i64).wrapping_sub(range.start as i64) as u64;
+                range.start.wrapping_add(bounded_u64(rng, width) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_signed!(i8, i16, i32, i64, isize);
+
+impl SampleRange for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample from empty range");
+        let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleRange for f32 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample from empty range");
+        let unit = ((rng.next_u32() >> 8) as f32) * (1.0 / (1u32 << 24) as f32);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// SplitMix64: seed expander used by [`SeedableRng::seed_from_u64`].
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256++ — the small, fast generator (`rand`'s `SmallRng` role).
+    ///
+    /// ~1 ns per `u64` on modern hardware, 256-bit state, passes BigCrush.
+    /// Not cryptographically secure; ideal for Monte-Carlo simulation.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // An all-zero state is a fixed point; SplitMix64 cannot produce
+            // four zero outputs in a row, but guard anyway.
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// ChaCha12 — the strong-but-slower generator (`rand`'s `StdRng` role).
+    ///
+    /// Kept stream-for-stream deterministic per seed. The simulation engine
+    /// deliberately does *not* use this on its hot path any more; it remains
+    /// the default for code that asks for `StdRng` explicitly (tests, doc
+    /// examples, graph generators at construction time).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        /// 32-byte key expanded from the seed.
+        key: [u32; 8],
+        /// 64-bit block counter.
+        counter: u64,
+        /// Buffered block output.
+        buffer: [u32; 16],
+        /// Next unread word in `buffer` (16 = exhausted).
+        index: usize,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut key = [0u32; 8];
+            for pair in key.chunks_exact_mut(2) {
+                let w = splitmix64(&mut sm);
+                pair[0] = w as u32;
+                pair[1] = (w >> 32) as u32;
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buffer: [0; 16],
+                index: 16,
+            }
+        }
+    }
+
+    impl StdRng {
+        #[inline]
+        fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+            state[a] = state[a].wrapping_add(state[b]);
+            state[d] = (state[d] ^ state[a]).rotate_left(16);
+            state[c] = state[c].wrapping_add(state[d]);
+            state[b] = (state[b] ^ state[c]).rotate_left(12);
+            state[a] = state[a].wrapping_add(state[b]);
+            state[d] = (state[d] ^ state[a]).rotate_left(8);
+            state[c] = state[c].wrapping_add(state[d]);
+            state[b] = (state[b] ^ state[c]).rotate_left(7);
+        }
+
+        fn refill(&mut self) {
+            const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+            let mut state = [0u32; 16];
+            state[..4].copy_from_slice(&SIGMA);
+            state[4..12].copy_from_slice(&self.key);
+            state[12] = self.counter as u32;
+            state[13] = (self.counter >> 32) as u32;
+            // state[14], state[15]: zero nonce.
+            let input = state;
+            for _ in 0..6 {
+                // Column rounds.
+                Self::quarter_round(&mut state, 0, 4, 8, 12);
+                Self::quarter_round(&mut state, 1, 5, 9, 13);
+                Self::quarter_round(&mut state, 2, 6, 10, 14);
+                Self::quarter_round(&mut state, 3, 7, 11, 15);
+                // Diagonal rounds.
+                Self::quarter_round(&mut state, 0, 5, 10, 15);
+                Self::quarter_round(&mut state, 1, 6, 11, 12);
+                Self::quarter_round(&mut state, 2, 7, 8, 13);
+                Self::quarter_round(&mut state, 3, 4, 9, 14);
+            }
+            for (out, (s, i)) in self.buffer.iter_mut().zip(state.iter().zip(input.iter())) {
+                *out = s.wrapping_add(*i);
+            }
+            self.counter = self.counter.wrapping_add(1);
+            self.index = 0;
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= 16 {
+                self.refill();
+            }
+            let word = self.buffer[self.index];
+            self.index += 1;
+            word
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            lo | (hi << 32)
+        }
+    }
+}
+
+/// Sequence-related helpers (`rand::seq` subset).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension trait providing random operations on slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+
+        let mut d = StdRng::seed_from_u64(7);
+        let mut e = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(d.next_u64(), e.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds_and_uniformity() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            let x = rng.gen_range(0usize..10);
+            counts[x] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 100_000.0;
+            assert!((frac - 0.1).abs() < 0.01, "bucket fraction {frac}");
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let y = rng.gen_range(3u64..4);
+            assert_eq!(y, 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "gen_bool(0.25) fraction {frac}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_through_dyn_rngcore() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let x = dyn_rng.gen_range(0usize..5);
+        assert!(x < 5);
+        let _ = dyn_rng.gen_bool(0.5);
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,18 @@
+//! Vendored serde facade.
+//!
+//! The build environment has no crates registry, so this crate supplies just
+//! enough of serde's surface for the workspace to compile: the
+//! [`Serialize`]/[`Deserialize`] trait *names* and derive macros that expand
+//! to nothing. No serialization functionality is provided (nothing in the
+//! workspace performs serialization at runtime); swapping in real serde later
+//! requires no source changes outside the manifests.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in this facade).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in this facade).
+pub trait Deserialize<'de>: Sized {}

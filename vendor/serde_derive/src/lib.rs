@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace annotates its data types with serde derives so that a real
+//! serde can be dropped in when a crates registry is available; in this
+//! vendored build the derives expand to nothing (no serialization code is
+//! generated and nothing in the workspace calls it).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
