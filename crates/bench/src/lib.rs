@@ -104,6 +104,77 @@ pub fn paper_protocols_lazy() -> Vec<BenchProtocol> {
     ]
 }
 
+pub mod summary {
+    //! Machine-readable bench summaries (`BENCH_walks.json`).
+    //!
+    //! The `hot_path`-family benches append their mean times and speedup
+    //! ratios to one JSON object at the workspace root, so the perf
+    //! trajectory is tracked from run to run without scraping criterion
+    //! output. The file holds one entry per bench key, each on its own line;
+    //! re-running a bench replaces its entry and leaves the others intact.
+    //! (The vendored `serde` is a no-op stand-in, so the format is written
+    //! and merged with plain string handling here.)
+
+    use std::fs;
+    use std::path::PathBuf;
+
+    /// Where the summary lives: `$RUMOR_BENCH_JSON` if set, else
+    /// `BENCH_walks.json` at the workspace root.
+    pub fn bench_json_path() -> PathBuf {
+        std::env::var_os("RUMOR_BENCH_JSON")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_walks.json")
+            })
+    }
+
+    /// Replaces (or appends) `key`'s entry in an existing summary document,
+    /// returning the new document. Entries are kept sorted by key.
+    pub fn merge_summary(existing: &str, key: &str, entry_json: &str) -> String {
+        let mut entries: Vec<(String, String)> = Vec::new();
+        for line in existing.lines() {
+            let trimmed = line.trim();
+            if let Some(rest) = trimmed.strip_prefix('"') {
+                if let Some((k, v)) = rest.split_once("\": ") {
+                    entries.push((k.to_string(), v.trim_end_matches(',').to_string()));
+                }
+            }
+        }
+        entries.retain(|(k, _)| k != key);
+        entries.push((key.to_string(), entry_json.to_string()));
+        entries.sort();
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in entries.iter().enumerate() {
+            let comma = if i + 1 < entries.len() { "," } else { "" };
+            out.push_str(&format!("  \"{k}\": {v}{comma}\n"));
+        }
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Records one bench's numeric fields under `key`, merging with whatever
+    /// the summary file already holds. Failures to write are reported, not
+    /// fatal (benches must still run in read-only checkouts).
+    pub fn record_summary(key: &str, fields: &[(&str, f64)]) {
+        let entry = format!(
+            "{{{}}}",
+            fields
+                .iter()
+                .map(|(k, v)| format!("\"{k}\": {v:.6}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let path = bench_json_path();
+        let existing = fs::read_to_string(&path).unwrap_or_default();
+        let merged = merge_summary(&existing, key, &entry);
+        match fs::write(&path, merged) {
+            Ok(()) => println!("bench summary recorded in {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +185,25 @@ mod tests {
         assert_eq!(paper_protocols_lazy().len(), 4);
         assert!(paper_protocols_lazy()[2].agents.walk.is_lazy());
         assert!(!paper_protocols()[2].agents.walk.is_lazy());
+    }
+
+    #[test]
+    fn summary_merge_replaces_in_place_and_sorts() {
+        let empty = summary::merge_summary("", "b_bench", "{\"speedup\": 10.0}");
+        assert_eq!(empty, "{\n  \"b_bench\": {\"speedup\": 10.0}\n}\n");
+        let two = summary::merge_summary(&empty, "a_bench", "{\"speedup\": 2.0}");
+        assert_eq!(
+            two,
+            "{\n  \"a_bench\": {\"speedup\": 2.0},\n  \"b_bench\": {\"speedup\": 10.0}\n}\n"
+        );
+        let replaced = summary::merge_summary(&two, "b_bench", "{\"speedup\": 12.5}");
+        assert!(replaced.contains("\"b_bench\": {\"speedup\": 12.5}"));
+        assert!(replaced.contains("\"a_bench\": {\"speedup\": 2.0}"));
+        assert_eq!(replaced.matches("b_bench").count(), 1);
+        // Idempotent round-trip: merging the same entry again is a no-op.
+        assert_eq!(
+            summary::merge_summary(&replaced, "b_bench", "{\"speedup\": 12.5}"),
+            replaced
+        );
     }
 }

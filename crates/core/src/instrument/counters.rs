@@ -107,7 +107,7 @@ impl CCounterTrace {
         c_current[source] = 0;
         c_at_information[source] = 0;
         for &agent in walks.agents_at(source) {
-            informed_agents.insert(agent);
+            informed_agents.insert(agent as usize);
         }
 
         let mut max_visits = walks.occupancy_counts().into_iter().max().unwrap_or(0);

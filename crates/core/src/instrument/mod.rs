@@ -14,11 +14,11 @@
 //!
 //! This module makes all three measurable:
 //!
-//! * [`CCounterTrace`](counters::CCounterTrace) runs an instrumented
+//! * [`CCounterTrace`] runs an instrumented
 //!   `visit-exchange` and records `t_u`, `C_u(t_u)`, the maximum visit count
 //!   and the extreme neighborhood occupancies (so the `Θ(d)` assumptions of
 //!   the tweaked processes can be checked empirically).
-//! * [`CoupledRun`](coupling::CoupledRun) executes `push` and
+//! * [`CoupledRun`] executes `push` and
 //!   `visit-exchange` under the coupling of Section 5.1 and verifies
 //!   Lemma 13 (`τ_u ≤ C_u(t_u)` for every vertex) on the sampled execution.
 

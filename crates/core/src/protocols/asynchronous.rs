@@ -3,7 +3,7 @@
 //! Section 2 of the paper surveys the line of work comparing synchronous and
 //! asynchronous rumor spreading: in the asynchronous model every vertex holds
 //! an independent unit-rate Poisson clock and acts (pushes, or push-pulls)
-//! whenever its clock rings. Sauerwald [41] shows asynchronous `push` matches
+//! whenever its clock rings. Sauerwald \[41\] shows asynchronous `push` matches
 //! synchronous `push` on regular graphs, and Giakkoupis–Nazari–Woelfel [27]
 //! give tight bounds for asynchronous `push-pull`.
 //!
@@ -185,7 +185,7 @@ macro_rules! async_protocol {
 async_protocol!(
     /// Asynchronous `push`: every vertex pushes to a random neighbor whenever
     /// its unit-rate Poisson clock rings; [`Protocol::round`] counts elapsed
-    /// time units (n activations each). Sauerwald [41] shows this matches
+    /// time units (n activations each). Sauerwald \[41\] shows this matches
     /// synchronous `push` on regular graphs.
     AsyncPush,
     AsyncRule::Push,
@@ -195,7 +195,7 @@ async_protocol!(
 async_protocol!(
     /// Asynchronous `push-pull`: every vertex exchanges with a random neighbor
     /// whenever its Poisson clock rings; studied by Acan et al. and
-    /// Giakkoupis–Nazari–Woelfel [27] (cited in Section 2 of the paper).
+    /// Giakkoupis–Nazari–Woelfel \[27\] (cited in Section 2 of the paper).
     AsyncPushPull,
     AsyncRule::PushPull,
     "async-push-pull"

@@ -6,7 +6,7 @@
 use rand::{Rng, RngCore};
 
 use rumor_graphs::{Graph, VertexId};
-use rumor_walks::MultiWalk;
+use rumor_walks::{AgentId, MultiWalk, UninformedFrontier};
 
 use crate::metrics::EdgeTraffic;
 use crate::options::{AgentConfig, ProtocolOptions};
@@ -52,7 +52,8 @@ pub struct PushPullVisitExchange<'g> {
     /// Boundary tracker for the push-pull phase (also updated when agents
     /// inform vertices in phase B, which moves the boundary).
     frontier: PushPullFrontier,
-    informed_agents: InformedSet,
+    /// Uninformed-agent frontier for the visit-exchange phase.
+    agents: UninformedFrontier,
     /// Reusable per-round buffer (vertices in phase A, agents in phase B).
     newly_informed: Vec<u32>,
     round: u64,
@@ -82,9 +83,9 @@ impl<'g> PushPullVisitExchange<'g> {
         let mut frontier = PushPullFrontier::new(graph);
         informed_vertices.insert(source);
         frontier.on_informed(graph, source, &informed_vertices);
-        let mut informed_agents = InformedSet::new(walks.num_agents());
+        let mut agent_frontier = UninformedFrontier::new(walks.num_agents());
         for &agent in walks.agents_at(source) {
-            informed_agents.insert(agent);
+            agent_frontier.mark_informed(agent as AgentId);
         }
         PushPullVisitExchange {
             graph,
@@ -92,7 +93,7 @@ impl<'g> PushPullVisitExchange<'g> {
             walks,
             informed_vertices,
             frontier,
-            informed_agents,
+            agents: agent_frontier,
             newly_informed: Vec::new(),
             round: 0,
             messages_total: 0,
@@ -153,43 +154,51 @@ impl<'g> PushPullVisitExchange<'g> {
             }
         }
 
-        // Phase B: visit-exchange. Agents walk one step; agents informed in a
-        // previous round inform the vertices they visit; agents standing on an
-        // informed vertex (including vertices informed this round) learn.
-        messages += if let Some(traffic) = self.edge_traffic.as_mut() {
-            self.walks.step(graph, rng);
-            let mut moves = 0u64;
-            for agent in 0..self.walks.num_agents() {
-                let from = self.walks.previous_position(agent);
-                let to = self.walks.position(agent);
-                if from != to {
-                    moves += 1;
-                    traffic.record(from, to);
+        // Phase B: visit-exchange. Agents walk one step (movement, message
+        // accounting and per-vertex informed-agent counts fused); uninformed
+        // vertices visited by a previously-informed agent become informed;
+        // uninformed agents standing on an informed vertex (including
+        // vertices informed this round) learn.
+        let track = self.edge_traffic.is_some();
+        messages += self.walks.step_exchange(graph, rng, &self.agents, track);
+        if let Some(traffic) = self.edge_traffic.as_mut() {
+            super::common::record_agent_traffic(&self.walks, traffic);
+        }
+        // Density-adaptive scan, as in `VisitExchange::step_with` phase 1.
+        let walks = &self.walks;
+        {
+            let newly = &mut self.newly_informed;
+            newly.clear();
+            if self.agents.informed_count() < graph.num_vertices() / 8 {
+                self.agents.for_each_informed(|agent| {
+                    newly.push(walks.position(agent) as u32);
+                });
+            } else {
+                for v in self.informed_vertices.zeros() {
+                    if walks.informed_here(v) {
+                        newly.push(v as u32);
+                    }
                 }
             }
-            moves
-        } else {
-            self.walks.step_counting(graph, rng)
-        };
-        let walks = &self.walks;
-        let informed_agents = &self.informed_agents;
-        let informed_vertices = &mut self.informed_vertices;
-        let frontier = &mut self.frontier;
-        for &agent in informed_agents.informed() {
-            let position = walks.position(agent as usize);
-            if informed_vertices.insert(position) {
-                frontier.on_informed(graph, position, informed_vertices);
+        }
+        for i in 0..self.newly_informed.len() {
+            let v = self.newly_informed[i] as usize;
+            if self.informed_vertices.insert(v) {
+                self.frontier.on_informed(graph, v, &self.informed_vertices);
             }
         }
         let newly = &mut self.newly_informed;
         newly.clear();
-        for agent in informed_agents.zeros() {
-            if informed_vertices.contains(walks.position(agent)) {
-                newly.push(agent as u32);
-            }
+        {
+            let informed_vertices = &self.informed_vertices;
+            self.agents.for_each_uninformed(|agent| {
+                if informed_vertices.contains(walks.position(agent)) {
+                    newly.push(agent as u32);
+                }
+            });
         }
         for i in 0..self.newly_informed.len() {
-            self.informed_agents.insert(self.newly_informed[i] as usize);
+            self.agents.mark_informed(self.newly_informed[i] as usize);
         }
 
         self.messages_last = messages;
@@ -238,7 +247,7 @@ impl Protocol for PushPullVisitExchange<'_> {
     }
 
     fn informed_agent_count(&self) -> usize {
-        self.informed_agents.count()
+        self.agents.informed_count()
     }
 
     fn num_agents(&self) -> usize {

@@ -2,6 +2,23 @@
 
 use rumor_graphs::VertexId;
 
+/// Records one edge-traffic entry per agent that traversed an edge in the
+/// most recent walk step (shared by every agent-based protocol's
+/// observability path; the step must have been taken with previous-position
+/// tracking enabled).
+pub(crate) fn record_agent_traffic(
+    walks: &rumor_walks::MultiWalk,
+    traffic: &mut crate::metrics::EdgeTraffic,
+) {
+    for agent in 0..walks.num_agents() {
+        let from = walks.previous_position(agent);
+        let to = walks.position(agent);
+        if from != to {
+            traffic.record(from, to);
+        }
+    }
+}
+
 /// A monotone set over a fixed universe `0..n`, engineered for the simulation
 /// hot path:
 ///
@@ -77,6 +94,7 @@ impl InformedSet {
     }
 
     /// The informed items in insertion order (the "frontier list").
+    #[allow(dead_code)] // used in tests; kept for API symmetry
     #[inline]
     pub(crate) fn informed(&self) -> &[u32] {
         &self.dense

@@ -51,9 +51,15 @@ pub struct ChurnVisitExchange<'g> {
     source: VertexId,
     walks: MultiWalk,
     informed_vertices: InformedSet,
-    /// Informed flags indexed by agent slot; reset when the slot is reborn.
-    informed_agents: Vec<bool>,
+    /// Informed flags as bitset words indexed by agent slot (bit cleared when
+    /// the slot is reborn — the set is *not* monotone, so this protocol keeps
+    /// raw words rather than an `UninformedFrontier` and feeds them to
+    /// [`MultiWalk::step_exchange_words`]).
+    informed_agents: Vec<u64>,
     informed_agent_count: usize,
+    /// Reusable per-round buffers: rebirth teleports and newly informed items.
+    rebirths: Vec<(AgentId, VertexId)>,
+    newly_informed: Vec<u32>,
     churn: f64,
     deaths_total: u64,
     round: u64,
@@ -104,10 +110,11 @@ impl<'g> ChurnVisitExchange<'g> {
         let walks = MultiWalk::new(graph, count, &agents.placement, agents.walk, rng);
         let mut informed_vertices = InformedSet::new(graph.num_vertices());
         informed_vertices.insert(source);
-        let mut informed_agents = vec![false; walks.num_agents()];
+        let mut informed_agents = vec![0u64; walks.num_agents().div_ceil(64)];
         let mut informed_agent_count = 0;
         for &agent in walks.agents_at(source) {
-            informed_agents[agent] = true;
+            let agent = agent as usize;
+            informed_agents[agent >> 6] |= 1u64 << (agent & 63);
             informed_agent_count += 1;
         }
         Ok(ChurnVisitExchange {
@@ -117,6 +124,8 @@ impl<'g> ChurnVisitExchange<'g> {
             informed_vertices,
             informed_agents,
             informed_agent_count,
+            rebirths: Vec::new(),
+            newly_informed: Vec::new(),
             churn,
             deaths_total: 0,
             round: 0,
@@ -142,19 +151,23 @@ impl<'g> ChurnVisitExchange<'g> {
 
     /// Whether agent slot `g` currently holds an informed agent.
     pub fn is_agent_informed(&self, g: AgentId) -> bool {
-        self.informed_agents[g]
+        self.informed_agents[g >> 6] & (1u64 << (g & 63)) != 0
     }
 
     fn mark_agent_informed(&mut self, g: AgentId) {
-        if !self.informed_agents[g] {
-            self.informed_agents[g] = true;
+        let word = &mut self.informed_agents[g >> 6];
+        let mask = 1u64 << (g & 63);
+        if *word & mask == 0 {
+            *word |= mask;
             self.informed_agent_count += 1;
         }
     }
 
     fn mark_agent_reborn(&mut self, g: AgentId) {
-        if self.informed_agents[g] {
-            self.informed_agents[g] = false;
+        let word = &mut self.informed_agents[g >> 6];
+        let mask = 1u64 << (g & 63);
+        if *word & mask != 0 {
+            *word &= !mask;
             self.informed_agent_count -= 1;
         }
     }
@@ -162,57 +175,95 @@ impl<'g> ChurnVisitExchange<'g> {
     /// Executes one synchronous round, monomorphized over the RNG (the hot
     /// path used by the engine; [`Protocol::step`] forwards here).
     ///
-    /// The informed-agent flags are *not* monotone under churn (rebirth
-    /// clears them), so this variant keeps plain per-agent flags rather than
-    /// the frontier set, and only fuses the move/message pass.
+    /// The informed-agent set is *not* monotone under churn (rebirth clears
+    /// flags), so this variant keeps raw bitset words and drives the walk
+    /// substrate through [`MultiWalk::step_exchange_words`]; rebirth
+    /// teleports are batched with a deferred occupancy rebuild. Draw order is
+    /// unchanged from the per-agent formulation: a churn draw per agent (and
+    /// a stationary draw per death), then the movement draws.
     pub fn step_with<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.round += 1;
 
         // Churn phase: each agent dies independently; its slot is reborn as an
-        // uninformed agent at a fresh stationary-random vertex.
+        // uninformed agent at a fresh stationary-random vertex. Position
+        // updates are batched — the draws do not depend on positions.
         if self.churn > 0.0 {
+            self.rebirths.clear();
             for agent in 0..self.walks.num_agents() {
                 if rng.gen_bool(self.churn) {
                     self.deaths_total += 1;
                     self.mark_agent_reborn(agent);
                     let rebirth = self.graph.sample_stationary(rng);
-                    self.walks.teleport(agent, rebirth);
+                    self.rebirths.push((agent, rebirth));
                 }
             }
+            let rebirths = std::mem::take(&mut self.rebirths);
+            self.walks.teleport_many(&rebirths);
+            self.rebirths = rebirths;
         }
 
-        // Walk phase (identical to visit-exchange).
-        let moves = if let Some(traffic) = self.edge_traffic.as_mut() {
-            self.walks.step(self.graph, rng);
-            let mut moves = 0u64;
-            for agent in 0..self.walks.num_agents() {
-                let from = self.walks.previous_position(agent);
-                let to = self.walks.position(agent);
-                if from != to {
-                    moves += 1;
-                    traffic.record(from, to);
-                }
-            }
-            moves
-        } else {
-            self.walks.step_counting(self.graph, rng)
-        };
+        // Walk phase (identical to visit-exchange): movement, message count,
+        // and per-vertex informed-agent counts in one fused pass.
+        let track = self.edge_traffic.is_some();
+        let moves = self
+            .walks
+            .step_exchange_words(self.graph, rng, &self.informed_agents, track);
+        if let Some(traffic) = self.edge_traffic.as_mut() {
+            super::common::record_agent_traffic(&self.walks, traffic);
+        }
         self.messages_last = moves;
         self.messages_total += moves;
 
-        // Exchange phase: previously informed agents inform vertices, then
-        // agents standing on informed vertices become informed.
-        for agent in 0..self.walks.num_agents() {
-            if self.informed_agents[agent] {
-                self.informed_vertices.insert(self.walks.position(agent));
+        // Exchange phase: uninformed vertices visited by a previously
+        // informed agent become informed (density-adaptive scan, as in
+        // `VisitExchange::step_with` phase 1), then uninformed agents
+        // standing on informed vertices become informed.
+        let walks = &self.walks;
+        {
+            let newly = &mut self.newly_informed;
+            newly.clear();
+            if self.informed_agent_count < self.graph.num_vertices() / 8 {
+                for (word_idx, &word) in self.informed_agents.iter().enumerate() {
+                    let mut ones = word;
+                    while ones != 0 {
+                        let agent = (word_idx << 6) + ones.trailing_zeros() as usize;
+                        ones &= ones - 1;
+                        newly.push(walks.position(agent) as u32);
+                    }
+                }
+            } else {
+                for v in self.informed_vertices.zeros() {
+                    if walks.informed_here(v) {
+                        newly.push(v as u32);
+                    }
+                }
             }
         }
-        for agent in 0..self.walks.num_agents() {
-            if !self.informed_agents[agent]
-                && self.informed_vertices.contains(self.walks.position(agent))
-            {
-                self.mark_agent_informed(agent);
+        for i in 0..self.newly_informed.len() {
+            self.informed_vertices
+                .insert(self.newly_informed[i] as usize);
+        }
+        {
+            let newly = &mut self.newly_informed;
+            newly.clear();
+            let informed_vertices = &self.informed_vertices;
+            let num_agents = walks.num_agents();
+            for (word_idx, &word) in self.informed_agents.iter().enumerate() {
+                let mut zeros = !word;
+                while zeros != 0 {
+                    let agent = (word_idx << 6) + zeros.trailing_zeros() as usize;
+                    zeros &= zeros - 1;
+                    if agent >= num_agents {
+                        break;
+                    }
+                    if informed_vertices.contains(walks.position(agent)) {
+                        newly.push(agent as u32);
+                    }
+                }
             }
+        }
+        for i in 0..self.newly_informed.len() {
+            self.mark_agent_informed(self.newly_informed[i] as usize);
         }
     }
 }

@@ -3,12 +3,11 @@
 use rand::{Rng, RngCore};
 
 use rumor_graphs::{Graph, VertexId};
-use rumor_walks::{AgentId, MultiWalk};
+use rumor_walks::{AgentId, MultiWalk, UninformedFrontier};
 
 use crate::metrics::EdgeTraffic;
 use crate::options::{AgentConfig, ProtocolOptions};
 use crate::protocol::{FastStep, Protocol};
-use crate::protocols::common::InformedSet;
 
 /// The `meet-exchange` protocol of Section 3 of the paper:
 ///
@@ -49,7 +48,9 @@ pub struct MeetExchange<'g> {
     graph: &'g Graph,
     source: VertexId,
     walks: MultiWalk,
-    informed_agents: InformedSet,
+    /// Uninformed-agent frontier: bitset + dense list of the agents still to
+    /// inform; completion is `agents.is_complete()`.
+    agents: UninformedFrontier,
     /// Reusable per-round buffer of agents that learned this round.
     newly_informed: Vec<u32>,
     /// `true` while the source vertex still holds the rumor (i.e. no agent has
@@ -79,16 +80,16 @@ impl<'g> MeetExchange<'g> {
         assert!(source < graph.num_vertices(), "source out of range");
         let count = agents.count.resolve(graph.num_vertices());
         let walks = MultiWalk::new(graph, count, &agents.placement, agents.walk, rng);
-        let mut informed_agents = InformedSet::new(walks.num_agents());
+        let mut frontier = UninformedFrontier::new(walks.num_agents());
         for &agent in walks.agents_at(source) {
-            informed_agents.insert(agent);
+            frontier.mark_informed(agent as AgentId);
         }
-        let source_active = informed_agents.count() == 0;
+        let source_active = frontier.informed_count() == 0;
         MeetExchange {
             graph,
             source,
             walks,
-            informed_agents,
+            agents: frontier,
             newly_informed: Vec::new(),
             source_active,
             round: 0,
@@ -109,7 +110,7 @@ impl<'g> MeetExchange<'g> {
 
     /// Whether agent `g` is informed.
     pub fn is_agent_informed(&self, g: AgentId) -> bool {
-        self.informed_agents.contains(g)
+        self.agents.is_informed(g)
     }
 
     /// `true` while no agent has picked the rumor up from the source yet.
@@ -120,63 +121,65 @@ impl<'g> MeetExchange<'g> {
     /// Executes one synchronous round, monomorphized over the RNG (the hot
     /// path used by the engine; [`Protocol::step`] forwards here).
     ///
-    /// Message accounting is fused into the walk step, and the meeting scan
-    /// visits only *occupied* vertices (the walk substrate tracks them), so a
-    /// round costs O(|A|) rather than O(n + |A|).
+    /// Movement, message accounting, and the informed-here vertex bitset are
+    /// fused into one O(|A|) pass ([`MultiWalk::step_exchange`], reading the
+    /// frontier's agent bitset as it stood at the start of the round —
+    /// exactly the agents "informed in a previous round"). The meeting scan
+    /// then visits only the *uninformed* agents (dense frontier list): agent
+    /// `g` meets an informed agent iff its vertex's informed-here bit is
+    /// set, an O(1) test — so the exchange phase costs O(|uninformed|), not
+    /// O(|A|).
     pub fn step_with<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.round += 1;
-        let moves = if let Some(traffic) = self.edge_traffic.as_mut() {
-            self.walks.step(self.graph, rng);
-            let mut moves = 0u64;
-            for agent in 0..self.walks.num_agents() {
-                let from = self.walks.previous_position(agent);
-                let to = self.walks.position(agent);
-                if from != to {
-                    moves += 1;
-                    traffic.record(from, to);
-                }
-            }
-            moves
-        } else {
-            self.walks.step_counting(self.graph, rng)
-        };
+        let track = self.edge_traffic.is_some();
+        let moves = self
+            .walks
+            .step_exchange(self.graph, rng, &self.agents, track);
+        if let Some(traffic) = self.edge_traffic.as_mut() {
+            super::common::record_agent_traffic(&self.walks, traffic);
+        }
         self.messages_last = moves;
         self.messages_total += moves;
 
-        // Agents informed strictly before this round spread at meetings; the
-        // `informed_agents` set has not been updated yet this round, so it is
-        // exactly the previous-round set. Newly informed agents are buffered.
         let walks = &self.walks;
-        let informed = &self.informed_agents;
         let newly = &mut self.newly_informed;
         newly.clear();
 
-        // Source pickup: the first agents to visit `s` become informed.
+        // One scan over the *uninformed* agents (dense frontier list) covers
+        // both rules. While the source is active no agent is informed yet, so
+        // the meeting test is vacuous and the scan doubles as the visitor
+        // search: every agent standing on `s` picks the rumor up, all
+        // simultaneous visitors alike. After pickup, an uninformed agent
+        // becomes informed iff an agent informed in a previous round landed
+        // on its vertex (O(1) bitset test).
         if self.source_active {
-            let visitors = walks.agents_at(self.source);
-            if !visitors.is_empty() {
-                newly.extend(visitors.iter().map(|&g| g as u32));
+            let source = self.source;
+            self.agents.for_each_uninformed(|agent| {
+                if walks.position(agent) == source {
+                    newly.push(agent as u32);
+                }
+            });
+            if !newly.is_empty() {
                 self.source_active = false;
             }
-        }
-
-        // Meetings: on every vertex holding at least one previously-informed
-        // agent, all co-located agents become informed.
-        for (_, agents_here) in walks.occupied_vertices() {
-            if agents_here.len() < 2 {
-                continue;
-            }
-            if agents_here.iter().any(|&g| informed.contains(g)) {
-                for &g in agents_here {
-                    if !informed.contains(g) {
-                        newly.push(g as u32);
-                    }
-                }
-            }
+        } else {
+            // Branchless compaction: mid-broadcast the meeting test is true
+            // for an unpredictable ~half of the uninformed agents, so an
+            // `if { push }` would mispredict constantly. Write every agent
+            // id into the scratch slot and advance the cursor by the test
+            // result instead. One scratch slot per uninformed agent keeps
+            // the pass O(|uninformed|).
+            newly.resize(self.agents.uninformed().len(), 0);
+            let mut hits = 0usize;
+            self.agents.for_each_uninformed(|agent| {
+                newly[hits] = agent as u32;
+                hits += usize::from(walks.informed_here(walks.position(agent)));
+            });
+            newly.truncate(hits);
         }
 
         for i in 0..self.newly_informed.len() {
-            self.informed_agents.insert(self.newly_informed[i] as usize);
+            self.agents.mark_informed(self.newly_informed[i] as usize);
         }
     }
 }
@@ -210,7 +213,7 @@ impl Protocol for MeetExchange<'_> {
     }
 
     fn is_complete(&self) -> bool {
-        self.informed_agents.is_full()
+        self.agents.is_complete()
     }
 
     fn is_vertex_informed(&self, v: VertexId) -> bool {
@@ -222,7 +225,7 @@ impl Protocol for MeetExchange<'_> {
     }
 
     fn informed_agent_count(&self) -> usize {
-        self.informed_agents.count()
+        self.agents.informed_count()
     }
 
     fn num_agents(&self) -> usize {

@@ -19,7 +19,7 @@ use crate::protocols::common::{InformedSet, PullFrontier};
 ///
 /// Only uninformed vertices act, and only pulls by vertices with an informed
 /// neighbor can succeed — so the hot path iterates just that boundary (see
-/// [`PullFrontier`]), counting the hopeless pollers' messages arithmetically.
+/// `PullFrontier`), counting the hopeless pollers' messages arithmetically.
 /// With [`ProtocolOptions::record_edge_traffic`] enabled every poller's draw
 /// is realized, which is also the mode that is draw-for-draw identical to a
 /// naive full `0..n` scan.

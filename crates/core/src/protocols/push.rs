@@ -18,7 +18,7 @@ use crate::protocols::common::{InformedSet, PushFrontier};
 ///
 /// Only informed vertices act, and only pushes from informed vertices with an
 /// uninformed neighbor can change the state — so the hot path iterates just
-/// that boundary (see [`PushFrontier`]), counting the saturated vertices'
+/// that boundary (see `PushFrontier`), counting the saturated vertices'
 /// messages arithmetically. With
 /// [`ProtocolOptions::record_edge_traffic`] enabled every sender's draw is
 /// realized (per-edge traffic must observe it), which is also the mode that

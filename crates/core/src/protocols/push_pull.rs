@@ -84,7 +84,7 @@ impl<'g> PushPull<'g> {
     /// In push-pull every vertex calls a neighbor each round, but only calls
     /// incident to the informed/uninformed edge boundary can change the state
     /// — so the hot path iterates just that boundary (see
-    /// [`PushPullFrontier`]) and accounts the remaining messages
+    /// `PushPullFrontier`) and accounts the remaining messages
     /// arithmetically. With `record_edge_traffic` enabled every vertex's draw
     /// is realized (draw-for-draw identical to a naive full scan).
     pub fn step_with<R: Rng + ?Sized>(&mut self, rng: &mut R) {

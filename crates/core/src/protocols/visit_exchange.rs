@@ -3,7 +3,7 @@
 use rand::{Rng, RngCore};
 
 use rumor_graphs::{Graph, VertexId};
-use rumor_walks::{AgentId, MultiWalk};
+use rumor_walks::{AgentId, MultiWalk, UninformedFrontier};
 
 use crate::metrics::EdgeTraffic;
 use crate::options::{AgentConfig, ProtocolOptions};
@@ -49,8 +49,10 @@ pub struct VisitExchange<'g> {
     source: VertexId,
     walks: MultiWalk,
     informed_vertices: InformedSet,
-    informed_agents: InformedSet,
-    /// Reusable per-round buffer of agents that learned this round.
+    /// Uninformed-agent frontier: bitset + dense list of the agents still to
+    /// inform; also the informed snapshot [`MultiWalk::step_exchange`] reads.
+    agents: UninformedFrontier,
+    /// Reusable per-round buffer (vertices in phase 1, agents in phase 2).
     newly_informed: Vec<u32>,
     round: u64,
     messages_total: u64,
@@ -78,16 +80,16 @@ impl<'g> VisitExchange<'g> {
         let walks = MultiWalk::new(graph, count, &agents.placement, agents.walk, rng);
         let mut informed_vertices = InformedSet::new(graph.num_vertices());
         informed_vertices.insert(source);
-        let mut informed_agents = InformedSet::new(walks.num_agents());
+        let mut frontier = UninformedFrontier::new(walks.num_agents());
         for &agent in walks.agents_at(source) {
-            informed_agents.insert(agent);
+            frontier.mark_informed(agent as AgentId);
         }
         VisitExchange {
             graph,
             source,
             walks,
             informed_vertices,
-            informed_agents,
+            agents: frontier,
             newly_informed: Vec::new(),
             round: 0,
             messages_total: 0,
@@ -107,59 +109,74 @@ impl<'g> VisitExchange<'g> {
 
     /// Whether agent `g` is informed.
     pub fn is_agent_informed(&self, g: AgentId) -> bool {
-        self.informed_agents.contains(g)
+        self.agents.is_informed(g)
     }
 
     /// Executes one synchronous round, monomorphized over the RNG (the hot
     /// path used by the engine; [`Protocol::step`] forwards here).
     ///
-    /// The naive implementation walked the agents, then made three more full
-    /// passes over them (message accounting, informed-agents-inform-vertices,
-    /// agents-learn-from-vertices). Here message accounting is fused into the
-    /// walk step, the inform pass touches only the *informed* agents (dense
-    /// list), and the learn pass touches only the *uninformed* agents
-    /// (complement iteration) — one full pass total.
+    /// The walk step fuses movement, message accounting, and the
+    /// informed-here vertex bitset into one O(|A|) pass
+    /// ([`MultiWalk::step_exchange`], reading the frontier's agent bitset as
+    /// it stood at the start of the round — exactly the "informed in a
+    /// previous round" set). The exchange phases then touch only the
+    /// *uninformed* sides: uninformed vertices with an informed visitor
+    /// become informed (O(1) bitset test), and uninformed agents (dense
+    /// frontier list) standing on an informed vertex learn.
     pub fn step_with<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.round += 1;
         // Move all agents; one message per traversed edge.
-        let moves = if let Some(traffic) = self.edge_traffic.as_mut() {
-            self.walks.step(self.graph, rng);
-            let mut moves = 0u64;
-            for agent in 0..self.walks.num_agents() {
-                let from = self.walks.previous_position(agent);
-                let to = self.walks.position(agent);
-                if from != to {
-                    moves += 1;
-                    traffic.record(from, to);
-                }
-            }
-            moves
-        } else {
-            self.walks.step_counting(self.graph, rng)
-        };
+        let track = self.edge_traffic.is_some();
+        let moves = self
+            .walks
+            .step_exchange(self.graph, rng, &self.agents, track);
+        if let Some(traffic) = self.edge_traffic.as_mut() {
+            super::common::record_agent_traffic(&self.walks, traffic);
+        }
         self.messages_last = moves;
         self.messages_total += moves;
 
-        // Phase 1: agents informed in a *previous* round inform the vertices
-        // they visit this round. (`informed_agents` has not yet been updated
-        // this round, so its dense list is exactly the previous-round set.)
+        // Phase 1: vertices visited by an agent informed in a *previous*
+        // round become informed. Two equivalent scans, chosen by density:
+        // while informed agents are sparse relative to the graph, walk them
+        // and insert their positions (O(|A|/64 + informed)); once they are
+        // plentiful, scan the uninformed vertices against the fused
+        // informed-here bitset (O(n/64 + uninformed), O(1) per test). Both
+        // produce the identical newly-informed vertex set.
         let walks = &self.walks;
-        let informed_agents = &self.informed_agents;
-        let informed_vertices = &mut self.informed_vertices;
-        for &agent in informed_agents.informed() {
-            informed_vertices.insert(walks.position(agent as usize));
+        let n = self.graph.num_vertices();
+        if self.agents.informed_count() < n / 8 {
+            let informed_vertices = &mut self.informed_vertices;
+            self.agents.for_each_informed(|agent| {
+                informed_vertices.insert(walks.position(agent));
+            });
+        } else {
+            let newly = &mut self.newly_informed;
+            newly.clear();
+            for v in self.informed_vertices.zeros() {
+                if walks.informed_here(v) {
+                    newly.push(v as u32);
+                }
+            }
+            for i in 0..self.newly_informed.len() {
+                self.informed_vertices
+                    .insert(self.newly_informed[i] as usize);
+            }
         }
         // Phase 2: uninformed agents visiting an informed vertex (informed in
         // a previous round or in phase 1 of this round) become informed.
         let newly = &mut self.newly_informed;
         newly.clear();
-        for agent in informed_agents.zeros() {
-            if informed_vertices.contains(walks.position(agent)) {
-                newly.push(agent as u32);
-            }
+        {
+            let informed_vertices = &self.informed_vertices;
+            self.agents.for_each_uninformed(|agent| {
+                if informed_vertices.contains(walks.position(agent)) {
+                    newly.push(agent as u32);
+                }
+            });
         }
         for i in 0..self.newly_informed.len() {
-            self.informed_agents.insert(self.newly_informed[i] as usize);
+            self.agents.mark_informed(self.newly_informed[i] as usize);
         }
     }
 }
@@ -205,7 +222,7 @@ impl Protocol for VisitExchange<'_> {
     }
 
     fn informed_agent_count(&self) -> usize {
-        self.informed_agents.count()
+        self.agents.informed_count()
     }
 
     fn num_agents(&self) -> usize {

@@ -23,6 +23,16 @@
 //!
 //! Both implementations visit vertices in ascending order, which is what
 //! makes the RNG streams comparable at all.
+//!
+//! The agent-based protocols are pinned the same way (see the
+//! `agent_substrate` module): the flat counting-sort walk engine, the
+//! per-vertex neighbor-sampler words, and the uninformed-frontier exchange
+//! phases are all compared bit-for-bit against a deliberately naive
+//! per-agent substrate — `Vec<usize>` positions, `Vec<Vec<usize>>` occupancy
+//! rebuilt from scratch every round, linear-scan stationary placement,
+//! `gen_range(0..deg)` neighbor draws, full `0..|A|` exchange scans. Agents
+//! draw in ascending agent order on both sides, which keeps the RNG streams
+//! aligned; occupancy and frontier bookkeeping draw nothing.
 
 use rand::rngs::{SmallRng, StdRng};
 use rand::{Rng, SeedableRng};
@@ -330,4 +340,487 @@ fn message_counts_are_mode_independent() {
     let mut r = PushPull::new(&g, 0, ProtocolOptions::none());
     r.step(&mut rng);
     assert_eq!(r.messages_last_round(), 24);
+}
+
+mod agent_substrate {
+    //! Bit-identity of the flat agent-walk engine with the naive substrate.
+
+    use super::*;
+    use rumor_core::{AgentConfig, ChurnVisitExchange, MeetExchange, VisitExchange};
+    use rumor_graphs::generators::CycleOfStarsOfCliques;
+    use rumor_walks::Placement;
+
+    /// The retained naive agent substrate: per-agent vectors, `Vec<Vec>`
+    /// occupancy rebuilt from scratch every round, draws through the generic
+    /// `gen_range` path. This is a faithful transcription of the pre-rewrite
+    /// `MultiWalk` cost model and, crucially, of its *draw order*: one
+    /// optional laziness draw then one neighbor draw per agent, agents in
+    /// ascending order.
+    struct NaiveAgents {
+        positions: Vec<usize>,
+        laziness: f64,
+    }
+
+    /// Maps a uniform position in the concatenated adjacency array to its
+    /// owning vertex by linear scan (independent of the engine's
+    /// `partition_point` / regular-division fast paths).
+    fn naive_stationary_vertex(graph: &Graph, pos: usize) -> usize {
+        let mut acc = 0;
+        for u in graph.vertices() {
+            acc += graph.degree(u);
+            if pos < acc {
+                return u;
+            }
+        }
+        unreachable!("position {pos} beyond total degree");
+    }
+
+    impl NaiveAgents {
+        /// Replicates `Placement::sample`'s draw sequence naively.
+        fn place<R: Rng>(graph: &Graph, cfg: &AgentConfig, rng: &mut R) -> Self {
+            let count = cfg.count.resolve(graph.num_vertices());
+            let positions = match &cfg.placement {
+                Placement::Stationary => (0..count)
+                    .map(|_| {
+                        let pos = rng.gen_range(0..graph.total_degree());
+                        naive_stationary_vertex(graph, pos)
+                    })
+                    .collect(),
+                Placement::OneUniquePerVertex => (0..graph.num_vertices()).collect(),
+                Placement::AllAt(v) => vec![*v; count],
+                other => unimplemented!("naive placement for {other:?}"),
+            };
+            NaiveAgents {
+                positions,
+                laziness: cfg.walk.laziness(),
+            }
+        }
+
+        /// One synchronous step; returns the number of edge traversals.
+        fn step<R: Rng>(&mut self, graph: &Graph, rng: &mut R) -> u64 {
+            let mut moves = 0u64;
+            for agent in 0..self.positions.len() {
+                let at = self.positions[agent];
+                let stay = self.laziness > 0.0 && rng.gen_bool(self.laziness);
+                let next = if stay {
+                    at
+                } else {
+                    let d = graph.degree(at);
+                    if d == 0 {
+                        at
+                    } else {
+                        // The generic bounded-sample path the engine's
+                        // per-vertex sampler words must reproduce exactly.
+                        let i = rng.gen_range(0..d);
+                        graph.neighbor(at, i)
+                    }
+                };
+                moves += u64::from(next != at);
+                self.positions[agent] = next;
+            }
+            moves
+        }
+
+        /// Occupancy rebuilt from scratch (the naive `Vec<Vec>` layout).
+        fn occupants(&self, n: usize) -> Vec<Vec<usize>> {
+            let mut occ = vec![Vec::new(); n];
+            for (agent, &p) in self.positions.iter().enumerate() {
+                occ[p].push(agent);
+            }
+            occ
+        }
+    }
+
+    /// Naive `visit-exchange`: full scans, fresh buffers, `Vec<bool>` sets.
+    struct NaiveVisitExchange {
+        agents: NaiveAgents,
+        informed_vertices: Vec<bool>,
+        informed_agents: Vec<bool>,
+        messages_last: u64,
+    }
+
+    impl NaiveVisitExchange {
+        fn new<R: Rng>(graph: &Graph, source: usize, cfg: &AgentConfig, rng: &mut R) -> Self {
+            let agents = NaiveAgents::place(graph, cfg, rng);
+            let mut informed_vertices = vec![false; graph.num_vertices()];
+            informed_vertices[source] = true;
+            let informed_agents = agents.positions.iter().map(|&p| p == source).collect();
+            NaiveVisitExchange {
+                agents,
+                informed_vertices,
+                informed_agents,
+                messages_last: 0,
+            }
+        }
+
+        fn step<R: Rng>(&mut self, graph: &Graph, rng: &mut R) {
+            self.messages_last = self.agents.step(graph, rng);
+            // Agents informed in a previous round inform the vertices they
+            // visit.
+            let snapshot = self.informed_agents.clone();
+            for (agent, &informed) in snapshot.iter().enumerate() {
+                if informed {
+                    self.informed_vertices[self.agents.positions[agent]] = true;
+                }
+            }
+            // Agents on informed vertices (old or new) become informed.
+            for agent in 0..self.agents.positions.len() {
+                if self.informed_vertices[self.agents.positions[agent]] {
+                    self.informed_agents[agent] = true;
+                }
+            }
+        }
+    }
+
+    /// Naive `meet-exchange`: full occupancy scan per round.
+    struct NaiveMeetExchange {
+        agents: NaiveAgents,
+        informed_agents: Vec<bool>,
+        source: usize,
+        source_active: bool,
+        messages_last: u64,
+    }
+
+    impl NaiveMeetExchange {
+        fn new<R: Rng>(graph: &Graph, source: usize, cfg: &AgentConfig, rng: &mut R) -> Self {
+            let agents = NaiveAgents::place(graph, cfg, rng);
+            let informed_agents: Vec<bool> =
+                agents.positions.iter().map(|&p| p == source).collect();
+            let source_active = !informed_agents.iter().any(|&i| i);
+            NaiveMeetExchange {
+                agents,
+                informed_agents,
+                source,
+                source_active,
+                messages_last: 0,
+            }
+        }
+
+        fn step<R: Rng>(&mut self, graph: &Graph, rng: &mut R) {
+            self.messages_last = self.agents.step(graph, rng);
+            let snapshot = self.informed_agents.clone();
+            let mut newly: Vec<usize> = Vec::new();
+            if self.source_active {
+                let visitors: Vec<usize> = self
+                    .agents
+                    .positions
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &p)| p == self.source)
+                    .map(|(g, _)| g)
+                    .collect();
+                if !visitors.is_empty() {
+                    newly.extend(visitors);
+                    self.source_active = false;
+                }
+            }
+            for occupants in self.agents.occupants(graph.num_vertices()) {
+                if occupants.len() < 2 {
+                    continue;
+                }
+                if occupants.iter().any(|&g| snapshot[g]) {
+                    newly.extend(occupants.iter().filter(|&&g| !snapshot[g]));
+                }
+            }
+            for g in newly {
+                self.informed_agents[g] = true;
+            }
+        }
+
+        fn is_complete(&self) -> bool {
+            self.informed_agents.iter().all(|&i| i)
+        }
+    }
+
+    /// Naive churn variant: per-agent immediate teleports (the pre-batching
+    /// formulation), full exchange scans.
+    struct NaiveChurn {
+        agents: NaiveAgents,
+        informed_vertices: Vec<bool>,
+        informed_agents: Vec<bool>,
+        churn: f64,
+    }
+
+    impl NaiveChurn {
+        fn new<R: Rng>(
+            graph: &Graph,
+            source: usize,
+            cfg: &AgentConfig,
+            churn: f64,
+            rng: &mut R,
+        ) -> Self {
+            let agents = NaiveAgents::place(graph, cfg, rng);
+            let mut informed_vertices = vec![false; graph.num_vertices()];
+            informed_vertices[source] = true;
+            let informed_agents = agents.positions.iter().map(|&p| p == source).collect();
+            NaiveChurn {
+                agents,
+                informed_vertices,
+                informed_agents,
+                churn,
+            }
+        }
+
+        fn step<R: Rng>(&mut self, graph: &Graph, rng: &mut R) {
+            if self.churn > 0.0 {
+                for agent in 0..self.agents.positions.len() {
+                    if rng.gen_bool(self.churn) {
+                        self.informed_agents[agent] = false;
+                        let pos = rng.gen_range(0..graph.total_degree());
+                        self.agents.positions[agent] = naive_stationary_vertex(graph, pos);
+                    }
+                }
+            }
+            self.agents.step(graph, rng);
+            let snapshot = self.informed_agents.clone();
+            for (agent, &informed) in snapshot.iter().enumerate() {
+                if informed {
+                    self.informed_vertices[self.agents.positions[agent]] = true;
+                }
+            }
+            for agent in 0..self.agents.positions.len() {
+                if self.informed_vertices[self.agents.positions[agent]] {
+                    self.informed_agents[agent] = true;
+                }
+            }
+        }
+    }
+
+    /// Graph families for the agent equivalence matrix (≥ 6, mixing regular /
+    /// non-regular, bipartite / non-bipartite, and the Fig. 1 families).
+    fn agent_families() -> Vec<(&'static str, Graph, usize)> {
+        let mut rng = StdRng::seed_from_u64(4242);
+        vec![
+            ("complete", complete(24).unwrap(), 0),
+            ("star", star(40).unwrap(), 3),
+            ("double-star", double_star(20).unwrap(), 2),
+            ("cycle", cycle(30).unwrap(), 5),
+            ("path", path(25).unwrap(), 0),
+            (
+                "heavy-tree",
+                HeavyBinaryTree::new(4).unwrap().into_graph(),
+                0,
+            ),
+            (
+                "erdos-renyi",
+                connected_erdos_renyi(30, 0.2, &mut rng).unwrap(),
+                3,
+            ),
+            (
+                "cycle-of-stars-of-cliques",
+                CycleOfStarsOfCliques::with_at_least(60)
+                    .unwrap()
+                    .into_graph(),
+                0,
+            ),
+        ]
+    }
+
+    const SEEDS: [u64; 4] = [0, 1, 7, 42];
+
+    /// Agent configurations exercised per family: the paper default, a lazy
+    /// double-density population, and one agent per vertex. Lazy walks also
+    /// guarantee `meet-exchange` terminates on the bipartite families.
+    fn agent_configs() -> Vec<AgentConfig> {
+        vec![
+            AgentConfig::default(),
+            AgentConfig::with_alpha(2.0).lazy(),
+            AgentConfig::one_per_vertex(),
+        ]
+    }
+
+    #[test]
+    fn visit_exchange_matches_naive_substrate() {
+        for (name, graph, source) in agent_families() {
+            for cfg in agent_configs() {
+                for seed in SEEDS {
+                    let mut rng_fast = SmallRng::seed_from_u64(seed);
+                    let mut rng_naive = SmallRng::seed_from_u64(seed);
+                    let mut fast = VisitExchange::new(
+                        &graph,
+                        source,
+                        &cfg,
+                        ProtocolOptions::none(),
+                        &mut rng_fast,
+                    );
+                    let mut naive = NaiveVisitExchange::new(&graph, source, &cfg, &mut rng_naive);
+                    assert_eq!(
+                        fast.informed_agent_count(),
+                        naive.informed_agents.iter().filter(|&&i| i).count(),
+                        "initial agents diverged on {name} (seed {seed})"
+                    );
+                    let mut rounds = 0u64;
+                    while !fast.is_complete() && rounds < 200_000 {
+                        fast.step(&mut rng_fast);
+                        naive.step(&graph, &mut rng_naive);
+                        rounds += 1;
+                        assert_eq!(
+                            fast.messages_last_round(),
+                            naive.messages_last,
+                            "messages diverged on {name} round {rounds} (seed {seed})"
+                        );
+                        for v in graph.vertices() {
+                            assert_eq!(
+                                fast.is_vertex_informed(v),
+                                naive.informed_vertices[v],
+                                "vertex {v} diverged on {name} round {rounds} (seed {seed})"
+                            );
+                        }
+                        for g in 0..fast.num_agents() {
+                            assert_eq!(
+                                fast.is_agent_informed(g),
+                                naive.informed_agents[g],
+                                "agent {g} diverged on {name} round {rounds} (seed {seed})"
+                            );
+                        }
+                    }
+                    assert!(fast.is_complete(), "{name} hit the round cap (seed {seed})");
+                    assert!(
+                        naive.informed_vertices.iter().all(|&i| i),
+                        "naive incomplete when engine completed on {name} (seed {seed})"
+                    );
+                }
+            }
+            println!("visit-exchange equivalent on {name}");
+        }
+    }
+
+    #[test]
+    fn meet_exchange_matches_naive_substrate() {
+        for (name, graph, source) in agent_families() {
+            // Lazy walks everywhere: several families are bipartite, where
+            // simple-walk meet-exchange has infinite expected broadcast time.
+            for cfg in [
+                AgentConfig::default().lazy(),
+                AgentConfig::with_alpha(2.0).lazy(),
+                AgentConfig::one_per_vertex().lazy(),
+            ] {
+                for seed in SEEDS {
+                    let mut rng_fast = SmallRng::seed_from_u64(seed);
+                    let mut rng_naive = SmallRng::seed_from_u64(seed);
+                    let mut fast = MeetExchange::new(
+                        &graph,
+                        source,
+                        &cfg,
+                        ProtocolOptions::none(),
+                        &mut rng_fast,
+                    );
+                    let mut naive = NaiveMeetExchange::new(&graph, source, &cfg, &mut rng_naive);
+                    assert_eq!(fast.is_source_active(), naive.source_active);
+                    let mut rounds = 0u64;
+                    while !fast.is_complete() && rounds < 200_000 {
+                        fast.step(&mut rng_fast);
+                        naive.step(&graph, &mut rng_naive);
+                        rounds += 1;
+                        assert_eq!(
+                            fast.messages_last_round(),
+                            naive.messages_last,
+                            "messages diverged on {name} round {rounds} (seed {seed})"
+                        );
+                        assert_eq!(
+                            fast.is_source_active(),
+                            naive.source_active,
+                            "source state diverged on {name} round {rounds} (seed {seed})"
+                        );
+                        for g in 0..fast.num_agents() {
+                            assert_eq!(
+                                fast.is_agent_informed(g),
+                                naive.informed_agents[g],
+                                "agent {g} diverged on {name} round {rounds} (seed {seed})"
+                            );
+                        }
+                    }
+                    assert!(fast.is_complete(), "{name} hit the round cap (seed {seed})");
+                    assert!(
+                        naive.is_complete(),
+                        "naive incomplete when engine completed on {name} (seed {seed})"
+                    );
+                }
+            }
+            println!("meet-exchange equivalent on {name}");
+        }
+    }
+
+    #[test]
+    fn churn_visit_exchange_matches_naive_per_agent_teleports() {
+        // The engine batches rebirth teleports into one occupancy rebuild;
+        // the naive reference teleports immediately per agent. Identical
+        // trajectories prove the batching preserves the draw order.
+        for (name, graph, source) in agent_families().into_iter().take(4) {
+            for seed in [0u64, 9, 77] {
+                let cfg = AgentConfig::default().lazy();
+                let churn = 0.1;
+                let mut rng_fast = SmallRng::seed_from_u64(seed);
+                let mut rng_naive = SmallRng::seed_from_u64(seed);
+                let mut fast = ChurnVisitExchange::new(
+                    &graph,
+                    source,
+                    &cfg,
+                    churn,
+                    ProtocolOptions::none(),
+                    &mut rng_fast,
+                )
+                .unwrap();
+                let mut naive = NaiveChurn::new(&graph, source, &cfg, churn, &mut rng_naive);
+                let mut rounds = 0u64;
+                while !fast.is_complete() && rounds < 200_000 {
+                    fast.step(&mut rng_fast);
+                    naive.step(&graph, &mut rng_naive);
+                    rounds += 1;
+                    for v in graph.vertices() {
+                        assert_eq!(
+                            fast.is_vertex_informed(v),
+                            naive.informed_vertices[v],
+                            "vertex {v} diverged on {name} round {rounds} (seed {seed})"
+                        );
+                    }
+                    for g in 0..fast.num_agents() {
+                        assert_eq!(
+                            fast.is_agent_informed(g),
+                            naive.informed_agents[g],
+                            "agent {g} diverged on {name} round {rounds} (seed {seed})"
+                        );
+                    }
+                }
+                assert!(fast.is_complete(), "{name} hit the round cap (seed {seed})");
+            }
+            println!("churn-visit-exchange equivalent on {name}");
+        }
+    }
+
+    #[test]
+    fn edge_traffic_mode_does_not_perturb_agent_trajectories() {
+        // Unlike push/pull, the agent protocols draw identically in both
+        // sampling modes (every agent always draws); edge-traffic recording
+        // is pure observation. Full outcomes must therefore coincide, and
+        // the recorded traffic must account for every message.
+        use rumor_core::{simulate, ProtocolKind, SimulationSpec};
+        for kind in [ProtocolKind::VisitExchange, ProtocolKind::MeetExchange] {
+            for (name, graph, source) in agent_families() {
+                for seed in SEEDS {
+                    let base = SimulationSpec::new(kind)
+                        .with_seed(seed)
+                        .with_max_rounds(200_000)
+                        .adapted_to(&graph);
+                    let plain = simulate(&graph, source, &base);
+                    let traffic_spec = base
+                        .clone()
+                        .with_options(ProtocolOptions::with_edge_traffic());
+                    let with_traffic = simulate(&graph, source, &traffic_spec);
+                    assert_eq!(
+                        plain.rounds, with_traffic.rounds,
+                        "{kind} rounds diverged on {name} (seed {seed})"
+                    );
+                    assert_eq!(
+                        plain.total_messages, with_traffic.total_messages,
+                        "{kind} messages diverged on {name} (seed {seed})"
+                    );
+                    assert_eq!(plain.informed_agents, with_traffic.informed_agents);
+                    let stats = with_traffic.edge_traffic.expect("traffic requested");
+                    assert_eq!(stats.edges, graph.num_edges());
+                }
+            }
+            println!("{kind} modes agree");
+        }
+    }
 }

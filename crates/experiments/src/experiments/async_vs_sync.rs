@@ -1,5 +1,5 @@
 //! ASYNC — synchronous vs asynchronous rumor spreading (Section 2 related
-//! work: Sauerwald [41], Giakkoupis–Nazari–Woelfel [27]).
+//! work: Sauerwald \[41\], Giakkoupis–Nazari–Woelfel \[27\]).
 //!
 //! Asynchronous `push` (unit-rate Poisson clocks) has the same asymptotic
 //! broadcast time as synchronous `push` on regular graphs; asynchronous

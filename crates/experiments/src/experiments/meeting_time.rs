@@ -1,10 +1,10 @@
 //! MEET — `meet-exchange` broadcast time vs the meeting time of two walks.
 //!
 //! The related-work section recalls the bound of Dimitriou, Nikoletseas and
-//! Spirakis (the paper's reference [16]): the broadcast time of
+//! Spirakis (the paper's reference \[16\]): the broadcast time of
 //! `meet-exchange` is at most `O(log n)` times the meeting time of two
 //! independent random walks, and this is tight in general. On random regular
-//! graphs, Cooper, Frieze and Radzik ([14]) sharpen this to
+//! graphs, Cooper, Frieze and Radzik (\[14\]) sharpen this to
 //! `E[T_meetx] = O(n·log k / k)` for `k` walks. This experiment estimates the
 //! pairwise meeting time with the Monte-Carlo estimator from `rumor_walks`,
 //! measures `T_meetx` with the full protocol, and reports the ratio

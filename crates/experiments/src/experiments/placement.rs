@@ -219,7 +219,7 @@ fn mean_internal_occupancy(
         total += walks
             .positions()
             .iter()
-            .filter(|&&v| internal.contains(&v))
+            .filter(|&&v| internal.contains(&(v as usize)))
             .count();
     }
     total as f64 / trials as f64

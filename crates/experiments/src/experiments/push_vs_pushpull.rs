@@ -3,7 +3,7 @@
 //!
 //! The introduction recalls two known facts the rest of the paper builds on:
 //! `push` and `push-pull` have the same asymptotic broadcast time on regular
-//! graphs ([27]), while on the star `push` needs `Ω(n log n)` rounds and
+//! graphs (\[27\]), while on the star `push` needs `Ω(n log n)` rounds and
 //! `push-pull` needs at most 2. This experiment reproduces both, which also
 //! serves as a calibration check for the simulator.
 

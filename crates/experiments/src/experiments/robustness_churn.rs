@@ -4,7 +4,7 @@
 //! The paper notes that the agent protocols are probably *not* robust to
 //! losing agents on faulty nodes/links, but conjectures that a dynamic agent
 //! population (agents die, fresh agents are born at a proportional rate) would
-//! tolerate losses. [`ChurnVisitExchange`](rumor_core::ChurnVisitExchange)
+//! tolerate losses. [`ChurnVisitExchange`]
 //! implements that variant; this experiment sweeps the per-round churn
 //! probability and reports the slowdown relative to churn-free
 //! `visit-exchange` on the graphs where the agent protocols matter most

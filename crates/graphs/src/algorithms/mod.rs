@@ -14,5 +14,5 @@ pub use degree::{degree_histogram, DegreeStats};
 pub use spectral::{spectral_gap_estimate, SpectralEstimate};
 pub use traversal::{
     bfs_distances, connected_components, diameter_exact, diameter_lower_bound, eccentricity,
-    is_connected,
+    is_connected, UNREACHABLE,
 };

@@ -40,8 +40,138 @@ pub struct Graph {
     offsets: Vec<usize>,
     /// Concatenated adjacency lists, neighbors of each vertex sorted ascending.
     adjacency: Vec<u32>,
+    /// Per-vertex neighbor sampler (see [`NeighborSampler`]): adjacency
+    /// start and a degree-specialized sampling word packed into one 12-byte
+    /// entry, so a random-neighbor draw touches a single slot of vertex
+    /// metadata plus (for CSR-shaped lists only) the adjacency slot it
+    /// selects.
+    sampler: Vec<NeighborSampler>,
     /// Number of undirected edges.
     num_edges: usize,
+}
+
+/// Per-vertex neighbor-sampling metadata, array-of-structs so the hot
+/// sampling path performs one 12-byte load instead of three scattered reads
+/// (`offsets[u]`, `offsets[u + 1]`, and a separate sampler table) — and, for
+/// interval-shaped neighbor lists, **no adjacency read at all**.
+#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct NeighborSampler {
+    /// The degree-specialized sampling word (see [`sampler_entry`]).
+    word: u32,
+    /// Start of the vertex's adjacency block (`== offsets[u]`, fits in `u32`
+    /// because adjacency entries are `u32` vertex ids) — or, for
+    /// interval-tagged words, the smallest neighbor id of the interval.
+    start: u32,
+    /// For outlier-tagged words, the single neighbor outside the interval.
+    outlier: u32,
+}
+
+/// Tag bit marking a sampler word's index draw as a power-of-two shift.
+const POW2_TAG: u32 = 1 << 31;
+/// Tag bit marking the neighbor list as a contiguous id interval (possibly
+/// with a hole at the vertex itself), sampled arithmetically with **no
+/// adjacency read**.
+const INTERVAL_TAG: u32 = 1 << 30;
+/// Tag bit (implies `INTERVAL_TAG`) marking an interval list with one
+/// neighbor outside the interval, stored in `NeighborSampler::outlier`.
+const OUTLIER_TAG: u32 = 1 << 29;
+/// Low bits of the sampler word (degree / shift payload).
+const WORD_PAYLOAD: u32 = OUTLIER_TAG - 1;
+
+/// If the sorted, strictly ascending `list` is a contiguous id range — or a
+/// contiguous range with a single hole exactly at `u` (a vertex is never its
+/// own neighbor) — returns the range's first id.
+fn contiguous_span(u: usize, list: &[u32]) -> Option<u32> {
+    let d = list.len();
+    if d == 0 {
+        return None;
+    }
+    let first = list[0] as usize;
+    let last = list[d - 1] as usize;
+    if last - first == d - 1 {
+        return Some(list[0]);
+    }
+    // Span exceeds the length by one ⇒ exactly one value is missing; it must
+    // be `u` itself (checked via the span-sum identity).
+    if last - first == d
+        && first < u
+        && u < last
+        && (first + last) * (d + 1) / 2 - list.iter().map(|&v| v as usize).sum::<usize>() == u
+    {
+        return Some(list[0]);
+    }
+    None
+}
+
+/// Precomputes the sampler entry for vertex `u` with sorted neighbors `list`
+/// whose adjacency block begins at `csr_start`.
+///
+/// The word packs two independent specializations:
+///
+/// * **Index draw** (bit 31): degree a power of two (including `1`) →
+///   `POW2_TAG | (64 - log2(d))`: one draw, take the **top** `log2(d)` bits —
+///   exactly the value Lemire's widening multiply `(x * d) >> 64` produces
+///   when the rejection threshold is zero, so the mask fast path is
+///   bit-identical to the general one; it only skips the 128-bit multiply.
+///   Otherwise the payload is `d` itself, driving Lemire's widening multiply
+///   with bounded rejection; the threshold `2^64 mod d` is computed only
+///   inside the rejection branch, whose probability is `d / 2^64` — i.e.
+///   essentially never — which keeps the entry compact (precomputing the
+///   threshold measured slower: a fatter table spills out of L2 to save a
+///   modulo that never runs).
+/// * **Interval elision** (bits 30/29): when the neighbor list is a
+///   contiguous id range — optionally with a single hole at `u` itself, and
+///   optionally with a single *outlier* neighbor outside the range — the
+///   `i`-th sorted neighbor is computed arithmetically and sampling performs
+///   **zero adjacency reads**. This is the shape of cliques, stars, cycles,
+///   paths, complete graphs, and the clique/star blocks of the paper's
+///   Fig. 1 families (a clique member's list is its clique's id range plus
+///   one link vertex).
+///
+/// Degree `0` → word `0`, the one word no positive degree produces (non-pow2
+/// degrees are ≥ 3 and tagged words carry a tag bit), so the samplers'
+/// isolation check is simply `word == 0`.
+fn sampler_entry(u: usize, list: &[u32], csr_start: u32) -> NeighborSampler {
+    let d = list.len();
+    if d == 0 {
+        return NeighborSampler {
+            word: 0,
+            start: csr_start,
+            outlier: 0,
+        };
+    }
+    assert!(
+        d < WORD_PAYLOAD as usize,
+        "degree exceeds sampler word range"
+    );
+    let mut word = if d.is_power_of_two() {
+        POW2_TAG | (64 - d.trailing_zeros())
+    } else {
+        d as u32
+    };
+    let mut start = csr_start;
+    let mut outlier = 0;
+    if let Some(base) = contiguous_span(u, list) {
+        word |= INTERVAL_TAG;
+        start = base;
+    } else if d >= 2 {
+        if let Some(base) = contiguous_span(u, &list[1..]) {
+            // Low-side outlier: the smallest neighbor sits below the range.
+            word |= INTERVAL_TAG | OUTLIER_TAG;
+            start = base;
+            outlier = list[0];
+        } else if let Some(base) = contiguous_span(u, &list[..d - 1]) {
+            // High-side outlier: the largest neighbor sits above the range.
+            word |= INTERVAL_TAG | OUTLIER_TAG;
+            start = base;
+            outlier = list[d - 1];
+        }
+    }
+    NeighborSampler {
+        word,
+        start,
+        outlier,
+    }
 }
 
 impl Graph {
@@ -78,9 +208,19 @@ impl Graph {
     pub(crate) fn from_csr(offsets: Vec<usize>, adjacency: Vec<u32>, num_edges: usize) -> Self {
         debug_assert_eq!(*offsets.last().unwrap_or(&0), adjacency.len());
         debug_assert_eq!(adjacency.len(), 2 * num_edges);
+        assert!(
+            adjacency.len() <= u32::MAX as usize,
+            "adjacency array exceeds u32 addressing"
+        );
+        let sampler = offsets
+            .windows(2)
+            .enumerate()
+            .map(|(u, w)| sampler_entry(u, &adjacency[w[0]..w[1]], w[0] as u32))
+            .collect();
         Graph {
             offsets,
             adjacency,
+            sampler,
             num_edges,
         }
     }
@@ -134,14 +274,53 @@ impl Graph {
         self.adjacency[self.offsets[u] + i] as VertexId
     }
 
+    /// Samples a uniform index in `0..deg` using the degree-specialized
+    /// sampler word. Consumes the RNG stream exactly like
+    /// `rng.gen_range(0..deg(u))` (one `next_u64` per Lemire attempt) and
+    /// produces the identical value, so swapping the generic bounded sampler
+    /// for this specialized one leaves every simulation bit-identical — the
+    /// equivalence tests pin this.
+    ///
+    /// Requires `deg > 0` (i.e. a non-sentinel sampler word).
+    #[inline]
+    fn sample_neighbor_index<R: Rng + ?Sized>(word: u32, rng: &mut R) -> u64 {
+        if word & POW2_TAG != 0 {
+            // Power-of-two degree: top log2(d) bits of one draw.
+            let x = rng.next_u64();
+            let shift = word & 0x7f;
+            if shift >= 64 {
+                0 // deg 1: the draw is consumed, the index is forced.
+            } else {
+                x >> shift
+            }
+        } else {
+            // Lemire widening multiply with bounded rejection; the threshold
+            // is only computed in the (probability d/2^64) rejection branch,
+            // mirroring the generic sampler exactly.
+            let d = u64::from(word & WORD_PAYLOAD);
+            let mut m = u128::from(rng.next_u64()) * u128::from(d);
+            let lo = m as u64;
+            if lo < d {
+                let threshold = d.wrapping_neg() % d;
+                while (m as u64) < threshold {
+                    m = u128::from(rng.next_u64()) * u128::from(d);
+                }
+            }
+            (m >> 64) as u64
+        }
+    }
+
     /// Samples a uniformly random neighbor of `u`, or `None` if `u` is isolated.
     ///
     /// This is the primitive used by every protocol in the workspace: `push`,
     /// `push-pull` and the random-walk agents all move to a uniform neighbor.
-    /// It sits on the innermost simulation loop, so the adjacency read skips
-    /// bounds checks (safe by the CSR invariant `offsets[u] + i < offsets[u+1]
-    /// <= adjacency.len()`, which [`Graph::validate`] and the builder
-    /// establish).
+    /// It sits on the innermost simulation loop, so all vertex metadata comes
+    /// from one 12-byte `NeighborSampler` load (adjacency start plus a
+    /// power-of-two shift or Lemire bound, or an interval description that
+    /// needs no adjacency read at all) and the CSR branch's
+    /// adjacency read skips bounds checks (safe by the CSR invariant
+    /// `start + i < start + deg <= adjacency.len()`, which
+    /// [`Graph::validate`] and the builder establish).
     ///
     /// # Panics
     ///
@@ -149,15 +328,68 @@ impl Graph {
     #[inline]
     #[allow(unsafe_code)]
     pub fn random_neighbor<R: Rng + ?Sized>(&self, u: VertexId, rng: &mut R) -> Option<VertexId> {
-        let start = self.offsets[u];
-        let end = self.offsets[u + 1];
-        if start == end {
+        let entry = self.sampler[u];
+        if entry.word == 0 {
             None
         } else {
-            let i = rng.gen_range(start..end);
-            debug_assert!(i < self.adjacency.len());
-            // SAFETY: start <= i < end <= adjacency.len() (CSR invariant).
-            Some(unsafe { *self.adjacency.get_unchecked(i) } as VertexId)
+            Some(self.neighbor_from_entry(u, entry, rng))
+        }
+    }
+
+    /// Degree encoded in a non-sentinel sampler word.
+    #[inline]
+    fn entry_degree(word: u32) -> u64 {
+        if word & POW2_TAG != 0 {
+            1u64 << (64 - (word & 0x7f))
+        } else {
+            u64::from(word & WORD_PAYLOAD)
+        }
+    }
+
+    /// The `i`-th sorted member of the interval starting at `start`, skipping
+    /// the hole at `u` when the interval contains it (a vertex is never its
+    /// own neighbor; for pure intervals the bump condition is never met).
+    #[inline]
+    fn interval_member(u: VertexId, start: u32, i: u32) -> VertexId {
+        let x = start + i;
+        let v = u as u32;
+        (x + u32::from(v >= start && x >= v)) as VertexId
+    }
+
+    /// Resolves a sampled index to a neighbor: arithmetically for
+    /// interval-tagged vertices (no adjacency read), by CSR lookup otherwise.
+    #[inline]
+    #[allow(unsafe_code)]
+    fn neighbor_from_entry<R: Rng + ?Sized>(
+        &self,
+        u: VertexId,
+        entry: NeighborSampler,
+        rng: &mut R,
+    ) -> VertexId {
+        let word = entry.word;
+        let i = Self::sample_neighbor_index(word, rng);
+        if word & INTERVAL_TAG != 0 {
+            if word & OUTLIER_TAG != 0 {
+                // One neighbor lies outside the interval; sorted order puts
+                // it first (below the range) or last (above it).
+                if entry.outlier < entry.start {
+                    if i == 0 {
+                        return entry.outlier as VertexId;
+                    }
+                    return Self::interval_member(u, entry.start, i as u32 - 1);
+                }
+                if i + 1 == Self::entry_degree(word) {
+                    return entry.outlier as VertexId;
+                }
+                return Self::interval_member(u, entry.start, i as u32);
+            }
+            Self::interval_member(u, entry.start, i as u32)
+        } else {
+            let slot = entry.start as usize + i as usize;
+            debug_assert!(slot < self.adjacency.len());
+            // SAFETY: start <= slot < start + deg <= adjacency.len() (CSR
+            // invariant; sample_neighbor_index returns a value < deg).
+            unsafe { *self.adjacency.get_unchecked(slot) as VertexId }
         }
     }
 
@@ -169,8 +401,7 @@ impl Graph {
     ///
     /// # Panics
     ///
-    /// Panics if `u >= self.num_vertices()`; may panic or return an arbitrary
-    /// neighbor-of-someone if `deg(u) == 0` (debug builds assert).
+    /// Panics if `u >= self.num_vertices()` or if `deg(u) == 0`.
     #[inline]
     #[allow(unsafe_code)]
     pub fn random_neighbor_nonisolated<R: Rng + ?Sized>(
@@ -178,16 +409,15 @@ impl Graph {
         u: VertexId,
         rng: &mut R,
     ) -> VertexId {
-        let start = self.offsets[u];
-        let end = self.offsets[u + 1];
-        debug_assert!(
-            start < end,
+        let entry = self.sampler[u];
+        // A real assert (the generic `gen_range(start..end)` this replaces
+        // carried the same empty-range check): it is the bound that keeps the
+        // CSR branch's unchecked adjacency read in range.
+        assert!(
+            entry.word != 0,
             "random_neighbor_nonisolated on isolated vertex {u}"
         );
-        let i = rng.gen_range(start..end);
-        debug_assert!(i < self.adjacency.len());
-        // SAFETY: start <= i < end <= adjacency.len() (CSR invariant).
-        unsafe { *self.adjacency.get_unchecked(i) as VertexId }
+        self.neighbor_from_entry(u, entry, rng)
     }
 
     /// Returns `true` if `(u, v)` is an edge. `O(log deg(u))`.
@@ -298,23 +528,60 @@ impl Graph {
         // Sampling a uniform position in the concatenated adjacency array and
         // mapping it back to its owning vertex is exactly degree-proportional.
         let pos = rng.gen_range(0..self.adjacency.len());
-        // Binary search for the vertex owning `pos` in `offsets`.
-        match self.offsets.binary_search(&pos) {
-            Ok(mut idx) => {
-                // `pos` is the start of some vertex's list; skip empty lists.
-                while idx + 1 < self.offsets.len() && self.offsets[idx + 1] == pos {
-                    idx += 1;
-                }
-                idx
-            }
-            Err(idx) => idx - 1,
-        }
+        self.vertex_owning_slot(pos)
     }
 
-    /// Total memory used by the CSR arrays, in bytes (diagnostic).
+    /// Maps an adjacency-array position to the vertex whose list contains it:
+    /// the unique `u` with `offsets[u] <= pos < offsets[u + 1]`.
+    #[inline]
+    fn vertex_owning_slot(&self, pos: usize) -> VertexId {
+        debug_assert!(pos < self.adjacency.len());
+        // `partition_point` handles runs of equal offsets (empty adjacency
+        // lists) uniformly: the first offset strictly greater than `pos` is
+        // `offsets[u + 1]` of the owning vertex.
+        self.offsets.partition_point(|&o| o <= pos) - 1
+    }
+
+    /// Samples `count` independent stationary vertices in one call (the bulk
+    /// path behind `rumor_walks::Placement::sample`).
+    ///
+    /// Draw-for-draw identical to calling [`Graph::sample_stationary`] `count`
+    /// times with the same RNG — same stream consumption, same results — but
+    /// on regular graphs the offset search collapses to a division, and the
+    /// per-call edge-count assert is hoisted out of the loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges.
+    pub fn sample_stationary_many<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
+        assert!(
+            self.num_edges > 0,
+            "stationary sampling undefined without edges"
+        );
+        let slots = self.adjacency.len();
+        let mut out = Vec::with_capacity(count);
+        if let Some(d) = self.regular_degree() {
+            // All lists have length d: slot `pos` belongs to vertex `pos / d`.
+            out.extend((0..count).map(|_| rng.gen_range(0..slots) / d));
+        } else {
+            out.extend((0..count).map(|_| self.vertex_owning_slot(rng.gen_range(0..slots))));
+        }
+        out
+    }
+
+    /// Total memory used by the graph's arrays, in bytes (diagnostic).
+    ///
+    /// Counts the CSR offset and adjacency arrays *and* the per-vertex
+    /// sampler table, by **capacity** (what the allocator actually holds)
+    /// rather than length, so large-graph memory reports are honest.
     pub fn memory_bytes(&self) -> usize {
-        self.offsets.len() * std::mem::size_of::<usize>()
-            + self.adjacency.len() * std::mem::size_of::<u32>()
+        self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.adjacency.capacity() * std::mem::size_of::<u32>()
+            + self.sampler.capacity() * std::mem::size_of::<NeighborSampler>()
     }
 
     /// Checks basic invariants (sorted adjacency, symmetric edges, no loops).
@@ -404,7 +671,7 @@ impl Iterator for Edges<'_> {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
 
     fn triangle() -> Graph {
         Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
@@ -560,7 +827,141 @@ mod tests {
     }
 
     #[test]
-    fn memory_bytes_positive() {
-        assert!(triangle().memory_bytes() > 0);
+    fn memory_bytes_positive_and_counts_sampler_table() {
+        let g = triangle();
+        assert!(g.memory_bytes() > 0);
+        // offsets (n + 1 usizes) + adjacency (2m u32s) + sampler (n 12-byte
+        // entries), by capacity — at least the length-based sizes.
+        let floor = (g.num_vertices() + 1) * std::mem::size_of::<usize>()
+            + 2 * g.num_edges() * std::mem::size_of::<u32>()
+            + g.num_vertices() * std::mem::size_of::<NeighborSampler>();
+        assert!(g.memory_bytes() >= floor);
+        assert_eq!(std::mem::size_of::<NeighborSampler>(), 12);
+    }
+
+    #[test]
+    fn sampler_words_cover_the_shapes() {
+        let entry = |u: usize, list: &[u32]| sampler_entry(u, list, 77);
+        assert_eq!(entry(5, &[]).word, 0, "isolation sentinel");
+        // Degree 1: power-of-two draw, trivially an interval.
+        assert_eq!(entry(0, &[7]).word, POW2_TAG | INTERVAL_TAG | 64);
+        assert_eq!(entry(0, &[7]).start, 7, "interval start is the neighbor");
+        // Contiguous pure range (star center): interval.
+        assert_eq!(entry(0, &[1, 2]).word, POW2_TAG | INTERVAL_TAG | 63);
+        assert_eq!(entry(0, &[1, 2, 3]).word, INTERVAL_TAG | 3);
+        // Range with the hole exactly at the vertex (clique / cycle member).
+        assert_eq!(entry(2, &[1, 3]).word, POW2_TAG | INTERVAL_TAG | 63);
+        assert_eq!(entry(2, &[0, 1, 3, 4]).word, POW2_TAG | INTERVAL_TAG | 62);
+        assert_eq!(entry(2, &[0, 1, 3, 4]).start, 0, "hole interval start");
+        // One low-side outlier plus a range (clique member + its link).
+        let e = entry(11, &[3, 10, 12, 13]);
+        assert_eq!(e.word, POW2_TAG | INTERVAL_TAG | OUTLIER_TAG | 62);
+        assert_eq!((e.start, e.outlier), (10, 3));
+        // One high-side outlier.
+        let e = entry(0, &[4, 5, 6, 90]);
+        assert_eq!(e.word, POW2_TAG | INTERVAL_TAG | OUTLIER_TAG | 62);
+        assert_eq!((e.start, e.outlier), (4, 90));
+        // A gap that is NOT the vertex itself: plain CSR sampling.
+        let e = entry(9, &[1, 3, 5]);
+        assert_eq!(e.word, 3);
+        assert_eq!(e.start, 77, "CSR start preserved");
+        // Scattered non-pow2 list: Lemire bound is the degree itself.
+        for d in [5usize, 6, 7, 9, 100, 999] {
+            let list: Vec<u32> = (0..d as u32).map(|i| 2 * i + 2).collect();
+            let w = entry(0, &list).word;
+            assert_eq!(w, d as u32);
+        }
+    }
+
+    #[test]
+    fn specialized_sampler_is_bit_identical_to_gen_range() {
+        // One vertex of every degree shape, in both layouts: a star center
+        // (contiguous neighbor interval → arithmetic sampling) and a
+        // scattered even-vertex fan (plain CSR sampling). For each, the
+        // specialized sampler must return the same neighbor AND leave the
+        // RNG in the same state as the generic `gen_range` it replaced.
+        for degree in 1usize..=40 {
+            let star_edges: Vec<(usize, usize)> = (1..=degree).map(|leaf| (0, leaf)).collect();
+            let scattered_edges: Vec<(usize, usize)> = (1..=degree).map(|k| (0, 2 * k)).collect();
+            for edges in [star_edges, scattered_edges] {
+                let n = edges.iter().map(|&(_, v)| v).max().unwrap() + 1;
+                let g = Graph::from_edges(n, &edges).unwrap();
+                let mut specialized = StdRng::seed_from_u64(degree as u64);
+                let mut generic = specialized.clone();
+                for _ in 0..500 {
+                    let via_sampler = g.random_neighbor_nonisolated(0, &mut specialized);
+                    let i = generic.gen_range(0..degree);
+                    let via_gen_range = g.neighbor(0, i);
+                    assert_eq!(via_sampler, via_gen_range, "degree {degree}");
+                }
+                // Same stream position afterwards.
+                assert_eq!(specialized.next_u64(), generic.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn interval_sampling_handles_holes_and_boundaries() {
+        // Cycle: inner vertices have {v-1, v+1} (interval with hole at v);
+        // the wrap-around vertices 0 and n-1 have non-contiguous lists (CSR
+        // path). Every sample must agree with the generic draw, and every
+        // neighbor must be reachable.
+        let n = 9;
+        let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        for u in 0..n {
+            let mut specialized = StdRng::seed_from_u64(u as u64);
+            let mut generic = specialized.clone();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..200 {
+                let v = g.random_neighbor_nonisolated(u, &mut specialized);
+                assert_eq!(v, g.neighbor(u, generic.gen_range(0..g.degree(u))));
+                assert!(g.has_edge(u, v), "sampled non-edge {u}-{v}");
+                seen.insert(v);
+            }
+            assert_eq!(seen.len(), g.degree(u), "some neighbor never sampled");
+        }
+        // Complete graph: every vertex is an interval-with-hole.
+        let k = crate::generators::complete(17).unwrap();
+        for u in 0..17 {
+            let mut rng = StdRng::seed_from_u64(u as u64);
+            for _ in 0..100 {
+                let v = k.random_neighbor_nonisolated(u, &mut rng);
+                assert!(v != u && v < 17);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_stationary_many_matches_repeated_single_samples() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Non-regular: star plus a pendant path.
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (3, 4), (4, 5)]).unwrap();
+        let bulk = g.sample_stationary_many(200, &mut StdRng::seed_from_u64(3));
+        let mut single_rng = StdRng::seed_from_u64(3);
+        let singles: Vec<_> = (0..200)
+            .map(|_| g.sample_stationary(&mut single_rng))
+            .collect();
+        assert_eq!(bulk, singles);
+        // Regular graph: the division fast path must agree too.
+        let r = crate::generators::random_regular(64, 6, &mut rng).unwrap();
+        let bulk = r.sample_stationary_many(200, &mut StdRng::seed_from_u64(5));
+        let mut single_rng = StdRng::seed_from_u64(5);
+        let singles: Vec<_> = (0..200)
+            .map(|_| r.sample_stationary(&mut single_rng))
+            .collect();
+        assert_eq!(bulk, singles);
+    }
+
+    #[test]
+    fn stationary_slot_mapping_skips_empty_lists() {
+        // Vertices 1 and 3 are isolated; their empty lists share offsets with
+        // neighbors and must never be returned.
+        let g = Graph::from_edges(5, &[(0, 2), (2, 4)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..2_000 {
+            let v = g.sample_stationary(&mut rng);
+            assert!(g.degree(v) > 0, "sampled isolated vertex {v}");
+        }
     }
 }

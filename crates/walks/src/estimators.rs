@@ -2,7 +2,7 @@
 //! meeting, and cover times.
 //!
 //! `meet-exchange` is known (Dimitriou–Nikoletseas–Spirakis, cited by the
-//! paper as [16]) to broadcast within `O(log n)` times the *meeting time* of
+//! paper as \[16\]) to broadcast within `O(log n)` times the *meeting time* of
 //! two walks; the experiment suite uses these estimators to report meeting and
 //! cover times alongside broadcast times so that relationship can be checked
 //! empirically.
@@ -174,8 +174,8 @@ pub fn multi_cover_time<R: Rng + ?Sized>(
         let mut visited = vec![false; n];
         let mut remaining = n;
         for &v in walks.positions() {
-            if !visited[v] {
-                visited[v] = true;
+            if !visited[v as usize] {
+                visited[v as usize] = true;
                 remaining -= 1;
             }
         }
@@ -184,8 +184,8 @@ pub fn multi_cover_time<R: Rng + ?Sized>(
             walks.step(graph, rng);
             rounds += 1;
             for &v in walks.positions() {
-                if !visited[v] {
-                    visited[v] = true;
+                if !visited[v as usize] {
+                    visited[v as usize] = true;
                     remaining -= 1;
                 }
             }

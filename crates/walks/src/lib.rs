@@ -10,12 +10,32 @@
 //! * [`WalkConfig`] — simple vs. lazy walks (the paper uses lazy walks on
 //!   bipartite graphs so `meet-exchange` terminates);
 //! * [`Placement`] and [`AgentCount`] — how many agents and where they start
-//!   (stationary distribution by default, exactly as in the paper);
+//!   (stationary distribution by default, exactly as in the paper; bulk
+//!   stationary placement goes through `Graph::sample_stationary_many`);
 //! * [`RandomWalk`] — a single walk;
 //! * [`MultiWalk`] — `|A|` walks advanced in lock-step with per-vertex
-//!   occupancy tracking (the quantity `|Z_v(t)|` from the paper's proofs);
+//!   occupancy tracking (the quantity `|Z_v(t)|` from the paper's proofs),
+//!   stored as a flat counting-sort CSR rebuilt in O(|A|) passes per step
+//!   (see the [`multiwalk`-module docs](MultiWalk) for the layout). The
+//!   exchange-protocol step ([`MultiWalk::step_exchange`]) goes further and
+//!   maintains only a cache-resident informed-here vertex bitset, deferring
+//!   the detailed occupancy views to [`MultiWalk::refresh_occupancy`];
+//! * [`UninformedFrontier`] — bitset + dense list of the agents still to
+//!   inform, feeding [`MultiWalk::step_exchange`]'s informed-here marks so
+//!   an exchange phase costs O(|uninformed|);
 //! * [`estimators`] — Monte-Carlo hitting/meeting/cover time estimates used
 //!   by the experiment reports.
+//!
+//! ## Determinism
+//!
+//! All randomness in a [`MultiWalk`] step is drawn in the movement pass, one
+//! agent at a time in ascending agent order: an optional laziness draw, then
+//! a neighbor draw (skipped for isolated vertices). Neighbor draws go through
+//! `Graph::random_neighbor`'s per-vertex sampler words, which consume the RNG
+//! stream exactly like the generic bounded sampler they specialize; occupancy
+//! and frontier bookkeeping draw nothing. A fixed seed therefore reproduces
+//! the exact trajectory of the naive `Vec<Vec>` substrate this engine
+//! replaced — `rumor-core`'s `tests/equivalence.rs` pins that bit-for-bit.
 //!
 //! ## Example
 //!
@@ -42,12 +62,14 @@
 
 mod config;
 pub mod estimators;
+mod frontier;
 mod multiwalk;
 mod placement;
 mod single;
 
 pub use config::WalkConfig;
 pub use estimators::{cover_time, hitting_time, meeting_time, multi_cover_time, Estimate};
+pub use frontier::UninformedFrontier;
 pub use multiwalk::{AgentId, MultiWalk};
 pub use placement::{AgentCount, Placement};
 pub use single::RandomWalk;
@@ -80,6 +102,7 @@ mod proptests {
                 prop_assert_eq!(w.positions().len(), agents);
                 prop_assert_eq!(w.occupancy_counts().iter().sum::<usize>(), agents);
                 for (agent, &prev) in before.iter().enumerate() {
+                    let prev = prev as usize;
                     let now = w.position(agent);
                     prop_assert!(now == prev || g.has_edge(prev, now));
                 }
@@ -97,7 +120,7 @@ mod proptests {
             }
             for v in g.vertices() {
                 let from_occupancy = w.agents_at(v).len();
-                let from_positions = w.positions().iter().filter(|&&p| p == v).count();
+                let from_positions = w.positions().iter().filter(|&&p| p as usize == v).count();
                 prop_assert_eq!(from_occupancy, from_positions);
             }
         }

@@ -2,15 +2,51 @@
 //!
 //! This is the agent substrate of `visit-exchange` and `meet-exchange`: a set
 //! `A` of agents, each performing an independent (possibly lazy) random walk,
-//! all taking one step per synchronous round. The structure also maintains
-//! per-vertex occupancy so protocols can ask "which agents are on `v` right
-//! now?" in `O(occupants)` time.
+//! all taking one step per synchronous round.
+//!
+//! # The flat occupancy engine
+//!
+//! Per-vertex occupancy ("which agents are on `v` right now?", the quantity
+//! `|Z_v(t)|` from the paper's proofs) is stored as a **counting-sort CSR**
+//! over four reusable flat arrays instead of a `Vec<Vec<AgentId>>`:
+//!
+//! * `occ_count[v]` — number of agents currently at `v`;
+//! * `occ_cursor[v]` — end of `v`'s block in `occ_agents` (start is
+//!   `end - count`);
+//! * `occ_agents` — all `|A|` agent ids, grouped by vertex, each group in
+//!   ascending agent order;
+//! * `touched` — the occupied vertices, each exactly once.
+//!
+//! Every step rebuilds this in passes that each cost `O(|A|)`: the movement
+//! pass counts arrivals (and pushes first arrivals onto `touched`), an
+//! offsets pass over `touched` assigns block starts, and a scatter pass
+//! places agent ids. Clearing reuses `touched`, so no pass ever visits an
+//! unoccupied vertex and no step allocates.
+//!
+//! [`MultiWalk::step_exchange`] — the exchange protocols' hot path — goes one
+//! step further: it skips the counting-sort rebuild entirely and instead
+//! maintains only an **informed-here bitset** (one bit per vertex: "did an
+//! agent that was informed at the start of this round land here?"), fused
+//! into the movement pass. That is the only occupancy fact `visit-exchange`
+//! and `meet-exchange` consult per round, and the bitset (n/8 bytes) stays
+//! cache-resident where the full CSR arrays would not. The detailed
+//! occupancy views go stale after such a step; call
+//! [`MultiWalk::refresh_occupancy`] before using them (the accessors panic
+//! on stale data rather than answer wrongly).
+//!
+//! **Determinism:** all randomness is drawn in the movement pass, one agent
+//! at a time in ascending agent order (a laziness draw when configured, then
+//! a neighbor draw unless the agent stays or is isolated). The occupancy
+//! representation consumes no randomness, so the flat engine is draw-for-draw
+//! identical to the naive `Vec<Vec>` substrate it replaced — the equivalence
+//! tests in `rumor-core` pin this bit-for-bit.
 
 use rand::Rng;
 
 use rumor_graphs::{Graph, VertexId};
 
 use crate::config::WalkConfig;
+use crate::frontier::UninformedFrontier;
 
 /// Identifier of an agent: an index in `0..num_agents`.
 pub type AgentId = usize;
@@ -36,18 +72,32 @@ pub type AgentId = usize;
 #[derive(Debug, Clone)]
 pub struct MultiWalk {
     /// Current vertex of each agent.
-    positions: Vec<VertexId>,
-    /// Vertex of each agent in the previous round (before the last `step`).
-    previous: Vec<VertexId>,
-    /// `occupants[v]` lists agents currently at `v`.
-    occupants: Vec<Vec<AgentId>>,
-    /// Vertices with a nonempty occupant list (no duplicates). Maintaining
-    /// this makes per-step occupancy upkeep O(|A|) instead of O(n + |A|): a
-    /// step only clears the lists that were actually populated, and
-    /// [`MultiWalk::occupied_vertices`] never scans empty vertices.
+    positions: Vec<u32>,
+    /// Vertex of each agent in the previous round (before the last step).
+    previous: Vec<u32>,
+    /// `occ_count[v]`: agents currently at `v`.
+    occ_count: Vec<u32>,
+    /// `occ_cursor[v]`: end of `v`'s block in `occ_agents` (stale for
+    /// unoccupied vertices, but then `occ_count[v] == 0` and the block is
+    /// empty anyway).
+    occ_cursor: Vec<u32>,
+    /// Agent ids grouped by vertex (counting-sort payload).
+    occ_agents: Vec<u32>,
+    /// Occupied vertices, each exactly once, in first-arrival order.
     touched: Vec<u32>,
-    /// `touched_flags[v]` ⇔ `v ∈ touched`.
-    touched_flags: Vec<bool>,
+    /// Bit `v` set ⇔ an agent informed at the start of the round is at `v`;
+    /// maintained only by [`MultiWalk::step_exchange`], zero elsewhere.
+    /// Cleared with one n/8-byte memset per round (cheaper than tracking
+    /// touched bits: the unconditional `|=` mark keeps the movement loop
+    /// branch-free).
+    informed_here: Vec<u64>,
+    /// Whether the counting-sort views (`occ_*`, `touched`) reflect
+    /// `positions`. [`MultiWalk::step_exchange`] leaves them stale.
+    occupancy_fresh: bool,
+    /// Whether `previous` reflects the positions before the last step.
+    /// [`MultiWalk::step_exchange`] updates positions in place and records
+    /// the snapshot only when asked to (`track_previous`).
+    previous_fresh: bool,
     config: WalkConfig,
     round: u64,
 }
@@ -81,16 +131,22 @@ impl MultiWalk {
         for &v in &positions {
             assert!(v < n, "agent position {v} out of range");
         }
+        let positions: Vec<u32> = positions.into_iter().map(|v| v as u32).collect();
+        let agents = positions.len();
         let mut walk = MultiWalk {
             previous: positions.clone(),
             positions,
-            occupants: vec![Vec::new(); n],
+            occ_count: vec![0; n],
+            occ_cursor: vec![0; n],
+            occ_agents: vec![0; agents],
             touched: Vec::new(),
-            touched_flags: vec![false; n],
+            informed_here: vec![0; n.div_ceil(64)],
+            occupancy_fresh: true,
+            previous_fresh: true,
             config,
             round: 0,
         };
-        walk.fill_occupancy();
+        walk.rebuild_occupancy();
         walk
     }
 
@@ -115,42 +171,94 @@ impl MultiWalk {
     ///
     /// Panics if `agent >= self.num_agents()`.
     pub fn position(&self, agent: AgentId) -> VertexId {
-        self.positions[agent]
+        self.positions[agent] as VertexId
     }
 
     /// Position of `agent` before the most recent [`MultiWalk::step`]
     /// (equal to its current position before any step has been taken).
-    pub fn previous_position(&self, agent: AgentId) -> VertexId {
-        self.previous[agent]
-    }
-
-    /// All current positions, indexed by agent.
-    pub fn positions(&self) -> &[VertexId] {
-        &self.positions
-    }
-
-    /// The agents currently occupying vertex `v`.
     ///
     /// # Panics
     ///
-    /// Panics if `v` is out of range.
-    pub fn agents_at(&self, v: VertexId) -> &[AgentId] {
-        &self.occupants[v]
+    /// Panics if the last step was a [`MultiWalk::step_exchange`] without
+    /// `track_previous` (the in-place fast path does not record the
+    /// snapshot).
+    pub fn previous_position(&self, agent: AgentId) -> VertexId {
+        assert!(
+            self.previous_fresh,
+            "previous positions were not tracked by the last step_exchange"
+        );
+        self.previous[agent] as VertexId
+    }
+
+    /// All current positions, indexed by agent (vertex ids as `u32`).
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Asserts the counting-sort views are in sync with `positions`.
+    #[inline]
+    fn assert_occupancy_fresh(&self) {
+        assert!(
+            self.occupancy_fresh,
+            "occupancy views are stale after step_exchange; call refresh_occupancy() first"
+        );
+    }
+
+    /// The agents currently occupying vertex `v`, in ascending agent order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range, or if the occupancy views are stale
+    /// (see [`MultiWalk::refresh_occupancy`]).
+    pub fn agents_at(&self, v: VertexId) -> &[u32] {
+        self.assert_occupancy_fresh();
+        let count = self.occ_count[v] as usize;
+        let end = self.occ_cursor[v] as usize;
+        &self.occ_agents[end - count..end]
     }
 
     /// Number of agents currently at vertex `v` (`|Z_v(t)|` in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the occupancy views are stale (see
+    /// [`MultiWalk::refresh_occupancy`]).
     pub fn occupancy(&self, v: VertexId) -> usize {
-        self.occupants[v].len()
+        self.assert_occupancy_fresh();
+        self.occ_count[v] as usize
+    }
+
+    /// Whether an agent that was informed at the start of the most recent
+    /// [`MultiWalk::step_exchange`] round (per the bitset passed to it) is
+    /// currently at vertex `v`. This is the one occupancy fact the exchange
+    /// protocols consult per round, answered from a cache-resident bitset.
+    /// `false` everywhere if the last step was taken through
+    /// [`MultiWalk::step`] / [`MultiWalk::step_counting`] or after a
+    /// teleport rebuild.
+    #[inline]
+    pub fn informed_here(&self, v: VertexId) -> bool {
+        self.informed_here[v >> 6] & (1u64 << (v & 63)) != 0
     }
 
     /// Occupancy of every vertex as a vector of counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the occupancy views are stale (see
+    /// [`MultiWalk::refresh_occupancy`]).
     pub fn occupancy_counts(&self) -> Vec<usize> {
-        self.occupants.iter().map(Vec::len).collect()
+        self.assert_occupancy_fresh();
+        self.occ_count.iter().map(|&c| c as usize).collect()
     }
 
     /// Total number of agents in the closed neighborhood sense used by the
     /// paper's tweaked processes: the number of agents currently sitting on
     /// *neighbors* of `u` (i.e. the agents that could visit `u` next round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the occupancy views are stale (see
+    /// [`MultiWalk::refresh_occupancy`]).
     pub fn neighborhood_occupancy(&self, graph: &Graph, u: VertexId) -> usize {
         graph
             .neighbors(u)
@@ -159,12 +267,20 @@ impl MultiWalk {
             .sum()
     }
 
+    /// Rebuilds the counting-sort occupancy views from `positions` after a
+    /// [`MultiWalk::step_exchange`] left them stale. O(|A|). Idempotent.
+    pub fn refresh_occupancy(&mut self) {
+        if !self.occupancy_fresh {
+            self.rebuild_occupancy();
+        }
+    }
+
     /// Advances every agent by one synchronous step and increments the round
     /// counter. Lazy agents stay put with probability `config.laziness()`.
     ///
     /// Agents on isolated vertices never move.
     pub fn step<R: Rng + ?Sized>(&mut self, graph: &Graph, rng: &mut R) {
-        self.step_counting(graph, rng);
+        self.advance_csr(graph, rng);
     }
 
     /// Advances every agent by one synchronous step (exactly like
@@ -174,55 +290,210 @@ impl MultiWalk {
     /// This fuses the protocols' message-accounting pass into the movement
     /// loop, saving one full iteration over the agents per round.
     pub fn step_counting<R: Rng + ?Sized>(&mut self, graph: &Graph, rng: &mut R) -> u64 {
+        self.advance_csr(graph, rng)
+    }
+
+    /// Advances every agent like [`MultiWalk::step_counting`] and, fused into
+    /// the same movement pass, maintains the [`MultiWalk::informed_here`]
+    /// bitset from `informed`'s agent bitset (snapshotted as of the *start*
+    /// of the round — exactly the "informed in a previous round" set the
+    /// exchange protocols need). The counting-sort occupancy views are left
+    /// stale (see [`MultiWalk::refresh_occupancy`]); positions are updated
+    /// in place, so the previous-position view is recorded only when
+    /// `track_previous` is set (protocols pass their edge-traffic flag) and
+    /// is otherwise stale too. This is what makes the exchange round O(|A|)
+    /// sequential work over a working set small enough to sit in L2.
+    ///
+    /// Consumes the RNG identically to the other step methods: the informed
+    /// bookkeeping draws nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `informed` tracks fewer agents than `self.num_agents()`.
+    pub fn step_exchange<R: Rng + ?Sized>(
+        &mut self,
+        graph: &Graph,
+        rng: &mut R,
+        informed: &UninformedFrontier,
+        track_previous: bool,
+    ) -> u64 {
+        assert!(
+            informed.num_agents() >= self.num_agents(),
+            "informed frontier tracks too few agents"
+        );
+        self.advance_exchange(graph, rng, informed.informed_words(), track_previous)
+    }
+
+    /// Like [`MultiWalk::step_exchange`], but reading informedness from raw
+    /// bitset words (bit `g` of `words` set ⇔ agent `g` informed). Used by
+    /// protocols whose informed set is not monotone (e.g. agent churn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` has fewer than `num_agents().div_ceil(64)` entries.
+    pub fn step_exchange_words<R: Rng + ?Sized>(
+        &mut self,
+        graph: &Graph,
+        rng: &mut R,
+        words: &[u64],
+        track_previous: bool,
+    ) -> u64 {
+        assert!(
+            words.len() >= self.num_agents().div_ceil(64),
+            "informed bitset too short"
+        );
+        self.advance_exchange(graph, rng, words, track_previous)
+    }
+
+    /// Movement + full counting-sort rebuild (the general-purpose step).
+    fn advance_csr<R: Rng + ?Sized>(&mut self, graph: &Graph, rng: &mut R) -> u64 {
         let laziness = self.config.laziness();
         std::mem::swap(&mut self.previous, &mut self.positions);
-        // `previous` now holds the positions before this step; recompute
-        // `positions` from it.
+        self.previous_fresh = true;
+        self.clear_occupancy();
+        self.clear_informed_marks();
+        // Movement pass: draw per agent in ascending agent order (this is the
+        // only randomness in a step), counting arrivals as we go.
         let mut moves = 0u64;
-        if laziness > 0.0 {
-            for agent in 0..self.previous.len() {
-                let at = self.previous[agent];
-                let next = if rng.gen_bool(laziness) {
-                    at
-                } else {
-                    graph.random_neighbor(at, rng).unwrap_or(at)
-                };
-                moves += u64::from(next != at);
-                self.positions[agent] = next;
-            }
+        for agent in 0..self.previous.len() {
+            let at = self.previous[agent] as usize;
+            let stay = laziness > 0.0 && rng.gen_bool(laziness);
+            let next = if stay {
+                at
+            } else {
+                graph.random_neighbor(at, rng).unwrap_or(at)
+            };
+            moves += u64::from(next != at);
+            self.positions[agent] = next as u32;
+            self.count_arrival(next);
+        }
+        self.finish_occupancy();
+        self.occupancy_fresh = true;
+        self.round += 1;
+        moves
+    }
+
+    /// The exchange protocols' movement pass: per-agent draws in ascending
+    /// agent order (identical stream to [`MultiWalk::advance_csr`]), fused
+    /// with the informed-here bit marks; no counting-sort rebuild, and
+    /// positions updated **in place** (the previous-position snapshot is
+    /// copied only when a caller records edge traffic), so the per-round
+    /// working set is one position array plus two small bitsets. Informed
+    /// bits are read a word at a time, one word per 64-agent block.
+    fn advance_exchange<R: Rng + ?Sized>(
+        &mut self,
+        graph: &Graph,
+        rng: &mut R,
+        informed_words: &[u64],
+        track_previous: bool,
+    ) -> u64 {
+        let laziness = self.config.laziness();
+        if track_previous {
+            self.previous.copy_from_slice(&self.positions);
+            self.previous_fresh = true;
         } else {
-            for agent in 0..self.previous.len() {
-                let at = self.previous[agent];
-                let next = graph.random_neighbor(at, rng).unwrap_or(at);
-                moves += u64::from(next != at);
-                self.positions[agent] = next;
+            self.previous_fresh = false;
+        }
+        self.clear_informed_marks();
+        self.occupancy_fresh = false;
+        let mut moves = 0u64;
+        let positions = &mut self.positions;
+        let informed_here = &mut self.informed_here;
+        for (pos_block, &word) in positions.chunks_mut(64).zip(informed_words) {
+            // Specialize the two homogeneous block shapes: early in a
+            // broadcast almost every 64-agent block is all-uninformed, late
+            // almost every block is all-informed — both skip the per-agent
+            // bit juggling. Marks are unconditional `|=` into the
+            // memset-cleared bitset, so no data-dependent branch either way.
+            if word == 0 {
+                for q in pos_block.iter_mut() {
+                    let at = *q as usize;
+                    let stay = laziness > 0.0 && rng.gen_bool(laziness);
+                    let next = if stay {
+                        at
+                    } else {
+                        graph.random_neighbor(at, rng).unwrap_or(at)
+                    };
+                    moves += u64::from(next != at);
+                    *q = next as u32;
+                }
+            } else if word == u64::MAX {
+                for q in pos_block.iter_mut() {
+                    let at = *q as usize;
+                    let stay = laziness > 0.0 && rng.gen_bool(laziness);
+                    let next = if stay {
+                        at
+                    } else {
+                        graph.random_neighbor(at, rng).unwrap_or(at)
+                    };
+                    moves += u64::from(next != at);
+                    *q = next as u32;
+                    informed_here[next >> 6] |= 1u64 << (next & 63);
+                }
+            } else {
+                let mut bits = word;
+                for q in pos_block.iter_mut() {
+                    let informed = bits & 1;
+                    bits >>= 1;
+                    let at = *q as usize;
+                    let stay = laziness > 0.0 && rng.gen_bool(laziness);
+                    let next = if stay {
+                        at
+                    } else {
+                        graph.random_neighbor(at, rng).unwrap_or(at)
+                    };
+                    moves += u64::from(next != at);
+                    *q = next as u32;
+                    // Branchless mark: ORs zero for uninformed agents, so the
+                    // mixed-block path has no data-dependent branch (mixed
+                    // informed bits mid-broadcast would mispredict ~50%).
+                    informed_here[next >> 6] |= informed << (next & 63);
+                }
             }
         }
-        self.clear_occupancy();
-        self.fill_occupancy();
         self.round += 1;
         moves
     }
 
     /// Moves a single agent to an explicit vertex (used by tweaked processes
-    /// that teleport or add agents for analysis purposes).
+    /// that teleport or add agents for analysis purposes). Rebuilds occupancy
+    /// eagerly — O(|A|); batch moves through [`MultiWalk::teleport_many`].
     ///
     /// # Panics
     ///
     /// Panics if `agent` or `to` is out of range.
     pub fn teleport(&mut self, agent: AgentId, to: VertexId) {
-        assert!(to < self.occupants.len(), "teleport target out of range");
-        let from = self.positions[agent];
-        if from == to {
+        assert!(to < self.occ_count.len(), "teleport target out of range");
+        if self.positions[agent] as usize == to {
             return;
         }
-        self.occupants[from].retain(|&a| a != agent);
-        if !self.touched_flags[to] {
-            self.touched_flags[to] = true;
-            self.touched.push(to as u32);
+        self.positions[agent] = to as u32;
+        self.rebuild_occupancy();
+    }
+
+    /// Applies a batch of explicit agent moves (the agent-churn protocols
+    /// replace many agents per round). Later entries for the same agent win.
+    ///
+    /// The occupancy rebuild is *deferred*: the counting-sort views go stale
+    /// (see [`MultiWalk::refresh_occupancy`]) rather than being rebuilt
+    /// eagerly, because the churn hot path immediately takes an exchange
+    /// step that would discard the rebuild anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any agent or target vertex is out of range.
+    pub fn teleport_many(&mut self, moves: &[(AgentId, VertexId)]) {
+        if moves.is_empty() {
+            return;
         }
-        self.occupants[to].push(agent);
-        self.positions[agent] = to;
+        for &(agent, to) in moves {
+            assert!(to < self.occ_count.len(), "teleport target out of range");
+            self.positions[agent] = to as u32;
+        }
+        // Keep the documented "informed marks are false outside an exchange
+        // round" contract: positions changed, so the marks are meaningless.
+        self.clear_informed_marks();
+        self.occupancy_fresh = false;
     }
 
     /// Iterates over `(vertex, agents_here)` pairs for vertices with at least
@@ -230,31 +501,62 @@ impl MultiWalk {
     ///
     /// The iteration order is unspecified (it follows the internal touched
     /// list, not ascending vertex ids).
-    pub fn occupied_vertices(&self) -> impl Iterator<Item = (VertexId, &[AgentId])> {
+    pub fn occupied_vertices(&self) -> impl Iterator<Item = (VertexId, &[u32])> {
         self.touched
             .iter()
-            .map(|&v| (v as VertexId, self.occupants[v as usize].as_slice()))
-            .filter(|(_, agents)| !agents.is_empty())
+            .map(|&v| (v as VertexId, self.agents_at(v as VertexId)))
     }
 
-    /// Clears exactly the occupant lists that are currently populated.
+    /// Registers an arrival at `v` in the counting pass.
+    #[inline]
+    fn count_arrival(&mut self, v: usize) {
+        let c = self.occ_count[v];
+        if c == 0 {
+            self.touched.push(v as u32);
+        }
+        self.occ_count[v] = c + 1;
+    }
+
+    /// Clears exactly the per-vertex counters that are currently populated.
     fn clear_occupancy(&mut self) {
         for &v in &self.touched {
-            self.occupants[v as usize].clear();
-            self.touched_flags[v as usize] = false;
+            self.occ_count[v as usize] = 0;
         }
         self.touched.clear();
     }
 
-    /// Rebuilds occupant lists and the touched list from `positions`.
-    fn fill_occupancy(&mut self) {
-        for (agent, &v) in self.positions.iter().enumerate() {
-            if !self.touched_flags[v] {
-                self.touched_flags[v] = true;
-                self.touched.push(v as u32);
-            }
-            self.occupants[v].push(agent);
+    /// Clears the informed-here bitset (one vectorized memset of n/8 bytes).
+    fn clear_informed_marks(&mut self) {
+        self.informed_here.fill(0);
+    }
+
+    /// Offsets + scatter passes: assign each touched vertex a block in
+    /// `occ_agents` and place agent ids (ascending agent order within a
+    /// block, because the scatter walks agents in order).
+    fn finish_occupancy(&mut self) {
+        let mut cum = 0u32;
+        for &v in &self.touched {
+            self.occ_cursor[v as usize] = cum;
+            cum += self.occ_count[v as usize];
         }
+        for (agent, &p) in self.positions.iter().enumerate() {
+            let cursor = &mut self.occ_cursor[p as usize];
+            self.occ_agents[*cursor as usize] = agent as u32;
+            *cursor += 1;
+        }
+    }
+
+    /// Full occupancy rebuild from `positions` (constructor, teleports, and
+    /// [`MultiWalk::refresh_occupancy`]).
+    fn rebuild_occupancy(&mut self) {
+        self.clear_occupancy();
+        self.clear_informed_marks();
+        for i in 0..self.positions.len() {
+            let v = self.positions[i] as usize;
+            self.count_arrival(v);
+        }
+        self.finish_occupancy();
+        self.occupancy_fresh = true;
     }
 }
 
@@ -307,6 +609,7 @@ mod tests {
             let before: Vec<_> = w.positions().to_vec();
             w.step(&g, &mut r);
             for (agent, &prev) in before.iter().enumerate() {
+                let prev = prev as VertexId;
                 assert_ne!(w.position(agent), prev, "simple walk must move every round");
                 assert!(g.has_edge(prev, w.position(agent)));
                 assert_eq!(w.previous_position(agent), prev);
@@ -376,11 +679,109 @@ mod tests {
     }
 
     #[test]
+    fn teleport_many_applies_batch_with_deferred_rebuild() {
+        let g = complete(6).unwrap();
+        let mut w = MultiWalk::from_positions(&g, vec![0, 1, 2], WalkConfig::simple());
+        w.teleport_many(&[(0, 5), (2, 5), (1, 3)]);
+        assert_eq!(w.position(0), 5);
+        assert_eq!(w.position(1), 3);
+        assert_eq!(w.position(2), 5);
+        // The rebuild is deferred; the detailed views come back on refresh.
+        w.refresh_occupancy();
+        assert_eq!(w.agents_at(5), &[0, 2]);
+        assert_eq!(w.occupancy(0), 0);
+        assert_eq!(w.occupancy_counts().iter().sum::<usize>(), 3);
+        // Later entries for the same agent win.
+        w.teleport_many(&[(1, 0), (1, 4)]);
+        assert_eq!(w.position(1), 4);
+        // Empty batch is a no-op (and leaves fresh views fresh).
+        w.refresh_occupancy();
+        w.teleport_many(&[]);
+        assert_eq!(w.occupancy(4), 1);
+    }
+
+    #[test]
     fn occupied_vertices_lists_only_nonempty() {
         let g = complete(6).unwrap();
         let w = MultiWalk::from_positions(&g, vec![2, 2, 5], WalkConfig::simple());
         let occ: Vec<_> = w.occupied_vertices().map(|(v, a)| (v, a.len())).collect();
         assert_eq!(occ, vec![(2, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn occupancy_blocks_match_positions_after_many_steps() {
+        let g = star(9).unwrap();
+        let mut r = rng(13);
+        let mut w = MultiWalk::new(&g, 25, &Placement::Stationary, WalkConfig::lazy(), &mut r);
+        for _ in 0..30 {
+            w.step(&g, &mut r);
+            for v in g.vertices() {
+                let block = w.agents_at(v);
+                assert_eq!(block.len(), w.occupancy(v));
+                // Blocks are ascending agent ids, consistent with positions.
+                assert!(block.windows(2).all(|p| p[0] < p[1]));
+                for &a in block {
+                    assert_eq!(w.position(a as usize), v);
+                }
+            }
+            let listed: usize = w.occupied_vertices().map(|(_, a)| a.len()).sum();
+            assert_eq!(listed, w.num_agents());
+        }
+    }
+
+    #[test]
+    fn step_exchange_marks_informed_arrivals() {
+        let g = complete(4).unwrap();
+        let mut r = rng(17);
+        let mut w = MultiWalk::from_positions(&g, vec![0, 1, 2, 3], WalkConfig::simple());
+        let mut frontier = UninformedFrontier::new(4);
+        frontier.mark_informed(1);
+        frontier.mark_informed(3);
+        for _ in 0..10 {
+            w.step_exchange(&g, &mut r, &frontier, false);
+            for v in g.vertices() {
+                let expected = (0..4).any(|a| frontier.is_informed(a) && w.position(a) == v);
+                assert_eq!(w.informed_here(v), expected, "vertex {v}");
+            }
+        }
+        // The detailed occupancy views are refreshable afterwards…
+        w.refresh_occupancy();
+        assert_eq!(w.occupancy_counts().iter().sum::<usize>(), 4);
+        let listed: usize = w.occupied_vertices().map(|(_, a)| a.len()).sum();
+        assert_eq!(listed, 4);
+        // …and a plain step clears the informed marks.
+        w.step(&g, &mut r);
+        assert!(g.vertices().all(|v| !w.informed_here(v)));
+        assert_eq!(w.occupancy_counts().iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn occupancy_views_panic_while_stale() {
+        let g = complete(4).unwrap();
+        let mut r = rng(19);
+        let mut w = MultiWalk::from_positions(&g, vec![0, 1], WalkConfig::simple());
+        let frontier = UninformedFrontier::new(2);
+        w.step_exchange(&g, &mut r, &frontier, false);
+        let _ = w.occupancy(0); // must panic, not answer from stale data
+    }
+
+    #[test]
+    fn step_exchange_consumes_rng_like_plain_step() {
+        let g = star(12).unwrap();
+        let positions: Vec<VertexId> = vec![0, 3, 5, 7, 9, 11];
+        let mut a = MultiWalk::from_positions(&g, positions.clone(), WalkConfig::lazy());
+        let mut b = MultiWalk::from_positions(&g, positions, WalkConfig::lazy());
+        let mut rng_a = rng(23);
+        let mut rng_b = rng(23);
+        let mut frontier = UninformedFrontier::new(6);
+        frontier.mark_informed(0);
+        for _ in 0..40 {
+            let moves_a = a.step_counting(&g, &mut rng_a);
+            let moves_b = b.step_exchange(&g, &mut rng_b, &frontier, true);
+            assert_eq!(moves_a, moves_b);
+            assert_eq!(a.positions(), b.positions());
+        }
     }
 
     #[test]

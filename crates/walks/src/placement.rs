@@ -83,7 +83,9 @@ impl Placement {
         let n = graph.num_vertices();
         assert!(n > 0, "cannot place agents on an empty graph");
         match self {
-            Placement::Stationary => (0..count).map(|_| graph.sample_stationary(rng)).collect(),
+            // Bulk path: draw-for-draw identical to `count` single samples,
+            // but hoists the per-call checks and specializes regular graphs.
+            Placement::Stationary => graph.sample_stationary_many(count, rng),
             Placement::OneUniquePerVertex => (0..n).collect(),
             Placement::UniformRandom => (0..count).map(|_| rng.gen_range(0..n)).collect(),
             Placement::AllAt(v) => {
