@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use rumor_bench::summary::record_summary;
+use rumor_bench::summary::record_summary_in;
 use rumor_core::{simulate, ProtocolKind, SimulationSpec};
 use rumor_graphs::generators::CycleOfStarsOfCliques;
 use rumor_graphs::Graph;
@@ -205,7 +205,8 @@ fn agent_walks(c: &mut Criterion) {
          ({naive_rounds:.0} rounds) vs flat engine {engine:.3?} ({engine_rounds:.0} rounds) => \
          speedup {speedup:.1}x, per-round {per_round_speedup:.1}x (target >= 10x)"
     );
-    record_summary(
+    record_summary_in(
+        "BENCH_walks.json",
         "agent_walks_meet_exchange",
         &[
             ("n", n as f64),

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use rumor_bench::summary::record_summary;
+use rumor_bench::summary::record_summary_in;
 use rumor_core::{simulate, ProtocolKind, SimulationSpec};
 use rumor_graphs::generators::CycleOfStarsOfCliques;
 use rumor_graphs::Graph;
@@ -119,7 +119,8 @@ fn hot_path(c: &mut Criterion) {
         "hot_path summary: n={n}, push full broadcast — naive {naive:.3?} vs frontier \
          {frontier:.3?} => speedup {speedup:.1}x (target >= 5x)"
     );
-    record_summary(
+    record_summary_in(
+        "BENCH_hot_path.json",
         "hot_path_push",
         &[
             ("n", n as f64),

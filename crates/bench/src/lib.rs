@@ -105,34 +105,44 @@ pub fn paper_protocols_lazy() -> Vec<BenchProtocol> {
 }
 
 pub mod summary {
-    //! Machine-readable bench summaries (`BENCH_walks.json`).
+    //! Machine-readable bench summaries (`BENCH_*.json`).
     //!
-    //! The `hot_path`-family benches append their mean times and speedup
-    //! ratios to one JSON object at the workspace root, so the perf
-    //! trajectory is tracked from run to run without scraping criterion
-    //! output. The file holds one entry per bench key, each on its own line;
-    //! re-running a bench replaces its entry and leaves the others intact.
-    //! (The vendored `serde` is a no-op stand-in, so the format is written
-    //! and merged with plain string handling here.)
+    //! The perf-tracking benches append their mean times and speedup ratios
+    //! to small JSON objects at the workspace root, so the perf trajectory
+    //! is tracked from run to run without scraping criterion output. Three
+    //! files share **one schema**:
+    //!
+    //! * `BENCH_hot_path.json` — the vertex-protocol engine (`hot_path`);
+    //! * `BENCH_walks.json` — the agent-walk engine (`agent_walks`);
+    //! * `BENCH_parallel.json` — the sharded engine (`parallel_scaling`).
+    //!
+    //! Each file holds one entry per bench key, one per line; re-running a
+    //! bench replaces its entry and leaves the others intact. Every entry
+    //! written through [`record_summary_in`] carries host metadata —
+    //! `host_logical_cores` (what the machine has) — alongside whatever
+    //! workload fields the bench reports (thread counts used go in plain
+    //! fields like `threads`); a summary number is meaningless without
+    //! knowing how much hardware produced it. (The vendored `serde` is a
+    //! no-op stand-in, so the format is written and merged with plain string
+    //! handling here.)
 
     use std::fs;
     use std::path::PathBuf;
 
-    /// Where the summary lives: `$RUMOR_BENCH_JSON` if set, else
-    /// `BENCH_walks.json` at the workspace root.
-    pub fn bench_json_path() -> PathBuf {
-        std::env::var_os("RUMOR_BENCH_JSON")
+    /// Workspace-root location of a summary `file` (e.g.
+    /// `"BENCH_parallel.json"`). Set `$RUMOR_BENCH_DIR` to redirect all
+    /// summary files into another directory (e.g. a tmpdir in CI).
+    pub fn bench_json_path(file: &str) -> PathBuf {
+        std::env::var_os("RUMOR_BENCH_DIR")
             .map(PathBuf::from)
-            .unwrap_or_else(|| {
-                PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_walks.json")
-            })
+            .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."))
+            .join(file)
     }
 
-    /// Replaces (or appends) `key`'s entry in an existing summary document,
-    /// returning the new document. Entries are kept sorted by key.
-    pub fn merge_summary(existing: &str, key: &str, entry_json: &str) -> String {
-        let mut entries: Vec<(String, String)> = Vec::new();
-        for line in existing.lines() {
+    /// Parses a summary document into `(key, entry_json)` pairs.
+    fn parse_entries(doc: &str) -> Vec<(String, String)> {
+        let mut entries = Vec::new();
+        for line in doc.lines() {
             let trimmed = line.trim();
             if let Some(rest) = trimmed.strip_prefix('"') {
                 if let Some((k, v)) = rest.split_once("\": ") {
@@ -140,8 +150,11 @@ pub mod summary {
                 }
             }
         }
-        entries.retain(|(k, _)| k != key);
-        entries.push((key.to_string(), entry_json.to_string()));
+        entries
+    }
+
+    /// Renders `(key, entry_json)` pairs as a summary document (sorted keys).
+    fn render_entries(mut entries: Vec<(String, String)>) -> String {
         entries.sort();
         let mut out = String::from("{\n");
         for (i, (k, v)) in entries.iter().enumerate() {
@@ -153,19 +166,47 @@ pub mod summary {
         out
     }
 
-    /// Records one bench's numeric fields under `key`, merging with whatever
-    /// the summary file already holds. Failures to write are reported, not
-    /// fatal (benches must still run in read-only checkouts).
-    pub fn record_summary(key: &str, fields: &[(&str, f64)]) {
+    /// Replaces (or appends) `key`'s entry in an existing summary document,
+    /// returning the new document. Entries are kept sorted by key.
+    pub fn merge_summary(existing: &str, key: &str, entry_json: &str) -> String {
+        let mut entries = parse_entries(existing);
+        entries.retain(|(k, _)| k != key);
+        entries.push((key.to_string(), entry_json.to_string()));
+        render_entries(entries)
+    }
+
+    /// Merges several summary documents into one (reporting convenience:
+    /// all three `BENCH_*.json` files as a single object). Later documents
+    /// win on duplicate keys; keys come out sorted.
+    pub fn combine_documents(docs: &[&str]) -> String {
+        let mut entries: Vec<(String, String)> = Vec::new();
+        for doc in docs {
+            for (k, v) in parse_entries(doc) {
+                entries.retain(|(existing, _)| existing != &k);
+                entries.push((k, v));
+            }
+        }
+        render_entries(entries)
+    }
+
+    /// Records one bench's numeric fields under `key` in `file` (one of the
+    /// three `BENCH_*.json` names), merging with whatever the file already
+    /// holds and stamping the unified schema's host metadata
+    /// (`host_logical_cores`). Failures to write are reported, not fatal
+    /// (benches must still run in read-only checkouts).
+    pub fn record_summary_in(file: &str, key: &str, fields: &[(&str, f64)]) {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let entry = format!(
-            "{{{}}}",
+            "{{{}, \"host_logical_cores\": {cores}}}",
             fields
                 .iter()
                 .map(|(k, v)| format!("\"{k}\": {v:.6}"))
                 .collect::<Vec<_>>()
                 .join(", ")
         );
-        let path = bench_json_path();
+        let path = bench_json_path(file);
         let existing = fs::read_to_string(&path).unwrap_or_default();
         let merged = merge_summary(&existing, key, &entry);
         match fs::write(&path, merged) {
@@ -204,6 +245,64 @@ mod tests {
         assert_eq!(
             summary::merge_summary(&replaced, "b_bench", "{\"speedup\": 12.5}"),
             replaced
+        );
+    }
+
+    #[test]
+    fn combine_documents_merges_all_three_bench_files() {
+        // Representative contents of the three unified-schema files.
+        let hot_path = summary::merge_summary(
+            "",
+            "hot_path_push",
+            "{\"n\": 106079.0, \"speedup\": 103.7, \"host_logical_cores\": 1}",
+        );
+        let walks = summary::merge_summary(
+            "",
+            "agent_walks_meet_exchange",
+            "{\"n\": 106079.0, \"speedup\": 7.2, \"host_logical_cores\": 1}",
+        );
+        let parallel = summary::merge_summary(
+            "",
+            "parallel_push",
+            "{\"n\": 1000000.0, \"threads\": 4, \"host_logical_cores\": 1}",
+        );
+        let combined = summary::combine_documents(&[&hot_path, &walks, &parallel]);
+        for key in [
+            "hot_path_push",
+            "agent_walks_meet_exchange",
+            "parallel_push",
+        ] {
+            assert_eq!(combined.matches(key).count(), 1, "missing {key}");
+        }
+        // Sorted keys, one line each, object delimiters intact.
+        let agent_pos = combined.find("agent_walks").unwrap();
+        let hot_pos = combined.find("hot_path").unwrap();
+        let par_pos = combined.find("parallel_push").unwrap();
+        assert!(agent_pos < hot_pos && hot_pos < par_pos);
+        assert!(combined.starts_with("{\n") && combined.ends_with("}\n"));
+        // Later documents win on key conflicts.
+        let override_doc = summary::merge_summary(
+            "",
+            "parallel_push",
+            "{\"n\": 5.0, \"host_logical_cores\": 1}",
+        );
+        let overridden = summary::combine_documents(&[&parallel, &override_doc]);
+        assert!(overridden.contains("\"n\": 5.0"));
+        assert_eq!(overridden.matches("parallel_push").count(), 1);
+    }
+
+    #[test]
+    fn bench_json_path_honors_dir_override() {
+        // Default: workspace root. (Only this test touches the env var, so
+        // the set/remove pair cannot race another test.)
+        let path = summary::bench_json_path("BENCH_parallel.json");
+        assert!(path.ends_with("BENCH_parallel.json"));
+        std::env::set_var("RUMOR_BENCH_DIR", "/tmp/rumor-bench-override");
+        let overridden = summary::bench_json_path("BENCH_parallel.json");
+        std::env::remove_var("RUMOR_BENCH_DIR");
+        assert_eq!(
+            overridden,
+            std::path::Path::new("/tmp/rumor-bench-override").join("BENCH_parallel.json")
         );
     }
 }

@@ -13,11 +13,24 @@
 //!   and their own `dyn RngCore`. It always records history, as documented.
 //!
 //! **Determinism guarantee:** a simulation outcome is a pure function of
-//! `(graph, source, spec)`. [`simulate`] derives all randomness from one
-//! `SmallRng` seeded with `spec.seed`, protocols draw their variates in a
-//! fixed documented order, and the parallel trial runner assigns one
-//! derived seed per trial — so the same spec and seed give the same outcome
-//! on every machine and at every thread count.
+//! `(graph, source, spec)`. The workspace supports two determinism
+//! contracts, selected by [`SimulationSpec::engine`]:
+//!
+//! * [`Engine::Sequential`] (the default): all randomness comes from one
+//!   `SmallRng` seeded with `spec.seed`, and protocols draw their variates
+//!   in a fixed documented order (ascending entity order). This is the
+//!   reference contract — bit-compatible with the naive implementations the
+//!   equivalence tests pin — but inherently single-threaded within a run.
+//! * [`Engine::Sharded`]: every vertex or agent draws from its own
+//!   counter-based stream (`rand::stream`, keyed by `(seed, round,
+//!   entity_id, draw_index)`), so a round can be sharded across worker
+//!   threads and the outcome is **bit-identical at every thread count**,
+//!   including 1. The two engines produce different (equally valid)
+//!   trajectories for the same seed; statistical tests pin their round
+//!   distributions against each other.
+//!
+//! In both cases the parallel trial runner assigns one derived seed per
+//! trial, so a sweep's results are independent of scheduling.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -151,6 +164,19 @@ fn collect_outcome<P: Protocol + ?Sized>(
 /// # Ok::<(), rumor_graphs::GraphError>(())
 /// ```
 pub fn simulate(graph: &Graph, source: VertexId, spec: &SimulationSpec) -> BroadcastOutcome {
+    if let Engine::Sharded { threads } = spec.engine {
+        if crate::parallel::supports(spec) {
+            return crate::parallel::simulate_sharded(
+                graph,
+                source,
+                spec,
+                crate::parallel::resolve_threads(threads),
+            );
+        }
+        // Unsupported configurations (combined protocol, edge-traffic
+        // observability) fall back to the sequential reference engine —
+        // still deterministic, just under the draw-order contract.
+    }
     let mut rng = SmallRng::seed_from_u64(spec.seed);
     let record = spec.options.record_history;
     let rounds = spec.max_rounds;
@@ -204,6 +230,30 @@ pub fn simulate_async(
     }
 }
 
+/// Which simulation engine drives a run — i.e. which of the two determinism
+/// contracts applies (see the crate-level "Engine architecture" docs and the
+/// README's "Determinism" section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The sequential reference engine: one generator, consumed in
+    /// ascending entity order. Bit-compatible with the naive references in
+    /// `tests/equivalence.rs`; supports every protocol and option.
+    #[default]
+    Sequential,
+    /// The sharded engine: counter-based per-entity streams
+    /// (`rand::stream`), rounds sharded across `threads` scoped workers.
+    /// Output is bit-identical at every thread count (pinned by
+    /// `tests/parallel_engine.rs`). Supports `push`, `pull`, `push-pull`,
+    /// `visit-exchange`, and `meet-exchange` without
+    /// [`ProtocolOptions::record_edge_traffic`]; other configurations fall
+    /// back to [`Engine::Sequential`].
+    Sharded {
+        /// Worker count; `0` = auto (`RUMOR_THREADS` env var, else all
+        /// cores) — see [`crate::resolve_threads`].
+        threads: usize,
+    },
+}
+
 /// A complete, reproducible description of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationSpec {
@@ -217,11 +267,13 @@ pub struct SimulationSpec {
     pub max_rounds: u64,
     /// RNG seed; identical specs with identical seeds produce identical runs.
     pub seed: u64,
+    /// Which engine (and so which determinism contract) drives the run.
+    pub engine: Engine,
 }
 
 impl SimulationSpec {
     /// A spec with the paper's defaults: `α = 1` stationary agents, simple
-    /// walks, a generous round cap, and seed 0.
+    /// walks, a generous round cap, seed 0, and the sequential engine.
     pub fn new(kind: ProtocolKind) -> Self {
         SimulationSpec {
             kind,
@@ -229,12 +281,26 @@ impl SimulationSpec {
             options: ProtocolOptions::none(),
             max_rounds: 10_000_000,
             seed: 0,
+            engine: Engine::Sequential,
         }
     }
 
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Selects the engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the sharded (thread-invariant) engine with `threads` workers
+    /// (`0` = auto; see [`Engine::Sharded`]).
+    pub fn with_sharded(mut self, threads: usize) -> Self {
+        self.engine = Engine::Sharded { threads };
         self
     }
 

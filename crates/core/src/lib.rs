@@ -67,11 +67,19 @@
 //!   types with the engine's fast RNG (xoshiro256++ `SmallRng`), so neighbor
 //!   sampling inlines with no per-draw virtual dispatch. `StdRng` (ChaCha12)
 //!   remains available for callers that want it.
-//! * **Determinism:** an outcome is a pure function of `(graph, source,
-//!   spec)` — same spec + seed ⇒ same outcome, regardless of machine or
-//!   thread count. Both sampling modes draw RNG variates in ascending vertex
-//!   order and are pinned bit-identical against naive reference
-//!   implementations by `tests/equivalence.rs`.
+//! * **Determinism — two contracts:** an outcome is a pure function of
+//!   `(graph, source, spec)` — same spec + seed ⇒ same outcome, regardless
+//!   of machine or thread count. [`Engine::Sequential`] (the default) is
+//!   the draw-order contract: one generator consumed in ascending entity
+//!   order, pinned bit-identical against naive references by
+//!   `tests/equivalence.rs`. [`Engine::Sharded`] is the counter-based
+//!   contract: every entity draws from its own stream (`rand::stream`,
+//!   keyed by seed/round/entity/draw), so rounds shard across scoped
+//!   worker threads with bit-identical output at every thread count —
+//!   pinned at 1/2/3/8 workers by `tests/parallel_engine.rs`, which also
+//!   pins the two engines' round distributions against each other.
+//!   [`resolve_threads`] maps a requested count (`0` = auto) through the
+//!   `RUMOR_THREADS` environment variable and the host's parallelism.
 //! * Per-round history is recorded only when
 //!   [`ProtocolOptions::record_history`] is set; large sweeps allocate no
 //!   [`RoundRecord`]s at all.
@@ -83,14 +91,16 @@
 mod engine;
 mod metrics;
 mod options;
+mod parallel;
 mod protocol;
 mod protocols;
 
 pub mod instrument;
 
-pub use engine::{run_to_completion, simulate, simulate_async, SimulationSpec};
+pub use engine::{run_to_completion, simulate, simulate_async, Engine, SimulationSpec};
 pub use metrics::{BroadcastOutcome, EdgeTraffic, EdgeTrafficStats, RoundRecord};
 pub use options::{AgentConfig, ProtocolOptions};
+pub use parallel::resolve_threads;
 pub use protocol::{build_protocol, Protocol, ProtocolKind};
 pub use protocols::{
     AsyncPush, AsyncPushPull, ChurnVisitExchange, InvalidChurnError, MeetExchange, Pull, Push,

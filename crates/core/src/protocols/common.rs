@@ -142,6 +142,13 @@ impl InformedSet {
     pub(crate) fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
         self.ones()
     }
+
+    /// The raw membership words (bit `i` set ⇔ item `i` informed), for the
+    /// sharded engine's word-range scans.
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.bits
+    }
 }
 
 /// Ascending iterator over set bits (see [`InformedSet::ones`]).
@@ -227,6 +234,13 @@ impl Bits {
             current: self.words.first().copied().unwrap_or(0),
             word_idx: 0,
         }
+    }
+
+    /// The raw words (bit `i` set ⇔ item `i` active), for the sharded
+    /// engine's popcount-balanced word-range partitioning.
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
     }
 }
 

@@ -108,6 +108,26 @@ impl ExperimentConfig {
                 .unwrap_or(1)
         }
     }
+
+    /// The worker count `run_trials` actually uses for a sweep of `trials`
+    /// trials: `min(threads, trials, available_parallelism())`, at least 1.
+    ///
+    /// Clamping to the trial count stops small sweeps from spawning scoped
+    /// threads that would never claim a ticket, and clamping to the host's
+    /// parallelism stops oversubscription when a config asks for more
+    /// workers than there are cores. Exposed (rather than buried in
+    /// `run_trials`) so callers can budget *nested* parallelism: a per-trial
+    /// auto-threaded sharded engine gets
+    /// `rumor_core::resolve_threads(0) / resolved_workers(trials)` threads —
+    /// the total thread pool (`RUMOR_THREADS` if set, else the host's
+    /// parallelism) split across the trial workers, so `trials × shards`
+    /// stays within whatever budget the operator configured.
+    pub fn resolved_workers(&self, trials: usize) -> usize {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.worker_threads().min(trials).min(cores).max(1)
+    }
 }
 
 impl Default for ExperimentConfig {
@@ -147,5 +167,24 @@ mod tests {
     #[test]
     fn worker_threads_defaults_to_positive() {
         assert!(ExperimentConfig::default().worker_threads() >= 1);
+    }
+
+    #[test]
+    fn resolved_workers_clamps_to_trials_cores_and_one() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let cfg = ExperimentConfig::smoke().with_threads(16);
+        // Never more workers than trials…
+        assert_eq!(cfg.resolved_workers(3), 3.min(cores));
+        assert_eq!(cfg.resolved_workers(1), 1);
+        // …never more than the machine has…
+        assert!(cfg.resolved_workers(1000) <= cores);
+        // …and always at least one, even for a zero-trial query.
+        assert_eq!(cfg.resolved_workers(0), 1);
+        // The auto setting is bounded the same way.
+        let auto = ExperimentConfig::smoke().with_threads(0);
+        assert!(auto.resolved_workers(8) <= cores.min(8));
+        assert!(auto.resolved_workers(8) >= 1);
     }
 }

@@ -6,11 +6,19 @@
 //! and no contention beyond the one atomic increment per trial. Results come
 //! back ordered by trial index regardless of which worker ran what, which is
 //! what makes single- and multi-threaded runs bit-identical.
+//!
+//! Worker counts are budgeted by [`ExperimentConfig::resolved_workers`]
+//! (`min(threads, trials, available_parallelism)`), and nested parallelism
+//! is budgeted against the same pool: a spec that selects the sharded
+//! engine with auto thread count gets `total budget / trial workers` shards
+//! per trial, so `trials × shards` never oversubscribes the machine. The
+//! sharded engine is thread-invariant, so this budgeting never changes
+//! results — only wall-clock.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use rumor_core::{simulate, BroadcastOutcome, SimulationSpec};
+use rumor_core::{simulate, BroadcastOutcome, Engine, SimulationSpec};
 use rumor_graphs::{Graph, VertexId};
 
 use crate::config::ExperimentConfig;
@@ -51,7 +59,22 @@ pub fn run_trials(
     assert!(trials > 0, "run_trials requires at least one trial");
     assert!(source < graph.num_vertices(), "source out of range");
 
-    let workers = config.worker_threads().min(trials).max(1);
+    let workers = config.resolved_workers(trials);
+
+    // Nested-parallelism budget: an auto-threaded sharded spec splits the
+    // total thread budget (`RUMOR_THREADS` if the operator set one, else
+    // the host's parallelism) across the trial workers, so trials × shards
+    // stays within that budget. Explicit shard counts are respected as-is.
+    // Thread-invariance of the sharded engine guarantees this cannot
+    // change any outcome.
+    let spec_storage;
+    let spec = if spec.engine == (Engine::Sharded { threads: 0 }) {
+        let budget = (rumor_core::resolve_threads(0) / workers).max(1);
+        spec_storage = spec.clone().with_sharded(budget);
+        &spec_storage
+    } else {
+        spec
+    };
 
     // One write-once slot per trial, pre-partitioned so workers never touch
     // each other's results; a ticket counter hands out trial indices.
@@ -146,6 +169,25 @@ mod tests {
         );
         assert_eq!(times.len(), 4);
         assert!(times.iter().all(|&t| t > 0));
+    }
+
+    #[test]
+    fn sharded_specs_budget_nested_parallelism_without_changing_results() {
+        let g = star(50).unwrap();
+        // Auto shard count: run_trials resolves it against the worker
+        // budget; thread-invariance means the outcomes must equal an
+        // explicit 1-shard run regardless of what the budget resolves to.
+        let auto = SimulationSpec::new(ProtocolKind::VisitExchange)
+            .with_seed(8)
+            .with_sharded(0);
+        let explicit = auto.clone().with_sharded(1);
+        let cfg = ExperimentConfig::smoke().with_threads(2);
+        let from_auto = run_trials(&g, 0, &auto, 4, &cfg);
+        let from_explicit = run_trials(&g, 0, &explicit, 4, &cfg);
+        assert_eq!(from_auto.len(), 4);
+        for (a, b) in from_auto.iter().zip(&from_explicit) {
+            assert_eq!(a, b, "nested budget changed a sharded outcome");
+        }
     }
 
     #[test]

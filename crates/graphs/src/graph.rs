@@ -282,7 +282,7 @@ impl Graph {
     /// equivalence tests pin this.
     ///
     /// Requires `deg > 0` (i.e. a non-sentinel sampler word).
-    #[inline]
+    #[inline(always)]
     fn sample_neighbor_index<R: Rng + ?Sized>(word: u32, rng: &mut R) -> u64 {
         if word & POW2_TAG != 0 {
             // Power-of-two degree: top log2(d) bits of one draw.
@@ -325,7 +325,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `u >= self.num_vertices()`.
-    #[inline]
+    #[inline(always)]
     #[allow(unsafe_code)]
     pub fn random_neighbor<R: Rng + ?Sized>(&self, u: VertexId, rng: &mut R) -> Option<VertexId> {
         let entry = self.sampler[u];
@@ -358,16 +358,22 @@ impl Graph {
 
     /// Resolves a sampled index to a neighbor: arithmetically for
     /// interval-tagged vertices (no adjacency read), by CSR lookup otherwise.
-    #[inline]
-    #[allow(unsafe_code)]
+    #[inline(always)]
     fn neighbor_from_entry<R: Rng + ?Sized>(
         &self,
         u: VertexId,
         entry: NeighborSampler,
         rng: &mut R,
     ) -> VertexId {
+        let i = Self::sample_neighbor_index(entry.word, rng);
+        self.resolve_neighbor_index(u, entry, i)
+    }
+
+    /// Maps sampled index `i` (`< deg(u)`) to the corresponding neighbor.
+    #[inline(always)]
+    #[allow(unsafe_code)]
+    fn resolve_neighbor_index(&self, u: VertexId, entry: NeighborSampler, i: u64) -> VertexId {
         let word = entry.word;
-        let i = Self::sample_neighbor_index(word, rng);
         if word & INTERVAL_TAG != 0 {
             if word & OUTLIER_TAG != 0 {
                 // One neighbor lies outside the interval; sorted order puts
@@ -402,7 +408,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `u >= self.num_vertices()` or if `deg(u) == 0`.
-    #[inline]
+    #[inline(always)]
     #[allow(unsafe_code)]
     pub fn random_neighbor_nonisolated<R: Rng + ?Sized>(
         &self,
@@ -418,6 +424,36 @@ impl Graph {
             "random_neighbor_nonisolated on isolated vertex {u}"
         );
         self.neighbor_from_entry(u, entry, rng)
+    }
+
+    /// Like [`Graph::random_neighbor`], but the generator is produced
+    /// lazily by `make_rng` — and **never produced at all when
+    /// `deg(u) == 1`**, where the draw's outcome is forced and the sample
+    /// is resolved arithmetically.
+    ///
+    /// This breaks the sequential engines' draw-consumption contract (they
+    /// must consume a variate even for forced draws, to stay stream-aligned
+    /// with the generic bounded sampler), so it is **only** for callers
+    /// using counter-based per-entity streams (`rand::stream`), where an
+    /// entity's unused draws are simply never computed and shift nothing.
+    /// Degree-1 vertices are common and hot in the paper's instances — star
+    /// leaves push/pull/walk through this path every round — making the
+    /// skipped block function measurable end to end.
+    #[inline(always)]
+    pub fn random_neighbor_with<R: Rng, F: FnOnce() -> R>(
+        &self,
+        u: VertexId,
+        make_rng: F,
+    ) -> Option<VertexId> {
+        let entry = self.sampler[u];
+        if entry.word == 0 {
+            return None;
+        }
+        if Self::entry_degree(entry.word) == 1 {
+            return Some(self.resolve_neighbor_index(u, entry, 0));
+        }
+        let mut rng = make_rng();
+        Some(self.neighbor_from_entry(u, entry, &mut rng))
     }
 
     /// Returns `true` if `(u, v)` is an edge. `O(log deg(u))`.

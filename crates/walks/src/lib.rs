@@ -37,6 +37,17 @@
 //! the exact trajectory of the naive `Vec<Vec>` substrate this engine
 //! replaced — `rumor-core`'s `tests/equivalence.rs` pins that bit-for-bit.
 //!
+//! [`MultiWalk::par_step_exchange`] implements the workspace's second
+//! determinism contract: each agent draws from its own counter-based stream
+//! (`rand::stream`, keyed by `(key, round, agent identity)`), so the
+//! movement pass shards across 64-aligned agent blocks on scoped worker
+//! threads and the result is bit-identical at every thread count, including
+//! the inline 1-thread path. Per-shard informed-here bitsets are merged
+//! with atomic-free OR passes at the round barrier. The two contracts
+//! produce different (equally valid) trajectories for the same seed; the
+//! sharded engine in `rumor-core` selects between them per
+//! `SimulationSpec`.
+//!
 //! ## Example
 //!
 //! ```

@@ -41,6 +41,7 @@
 //! identical to the naive `Vec<Vec>` substrate it replaced — the equivalence
 //! tests in `rumor-core` pin this bit-for-bit.
 
+use rand::stream::StreamKey;
 use rand::Rng;
 
 use rumor_graphs::{Graph, VertexId};
@@ -98,6 +99,10 @@ pub struct MultiWalk {
     /// [`MultiWalk::step_exchange`] updates positions in place and records
     /// the snapshot only when asked to (`track_previous`).
     previous_fresh: bool,
+    /// Per-shard informed-here scratch bitsets for
+    /// [`MultiWalk::par_step_exchange`] (empty until the first sharded step;
+    /// reused across rounds so no sharded step allocates after warm-up).
+    shard_marks: Vec<Vec<u64>>,
     config: WalkConfig,
     round: u64,
 }
@@ -141,6 +146,7 @@ impl MultiWalk {
             occ_agents: vec![0; agents],
             touched: Vec::new(),
             informed_here: vec![0; n.div_ceil(64)],
+            shard_marks: Vec::new(),
             occupancy_fresh: true,
             previous_fresh: true,
             config,
@@ -452,6 +458,253 @@ impl MultiWalk {
             }
         }
         self.round += 1;
+        moves
+    }
+
+    /// The sharded, thread-invariant counterpart of
+    /// [`MultiWalk::step_exchange`]: agents are split into 64-aligned blocks
+    /// across `threads` scoped workers, and every agent draws from its own
+    /// counter-based stream (`rand::stream`, keyed by
+    /// `(key, round, agent_id)`) instead of a shared sequential generator.
+    ///
+    /// Because a draw is a pure function of the agent's identity, the result
+    /// is **bit-identical at every thread count** (including 1, where the
+    /// whole pass runs inline with no thread spawn): sharding only decides
+    /// *who computes* a draw, never *what* it is. Each worker marks informed
+    /// arrivals into a private per-shard bitset; the shards are merged into
+    /// [`MultiWalk::informed_here`] with one atomic-free OR pass per word
+    /// after the workers join (ORs commute, so merge order is immaterial).
+    ///
+    /// The draw order *within* one agent's stream matches the sequential
+    /// engine exactly (optional laziness draw, then a neighbor draw), so the
+    /// trajectory *law* is the sequential engine's — only the underlying
+    /// variates differ. Occupancy views go stale exactly like
+    /// [`MultiWalk::step_exchange`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `informed_words` has fewer than
+    /// `num_agents().div_ceil(64)` entries, or if `threads == 0`.
+    pub fn par_step_exchange(
+        &mut self,
+        graph: &Graph,
+        key: &StreamKey,
+        informed_words: &[u64],
+        track_previous: bool,
+        threads: usize,
+    ) -> u64 {
+        assert!(threads > 0, "par_step_exchange needs at least one thread");
+        let num_agents = self.positions.len();
+        assert!(
+            informed_words.len() >= num_agents.div_ceil(64),
+            "informed bitset too short"
+        );
+        let round_key = key.round_key(self.round.wrapping_add(1));
+        let laziness = self.config.laziness();
+        if track_previous {
+            self.previous.copy_from_slice(&self.positions);
+            self.previous_fresh = true;
+        } else {
+            self.previous_fresh = false;
+        }
+        self.occupancy_fresh = false;
+
+        // 64-aligned shard span so each shard starts on an informed-word
+        // boundary; at most `threads` shards.
+        let per_thread = num_agents.div_ceil(threads);
+        let shard_span = per_thread.div_ceil(64).max(1) * 64;
+        let num_shards = num_agents.div_ceil(shard_span);
+
+        let moves = if num_shards <= 1 {
+            // Inline path: no spawn, marks written straight into the main
+            // bitset. Identical output by construction — the draws do not
+            // depend on who computes them.
+            self.clear_informed_marks();
+            Self::move_agent_range(
+                graph,
+                &round_key,
+                laziness,
+                informed_words,
+                0,
+                &mut self.positions,
+                &mut self.informed_here,
+            )
+        } else {
+            let words = self.informed_here.len();
+            if self.shard_marks.len() < num_shards {
+                self.shard_marks.resize_with(num_shards, Vec::new);
+            }
+            for marks in &mut self.shard_marks[..num_shards] {
+                marks.clear();
+                marks.resize(words, 0);
+            }
+            let mut shard_marks = std::mem::take(&mut self.shard_marks);
+            let positions = &mut self.positions;
+            let mut total = 0u64;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(num_shards);
+                for ((shard, chunk), marks) in positions
+                    .chunks_mut(shard_span)
+                    .enumerate()
+                    .zip(shard_marks.iter_mut())
+                {
+                    handles.push(scope.spawn(move || {
+                        Self::move_agent_range(
+                            graph,
+                            &round_key,
+                            laziness,
+                            informed_words,
+                            shard * shard_span,
+                            chunk,
+                            marks,
+                        )
+                    }));
+                }
+                for handle in handles {
+                    total += handle.join().expect("shard worker panicked");
+                }
+            });
+            // Atomic-free OR merge: word `i` of the main bitset is the OR of
+            // word `i` across shards (commutative, so thread count and merge
+            // order cannot influence the result).
+            for (i, slot) in self.informed_here.iter_mut().enumerate() {
+                let mut word = 0u64;
+                for marks in &shard_marks[..num_shards] {
+                    word |= marks[i];
+                }
+                *slot = word;
+            }
+            self.shard_marks = shard_marks;
+            total
+        };
+        self.round += 1;
+        moves
+    }
+
+    /// Movement pass over `chunk` (agents `base..base + chunk.len()`), each
+    /// agent drawing from its own pure stream; informed arrivals are marked
+    /// into `marks` branchlessly. Returns the number of agents that
+    /// traversed an edge.
+    ///
+    /// Draw scheme — fixed by the walk configuration, so it is part of the
+    /// deterministic contract (and identical at every thread count either
+    /// way):
+    ///
+    /// * **Simple walks** (one neighbor draw per agent per round): agents
+    ///   `2p` and `2p + 1` read lanes 0 and 1 of pair stream `p`
+    ///   ([`rand::stream::RoundKey::lane_streams`]), so one Philox block
+    ///   serves two agents — per-entity streams would discard half of every
+    ///   block. Rejection continuations (probability ≈ deg/2⁶⁴) compute
+    ///   per-lane follow-up blocks.
+    /// * **Lazy walks** (laziness draw + neighbor draw): each agent uses its
+    ///   own per-entity stream — here both words of the agent's first block
+    ///   are consumed, so there is nothing for a pair to share.
+    ///
+    /// Pair blocks are batch-computed eight agents (four pairs) at a time:
+    /// one block is a serial multiply chain, but distinct pairs' chains
+    /// share no state, so emitting four back to back keeps the multiplier
+    /// ports busy instead of stalling on one chain's latency.
+    fn move_agent_range(
+        graph: &Graph,
+        round_key: &rand::stream::RoundKey,
+        laziness: f64,
+        informed_words: &[u64],
+        base: usize,
+        chunk: &mut [u32],
+        marks: &mut [u64],
+    ) -> u64 {
+        debug_assert_eq!(base % 64, 0, "shards must be 64-aligned");
+        let mut moves = 0u64;
+        for (block_idx, block) in chunk.chunks_mut(64).enumerate() {
+            let block_base = base + block_idx * 64;
+            let word = informed_words[block_base >> 6];
+            // The same homogeneous-block specialization as the sequential
+            // engine: all-uninformed blocks (most blocks early in a
+            // broadcast) skip the mark stores entirely, all-informed blocks
+            // (most blocks late) mark unconditionally, and only mixed
+            // blocks pay the branchless per-bit OR.
+            moves += if word == 0 {
+                Self::move_block::<0>(graph, round_key, laziness, 0, block_base, block, marks)
+            } else if word == u64::MAX {
+                Self::move_block::<1>(graph, round_key, laziness, 0, block_base, block, marks)
+            } else {
+                Self::move_block::<2>(graph, round_key, laziness, word, block_base, block, marks)
+            };
+        }
+        moves
+    }
+
+    /// Moves one 64-agent block of a sharded movement pass. `MARKS`: 0 = no
+    /// agent in the block is informed (no mark stores), 1 = all are
+    /// (unconditional marks), 2 = mixed (branchless mark from `word`).
+    #[inline(always)]
+    fn move_block<const MARKS: u8>(
+        graph: &Graph,
+        round_key: &rand::stream::RoundKey,
+        laziness: f64,
+        word: u64,
+        block_base: usize,
+        block: &mut [u32],
+        marks: &mut [u64],
+    ) -> u64 {
+        #[inline(always)]
+        fn mark<const MARKS: u8>(marks: &mut [u64], next: usize, informed_bit: u64) {
+            match MARKS {
+                0 => {}
+                1 => marks[next >> 6] |= 1u64 << (next & 63),
+                _ => marks[next >> 6] |= informed_bit << (next & 63),
+            }
+        }
+        let mut moves = 0u64;
+        if laziness == 0.0 {
+            // Pair-lane scheme: agents 2p and 2p+1 draw lanes 0 and 1 of
+            // pair stream p, so one block function serves two agents. The
+            // lanes are unrolled with literal indices: a `for lane in 0..2`
+            // loop would index the shared block dynamically and force the
+            // stream state through the stack every iteration. (A degree-1
+            // draw-skip was tried here and reverted: the data-dependent
+            // degree branch mispredicts on mixed agent populations and cost
+            // more than the skipped blocks saved.)
+            for (pair_idx, pair_slice) in block.chunks_mut(2).enumerate() {
+                let pair = (block_base / 2 + pair_idx) as u64;
+                let first = round_key.first_block(pair);
+                let bits = word >> (pair_idx * 2);
+                {
+                    let mut rng = round_key.lane_stream(pair, 0, first);
+                    let at = pair_slice[0] as usize;
+                    let next = graph.random_neighbor(at, &mut rng).unwrap_or(at);
+                    moves += u64::from(next != at);
+                    pair_slice[0] = next as u32;
+                    mark::<MARKS>(marks, next, bits & 1);
+                }
+                if let Some(q) = pair_slice.get_mut(1) {
+                    let mut rng = round_key.lane_stream(pair, 1, first);
+                    let at = *q as usize;
+                    let next = graph.random_neighbor(at, &mut rng).unwrap_or(at);
+                    moves += u64::from(next != at);
+                    *q = next as u32;
+                    mark::<MARKS>(marks, next, (bits >> 1) & 1);
+                }
+            }
+        } else {
+            // Per-entity scheme: the agent's first block covers the
+            // laziness + neighbor draws, so pairs have nothing to share.
+            let mut bits = word;
+            for (j, q) in block.iter_mut().enumerate() {
+                let agent = (block_base + j) as u64;
+                let mut rng = round_key.stream_primed(agent, round_key.first_block(agent));
+                let at = *q as usize;
+                let next = if rng.gen_bool(laziness) {
+                    at
+                } else {
+                    graph.random_neighbor(at, &mut rng).unwrap_or(at)
+                };
+                moves += u64::from(next != at);
+                *q = next as u32;
+                mark::<MARKS>(marks, next, bits & 1);
+                bits >>= 1;
+            }
+        }
         moves
     }
 
@@ -782,6 +1035,97 @@ mod tests {
             assert_eq!(moves_a, moves_b);
             assert_eq!(a.positions(), b.positions());
         }
+    }
+
+    #[test]
+    fn par_step_exchange_is_thread_count_invariant() {
+        for config in [WalkConfig::simple(), WalkConfig::lazy()] {
+            let g = star(9).unwrap();
+            let mut r = rng(29);
+            let reference = MultiWalk::new(&g, 200, &Placement::Stationary, config, &mut r);
+            let key = StreamKey::from_seed(5);
+            let mut frontier = UninformedFrontier::new(200);
+            for agent in (0..200).step_by(3) {
+                frontier.mark_informed(agent);
+            }
+            let mut runs: Vec<(MultiWalk, Vec<u64>)> = [1usize, 2, 3, 8]
+                .into_iter()
+                .map(|threads| {
+                    let mut w = reference.clone();
+                    let moves = (0..25)
+                        .map(|_| {
+                            w.par_step_exchange(&g, &key, frontier.informed_words(), false, threads)
+                        })
+                        .collect();
+                    (w, moves)
+                })
+                .collect();
+            let (one_thread, moves_one) = runs.remove(0);
+            for (w, moves) in runs {
+                assert_eq!(moves, moves_one, "move counts differ across thread counts");
+                assert_eq!(w.positions(), one_thread.positions());
+                for v in g.vertices() {
+                    assert_eq!(w.informed_here(v), one_thread.informed_here(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_step_exchange_marks_match_positions() {
+        let g = cycle(12).unwrap();
+        let mut w = MultiWalk::from_positions(&g, (0..12).collect(), WalkConfig::simple());
+        let key = StreamKey::from_seed(1);
+        let mut frontier = UninformedFrontier::new(12);
+        frontier.mark_informed(2);
+        frontier.mark_informed(9);
+        for _ in 0..15 {
+            w.par_step_exchange(&g, &key, frontier.informed_words(), false, 3);
+            for v in g.vertices() {
+                let expected = (0..12).any(|a| frontier.is_informed(a) && w.position(a) == v);
+                assert_eq!(w.informed_here(v), expected, "vertex {v}");
+            }
+        }
+        // Occupancy views are stale but refreshable, exactly like
+        // step_exchange.
+        w.refresh_occupancy();
+        assert_eq!(w.occupancy_counts().iter().sum::<usize>(), 12);
+    }
+
+    #[test]
+    fn par_step_exchange_tracks_previous_when_asked() {
+        let g = complete(6).unwrap();
+        let mut w = MultiWalk::from_positions(&g, vec![0, 1, 2, 3], WalkConfig::simple());
+        let key = StreamKey::from_seed(3);
+        let frontier = UninformedFrontier::new(4);
+        let before: Vec<u32> = w.positions().to_vec();
+        let moves = w.par_step_exchange(&g, &key, frontier.informed_words(), true, 2);
+        for (agent, &prev) in before.iter().enumerate() {
+            assert_eq!(w.previous_position(agent), prev as usize);
+        }
+        // On a complete graph every agent moves every round.
+        assert_eq!(moves, 4);
+        assert_eq!(w.round(), 1);
+    }
+
+    #[test]
+    fn par_step_exchange_handles_zero_agents() {
+        let g = complete(4).unwrap();
+        let mut w = MultiWalk::from_positions(&g, vec![], WalkConfig::simple());
+        let key = StreamKey::from_seed(0);
+        let moves = w.par_step_exchange(&g, &key, &[], false, 4);
+        assert_eq!(moves, 0);
+        assert_eq!(w.round(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn par_step_exchange_rejects_zero_threads() {
+        let g = complete(4).unwrap();
+        let mut w = MultiWalk::from_positions(&g, vec![0], WalkConfig::simple());
+        let key = StreamKey::from_seed(0);
+        let frontier = UninformedFrontier::new(1);
+        w.par_step_exchange(&g, &key, frontier.informed_words(), false, 0);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Prints the stream module's known-answer vectors (dev helper; the pinned
+//! values in `stream::tests` were generated with this).
+use rand::stream::{philox2x64, philox2x64_6, StreamKey};
+use rand::RngCore;
+
+fn main() {
+    let cases = [
+        ([0u64, 0u64], 0u64),
+        ([u64::MAX, u64::MAX], u64::MAX),
+        (
+            [0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210],
+            0xdead_beef_cafe_babe,
+        ),
+    ];
+    for (ctr, key) in cases {
+        let r10 = philox2x64(ctr, key);
+        let r6 = philox2x64_6(ctr, key);
+        println!(
+            "philox10 {ctr:x?} {key:#x} -> [{:#018x}, {:#018x}]",
+            r10[0], r10[1]
+        );
+        println!(
+            "philox6  {ctr:x?} {key:#x} -> [{:#018x}, {:#018x}]",
+            r6[0], r6[1]
+        );
+    }
+    let mut s = StreamKey::from_seed(0).round_key(0).stream(0);
+    println!(
+        "stream(0,0,0): {:#018x} {:#018x} {:#018x}",
+        s.next_u64(),
+        s.next_u64(),
+        s.next_u64()
+    );
+    let mut s = StreamKey::from_seed(7).round_key(12).stream(99);
+    println!("stream(7,12,99): {:#018x}", s.next_u64());
+    let rk = StreamKey::from_seed(3).round_key(5);
+    let [mut a, mut b] = rk.lane_streams(20, rk.first_block(20));
+    println!(
+        "lanes(3,5,pair20): a {:#018x} {:#018x} / b {:#018x} {:#018x}",
+        a.next_u64(),
+        a.next_u64(),
+        b.next_u64(),
+        b.next_u64()
+    );
+}

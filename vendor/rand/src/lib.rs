@@ -12,6 +12,10 @@
 //! * [`rngs::SmallRng`] — xoshiro256++, the small fast generator the
 //!   simulation engine uses on its hot path.
 //! * [`seq::SliceRandom::shuffle`] — Fisher–Yates.
+//! * [`stream`] — counter-based streams (Philox2x64) whose draws are pure
+//!   functions of `(seed, round, entity, draw_index)`; the substrate of the
+//!   workspace's thread-invariant sharded engines (not part of upstream
+//!   `rand`'s API).
 //!
 //! Determinism: all generators here are pure functions of their seed, so any
 //! simulation seeded through [`SeedableRng::seed_from_u64`] is exactly
@@ -19,6 +23,8 @@
 //! `rand`; only the API is.
 
 #![deny(missing_docs)]
+
+pub mod stream;
 
 use core::ops::Range;
 
