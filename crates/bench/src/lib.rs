@@ -109,25 +109,61 @@ pub mod summary {
     //!
     //! The perf-tracking benches append their mean times and speedup ratios
     //! to small JSON objects at the workspace root, so the perf trajectory
-    //! is tracked from run to run without scraping criterion output. Three
-    //! files share **one schema**:
+    //! is tracked from run to run without scraping criterion output. Four
+    //! files share **one schema** (see [`SUMMARY_FILES`]):
     //!
     //! * `BENCH_hot_path.json` — the vertex-protocol engine (`hot_path`);
     //! * `BENCH_walks.json` — the agent-walk engine (`agent_walks`);
-    //! * `BENCH_parallel.json` — the sharded engine (`parallel_scaling`).
+    //! * `BENCH_parallel.json` — the sharded engine (`parallel_scaling`);
+    //! * `BENCH_scale.json` — the implicit-topology / workspace-reuse scale
+    //!   bench (`scale`): backend `memory_bytes` footprints and ratios,
+    //!   giant-instance broadcast wall-clock, and sweep speedups.
     //!
     //! Each file holds one entry per bench key, one per line; re-running a
     //! bench replaces its entry and leaves the others intact. Every entry
     //! written through [`record_summary_in`] carries host metadata —
-    //! `host_logical_cores` (what the machine has) — alongside whatever
-    //! workload fields the bench reports (thread counts used go in plain
-    //! fields like `threads`); a summary number is meaningless without
-    //! knowing how much hardware produced it. (The vendored `serde` is a
-    //! no-op stand-in, so the format is written and merged with plain string
-    //! handling here.)
+    //! `host_logical_cores` (what the machine has) and `peak_rss_bytes`
+    //! (high-water resident set of the bench process, the number behind the
+    //! "10⁸ vertices under 4 GB" claim) — alongside whatever workload fields
+    //! the bench reports (topology footprints go in `memory_bytes`-suffixed
+    //! fields, thread counts in plain fields like `threads`); a summary
+    //! number is meaningless without knowing how much hardware produced it.
+    //! (The vendored `serde` is a no-op stand-in, so the format is written
+    //! and merged with plain string handling here.)
 
     use std::fs;
     use std::path::PathBuf;
+
+    /// The unified-schema summary documents, in reporting order.
+    /// [`combine_summary_files`] merges whichever of them exist.
+    pub const SUMMARY_FILES: [&str; 4] = [
+        "BENCH_hot_path.json",
+        "BENCH_walks.json",
+        "BENCH_parallel.json",
+        "BENCH_scale.json",
+    ];
+
+    /// High-water resident set size of this process in bytes (`VmHWM` from
+    /// `/proc/self/status`), or 0 where unavailable. Stamped into every
+    /// summary entry: memory claims (e.g. the 10⁸-vertex broadcast staying
+    /// under 4 GB) are only auditable with the measured peak alongside.
+    pub fn peak_rss_bytes() -> u64 {
+        let Ok(status) = fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .unwrap_or(0);
+                return kb * 1024;
+            }
+        }
+        0
+    }
 
     /// Workspace-root location of a summary `file` (e.g.
     /// `"BENCH_parallel.json"`). Set `$RUMOR_BENCH_DIR` to redirect all
@@ -175,8 +211,20 @@ pub mod summary {
         render_entries(entries)
     }
 
+    /// Merges the [`SUMMARY_FILES`] that exist on disk (under
+    /// `$RUMOR_BENCH_DIR` or the workspace root) into one document — the
+    /// whole perf trajectory as a single object.
+    pub fn combine_summary_files() -> String {
+        let docs: Vec<String> = SUMMARY_FILES
+            .iter()
+            .filter_map(|file| fs::read_to_string(bench_json_path(file)).ok())
+            .collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        combine_documents(&refs)
+    }
+
     /// Merges several summary documents into one (reporting convenience:
-    /// all three `BENCH_*.json` files as a single object). Later documents
+    /// all four `BENCH_*.json` files as a single object). Later documents
     /// win on duplicate keys; keys come out sorted.
     pub fn combine_documents(docs: &[&str]) -> String {
         let mut entries: Vec<(String, String)> = Vec::new();
@@ -190,16 +238,17 @@ pub mod summary {
     }
 
     /// Records one bench's numeric fields under `key` in `file` (one of the
-    /// three `BENCH_*.json` names), merging with whatever the file already
+    /// [`SUMMARY_FILES`] names), merging with whatever the file already
     /// holds and stamping the unified schema's host metadata
-    /// (`host_logical_cores`). Failures to write are reported, not fatal
-    /// (benches must still run in read-only checkouts).
+    /// (`host_logical_cores` and `peak_rss_bytes`). Failures to write are
+    /// reported, not fatal (benches must still run in read-only checkouts).
     pub fn record_summary_in(file: &str, key: &str, fields: &[(&str, f64)]) {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
+        let rss = peak_rss_bytes();
         let entry = format!(
-            "{{{}, \"host_logical_cores\": {cores}}}",
+            "{{{}, \"host_logical_cores\": {cores}, \"peak_rss_bytes\": {rss}}}",
             fields
                 .iter()
                 .map(|(k, v)| format!("\"{k}\": {v:.6}"))
@@ -289,6 +338,48 @@ mod tests {
         let overridden = summary::combine_documents(&[&parallel, &override_doc]);
         assert!(overridden.contains("\"n\": 5.0"));
         assert_eq!(overridden.matches("parallel_push").count(), 1);
+    }
+
+    #[test]
+    fn summary_schema_lists_scale_as_first_class() {
+        assert!(summary::SUMMARY_FILES.contains(&"BENCH_scale.json"));
+        assert_eq!(summary::SUMMARY_FILES.len(), 4);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = summary::peak_rss_bytes();
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(rss > 0, "VmHWM must parse to a positive byte count");
+            // Sanity: a test process holds at least a few hundred KiB and
+            // (hopefully) less than a terabyte.
+            assert!(rss > 100 * 1024 && rss < 1 << 40, "rss = {rss}");
+        }
+    }
+
+    #[test]
+    fn combine_documents_accepts_scale_entries_with_memory_fields() {
+        let scale = summary::merge_summary(
+            "",
+            "scale_memory_cycle_of_stars",
+            "{\"n\": 106079.0, \"csr_memory_bytes\": 2400000.0, \
+             \"implicit_memory_bytes\": 40.0, \"memory_ratio\": 60000.0, \
+             \"host_logical_cores\": 1, \"peak_rss_bytes\": 1048576}",
+        );
+        let hot = summary::merge_summary(
+            "",
+            "hot_path_push",
+            "{\"speedup\": 100.0, \"host_logical_cores\": 1}",
+        );
+        let combined = summary::combine_documents(&[&hot, &scale]);
+        assert!(combined.contains("scale_memory_cycle_of_stars"));
+        assert!(combined.contains("\"memory_ratio\": 60000.0"));
+        assert!(combined.contains("\"peak_rss_bytes\": 1048576"));
+        assert!(combined.contains("hot_path_push"));
+        // Four-file reporting order is stable (sorted keys).
+        let scale_pos = combined.find("scale_memory").unwrap();
+        let hot_pos = combined.find("hot_path_push").unwrap();
+        assert!(hot_pos < scale_pos);
     }
 
     #[test]

@@ -35,7 +35,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 
-use rumor_graphs::{Graph, VertexId};
+use rumor_graphs::{AnyTopology, Graph, Topology, VertexId};
 
 use crate::metrics::{BroadcastOutcome, RoundRecord};
 use crate::options::{AgentConfig, ProtocolOptions};
@@ -122,9 +122,7 @@ fn collect_outcome<P: Protocol + ?Sized>(
     history: Vec<RoundRecord>,
 ) -> BroadcastOutcome {
     let rounds = protocol.round();
-    let edge_traffic = protocol
-        .edge_traffic()
-        .map(|t| t.stats(protocol.graph(), rounds.max(1)));
+    let edge_traffic = protocol.edge_traffic_stats(rounds.max(1));
     BroadcastOutcome {
         protocol: protocol.name().to_string(),
         rounds,
@@ -164,6 +162,21 @@ fn collect_outcome<P: Protocol + ?Sized>(
 /// # Ok::<(), rumor_graphs::GraphError>(())
 /// ```
 pub fn simulate(graph: &Graph, source: VertexId, spec: &SimulationSpec) -> BroadcastOutcome {
+    simulate_on(graph, source, spec)
+}
+
+/// [`simulate`] over either [`Topology`] backend, monomorphized: the CSR and
+/// implicit instantiations each compile their own fully-inlined run loops
+/// (the `FastStep` pattern, one level up). For equal degrees the two
+/// backends consume randomness identically and resolve sampled indices to
+/// identical neighbors, so the outcome is **bit-identical across backends**
+/// — `tests/implicit_topology.rs` pins this for every family, protocol,
+/// engine, and thread count.
+pub fn simulate_on<G: Topology>(
+    graph: &G,
+    source: VertexId,
+    spec: &SimulationSpec,
+) -> BroadcastOutcome {
     if let Engine::Sharded { threads } = spec.engine {
         if crate::parallel::supports(spec) {
             return crate::parallel::simulate_sharded(
@@ -206,6 +219,147 @@ pub fn simulate(graph: &Graph, source: VertexId, spec: &SimulationSpec) -> Broad
                 PushPullVisitExchange::new(graph, source, &spec.agents, spec.options, &mut rng);
             run_fast(&mut p, rounds, record, &mut rng)
         }
+    }
+}
+
+/// [`simulate`] over a runtime-selected [`AnyTopology`]: matches the backend
+/// **once** and hands off to the corresponding monomorphized
+/// [`simulate_on`] instantiation — the enum never sits on a sampling hot
+/// path.
+pub fn simulate_topology(
+    topology: &AnyTopology,
+    source: VertexId,
+    spec: &SimulationSpec,
+) -> BroadcastOutcome {
+    match topology {
+        AnyTopology::Csr(graph) => simulate_on(graph, source, spec),
+        AnyTopology::Implicit(graph) => simulate_on(graph, source, spec),
+    }
+}
+
+/// A pooled simulation state for repeated trials on one graph: the protocol
+/// object — bitsets, frontiers, occupancy arrays, touched lists, dense
+/// buffers — survives between [`simulate_in`] calls and is `reset()` rather
+/// than reallocated, so a sweep's per-trial heap churn drops to zero after
+/// the first trial. The sweep runner keeps one workspace per worker thread.
+///
+/// The workspace remembers what it holds (protocol kind, agent
+/// configuration, graph identity); a call with a different fingerprint
+/// simply rebuilds the slot, so reuse is always safe — and reset is pinned
+/// bit-identical to fresh construction by the equivalence tests.
+#[derive(Debug, Default)]
+pub struct SimWorkspace<'g, G: Topology = Graph> {
+    slot: Option<(WorkspaceKey, Slot<'g, G>)>,
+}
+
+/// What must match for a pooled protocol state to be reusable via reset.
+#[derive(Debug, Clone, PartialEq)]
+struct WorkspaceKey {
+    kind: ProtocolKind,
+    agents: AgentConfig,
+    /// Graph identity (stored as an address; the workspace never
+    /// dereferences it — the slot's own borrow keeps the graph alive).
+    graph_addr: usize,
+}
+
+#[derive(Debug)]
+enum Slot<'g, G: Topology> {
+    Push(Push<'g, G>),
+    Pull(Pull<'g, G>),
+    PushPull(PushPull<'g, G>),
+    VisitExchange(VisitExchange<'g, G>),
+    MeetExchange(MeetExchange<'g, G>),
+    Combined(PushPullVisitExchange<'g, G>),
+}
+
+impl<G: Topology> SimWorkspace<'_, G> {
+    /// An empty workspace; buffers materialize on first use.
+    pub fn new() -> Self {
+        SimWorkspace { slot: None }
+    }
+}
+
+/// Like [`simulate_on`], but sourcing all per-trial state from `workspace` —
+/// same outcome, bit for bit (protocol `reset` is construction-equivalent,
+/// and consumes identical placement draws), with zero heap allocation per
+/// trial after the first.
+///
+/// Configurations the workspace cannot pool — the sharded engine (which
+/// reuses its own internal buffers per run) and edge-traffic observability
+/// (whose recorder must start empty) — transparently fall through to
+/// [`simulate_on`].
+pub fn simulate_in<'g, G: Topology>(
+    graph: &'g G,
+    source: VertexId,
+    spec: &SimulationSpec,
+    workspace: &mut SimWorkspace<'g, G>,
+) -> BroadcastOutcome {
+    if spec.options.record_edge_traffic || spec.engine != Engine::Sequential {
+        return simulate_on(graph, source, spec);
+    }
+    let graph_addr = graph as *const G as usize;
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    // Compare the fingerprint by reference — the key (and its AgentConfig
+    // clone) is only materialized when a slot is actually (re)built, so the
+    // per-trial reuse path stays allocation-free.
+    let reuse = matches!(
+        &workspace.slot,
+        Some((k, _)) if k.kind == spec.kind && k.graph_addr == graph_addr && k.agents == spec.agents
+    );
+    if reuse {
+        // Reset in place: bit-identical to fresh construction (the agent
+        // resets re-draw placements from `rng` exactly like `new`).
+        match &mut workspace.slot.as_mut().expect("slot checked above").1 {
+            Slot::Push(p) => p.reset(source),
+            Slot::Pull(p) => p.reset(source),
+            Slot::PushPull(p) => p.reset(source),
+            Slot::VisitExchange(p) => p.reset(source, &spec.agents, &mut rng),
+            Slot::MeetExchange(p) => p.reset(source, &spec.agents, &mut rng),
+            Slot::Combined(p) => p.reset(source, &spec.agents, &mut rng),
+        }
+    } else {
+        let slot = match spec.kind {
+            ProtocolKind::Push => Slot::Push(Push::new(graph, source, spec.options)),
+            ProtocolKind::Pull => Slot::Pull(Pull::new(graph, source, spec.options)),
+            ProtocolKind::PushPull => Slot::PushPull(PushPull::new(graph, source, spec.options)),
+            ProtocolKind::VisitExchange => Slot::VisitExchange(VisitExchange::new(
+                graph,
+                source,
+                &spec.agents,
+                spec.options,
+                &mut rng,
+            )),
+            ProtocolKind::MeetExchange => Slot::MeetExchange(MeetExchange::new(
+                graph,
+                source,
+                &spec.agents,
+                spec.options,
+                &mut rng,
+            )),
+            ProtocolKind::PushPullVisitExchange => Slot::Combined(PushPullVisitExchange::new(
+                graph,
+                source,
+                &spec.agents,
+                spec.options,
+                &mut rng,
+            )),
+        };
+        let key = WorkspaceKey {
+            kind: spec.kind,
+            agents: spec.agents.clone(),
+            graph_addr,
+        };
+        workspace.slot = Some((key, slot));
+    }
+    let record = spec.options.record_history;
+    let rounds = spec.max_rounds;
+    match &mut workspace.slot.as_mut().expect("slot just filled").1 {
+        Slot::Push(p) => run_fast(p, rounds, record, &mut rng),
+        Slot::Pull(p) => run_fast(p, rounds, record, &mut rng),
+        Slot::PushPull(p) => run_fast(p, rounds, record, &mut rng),
+        Slot::VisitExchange(p) => run_fast(p, rounds, record, &mut rng),
+        Slot::MeetExchange(p) => run_fast(p, rounds, record, &mut rng),
+        Slot::Combined(p) => run_fast(p, rounds, record, &mut rng),
     }
 }
 
@@ -348,10 +502,10 @@ impl SimulationSpec {
     ///     .is_lazy());
     /// # Ok::<(), rumor_graphs::GraphError>(())
     /// ```
-    pub fn adapted_to(mut self, graph: &Graph) -> Self {
+    pub fn adapted_to<G: Topology>(mut self, graph: &G) -> Self {
         if self.kind == ProtocolKind::MeetExchange
             && !self.agents.walk.is_lazy()
-            && rumor_graphs::algorithms::is_bipartite(graph)
+            && graph.is_bipartite()
         {
             self.agents = self.agents.lazy();
         }

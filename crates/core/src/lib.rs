@@ -83,6 +83,18 @@
 //! * Per-round history is recorded only when
 //!   [`ProtocolOptions::record_history`] is set; large sweeps allocate no
 //!   [`RoundRecord`]s at all.
+//! * **Two topology backends, one bit-identical contract:** every protocol
+//!   and both engines are generic over `rumor_graphs::Topology` — the CSR
+//!   `Graph` or the closed-form `ImplicitGraph` (structured families as
+//!   `O(1)` parameters, enabling 10⁸-vertex instances). [`simulate_on`]
+//!   monomorphizes per backend, [`simulate_topology`] dispatches a runtime
+//!   choice once, and `tests/implicit_topology.rs` pins the backends
+//!   bit-identical across protocols, engines, and thread counts.
+//! * **Pooled trial workspaces:** [`simulate_in`] sources all per-trial
+//!   state from a reusable [`SimWorkspace`] — protocol `reset()` (pinned
+//!   construction-equivalent, with an `O(Σ deg(informed))` undo path after
+//!   windowed trials) replaces reallocation, which is what makes the sweep
+//!   runner's trials allocation-free after warm-up.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -97,7 +109,10 @@ mod protocols;
 
 pub mod instrument;
 
-pub use engine::{run_to_completion, simulate, simulate_async, Engine, SimulationSpec};
+pub use engine::{
+    run_to_completion, simulate, simulate_async, simulate_in, simulate_on, simulate_topology,
+    Engine, SimWorkspace, SimulationSpec,
+};
 pub use metrics::{BroadcastOutcome, EdgeTraffic, EdgeTrafficStats, RoundRecord};
 pub use options::{AgentConfig, ProtocolOptions};
 pub use parallel::resolve_threads;

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use rumor_graphs::{Graph, VertexId};
+use rumor_graphs::{Topology, VertexId};
 
 /// Snapshot of a protocol's progress after one round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -141,21 +141,23 @@ impl EdgeTraffic {
     }
 
     /// Summarizes traffic over *all* edges of `graph` (edges never used count
-    /// as zero), normalized per round.
-    pub fn stats(&self, graph: &Graph, rounds: u64) -> EdgeTrafficStats {
+    /// as zero), normalized per round. Works on either topology backend.
+    pub fn stats<G: Topology>(&self, graph: &G, rounds: u64) -> EdgeTrafficStats {
         let m = graph.num_edges();
         let rounds = rounds.max(1);
         let mut min = u64::MAX;
         let mut max = 0u64;
         let mut sum = 0u64;
         let mut sum_sq = 0.0f64;
-        for (u, v) in graph.edges() {
+        let mut unused = 0usize;
+        graph.for_each_edge(|u, v| {
             let c = self.count(u, v);
             min = min.min(c);
             max = max.max(c);
             sum += c;
             sum_sq += (c as f64) * (c as f64);
-        }
+            unused += usize::from(c == 0);
+        });
         if m == 0 {
             return EdgeTrafficStats {
                 edges: 0,
@@ -179,10 +181,7 @@ impl EdgeTraffic {
             mean_per_round: mean / rounds as f64,
             coefficient_of_variation: if mean > 0.0 { std / mean } else { 0.0 },
             max_to_mean_ratio: if mean > 0.0 { max as f64 / mean } else { 0.0 },
-            unused_edges: graph
-                .edges()
-                .filter(|&(u, v)| self.count(u, v) == 0)
-                .count(),
+            unused_edges: unused,
         }
     }
 }

@@ -39,7 +39,7 @@ use rand::rngs::SmallRng;
 use rand::stream::{RoundKey, StreamKey};
 use rand::SeedableRng;
 
-use rumor_graphs::{Graph, VertexId};
+use rumor_graphs::{Topology, VertexId};
 use rumor_walks::{AgentId, MultiWalk, UninformedFrontier};
 
 use crate::engine::SimulationSpec;
@@ -93,8 +93,8 @@ pub(crate) fn supports(spec: &SimulationSpec) -> bool {
 
 /// Runs `spec` on the sharded engine with `threads` workers. Callers must
 /// have checked [`supports`]; `threads` must already be resolved (> 0).
-pub(crate) fn simulate_sharded(
-    graph: &Graph,
+pub(crate) fn simulate_sharded<G: Topology>(
+    graph: &G,
     source: VertexId,
     spec: &SimulationSpec,
     threads: usize,
@@ -222,7 +222,7 @@ enum VertexFrontier {
 }
 
 impl VertexFrontier {
-    fn new(kind: ProtocolKind, graph: &Graph) -> Self {
+    fn new<G: Topology>(kind: ProtocolKind, graph: &G) -> Self {
         match kind {
             ProtocolKind::Push => VertexFrontier::Push(PushFrontier::new(graph)),
             ProtocolKind::Pull => VertexFrontier::Pull(PullFrontier::new(graph)),
@@ -250,7 +250,7 @@ impl VertexFrontier {
         }
     }
 
-    fn on_informed(&mut self, graph: &Graph, v: VertexId, informed: &InformedSet) {
+    fn on_informed<G: Topology>(&mut self, graph: &G, v: VertexId, informed: &InformedSet) {
         match self {
             VertexFrontier::Push(f) => f.on_informed(graph, v, informed),
             VertexFrontier::Pull(f) => f.on_informed(graph, v, informed),
@@ -260,8 +260,8 @@ impl VertexFrontier {
 }
 
 /// The sharded engine for the vertex protocols.
-struct VertexEngine<'g> {
-    graph: &'g Graph,
+struct VertexEngine<'g, G: Topology> {
+    graph: &'g G,
     kind: ProtocolKind,
     informed: InformedSet,
     frontier: VertexFrontier,
@@ -274,14 +274,8 @@ struct VertexEngine<'g> {
     messages_last: u64,
 }
 
-impl<'g> VertexEngine<'g> {
-    fn new(
-        graph: &'g Graph,
-        source: VertexId,
-        kind: ProtocolKind,
-        threads: usize,
-        seed: u64,
-    ) -> Self {
+impl<'g, G: Topology> VertexEngine<'g, G> {
+    fn new(graph: &'g G, source: VertexId, kind: ProtocolKind, threads: usize, seed: u64) -> Self {
         assert!(source < graph.num_vertices(), "source out of range");
         let mut informed = InformedSet::new(graph.num_vertices());
         let mut frontier = VertexFrontier::new(kind, graph);
@@ -346,7 +340,7 @@ impl<'g> VertexEngine<'g> {
     /// per-round fixed cost — inlining the draw body into it spills the
     /// scan counters to the stack and quadruples that fixed cost.
     fn draw_range(
-        graph: &Graph,
+        graph: &G,
         kind: ProtocolKind,
         informed: &InformedSet,
         round_key: &RoundKey,
@@ -388,7 +382,7 @@ impl<'g> VertexEngine<'g> {
     /// on fragmented frontiers and cost more than the shared blocks saved.)
     #[inline(never)]
     fn draw_batch(
-        graph: &Graph,
+        graph: &G,
         kind: ProtocolKind,
         informed: &InformedSet,
         round_key: &RoundKey,
@@ -518,8 +512,8 @@ impl<'g> VertexEngine<'g> {
 
 /// The sharded engine for the agent protocols (`visit-exchange`,
 /// `meet-exchange`).
-struct AgentEngine<'g> {
-    graph: &'g Graph,
+struct AgentEngine<'g, G: Topology> {
+    graph: &'g G,
     source: VertexId,
     kind: ProtocolKind,
     walks: MultiWalk,
@@ -537,8 +531,8 @@ struct AgentEngine<'g> {
     messages_last: u64,
 }
 
-impl<'g> AgentEngine<'g> {
-    fn new(graph: &'g Graph, source: VertexId, spec: &SimulationSpec, threads: usize) -> Self {
+impl<'g, G: Topology> AgentEngine<'g, G> {
+    fn new(graph: &'g G, source: VertexId, spec: &SimulationSpec, threads: usize) -> Self {
         assert!(source < graph.num_vertices(), "source out of range");
         // Construction matches the sequential engine draw-for-draw: agent
         // placement consumes the same seeded SmallRng, so both engines start

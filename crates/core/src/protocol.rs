@@ -7,9 +7,9 @@ use std::fmt;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use rumor_graphs::{Graph, VertexId};
+use rumor_graphs::{Topology, VertexId};
 
-use crate::metrics::EdgeTraffic;
+use crate::metrics::{EdgeTraffic, EdgeTrafficStats};
 use crate::options::{AgentConfig, ProtocolOptions};
 
 /// A synchronous information-dissemination protocol in the paper's model:
@@ -23,9 +23,6 @@ use crate::options::{AgentConfig, ProtocolOptions};
 pub trait Protocol {
     /// A short, stable protocol name (e.g. `"push"`, `"visit-exchange"`).
     fn name(&self) -> &'static str;
-
-    /// The graph the protocol runs on.
-    fn graph(&self) -> &Graph;
 
     /// The source vertex of the rumor.
     fn source(&self) -> VertexId;
@@ -68,6 +65,16 @@ pub trait Protocol {
     /// Per-edge traffic, if the protocol was constructed with
     /// [`ProtocolOptions::record_edge_traffic`](crate::ProtocolOptions).
     fn edge_traffic(&self) -> Option<&EdgeTraffic> {
+        None
+    }
+
+    /// Aggregate per-edge traffic statistics over `rounds` rounds, if edge
+    /// traffic was recorded. The protocol summarizes against its own graph
+    /// (this replaced a `graph()` accessor so the trait stays object-safe
+    /// across both [`Topology`] backends, which have no common concrete
+    /// graph type to return).
+    fn edge_traffic_stats(&self, rounds: u64) -> Option<EdgeTrafficStats> {
+        let _ = rounds;
         None
     }
 }
@@ -168,7 +175,8 @@ impl fmt::Display for ProtocolKind {
     }
 }
 
-/// Constructs a boxed protocol of the given kind.
+/// Constructs a boxed protocol of the given kind, on either topology
+/// backend.
 ///
 /// `agents` is used only by the agent-based kinds; `rng` is used to place the
 /// agents (and is not retained).
@@ -177,9 +185,9 @@ impl fmt::Display for ProtocolKind {
 ///
 /// Panics if `source` is out of range for `graph`, or if an agent-based kind
 /// is requested on a graph with no edges (stationary placement is undefined).
-pub fn build_protocol<'g, R: rand::Rng + ?Sized>(
+pub fn build_protocol<'g, G: Topology, R: rand::Rng + ?Sized>(
     kind: ProtocolKind,
-    graph: &'g Graph,
+    graph: &'g G,
     source: VertexId,
     agents: &AgentConfig,
     options: ProtocolOptions,

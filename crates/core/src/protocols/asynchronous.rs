@@ -139,10 +139,6 @@ macro_rules! async_protocol {
                 $proto_name
             }
 
-            fn graph(&self) -> &Graph {
-                self.inner.graph
-            }
-
             fn source(&self) -> VertexId {
                 self.inner.source
             }
@@ -177,6 +173,13 @@ macro_rules! async_protocol {
 
             fn edge_traffic(&self) -> Option<&EdgeTraffic> {
                 self.inner.edge_traffic.as_ref()
+            }
+
+            fn edge_traffic_stats(&self, rounds: u64) -> Option<crate::EdgeTrafficStats> {
+                self.inner
+                    .edge_traffic
+                    .as_ref()
+                    .map(|t| t.stats(self.inner.graph, rounds))
             }
         }
     };

@@ -5,10 +5,10 @@
 
 use rand::{Rng, RngCore};
 
-use rumor_graphs::{Graph, VertexId};
+use rumor_graphs::{Graph, Topology, VertexId};
 use rumor_walks::{AgentId, MultiWalk, UninformedFrontier};
 
-use crate::metrics::EdgeTraffic;
+use crate::metrics::{EdgeTraffic, EdgeTrafficStats};
 use crate::options::{AgentConfig, ProtocolOptions};
 use crate::protocol::{FastStep, Protocol};
 use crate::protocols::common::{InformedSet, PushPullFrontier};
@@ -44,8 +44,8 @@ use crate::protocols::common::{InformedSet, PushPullFrontier};
 /// # Ok::<(), rumor_graphs::GraphError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct PushPullVisitExchange<'g> {
-    graph: &'g Graph,
+pub struct PushPullVisitExchange<'g, G: Topology = Graph> {
+    graph: &'g G,
     source: VertexId,
     walks: MultiWalk,
     informed_vertices: InformedSet,
@@ -62,15 +62,15 @@ pub struct PushPullVisitExchange<'g> {
     edge_traffic: Option<EdgeTraffic>,
 }
 
-impl<'g> PushPullVisitExchange<'g> {
-    /// Creates the combined protocol.
+impl<'g, G: Topology> PushPullVisitExchange<'g, G> {
+    /// Creates the combined protocol on either topology backend.
     ///
     /// # Panics
     ///
     /// Panics if `source` is out of range, or if stationary placement is
     /// requested on a graph with no edges.
     pub fn new<R: Rng + ?Sized>(
-        graph: &'g Graph,
+        graph: &'g G,
         source: VertexId,
         agents: &AgentConfig,
         options: ProtocolOptions,
@@ -109,6 +109,41 @@ impl<'g> PushPullVisitExchange<'g> {
     /// Read-only access to the agent walks.
     pub fn walks(&self) -> &MultiWalk {
         &self.walks
+    }
+
+    /// Re-initializes the protocol in place for a fresh trial — identical
+    /// state (and identical construction draws) to
+    /// [`PushPullVisitExchange::new`] with the same arguments and no edge
+    /// traffic, reusing every buffer (see
+    /// [`SimWorkspace`](crate::SimWorkspace)).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PushPullVisitExchange::new`].
+    pub(crate) fn reset<R: Rng + ?Sized>(
+        &mut self,
+        source: VertexId,
+        agents: &AgentConfig,
+        rng: &mut R,
+    ) {
+        assert!(source < self.graph.num_vertices(), "source out of range");
+        self.source = source;
+        let count = agents.count.resolve(self.graph.num_vertices());
+        self.walks.reset(self.graph, count, &agents.placement, rng);
+        self.informed_vertices.reset(self.graph.num_vertices());
+        self.frontier.reset(self.graph);
+        self.informed_vertices.insert(source);
+        self.frontier
+            .on_informed(self.graph, source, &self.informed_vertices);
+        self.agents.reset(self.walks.num_agents());
+        for &agent in self.walks.agents_at(source) {
+            self.agents.mark_informed(agent as AgentId);
+        }
+        self.newly_informed.clear();
+        self.round = 0;
+        self.messages_total = 0;
+        self.messages_last = 0;
+        self.edge_traffic = None;
     }
 
     /// Executes one synchronous round, monomorphized over the RNG (the hot
@@ -206,20 +241,16 @@ impl<'g> PushPullVisitExchange<'g> {
     }
 }
 
-impl FastStep for PushPullVisitExchange<'_> {
+impl<G: Topology> FastStep for PushPullVisitExchange<'_, G> {
     #[inline]
     fn fast_step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.step_with(rng)
     }
 }
 
-impl Protocol for PushPullVisitExchange<'_> {
+impl<G: Topology> Protocol for PushPullVisitExchange<'_, G> {
     fn name(&self) -> &'static str {
         "push-pull+visit-exchange"
-    }
-
-    fn graph(&self) -> &Graph {
-        self.graph
     }
 
     fn source(&self) -> VertexId {
@@ -264,6 +295,12 @@ impl Protocol for PushPullVisitExchange<'_> {
 
     fn edge_traffic(&self) -> Option<&EdgeTraffic> {
         self.edge_traffic.as_ref()
+    }
+
+    fn edge_traffic_stats(&self, rounds: u64) -> Option<EdgeTrafficStats> {
+        self.edge_traffic
+            .as_ref()
+            .map(|t| t.stats(self.graph, rounds))
     }
 }
 

@@ -1,6 +1,6 @@
 //! Shared hot-path data structures for the protocol implementations.
 
-use rumor_graphs::VertexId;
+use rumor_graphs::{Topology, VertexId};
 
 /// Records one edge-traffic entry per agent that traversed an edge in the
 /// most recent walk step (shared by every agent-based protocol's
@@ -17,6 +17,23 @@ pub(crate) fn record_agent_traffic(
             traffic.record(from, to);
         }
     }
+}
+
+/// Whether undoing a finished trial — walking the informed `members`'
+/// neighbor lists to restore counters and bits — beats the `O(n)` full
+/// refill: budget-walks the members' degree sum and bails once it exceeds
+/// half the vertex count. Windowed sweeps (which inform slivers) take the
+/// undo branch; completed broadcasts refill.
+pub(crate) fn undo_is_cheap<G: Topology>(graph: &G, members: &[u32]) -> bool {
+    let budget = graph.num_vertices() / 2;
+    let mut degree_sum = 0usize;
+    for &v in members {
+        degree_sum += graph.degree(v as usize);
+        if degree_sum > budget {
+            return false;
+        }
+    }
+    true
 }
 
 /// A monotone set over a fixed universe `0..n`, engineered for the simulation
@@ -51,6 +68,29 @@ impl InformedSet {
             dense: Vec::new(),
             universe: n,
         }
+    }
+
+    /// Re-initializes to the empty set over `n` items, reusing the existing
+    /// buffers ([`InformedSet::new`] without the allocation — the workspace
+    /// reset path).
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.bits.clear();
+        self.bits.resize(n.div_ceil(64), 0);
+        self.dense.clear();
+        self.universe = n;
+    }
+
+    /// Empties the set by zeroing only the words its members occupy —
+    /// `O(|members|)` instead of the full `O(n/64)` memset, the cheap branch
+    /// of the workspace reset after a *windowed* trial that informed only a
+    /// sliver of the universe. (Zeroing a member's whole word is sound:
+    /// every set bit in it belongs to some member, all of which are being
+    /// cleared.)
+    pub(crate) fn clear_members(&mut self) {
+        for &v in &self.dense {
+            self.bits[v as usize >> 6] = 0;
+        }
+        self.dense.clear();
     }
 
     /// Universe size.
@@ -93,8 +133,8 @@ impl InformedSet {
         self.dense.len() == self.universe
     }
 
-    /// The informed items in insertion order (the "frontier list").
-    #[allow(dead_code)] // used in tests; kept for API symmetry
+    /// The informed items in insertion order (the "frontier list"); also the
+    /// undo list the workspace resets walk.
     #[inline]
     pub(crate) fn informed(&self) -> &[u32] {
         &self.dense
@@ -217,6 +257,12 @@ impl Bits {
         }
     }
 
+    /// All-clear over `n` items, reusing the buffer (workspace reset path).
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.words.clear();
+        self.words.resize(n.div_ceil(64), 0);
+    }
+
     #[inline]
     pub(crate) fn set(&mut self, i: usize) {
         self.words[i >> 6] |= 1u64 << (i & 63);
@@ -266,7 +312,7 @@ pub(crate) struct PushFrontier {
 }
 
 impl PushFrontier {
-    pub(crate) fn new(graph: &rumor_graphs::Graph) -> Self {
+    pub(crate) fn new<G: Topology>(graph: &G) -> Self {
         let n = graph.num_vertices();
         PushFrontier {
             uninformed_nb: graph.vertices().map(|u| graph.degree(u) as u32).collect(),
@@ -275,25 +321,48 @@ impl PushFrontier {
         }
     }
 
+    /// Re-initializes to the no-vertex-informed state in place (workspace
+    /// reset path; same state as [`PushFrontier::new`]).
+    pub(crate) fn reset<G: Topology>(&mut self, graph: &G) {
+        let n = graph.num_vertices();
+        self.uninformed_nb.clear();
+        self.uninformed_nb
+            .extend(graph.vertices().map(|u| graph.degree(u) as u32));
+        self.active.reset(n);
+        self.senders = 0;
+    }
+
+    /// The `O(Σ deg(members))` alternative to [`PushFrontier::reset`]: undoes
+    /// a run's counter decrements and active bits by walking exactly the
+    /// vertices it informed. `members` must be the informed set the counters
+    /// were maintained for, on the same graph.
+    pub(crate) fn unwind<G: Topology>(&mut self, graph: &G, members: &[u32]) {
+        for &v in members {
+            let v = v as usize;
+            self.active.clear(v);
+            graph.for_each_neighbor(v, |w| self.uninformed_nb[w] += 1);
+        }
+        self.senders = 0;
+    }
+
     /// Must be called exactly once per vertex, immediately after it is
     /// inserted into `informed`. Within a round, call it per vertex in the
     /// merge loop (interleaved inserts are handled: saturation of a vertex
     /// informed later in the same batch is re-checked when its own call
     /// runs).
-    pub(crate) fn on_informed(
+    pub(crate) fn on_informed<G: Topology>(
         &mut self,
-        graph: &rumor_graphs::Graph,
+        graph: &G,
         v: VertexId,
         informed: &InformedSet,
     ) {
-        for &w in graph.neighbors(v) {
-            let w = w as usize;
+        graph.for_each_neighbor(v, |w| {
             let c = &mut self.uninformed_nb[w];
             *c -= 1;
             if *c == 0 && informed.contains(w) {
                 self.active.clear(w);
             }
-        }
+        });
         if graph.degree(v) > 0 {
             self.senders += 1;
             if self.uninformed_nb[v] > 0 {
@@ -313,23 +382,55 @@ pub(crate) struct PullFrontier {
     pub(crate) active: Bits,
     /// Number of uninformed vertices with degree > 0 (= messages per round).
     pub(crate) pollers: u64,
+    /// `pollers` of the empty informed set (cached so the workspace unwind
+    /// restores it without an O(n) degree recount).
+    full_pollers: u64,
 }
 
 impl PullFrontier {
-    pub(crate) fn new(graph: &rumor_graphs::Graph) -> Self {
+    pub(crate) fn new<G: Topology>(graph: &G) -> Self {
         let n = graph.num_vertices();
+        let full_pollers = graph.vertices().filter(|&u| graph.degree(u) > 0).count() as u64;
         PullFrontier {
             informed_nb: vec![0; n],
             active: Bits::new(n),
-            pollers: graph.vertices().filter(|&u| graph.degree(u) > 0).count() as u64,
+            pollers: full_pollers,
+            full_pollers,
         }
+    }
+
+    /// Re-initializes to the no-vertex-informed state in place (workspace
+    /// reset path; same state as [`PullFrontier::new`]).
+    pub(crate) fn reset<G: Topology>(&mut self, graph: &G) {
+        let n = graph.num_vertices();
+        self.informed_nb.clear();
+        self.informed_nb.resize(n, 0);
+        self.active.reset(n);
+        self.full_pollers = graph.vertices().filter(|&u| graph.degree(u) > 0).count() as u64;
+        self.pollers = self.full_pollers;
+    }
+
+    /// The `O(Σ deg(members))` alternative to [`PullFrontier::reset`] (see
+    /// [`PushFrontier::unwind`]): every active bit sits on an informed
+    /// vertex or one of its neighbors, so walking the members clears them
+    /// all and restores the counters.
+    pub(crate) fn unwind<G: Topology>(&mut self, graph: &G, members: &[u32]) {
+        for &v in members {
+            let v = v as usize;
+            self.active.clear(v);
+            graph.for_each_neighbor(v, |w| {
+                self.informed_nb[w] -= 1;
+                self.active.clear(w);
+            });
+        }
+        self.pollers = self.full_pollers;
     }
 
     /// Must be called exactly once per vertex, immediately after it is
     /// inserted into `informed`.
-    pub(crate) fn on_informed(
+    pub(crate) fn on_informed<G: Topology>(
         &mut self,
-        graph: &rumor_graphs::Graph,
+        graph: &G,
         v: VertexId,
         informed: &InformedSet,
     ) {
@@ -337,13 +438,12 @@ impl PullFrontier {
             self.pollers -= 1;
         }
         self.active.clear(v);
-        for &w in graph.neighbors(v) {
-            let w = w as usize;
+        graph.for_each_neighbor(v, |w| {
             self.informed_nb[w] += 1;
             if !informed.contains(w) {
                 self.active.set(w);
             }
-        }
+        });
     }
 }
 
@@ -362,7 +462,7 @@ pub(crate) struct PushPullFrontier {
 }
 
 impl PushPullFrontier {
-    pub(crate) fn new(graph: &rumor_graphs::Graph) -> Self {
+    pub(crate) fn new<G: Topology>(graph: &G) -> Self {
         let n = graph.num_vertices();
         PushPullFrontier {
             informed_nb: vec![0; n],
@@ -371,11 +471,35 @@ impl PushPullFrontier {
         }
     }
 
+    /// Re-initializes to the no-vertex-informed state in place (workspace
+    /// reset path; same state as [`PushPullFrontier::new`]).
+    pub(crate) fn reset<G: Topology>(&mut self, graph: &G) {
+        let n = graph.num_vertices();
+        self.informed_nb.clear();
+        self.informed_nb.resize(n, 0);
+        self.active.reset(n);
+        self.senders = graph.vertices().filter(|&u| graph.degree(u) > 0).count() as u64;
+    }
+
+    /// The `O(Σ deg(members))` alternative to [`PushPullFrontier::reset`]
+    /// (see [`PushFrontier::unwind`]); `senders` is a graph constant the run
+    /// never touched, so only counters and active bits unwind.
+    pub(crate) fn unwind<G: Topology>(&mut self, graph: &G, members: &[u32]) {
+        for &v in members {
+            let v = v as usize;
+            self.active.clear(v);
+            graph.for_each_neighbor(v, |w| {
+                self.informed_nb[w] -= 1;
+                self.active.clear(w);
+            });
+        }
+    }
+
     /// Must be called exactly once per vertex, immediately after it is
     /// inserted into `informed`.
-    pub(crate) fn on_informed(
+    pub(crate) fn on_informed<G: Topology>(
         &mut self,
-        graph: &rumor_graphs::Graph,
+        graph: &G,
         v: VertexId,
         informed: &InformedSet,
     ) {
@@ -385,8 +509,7 @@ impl PushPullFrontier {
         } else {
             self.active.clear(v);
         }
-        for &w in graph.neighbors(v) {
-            let w = w as usize;
+        graph.for_each_neighbor(v, |w| {
             self.informed_nb[w] += 1;
             if informed.contains(w) {
                 if self.informed_nb[w] as usize == graph.degree(w) {
@@ -395,7 +518,7 @@ impl PushPullFrontier {
             } else {
                 self.active.set(w);
             }
-        }
+        });
     }
 }
 

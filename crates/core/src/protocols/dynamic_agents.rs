@@ -280,10 +280,6 @@ impl Protocol for ChurnVisitExchange<'_> {
         "churn-visit-exchange"
     }
 
-    fn graph(&self) -> &Graph {
-        self.graph
-    }
-
     fn source(&self) -> VertexId {
         self.source
     }
@@ -326,6 +322,12 @@ impl Protocol for ChurnVisitExchange<'_> {
 
     fn edge_traffic(&self) -> Option<&EdgeTraffic> {
         self.edge_traffic.as_ref()
+    }
+
+    fn edge_traffic_stats(&self, rounds: u64) -> Option<crate::EdgeTrafficStats> {
+        self.edge_traffic
+            .as_ref()
+            .map(|t| t.stats(self.graph, rounds))
     }
 }
 

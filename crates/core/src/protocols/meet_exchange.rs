@@ -2,10 +2,10 @@
 
 use rand::{Rng, RngCore};
 
-use rumor_graphs::{Graph, VertexId};
+use rumor_graphs::{Graph, Topology, VertexId};
 use rumor_walks::{AgentId, MultiWalk, UninformedFrontier};
 
-use crate::metrics::EdgeTraffic;
+use crate::metrics::{EdgeTraffic, EdgeTrafficStats};
 use crate::options::{AgentConfig, ProtocolOptions};
 use crate::protocol::{FastStep, Protocol};
 
@@ -44,8 +44,8 @@ use crate::protocol::{FastStep, Protocol};
 /// # Ok::<(), rumor_graphs::GraphError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct MeetExchange<'g> {
-    graph: &'g Graph,
+pub struct MeetExchange<'g, G: Topology = Graph> {
+    graph: &'g G,
     source: VertexId,
     walks: MultiWalk,
     /// Uninformed-agent frontier: bitset + dense list of the agents still to
@@ -62,16 +62,17 @@ pub struct MeetExchange<'g> {
     edge_traffic: Option<EdgeTraffic>,
 }
 
-impl<'g> MeetExchange<'g> {
-    /// Creates the protocol: places the agents and informs those on `source`
-    /// (deactivating the source if at least one agent starts there).
+impl<'g, G: Topology> MeetExchange<'g, G> {
+    /// Creates the protocol on either topology backend: places the agents
+    /// and informs those on `source` (deactivating the source if at least
+    /// one agent starts there).
     ///
     /// # Panics
     ///
     /// Panics if `source` is out of range, or if stationary placement is
     /// requested on a graph with no edges.
     pub fn new<R: Rng + ?Sized>(
-        graph: &'g Graph,
+        graph: &'g G,
         source: VertexId,
         agents: &AgentConfig,
         options: ProtocolOptions,
@@ -116,6 +117,36 @@ impl<'g> MeetExchange<'g> {
     /// `true` while no agent has picked the rumor up from the source yet.
     pub fn is_source_active(&self) -> bool {
         self.source_active
+    }
+
+    /// Re-initializes the protocol in place for a fresh trial — identical
+    /// state (and identical construction draws) to [`MeetExchange::new`]
+    /// with the same arguments and no edge traffic, reusing every buffer
+    /// (see [`SimWorkspace`](crate::SimWorkspace)).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`MeetExchange::new`].
+    pub(crate) fn reset<R: Rng + ?Sized>(
+        &mut self,
+        source: VertexId,
+        agents: &AgentConfig,
+        rng: &mut R,
+    ) {
+        assert!(source < self.graph.num_vertices(), "source out of range");
+        self.source = source;
+        let count = agents.count.resolve(self.graph.num_vertices());
+        self.walks.reset(self.graph, count, &agents.placement, rng);
+        self.agents.reset(self.walks.num_agents());
+        for &agent in self.walks.agents_at(source) {
+            self.agents.mark_informed(agent as AgentId);
+        }
+        self.source_active = self.agents.informed_count() == 0;
+        self.newly_informed.clear();
+        self.round = 0;
+        self.messages_total = 0;
+        self.messages_last = 0;
+        self.edge_traffic = None;
     }
 
     /// Executes one synchronous round, monomorphized over the RNG (the hot
@@ -184,20 +215,16 @@ impl<'g> MeetExchange<'g> {
     }
 }
 
-impl FastStep for MeetExchange<'_> {
+impl<G: Topology> FastStep for MeetExchange<'_, G> {
     #[inline]
     fn fast_step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.step_with(rng)
     }
 }
 
-impl Protocol for MeetExchange<'_> {
+impl<G: Topology> Protocol for MeetExchange<'_, G> {
     fn name(&self) -> &'static str {
         "meet-exchange"
-    }
-
-    fn graph(&self) -> &Graph {
-        self.graph
     }
 
     fn source(&self) -> VertexId {
@@ -242,6 +269,12 @@ impl Protocol for MeetExchange<'_> {
 
     fn edge_traffic(&self) -> Option<&EdgeTraffic> {
         self.edge_traffic.as_ref()
+    }
+
+    fn edge_traffic_stats(&self, rounds: u64) -> Option<EdgeTrafficStats> {
+        self.edge_traffic
+            .as_ref()
+            .map(|t| t.stats(self.graph, rounds))
     }
 }
 

@@ -2,9 +2,9 @@
 
 use rand::{Rng, RngCore};
 
-use rumor_graphs::{Graph, VertexId};
+use rumor_graphs::{Graph, Topology, VertexId};
 
-use crate::metrics::EdgeTraffic;
+use crate::metrics::{EdgeTraffic, EdgeTrafficStats};
 use crate::options::ProtocolOptions;
 use crate::protocol::{FastStep, Protocol};
 use crate::protocols::common::{InformedSet, PushFrontier};
@@ -42,8 +42,8 @@ use crate::protocols::common::{InformedSet, PushFrontier};
 /// # Ok::<(), rumor_graphs::GraphError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct Push<'g> {
-    graph: &'g Graph,
+pub struct Push<'g, G: Topology = Graph> {
+    graph: &'g G,
     source: VertexId,
     /// Vertices informed so far. Vertices informed during the current round
     /// are buffered in `newly_informed` and merged at the end of the round,
@@ -59,13 +59,14 @@ pub struct Push<'g> {
     edge_traffic: Option<EdgeTraffic>,
 }
 
-impl<'g> Push<'g> {
-    /// Creates the protocol with the rumor at `source` (round 0).
+impl<'g, G: Topology> Push<'g, G> {
+    /// Creates the protocol with the rumor at `source` (round 0), on either
+    /// topology backend.
     ///
     /// # Panics
     ///
     /// Panics if `source` is out of range.
-    pub fn new(graph: &'g Graph, source: VertexId, options: ProtocolOptions) -> Self {
+    pub fn new(graph: &'g G, source: VertexId, options: ProtocolOptions) -> Self {
         assert!(source < graph.num_vertices(), "source out of range");
         let mut informed = InformedSet::new(graph.num_vertices());
         let mut frontier = PushFrontier::new(graph);
@@ -86,6 +87,36 @@ impl<'g> Push<'g> {
                 None
             },
         }
+    }
+
+    /// Re-initializes the protocol in place for a fresh trial at `source` —
+    /// identical state to [`Push::new`] without edge traffic, but reusing
+    /// every buffer (the workspace reset path; see
+    /// [`SimWorkspace`](crate::SimWorkspace)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub(crate) fn reset(&mut self, source: VertexId) {
+        assert!(source < self.graph.num_vertices(), "source out of range");
+        self.source = source;
+        // Adaptive teardown: a windowed previous trial informed a sliver, so
+        // undoing its exact effects beats refilling O(n) arrays.
+        if super::common::undo_is_cheap(self.graph, self.informed.informed()) {
+            self.frontier.unwind(self.graph, self.informed.informed());
+            self.informed.clear_members();
+        } else {
+            self.informed.reset(self.graph.num_vertices());
+            self.frontier.reset(self.graph);
+        }
+        self.informed.insert(source);
+        self.frontier
+            .on_informed(self.graph, source, &self.informed);
+        self.newly_informed.clear();
+        self.round = 0;
+        self.messages_total = 0;
+        self.messages_last = 0;
+        self.edge_traffic = None;
     }
 
     /// Executes one synchronous round, monomorphized over the RNG.
@@ -137,20 +168,16 @@ impl<'g> Push<'g> {
     }
 }
 
-impl FastStep for Push<'_> {
+impl<G: Topology> FastStep for Push<'_, G> {
     #[inline]
     fn fast_step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.step_with(rng)
     }
 }
 
-impl Protocol for Push<'_> {
+impl<G: Topology> Protocol for Push<'_, G> {
     fn name(&self) -> &'static str {
         "push"
-    }
-
-    fn graph(&self) -> &Graph {
-        self.graph
     }
 
     fn source(&self) -> VertexId {
@@ -187,6 +214,12 @@ impl Protocol for Push<'_> {
 
     fn edge_traffic(&self) -> Option<&EdgeTraffic> {
         self.edge_traffic.as_ref()
+    }
+
+    fn edge_traffic_stats(&self, rounds: u64) -> Option<EdgeTrafficStats> {
+        self.edge_traffic
+            .as_ref()
+            .map(|t| t.stats(self.graph, rounds))
     }
 }
 #[cfg(test)]

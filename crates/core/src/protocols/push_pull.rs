@@ -2,9 +2,9 @@
 
 use rand::{Rng, RngCore};
 
-use rumor_graphs::{Graph, VertexId};
+use rumor_graphs::{Graph, Topology, VertexId};
 
-use crate::metrics::EdgeTraffic;
+use crate::metrics::{EdgeTraffic, EdgeTrafficStats};
 use crate::options::ProtocolOptions;
 use crate::protocol::{FastStep, Protocol};
 use crate::protocols::common::{InformedSet, PushPullFrontier};
@@ -35,8 +35,8 @@ use crate::protocols::common::{InformedSet, PushPullFrontier};
 /// # Ok::<(), rumor_graphs::GraphError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct PushPull<'g> {
-    graph: &'g Graph,
+pub struct PushPull<'g, G: Topology = Graph> {
+    graph: &'g G,
     source: VertexId,
     informed: InformedSet,
     /// Boundary tracker: vertices whose exchange can change the state.
@@ -49,13 +49,14 @@ pub struct PushPull<'g> {
     edge_traffic: Option<EdgeTraffic>,
 }
 
-impl<'g> PushPull<'g> {
-    /// Creates the protocol with the rumor at `source`.
+impl<'g, G: Topology> PushPull<'g, G> {
+    /// Creates the protocol with the rumor at `source`, on either topology
+    /// backend.
     ///
     /// # Panics
     ///
     /// Panics if `source` is out of range.
-    pub fn new(graph: &'g Graph, source: VertexId, options: ProtocolOptions) -> Self {
+    pub fn new(graph: &'g G, source: VertexId, options: ProtocolOptions) -> Self {
         assert!(source < graph.num_vertices(), "source out of range");
         let mut informed = InformedSet::new(graph.num_vertices());
         let mut frontier = PushPullFrontier::new(graph);
@@ -76,6 +77,35 @@ impl<'g> PushPull<'g> {
                 None
             },
         }
+    }
+
+    /// Re-initializes the protocol in place for a fresh trial at `source`
+    /// (see [`SimWorkspace`](crate::SimWorkspace)); identical state to
+    /// [`PushPull::new`] without edge traffic, reusing every buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub(crate) fn reset(&mut self, source: VertexId) {
+        assert!(source < self.graph.num_vertices(), "source out of range");
+        self.source = source;
+        // Adaptive teardown: undo a windowed trial's sliver, refill after a
+        // full broadcast (see `common::undo_is_cheap`).
+        if super::common::undo_is_cheap(self.graph, self.informed.informed()) {
+            self.frontier.unwind(self.graph, self.informed.informed());
+            self.informed.clear_members();
+        } else {
+            self.informed.reset(self.graph.num_vertices());
+            self.frontier.reset(self.graph);
+        }
+        self.informed.insert(source);
+        self.frontier
+            .on_informed(self.graph, source, &self.informed);
+        self.newly_informed.clear();
+        self.round = 0;
+        self.messages_total = 0;
+        self.messages_last = 0;
+        self.edge_traffic = None;
     }
 
     /// Executes one synchronous round, monomorphized over the RNG (the hot
@@ -128,20 +158,16 @@ impl<'g> PushPull<'g> {
     }
 }
 
-impl FastStep for PushPull<'_> {
+impl<G: Topology> FastStep for PushPull<'_, G> {
     #[inline]
     fn fast_step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.step_with(rng)
     }
 }
 
-impl Protocol for PushPull<'_> {
+impl<G: Topology> Protocol for PushPull<'_, G> {
     fn name(&self) -> &'static str {
         "push-pull"
-    }
-
-    fn graph(&self) -> &Graph {
-        self.graph
     }
 
     fn source(&self) -> VertexId {
@@ -178,6 +204,12 @@ impl Protocol for PushPull<'_> {
 
     fn edge_traffic(&self) -> Option<&EdgeTraffic> {
         self.edge_traffic.as_ref()
+    }
+
+    fn edge_traffic_stats(&self, rounds: u64) -> Option<EdgeTrafficStats> {
+        self.edge_traffic
+            .as_ref()
+            .map(|t| t.stats(self.graph, rounds))
     }
 }
 

@@ -2,10 +2,10 @@
 
 use rand::{Rng, RngCore};
 
-use rumor_graphs::{Graph, VertexId};
+use rumor_graphs::{Graph, Topology, VertexId};
 use rumor_walks::{AgentId, MultiWalk, UninformedFrontier};
 
-use crate::metrics::EdgeTraffic;
+use crate::metrics::{EdgeTraffic, EdgeTrafficStats};
 use crate::options::{AgentConfig, ProtocolOptions};
 use crate::protocol::{FastStep, Protocol};
 use crate::protocols::common::InformedSet;
@@ -44,8 +44,8 @@ use crate::protocols::common::InformedSet;
 /// # Ok::<(), rumor_graphs::GraphError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct VisitExchange<'g> {
-    graph: &'g Graph,
+pub struct VisitExchange<'g, G: Topology = Graph> {
+    graph: &'g G,
     source: VertexId,
     walks: MultiWalk,
     informed_vertices: InformedSet,
@@ -60,16 +60,17 @@ pub struct VisitExchange<'g> {
     edge_traffic: Option<EdgeTraffic>,
 }
 
-impl<'g> VisitExchange<'g> {
-    /// Creates the protocol: places the agents, informs `source`, and informs
-    /// every agent already sitting on `source`.
+impl<'g, G: Topology> VisitExchange<'g, G> {
+    /// Creates the protocol on either topology backend: places the agents,
+    /// informs `source`, and informs every agent already sitting on
+    /// `source`.
     ///
     /// # Panics
     ///
     /// Panics if `source` is out of range, or if stationary placement is
     /// requested on a graph with no edges.
     pub fn new<R: Rng + ?Sized>(
-        graph: &'g Graph,
+        graph: &'g G,
         source: VertexId,
         agents: &AgentConfig,
         options: ProtocolOptions,
@@ -105,6 +106,37 @@ impl<'g> VisitExchange<'g> {
     /// Read-only access to the agent walks (positions, occupancy).
     pub fn walks(&self) -> &MultiWalk {
         &self.walks
+    }
+
+    /// Re-initializes the protocol in place for a fresh trial — identical
+    /// state (and identical construction draws) to [`VisitExchange::new`]
+    /// with the same arguments and no edge traffic, reusing every buffer
+    /// (see [`SimWorkspace`](crate::SimWorkspace)).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`VisitExchange::new`].
+    pub(crate) fn reset<R: Rng + ?Sized>(
+        &mut self,
+        source: VertexId,
+        agents: &AgentConfig,
+        rng: &mut R,
+    ) {
+        assert!(source < self.graph.num_vertices(), "source out of range");
+        self.source = source;
+        let count = agents.count.resolve(self.graph.num_vertices());
+        self.walks.reset(self.graph, count, &agents.placement, rng);
+        self.informed_vertices.reset(self.graph.num_vertices());
+        self.informed_vertices.insert(source);
+        self.agents.reset(self.walks.num_agents());
+        for &agent in self.walks.agents_at(source) {
+            self.agents.mark_informed(agent as AgentId);
+        }
+        self.newly_informed.clear();
+        self.round = 0;
+        self.messages_total = 0;
+        self.messages_last = 0;
+        self.edge_traffic = None;
     }
 
     /// Whether agent `g` is informed.
@@ -181,20 +213,16 @@ impl<'g> VisitExchange<'g> {
     }
 }
 
-impl FastStep for VisitExchange<'_> {
+impl<G: Topology> FastStep for VisitExchange<'_, G> {
     #[inline]
     fn fast_step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.step_with(rng)
     }
 }
 
-impl Protocol for VisitExchange<'_> {
+impl<G: Topology> Protocol for VisitExchange<'_, G> {
     fn name(&self) -> &'static str {
         "visit-exchange"
-    }
-
-    fn graph(&self) -> &Graph {
-        self.graph
     }
 
     fn source(&self) -> VertexId {
@@ -239,6 +267,12 @@ impl Protocol for VisitExchange<'_> {
 
     fn edge_traffic(&self) -> Option<&EdgeTraffic> {
         self.edge_traffic.as_ref()
+    }
+
+    fn edge_traffic_stats(&self, rounds: u64) -> Option<EdgeTrafficStats> {
+        self.edge_traffic
+            .as_ref()
+            .map(|t| t.stats(self.graph, rounds))
     }
 }
 

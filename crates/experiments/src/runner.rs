@@ -7,6 +7,15 @@
 //! back ordered by trial index regardless of which worker ran what, which is
 //! what makes single- and multi-threaded runs bit-identical.
 //!
+//! Per-trial heap churn is designed out: the graph (either [`Topology`]
+//! backend — [`run_trials`] is generic) is built once per sweep point by the
+//! caller, each worker clones the spec **once** and only rewrites its seed
+//! per trial, and each worker owns a pooled
+//! [`SimWorkspace`](rumor_core::SimWorkspace) whose protocol state (bitsets,
+//! frontiers, occupancy arrays, touched lists) is `reset()` rather than
+//! reallocated between trials — reset is pinned bit-identical to fresh
+//! construction, so pooling never changes an outcome.
+//!
 //! Worker counts are budgeted by [`ExperimentConfig::resolved_workers`]
 //! (`min(threads, trials, available_parallelism)`), and nested parallelism
 //! is budgeted against the same pool: a spec that selects the sharded
@@ -18,8 +27,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use rumor_core::{simulate, BroadcastOutcome, Engine, SimulationSpec};
-use rumor_graphs::{Graph, VertexId};
+use rumor_core::{simulate_in, BroadcastOutcome, Engine, SimWorkspace, SimulationSpec};
+use rumor_graphs::{Topology, VertexId};
 
 use crate::config::ExperimentConfig;
 
@@ -49,8 +58,8 @@ use crate::config::ExperimentConfig;
 /// assert!(outcomes.iter().all(|o| o.completed));
 /// # Ok::<(), rumor_graphs::GraphError>(())
 /// ```
-pub fn run_trials(
-    graph: &Graph,
+pub fn run_trials<G: Topology>(
+    graph: &G,
     source: VertexId,
     spec: &SimulationSpec,
     trials: usize,
@@ -83,16 +92,24 @@ pub fn run_trials(
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let trial = ticket.fetch_add(1, Ordering::Relaxed);
-                if trial >= trials {
-                    break;
+            scope.spawn(|| {
+                // One spec clone and one pooled workspace per *worker* (not
+                // per trial): the loop only rewrites the seed, and the
+                // workspace's protocol state is reset — not reallocated —
+                // between the trials this worker claims.
+                let mut trial_spec = spec.clone();
+                let mut workspace = SimWorkspace::new();
+                loop {
+                    let trial = ticket.fetch_add(1, Ordering::Relaxed);
+                    if trial >= trials {
+                        break;
+                    }
+                    trial_spec.seed = spec.seed.wrapping_add(trial as u64);
+                    let outcome = simulate_in(graph, source, &trial_spec, &mut workspace);
+                    slots[trial]
+                        .set(outcome)
+                        .unwrap_or_else(|_| unreachable!("trial {trial} claimed twice"));
                 }
-                let trial_spec = spec.clone().with_seed(spec.seed.wrapping_add(trial as u64));
-                let outcome = simulate(graph, source, &trial_spec);
-                slots[trial]
-                    .set(outcome)
-                    .unwrap_or_else(|_| unreachable!("trial {trial} claimed twice"));
             });
         }
     });
@@ -106,8 +123,8 @@ pub fn run_trials(
 /// Convenience wrapper around [`run_trials`] returning only the broadcast
 /// times (the round cap is used for runs that did not complete, mirroring the
 /// truncated-mean convention of the walk estimators).
-pub fn broadcast_times(
-    graph: &Graph,
+pub fn broadcast_times<G: Topology>(
+    graph: &G,
     source: VertexId,
     spec: &SimulationSpec,
     trials: usize,
@@ -188,6 +205,52 @@ mod tests {
         for (a, b) in from_auto.iter().zip(&from_explicit) {
             assert_eq!(a, b, "nested budget changed a sharded outcome");
         }
+    }
+
+    #[test]
+    fn pooled_workspace_matches_fresh_simulations() {
+        // The workspace reuse inside run_trials must be invisible: every
+        // trial's outcome equals a fresh standalone simulate() of its seed.
+        let g = star(40).unwrap();
+        let cfg = ExperimentConfig::smoke().with_threads(2);
+        for kind in [
+            ProtocolKind::Push,
+            ProtocolKind::Pull,
+            ProtocolKind::PushPull,
+            ProtocolKind::VisitExchange,
+            ProtocolKind::MeetExchange,
+            ProtocolKind::PushPullVisitExchange,
+        ] {
+            // Full broadcasts (refill reset) and a 3-round window (undo
+            // reset) both must be invisible.
+            for max_rounds in [10_000_000u64, 3] {
+                let spec = SimulationSpec::new(kind)
+                    .with_seed(31)
+                    .with_max_rounds(max_rounds)
+                    .adapted_to(&g);
+                let pooled = run_trials(&g, 0, &spec, 6, &cfg);
+                for (trial, outcome) in pooled.iter().enumerate() {
+                    let fresh =
+                        rumor_core::simulate(&g, 0, &spec.clone().with_seed(31 + trial as u64));
+                    assert_eq!(
+                        outcome, &fresh,
+                        "{kind} trial {trial} (cap {max_rounds}) diverged under pooling"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_trials_accepts_the_implicit_backend() {
+        use rumor_graphs::ImplicitGraph;
+        let csr = star(40).unwrap();
+        let implicit = ImplicitGraph::star(40).unwrap();
+        let cfg = ExperimentConfig::smoke().with_threads(2);
+        let spec = SimulationSpec::new(ProtocolKind::VisitExchange).with_seed(4);
+        let a = run_trials(&csr, 0, &spec, 5, &cfg);
+        let b = run_trials(&implicit, 0, &spec, 5, &cfg);
+        assert_eq!(a, b, "backends must agree bit-for-bit");
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub type VertexId = usize;
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
     /// `offsets[u]..offsets[u + 1]` indexes `adjacency` for vertex `u`.
-    offsets: Vec<usize>,
+    /// Stored as `u32`: [`Graph::from_csr`] asserts
+    /// `adjacency.len() <= u32::MAX`, so every offset fits, halving the
+    /// per-vertex CSR metadata relative to `Vec<usize>`.
+    offsets: Vec<u32>,
     /// Concatenated adjacency lists, neighbors of each vertex sorted ascending.
     adjacency: Vec<u32>,
     /// Per-vertex neighbor sampler (see [`NeighborSampler`]): adjacency
@@ -48,6 +51,10 @@ pub struct Graph {
     sampler: Vec<NeighborSampler>,
     /// Number of undirected edges.
     num_edges: usize,
+    /// `Some(d)` iff every vertex has degree `d`, cached at construction so
+    /// the bulk stationary sampler's regular fast path is an O(1) read (it
+    /// sits on the per-trial agent-placement reset path).
+    regular: Option<usize>,
 }
 
 /// Per-vertex neighbor-sampling metadata, array-of-structs so the hot
@@ -77,6 +84,62 @@ const INTERVAL_TAG: u32 = 1 << 30;
 const OUTLIER_TAG: u32 = 1 << 29;
 /// Low bits of the sampler word (degree / shift payload).
 const WORD_PAYLOAD: u32 = OUTLIER_TAG - 1;
+
+/// Largest degree the sampler word encodes. The CSR build asserts this in
+/// [`sampler_entry`]; the implicit constructors enforce it up front (their
+/// families can otherwise reach arbitrary degrees), so no backend ever
+/// builds a word whose payload collides with the tag bits.
+pub(crate) const MAX_SAMPLER_DEGREE: usize = (WORD_PAYLOAD - 1) as usize;
+
+/// The index-draw word for a positive degree `d`: the power-of-two shift
+/// encoding when `d` is a power of two, otherwise `d` itself driving Lemire's
+/// widening multiply. This is exactly the index portion of a CSR
+/// [`sampler_entry`] word, shared with the implicit backend so both backends
+/// consume the RNG stream identically for equal degrees.
+#[inline]
+pub(crate) fn index_word(d: usize) -> u32 {
+    debug_assert!(d > 0 && d < WORD_PAYLOAD as usize);
+    if d.is_power_of_two() {
+        POW2_TAG | (64 - d.trailing_zeros())
+    } else {
+        d as u32
+    }
+}
+
+/// Samples a uniform index in `0..deg` from an index-draw word (see
+/// [`index_word`]). Consumes the RNG stream exactly like
+/// `rng.gen_range(0..deg)` (one `next_u64` per Lemire attempt) and produces
+/// the identical value — the equivalence tests pin this. Shared by the CSR
+/// sampler and the implicit backend.
+///
+/// Requires a non-sentinel word (`deg > 0`).
+#[inline(always)]
+pub(crate) fn sample_index<R: Rng + ?Sized>(word: u32, rng: &mut R) -> u64 {
+    if word & POW2_TAG != 0 {
+        // Power-of-two degree: top log2(d) bits of one draw.
+        let x = rng.next_u64();
+        let shift = word & 0x7f;
+        if shift >= 64 {
+            0 // deg 1: the draw is consumed, the index is forced.
+        } else {
+            x >> shift
+        }
+    } else {
+        // Lemire widening multiply with bounded rejection; the threshold is
+        // only computed in the (probability d/2^64) rejection branch,
+        // mirroring the generic sampler exactly.
+        let d = u64::from(word & WORD_PAYLOAD);
+        let mut m = u128::from(rng.next_u64()) * u128::from(d);
+        let lo = m as u64;
+        if lo < d {
+            let threshold = d.wrapping_neg() % d;
+            while (m as u64) < threshold {
+                m = u128::from(rng.next_u64()) * u128::from(d);
+            }
+        }
+        (m >> 64) as u64
+    }
+}
 
 /// If the sorted, strictly ascending `list` is a contiguous id range — or a
 /// contiguous range with a single hole exactly at `u` (a vertex is never its
@@ -144,11 +207,7 @@ fn sampler_entry(u: usize, list: &[u32], csr_start: u32) -> NeighborSampler {
         d < WORD_PAYLOAD as usize,
         "degree exceeds sampler word range"
     );
-    let mut word = if d.is_power_of_two() {
-        POW2_TAG | (64 - d.trailing_zeros())
-    } else {
-        d as u32
-    };
+    let mut word = index_word(d);
     let mut start = csr_start;
     let mut outlier = 0;
     if let Some(base) = contiguous_span(u, list) {
@@ -217,11 +276,20 @@ impl Graph {
             .enumerate()
             .map(|(u, w)| sampler_entry(u, &adjacency[w[0]..w[1]], w[0] as u32))
             .collect();
+        let regular = if offsets.len() < 2 {
+            None
+        } else {
+            let d = offsets[1];
+            offsets.windows(2).all(|w| w[1] - w[0] == d).then_some(d)
+        };
+        // The adjacency length bounds every offset, so the narrowing is lossless.
+        let offsets = offsets.into_iter().map(|o| o as u32).collect();
         Graph {
             offsets,
             adjacency,
             sampler,
             num_edges,
+            regular,
         }
     }
 
@@ -251,7 +319,7 @@ impl Graph {
     /// Panics if `u >= self.num_vertices()`.
     #[inline]
     pub fn degree(&self, u: VertexId) -> usize {
-        self.offsets[u + 1] - self.offsets[u]
+        (self.offsets[u + 1] - self.offsets[u]) as usize
     }
 
     /// The neighbors of `u`, sorted ascending.
@@ -261,7 +329,7 @@ impl Graph {
     /// Panics if `u >= self.num_vertices()`.
     #[inline]
     pub fn neighbors(&self, u: VertexId) -> &[u32] {
-        &self.adjacency[self.offsets[u]..self.offsets[u + 1]]
+        &self.adjacency[self.offsets[u] as usize..self.offsets[u + 1] as usize]
     }
 
     /// The `i`-th neighbor of `u` (`0 <= i < deg(u)`).
@@ -271,43 +339,7 @@ impl Graph {
     /// Panics if `u` or `i` is out of range.
     #[inline]
     pub fn neighbor(&self, u: VertexId, i: usize) -> VertexId {
-        self.adjacency[self.offsets[u] + i] as VertexId
-    }
-
-    /// Samples a uniform index in `0..deg` using the degree-specialized
-    /// sampler word. Consumes the RNG stream exactly like
-    /// `rng.gen_range(0..deg(u))` (one `next_u64` per Lemire attempt) and
-    /// produces the identical value, so swapping the generic bounded sampler
-    /// for this specialized one leaves every simulation bit-identical — the
-    /// equivalence tests pin this.
-    ///
-    /// Requires `deg > 0` (i.e. a non-sentinel sampler word).
-    #[inline(always)]
-    fn sample_neighbor_index<R: Rng + ?Sized>(word: u32, rng: &mut R) -> u64 {
-        if word & POW2_TAG != 0 {
-            // Power-of-two degree: top log2(d) bits of one draw.
-            let x = rng.next_u64();
-            let shift = word & 0x7f;
-            if shift >= 64 {
-                0 // deg 1: the draw is consumed, the index is forced.
-            } else {
-                x >> shift
-            }
-        } else {
-            // Lemire widening multiply with bounded rejection; the threshold
-            // is only computed in the (probability d/2^64) rejection branch,
-            // mirroring the generic sampler exactly.
-            let d = u64::from(word & WORD_PAYLOAD);
-            let mut m = u128::from(rng.next_u64()) * u128::from(d);
-            let lo = m as u64;
-            if lo < d {
-                let threshold = d.wrapping_neg() % d;
-                while (m as u64) < threshold {
-                    m = u128::from(rng.next_u64()) * u128::from(d);
-                }
-            }
-            (m >> 64) as u64
-        }
+        self.adjacency[self.offsets[u] as usize + i] as VertexId
     }
 
     /// Samples a uniformly random neighbor of `u`, or `None` if `u` is isolated.
@@ -365,7 +397,7 @@ impl Graph {
         entry: NeighborSampler,
         rng: &mut R,
     ) -> VertexId {
-        let i = Self::sample_neighbor_index(entry.word, rng);
+        let i = sample_index(entry.word, rng);
         self.resolve_neighbor_index(u, entry, i)
     }
 
@@ -519,16 +551,9 @@ impl Graph {
     }
 
     /// If the graph is `d`-regular, returns `Some(d)`; otherwise `None`.
+    /// O(1): cached at construction.
     pub fn regular_degree(&self) -> Option<usize> {
-        if self.num_vertices() == 0 {
-            return None;
-        }
-        let d = self.degree(0);
-        if self.vertices().all(|u| self.degree(u) == d) {
-            Some(d)
-        } else {
-            None
-        }
+        self.regular
     }
 
     /// The stationary distribution of a simple random walk:
@@ -575,7 +600,7 @@ impl Graph {
         // `partition_point` handles runs of equal offsets (empty adjacency
         // lists) uniformly: the first offset strictly greater than `pos` is
         // `offsets[u + 1]` of the owning vertex.
-        self.offsets.partition_point(|&o| o <= pos) - 1
+        self.offsets.partition_point(|&o| o as usize <= pos) - 1
     }
 
     /// Samples `count` independent stationary vertices in one call (the bulk
@@ -594,19 +619,11 @@ impl Graph {
         count: usize,
         rng: &mut R,
     ) -> Vec<VertexId> {
-        assert!(
-            self.num_edges > 0,
-            "stationary sampling undefined without edges"
-        );
-        let slots = self.adjacency.len();
-        let mut out = Vec::with_capacity(count);
-        if let Some(d) = self.regular_degree() {
-            // All lists have length d: slot `pos` belongs to vertex `pos / d`.
-            out.extend((0..count).map(|_| rng.gen_range(0..slots) / d));
-        } else {
-            out.extend((0..count).map(|_| self.vertex_owning_slot(rng.gen_range(0..slots))));
-        }
-        out
+        // One copy of the bulk sampling logic: the Topology impl below owns
+        // it (the draw-identity contract is pinned through that path).
+        let mut out = Vec::new();
+        crate::Topology::sample_stationary_into(self, count, rng, &mut out);
+        out.into_iter().map(|v| v as VertexId).collect()
     }
 
     /// Total memory used by the graph's arrays, in bytes (diagnostic).
@@ -615,7 +632,7 @@ impl Graph {
     /// sampler table, by **capacity** (what the allocator actually holds)
     /// rather than length, so large-graph memory reports are honest.
     pub fn memory_bytes(&self) -> usize {
-        self.offsets.capacity() * std::mem::size_of::<usize>()
+        self.offsets.capacity() * std::mem::size_of::<u32>()
             + self.adjacency.capacity() * std::mem::size_of::<u32>()
             + self.sampler.capacity() * std::mem::size_of::<NeighborSampler>()
     }
@@ -660,6 +677,89 @@ impl Graph {
             });
         }
         Ok(())
+    }
+}
+
+/// The CSR backend of the [`Topology`](crate::Topology) abstraction: every
+/// method forwards to the inherent implementation (which the rest of the
+/// crate's API keeps exposing directly).
+impl crate::Topology for Graph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        Graph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        Graph::num_edges(self)
+    }
+
+    #[inline]
+    fn degree(&self, u: VertexId) -> usize {
+        Graph::degree(self, u)
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, u: VertexId, mut f: impl FnMut(VertexId)) {
+        for &v in self.neighbors(u) {
+            f(v as VertexId);
+        }
+    }
+
+    #[inline(always)]
+    fn random_neighbor<R: Rng + ?Sized>(&self, u: VertexId, rng: &mut R) -> Option<VertexId> {
+        Graph::random_neighbor(self, u, rng)
+    }
+
+    #[inline(always)]
+    fn random_neighbor_nonisolated<R: Rng + ?Sized>(&self, u: VertexId, rng: &mut R) -> VertexId {
+        Graph::random_neighbor_nonisolated(self, u, rng)
+    }
+
+    #[inline(always)]
+    fn random_neighbor_with<R: Rng, F: FnOnce() -> R>(
+        &self,
+        u: VertexId,
+        make_rng: F,
+    ) -> Option<VertexId> {
+        Graph::random_neighbor_with(self, u, make_rng)
+    }
+
+    fn sample_stationary<R: Rng + ?Sized>(&self, rng: &mut R) -> VertexId {
+        Graph::sample_stationary(self, rng)
+    }
+
+    fn sample_stationary_into<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+        out: &mut Vec<u32>,
+    ) {
+        assert!(
+            self.num_edges > 0,
+            "stationary sampling undefined without edges"
+        );
+        let slots = self.adjacency.len();
+        out.clear();
+        out.reserve(count);
+        if let Some(d) = self.regular_degree() {
+            // All lists have length d: slot `pos` belongs to vertex `pos / d`.
+            out.extend((0..count).map(|_| (rng.gen_range(0..slots) / d) as u32));
+        } else {
+            out.extend((0..count).map(|_| self.vertex_owning_slot(rng.gen_range(0..slots)) as u32));
+        }
+    }
+
+    fn is_bipartite(&self) -> bool {
+        crate::algorithms::is_bipartite(self)
+    }
+
+    fn regular_degree(&self) -> Option<usize> {
+        Graph::regular_degree(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        Graph::memory_bytes(self)
     }
 }
 
@@ -866,9 +966,9 @@ mod tests {
     fn memory_bytes_positive_and_counts_sampler_table() {
         let g = triangle();
         assert!(g.memory_bytes() > 0);
-        // offsets (n + 1 usizes) + adjacency (2m u32s) + sampler (n 12-byte
+        // offsets (n + 1 u32s) + adjacency (2m u32s) + sampler (n 12-byte
         // entries), by capacity — at least the length-based sizes.
-        let floor = (g.num_vertices() + 1) * std::mem::size_of::<usize>()
+        let floor = (g.num_vertices() + 1) * std::mem::size_of::<u32>()
             + 2 * g.num_edges() * std::mem::size_of::<u32>()
             + g.num_vertices() * std::mem::size_of::<NeighborSampler>();
         assert!(g.memory_bytes() >= floor);

@@ -1,0 +1,1152 @@
+//! The implicit topology backend: structured families as arithmetic, not
+//! arrays.
+//!
+//! Every headline instance of the paper — stars, double stars, heavy binary
+//! trees, Siamese trees, the cycle of stars of cliques, cycles of cliques,
+//! paths/cycles, complete graphs, hypercubes — has adjacency that is pure
+//! arithmetic on the vertex id. [`ImplicitGraph`] stores only the family
+//! parameters (a few machine words) and computes `degree(u)`, the *i*-th
+//! sorted neighbor, and stationary slot→vertex mapping in closed form, so a
+//! 10⁸-vertex cycle-of-stars costs bytes where the CSR build would need
+//! hundreds of gigabytes (its adjacency would not even fit `u32` indexing).
+//!
+//! **Bit-identity contract.** Vertex numbering matches the corresponding
+//! [`generators`](crate::generators) build exactly, neighbor resolution
+//! returns the identical *i*-th **sorted** neighbor the CSR stores, and
+//! index draws go through the same degree-specialized sampler
+//! ([`crate::graph`]'s shared `index_word`/`sample_index`), whose stream
+//! consumption depends only on the degree. A simulation on an
+//! `ImplicitGraph` is therefore bit-identical to the same simulation on
+//! [`ImplicitGraph::materialize`]'s CSR — pinned per family by the tests
+//! below and across whole protocol runs by `rumor-core`'s cross-backend
+//! equivalence suite.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GraphError, Result};
+use crate::graph::{index_word, sample_index, Graph, VertexId};
+use crate::topology::Topology;
+
+/// A structured graph family stored as `O(1)` parameters (see the
+/// module-level documentation above).
+///
+/// Construct through the family constructors ([`ImplicitGraph::star`],
+/// [`ImplicitGraph::cycle_of_stars_of_cliques`], …); each mirrors the
+/// validation and vertex numbering of its [`generators`](crate::generators)
+/// counterpart, and [`ImplicitGraph::materialize`] recovers the identical
+/// CSR build (where it fits in memory).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_graphs::{ImplicitGraph, Topology};
+///
+/// // Fig. 1(e) at paper scale: ~10⁸ vertices in a few bytes.
+/// let g = ImplicitGraph::cycle_of_stars_of_cliques(464)?;
+/// assert!(g.num_vertices() > 100_000_000);
+/// assert!(g.memory_bytes() < 100);
+///
+/// // Sampling works exactly like the CSR backend.
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let v = g.random_neighbor(0, &mut rng).unwrap();
+/// assert!(v < g.num_vertices());
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImplicitGraph {
+    family: Family,
+    n: usize,
+    num_edges: usize,
+}
+
+/// The supported families, with derived structural constants precomputed at
+/// construction so the per-draw closed forms stay branch-light.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Family {
+    /// `0 - 1 - … - (n-1)` ([`generators::path`](crate::generators::path)).
+    Path,
+    /// `0 - 1 - … - (n-1) - 0` ([`generators::cycle`](crate::generators::cycle)).
+    Cycle,
+    /// `K_n` ([`generators::complete`](crate::generators::complete)).
+    Complete,
+    /// Center `0`, leaves `1..=leaves` ([`generators::star`](crate::generators::star)).
+    Star { leaves: usize },
+    /// Centers `0`/`1`, leaves split between them
+    /// ([`generators::double_star`](crate::generators::double_star)).
+    DoubleStar { leaves_per_star: usize },
+    /// Heap-numbered heavy binary tree, leaves `first_leaf..n` forming a
+    /// clique ([`HeavyBinaryTree`](crate::generators::HeavyBinaryTree)).
+    HeavyTree {
+        depth: u32,
+        first_leaf: usize,
+        leaf_count: usize,
+    },
+    /// Two heavy trees sharing root `0`
+    /// ([`SiameseHeavyBinaryTree`](crate::generators::SiameseHeavyBinaryTree)).
+    Siamese {
+        depth: u32,
+        tree_size: usize,
+        first_leaf: usize,
+        leaf_count: usize,
+    },
+    /// Fig. 1(e): ring `0..m`, star leaves `m..m+m²`, clique interiors after
+    /// ([`CycleOfStarsOfCliques`](crate::generators::CycleOfStarsOfCliques)).
+    CycleOfStarsOfCliques { m: usize },
+    /// `num_cliques` cliques of `k = d + 1` vertices chained into a
+    /// `d`-regular ring
+    /// ([`generators::cycle_of_cliques`](crate::generators::cycle_of_cliques)).
+    CycleOfCliques { num_cliques: usize, k: usize },
+    /// The `dim`-dimensional hypercube
+    /// ([`generators::hypercube`](crate::generators::hypercube)).
+    Hypercube { dim: u32 },
+}
+
+/// The `j`-th (0-based) set bit of `x`, which must have more than `j` set
+/// bits.
+#[inline]
+fn nth_set_bit(mut x: u64, mut j: usize) -> u32 {
+    loop {
+        debug_assert!(x != 0);
+        if j == 0 {
+            return x.trailing_zeros();
+        }
+        x &= x - 1;
+        j -= 1;
+    }
+}
+
+impl ImplicitGraph {
+    fn invalid(reason: &str) -> GraphError {
+        GraphError::InvalidParameters {
+            reason: reason.into(),
+        }
+    }
+
+    /// Vertex ids must fit the protocol engines' `u32` dense lists.
+    fn check_addressable(n: usize) -> Result<()> {
+        if n > u32::MAX as usize {
+            return Err(Self::invalid("implicit graph exceeds u32 vertex ids"));
+        }
+        Ok(())
+    }
+
+    /// The shared sampler word encodes degrees only up to
+    /// `MAX_SAMPLER_DEGREE` (2²⁹ − 2; larger payloads would collide with
+    /// the word's tag bits). The CSR build asserts this per vertex; the
+    /// unbounded implicit families (complete, star, double star, cycle of
+    /// cliques) must refuse such parameters up front rather than sample
+    /// garbage.
+    fn check_degree(d: usize) -> Result<()> {
+        if d > crate::graph::MAX_SAMPLER_DEGREE {
+            return Err(Self::invalid(
+                "implicit graph's maximum degree exceeds the sampler word range",
+            ));
+        }
+        Ok(())
+    }
+
+    /// A path `0 - 1 - … - (n-1)`; requires `n >= 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] under the same conditions
+    /// as [`generators::path`](crate::generators::path).
+    pub fn path(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(Self::invalid("path requires n >= 1"));
+        }
+        Self::check_addressable(n)?;
+        Ok(ImplicitGraph {
+            family: Family::Path,
+            n,
+            num_edges: n - 1,
+        })
+    }
+
+    /// A cycle on `n >= 3` vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] under the same conditions
+    /// as [`generators::cycle`](crate::generators::cycle).
+    pub fn cycle(n: usize) -> Result<Self> {
+        if n < 3 {
+            return Err(Self::invalid("cycle requires n >= 3"));
+        }
+        Self::check_addressable(n)?;
+        Ok(ImplicitGraph {
+            family: Family::Cycle,
+            n,
+            num_edges: n,
+        })
+    }
+
+    /// The complete graph `K_n`, `n >= 2`. At `n = 10⁵` the CSR build would
+    /// hold 10¹⁰ adjacency entries; the implicit form holds three words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] under the same conditions
+    /// as [`generators::complete`](crate::generators::complete).
+    pub fn complete(n: usize) -> Result<Self> {
+        if n < 2 {
+            return Err(Self::invalid("complete requires n >= 2"));
+        }
+        Self::check_addressable(n)?;
+        Self::check_degree(n - 1)?;
+        Ok(ImplicitGraph {
+            family: Family::Complete,
+            n,
+            num_edges: n * (n - 1) / 2,
+        })
+    }
+
+    /// The star with center `0` and `leaves >= 1` leaves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] under the same conditions
+    /// as [`generators::star`](crate::generators::star).
+    pub fn star(leaves: usize) -> Result<Self> {
+        if leaves == 0 {
+            return Err(Self::invalid("star requires >= 1 leaf"));
+        }
+        Self::check_addressable(leaves + 1)?;
+        Self::check_degree(leaves)?;
+        Ok(ImplicitGraph {
+            family: Family::Star { leaves },
+            n: leaves + 1,
+            num_edges: leaves,
+        })
+    }
+
+    /// The double star of Fig. 1(b) with `leaves_per_star >= 1` leaves per
+    /// center.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] under the same conditions
+    /// as [`generators::double_star`](crate::generators::double_star).
+    pub fn double_star(leaves_per_star: usize) -> Result<Self> {
+        if leaves_per_star == 0 {
+            return Err(Self::invalid("double_star requires >= 1 leaf per star"));
+        }
+        Self::check_addressable(2 * leaves_per_star + 2)?;
+        Self::check_degree(leaves_per_star + 1)?;
+        Ok(ImplicitGraph {
+            family: Family::DoubleStar { leaves_per_star },
+            n: 2 * leaves_per_star + 2,
+            num_edges: 2 * leaves_per_star + 1,
+        })
+    }
+
+    /// The heavy binary tree `B_n` of Fig. 1(c), `1 <= depth <= 28`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] under the same conditions
+    /// as [`HeavyBinaryTree::new`](crate::generators::HeavyBinaryTree::new).
+    pub fn heavy_tree(depth: u32) -> Result<Self> {
+        if depth == 0 || depth > 28 {
+            return Err(Self::invalid("heavy binary tree requires 1 <= depth <= 28"));
+        }
+        let n = (1usize << (depth + 1)) - 1;
+        let first_leaf = (1usize << depth) - 1;
+        let leaf_count = n - first_leaf;
+        Ok(ImplicitGraph {
+            family: Family::HeavyTree {
+                depth,
+                first_leaf,
+                leaf_count,
+            },
+            n,
+            num_edges: (n - 1) + leaf_count * (leaf_count - 1) / 2,
+        })
+    }
+
+    /// The Siamese heavy binary tree `D_n` of Fig. 1(d), `1 <= depth <= 27`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] under the same conditions as
+    /// [`SiameseHeavyBinaryTree::new`](crate::generators::SiameseHeavyBinaryTree::new).
+    pub fn siamese(depth: u32) -> Result<Self> {
+        if depth == 0 || depth > 27 {
+            return Err(Self::invalid(
+                "siamese heavy binary tree requires 1 <= depth <= 27",
+            ));
+        }
+        let tree_size = (1usize << (depth + 1)) - 1;
+        let first_leaf = (1usize << depth) - 1;
+        let leaf_count = tree_size - first_leaf;
+        Ok(ImplicitGraph {
+            family: Family::Siamese {
+                depth,
+                tree_size,
+                first_leaf,
+                leaf_count,
+            },
+            n: 2 * tree_size - 1,
+            num_edges: 2 * ((tree_size - 1) + leaf_count * (leaf_count - 1) / 2),
+        })
+    }
+
+    /// The cycle of stars of cliques of Fig. 1(e), `3 <= m <= 1000`
+    /// (`n = m + m² + m³`). `m = 464` is the ~10⁸-vertex paper-scale
+    /// instance whose CSR build is unrepresentable (adjacency would exceed
+    /// `u32` indexing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] under the same conditions as
+    /// [`CycleOfStarsOfCliques::new`](crate::generators::CycleOfStarsOfCliques::new).
+    pub fn cycle_of_stars_of_cliques(m: usize) -> Result<Self> {
+        if m < 3 {
+            return Err(Self::invalid("cycle_of_stars_of_cliques requires m >= 3"));
+        }
+        if m > 1000 {
+            return Err(Self::invalid(
+                "cycle_of_stars_of_cliques requires m <= 1000",
+            ));
+        }
+        let n = m + m * m + m * m * m;
+        Self::check_addressable(n)?;
+        // Ring + star edges + m² cliques on m + 1 vertices each.
+        let num_edges = m + m * m + m * m * ((m + 1) * m / 2);
+        Ok(ImplicitGraph {
+            family: Family::CycleOfStarsOfCliques { m },
+            n,
+            num_edges,
+        })
+    }
+
+    /// A `d`-regular cycle of `num_cliques >= 3` cliques on `d + 1 >= 3`
+    /// vertices each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] under the same conditions
+    /// as [`generators::cycle_of_cliques`](crate::generators::cycle_of_cliques).
+    pub fn cycle_of_cliques(num_cliques: usize, d: usize) -> Result<Self> {
+        if num_cliques < 3 {
+            return Err(Self::invalid("cycle_of_cliques requires num_cliques >= 3"));
+        }
+        if d < 2 {
+            return Err(Self::invalid("cycle_of_cliques requires d >= 2"));
+        }
+        let k = d + 1;
+        let n = num_cliques * k;
+        Self::check_addressable(n)?;
+        Self::check_degree(d)?;
+        Ok(ImplicitGraph {
+            family: Family::CycleOfCliques { num_cliques, k },
+            n,
+            num_edges: n * d / 2,
+        })
+    }
+
+    /// The `dim`-dimensional hypercube, `1 <= dim <= 30`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] under the same conditions
+    /// as [`generators::hypercube`](crate::generators::hypercube).
+    pub fn hypercube(dim: u32) -> Result<Self> {
+        if dim == 0 || dim > 30 {
+            return Err(Self::invalid("hypercube requires 1 <= dim <= 30"));
+        }
+        let n = 1usize << dim;
+        Ok(ImplicitGraph {
+            family: Family::Hypercube { dim },
+            n,
+            num_edges: n * dim as usize / 2,
+        })
+    }
+
+    /// The smallest cycle-of-stars-of-cliques with at least `min_vertices`
+    /// vertices (mirrors
+    /// [`CycleOfStarsOfCliques::with_at_least`](crate::generators::CycleOfStarsOfCliques::with_at_least)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the constraints of
+    /// [`ImplicitGraph::cycle_of_stars_of_cliques`].
+    pub fn cycle_of_stars_with_at_least(min_vertices: usize) -> Result<Self> {
+        let mut m = 3usize;
+        while m + m * m + m * m * m < min_vertices {
+            m += 1;
+        }
+        Self::cycle_of_stars_of_cliques(m)
+    }
+
+    /// The structural parameter of the family, where one exists: `m` for the
+    /// cycle of stars, leaves for the stars, depth for the trees, `dim` for
+    /// the hypercube, `(num_cliques, d)` folded to `num_cliques` for the
+    /// cycle of cliques, `n` otherwise. Handy for labelling sweeps.
+    pub fn parameter(&self) -> usize {
+        match self.family {
+            Family::Path | Family::Cycle | Family::Complete => self.n,
+            Family::Star { leaves } => leaves,
+            Family::DoubleStar { leaves_per_star } => leaves_per_star,
+            Family::HeavyTree { depth, .. } | Family::Siamese { depth, .. } => depth as usize,
+            Family::CycleOfStarsOfCliques { m } => m,
+            Family::CycleOfCliques { num_cliques, .. } => num_cliques,
+            Family::Hypercube { dim } => dim as usize,
+        }
+    }
+
+    /// A short stable family name (for bench/report labels).
+    pub fn family_name(&self) -> &'static str {
+        match self.family {
+            Family::Path => "path",
+            Family::Cycle => "cycle",
+            Family::Complete => "complete",
+            Family::Star { .. } => "star",
+            Family::DoubleStar { .. } => "double-star",
+            Family::HeavyTree { .. } => "heavy-tree",
+            Family::Siamese { .. } => "siamese",
+            Family::CycleOfStarsOfCliques { .. } => "cycle-of-stars-of-cliques",
+            Family::CycleOfCliques { .. } => "cycle-of-cliques",
+            Family::Hypercube { .. } => "hypercube",
+        }
+    }
+
+    /// Builds the CSR [`Graph`] with the identical vertex numbering and edge
+    /// set. Intended for tests and small instances; the paper-scale implicit
+    /// instances exist precisely because this does not fit in memory there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the corresponding generator's errors (e.g. a size-safety
+    /// rejection).
+    pub fn materialize(&self) -> Result<Graph> {
+        use crate::generators;
+        match self.family {
+            Family::Path => generators::path(self.n),
+            Family::Cycle => generators::cycle(self.n),
+            Family::Complete => generators::complete(self.n),
+            Family::Star { leaves } => generators::star(leaves),
+            Family::DoubleStar { leaves_per_star } => generators::double_star(leaves_per_star),
+            Family::HeavyTree { depth, .. } => {
+                generators::HeavyBinaryTree::new(depth).map(|t| t.into_graph())
+            }
+            Family::Siamese { depth, .. } => {
+                generators::SiameseHeavyBinaryTree::new(depth).map(|t| t.into_graph())
+            }
+            Family::CycleOfStarsOfCliques { m } => {
+                generators::CycleOfStarsOfCliques::new(m).map(|c| c.into_graph())
+            }
+            Family::CycleOfCliques { num_cliques, k } => {
+                generators::cycle_of_cliques(num_cliques, k - 1)
+            }
+            Family::Hypercube { dim } => generators::hypercube(dim),
+        }
+    }
+
+    /// The `i`-th neighbor of `u` in ascending (sorted) order — exactly the
+    /// value the materialized CSR stores at `adjacency[offsets[u] + i]`.
+    ///
+    /// # Panics
+    ///
+    /// May panic (or return garbage in release builds) if `u` or `i` is out
+    /// of range; callers sample `i < degree(u)`.
+    #[inline]
+    pub fn nth_neighbor(&self, u: VertexId, i: usize) -> VertexId {
+        debug_assert!(u < self.n && i < self.degree(u));
+        let n = self.n;
+        match self.family {
+            Family::Path => {
+                if u == 0 {
+                    1
+                } else if u == n - 1 {
+                    n - 2
+                } else {
+                    u - 1 + 2 * i
+                }
+            }
+            Family::Cycle => {
+                if u == 0 {
+                    if i == 0 {
+                        1
+                    } else {
+                        n - 1
+                    }
+                } else if u == n - 1 {
+                    if i == 0 {
+                        0
+                    } else {
+                        n - 2
+                    }
+                } else {
+                    u - 1 + 2 * i
+                }
+            }
+            Family::Complete => i + usize::from(i >= u),
+            Family::Star { .. } => {
+                if u == 0 {
+                    i + 1
+                } else {
+                    0
+                }
+            }
+            Family::DoubleStar { leaves_per_star: l } => {
+                if u == 0 {
+                    // {1} ∪ leaves 2..2+l is the contiguous range 1..=l+1.
+                    i + 1
+                } else if u == 1 {
+                    if i == 0 {
+                        0
+                    } else {
+                        l + 1 + i
+                    }
+                } else if u < 2 + l {
+                    0
+                } else {
+                    1
+                }
+            }
+            Family::HeavyTree { first_leaf, .. } => {
+                if u == 0 {
+                    i + 1
+                } else if u < first_leaf {
+                    if i == 0 {
+                        (u - 1) / 2
+                    } else {
+                        2 * u + i
+                    }
+                } else if i == 0 {
+                    (u - 1) / 2
+                } else {
+                    // Leaf clique range with the hole at u itself.
+                    let x = first_leaf + (i - 1);
+                    x + usize::from(x >= u)
+                }
+            }
+            Family::Siamese {
+                tree_size,
+                first_leaf,
+                ..
+            } => {
+                let t = tree_size;
+                if u == 0 {
+                    // Children of both copies: {1, 2, T, T + 1}.
+                    if i < 2 {
+                        i + 1
+                    } else {
+                        t + (i - 2)
+                    }
+                } else if u < t {
+                    // First copy: plain heavy-tree numbering.
+                    if u < first_leaf {
+                        if i == 0 {
+                            (u - 1) / 2
+                        } else {
+                            2 * u + i
+                        }
+                    } else if i == 0 {
+                        (u - 1) / 2
+                    } else {
+                        let x = first_leaf + (i - 1);
+                        x + usize::from(x >= u)
+                    }
+                } else {
+                    // Second copy: abstract vertex a maps to T - 1 + a.
+                    let a = u - (t - 1);
+                    let pa = (a - 1) / 2;
+                    let parent = if pa == 0 { 0 } else { t - 1 + pa };
+                    if a < first_leaf {
+                        if i == 0 {
+                            parent
+                        } else {
+                            t - 1 + 2 * a + i
+                        }
+                    } else if i == 0 {
+                        parent
+                    } else {
+                        let x = (t - 1 + first_leaf) + (i - 1);
+                        x + usize::from(x >= u)
+                    }
+                }
+            }
+            Family::CycleOfStarsOfCliques { m } => {
+                let m2 = m * m;
+                if u < m {
+                    // Ring vertex: two ring neighbors, then its leaf range.
+                    let r1 = (u + m - 1) % m;
+                    let r2 = (u + 1) % m;
+                    let (a, b) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+                    match i {
+                        0 => a,
+                        1 => b,
+                        _ => m + u * m + (i - 2),
+                    }
+                } else if u < m + m2 {
+                    // Star leaf: its ring center, then its clique interior.
+                    let idx = u - m;
+                    if i == 0 {
+                        idx / m
+                    } else {
+                        m + m2 + idx * m + (i - 1)
+                    }
+                } else {
+                    // Clique interior: its leaf, then the clique range with
+                    // the hole at u itself.
+                    let idx = (u - m - m2) / m;
+                    if i == 0 {
+                        m + idx
+                    } else {
+                        let x = m + m2 + idx * m + (i - 1);
+                        x + usize::from(x >= u)
+                    }
+                }
+            }
+            Family::CycleOfCliques { num_cliques, k } => {
+                let c = u / k;
+                let r = u % k;
+                let base = c * k;
+                if r == 0 {
+                    // Clique members except the "second", plus the previous
+                    // clique's "second" (below the range except at wrap).
+                    let p = ((c + num_cliques - 1) % num_cliques) * k + 1;
+                    if p < base {
+                        if i == 0 {
+                            p
+                        } else {
+                            base + 2 + (i - 1)
+                        }
+                    } else if i < k - 2 {
+                        base + 2 + i
+                    } else {
+                        p
+                    }
+                } else if r == 1 {
+                    // Clique members except the "first", plus the next
+                    // clique's "first" (contiguous above except at wrap).
+                    let q = ((c + 1) % num_cliques) * k;
+                    if q > base {
+                        base + 2 + i
+                    } else if i == 0 {
+                        q
+                    } else {
+                        base + 2 + (i - 1)
+                    }
+                } else {
+                    // Interior member: whole clique range, hole at u.
+                    let x = base + i;
+                    x + usize::from(x >= u)
+                }
+            }
+            Family::Hypercube { dim } => {
+                let bits = u as u64;
+                let s = bits.count_ones() as usize;
+                if i < s {
+                    // Lower neighbors ascend as the flipped set bit descends.
+                    u ^ (1usize << nth_set_bit(bits, s - 1 - i))
+                } else {
+                    let unset = !bits & ((1u64 << dim) - 1);
+                    u ^ (1usize << nth_set_bit(unset, i - s))
+                }
+            }
+        }
+    }
+
+    /// Maps a position in the virtual concatenated adjacency array (vertex
+    /// blocks in vertex order, block sizes equal to degrees — the CSR slot
+    /// layout) back to its owning vertex: the closed-form inverse of the
+    /// degree prefix sum, which is what makes stationary sampling
+    /// draw-identical to the CSR backend.
+    #[inline]
+    fn vertex_of_slot(&self, pos: usize) -> VertexId {
+        debug_assert!(pos < 2 * self.num_edges);
+        let n = self.n;
+        match self.family {
+            Family::Path => {
+                if pos == 0 {
+                    0
+                } else {
+                    // Interior vertices own two slots each: offsets run
+                    // 0, 1, 3, 5, …, so slot `pos` belongs to ⌈pos / 2⌉.
+                    pos.div_ceil(2)
+                }
+            }
+            Family::Cycle => pos / 2,
+            Family::Complete => pos / (n - 1),
+            Family::Star { leaves } => {
+                if pos < leaves {
+                    0
+                } else {
+                    1 + (pos - leaves)
+                }
+            }
+            Family::DoubleStar { leaves_per_star: l } => {
+                if pos < l + 1 {
+                    0
+                } else if pos < 2 * l + 2 {
+                    1
+                } else {
+                    2 + (pos - (2 * l + 2))
+                }
+            }
+            Family::HeavyTree {
+                first_leaf,
+                leaf_count,
+                ..
+            } => {
+                let leaf_start = 2 + 3 * (first_leaf - 1);
+                if pos < 2 {
+                    0
+                } else if pos < leaf_start {
+                    1 + (pos - 2) / 3
+                } else {
+                    first_leaf + (pos - leaf_start) / leaf_count
+                }
+            }
+            Family::Siamese {
+                tree_size,
+                first_leaf,
+                leaf_count,
+                ..
+            } => {
+                let a = 4 + 3 * (first_leaf - 1);
+                let b = a + leaf_count * leaf_count;
+                let c = b + 3 * (first_leaf - 1);
+                if pos < 4 {
+                    0
+                } else if pos < a {
+                    1 + (pos - 4) / 3
+                } else if pos < b {
+                    first_leaf + (pos - a) / leaf_count
+                } else if pos < c {
+                    tree_size + (pos - b) / 3
+                } else {
+                    (tree_size - 1 + first_leaf) + (pos - c) / leaf_count
+                }
+            }
+            Family::CycleOfStarsOfCliques { m } => {
+                let ring_slots = m * (m + 2);
+                let leaf_slots = ring_slots + m * m * (m + 1);
+                if pos < ring_slots {
+                    pos / (m + 2)
+                } else if pos < leaf_slots {
+                    m + (pos - ring_slots) / (m + 1)
+                } else {
+                    m + m * m + (pos - leaf_slots) / m
+                }
+            }
+            Family::CycleOfCliques { k, .. } => pos / (k - 1),
+            Family::Hypercube { dim } => pos / dim as usize,
+        }
+    }
+}
+
+impl Topology for ImplicitGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    #[inline]
+    fn degree(&self, u: VertexId) -> usize {
+        debug_assert!(u < self.n);
+        let n = self.n;
+        match self.family {
+            Family::Path => {
+                if n == 1 {
+                    0
+                } else if u == 0 || u == n - 1 {
+                    1
+                } else {
+                    2
+                }
+            }
+            Family::Cycle => 2,
+            Family::Complete => n - 1,
+            Family::Star { leaves } => {
+                if u == 0 {
+                    leaves
+                } else {
+                    1
+                }
+            }
+            Family::DoubleStar { leaves_per_star } => {
+                if u < 2 {
+                    leaves_per_star + 1
+                } else {
+                    1
+                }
+            }
+            Family::HeavyTree {
+                first_leaf,
+                leaf_count,
+                ..
+            } => {
+                if u == 0 {
+                    2
+                } else if u < first_leaf {
+                    3
+                } else {
+                    leaf_count
+                }
+            }
+            Family::Siamese {
+                tree_size,
+                first_leaf,
+                leaf_count,
+                ..
+            } => {
+                if u == 0 {
+                    4
+                } else {
+                    let a = if u < tree_size {
+                        u
+                    } else {
+                        u - (tree_size - 1)
+                    };
+                    if a < first_leaf {
+                        3
+                    } else {
+                        leaf_count
+                    }
+                }
+            }
+            Family::CycleOfStarsOfCliques { m } => {
+                if u < m {
+                    m + 2
+                } else if u < m + m * m {
+                    m + 1
+                } else {
+                    m
+                }
+            }
+            Family::CycleOfCliques { k, .. } => k - 1,
+            Family::Hypercube { dim } => dim as usize,
+        }
+    }
+
+    fn for_each_neighbor(&self, u: VertexId, mut f: impl FnMut(VertexId)) {
+        for i in 0..self.degree(u) {
+            f(self.nth_neighbor(u, i));
+        }
+    }
+
+    #[inline(always)]
+    fn random_neighbor<R: Rng + ?Sized>(&self, u: VertexId, rng: &mut R) -> Option<VertexId> {
+        let d = self.degree(u);
+        if d == 0 {
+            return None;
+        }
+        let i = sample_index(index_word(d), rng);
+        Some(self.nth_neighbor(u, i as usize))
+    }
+
+    #[inline(always)]
+    fn random_neighbor_nonisolated<R: Rng + ?Sized>(&self, u: VertexId, rng: &mut R) -> VertexId {
+        let d = self.degree(u);
+        assert!(d != 0, "random_neighbor_nonisolated on isolated vertex {u}");
+        let i = sample_index(index_word(d), rng);
+        self.nth_neighbor(u, i as usize)
+    }
+
+    #[inline(always)]
+    fn random_neighbor_with<R: Rng, F: FnOnce() -> R>(
+        &self,
+        u: VertexId,
+        make_rng: F,
+    ) -> Option<VertexId> {
+        let d = self.degree(u);
+        if d == 0 {
+            return None;
+        }
+        if d == 1 {
+            // The draw's outcome is forced; under counter-based streams the
+            // unused draw is simply never computed (see
+            // `Graph::random_neighbor_with`).
+            return Some(self.nth_neighbor(u, 0));
+        }
+        let mut rng = make_rng();
+        let i = sample_index(index_word(d), &mut rng);
+        Some(self.nth_neighbor(u, i as usize))
+    }
+
+    fn sample_stationary<R: Rng + ?Sized>(&self, rng: &mut R) -> VertexId {
+        assert!(
+            self.num_edges > 0,
+            "stationary sampling undefined without edges"
+        );
+        let pos = rng.gen_range(0..2 * self.num_edges);
+        self.vertex_of_slot(pos)
+    }
+
+    fn sample_stationary_into<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+        out: &mut Vec<u32>,
+    ) {
+        assert!(
+            self.num_edges > 0,
+            "stationary sampling undefined without edges"
+        );
+        let slots = 2 * self.num_edges;
+        out.clear();
+        out.reserve(count);
+        out.extend((0..count).map(|_| self.vertex_of_slot(rng.gen_range(0..slots)) as u32));
+    }
+
+    fn is_bipartite(&self) -> bool {
+        match self.family {
+            Family::Path | Family::Star { .. } | Family::DoubleStar { .. } => true,
+            Family::Cycle => self.n.is_multiple_of(2),
+            Family::Complete => self.n == 2,
+            // Any leaf clique of >= 2 leaves plus their shared parent is a
+            // triangle (depth >= 1 always gives >= 2 leaves per copy).
+            Family::HeavyTree { .. } | Family::Siamese { .. } => false,
+            // Contains (m + 1)-cliques with m >= 3.
+            Family::CycleOfStarsOfCliques { .. } => false,
+            // k = 3 degenerates to one big 3·num_cliques-cycle; k >= 4 has
+            // triangles among the interior members.
+            Family::CycleOfCliques { num_cliques, k } => k == 3 && num_cliques % 2 == 0,
+            Family::Hypercube { .. } => true,
+        }
+    }
+
+    fn regular_degree(&self) -> Option<usize> {
+        match self.family {
+            Family::Path => match self.n {
+                1 => Some(0),
+                2 => Some(1),
+                _ => None,
+            },
+            Family::Cycle => Some(2),
+            Family::Complete => Some(self.n - 1),
+            Family::Star { leaves } => (leaves == 1).then_some(1),
+            Family::DoubleStar { .. } => None,
+            // Depth 1 is the triangle (root degree 2 == leaf clique degree).
+            Family::HeavyTree { depth, .. } => (depth == 1).then_some(2),
+            Family::Siamese { .. } => None,
+            Family::CycleOfStarsOfCliques { .. } => None,
+            Family::CycleOfCliques { k, .. } => Some(k - 1),
+            Family::Hypercube { dim } => Some(dim as usize),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// One instance of every family, small enough to materialize.
+    fn all_families() -> Vec<ImplicitGraph> {
+        vec![
+            ImplicitGraph::path(1).unwrap(),
+            ImplicitGraph::path(2).unwrap(),
+            ImplicitGraph::path(9).unwrap(),
+            ImplicitGraph::cycle(3).unwrap(),
+            ImplicitGraph::cycle(10).unwrap(),
+            ImplicitGraph::cycle(11).unwrap(),
+            ImplicitGraph::complete(2).unwrap(),
+            ImplicitGraph::complete(17).unwrap(),
+            ImplicitGraph::star(1).unwrap(),
+            ImplicitGraph::star(23).unwrap(),
+            ImplicitGraph::double_star(1).unwrap(),
+            ImplicitGraph::double_star(12).unwrap(),
+            ImplicitGraph::heavy_tree(1).unwrap(),
+            ImplicitGraph::heavy_tree(4).unwrap(),
+            ImplicitGraph::siamese(1).unwrap(),
+            ImplicitGraph::siamese(3).unwrap(),
+            ImplicitGraph::siamese(4).unwrap(),
+            ImplicitGraph::cycle_of_stars_of_cliques(3).unwrap(),
+            ImplicitGraph::cycle_of_stars_of_cliques(5).unwrap(),
+            ImplicitGraph::cycle_of_cliques(3, 2).unwrap(),
+            ImplicitGraph::cycle_of_cliques(4, 2).unwrap(),
+            ImplicitGraph::cycle_of_cliques(5, 6).unwrap(),
+            ImplicitGraph::hypercube(1).unwrap(),
+            ImplicitGraph::hypercube(5).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn counts_and_structure_match_materialized() {
+        for g in all_families() {
+            let csr = g.materialize().unwrap();
+            let label = g.family_name();
+            assert_eq!(g.num_vertices(), csr.num_vertices(), "{label} n");
+            assert_eq!(g.num_edges(), csr.num_edges(), "{label} m");
+            assert_eq!(
+                Topology::regular_degree(&g),
+                csr.regular_degree(),
+                "{label} regular degree"
+            );
+            assert_eq!(
+                g.is_bipartite(),
+                algorithms::is_bipartite(&csr),
+                "{label} bipartiteness (n = {})",
+                g.num_vertices()
+            );
+            for u in 0..g.num_vertices() {
+                assert_eq!(
+                    Topology::degree(&g, u),
+                    csr.degree(u),
+                    "{label} degree of {u}"
+                );
+                let want = csr.neighbors(u);
+                for (i, &v) in want.iter().enumerate() {
+                    assert_eq!(
+                        g.nth_neighbor(u, i),
+                        v as usize,
+                        "{label} neighbor {i} of {u}"
+                    );
+                }
+                let mut got = Vec::new();
+                g.for_each_neighbor(u, |v| got.push(v as u32));
+                assert_eq!(got, want, "{label} for_each_neighbor of {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_neighbor_is_stream_identical_to_csr() {
+        for g in all_families() {
+            let csr = g.materialize().unwrap();
+            let label = g.family_name();
+            for u in 0..g.num_vertices().min(200) {
+                let mut a = StdRng::seed_from_u64(u as u64);
+                let mut b = a.clone();
+                for _ in 0..60 {
+                    assert_eq!(
+                        Topology::random_neighbor(&g, u, &mut a),
+                        csr.random_neighbor(u, &mut b),
+                        "{label} draw at {u}"
+                    );
+                }
+                assert_eq!(a.next_u64(), b.next_u64(), "{label} stream at {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_sampling_is_draw_identical_to_csr() {
+        for g in all_families() {
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let csr = g.materialize().unwrap();
+            let label = g.family_name();
+            let mut a = StdRng::seed_from_u64(99);
+            let mut b = a.clone();
+            for _ in 0..300 {
+                assert_eq!(
+                    Topology::sample_stationary(&g, &mut a),
+                    csr.sample_stationary(&mut b),
+                    "{label} stationary sample"
+                );
+            }
+            let mut bulk = Vec::new();
+            Topology::sample_stationary_into(&g, 150, &mut StdRng::seed_from_u64(7), &mut bulk);
+            let mut bulk_csr = Vec::new();
+            Topology::sample_stationary_into(
+                &csr,
+                150,
+                &mut StdRng::seed_from_u64(7),
+                &mut bulk_csr,
+            );
+            assert_eq!(bulk, bulk_csr, "{label} bulk stationary");
+        }
+    }
+
+    #[test]
+    fn random_neighbor_with_matches_plain_draws_for_multi_degree() {
+        // For degree >= 2 the lazy-RNG variant must agree with the plain one
+        // given the same generator; for degree 1 it must resolve without one.
+        let g = ImplicitGraph::cycle_of_stars_of_cliques(4).unwrap();
+        for u in 0..g.num_vertices() {
+            let mut rng = StdRng::seed_from_u64(u as u64);
+            let direct = Topology::random_neighbor(&g, u, &mut rng).unwrap();
+            let rng = StdRng::seed_from_u64(u as u64);
+            let lazy = Topology::random_neighbor_with(&g, u, || rng.clone()).unwrap();
+            if Topology::degree(&g, u) > 1 {
+                assert_eq!(direct, lazy);
+            }
+        }
+        let star = ImplicitGraph::star(5).unwrap();
+        let v: Option<usize> =
+            Topology::random_neighbor_with(&star, 3, || -> StdRng { unreachable!("deg 1") });
+        assert_eq!(v, Some(0));
+    }
+
+    #[test]
+    fn memory_is_constant_and_tiny() {
+        let big = ImplicitGraph::cycle_of_stars_of_cliques(464).unwrap();
+        let small = ImplicitGraph::cycle_of_stars_of_cliques(3).unwrap();
+        assert_eq!(Topology::memory_bytes(&big), Topology::memory_bytes(&small));
+        assert!(Topology::memory_bytes(&big) <= 64);
+        assert!(big.num_vertices() > 100_000_000);
+        // The CSR equivalent would not even satisfy u32 adjacency indexing:
+        // 2m far exceeds u32::MAX.
+        assert!(2 * big.num_edges() > u32::MAX as usize);
+    }
+
+    #[test]
+    fn constructors_reject_invalid_parameters() {
+        assert!(ImplicitGraph::path(0).is_err());
+        assert!(ImplicitGraph::cycle(2).is_err());
+        assert!(ImplicitGraph::complete(1).is_err());
+        assert!(ImplicitGraph::star(0).is_err());
+        assert!(ImplicitGraph::double_star(0).is_err());
+        assert!(ImplicitGraph::heavy_tree(0).is_err());
+        assert!(ImplicitGraph::heavy_tree(29).is_err());
+        assert!(ImplicitGraph::siamese(0).is_err());
+        assert!(ImplicitGraph::siamese(28).is_err());
+        assert!(ImplicitGraph::cycle_of_stars_of_cliques(2).is_err());
+        assert!(ImplicitGraph::cycle_of_stars_of_cliques(1001).is_err());
+        assert!(ImplicitGraph::cycle_of_cliques(2, 4).is_err());
+        assert!(ImplicitGraph::cycle_of_cliques(5, 1).is_err());
+        assert!(ImplicitGraph::hypercube(0).is_err());
+        assert!(ImplicitGraph::hypercube(31).is_err());
+    }
+
+    #[test]
+    fn constructors_reject_degrees_beyond_the_sampler_word() {
+        // Degrees >= 2^29 - 1 would collide with the sampler word's tag
+        // bits; the CSR build asserts, the implicit build must error.
+        let over = crate::graph::MAX_SAMPLER_DEGREE + 1;
+        assert!(ImplicitGraph::complete(over + 1).is_err());
+        assert!(ImplicitGraph::star(over).is_err());
+        assert!(ImplicitGraph::double_star(over).is_err());
+        assert!(ImplicitGraph::cycle_of_cliques(3, over).is_err());
+        // The largest representable degrees are accepted.
+        assert!(ImplicitGraph::star(crate::graph::MAX_SAMPLER_DEGREE).is_ok());
+    }
+
+    #[test]
+    fn with_at_least_and_labels() {
+        let g = ImplicitGraph::cycle_of_stars_with_at_least(500).unwrap();
+        assert!(g.num_vertices() >= 500);
+        assert_eq!(g.family_name(), "cycle-of-stars-of-cliques");
+        assert!(g.parameter() >= 3);
+        let smaller = ImplicitGraph::cycle_of_stars_of_cliques(g.parameter() - 1).unwrap();
+        assert!(smaller.num_vertices() < 500);
+    }
+
+    #[test]
+    fn isolated_vertices_sample_none() {
+        let g = ImplicitGraph::path(1).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Topology::random_neighbor(&g, 0, &mut rng), None);
+        assert_eq!(Topology::degree(&g, 0), 0);
+    }
+}

@@ -6,11 +6,16 @@
 //!
 //! The crate provides:
 //!
-//! * an immutable CSR [`Graph`] optimized for the one operation every rumor
-//!   protocol performs millions of times — sampling a uniformly random
-//!   neighbor ([`Graph::random_neighbor`]) — plus degree-proportional
-//!   (stationary) vertex sampling for placing random-walk agents
-//!   ([`Graph::sample_stationary`]);
+//! * the sealed [`Topology`] abstraction with two backends: an immutable CSR
+//!   [`Graph`] optimized for the one operation every rumor protocol performs
+//!   millions of times — sampling a uniformly random neighbor
+//!   ([`Graph::random_neighbor`]) — and the closed-form [`ImplicitGraph`]
+//!   storing the paper's structured families as `O(1)` parameters (48 bytes
+//!   at any size; a 10⁸-vertex cycle-of-stars whose CSR build would not even
+//!   fit `u32` adjacency indexing simulates bit-identically to a
+//!   materialized build). [`AnyTopology`] selects a backend at runtime;
+//!   both also offer degree-proportional (stationary) vertex sampling for
+//!   placing random-walk agents ([`Graph::sample_stationary`]);
 //! * [`GraphBuilder`] for incremental construction;
 //! * [`generators`] for every graph family appearing in the paper (star,
 //!   double star, heavy binary tree, Siamese heavy binary trees, cycle of
@@ -49,6 +54,8 @@
 mod builder;
 mod error;
 mod graph;
+mod implicit;
+mod topology;
 
 pub mod algorithms;
 pub mod generators;
@@ -56,6 +63,8 @@ pub mod generators;
 pub use builder::GraphBuilder;
 pub use error::{GraphError, Result};
 pub use graph::{Edges, Graph, VertexId};
+pub use implicit::ImplicitGraph;
+pub use topology::{AnyTopology, Topology};
 
 #[cfg(test)]
 mod proptests {

@@ -1,0 +1,246 @@
+//! The `Topology` abstraction: one sampling contract, two storage backends.
+//!
+//! Every protocol in the workspace consumes a graph through a handful of
+//! operations — `degree`, uniform neighbor sampling, stationary vertex
+//! sampling, neighbor enumeration. The [`Topology`] trait captures exactly
+//! that surface, with two sealed implementations:
+//!
+//! * [`Graph`] — the CSR backend: `O(n + m)` arrays, any simple undirected
+//!   graph.
+//! * [`ImplicitGraph`](crate::ImplicitGraph) — the implicit backend: the
+//!   paper's structured families (stars, cycles, cliques, heavy trees,
+//!   cycle-of-stars-of-cliques, …) whose adjacency is pure arithmetic.
+//!   `O(1)` parameters instead of arrays, so a 10⁸-vertex instance costs
+//!   bytes, not gigabytes.
+//!
+//! **Determinism contract:** for equal degrees the two backends consume the
+//! RNG stream identically (both draw neighbor indices through the shared
+//! degree-specialized sampler in [`crate::Graph`]'s module), and an implicit
+//! family resolves a sampled index to the identical *i*-th sorted neighbor
+//! its materialized CSR build stores. A simulation over an
+//! [`ImplicitGraph`](crate::ImplicitGraph) is therefore bit-identical to the
+//! same simulation over the corresponding [`Graph`] — the cross-backend
+//! equivalence tests in `rumor-core` pin this for every family, protocol,
+//! engine, and thread count.
+//!
+//! The trait is deliberately **not** object safe (sampling methods are
+//! generic over the RNG so they inline); engines monomorphize over it,
+//! matching once per run on [`AnyTopology`] and never again — the same
+//! pattern the `FastStep` hot path uses for protocols.
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::graph::{Graph, VertexId};
+use crate::implicit::ImplicitGraph;
+
+mod sealed {
+    /// Seals [`super::Topology`]: the two backends are the whole design, and
+    /// the bit-identity contract between them could not be promised for
+    /// foreign implementations.
+    pub trait Sealed {}
+    impl Sealed for super::Graph {}
+    impl Sealed for super::ImplicitGraph {}
+}
+
+/// The operations a simulation needs from a graph, implemented by the CSR
+/// backend ([`Graph`]) and the implicit backend
+/// ([`ImplicitGraph`](crate::ImplicitGraph)). See the module-level
+/// documentation above for the cross-backend determinism contract.
+///
+/// Sealed: downstream crates consume, and cannot implement, this trait.
+pub trait Topology: sealed::Sealed + Sync {
+    /// Number of vertices `n`.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of undirected edges `|E|`.
+    fn num_edges(&self) -> usize;
+
+    /// Sum of all degrees, i.e. `2 |E|` (the stationary normalizer).
+    #[inline]
+    fn total_degree(&self) -> usize {
+        2 * self.num_edges()
+    }
+
+    /// Degree of vertex `u`.
+    fn degree(&self, u: VertexId) -> usize;
+
+    /// Iterator over all vertices `0..n`.
+    #[inline]
+    fn vertices(&self) -> Range<VertexId> {
+        0..self.num_vertices()
+    }
+
+    /// Calls `f` for every neighbor of `u`, in ascending vertex order.
+    fn for_each_neighbor(&self, u: VertexId, f: impl FnMut(VertexId));
+
+    /// Calls `f` for every undirected edge `(u, v)` with `u < v`.
+    /// `O(n + m)`; the default enumerates each vertex's neighbor list.
+    fn for_each_edge(&self, mut f: impl FnMut(VertexId, VertexId)) {
+        for u in self.vertices() {
+            self.for_each_neighbor(u, |v| {
+                if u < v {
+                    f(u, v);
+                }
+            });
+        }
+    }
+
+    /// Samples a uniformly random neighbor of `u`, or `None` if `u` is
+    /// isolated. Stream consumption depends only on `deg(u)` (the
+    /// cross-backend determinism contract).
+    fn random_neighbor<R: Rng + ?Sized>(&self, u: VertexId, rng: &mut R) -> Option<VertexId>;
+
+    /// Samples a uniformly random neighbor of a vertex known to have one
+    /// (panics on isolated vertices).
+    fn random_neighbor_nonisolated<R: Rng + ?Sized>(&self, u: VertexId, rng: &mut R) -> VertexId;
+
+    /// Like [`Topology::random_neighbor`], but the generator is produced
+    /// lazily — and never produced at all when `deg(u) == 1`. Only for
+    /// counter-based per-entity streams (see
+    /// [`Graph::random_neighbor_with`]).
+    fn random_neighbor_with<R: Rng, F: FnOnce() -> R>(
+        &self,
+        u: VertexId,
+        make_rng: F,
+    ) -> Option<VertexId>;
+
+    /// Samples a vertex from the stationary distribution
+    /// (degree-proportional). Panics if the graph has no edges.
+    fn sample_stationary<R: Rng + ?Sized>(&self, rng: &mut R) -> VertexId;
+
+    /// Samples `count` independent stationary vertices into `out` (cleared
+    /// first), draw-for-draw identical to `count` calls of
+    /// [`Topology::sample_stationary`]. The `u32` output feeds the agent
+    /// engines' position arrays without an intermediate `Vec<usize>`.
+    /// Panics if the graph has no edges.
+    fn sample_stationary_into<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+        out: &mut Vec<u32>,
+    );
+
+    /// Whether the graph is bipartite (drives the paper's lazy-walk remedy
+    /// for `meet-exchange`). CSR answers by BFS; implicit families answer in
+    /// `O(1)` from their structure.
+    fn is_bipartite(&self) -> bool;
+
+    /// If the graph is `d`-regular, `Some(d)`. CSR scans degrees; implicit
+    /// families answer in `O(1)`.
+    fn regular_degree(&self) -> Option<usize>;
+
+    /// Bytes of storage backing the topology (diagnostic; the headline
+    /// number behind the implicit backend's ≥20× footprint reduction).
+    fn memory_bytes(&self) -> usize;
+}
+
+/// A topology with the backend chosen at runtime.
+///
+/// Engines and the experiment harness accept this where the backend is a
+/// data-driven choice, match **once**, and run fully monomorphized
+/// thereafter — the enum never sits on a sampling hot path.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_graphs::{AnyTopology, ImplicitGraph, Topology};
+///
+/// let implicit = AnyTopology::from(ImplicitGraph::star(1_000_000)?);
+/// let csr = AnyTopology::from(rumor_graphs::generators::star(1_000)?);
+/// assert_eq!(implicit.num_vertices(), 1_000_001);
+/// // The million-leaf star costs a few dozen bytes implicitly.
+/// assert!(implicit.memory_bytes() < 100);
+/// assert!(csr.memory_bytes() > 1_000);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub enum AnyTopology {
+    /// The materialized CSR backend.
+    Csr(Graph),
+    /// The closed-form implicit backend.
+    Implicit(ImplicitGraph),
+}
+
+impl AnyTopology {
+    /// Number of vertices `n`.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            AnyTopology::Csr(g) => g.num_vertices(),
+            AnyTopology::Implicit(g) => g.num_vertices(),
+        }
+    }
+
+    /// Number of undirected edges `|E|`.
+    pub fn num_edges(&self) -> usize {
+        match self {
+            AnyTopology::Csr(g) => g.num_edges(),
+            AnyTopology::Implicit(g) => g.num_edges(),
+        }
+    }
+
+    /// Bytes of storage backing the topology (see
+    /// [`Topology::memory_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            AnyTopology::Csr(g) => g.memory_bytes(),
+            AnyTopology::Implicit(g) => g.memory_bytes(),
+        }
+    }
+
+    /// The CSR backend, if that is what this topology holds.
+    pub fn as_csr(&self) -> Option<&Graph> {
+        match self {
+            AnyTopology::Csr(g) => Some(g),
+            AnyTopology::Implicit(_) => None,
+        }
+    }
+
+    /// The implicit backend, if that is what this topology holds.
+    pub fn as_implicit(&self) -> Option<&ImplicitGraph> {
+        match self {
+            AnyTopology::Csr(_) => None,
+            AnyTopology::Implicit(g) => Some(g),
+        }
+    }
+}
+
+impl From<Graph> for AnyTopology {
+    fn from(graph: Graph) -> Self {
+        AnyTopology::Csr(graph)
+    }
+}
+
+impl From<ImplicitGraph> for AnyTopology {
+    fn from(graph: ImplicitGraph) -> Self {
+        AnyTopology::Implicit(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn any_topology_dispatches_to_both_backends() {
+        let csr = AnyTopology::from(generators::cycle(10).unwrap());
+        let implicit = AnyTopology::from(ImplicitGraph::cycle(10).unwrap());
+        assert_eq!(csr.num_vertices(), implicit.num_vertices());
+        assert_eq!(csr.num_edges(), implicit.num_edges());
+        assert!(csr.as_csr().is_some() && csr.as_implicit().is_none());
+        assert!(implicit.as_implicit().is_some() && implicit.as_csr().is_none());
+        assert!(csr.memory_bytes() > implicit.memory_bytes());
+    }
+
+    #[test]
+    fn trait_defaults_cover_edges_and_vertices() {
+        let g = generators::path(4).unwrap();
+        let mut edges = Vec::new();
+        Topology::for_each_edge(&g, |u, v| edges.push((u, v)));
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(Topology::vertices(&g), 0..4);
+        assert_eq!(Topology::total_degree(&g), 6);
+    }
+}

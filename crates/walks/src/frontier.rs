@@ -65,6 +65,20 @@ impl UninformedFrontier {
         self.num_agents
     }
 
+    /// Re-initializes the frontier in place to "all of `num_agents`
+    /// uninformed" — the state [`UninformedFrontier::new`] constructs, but
+    /// reusing the existing buffers (the exchange half of the sweep runner's
+    /// reusable `SimWorkspace`).
+    pub fn reset(&mut self, num_agents: usize) {
+        self.informed.clear();
+        self.informed.resize(num_agents.div_ceil(64), 0);
+        self.uninformed.clear();
+        self.uninformed.extend(0..num_agents as u32);
+        self.slot.clear();
+        self.slot.extend(0..num_agents as u32);
+        self.num_agents = num_agents;
+    }
+
     /// Number of informed agents.
     pub fn informed_count(&self) -> usize {
         self.num_agents - self.uninformed.len()
@@ -214,6 +228,25 @@ mod tests {
         assert!(f.is_complete());
         assert_eq!(f.informed_count(), 33);
         assert!(f.uninformed().is_empty());
+    }
+
+    #[test]
+    fn reset_restores_the_fresh_state() {
+        let mut f = UninformedFrontier::new(100);
+        for g in (0..100).step_by(3) {
+            f.mark_informed(g);
+        }
+        f.reset(100);
+        let fresh = UninformedFrontier::new(100);
+        assert_eq!(f.informed_count(), 0);
+        assert_eq!(f.uninformed(), fresh.uninformed());
+        assert_eq!(f.informed_words(), fresh.informed_words());
+        // Resizing across resets works too.
+        f.reset(65);
+        assert_eq!(f.num_agents(), 65);
+        assert_eq!(f.uninformed().len(), 65);
+        assert!(f.mark_informed(64));
+        assert_eq!(f.informed_count(), 1);
     }
 
     #[test]

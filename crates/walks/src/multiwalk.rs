@@ -44,10 +44,11 @@
 use rand::stream::StreamKey;
 use rand::Rng;
 
-use rumor_graphs::{Graph, VertexId};
+use rumor_graphs::{Topology, VertexId};
 
 use crate::config::WalkConfig;
 use crate::frontier::UninformedFrontier;
+use crate::placement::Placement;
 
 /// Identifier of an agent: an index in `0..num_agents`.
 pub type AgentId = usize;
@@ -115,15 +116,16 @@ impl MultiWalk {
     /// # Panics
     ///
     /// Panics under the same conditions as `Placement::sample`.
-    pub fn new<R: Rng + ?Sized>(
-        graph: &Graph,
+    pub fn new<G: Topology, R: Rng + ?Sized>(
+        graph: &G,
         count: usize,
         placement: &crate::Placement,
         config: WalkConfig,
         rng: &mut R,
     ) -> Self {
-        let positions = placement.sample(graph, count, rng);
-        Self::from_positions(graph, positions, config)
+        let mut positions = Vec::new();
+        placement.sample_into(graph, count, rng, &mut positions);
+        Self::from_u32_positions(graph.num_vertices(), positions, config)
     }
 
     /// Creates agents at explicitly given starting vertices.
@@ -131,12 +133,21 @@ impl MultiWalk {
     /// # Panics
     ///
     /// Panics if a position is out of range.
-    pub fn from_positions(graph: &Graph, positions: Vec<VertexId>, config: WalkConfig) -> Self {
+    pub fn from_positions<G: Topology>(
+        graph: &G,
+        positions: Vec<VertexId>,
+        config: WalkConfig,
+    ) -> Self {
         let n = graph.num_vertices();
         for &v in &positions {
             assert!(v < n, "agent position {v} out of range");
         }
         let positions: Vec<u32> = positions.into_iter().map(|v| v as u32).collect();
+        Self::from_u32_positions(n, positions, config)
+    }
+
+    /// Shared constructor over already-validated `u32` positions.
+    fn from_u32_positions(n: usize, positions: Vec<u32>, config: WalkConfig) -> Self {
         let agents = positions.len();
         let mut walk = MultiWalk {
             previous: positions.clone(),
@@ -154,6 +165,41 @@ impl MultiWalk {
         };
         walk.rebuild_occupancy();
         walk
+    }
+
+    /// Re-initializes the walk set in place for a fresh trial — same state
+    /// (and same RNG draws) as [`MultiWalk::new`] with the identical
+    /// arguments, but with **zero heap allocation** after warm-up: positions
+    /// are re-sampled into the existing arrays and the counting-sort views
+    /// are rebuilt over the buffers of the previous trial. This is the agent
+    /// half of the sweep runner's reusable `SimWorkspace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`MultiWalk::new`].
+    pub fn reset<G: Topology, R: Rng + ?Sized>(
+        &mut self,
+        graph: &G,
+        count: usize,
+        placement: &Placement,
+        rng: &mut R,
+    ) {
+        // Drop the stale occupancy of the previous trial *before* positions
+        // change: `touched` covers every nonzero `occ_count` entry.
+        self.clear_occupancy();
+        let n = graph.num_vertices();
+        self.occ_count.resize(n, 0);
+        self.occ_cursor.resize(n, 0);
+        self.informed_here.clear();
+        self.informed_here.resize(n.div_ceil(64), 0);
+        placement.sample_into(graph, count, rng, &mut self.positions);
+        let agents = self.positions.len();
+        self.previous.clear();
+        self.previous.extend_from_slice(&self.positions);
+        self.occ_agents.resize(agents, 0);
+        self.round = 0;
+        self.previous_fresh = true;
+        self.rebuild_occupancy();
     }
 
     /// Number of agents.
@@ -265,12 +311,10 @@ impl MultiWalk {
     ///
     /// Panics if the occupancy views are stale (see
     /// [`MultiWalk::refresh_occupancy`]).
-    pub fn neighborhood_occupancy(&self, graph: &Graph, u: VertexId) -> usize {
-        graph
-            .neighbors(u)
-            .iter()
-            .map(|&v| self.occupancy(v as usize))
-            .sum()
+    pub fn neighborhood_occupancy<G: Topology>(&self, graph: &G, u: VertexId) -> usize {
+        let mut total = 0;
+        graph.for_each_neighbor(u, |v| total += self.occupancy(v));
+        total
     }
 
     /// Rebuilds the counting-sort occupancy views from `positions` after a
@@ -285,7 +329,7 @@ impl MultiWalk {
     /// counter. Lazy agents stay put with probability `config.laziness()`.
     ///
     /// Agents on isolated vertices never move.
-    pub fn step<R: Rng + ?Sized>(&mut self, graph: &Graph, rng: &mut R) {
+    pub fn step<G: Topology, R: Rng + ?Sized>(&mut self, graph: &G, rng: &mut R) {
         self.advance_csr(graph, rng);
     }
 
@@ -295,7 +339,7 @@ impl MultiWalk {
     ///
     /// This fuses the protocols' message-accounting pass into the movement
     /// loop, saving one full iteration over the agents per round.
-    pub fn step_counting<R: Rng + ?Sized>(&mut self, graph: &Graph, rng: &mut R) -> u64 {
+    pub fn step_counting<G: Topology, R: Rng + ?Sized>(&mut self, graph: &G, rng: &mut R) -> u64 {
         self.advance_csr(graph, rng)
     }
 
@@ -316,9 +360,9 @@ impl MultiWalk {
     /// # Panics
     ///
     /// Panics if `informed` tracks fewer agents than `self.num_agents()`.
-    pub fn step_exchange<R: Rng + ?Sized>(
+    pub fn step_exchange<G: Topology, R: Rng + ?Sized>(
         &mut self,
-        graph: &Graph,
+        graph: &G,
         rng: &mut R,
         informed: &UninformedFrontier,
         track_previous: bool,
@@ -337,9 +381,9 @@ impl MultiWalk {
     /// # Panics
     ///
     /// Panics if `words` has fewer than `num_agents().div_ceil(64)` entries.
-    pub fn step_exchange_words<R: Rng + ?Sized>(
+    pub fn step_exchange_words<G: Topology, R: Rng + ?Sized>(
         &mut self,
-        graph: &Graph,
+        graph: &G,
         rng: &mut R,
         words: &[u64],
         track_previous: bool,
@@ -352,7 +396,7 @@ impl MultiWalk {
     }
 
     /// Movement + full counting-sort rebuild (the general-purpose step).
-    fn advance_csr<R: Rng + ?Sized>(&mut self, graph: &Graph, rng: &mut R) -> u64 {
+    fn advance_csr<G: Topology, R: Rng + ?Sized>(&mut self, graph: &G, rng: &mut R) -> u64 {
         let laziness = self.config.laziness();
         std::mem::swap(&mut self.previous, &mut self.positions);
         self.previous_fresh = true;
@@ -386,9 +430,9 @@ impl MultiWalk {
     /// copied only when a caller records edge traffic), so the per-round
     /// working set is one position array plus two small bitsets. Informed
     /// bits are read a word at a time, one word per 64-agent block.
-    fn advance_exchange<R: Rng + ?Sized>(
+    fn advance_exchange<G: Topology, R: Rng + ?Sized>(
         &mut self,
-        graph: &Graph,
+        graph: &G,
         rng: &mut R,
         informed_words: &[u64],
         track_previous: bool,
@@ -485,9 +529,9 @@ impl MultiWalk {
     ///
     /// Panics if `informed_words` has fewer than
     /// `num_agents().div_ceil(64)` entries, or if `threads == 0`.
-    pub fn par_step_exchange(
+    pub fn par_step_exchange<G: Topology>(
         &mut self,
-        graph: &Graph,
+        graph: &G,
         key: &StreamKey,
         informed_words: &[u64],
         track_previous: bool,
@@ -604,8 +648,8 @@ impl MultiWalk {
     /// one block is a serial multiply chain, but distinct pairs' chains
     /// share no state, so emitting four back to back keeps the multiplier
     /// ports busy instead of stalling on one chain's latency.
-    fn move_agent_range(
-        graph: &Graph,
+    fn move_agent_range<G: Topology>(
+        graph: &G,
         round_key: &rand::stream::RoundKey,
         laziness: f64,
         informed_words: &[u64],
@@ -624,11 +668,11 @@ impl MultiWalk {
             // (most blocks late) mark unconditionally, and only mixed
             // blocks pay the branchless per-bit OR.
             moves += if word == 0 {
-                Self::move_block::<0>(graph, round_key, laziness, 0, block_base, block, marks)
+                Self::move_block::<G, 0>(graph, round_key, laziness, 0, block_base, block, marks)
             } else if word == u64::MAX {
-                Self::move_block::<1>(graph, round_key, laziness, 0, block_base, block, marks)
+                Self::move_block::<G, 1>(graph, round_key, laziness, 0, block_base, block, marks)
             } else {
-                Self::move_block::<2>(graph, round_key, laziness, word, block_base, block, marks)
+                Self::move_block::<G, 2>(graph, round_key, laziness, word, block_base, block, marks)
             };
         }
         moves
@@ -638,8 +682,8 @@ impl MultiWalk {
     /// agent in the block is informed (no mark stores), 1 = all are
     /// (unconditional marks), 2 = mixed (branchless mark from `word`).
     #[inline(always)]
-    fn move_block<const MARKS: u8>(
-        graph: &Graph,
+    fn move_block<G: Topology, const MARKS: u8>(
+        graph: &G,
         round_key: &rand::stream::RoundKey,
         laziness: f64,
         word: u64,
@@ -1126,6 +1170,51 @@ mod tests {
         let key = StreamKey::from_seed(0);
         let frontier = UninformedFrontier::new(1);
         w.par_step_exchange(&g, &key, frontier.informed_words(), false, 0);
+    }
+
+    #[test]
+    fn reset_is_bit_identical_to_fresh_construction() {
+        let g = star(17).unwrap();
+        let mut recycled = MultiWalk::new(
+            &g,
+            40,
+            &Placement::Stationary,
+            WalkConfig::simple(),
+            &mut rng(1),
+        );
+        // Dirty the state thoroughly: exchange steps (stale occupancy) and a
+        // teleport batch.
+        let mut r = rng(2);
+        let frontier = UninformedFrontier::new(40);
+        for _ in 0..7 {
+            recycled.step_exchange(&g, &mut r, &frontier, false);
+        }
+        recycled.teleport_many(&[(0, 3), (5, 3)]);
+        // Reset with the same draws a fresh construction would make.
+        recycled.reset(&g, 40, &Placement::Stationary, &mut rng(9));
+        let fresh = MultiWalk::new(
+            &g,
+            40,
+            &Placement::Stationary,
+            WalkConfig::simple(),
+            &mut rng(9),
+        );
+        assert_eq!(recycled.positions(), fresh.positions());
+        assert_eq!(recycled.round(), 0);
+        for v in g.vertices() {
+            assert_eq!(recycled.occupancy(v), fresh.occupancy(v));
+            assert_eq!(recycled.agents_at(v), fresh.agents_at(v));
+            assert!(!recycled.informed_here(v));
+        }
+        // Subsequent trajectories coincide too.
+        let mut ra = rng(5);
+        let mut rb = rng(5);
+        let mut fresh = fresh;
+        for _ in 0..10 {
+            recycled.step(&g, &mut ra);
+            fresh.step(&g, &mut rb);
+            assert_eq!(recycled.positions(), fresh.positions());
+        }
     }
 
     #[test]

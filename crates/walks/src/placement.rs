@@ -8,7 +8,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use rumor_graphs::{Graph, VertexId};
+use rumor_graphs::{Topology, VertexId};
 
 /// How many agents to create, as a function of the graph size.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -74,29 +74,58 @@ impl Placement {
     /// Panics if the graph is empty, if [`Placement::AllAt`] names an
     /// out-of-range vertex, if an explicit position is out of range, or if
     /// stationary sampling is requested on a graph with no edges.
-    pub fn sample<R: Rng + ?Sized>(
+    pub fn sample<G: Topology, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        graph: &G,
         count: usize,
         rng: &mut R,
     ) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        self.sample_into(graph, count, rng, &mut out);
+        out.into_iter().map(|v| v as VertexId).collect()
+    }
+
+    /// Samples starting positions into `out` (cleared first), as `u32`
+    /// vertex ids — the representation the agent engine stores. Draw-for-
+    /// draw identical to [`Placement::sample`]; this is the allocation-free
+    /// path [`MultiWalk::reset`](crate::MultiWalk::reset) uses to re-place
+    /// agents into an existing buffer between trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Placement::sample`].
+    pub fn sample_into<G: Topology, R: Rng + ?Sized>(
+        &self,
+        graph: &G,
+        count: usize,
+        rng: &mut R,
+        out: &mut Vec<u32>,
+    ) {
         let n = graph.num_vertices();
         assert!(n > 0, "cannot place agents on an empty graph");
         match self {
             // Bulk path: draw-for-draw identical to `count` single samples,
             // but hoists the per-call checks and specializes regular graphs.
-            Placement::Stationary => graph.sample_stationary_many(count, rng),
-            Placement::OneUniquePerVertex => (0..n).collect(),
-            Placement::UniformRandom => (0..count).map(|_| rng.gen_range(0..n)).collect(),
+            Placement::Stationary => graph.sample_stationary_into(count, rng, out),
+            Placement::OneUniquePerVertex => {
+                out.clear();
+                out.extend(0..n as u32);
+            }
+            Placement::UniformRandom => {
+                out.clear();
+                out.extend((0..count).map(|_| rng.gen_range(0..n) as u32));
+            }
             Placement::AllAt(v) => {
                 assert!(*v < n, "AllAt vertex out of range");
-                vec![*v; count]
+                out.clear();
+                out.resize(count, *v as u32);
             }
             Placement::Explicit(positions) => {
                 for &p in positions {
                     assert!(p < n, "explicit agent position {p} out of range");
                 }
-                positions.clone()
+                out.clear();
+                out.extend(positions.iter().map(|&p| p as u32));
             }
         }
     }
