@@ -109,7 +109,7 @@ pub mod summary {
     //!
     //! The perf-tracking benches append their mean times and speedup ratios
     //! to small JSON objects at the workspace root, so the perf trajectory
-    //! is tracked from run to run without scraping criterion output. Four
+    //! is tracked from run to run without scraping criterion output. Five
     //! files share **one schema** (see [`SUMMARY_FILES`]):
     //!
     //! * `BENCH_hot_path.json` — the vertex-protocol engine (`hot_path`);
@@ -117,7 +117,11 @@ pub mod summary {
     //! * `BENCH_parallel.json` — the sharded engine (`parallel_scaling`);
     //! * `BENCH_scale.json` — the implicit-topology / workspace-reuse scale
     //!   bench (`scale`): backend `memory_bytes` footprints and ratios,
-    //!   giant-instance broadcast wall-clock, and sweep speedups.
+    //!   giant-instance broadcast wall-clock, and sweep speedups;
+    //! * `BENCH_random.json` — the generated random-topology bench
+    //!   (`random_topologies`): G(n, p)/Chung–Lu construction and
+    //!   broadcast wall-clock at 10⁶–10⁷ vertices, and generated-vs-CSR
+    //!   memory ratios.
     //!
     //! Each file holds one entry per bench key, one per line; re-running a
     //! bench replaces its entry and leaves the others intact. Every entry
@@ -136,11 +140,12 @@ pub mod summary {
 
     /// The unified-schema summary documents, in reporting order.
     /// [`combine_summary_files`] merges whichever of them exist.
-    pub const SUMMARY_FILES: [&str; 4] = [
+    pub const SUMMARY_FILES: [&str; 5] = [
         "BENCH_hot_path.json",
         "BENCH_walks.json",
         "BENCH_parallel.json",
         "BENCH_scale.json",
+        "BENCH_random.json",
     ];
 
     /// High-water resident set size of this process in bytes (`VmHWM` from
@@ -341,9 +346,10 @@ mod tests {
     }
 
     #[test]
-    fn summary_schema_lists_scale_as_first_class() {
+    fn summary_schema_lists_scale_and_random_as_first_class() {
         assert!(summary::SUMMARY_FILES.contains(&"BENCH_scale.json"));
-        assert_eq!(summary::SUMMARY_FILES.len(), 4);
+        assert!(summary::SUMMARY_FILES.contains(&"BENCH_random.json"));
+        assert_eq!(summary::SUMMARY_FILES.len(), 5);
     }
 
     #[test]

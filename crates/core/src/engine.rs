@@ -165,12 +165,13 @@ pub fn simulate(graph: &Graph, source: VertexId, spec: &SimulationSpec) -> Broad
     simulate_on(graph, source, spec)
 }
 
-/// [`simulate`] over either [`Topology`] backend, monomorphized: the CSR and
-/// implicit instantiations each compile their own fully-inlined run loops
-/// (the `FastStep` pattern, one level up). For equal degrees the two
-/// backends consume randomness identically and resolve sampled indices to
-/// identical neighbors, so the outcome is **bit-identical across backends**
-/// — `tests/implicit_topology.rs` pins this for every family, protocol,
+/// [`simulate`] over any [`Topology`] backend, monomorphized: the CSR,
+/// implicit, and generated instantiations each compile their own
+/// fully-inlined run loops (the `FastStep` pattern, one level up). For equal
+/// degrees the backends consume randomness identically and resolve sampled
+/// indices to identical neighbors, so the outcome is **bit-identical across
+/// backends** — `tests/implicit_topology.rs` and
+/// `tests/generated_topology.rs` pin this for every family, protocol,
 /// engine, and thread count.
 pub fn simulate_on<G: Topology>(
     graph: &G,
@@ -234,6 +235,7 @@ pub fn simulate_topology(
     match topology {
         AnyTopology::Csr(graph) => simulate_on(graph, source, spec),
         AnyTopology::Implicit(graph) => simulate_on(graph, source, spec),
+        AnyTopology::Generated(graph) => simulate_on(graph, source, spec),
     }
 }
 

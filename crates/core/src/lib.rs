@@ -83,13 +83,16 @@
 //! * Per-round history is recorded only when
 //!   [`ProtocolOptions::record_history`] is set; large sweeps allocate no
 //!   [`RoundRecord`]s at all.
-//! * **Two topology backends, one bit-identical contract:** every protocol
-//!   and both engines are generic over `rumor_graphs::Topology` — the CSR
-//!   `Graph` or the closed-form `ImplicitGraph` (structured families as
-//!   `O(1)` parameters, enabling 10⁸-vertex instances). [`simulate_on`]
+//! * **Three topology backends, one bit-identical contract:** every
+//!   protocol and both engines are generic over `rumor_graphs::Topology` —
+//!   the CSR `Graph`, the closed-form `ImplicitGraph` (structured families
+//!   as `O(1)` parameters, enabling 10⁸-vertex instances), or the seed-keyed
+//!   `GeneratedGraph` (G(n, p) / Chung–Lu random families derived on demand
+//!   from a counter-based hash in `O(n)` memory). [`simulate_on`]
 //!   monomorphizes per backend, [`simulate_topology`] dispatches a runtime
-//!   choice once, and `tests/implicit_topology.rs` pins the backends
-//!   bit-identical across protocols, engines, and thread counts.
+//!   choice once, and `tests/implicit_topology.rs` +
+//!   `tests/generated_topology.rs` pin the backends bit-identical across
+//!   protocols, engines, and thread counts.
 //! * **Pooled trial workspaces:** [`simulate_in`] sources all per-trial
 //!   state from a reusable [`SimWorkspace`] — protocol `reset()` (pinned
 //!   construction-equivalent, with an `O(Σ deg(informed))` undo path after

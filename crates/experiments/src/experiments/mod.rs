@@ -16,6 +16,7 @@ pub mod meeting_time;
 pub mod placement;
 pub mod push_vs_pushpull;
 pub mod robustness_churn;
+pub mod social_networks;
 pub mod thm1_regular;
 pub mod thm23_meetx;
 pub mod thm24_lower_bounds;
@@ -46,6 +47,7 @@ pub const REGISTRY: &[(&str, ExperimentFn)] = &[
     (async_vs_sync::ID, async_vs_sync::run),
     (robustness_churn::ID, robustness_churn::run),
     (agent_density::ID, agent_density::run),
+    (social_networks::ID, social_networks::run),
 ];
 
 /// Identifiers of all registered experiments, in presentation order.

@@ -254,6 +254,20 @@ mod tests {
     }
 
     #[test]
+    fn run_trials_accepts_the_generated_backend() {
+        use rumor_graphs::GeneratedGraph;
+        let generated = GeneratedGraph::gnp(70, 0.1, 3).unwrap();
+        let csr = generated.materialize().unwrap();
+        let cfg = ExperimentConfig::smoke().with_threads(2);
+        let spec = SimulationSpec::new(ProtocolKind::Push)
+            .with_seed(4)
+            .with_max_rounds(2_000);
+        let a = run_trials(&csr, 0, &spec, 5, &cfg);
+        let b = run_trials(&generated, 0, &spec, 5, &cfg);
+        assert_eq!(a, b, "backends must agree bit-for-bit");
+    }
+
+    #[test]
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_panics() {
         let g = complete(8).unwrap();

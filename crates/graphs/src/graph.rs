@@ -94,8 +94,8 @@ pub(crate) const MAX_SAMPLER_DEGREE: usize = (WORD_PAYLOAD - 1) as usize;
 /// The index-draw word for a positive degree `d`: the power-of-two shift
 /// encoding when `d` is a power of two, otherwise `d` itself driving Lemire's
 /// widening multiply. This is exactly the index portion of a CSR
-/// [`sampler_entry`] word, shared with the implicit backend so both backends
-/// consume the RNG stream identically for equal degrees.
+/// [`sampler_entry`] word, shared with the implicit and generated backends
+/// so every backend consumes the RNG stream identically for equal degrees.
 #[inline]
 pub(crate) fn index_word(d: usize) -> u32 {
     debug_assert!(d > 0 && d < WORD_PAYLOAD as usize);

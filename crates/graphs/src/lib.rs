@@ -6,16 +6,19 @@
 //!
 //! The crate provides:
 //!
-//! * the sealed [`Topology`] abstraction with two backends: an immutable CSR
-//!   [`Graph`] optimized for the one operation every rumor protocol performs
-//!   millions of times — sampling a uniformly random neighbor
-//!   ([`Graph::random_neighbor`]) — and the closed-form [`ImplicitGraph`]
+//! * the sealed [`Topology`] abstraction with three backends: an immutable
+//!   CSR [`Graph`] optimized for the one operation every rumor protocol
+//!   performs millions of times — sampling a uniformly random neighbor
+//!   ([`Graph::random_neighbor`]) — the closed-form [`ImplicitGraph`]
 //!   storing the paper's structured families as `O(1)` parameters (48 bytes
 //!   at any size; a 10⁸-vertex cycle-of-stars whose CSR build would not even
 //!   fit `u32` adjacency indexing simulates bit-identically to a
-//!   materialized build). [`AnyTopology`] selects a backend at runtime;
-//!   both also offer degree-proportional (stationary) vertex sampling for
-//!   placing random-walk agents ([`Graph::sample_stationary`]);
+//!   materialized build), and the seed-keyed [`GeneratedGraph`] deriving
+//!   random families — G(n, p) and Chung–Lu power-law — on demand from a
+//!   counter-based Philox hash in `O(n)` memory. [`AnyTopology`] selects a
+//!   backend at runtime; all backends offer degree-proportional
+//!   (stationary) vertex sampling for placing random-walk agents
+//!   ([`Graph::sample_stationary`]);
 //! * [`GraphBuilder`] for incremental construction;
 //! * [`generators`] for every graph family appearing in the paper (star,
 //!   double star, heavy binary tree, Siamese heavy binary trees, cycle of
@@ -53,6 +56,7 @@
 
 mod builder;
 mod error;
+mod generated;
 mod graph;
 mod implicit;
 mod topology;
@@ -62,6 +66,7 @@ pub mod generators;
 
 pub use builder::GraphBuilder;
 pub use error::{GraphError, Result};
+pub use generated::GeneratedGraph;
 pub use graph::{Edges, Graph, VertexId};
 pub use implicit::ImplicitGraph;
 pub use topology::{AnyTopology, Topology};

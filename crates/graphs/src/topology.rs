@@ -1,9 +1,10 @@
-//! The `Topology` abstraction: one sampling contract, two storage backends.
+//! The `Topology` abstraction: one sampling contract, three storage
+//! backends.
 //!
 //! Every protocol in the workspace consumes a graph through a handful of
 //! operations — `degree`, uniform neighbor sampling, stationary vertex
 //! sampling, neighbor enumeration. The [`Topology`] trait captures exactly
-//! that surface, with two sealed implementations:
+//! that surface, with three sealed implementations:
 //!
 //! * [`Graph`] — the CSR backend: `O(n + m)` arrays, any simple undirected
 //!   graph.
@@ -12,14 +13,20 @@
 //!   cycle-of-stars-of-cliques, …) whose adjacency is pure arithmetic.
 //!   `O(1)` parameters instead of arrays, so a 10⁸-vertex instance costs
 //!   bytes, not gigabytes.
+//! * [`GeneratedGraph`](crate::GeneratedGraph) — the generated backend:
+//!   seed-keyed random families (G(n, p), Chung–Lu power-law) whose edges
+//!   are derived on demand from a counter-based Philox hash. `O(n)` memory
+//!   (two offset tables), so 10⁷-vertex random topologies fit where their
+//!   CSR builds would not.
 //!
-//! **Determinism contract:** for equal degrees the two backends consume the
-//! RNG stream identically (both draw neighbor indices through the shared
-//! degree-specialized sampler in [`crate::Graph`]'s module), and an implicit
-//! family resolves a sampled index to the identical *i*-th sorted neighbor
-//! its materialized CSR build stores. A simulation over an
-//! [`ImplicitGraph`](crate::ImplicitGraph) is therefore bit-identical to the
-//! same simulation over the corresponding [`Graph`] — the cross-backend
+//! **Determinism contract:** for equal degrees all backends consume the
+//! RNG stream identically (each draws neighbor indices through the shared
+//! degree-specialized sampler in [`crate::Graph`]'s module), and the
+//! implicit and generated backends resolve a sampled index to the identical
+//! *i*-th sorted neighbor their materialized CSR builds store. A simulation
+//! over an [`ImplicitGraph`](crate::ImplicitGraph) or
+//! [`GeneratedGraph`](crate::GeneratedGraph) is therefore bit-identical to
+//! the same simulation over the corresponding [`Graph`] — the cross-backend
 //! equivalence tests in `rumor-core` pin this for every family, protocol,
 //! engine, and thread count.
 //!
@@ -32,21 +39,24 @@ use std::ops::Range;
 
 use rand::Rng;
 
+use crate::generated::GeneratedGraph;
 use crate::graph::{Graph, VertexId};
 use crate::implicit::ImplicitGraph;
 
 mod sealed {
-    /// Seals [`super::Topology`]: the two backends are the whole design, and
-    /// the bit-identity contract between them could not be promised for
+    /// Seals [`super::Topology`]: the three backends are the whole design,
+    /// and the bit-identity contract between them could not be promised for
     /// foreign implementations.
     pub trait Sealed {}
     impl Sealed for super::Graph {}
     impl Sealed for super::ImplicitGraph {}
+    impl Sealed for super::GeneratedGraph {}
 }
 
 /// The operations a simulation needs from a graph, implemented by the CSR
-/// backend ([`Graph`]) and the implicit backend
-/// ([`ImplicitGraph`](crate::ImplicitGraph)). See the module-level
+/// backend ([`Graph`]), the implicit backend
+/// ([`ImplicitGraph`](crate::ImplicitGraph)), and the generated backend
+/// ([`GeneratedGraph`](crate::GeneratedGraph)). See the module-level
 /// documentation above for the cross-backend determinism contract.
 ///
 /// Sealed: downstream crates consume, and cannot implement, this trait.
@@ -161,6 +171,8 @@ pub enum AnyTopology {
     Csr(Graph),
     /// The closed-form implicit backend.
     Implicit(ImplicitGraph),
+    /// The seed-keyed generated random backend.
+    Generated(GeneratedGraph),
 }
 
 impl AnyTopology {
@@ -169,6 +181,7 @@ impl AnyTopology {
         match self {
             AnyTopology::Csr(g) => g.num_vertices(),
             AnyTopology::Implicit(g) => g.num_vertices(),
+            AnyTopology::Generated(g) => g.num_vertices(),
         }
     }
 
@@ -177,6 +190,7 @@ impl AnyTopology {
         match self {
             AnyTopology::Csr(g) => g.num_edges(),
             AnyTopology::Implicit(g) => g.num_edges(),
+            AnyTopology::Generated(g) => g.num_edges(),
         }
     }
 
@@ -186,6 +200,7 @@ impl AnyTopology {
         match self {
             AnyTopology::Csr(g) => g.memory_bytes(),
             AnyTopology::Implicit(g) => g.memory_bytes(),
+            AnyTopology::Generated(g) => g.memory_bytes(),
         }
     }
 
@@ -193,15 +208,23 @@ impl AnyTopology {
     pub fn as_csr(&self) -> Option<&Graph> {
         match self {
             AnyTopology::Csr(g) => Some(g),
-            AnyTopology::Implicit(_) => None,
+            _ => None,
         }
     }
 
     /// The implicit backend, if that is what this topology holds.
     pub fn as_implicit(&self) -> Option<&ImplicitGraph> {
         match self {
-            AnyTopology::Csr(_) => None,
             AnyTopology::Implicit(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The generated backend, if that is what this topology holds.
+    pub fn as_generated(&self) -> Option<&GeneratedGraph> {
+        match self {
+            AnyTopology::Generated(g) => Some(g),
+            _ => None,
         }
     }
 }
@@ -215,6 +238,12 @@ impl From<Graph> for AnyTopology {
 impl From<ImplicitGraph> for AnyTopology {
     fn from(graph: ImplicitGraph) -> Self {
         AnyTopology::Implicit(graph)
+    }
+}
+
+impl From<GeneratedGraph> for AnyTopology {
+    fn from(graph: GeneratedGraph) -> Self {
+        AnyTopology::Generated(graph)
     }
 }
 
@@ -232,6 +261,19 @@ mod tests {
         assert!(csr.as_csr().is_some() && csr.as_implicit().is_none());
         assert!(implicit.as_implicit().is_some() && implicit.as_csr().is_none());
         assert!(csr.memory_bytes() > implicit.memory_bytes());
+    }
+
+    #[test]
+    fn any_topology_carries_the_generated_backend() {
+        let generated = AnyTopology::from(GeneratedGraph::gnp(64, 0.1, 3).unwrap());
+        assert_eq!(generated.num_vertices(), 64);
+        assert!(generated.as_generated().is_some());
+        assert!(generated.as_csr().is_none() && generated.as_implicit().is_none());
+        assert_eq!(
+            generated.num_edges(),
+            generated.as_generated().unwrap().num_edges()
+        );
+        assert!(generated.memory_bytes() > 0);
     }
 
     #[test]

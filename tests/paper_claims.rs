@@ -37,6 +37,12 @@ fn mean_time(
 
 /// Lemma 2: on the star, push ≫ visit-exchange ≈ meet-exchange ≈ log n, and
 /// push-pull ≤ 2.
+///
+/// Tolerances: push on the star is coupon-collector (~n·H(n) ≈ 1900 rounds
+/// at 300 leaves) while the agent protocols are O(log n) (tens of rounds),
+/// so the 10× factors and the 80/150-round absolute caps each leave
+/// several-fold slack around a 5-trial mean; push-pull ≤ 2 is structural
+/// (every leaf pulls from the center in round one), not statistical.
 #[test]
 fn lemma2_star_separations() {
     let graph = star(300).unwrap();
@@ -91,15 +97,21 @@ fn lemma3_double_star_separations() {
 
 /// Lemma 4: on the heavy binary tree, visit-exchange ≫ push and (from a leaf)
 /// meet-exchange stays close to push.
+///
+/// Tolerances: the Lemma 4 gap is polynomial (visit-exchange pays an Ω(n)
+/// root toll, push is O(log n)), so the 3× factor sits far inside the real
+/// ≥ 10× separation at this size; the meetx < visitx comparison has no
+/// structural margin, so it averages 12 seeded trials to push the
+/// mean-comparison flake probability into the noise floor.
 #[test]
 fn lemma4_heavy_tree_separations() {
     let tree = HeavyBinaryTree::new(7).unwrap();
     let graph = tree.graph();
     let source = tree.a_leaf();
     let default = AgentConfig::default();
-    let push = mean_time(graph, source, ProtocolKind::Push, &default, 5);
-    let visitx = mean_time(graph, source, ProtocolKind::VisitExchange, &default, 5);
-    let meetx = mean_time(graph, source, ProtocolKind::MeetExchange, &default, 5);
+    let push = mean_time(graph, source, ProtocolKind::Push, &default, 12);
+    let visitx = mean_time(graph, source, ProtocolKind::VisitExchange, &default, 12);
+    let meetx = mean_time(graph, source, ProtocolKind::MeetExchange, &default, 12);
     assert!(
         visitx > 3.0 * push,
         "visit-exchange ({visitx}) should dwarf push ({push})"
@@ -146,14 +158,20 @@ fn lemma8_siamese_separations() {
 
 /// Lemma 9: on the cycle of stars of cliques, meet-exchange is slower than
 /// visit-exchange.
+///
+/// Tolerance: the lemma's separation is polynomial in m, but at m = 6 the
+/// means sit within a small constant factor, so the strict comparison is
+/// the right assertion — averaged over 16 seeded trials (up from 5, the
+/// tightest remaining statistical margin in this suite) to keep the
+/// mean-of-means comparison deterministic-in-practice.
 #[test]
 fn lemma9_cycle_of_stars_separation() {
     let g = CycleOfStarsOfCliques::new(6).unwrap();
     let source = g.a_clique_source();
     let graph = g.graph();
     let default = AgentConfig::default();
-    let visitx = mean_time(graph, source, ProtocolKind::VisitExchange, &default, 5);
-    let meetx = mean_time(graph, source, ProtocolKind::MeetExchange, &default, 5);
+    let visitx = mean_time(graph, source, ProtocolKind::VisitExchange, &default, 16);
+    let meetx = mean_time(graph, source, ProtocolKind::MeetExchange, &default, 16);
     assert!(
         meetx > visitx,
         "meet-exchange ({meetx}) should be slower than visit-exchange ({visitx})"
@@ -162,6 +180,10 @@ fn lemma9_cycle_of_stars_separation() {
 
 /// Theorem 1: on random regular graphs with d = Θ(log n), push and
 /// visit-exchange stay within a constant factor across sizes.
+///
+/// Tolerance: the measured 5-trial mean ratio sits near 1–2 on these
+/// expanders; the accepted [0.2, 5] band is an order of magnitude wide on
+/// each side, so only a real equivalence break can escape it.
 #[test]
 fn theorem1_regular_equivalence() {
     let mut rng = StdRng::seed_from_u64(11);
