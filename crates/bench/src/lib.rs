@@ -109,7 +109,7 @@ pub mod summary {
     //!
     //! The perf-tracking benches append their mean times and speedup ratios
     //! to small JSON objects at the workspace root, so the perf trajectory
-    //! is tracked from run to run without scraping criterion output. Five
+    //! is tracked from run to run without scraping criterion output. Six
     //! files share **one schema** (see [`SUMMARY_FILES`]):
     //!
     //! * `BENCH_hot_path.json` — the vertex-protocol engine (`hot_path`);
@@ -121,7 +121,11 @@ pub mod summary {
     //! * `BENCH_random.json` — the generated random-topology bench
     //!   (`random_topologies`): G(n, p)/Chung–Lu construction and
     //!   broadcast wall-clock at 10⁶–10⁷ vertices, and generated-vs-CSR
-    //!   memory ratios.
+    //!   memory ratios;
+    //! * `BENCH_robust.json` — the fault-tolerance bench (`robustness`):
+    //!   checkpoint overhead at the production cadence (≤ 5% enforced),
+    //!   snapshot encode/decode cost, and the killed-sweep manifest
+    //!   recovery fraction.
     //!
     //! Each file holds one entry per bench key, one per line; re-running a
     //! bench replaces its entry and leaves the others intact. Every entry
@@ -140,12 +144,13 @@ pub mod summary {
 
     /// The unified-schema summary documents, in reporting order.
     /// [`combine_summary_files`] merges whichever of them exist.
-    pub const SUMMARY_FILES: [&str; 5] = [
+    pub const SUMMARY_FILES: [&str; 6] = [
         "BENCH_hot_path.json",
         "BENCH_walks.json",
         "BENCH_parallel.json",
         "BENCH_scale.json",
         "BENCH_random.json",
+        "BENCH_robust.json",
     ];
 
     /// High-water resident set size of this process in bytes (`VmHWM` from
@@ -346,10 +351,11 @@ mod tests {
     }
 
     #[test]
-    fn summary_schema_lists_scale_and_random_as_first_class() {
+    fn summary_schema_lists_scale_random_and_robust_as_first_class() {
         assert!(summary::SUMMARY_FILES.contains(&"BENCH_scale.json"));
         assert!(summary::SUMMARY_FILES.contains(&"BENCH_random.json"));
-        assert_eq!(summary::SUMMARY_FILES.len(), 5);
+        assert!(summary::SUMMARY_FILES.contains(&"BENCH_robust.json"));
+        assert_eq!(summary::SUMMARY_FILES.len(), 6);
     }
 
     #[test]

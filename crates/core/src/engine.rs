@@ -37,6 +37,8 @@ use rand::{Rng, RngCore, SeedableRng};
 
 use rumor_graphs::{AnyTopology, Graph, Topology, VertexId};
 
+use std::fmt;
+
 use crate::metrics::{BroadcastOutcome, RoundRecord};
 use crate::options::{AgentConfig, ProtocolOptions};
 use crate::protocol::{FastStep, Protocol, ProtocolKind};
@@ -44,6 +46,10 @@ use crate::protocols::{
     AsyncPush, AsyncPushPull, MeetExchange, Pull, Push, PushPull, PushPullVisitExchange,
     VisitExchange,
 };
+use crate::snapshot::{
+    CheckpointCadence, Checkpointable, ResumableRun, SimSnapshot, SnapshotError,
+};
+use rumor_walks::AgentCount;
 
 /// Runs `protocol` until it completes or `max_rounds` rounds have elapsed, and
 /// collects the outcome.
@@ -108,13 +114,90 @@ fn run_fast<P: FastStep, R: Rng + ?Sized>(
                 informed_agents: protocol.informed_agent_count(),
                 messages: protocol.messages_last_round(),
             });
+            // A stalled protocol (disconnected graph: boundary empty,
+            // broadcast incomplete) can never change state again — stop now
+            // with `completed == false` instead of spinning to the cap.
+            if protocol.is_stalled() {
+                break;
+            }
         }
     } else {
         while !protocol.is_complete() && protocol.round() < max_rounds {
             protocol.fast_step(rng);
+            if protocol.is_stalled() {
+                break;
+            }
         }
     }
     collect_outcome(protocol, history)
+}
+
+/// The spec-derived constants of one resumable sequential run, bundled so
+/// [`run_fast_resumable`] keeps a readable arity across the six protocol
+/// slots.
+#[derive(Clone, Copy)]
+struct ResumableParams {
+    spec_digest: u64,
+    max_rounds: u64,
+    record_history: bool,
+    cadence: CheckpointCadence,
+}
+
+impl ResumableParams {
+    fn of(spec: &SimulationSpec, cadence: CheckpointCadence) -> Self {
+        ResumableParams {
+            spec_digest: spec.digest(),
+            max_rounds: spec.max_rounds,
+            record_history: spec.options.record_history,
+            cadence,
+        }
+    }
+}
+
+/// The resumable variant of [`run_fast`] for the sequential engine: same
+/// loop, but after each round where a checkpoint is due it captures a
+/// [`SimSnapshot`] (including the live RNG state) and offers it to `sink`.
+/// A `false` from the sink suspends the run at that snapshot. `history`
+/// carries the rounds already recorded before a resume, so a resumed run's
+/// outcome has the complete curve.
+fn run_fast_resumable<P>(
+    protocol: &mut P,
+    params: ResumableParams,
+    rng: &mut SmallRng,
+    mut history: Vec<RoundRecord>,
+    sink: &mut dyn FnMut(&SimSnapshot) -> bool,
+) -> ResumableRun
+where
+    P: FastStep + Checkpointable,
+{
+    let ResumableParams {
+        spec_digest,
+        max_rounds,
+        record_history,
+        cadence,
+    } = params;
+    let mut last_checkpoint = std::time::Instant::now();
+    while !protocol.is_complete() && protocol.round() < max_rounds {
+        protocol.fast_step(rng);
+        if record_history {
+            history.push(RoundRecord {
+                round: protocol.round(),
+                informed_vertices: protocol.informed_vertex_count(),
+                informed_agents: protocol.informed_agent_count(),
+                messages: protocol.messages_last_round(),
+            });
+        }
+        if protocol.is_complete() || protocol.is_stalled() {
+            break;
+        }
+        if cadence.due(protocol.round(), &mut last_checkpoint) {
+            let snapshot = protocol.capture(spec_digest, Some(rng.state()), &history);
+            if !sink(&snapshot) {
+                return ResumableRun::Suspended(snapshot);
+            }
+        }
+    }
+    ResumableRun::Finished(collect_outcome(protocol, history))
 }
 
 fn collect_outcome<P: Protocol + ?Sized>(
@@ -165,6 +248,28 @@ pub fn simulate(graph: &Graph, source: VertexId, spec: &SimulationSpec) -> Broad
     simulate_on(graph, source, spec)
 }
 
+/// Non-panicking [`simulate`]: validates `(graph, source, spec)` first and
+/// returns a typed [`SpecError`] instead of panicking on bad user input.
+pub fn try_simulate(
+    graph: &Graph,
+    source: VertexId,
+    spec: &SimulationSpec,
+) -> Result<BroadcastOutcome, SpecError> {
+    try_simulate_on(graph, source, spec)
+}
+
+/// Non-panicking [`simulate_on`]: validates `(graph, source, spec)` via
+/// [`SimulationSpec::validate`] and returns a typed [`SpecError`] instead of
+/// panicking on bad user input.
+pub fn try_simulate_on<G: Topology>(
+    graph: &G,
+    source: VertexId,
+    spec: &SimulationSpec,
+) -> Result<BroadcastOutcome, SpecError> {
+    spec.validate(graph, source)?;
+    Ok(simulate_on_validated(graph, source, spec))
+}
+
 /// [`simulate`] over any [`Topology`] backend, monomorphized: the CSR,
 /// implicit, and generated instantiations each compile their own
 /// fully-inlined run loops (the `FastStep` pattern, one level up). For equal
@@ -174,6 +279,19 @@ pub fn simulate(graph: &Graph, source: VertexId, spec: &SimulationSpec) -> Broad
 /// `tests/generated_topology.rs` pin this for every family, protocol,
 /// engine, and thread count.
 pub fn simulate_on<G: Topology>(
+    graph: &G,
+    source: VertexId,
+    spec: &SimulationSpec,
+) -> BroadcastOutcome {
+    if let Err(e) = spec.validate(graph, source) {
+        panic!("invalid simulation spec: {e}");
+    }
+    simulate_on_validated(graph, source, spec)
+}
+
+/// [`simulate_on`] after validation (shared by the panicking and `try_`
+/// entry points).
+fn simulate_on_validated<G: Topology>(
     graph: &G,
     source: VertexId,
     spec: &SimulationSpec,
@@ -274,10 +392,56 @@ enum Slot<'g, G: Topology> {
     Combined(PushPullVisitExchange<'g, G>),
 }
 
-impl<G: Topology> SimWorkspace<'_, G> {
+impl<'g, G: Topology> SimWorkspace<'g, G> {
     /// An empty workspace; buffers materialize on first use.
     pub fn new() -> Self {
         SimWorkspace { slot: None }
+    }
+
+    /// Primes this workspace with the exact mid-run state in `snapshot` —
+    /// the restore half of the tentpole contract — and returns the
+    /// sequential RNG positioned exactly where the checkpointed run left
+    /// off. The caller supplies the same `(graph, source, spec)` the
+    /// snapshot came from; the snapshot's spec digest is checked against
+    /// `spec` and mismatches are rejected with
+    /// [`SnapshotError::SpecMismatch`]. A snapshot without generator state
+    /// (one captured by the sharded engine, whose counter-based streams
+    /// re-derive from the round counter) is rejected with
+    /// [`SnapshotError::EngineMismatch`] — resume those via [`resume_on`]
+    /// under the sharded spec instead.
+    ///
+    /// Most callers want [`resume_in`] / [`resume_on`], which wrap this and
+    /// continue the run; `restore` is the building block for drivers that
+    /// step the workspace themselves.
+    pub fn restore(
+        &mut self,
+        graph: &'g G,
+        source: VertexId,
+        spec: &SimulationSpec,
+        snapshot: &SimSnapshot,
+    ) -> Result<SmallRng, SnapshotError> {
+        let expected = spec.digest();
+        if snapshot.spec_digest != expected {
+            return Err(SnapshotError::SpecMismatch {
+                expected,
+                found: snapshot.spec_digest,
+            });
+        }
+        let state = snapshot.rng.ok_or(SnapshotError::EngineMismatch)?;
+        // Prime the slot exactly as a fresh run would (the construction
+        // placement draws are discarded — the restored state overwrites
+        // them), then overwrite the protocol state from the snapshot.
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let slot = ensure_slot(self, graph, source, spec, &mut rng);
+        match slot {
+            Slot::Push(p) => p.restore(snapshot),
+            Slot::Pull(p) => p.restore(snapshot),
+            Slot::PushPull(p) => p.restore(snapshot),
+            Slot::VisitExchange(p) => p.restore(snapshot),
+            Slot::MeetExchange(p) => p.restore(snapshot),
+            Slot::Combined(p) => p.restore(snapshot),
+        }
+        Ok(SmallRng::from_state(state))
     }
 }
 
@@ -299,8 +463,35 @@ pub fn simulate_in<'g, G: Topology>(
     if spec.options.record_edge_traffic || spec.engine != Engine::Sequential {
         return simulate_on(graph, source, spec);
     }
-    let graph_addr = graph as *const G as usize;
+    if let Err(e) = spec.validate(graph, source) {
+        panic!("invalid simulation spec: {e}");
+    }
     let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let slot = ensure_slot(workspace, graph, source, spec, &mut rng);
+    let record = spec.options.record_history;
+    let rounds = spec.max_rounds;
+    match slot {
+        Slot::Push(p) => run_fast(p, rounds, record, &mut rng),
+        Slot::Pull(p) => run_fast(p, rounds, record, &mut rng),
+        Slot::PushPull(p) => run_fast(p, rounds, record, &mut rng),
+        Slot::VisitExchange(p) => run_fast(p, rounds, record, &mut rng),
+        Slot::MeetExchange(p) => run_fast(p, rounds, record, &mut rng),
+        Slot::Combined(p) => run_fast(p, rounds, record, &mut rng),
+    }
+}
+
+/// Primes the workspace slot for `(graph, source, spec)` — reset-in-place
+/// when the fingerprint matches, fresh construction otherwise — consuming
+/// the same placement draws from `rng` either way, and returns the ready
+/// protocol slot.
+fn ensure_slot<'g, 's, G: Topology>(
+    workspace: &'s mut SimWorkspace<'g, G>,
+    graph: &'g G,
+    source: VertexId,
+    spec: &SimulationSpec,
+    rng: &mut SmallRng,
+) -> &'s mut Slot<'g, G> {
+    let graph_addr = graph as *const G as usize;
     // Compare the fingerprint by reference — the key (and its AgentConfig
     // clone) is only materialized when a slot is actually (re)built, so the
     // per-trial reuse path stays allocation-free.
@@ -315,9 +506,9 @@ pub fn simulate_in<'g, G: Topology>(
             Slot::Push(p) => p.reset(source),
             Slot::Pull(p) => p.reset(source),
             Slot::PushPull(p) => p.reset(source),
-            Slot::VisitExchange(p) => p.reset(source, &spec.agents, &mut rng),
-            Slot::MeetExchange(p) => p.reset(source, &spec.agents, &mut rng),
-            Slot::Combined(p) => p.reset(source, &spec.agents, &mut rng),
+            Slot::VisitExchange(p) => p.reset(source, &spec.agents, rng),
+            Slot::MeetExchange(p) => p.reset(source, &spec.agents, rng),
+            Slot::Combined(p) => p.reset(source, &spec.agents, rng),
         }
     } else {
         let slot = match spec.kind {
@@ -329,21 +520,21 @@ pub fn simulate_in<'g, G: Topology>(
                 source,
                 &spec.agents,
                 spec.options,
-                &mut rng,
+                rng,
             )),
             ProtocolKind::MeetExchange => Slot::MeetExchange(MeetExchange::new(
                 graph,
                 source,
                 &spec.agents,
                 spec.options,
-                &mut rng,
+                rng,
             )),
             ProtocolKind::PushPullVisitExchange => Slot::Combined(PushPullVisitExchange::new(
                 graph,
                 source,
                 &spec.agents,
                 spec.options,
-                &mut rng,
+                rng,
             )),
         };
         let key = WorkspaceKey {
@@ -353,16 +544,165 @@ pub fn simulate_in<'g, G: Topology>(
         };
         workspace.slot = Some((key, slot));
     }
-    let record = spec.options.record_history;
-    let rounds = spec.max_rounds;
-    match &mut workspace.slot.as_mut().expect("slot just filled").1 {
-        Slot::Push(p) => run_fast(p, rounds, record, &mut rng),
-        Slot::Pull(p) => run_fast(p, rounds, record, &mut rng),
-        Slot::PushPull(p) => run_fast(p, rounds, record, &mut rng),
-        Slot::VisitExchange(p) => run_fast(p, rounds, record, &mut rng),
-        Slot::MeetExchange(p) => run_fast(p, rounds, record, &mut rng),
-        Slot::Combined(p) => run_fast(p, rounds, record, &mut rng),
+    &mut workspace.slot.as_mut().expect("slot just filled").1
+}
+
+/// [`simulate_on`] with checkpointing: runs the broadcast and, whenever
+/// `cadence` is due at a round boundary, captures a [`SimSnapshot`] and
+/// passes it to `sink`. The sink persists it (e.g.
+/// [`SimSnapshot::write_atomic`]) and returns `true` to continue or `false`
+/// to suspend the run at that snapshot.
+///
+/// An uninterrupted resumable run returns
+/// [`ResumableRun::Finished`] with **exactly** the outcome
+/// [`simulate_on`] produces — checkpoint capture reads state without
+/// consuming draws — and a run resumed from any of its snapshots via
+/// [`resume_on`] finishes with that same outcome, bit for bit, on every
+/// backend, engine, and thread count.
+///
+/// # Panics
+///
+/// Panics if the spec fails validation, or if
+/// [`ProtocolOptions::record_edge_traffic`] is set (per-edge traffic is the
+/// one observability structure snapshots do not carry).
+pub fn simulate_resumable<G: Topology>(
+    graph: &G,
+    source: VertexId,
+    spec: &SimulationSpec,
+    cadence: CheckpointCadence,
+    sink: &mut dyn FnMut(&SimSnapshot) -> bool,
+) -> ResumableRun {
+    let mut workspace = SimWorkspace::new();
+    simulate_resumable_in(graph, source, spec, &mut workspace, cadence, sink)
+}
+
+/// [`simulate_resumable`] sourcing per-trial state from a pooled
+/// [`SimWorkspace`] (see [`simulate_in`]). Sharded specs delegate to the
+/// sharded engine's own resumable loop; the workspace is used by the
+/// sequential contract (including the sharded engine's documented
+/// sequential fallbacks).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate_resumable`].
+pub fn simulate_resumable_in<'g, G: Topology>(
+    graph: &'g G,
+    source: VertexId,
+    spec: &SimulationSpec,
+    workspace: &mut SimWorkspace<'g, G>,
+    cadence: CheckpointCadence,
+    sink: &mut dyn FnMut(&SimSnapshot) -> bool,
+) -> ResumableRun {
+    assert!(
+        !spec.options.record_edge_traffic,
+        "checkpointing does not support edge-traffic recording"
+    );
+    if let Err(e) = spec.validate(graph, source) {
+        panic!("invalid simulation spec: {e}");
     }
+    if let Engine::Sharded { threads } = spec.engine {
+        if crate::parallel::supports(spec) {
+            return crate::parallel::simulate_sharded_resumable(
+                graph,
+                source,
+                spec,
+                crate::parallel::resolve_threads(threads),
+                None,
+                cadence,
+                sink,
+            );
+        }
+    }
+    let params = ResumableParams::of(spec, cadence);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let slot = ensure_slot(workspace, graph, source, spec, &mut rng);
+    match slot {
+        Slot::Push(p) => run_fast_resumable(p, params, &mut rng, Vec::new(), sink),
+        Slot::Pull(p) => run_fast_resumable(p, params, &mut rng, Vec::new(), sink),
+        Slot::PushPull(p) => run_fast_resumable(p, params, &mut rng, Vec::new(), sink),
+        Slot::VisitExchange(p) => run_fast_resumable(p, params, &mut rng, Vec::new(), sink),
+        Slot::MeetExchange(p) => run_fast_resumable(p, params, &mut rng, Vec::new(), sink),
+        Slot::Combined(p) => run_fast_resumable(p, params, &mut rng, Vec::new(), sink),
+    }
+}
+
+/// Continues a suspended or crashed run from `snapshot`, with the same
+/// checkpointing contract as [`simulate_resumable`]. The caller supplies the
+/// same `(graph, source, spec)` the snapshot came from — the topology is
+/// reconstructed from its spec rather than serialized — and the snapshot's
+/// spec digest is checked against `spec` ([`SnapshotError::SpecMismatch`]
+/// otherwise). `spec.max_rounds` may exceed the original run's cap (the
+/// digest deliberately ignores it), so a `RoundCapped` run can be extended.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate_resumable`].
+pub fn resume_on<G: Topology>(
+    graph: &G,
+    source: VertexId,
+    spec: &SimulationSpec,
+    snapshot: &SimSnapshot,
+    cadence: CheckpointCadence,
+    sink: &mut dyn FnMut(&SimSnapshot) -> bool,
+) -> Result<ResumableRun, SnapshotError> {
+    let mut workspace = SimWorkspace::new();
+    resume_in(graph, source, spec, snapshot, &mut workspace, cadence, sink)
+}
+
+/// [`resume_on`] sourcing per-trial state from a pooled [`SimWorkspace`]
+/// (see [`SimWorkspace::restore`]).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate_resumable`].
+pub fn resume_in<'g, G: Topology>(
+    graph: &'g G,
+    source: VertexId,
+    spec: &SimulationSpec,
+    snapshot: &SimSnapshot,
+    workspace: &mut SimWorkspace<'g, G>,
+    cadence: CheckpointCadence,
+    sink: &mut dyn FnMut(&SimSnapshot) -> bool,
+) -> Result<ResumableRun, SnapshotError> {
+    assert!(
+        !spec.options.record_edge_traffic,
+        "checkpointing does not support edge-traffic recording"
+    );
+    if let Err(e) = spec.validate(graph, source) {
+        panic!("invalid simulation spec: {e}");
+    }
+    if let Engine::Sharded { threads } = spec.engine {
+        if crate::parallel::supports(spec) {
+            let expected = spec.digest();
+            if snapshot.spec_digest != expected {
+                return Err(SnapshotError::SpecMismatch {
+                    expected,
+                    found: snapshot.spec_digest,
+                });
+            }
+            return Ok(crate::parallel::simulate_sharded_resumable(
+                graph,
+                source,
+                spec,
+                crate::parallel::resolve_threads(threads),
+                Some(snapshot),
+                cadence,
+                sink,
+            ));
+        }
+    }
+    let params = ResumableParams::of(spec, cadence);
+    let mut rng = workspace.restore(graph, source, spec, snapshot)?;
+    let history = snapshot.history.clone();
+    let slot = &mut workspace.slot.as_mut().expect("slot restored above").1;
+    Ok(match slot {
+        Slot::Push(p) => run_fast_resumable(p, params, &mut rng, history, sink),
+        Slot::Pull(p) => run_fast_resumable(p, params, &mut rng, history, sink),
+        Slot::PushPull(p) => run_fast_resumable(p, params, &mut rng, history, sink),
+        Slot::VisitExchange(p) => run_fast_resumable(p, params, &mut rng, history, sink),
+        Slot::MeetExchange(p) => run_fast_resumable(p, params, &mut rng, history, sink),
+        Slot::Combined(p) => run_fast_resumable(p, params, &mut rng, history, sink),
+    })
 }
 
 /// Like [`simulate`], but for the asynchronous protocol variants that are not
@@ -513,7 +853,118 @@ impl SimulationSpec {
         }
         self
     }
+
+    /// Checks this spec against `(graph, source)` and returns a typed
+    /// [`SpecError`] for every class of invalid *user input* the simulation
+    /// entry points previously reached as a mid-construction panic: an empty
+    /// graph, an out-of-range source, a non-finite/negative agent density,
+    /// an agent protocol resolving to zero agents, and stationary agent
+    /// placement on an edgeless graph (the stationary distribution is
+    /// undefined there).
+    ///
+    /// The panicking entry points ([`simulate`], [`simulate_on`],
+    /// [`simulate_in`], and the resumable variants) all route through this
+    /// check and fail fast with the error's message; [`try_simulate`] /
+    /// [`try_simulate_on`] surface the error instead.
+    pub fn validate<G: Topology>(&self, graph: &G, source: VertexId) -> Result<(), SpecError> {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return Err(SpecError::EmptyGraph);
+        }
+        if source >= n {
+            return Err(SpecError::SourceOutOfRange {
+                source,
+                vertices: n,
+            });
+        }
+        if self.kind.uses_agents() {
+            if let AgentCount::Linear { alpha } = self.agents.count {
+                if !alpha.is_finite() || alpha < 0.0 {
+                    return Err(SpecError::InvalidAgentDensity { alpha });
+                }
+            }
+            if self.agents.count.resolve(n) == 0 {
+                return Err(SpecError::NoAgents { kind: self.kind });
+            }
+            if matches!(self.agents.placement, rumor_walks::Placement::Stationary)
+                && graph.vertices().all(|v| graph.degree(v) == 0)
+            {
+                return Err(SpecError::EdgelessAgentGraph { kind: self.kind });
+            }
+        }
+        Ok(())
+    }
+
+    /// The spec's checkpoint-compatibility digest (see
+    /// [`SimSnapshot::spec_digest`]): a stable fingerprint of the
+    /// trajectory-determining fields — protocol kind, seed, engine contract,
+    /// options, agent configuration. `max_rounds` and the sharded thread
+    /// count are excluded, so a resume may extend the round cap or change
+    /// the worker count without invalidating old checkpoints.
+    pub fn digest(&self) -> u64 {
+        crate::snapshot::spec_digest(self)
+    }
 }
+
+/// Why a [`SimulationSpec`] is invalid for a given `(graph, source)` — the
+/// typed form of the input-validation panics (see
+/// [`SimulationSpec::validate`]).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// The graph has no vertices, so there is nowhere to place the rumor.
+    EmptyGraph,
+    /// The source vertex is not a vertex of the graph.
+    SourceOutOfRange {
+        /// The requested source.
+        source: VertexId,
+        /// The graph's vertex count.
+        vertices: usize,
+    },
+    /// The agent density `α` is negative, NaN, or infinite.
+    InvalidAgentDensity {
+        /// The offending density.
+        alpha: f64,
+    },
+    /// An agent-based protocol was requested but the configuration resolves
+    /// to zero agents, so the process can never make progress.
+    NoAgents {
+        /// The agent-based protocol that was requested.
+        kind: ProtocolKind,
+    },
+    /// An agent-based protocol with stationary placement was requested on a
+    /// graph with no edges — the stationary distribution is undefined.
+    EdgelessAgentGraph {
+        /// The agent-based protocol that was requested.
+        kind: ProtocolKind,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyGraph => write!(f, "graph has no vertices"),
+            SpecError::SourceOutOfRange { source, vertices } => {
+                write!(f, "source {source} out of range for {vertices} vertices")
+            }
+            SpecError::InvalidAgentDensity { alpha } => {
+                write!(
+                    f,
+                    "agent density alpha = {alpha} is not a finite non-negative number"
+                )
+            }
+            SpecError::NoAgents { kind } => {
+                write!(f, "agent protocol {kind} configured with zero agents")
+            }
+            SpecError::EdgelessAgentGraph { kind } => write!(
+                f,
+                "agent protocol {kind} with stationary placement on a graph with no edges"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 #[cfg(test)]
 mod tests {
@@ -672,5 +1123,73 @@ mod tests {
         assert_eq!(spec.max_rounds, 500);
         assert_eq!(spec.agents.count.resolve(10), 20);
         assert!(spec.options.record_history);
+    }
+
+    #[test]
+    fn validate_rejects_each_invalid_input_class() {
+        use rumor_graphs::generators::complete;
+        let g = complete(8).unwrap();
+
+        // Out-of-range source, any protocol.
+        let spec = SimulationSpec::new(ProtocolKind::Push);
+        assert!(matches!(
+            spec.validate(&g, 8),
+            Err(SpecError::SourceOutOfRange {
+                source: 8,
+                vertices: 8
+            })
+        ));
+        assert!(spec.validate(&g, 7).is_ok());
+
+        // Non-finite / negative agent density.
+        for alpha in [f64::NAN, f64::INFINITY, -1.0] {
+            let spec = SimulationSpec::new(ProtocolKind::VisitExchange)
+                .with_agents(AgentConfig::with_alpha(alpha));
+            assert!(matches!(
+                spec.validate(&g, 0),
+                Err(SpecError::InvalidAgentDensity { .. })
+            ));
+        }
+
+        // Zero agents: an agent protocol that can never spread anything.
+        let spec = SimulationSpec::new(ProtocolKind::MeetExchange)
+            .with_agents(AgentConfig::with_alpha(0.0));
+        assert!(matches!(
+            spec.validate(&g, 0),
+            Err(SpecError::NoAgents { .. })
+        ));
+        // The same density is fine for a pure vertex protocol.
+        let spec =
+            SimulationSpec::new(ProtocolKind::Push).with_agents(AgentConfig::with_alpha(0.0));
+        assert!(spec.validate(&g, 0).is_ok());
+
+        // Stationary placement is undefined on an edgeless graph (the
+        // distribution is degree-proportional).
+        let edgeless = rumor_graphs::Graph::from_edges(3, &[]).unwrap();
+        let spec = SimulationSpec::new(ProtocolKind::VisitExchange);
+        assert!(matches!(
+            spec.validate(&edgeless, 0),
+            Err(SpecError::EdgelessAgentGraph { .. })
+        ));
+        // …but explicit placements sidestep it.
+        let spec = SimulationSpec::new(ProtocolKind::VisitExchange).with_agents(AgentConfig {
+            placement: rumor_walks::Placement::AllAt(0),
+            ..AgentConfig::default()
+        });
+        assert!(spec.validate(&edgeless, 0).is_ok());
+    }
+
+    #[test]
+    fn try_simulate_surfaces_spec_errors_without_panicking() {
+        use rumor_graphs::generators::complete;
+        let g = complete(6).unwrap();
+        let spec = SimulationSpec::new(ProtocolKind::Push).with_seed(3);
+        let err = try_simulate(&g, 99, &spec).unwrap_err();
+        assert_eq!(err.to_string(), "source 99 out of range for 6 vertices");
+        assert_eq!(
+            try_simulate(&g, 0, &spec).unwrap(),
+            simulate(&g, 0, &spec),
+            "the checked path must not change valid outcomes"
+        );
     }
 }

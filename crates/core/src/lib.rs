@@ -98,6 +98,18 @@
 //!   construction-equivalent, with an `O(Σ deg(informed))` undo path after
 //!   windowed trials) replaces reallocation, which is what makes the sweep
 //!   runner's trials allocation-free after warm-up.
+//! * **Checkpoint/resume:** [`simulate_resumable`] hands versioned,
+//!   checksummed [`SimSnapshot`]s to a sink at a [`CheckpointCadence`];
+//!   [`resume_on`] continues from one **bit-identically** to the
+//!   uninterrupted run, on every backend and both engines (sharded
+//!   snapshots carry no RNG state — counter streams re-derive from the
+//!   round — so they resume at *any* thread count). Snapshots never store
+//!   topology; a `spec_digest` rejects wrong-spec or cross-engine resumes
+//!   ([`SnapshotError`]). `tests/checkpoint_resume.rs` pins the grid.
+//!   Vertex protocols also detect quiescence, so disconnected instances
+//!   stall out instead of spinning to the round cap, and
+//!   [`SimulationSpec::validate`] rejects malformed specs with typed
+//!   [`SpecError`]s before any engine state is built.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -109,12 +121,14 @@ mod options;
 mod parallel;
 mod protocol;
 mod protocols;
+mod snapshot;
 
 pub mod instrument;
 
 pub use engine::{
-    run_to_completion, simulate, simulate_async, simulate_in, simulate_on, simulate_topology,
-    Engine, SimWorkspace, SimulationSpec,
+    resume_in, resume_on, run_to_completion, simulate, simulate_async, simulate_in, simulate_on,
+    simulate_resumable, simulate_resumable_in, simulate_topology, try_simulate, try_simulate_on,
+    Engine, SimWorkspace, SimulationSpec, SpecError,
 };
 pub use metrics::{BroadcastOutcome, EdgeTraffic, EdgeTrafficStats, RoundRecord};
 pub use options::{AgentConfig, ProtocolOptions};
@@ -124,6 +138,7 @@ pub use protocols::{
     AsyncPush, AsyncPushPull, ChurnVisitExchange, InvalidChurnError, MeetExchange, Pull, Push,
     PushPull, PushPullVisitExchange, VisitExchange,
 };
+pub use snapshot::{CheckpointCadence, ResumableRun, SimSnapshot, SnapshotError};
 
 // Re-export the agent-configuration vocabulary so downstream users rarely need
 // to depend on rumor-walks directly.

@@ -46,6 +46,7 @@ use crate::engine::SimulationSpec;
 use crate::metrics::{BroadcastOutcome, RoundRecord};
 use crate::protocol::ProtocolKind;
 use crate::protocols::common::{InformedSet, PullFrontier, PushFrontier, PushPullFrontier};
+use crate::snapshot::{CheckpointCadence, ResumableRun, SimSnapshot};
 
 /// Minimum number of realized draws per shard before a vertex round spawns
 /// workers (a draw is tens of nanoseconds; a scoped spawn is microseconds).
@@ -107,6 +108,44 @@ pub(crate) fn simulate_sharded<G: Topology>(
         }
         ProtocolKind::VisitExchange | ProtocolKind::MeetExchange => {
             AgentEngine::new(graph, source, spec, threads).run(spec)
+        }
+        _ => unreachable!("unsupported kind routed to the sharded engine"),
+    }
+}
+
+/// Runs `spec` on the sharded engine with checkpointing: every time
+/// `cadence` fires, the engine's cross-round state is captured into a
+/// [`SimSnapshot`] and offered to `sink` (a `false` suspends the run at that
+/// snapshot). With `resume = Some(snapshot)` the engine starts from the
+/// snapshot's round instead of round zero.
+///
+/// Sharded snapshots carry no generator state (`rng: None`): the
+/// counter-based streams are re-derived from the round counter, which is why
+/// a sharded resume is bit-identical at **any** thread count — including one
+/// different from the thread count that wrote the checkpoint.
+///
+/// Callers must have checked [`supports`] and, when resuming, the snapshot's
+/// spec digest; `threads` must already be resolved (> 0).
+pub(crate) fn simulate_sharded_resumable<G: Topology>(
+    graph: &G,
+    source: VertexId,
+    spec: &SimulationSpec,
+    threads: usize,
+    resume: Option<&SimSnapshot>,
+    cadence: CheckpointCadence,
+    sink: &mut dyn FnMut(&SimSnapshot) -> bool,
+) -> ResumableRun {
+    debug_assert!(threads > 0);
+    debug_assert!(supports(spec));
+    let digest = spec.digest();
+    match spec.kind {
+        ProtocolKind::Push | ProtocolKind::Pull | ProtocolKind::PushPull => {
+            VertexEngine::new(graph, source, spec.kind, threads, spec.seed)
+                .run_resumable(spec, digest, resume, cadence, sink)
+        }
+        ProtocolKind::VisitExchange | ProtocolKind::MeetExchange => {
+            AgentEngine::new(graph, source, spec, threads)
+                .run_resumable(spec, digest, resume, cadence, sink)
         }
         _ => unreachable!("unsupported kind routed to the sharded engine"),
     }
@@ -255,6 +294,16 @@ impl VertexFrontier {
             VertexFrontier::Push(f) => f.on_informed(graph, v, informed),
             VertexFrontier::Pull(f) => f.on_informed(graph, v, informed),
             VertexFrontier::PushPull(f) => f.on_informed(graph, v, informed),
+        }
+    }
+
+    /// Whether the frontier can never change the state again (see
+    /// [`crate::protocol::FastStep::is_stalled`]).
+    fn is_quiescent(&self) -> bool {
+        match self {
+            VertexFrontier::Push(f) => f.is_quiescent(),
+            VertexFrontier::Pull(f) => f.is_quiescent(),
+            VertexFrontier::PushPull(f) => f.is_quiescent(),
         }
     }
 }
@@ -484,6 +533,13 @@ impl<'g, G: Topology> VertexEngine<'g, G> {
         }
     }
 
+    /// The sharded twin of [`crate::protocol::FastStep::is_stalled`]: on a
+    /// disconnected graph the reachable component saturates with the
+    /// frontier quiescent, and every further round would realize zero draws.
+    fn is_stalled(&self) -> bool {
+        !self.informed.is_full() && self.frontier.is_quiescent()
+    }
+
     fn run(mut self, spec: &SimulationSpec) -> BroadcastOutcome {
         let mut history = Vec::new();
         while !self.informed.is_full() && self.round < spec.max_rounds {
@@ -496,7 +552,54 @@ impl<'g, G: Topology> VertexEngine<'g, G> {
                     messages: self.messages_last,
                 });
             }
+            if self.is_stalled() {
+                break;
+            }
         }
+        self.into_outcome(spec, history)
+    }
+
+    /// [`VertexEngine::run`] with the checkpoint contract of
+    /// [`simulate_sharded_resumable`] (same loop; a capture is offered to
+    /// `sink` whenever `cadence` fires between rounds).
+    fn run_resumable(
+        mut self,
+        spec: &SimulationSpec,
+        digest: u64,
+        resume: Option<&SimSnapshot>,
+        cadence: CheckpointCadence,
+        sink: &mut dyn FnMut(&SimSnapshot) -> bool,
+    ) -> ResumableRun {
+        let mut history = Vec::new();
+        if let Some(snapshot) = resume {
+            self.restore(snapshot);
+            history = snapshot.history.clone();
+        }
+        let mut last_checkpoint = std::time::Instant::now();
+        while !self.informed.is_full() && self.round < spec.max_rounds {
+            self.step();
+            if spec.options.record_history {
+                history.push(RoundRecord {
+                    round: self.round,
+                    informed_vertices: self.informed.count(),
+                    informed_agents: 0,
+                    messages: self.messages_last,
+                });
+            }
+            if self.informed.is_full() || self.is_stalled() {
+                break;
+            }
+            if cadence.due(self.round, &mut last_checkpoint) {
+                let snapshot = self.capture(digest, &history);
+                if !sink(&snapshot) {
+                    return ResumableRun::Suspended(snapshot);
+                }
+            }
+        }
+        ResumableRun::Finished(self.into_outcome(spec, history))
+    }
+
+    fn into_outcome(self, spec: &SimulationSpec, history: Vec<RoundRecord>) -> BroadcastOutcome {
         BroadcastOutcome {
             protocol: spec.kind.name().to_string(),
             rounds: self.round,
@@ -507,6 +610,43 @@ impl<'g, G: Topology> VertexEngine<'g, G> {
             history,
             edge_traffic: None,
         }
+    }
+
+    /// Captures the engine's cross-round state. No generator state is
+    /// stored: the counter-based streams re-derive every draw from
+    /// `(seed, round, vertex)`, so the round counter *is* the RNG position.
+    fn capture(&self, spec_digest: u64, history: &[RoundRecord]) -> SimSnapshot {
+        SimSnapshot {
+            spec_digest,
+            round: self.round,
+            messages_total: self.messages_total,
+            messages_last: self.messages_last,
+            rng: None,
+            informed_vertices: self.informed.informed().to_vec(),
+            informed_agents: Vec::new(),
+            positions: None,
+            walk_round: 0,
+            source_active: false,
+            history: history.to_vec(),
+        }
+    }
+
+    /// Rebuilds the exact mid-run state from `snapshot` by replaying the
+    /// informed set in its stored insertion order — the same `insert` +
+    /// `on_informed` call sequence the original run made, so the frontier
+    /// (including its message counters) is bit-identical by construction.
+    fn restore(&mut self, snapshot: &SimSnapshot) {
+        self.informed.reset(self.graph.num_vertices());
+        self.frontier = VertexFrontier::new(self.kind, self.graph);
+        for &v in &snapshot.informed_vertices {
+            let v = v as usize;
+            if self.informed.insert(v) {
+                self.frontier.on_informed(self.graph, v, &self.informed);
+            }
+        }
+        self.round = snapshot.round;
+        self.messages_total = snapshot.messages_total;
+        self.messages_last = snapshot.messages_last;
     }
 }
 
@@ -690,6 +830,52 @@ impl<'g, G: Topology> AgentEngine<'g, G> {
                 });
             }
         }
+        self.into_outcome(spec, history)
+    }
+
+    /// [`AgentEngine::run`] with the checkpoint contract of
+    /// [`simulate_sharded_resumable`]. No stall break here: agent-protocol
+    /// quiescence is a reachability property of the walk state, which is too
+    /// expensive to test per round — the round cap remains the terminator on
+    /// pathological instances (as in the sequential engine).
+    fn run_resumable(
+        mut self,
+        spec: &SimulationSpec,
+        digest: u64,
+        resume: Option<&SimSnapshot>,
+        cadence: CheckpointCadence,
+        sink: &mut dyn FnMut(&SimSnapshot) -> bool,
+    ) -> ResumableRun {
+        let mut history = Vec::new();
+        if let Some(snapshot) = resume {
+            self.restore(snapshot);
+            history = snapshot.history.clone();
+        }
+        let mut last_checkpoint = std::time::Instant::now();
+        while !self.is_complete() && self.round < spec.max_rounds {
+            self.step();
+            if spec.options.record_history {
+                history.push(RoundRecord {
+                    round: self.round,
+                    informed_vertices: self.informed_vertex_count(),
+                    informed_agents: self.agents.informed_count(),
+                    messages: self.messages_last,
+                });
+            }
+            if self.is_complete() {
+                break;
+            }
+            if cadence.due(self.round, &mut last_checkpoint) {
+                let snapshot = self.capture(digest, &history);
+                if !sink(&snapshot) {
+                    return ResumableRun::Suspended(snapshot);
+                }
+            }
+        }
+        ResumableRun::Finished(self.into_outcome(spec, history))
+    }
+
+    fn into_outcome(self, spec: &SimulationSpec, history: Vec<RoundRecord>) -> BroadcastOutcome {
         BroadcastOutcome {
             protocol: spec.kind.name().to_string(),
             rounds: self.round,
@@ -700,6 +886,62 @@ impl<'g, G: Topology> AgentEngine<'g, G> {
             history,
             edge_traffic: None,
         }
+    }
+
+    /// Captures the engine's cross-round state: agent positions plus the
+    /// walk round fully determine every future movement draw (per-step
+    /// scratch is rebuilt each round), and the informed sets are stored as
+    /// dense id lists. `rng: None` — the counter-based streams re-derive
+    /// from the round counter.
+    fn capture(&self, spec_digest: u64, history: &[RoundRecord]) -> SimSnapshot {
+        let mut informed_agents = Vec::with_capacity(self.agents.informed_count());
+        self.agents
+            .for_each_informed(|agent| informed_agents.push(agent as u32));
+        SimSnapshot {
+            spec_digest,
+            round: self.round,
+            messages_total: self.messages_total,
+            messages_last: self.messages_last,
+            rng: None,
+            informed_vertices: match self.kind {
+                ProtocolKind::VisitExchange => self.informed_vertices.informed().to_vec(),
+                _ => Vec::new(),
+            },
+            informed_agents,
+            positions: Some(self.walks.positions().to_vec()),
+            walk_round: self.walks.round(),
+            source_active: self.source_active,
+            history: history.to_vec(),
+        }
+    }
+
+    /// Rebuilds the exact mid-run state from `snapshot`: the walk ensemble
+    /// from its stored positions and round, the uninformed frontier by
+    /// re-marking the stored informed agents, and (visit-exchange) the
+    /// vertex informed set by replaying its stored insertion order.
+    fn restore(&mut self, snapshot: &SimSnapshot) {
+        let positions = snapshot
+            .positions
+            .clone()
+            .expect("agent-engine snapshot stores walk positions");
+        self.walks = MultiWalk::restore(
+            self.graph,
+            positions,
+            snapshot.walk_round,
+            self.walks.config(),
+        );
+        self.agents.reset(self.walks.num_agents());
+        for &agent in &snapshot.informed_agents {
+            self.agents.mark_informed(agent as AgentId);
+        }
+        self.informed_vertices.reset(self.graph.num_vertices());
+        for &v in &snapshot.informed_vertices {
+            self.informed_vertices.insert(v as usize);
+        }
+        self.source_active = snapshot.source_active;
+        self.round = snapshot.round;
+        self.messages_total = snapshot.messages_total;
+        self.messages_last = snapshot.messages_last;
     }
 
     fn informed_vertex_count(&self) -> usize {

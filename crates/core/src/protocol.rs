@@ -97,6 +97,19 @@ pub trait Protocol {
 pub(crate) trait FastStep: Protocol {
     /// One synchronous round, generic over the RNG.
     fn fast_step<R: rand::Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// `true` when the protocol is provably frozen: it is not complete, yet
+    /// no sequence of future draws can change its state. The monotone vertex
+    /// protocols detect this as an empty active frontier (every informed
+    /// vertex saturated, every uninformed vertex unreachable) — the
+    /// disconnected-graph case — and the engine terminates the run with
+    /// `completed == false` instead of spinning to the round cap. Agent
+    /// protocols keep the default (`false`): a walk confined to the source's
+    /// component is equally stuck, but detecting that requires reachability
+    /// analysis the hot loop cannot afford, so they rely on the round cap.
+    fn is_stalled(&self) -> bool {
+        false
+    }
 }
 
 /// Selector for the protocol implementations, used by

@@ -288,6 +288,14 @@ impl Bits {
     pub(crate) fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// `true` if no bit is set — for the frontiers below this means no
+    /// future draw can change the informed set (stall detection on
+    /// disconnected graphs).
+    #[inline]
+    pub(crate) fn none_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
 }
 
 /// Boundary tracker for `push`: the set of informed vertices that still have
@@ -370,6 +378,13 @@ impl PushFrontier {
             }
         }
     }
+
+    /// `true` when no informed vertex has an uninformed neighbor: every
+    /// future push is a no-op, so an incomplete run is frozen forever.
+    #[inline]
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.active.none_set()
+    }
 }
 
 /// Boundary tracker for `pull`: the set of uninformed vertices that have at
@@ -445,6 +460,13 @@ impl PullFrontier {
             }
         });
     }
+
+    /// `true` when no uninformed vertex has an informed neighbor: every
+    /// future pull misses, so an incomplete run is frozen forever.
+    #[inline]
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.active.none_set()
+    }
 }
 
 /// Boundary tracker for `push-pull`: the set of vertices whose exchange can
@@ -519,6 +541,13 @@ impl PushPullFrontier {
                 self.active.set(w);
             }
         });
+    }
+
+    /// `true` when the informed/uninformed edge boundary is empty: no
+    /// exchange can change the state, so an incomplete run is frozen forever.
+    #[inline]
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.active.none_set()
     }
 }
 

@@ -222,6 +222,55 @@ impl<G: Topology> FastStep for MeetExchange<'_, G> {
     }
 }
 
+impl<G: Topology> crate::snapshot::Checkpointable for MeetExchange<'_, G> {
+    fn capture(
+        &self,
+        spec_digest: u64,
+        rng: Option<[u64; 4]>,
+        history: &[crate::metrics::RoundRecord],
+    ) -> crate::snapshot::SimSnapshot {
+        let mut informed_agents = Vec::with_capacity(self.agents.informed_count());
+        self.agents
+            .for_each_informed(|agent| informed_agents.push(agent as u32));
+        crate::snapshot::SimSnapshot {
+            spec_digest,
+            round: self.round,
+            messages_total: self.messages_total,
+            messages_last: self.messages_last,
+            rng,
+            informed_vertices: Vec::new(),
+            informed_agents,
+            positions: Some(self.walks.positions().to_vec()),
+            walk_round: self.walks.round(),
+            source_active: self.source_active,
+            history: history.to_vec(),
+        }
+    }
+
+    fn restore(&mut self, snapshot: &crate::snapshot::SimSnapshot) {
+        let positions = snapshot
+            .positions
+            .clone()
+            .expect("agent-protocol snapshot carries walk positions");
+        self.walks = MultiWalk::restore(
+            self.graph,
+            positions,
+            snapshot.walk_round,
+            self.walks.config(),
+        );
+        self.agents.reset(self.walks.num_agents());
+        for &agent in &snapshot.informed_agents {
+            self.agents.mark_informed(agent as usize);
+        }
+        self.source_active = snapshot.source_active;
+        self.newly_informed.clear();
+        self.round = snapshot.round;
+        self.messages_total = snapshot.messages_total;
+        self.messages_last = snapshot.messages_last;
+        self.edge_traffic = None;
+    }
+}
+
 impl<G: Topology> Protocol for MeetExchange<'_, G> {
     fn name(&self) -> &'static str {
         "meet-exchange"

@@ -173,6 +173,53 @@ impl<G: Topology> FastStep for Push<'_, G> {
     fn fast_step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.step_with(rng)
     }
+
+    #[inline]
+    fn is_stalled(&self) -> bool {
+        !self.informed.is_full() && self.frontier.is_quiescent()
+    }
+}
+
+impl<G: Topology> crate::snapshot::Checkpointable for Push<'_, G> {
+    fn capture(
+        &self,
+        spec_digest: u64,
+        rng: Option<[u64; 4]>,
+        history: &[crate::metrics::RoundRecord],
+    ) -> crate::snapshot::SimSnapshot {
+        crate::snapshot::SimSnapshot {
+            spec_digest,
+            round: self.round,
+            messages_total: self.messages_total,
+            messages_last: self.messages_last,
+            rng,
+            informed_vertices: self.informed.informed().to_vec(),
+            informed_agents: Vec::new(),
+            positions: None,
+            walk_round: 0,
+            source_active: false,
+            history: history.to_vec(),
+        }
+    }
+
+    fn restore(&mut self, snapshot: &crate::snapshot::SimSnapshot) {
+        self.informed.reset(self.graph.num_vertices());
+        self.frontier.reset(self.graph);
+        // Replaying the recorded insertion order reproduces the exact
+        // insert/on_informed call sequence of the original run, and with it
+        // every derived frontier structure, bit for bit.
+        for &v in &snapshot.informed_vertices {
+            let v = v as usize;
+            if self.informed.insert(v) {
+                self.frontier.on_informed(self.graph, v, &self.informed);
+            }
+        }
+        self.newly_informed.clear();
+        self.round = snapshot.round;
+        self.messages_total = snapshot.messages_total;
+        self.messages_last = snapshot.messages_last;
+        self.edge_traffic = None;
+    }
 }
 
 impl<G: Topology> Protocol for Push<'_, G> {

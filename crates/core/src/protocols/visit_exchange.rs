@@ -220,6 +220,58 @@ impl<G: Topology> FastStep for VisitExchange<'_, G> {
     }
 }
 
+impl<G: Topology> crate::snapshot::Checkpointable for VisitExchange<'_, G> {
+    fn capture(
+        &self,
+        spec_digest: u64,
+        rng: Option<[u64; 4]>,
+        history: &[crate::metrics::RoundRecord],
+    ) -> crate::snapshot::SimSnapshot {
+        let mut informed_agents = Vec::with_capacity(self.agents.informed_count());
+        self.agents
+            .for_each_informed(|agent| informed_agents.push(agent as u32));
+        crate::snapshot::SimSnapshot {
+            spec_digest,
+            round: self.round,
+            messages_total: self.messages_total,
+            messages_last: self.messages_last,
+            rng,
+            informed_vertices: self.informed_vertices.informed().to_vec(),
+            informed_agents,
+            positions: Some(self.walks.positions().to_vec()),
+            walk_round: self.walks.round(),
+            source_active: false,
+            history: history.to_vec(),
+        }
+    }
+
+    fn restore(&mut self, snapshot: &crate::snapshot::SimSnapshot) {
+        let positions = snapshot
+            .positions
+            .clone()
+            .expect("agent-protocol snapshot carries walk positions");
+        self.walks = MultiWalk::restore(
+            self.graph,
+            positions,
+            snapshot.walk_round,
+            self.walks.config(),
+        );
+        self.informed_vertices.reset(self.graph.num_vertices());
+        for &v in &snapshot.informed_vertices {
+            self.informed_vertices.insert(v as usize);
+        }
+        self.agents.reset(self.walks.num_agents());
+        for &agent in &snapshot.informed_agents {
+            self.agents.mark_informed(agent as usize);
+        }
+        self.newly_informed.clear();
+        self.round = snapshot.round;
+        self.messages_total = snapshot.messages_total;
+        self.messages_last = snapshot.messages_last;
+        self.edge_traffic = None;
+    }
+}
+
 impl<G: Topology> Protocol for VisitExchange<'_, G> {
     fn name(&self) -> &'static str {
         "visit-exchange"

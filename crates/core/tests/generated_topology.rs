@@ -55,15 +55,17 @@ fn spec_for(kind: ProtocolKind, seed: u64, graph: &GeneratedGraph) -> Simulation
     // the generated side vs CSR BFS — pinned in rumor-graphs), so adapting
     // against the generated backend is also the CSR-correct spec.
     //
-    // The round cap is deliberately modest: random instances can be
-    // disconnected (isolated vertices exist at any fixed density), and a
-    // protocol that cannot complete would otherwise burn the whole cap
-    // moving agents — equivalence is pinned just as hard on a truncated
-    // prefix, while completion is asserted only on verified-connected
-    // instances (which finish far below this cap).
+    // The round cap is deliberately tight: random instances can be
+    // disconnected (isolated vertices exist at any fixed density). The
+    // vertex protocols no longer need the cap at all — stall detection
+    // stops them the round the frontier goes quiescent (pinned below) —
+    // but the agent protocols would burn whatever cap they get moving
+    // agents through an unreachable component. Equivalence is pinned just
+    // as hard on a truncated prefix, while completion is asserted only on
+    // verified-connected instances (which finish far below this cap).
     SimulationSpec::new(kind)
         .with_seed(seed)
-        .with_max_rounds(2_000)
+        .with_max_rounds(1_200)
         .adapted_to(graph)
 }
 
@@ -227,4 +229,77 @@ fn generated_backend_runs_beyond_comfortable_csr_scale() {
         "push informed only {} of 100k vertices",
         outcome.informed_vertices
     );
+}
+
+#[test]
+fn disconnected_instances_stall_instead_of_burning_the_round_cap() {
+    // The hang class this pins closed: on a disconnected instance a vertex
+    // protocol can never complete, and before stall detection it would spin
+    // until the round cap doing nothing (every draw skipped, frontier
+    // empty). Now the run ends the round the frontier goes quiescent —
+    // `completed = false`, rounds far below even an absurd cap — on both
+    // engines at every thread count.
+    use rumor_graphs::Graph;
+    let tiny = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+    for kind in [
+        ProtocolKind::Push,
+        ProtocolKind::Pull,
+        ProtocolKind::PushPull,
+    ] {
+        let base = SimulationSpec::new(kind)
+            .with_seed(7)
+            .with_max_rounds(u64::MAX - 1);
+        let sequential = simulate_on(&tiny, 0, &base);
+        assert!(
+            !sequential.completed,
+            "{kind} cannot complete on 2 components"
+        );
+        assert_eq!(
+            sequential.informed_vertices, 3,
+            "{kind} must saturate the source component"
+        );
+        assert!(
+            sequential.rounds < 200,
+            "{kind} burned {} rounds after quiescence",
+            sequential.rounds
+        );
+        for threads in [1usize, 2, 3] {
+            let sharded = simulate_on(&tiny, 0, &base.clone().with_sharded(threads));
+            assert!(!sharded.completed);
+            assert_eq!(sharded.informed_vertices, 3);
+            assert!(
+                sharded.rounds < 200,
+                "sharded {kind} burned {} rounds after quiescence",
+                sharded.rounds
+            );
+        }
+    }
+
+    // Same property on a genuinely disconnected *generated* instance (mean
+    // degree 1 is far below the connectivity threshold), cross-checked
+    // against its materialization.
+    let sparse = GeneratedGraph::gnp(200, 0.005, 3).unwrap();
+    let csr = sparse.materialize().unwrap();
+    assert!(
+        !algorithms::is_connected(&csr),
+        "grid instance unexpectedly connected — pick another seed"
+    );
+    for kind in [ProtocolKind::Push, ProtocolKind::PushPull] {
+        let spec = SimulationSpec::new(kind)
+            .with_seed(1)
+            .with_max_rounds(1_000_000_000);
+        let outcome = simulate_on(&sparse, 0, &spec);
+        assert!(!outcome.completed);
+        assert!(outcome.informed_vertices < 200);
+        assert!(
+            outcome.rounds < 5_000,
+            "{kind} burned {} rounds on a disconnected instance",
+            outcome.rounds
+        );
+        assert_eq!(
+            simulate_on(&csr, 0, &spec),
+            outcome,
+            "{kind} stall round diverged across backends"
+        );
+    }
 }

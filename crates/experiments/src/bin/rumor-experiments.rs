@@ -13,10 +13,32 @@
 //!
 //! With no experiment ids, every registered experiment is run in order.
 //! ```
+//!
+//! A second mode backs the kill-and-resume integration test (and doubles as
+//! a recovery harness for long interactive runs):
+//!
+//! ```text
+//! Usage: rumor-experiments checkpoint-run --dir <DIR> [OPTIONS]
+//!
+//! Options:
+//!   --n <N>              G(n, p) instance size (default: 100000)
+//!   --seed <u64>         spec + topology seed (default: 0)
+//!   --cadence <K>        checkpoint every K rounds (default: 2)
+//!   --throttle-ms <T>    sleep T ms inside each checkpoint (default: 0)
+//!   --max-rounds <R>     round cap (default: 1000000)
+//!   --resume             continue from the newest valid checkpoint in DIR
+//! ```
+//!
+//! Each checkpoint is written atomically into DIR and announced on stdout
+//! as `ckpt <round>`; the final line is
+//! `result rounds=<r> messages=<m> informed=<v> completed=<0|1>`. The
+//! `RUMOR_KILL_AT_ROUND` environment variable hard-kills the process
+//! (after persisting the snapshot) once that round is reached — the
+//! fault-injection hook the test-suite drives from a child process.
 
 use std::process::ExitCode;
 
-use rumor_experiments::{all_experiment_ids, run_experiment, ExperimentConfig, Scale};
+use rumor_experiments::{all_experiment_ids, run_experiment, ExperimentConfig, FaultPlan, Scale};
 
 struct CliOptions {
     scale: Scale,
@@ -71,8 +93,123 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     Ok(options)
 }
 
+/// The `checkpoint-run` subcommand: one resumable push broadcast on a
+/// generated G(n, p) instance, checkpointing into `--dir`.
+fn checkpoint_run(args: &[String]) -> Result<(), String> {
+    use rumor_core::{
+        resume_on, simulate_resumable, CheckpointCadence, ProtocolKind, ResumableRun, SimSnapshot,
+        SimulationSpec,
+    };
+    use rumor_graphs::GeneratedGraph;
+
+    let mut dir = None;
+    let mut n = 100_000usize;
+    let mut seed = 0u64;
+    let mut cadence = 2u64;
+    let mut throttle_ms = 0u64;
+    let mut max_rounds = 1_000_000u64;
+    let mut resume = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--dir" => dir = Some(std::path::PathBuf::from(value("--dir")?)),
+            "--n" => n = value("--n")?.parse().map_err(|_| "invalid --n")?,
+            "--seed" => seed = value("--seed")?.parse().map_err(|_| "invalid --seed")?,
+            "--cadence" => {
+                cadence = value("--cadence")?
+                    .parse()
+                    .map_err(|_| "invalid --cadence")?;
+            }
+            "--throttle-ms" => {
+                throttle_ms = value("--throttle-ms")?
+                    .parse()
+                    .map_err(|_| "invalid --throttle-ms")?;
+            }
+            "--max-rounds" => {
+                max_rounds = value("--max-rounds")?
+                    .parse()
+                    .map_err(|_| "invalid --max-rounds")?;
+            }
+            "--resume" => resume = true,
+            other => return Err(format!("unknown checkpoint-run option {other}")),
+        }
+    }
+    let dir = dir.ok_or("checkpoint-run requires --dir")?;
+    let fault = FaultPlan::from_env();
+
+    let graph = GeneratedGraph::gnp_with_mean_degree(n, 14.0, seed)
+        .map_err(|e| format!("topology: {e}"))?;
+    let spec = SimulationSpec::new(ProtocolKind::Push)
+        .with_seed(seed)
+        .with_max_rounds(max_rounds);
+    let mut sink = |snapshot: &SimSnapshot| {
+        snapshot
+            .write_atomic(&dir)
+            .unwrap_or_else(|e| panic!("checkpoint write failed: {e}"));
+        println!("ckpt {}", snapshot.round());
+        if fault
+            .kill_at_round
+            .is_some_and(|round| snapshot.round() >= round)
+        {
+            std::process::abort();
+        }
+        if throttle_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(throttle_ms));
+        }
+        true
+    };
+    let run = if resume {
+        let snapshot = SimSnapshot::load_newest(&dir)
+            .map_err(|e| format!("loading checkpoints: {e}"))?
+            .ok_or("no valid checkpoint to resume from")?;
+        println!("resumed {}", snapshot.round());
+        resume_on(
+            &graph,
+            0,
+            &spec,
+            &snapshot,
+            CheckpointCadence::every_rounds(cadence),
+            &mut sink,
+        )
+        .map_err(|e| format!("resume rejected: {e}"))?
+    } else {
+        simulate_resumable(
+            &graph,
+            0,
+            &spec,
+            CheckpointCadence::every_rounds(cadence),
+            &mut sink,
+        )
+    };
+    let outcome = match run {
+        ResumableRun::Finished(outcome) => outcome,
+        ResumableRun::Suspended(_) => unreachable!("sink never suspends"),
+    };
+    println!(
+        "result rounds={} messages={} informed={} completed={}",
+        outcome.rounds,
+        outcome.total_messages,
+        outcome.informed_vertices,
+        u8::from(outcome.completed)
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("checkpoint-run") {
+        return match checkpoint_run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match parse_args(&args) {
         Ok(o) => o,
         Err(message) => {

@@ -14,12 +14,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rumor_analysis::{Summary, Table};
-use rumor_core::{run_to_completion, AgentConfig, ChurnVisitExchange, ProtocolOptions};
+use rumor_core::{
+    run_to_completion, AgentConfig, ChurnVisitExchange, ProtocolKind, ProtocolOptions,
+    SimulationSpec,
+};
 use rumor_graphs::generators::{double_star, logarithmic_degree, random_regular};
 use rumor_graphs::{Graph, VertexId};
 
 use crate::config::ExperimentConfig;
 use crate::report::ExperimentReport;
+use crate::runner::{run_trials_guarded, FaultPlan, TrialPolicy};
 
 /// Identifier of this experiment.
 pub const ID: &str = "robustness-churn";
@@ -113,6 +117,88 @@ pub fn run(config: &ExperimentConfig) -> ExperimentReport {
     }
     report.push_table(regular_table);
 
+    // Crash recovery: the other half of fault tolerance — not losing agents
+    // mid-protocol but losing the *sweep process* mid-experiment. A guarded
+    // sweep with a manifest is "crashed" (injected stop) halfway through and
+    // re-run; the manifest hands the completed trials back instead of
+    // redoing them.
+    let recovery_trials = config.trials(6, 16, 32);
+    let stop_after = recovery_trials / 2;
+    let spec = SimulationSpec::new(ProtocolKind::VisitExchange)
+        .with_agents(lazy.clone())
+        .with_max_rounds(100_000_000)
+        .with_seed(config.seed)
+        .adapted_to(&dstar);
+    let manifest_dir = std::env::temp_dir().join(format!(
+        "rumor-churn-recovery-{}-{}",
+        std::process::id(),
+        config.seed
+    ));
+    std::fs::remove_dir_all(&manifest_dir).ok();
+    std::fs::create_dir_all(&manifest_dir).expect("manifest directory");
+    let manifest = manifest_dir.join("sweep.rman");
+    // One worker makes the crash point deterministic.
+    let one_worker = (*config).with_threads(1);
+    let crash_policy = TrialPolicy {
+        fault: FaultPlan {
+            stop_after_trials: Some(stop_after),
+            ..FaultPlan::none()
+        },
+        ..TrialPolicy::new()
+    };
+    let crashed = run_trials_guarded(
+        &dstar,
+        2,
+        &spec,
+        recovery_trials,
+        &one_worker,
+        &crash_policy,
+        Some(&manifest),
+    );
+    let resumed = run_trials_guarded(
+        &dstar,
+        2,
+        &spec,
+        recovery_trials,
+        &one_worker,
+        &TrialPolicy::new(),
+        Some(&manifest),
+    );
+    std::fs::remove_dir_all(&manifest_dir).ok();
+    let mut recovery_table = Table::new(
+        &format!(
+            "Crash recovery: {recovery_trials}-trial visit-exchange sweep on the double star, \
+             killed after {stop_after} trials"
+        ),
+        &[
+            "sweep",
+            "outcome taxonomy",
+            "reused from manifest",
+            "recovered work",
+        ],
+    );
+    recovery_table.push_row(&[
+        "crashed".to_string(),
+        crashed.taxonomy().to_string(),
+        crashed.reused_trials.to_string(),
+        format!("{:.0}%", 100.0 * crashed.recovered_fraction()),
+    ]);
+    recovery_table.push_row(&[
+        "resumed".to_string(),
+        resumed.taxonomy().to_string(),
+        resumed.reused_trials.to_string(),
+        format!("{:.0}%", 100.0 * resumed.recovered_fraction()),
+    ]);
+    report.push_table(recovery_table);
+
+    report.push_note(format!(
+        "Killing the sweep after {} of {} trials loses no completed work: the resumed sweep \
+         recovers {:.0}% of its trials from the manifest and only runs the remainder.",
+        stop_after,
+        recovery_trials,
+        100.0 * resumed.recovered_fraction()
+    ));
+
     report.push_note(format!(
         "Replacing up to 25% of the agents per round slows visit-exchange down by at most \
          {:.1}× on the double star and {:.1}× on the random regular graph — the broadcast always \
@@ -131,8 +217,10 @@ mod tests {
     fn smoke_run_produces_report() {
         let report = run(&ExperimentConfig::smoke());
         assert_eq!(report.id, ID);
-        assert_eq!(report.tables.len(), 2);
+        assert_eq!(report.tables.len(), 3);
         assert_eq!(report.tables[0].num_rows(), 5);
-        assert!(!report.notes.is_empty());
+        // The crash-recovery table: crashed and resumed sweeps.
+        assert_eq!(report.tables[2].num_rows(), 2);
+        assert!(report.notes.iter().any(|n| n.contains("recovers")));
     }
 }

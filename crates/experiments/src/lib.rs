@@ -35,5 +35,8 @@ mod sweep;
 pub use config::{ExperimentConfig, Scale};
 pub use experiments::{all_ids as all_experiment_ids, run_by_id as run_experiment, REGISTRY};
 pub use report::ExperimentReport;
-pub use runner::{broadcast_times, run_trials};
+pub use runner::{
+    broadcast_times, run_trials, run_trials_guarded, FaultPlan, GuardedSweep, StopCause,
+    TrialOutcome, TrialPolicy, TrialTaxonomy,
+};
 pub use sweep::{ProtocolSetup, ScalingSweep, SweepMeasurement, SweepPoint, SweepResult};

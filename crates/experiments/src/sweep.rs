@@ -7,7 +7,7 @@ use rumor_core::{AgentConfig, ProtocolKind, ProtocolOptions, SimulationSpec};
 use rumor_graphs::{Graph, VertexId};
 
 use crate::config::ExperimentConfig;
-use crate::runner::run_trials;
+use crate::runner::{run_trials, run_trials_guarded, TrialOutcome, TrialPolicy, TrialTaxonomy};
 
 /// One protocol entry of a sweep: which protocol, with which agent
 /// configuration, under which display label.
@@ -115,24 +115,18 @@ impl ScalingSweep {
         for (point_idx, point) in self.points.iter().enumerate() {
             let mut summaries = Vec::with_capacity(self.protocols.len());
             let mut truncated = Vec::with_capacity(self.protocols.len());
-            for (proto_idx, setup) in self.protocols.iter().enumerate() {
-                // `adapted_to` applies the paper's bipartite remedy (lazy
-                // walks for meet-exchange), so a sweep can never stall on a
-                // parity-trapped instance.
-                let spec = SimulationSpec::new(setup.kind)
-                    .with_agents(setup.agents.clone())
-                    .with_options(ProtocolOptions::none())
-                    .with_max_rounds(self.max_rounds)
-                    .with_seed(
-                        config
-                            .seed
-                            .wrapping_add((point_idx as u64) << 32)
-                            .wrapping_add((proto_idx as u64) << 16),
-                    )
-                    .adapted_to(&point.graph);
+            let mut taxonomy = Vec::with_capacity(self.protocols.len());
+            for proto_idx in 0..self.protocols.len() {
+                let spec = self.cell_spec(point_idx, proto_idx, config);
                 let outcomes = run_trials(&point.graph, point.source, &spec, self.trials, config);
                 let times: Vec<u64> = outcomes.iter().map(|o| o.rounds).collect();
-                truncated.push(outcomes.iter().filter(|o| !o.completed).count());
+                let capped = outcomes.iter().filter(|o| !o.completed).count();
+                truncated.push(capped);
+                taxonomy.push(TrialTaxonomy {
+                    completed: outcomes.len() - capped,
+                    round_capped: capped,
+                    ..TrialTaxonomy::default()
+                });
                 summaries.push(Summary::of_u64(&times));
             }
             measurements.push(SweepMeasurement {
@@ -140,12 +134,122 @@ impl ScalingSweep {
                 label: point.label.clone(),
                 summaries,
                 truncated,
+                taxonomy,
             });
         }
         SweepResult {
             protocols: self.protocols.iter().map(|p| p.label.clone()).collect(),
             measurements,
         }
+    }
+
+    /// Fault-tolerant variant of [`ScalingSweep::run`]: every cell runs
+    /// through [`run_trials_guarded`] under `policy`, so panicking or
+    /// budget-exceeding trials degrade the cell's taxonomy instead of
+    /// aborting the sweep. With `manifest_dir` set, each cell maintains a
+    /// spec-keyed manifest file there (`cell-<point>-<protocol>.rman`) and a
+    /// re-run of the same sweep resumes from the completed trials.
+    ///
+    /// Trials that finish are bit-identical to [`ScalingSweep::run`]'s; a
+    /// timed-out trial contributes its suspension round to the summary
+    /// (the truncated-mean convention), panicked and not-run trials
+    /// contribute nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep has no points, no protocols, or zero trials.
+    pub fn run_guarded(
+        &self,
+        config: &ExperimentConfig,
+        policy: &TrialPolicy,
+        manifest_dir: Option<&std::path::Path>,
+    ) -> SweepResult {
+        assert!(!self.points.is_empty(), "sweep needs at least one point");
+        assert!(
+            !self.protocols.is_empty(),
+            "sweep needs at least one protocol"
+        );
+        assert!(self.trials > 0, "sweep needs at least one trial");
+        if let Some(dir) = manifest_dir {
+            std::fs::create_dir_all(dir).expect("manifest directory");
+        }
+        let mut measurements = Vec::with_capacity(self.points.len());
+        for (point_idx, point) in self.points.iter().enumerate() {
+            let mut summaries = Vec::with_capacity(self.protocols.len());
+            let mut truncated = Vec::with_capacity(self.protocols.len());
+            let mut taxonomy = Vec::with_capacity(self.protocols.len());
+            for proto_idx in 0..self.protocols.len() {
+                let spec = self.cell_spec(point_idx, proto_idx, config);
+                let manifest_path =
+                    manifest_dir.map(|dir| dir.join(format!("cell-{point_idx}-{proto_idx}.rman")));
+                let guarded = run_trials_guarded(
+                    &point.graph,
+                    point.source,
+                    &spec,
+                    self.trials,
+                    config,
+                    policy,
+                    manifest_path.as_deref(),
+                );
+                let times: Vec<u64> = guarded
+                    .outcomes
+                    .iter()
+                    .filter_map(|trial| match trial {
+                        TrialOutcome::Completed(o) | TrialOutcome::RoundCapped(o) => Some(o.rounds),
+                        TrialOutcome::TimedOut { round, .. } => Some(*round),
+                        _ => None,
+                    })
+                    .collect();
+                let tax = guarded.taxonomy();
+                truncated.push(tax.round_capped);
+                taxonomy.push(tax);
+                // A cell where no trial produced a time (all panicked or
+                // not-run) still needs a row; the taxonomy annotation marks
+                // it as vacuous.
+                summaries.push(Summary::of_u64(if times.is_empty() {
+                    &[0]
+                } else {
+                    &times
+                }));
+            }
+            measurements.push(SweepMeasurement {
+                n: point.graph.num_vertices(),
+                label: point.label.clone(),
+                summaries,
+                truncated,
+                taxonomy,
+            });
+        }
+        SweepResult {
+            protocols: self.protocols.iter().map(|p| p.label.clone()).collect(),
+            measurements,
+        }
+    }
+
+    /// The spec of one sweep cell (shared by the plain and guarded paths so
+    /// their trials are seed-for-seed identical).
+    fn cell_spec(
+        &self,
+        point_idx: usize,
+        proto_idx: usize,
+        config: &ExperimentConfig,
+    ) -> SimulationSpec {
+        let setup = &self.protocols[proto_idx];
+        let point = &self.points[point_idx];
+        // `adapted_to` applies the paper's bipartite remedy (lazy walks for
+        // meet-exchange), so a sweep can never stall on a parity-trapped
+        // instance.
+        SimulationSpec::new(setup.kind)
+            .with_agents(setup.agents.clone())
+            .with_options(ProtocolOptions::none())
+            .with_max_rounds(self.max_rounds)
+            .with_seed(
+                config
+                    .seed
+                    .wrapping_add((point_idx as u64) << 32)
+                    .wrapping_add((proto_idx as u64) << 16),
+            )
+            .adapted_to(&point.graph)
     }
 }
 
@@ -161,6 +265,10 @@ pub struct SweepMeasurement {
     pub summaries: Vec<Summary>,
     /// Number of truncated (round-capped) trials per protocol.
     pub truncated: Vec<usize>,
+    /// Full outcome taxonomy per protocol (degenerate — all trials
+    /// completed or round-capped — for sweeps run without a
+    /// [`TrialPolicy`]).
+    pub taxonomy: Vec<TrialTaxonomy>,
 }
 
 /// The outcome of a [`ScalingSweep`].
@@ -225,6 +333,16 @@ impl SweepResult {
                 );
                 if m.truncated[i] > 0 {
                     cell.push_str(&format!(" ({} capped)", m.truncated[i]));
+                }
+                let tax = &m.taxonomy[i];
+                for (count, label) in [
+                    (tax.timed_out, "timed out"),
+                    (tax.panicked, "panicked"),
+                    (tax.not_run, "not run"),
+                ] {
+                    if count > 0 {
+                        cell.push_str(&format!(" ({count} {label})"));
+                    }
                 }
                 row.push(cell);
             }

@@ -1,0 +1,140 @@
+//! Kill -9 and resume: SIGKILLs a child `checkpoint-run` process mid-flight
+//! and proves the resumed run reaches the exact result of an uninterrupted
+//! reference run — the end-to-end guarantee behind every other
+//! checkpoint/resume test.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+const EXE: &str = env!("CARGO_BIN_EXE_rumor-experiments");
+// Small enough for debug builds, large enough that a G(n, p) push broadcast
+// takes double-digit rounds (⇒ several checkpoints at cadence 2).
+const N: &str = "20000";
+const SEED: &str = "7";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rumor-kill-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `checkpoint-run` to completion and returns its final `result …` line.
+fn run_to_result(dir: &Path, resume: bool) -> String {
+    let mut cmd = Command::new(EXE);
+    cmd.args(["checkpoint-run", "--dir"]).arg(dir).args([
+        "--n",
+        N,
+        "--seed",
+        SEED,
+        "--cadence",
+        "2",
+    ]);
+    if resume {
+        cmd.arg("--resume");
+    }
+    let output = cmd.output().expect("spawn checkpoint-run");
+    assert!(
+        output.status.success(),
+        "checkpoint-run failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    stdout
+        .lines()
+        .find(|line| line.starts_with("result "))
+        .unwrap_or_else(|| panic!("no result line in:\n{stdout}"))
+        .to_string()
+}
+
+#[test]
+fn sigkilled_run_resumes_to_the_uninterrupted_result() {
+    // Uninterrupted reference run in its own directory.
+    let reference_dir = temp_dir("reference");
+    let reference = run_to_result(&reference_dir, false);
+
+    // Victim run: throttled so checkpoints arrive slowly, SIGKILLed the
+    // moment the first `ckpt` line appears on stdout — mid-flight, with the
+    // broadcast far from done.
+    let victim_dir = temp_dir("victim");
+    let mut child = Command::new(EXE)
+        .args(["checkpoint-run", "--dir"])
+        .arg(&victim_dir)
+        .args([
+            "--n",
+            N,
+            "--seed",
+            SEED,
+            "--cadence",
+            "2",
+            "--throttle-ms",
+            "200",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn victim");
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let first = loop {
+        let line = lines
+            .next()
+            .expect("victim exited before its first checkpoint")
+            .unwrap();
+        if line.starts_with("ckpt ") {
+            break line;
+        }
+    };
+    child.kill().expect("SIGKILL victim"); // kill(2) with SIGKILL on unix
+    child.wait().unwrap();
+    let killed_at: u64 = first["ckpt ".len()..].parse().unwrap();
+
+    // At least one checkpoint file must have survived the kill.
+    let survivors = std::fs::read_dir(&victim_dir).unwrap().count();
+    assert!(survivors >= 1, "no checkpoint survived the SIGKILL");
+
+    // Resume from the newest valid checkpoint: the continued run must land
+    // on the byte-for-byte reference result.
+    let resumed = run_to_result(&victim_dir, true);
+    assert_eq!(
+        resumed, reference,
+        "resumed run diverged from the uninterrupted reference (killed at round {killed_at})"
+    );
+
+    std::fs::remove_dir_all(&reference_dir).ok();
+    std::fs::remove_dir_all(&victim_dir).ok();
+}
+
+#[test]
+fn resume_survives_a_corrupted_newest_checkpoint() {
+    let reference_dir = temp_dir("ref2");
+    let reference = run_to_result(&reference_dir, false);
+
+    // Drive the kill through the in-process hook this time: the
+    // RUMOR_KILL_AT_ROUND fault aborts the child after it persists the
+    // snapshot for round 6.
+    let victim_dir = temp_dir("victim2");
+    let output = Command::new(EXE)
+        .args(["checkpoint-run", "--dir"])
+        .arg(&victim_dir)
+        .args(["--n", N, "--seed", SEED, "--cadence", "2"])
+        .env("RUMOR_KILL_AT_ROUND", "6")
+        .output()
+        .expect("spawn victim");
+    assert!(!output.status.success(), "the kill hook must abort the run");
+
+    // Corrupt the newest surviving checkpoint; resume must fall back to an
+    // older valid one and still reach the reference result.
+    let mut files: Vec<_> = std::fs::read_dir(&victim_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert!(files.len() >= 2, "need a fallback checkpoint");
+    rumor_experiments::FaultPlan::corrupt_checkpoint(files.last().unwrap()).unwrap();
+
+    let resumed = run_to_result(&victim_dir, true);
+    assert_eq!(resumed, reference);
+
+    std::fs::remove_dir_all(&reference_dir).ok();
+    std::fs::remove_dir_all(&victim_dir).ok();
+}

@@ -167,6 +167,34 @@ impl MultiWalk {
         walk
     }
 
+    /// Rebuilds a walk set from checkpointed state: the agents' current
+    /// vertices plus the `round` counter the walks had when the snapshot was
+    /// taken. Consumes **no randomness** — unlike [`MultiWalk::new`], no
+    /// placement is sampled — so restoring cannot perturb any RNG stream.
+    ///
+    /// The round counter matters for resumption under the counter-based
+    /// engine: [`MultiWalk::par_step_exchange`] keys each round's draw
+    /// streams by this counter, so a restored walk set continues drawing
+    /// exactly where the captured one would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a position is out of range for `graph`.
+    pub fn restore<G: Topology>(
+        graph: &G,
+        positions: Vec<u32>,
+        round: u64,
+        config: WalkConfig,
+    ) -> Self {
+        let n = graph.num_vertices();
+        for &v in &positions {
+            assert!((v as usize) < n, "agent position {v} out of range");
+        }
+        let mut walk = Self::from_u32_positions(n, positions, config);
+        walk.round = round;
+        walk
+    }
+
     /// Re-initializes the walk set in place for a fresh trial — same state
     /// (and same RNG draws) as [`MultiWalk::new`] with the identical
     /// arguments, but with **zero heap allocation** after warm-up: positions

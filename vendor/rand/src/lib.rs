@@ -232,6 +232,28 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw 256-bit xoshiro256++ state, for checkpointing a generator
+        /// mid-stream. Feeding the result to [`SmallRng::from_state`] yields a
+        /// generator that continues the exact same output sequence.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`SmallRng::state`].
+        ///
+        /// The all-zero state is a fixed point of xoshiro256++ and is never
+        /// produced by [`SeedableRng::seed_from_u64`] or by stepping a valid
+        /// generator; it is replaced by the same nonzero word `seed_from_u64`
+        /// guards with, so a corrupted checkpoint cannot wedge the stream.
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         #[inline]
         fn next_u32(&mut self) -> u32 {
