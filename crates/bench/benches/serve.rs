@@ -1,0 +1,245 @@
+//! SERVE — load-generates the `rumor-serve` sweep server end to end.
+//!
+//! All measurements go to `BENCH_serve.json` (unified schema,
+//! `host_logical_cores` / `peak_rss_bytes` stamped, queue-depth limits
+//! recorded alongside):
+//!
+//! * **Sustained throughput** — distinct small sweeps submitted back to
+//!   back over real TCP from several client threads; reports
+//!   `sustained_trials_per_sec` and the `p99_submit_latency_ms` of the
+//!   full submit→stream→done round-trip.
+//! * **Overload shedding** — a burst of submissions sized at roughly 2×
+//!   the admission queue against a deliberately throttled server; the
+//!   shed rate (typed `overloaded` answers per attempt) is recorded and,
+//!   under `RUMOR_BENCH_ENFORCE=1`, must be positive while every admitted
+//!   job still completes.
+//! * **Drain/restart recovery** — a throttled sweep is drained mid-job
+//!   and resubmitted to a fresh server on the same state directory; the
+//!   `recovered_fraction` (manifest-reused trials over total) must cover
+//!   at least the trials the first server finished (enforced).
+//!
+//! `RUMOR_BENCH_FAST=1` shrinks the job counts for CI smoke runs.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumor_bench::summary::record_summary_in;
+use rumor_experiments::{
+    AdmissionLimits, ClientError, RetryPolicy, ServeClient, ServeConfig, Server, ServerHandle,
+    SubmitRequest, TopologySpec,
+};
+
+fn enforce() -> bool {
+    std::env::var("RUMOR_BENCH_ENFORCE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn start(config: ServeConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("serve"));
+    (handle, join)
+}
+
+fn stop(handle: &ServerHandle, join: std::thread::JoinHandle<()>) {
+    handle.drain();
+    join.join().expect("server thread");
+}
+
+/// A small, fast sweep; distinct `seed`s make distinct job digests, so the
+/// result cache never short-circuits the measured path.
+fn job(client: &str, seed: u64, trials: usize) -> SubmitRequest {
+    let mut request = SubmitRequest::new(client, TopologySpec::new("complete", 64), "push", trials);
+    request.seed = seed;
+    request
+}
+
+fn serve_bench(_c: &mut Criterion) {
+    let fast = std::env::var("RUMOR_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let limits = AdmissionLimits::new();
+
+    // ---- Sustained throughput + submission latency percentiles. ----
+    let (handle, join) = start(ServeConfig::new());
+    let addr = handle.addr().to_string();
+    let client_threads = 4usize;
+    let jobs_per_client = if fast { 8 } else { 32 };
+    let trials_per_job = 16usize;
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..client_threads)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let client = ServeClient::new(&addr);
+                let mut latencies = Vec::with_capacity(jobs_per_client);
+                for j in 0..jobs_per_client {
+                    let seed = 1 + (c * jobs_per_client + j) as u64;
+                    let request = job(&format!("load-{c}"), seed, trials_per_job);
+                    let t = Instant::now();
+                    let result = client.submit(&request).expect("load submit");
+                    latencies.push(t.elapsed());
+                    assert_eq!(result.taxonomy.completed, trials_per_job);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("load client"))
+        .collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let total_trials = handle.stats().trials_executed;
+    stop(&handle, join);
+    latencies.sort();
+    let p99 = latencies[(latencies.len() * 99).div_ceil(100).saturating_sub(1)];
+    let p50 = latencies[latencies.len() / 2];
+    let sustained = total_trials as f64 / wall_s;
+    println!(
+        "serve throughput: {} clients x {} jobs x {} trials over TCP — {total_trials} trials \
+         in {wall_s:.2}s => {sustained:.0} trials/s (submit p50 {:.1}ms, p99 {:.1}ms)",
+        client_threads,
+        jobs_per_client,
+        trials_per_job,
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+    );
+
+    // ---- Overload: a burst at ~2x the admission queue must shed typed. ----
+    let burst_limits = AdmissionLimits {
+        max_pending_trials: 64,
+        max_pending_jobs: 16,
+    };
+    let config = ServeConfig {
+        workers: 2,
+        throttle_ms: 10,
+        limits: burst_limits,
+        ..ServeConfig::new()
+    };
+    let (handle, join) = start(config);
+    let addr = handle.addr().to_string();
+    // Each job carries 16 trials; 16 concurrent jobs ≈ 2x the 64-trial and
+    // half the 16-job budget — some must shed on one axis or the other.
+    let burst = if fast { 8 } else { 16 };
+    let attempts: Vec<_> = (0..burst)
+        .map(|b| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let client = ServeClient::new(&addr).with_retry(RetryPolicy::none());
+                client.submit(&job(&format!("burst-{b}"), 1000 + b as u64, 16))
+            })
+        })
+        .collect();
+    let mut shed = 0usize;
+    let mut admitted = 0usize;
+    for attempt in attempts {
+        match attempt.join().expect("burst client") {
+            Ok(result) => {
+                assert_eq!(result.taxonomy.completed, 16, "admitted job must finish");
+                admitted += 1;
+            }
+            Err(ClientError::Overloaded { retry_after_ms }) => {
+                assert!(retry_after_ms > 0, "shed must carry a retry hint");
+                shed += 1;
+            }
+            Err(other) => panic!("burst must shed typed, got {other}"),
+        }
+    }
+    let shed_rate = shed as f64 / burst as f64;
+    println!(
+        "serve overload: burst of {burst} x 16-trial jobs against a {}-trial queue — \
+         {admitted} admitted (all completed), {shed} shed typed => shed rate {:.0}%",
+        burst_limits.max_pending_trials,
+        100.0 * shed_rate,
+    );
+    stop(&handle, join);
+    if enforce() {
+        assert!(shed > 0, "2x overload must shed at least one submission");
+        assert!(admitted > 0, "overload must not reject everything");
+    }
+
+    // ---- Drain mid-job, restart on the same state dir, measure reuse. ----
+    let dir = std::env::temp_dir().join(format!("rumor-bench-serve-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let trials = 16usize;
+    let config = ServeConfig {
+        workers: 1,
+        throttle_ms: 40,
+        ..ServeConfig::new().with_state_dir(dir.clone())
+    };
+    let (handle, join) = start(config);
+    let request = job("drainee", 9, trials);
+    let submitter = {
+        let addr = handle.addr().to_string();
+        let request = request.clone();
+        std::thread::spawn(move || {
+            ServeClient::new(&addr)
+                .with_retry(RetryPolicy::none())
+                .submit(&request)
+        })
+    };
+    // Wait until the server has durably finished part of the job, then drain.
+    let target = trials / 4;
+    while handle.stats().trials_executed < target {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let executed_before_drain = handle.stats().trials_executed;
+    stop(&handle, join);
+    // The interrupted client observed a typed drain, not a hang (the job can
+    // still finish whole if the last trials beat the drain).
+    match submitter.join().expect("drainee client") {
+        Err(ClientError::Draining) | Ok(_) => {}
+        Err(other) => panic!("drain must answer typed, got {other}"),
+    }
+    let (handle, join) = start(ServeConfig::new().with_state_dir(dir.clone()));
+    let resumed = ServeClient::new(&handle.addr().to_string())
+        .submit(&request)
+        .expect("resumed submit");
+    stop(&handle, join);
+    std::fs::remove_dir_all(&dir).ok();
+    let recovered_fraction = resumed.recovered_fraction();
+    let completed_fraction = executed_before_drain.min(trials) as f64 / trials as f64;
+    println!(
+        "serve drain/restart: {trials}-trial job drained after {executed_before_drain} \
+         trials — restart reused {} ({:.0}% recovered vs {:.0}% completed before drain)",
+        resumed.reused,
+        100.0 * recovered_fraction,
+        100.0 * completed_fraction,
+    );
+    assert_eq!(resumed.taxonomy.completed, trials, "restart must finish");
+    assert!(
+        recovered_fraction >= completed_fraction,
+        "drain lost completed work: recovered {recovered_fraction:.2} < completed \
+         {completed_fraction:.2}"
+    );
+
+    record_summary_in(
+        "BENCH_serve.json",
+        "serve_load_generator",
+        &[
+            ("clients", client_threads as f64),
+            ("jobs", (client_threads * jobs_per_client) as f64),
+            ("trials_per_job", trials_per_job as f64),
+            ("sustained_trials_per_sec", sustained),
+            ("p50_submit_latency_ms", p50.as_secs_f64() * 1e3),
+            ("p99_submit_latency_ms", p99.as_secs_f64() * 1e3),
+            ("shed_rate", shed_rate),
+            ("recovered_fraction", recovered_fraction),
+            ("max_pending_trials", limits.max_pending_trials as f64),
+            ("max_pending_jobs", limits.max_pending_jobs as f64),
+            (
+                "burst_max_pending_trials",
+                burst_limits.max_pending_trials as f64,
+            ),
+            (
+                "burst_max_pending_jobs",
+                burst_limits.max_pending_jobs as f64,
+            ),
+        ],
+    );
+}
+
+criterion_group!(benches, serve_bench);
+criterion_main!(benches);

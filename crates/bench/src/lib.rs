@@ -109,7 +109,7 @@ pub mod summary {
     //!
     //! The perf-tracking benches append their mean times and speedup ratios
     //! to small JSON objects at the workspace root, so the perf trajectory
-    //! is tracked from run to run without scraping criterion output. Six
+    //! is tracked from run to run without scraping criterion output. Seven
     //! files share **one schema** (see [`SUMMARY_FILES`]):
     //!
     //! * `BENCH_hot_path.json` — the vertex-protocol engine (`hot_path`);
@@ -125,7 +125,12 @@ pub mod summary {
     //! * `BENCH_robust.json` — the fault-tolerance bench (`robustness`):
     //!   checkpoint overhead at the production cadence (≤ 5% enforced),
     //!   snapshot encode/decode cost, and the killed-sweep manifest
-    //!   recovery fraction.
+    //!   recovery fraction;
+    //! * `BENCH_serve.json` — the sweep-server load generator (`serve`):
+    //!   sustained trials/sec through the TCP stack, p99 submission
+    //!   latency, the shed rate under a 2× overload burst, and the
+    //!   recovered-work fraction across a drain/restart cycle (queue-depth
+    //!   limits stamped alongside).
     //!
     //! Each file holds one entry per bench key, one per line; re-running a
     //! bench replaces its entry and leaves the others intact. Every entry
@@ -144,13 +149,14 @@ pub mod summary {
 
     /// The unified-schema summary documents, in reporting order.
     /// [`combine_summary_files`] merges whichever of them exist.
-    pub const SUMMARY_FILES: [&str; 6] = [
+    pub const SUMMARY_FILES: [&str; 7] = [
         "BENCH_hot_path.json",
         "BENCH_walks.json",
         "BENCH_parallel.json",
         "BENCH_scale.json",
         "BENCH_random.json",
         "BENCH_robust.json",
+        "BENCH_serve.json",
     ];
 
     /// High-water resident set size of this process in bytes (`VmHWM` from
@@ -351,11 +357,28 @@ mod tests {
     }
 
     #[test]
-    fn summary_schema_lists_scale_random_and_robust_as_first_class() {
+    fn summary_schema_lists_scale_random_robust_and_serve_as_first_class() {
         assert!(summary::SUMMARY_FILES.contains(&"BENCH_scale.json"));
         assert!(summary::SUMMARY_FILES.contains(&"BENCH_random.json"));
         assert!(summary::SUMMARY_FILES.contains(&"BENCH_robust.json"));
-        assert_eq!(summary::SUMMARY_FILES.len(), 6);
+        assert!(summary::SUMMARY_FILES.contains(&"BENCH_serve.json"));
+        assert_eq!(summary::SUMMARY_FILES.len(), 7);
+    }
+
+    #[test]
+    fn combine_documents_accepts_serve_entries_with_queue_metadata() {
+        let serve = summary::merge_summary(
+            "",
+            "serve_load_generator",
+            "{\"sustained_trials_per_sec\": 1200.0, \"p99_submit_latency_ms\": 4.0, \
+             \"shed_rate\": 0.4, \"recovered_fraction\": 0.5, \
+             \"max_pending_trials\": 4096, \"max_pending_jobs\": 64, \
+             \"host_logical_cores\": 1, \"peak_rss_bytes\": 1048576}",
+        );
+        let combined = summary::combine_documents(&[&serve]);
+        assert!(combined.contains("\"sustained_trials_per_sec\": 1200.0"));
+        assert!(combined.contains("\"max_pending_jobs\": 64"));
+        assert_eq!(combined.matches("serve_load_generator").count(), 1);
     }
 
     #[test]

@@ -891,6 +891,23 @@ impl SimulationSpec {
             {
                 return Err(SpecError::EdgelessAgentGraph { kind: self.kind });
             }
+            match &self.agents.placement {
+                rumor_walks::Placement::AllAt(v) if *v >= n => {
+                    return Err(SpecError::PlacementOutOfRange {
+                        vertex: *v,
+                        vertices: n,
+                    });
+                }
+                rumor_walks::Placement::Explicit(starts) => {
+                    if let Some(&bad) = starts.iter().find(|&&v| v >= n) {
+                        return Err(SpecError::PlacementOutOfRange {
+                            vertex: bad,
+                            vertices: n,
+                        });
+                    }
+                }
+                _ => {}
+            }
         }
         Ok(())
     }
@@ -938,6 +955,15 @@ pub enum SpecError {
         /// The agent-based protocol that was requested.
         kind: ProtocolKind,
     },
+    /// An explicit agent placement ([`rumor_walks::Placement::AllAt`] or
+    /// [`rumor_walks::Placement::Explicit`]) names a vertex the graph does
+    /// not have.
+    PlacementOutOfRange {
+        /// The offending start vertex.
+        vertex: VertexId,
+        /// The graph's vertex count.
+        vertices: usize,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -959,6 +985,10 @@ impl fmt::Display for SpecError {
             SpecError::EdgelessAgentGraph { kind } => write!(
                 f,
                 "agent protocol {kind} with stationary placement on a graph with no edges"
+            ),
+            SpecError::PlacementOutOfRange { vertex, vertices } => write!(
+                f,
+                "agent placement names vertex {vertex}, out of range for {vertices} vertices"
             ),
         }
     }
@@ -1177,6 +1207,36 @@ mod tests {
             ..AgentConfig::default()
         });
         assert!(spec.validate(&edgeless, 0).is_ok());
+
+        // Explicit placements must name real vertices — previously a
+        // mid-construction panic, now a typed error.
+        let spec = SimulationSpec::new(ProtocolKind::VisitExchange).with_agents(AgentConfig {
+            placement: rumor_walks::Placement::AllAt(8),
+            ..AgentConfig::default()
+        });
+        assert!(matches!(
+            spec.validate(&g, 0),
+            Err(SpecError::PlacementOutOfRange {
+                vertex: 8,
+                vertices: 8
+            })
+        ));
+        let spec = SimulationSpec::new(ProtocolKind::MeetExchange).with_agents(AgentConfig {
+            placement: rumor_walks::Placement::Explicit(vec![0, 3, 11]),
+            ..AgentConfig::default()
+        });
+        assert!(matches!(
+            spec.validate(&g, 0),
+            Err(SpecError::PlacementOutOfRange {
+                vertex: 11,
+                vertices: 8
+            })
+        ));
+        let spec = SimulationSpec::new(ProtocolKind::MeetExchange).with_agents(AgentConfig {
+            placement: rumor_walks::Placement::Explicit(vec![0, 3, 7]),
+            ..AgentConfig::default()
+        });
+        assert!(spec.validate(&g, 0).is_ok());
     }
 
     #[test]

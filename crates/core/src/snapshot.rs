@@ -464,22 +464,15 @@ impl SimSnapshot {
         Self::from_bytes(&std::fs::read(path)?)
     }
 
-    /// Scans `dir` for `*.snap` files and returns the newest (highest
-    /// round) snapshot that decodes cleanly, skipping corrupted or
-    /// truncated files — the crash-recovery entry point. Returns `Ok(None)`
-    /// if the directory is missing or holds no valid snapshot.
+    /// Scans `dir` for checkpoint files (`ckpt-<round>.snap` names only —
+    /// foreign files, including unrelated `*.snap` files, are explicitly
+    /// ignored rather than probed) and returns the newest (highest round)
+    /// snapshot that decodes cleanly, skipping corrupted or truncated
+    /// files — the crash-recovery entry point. Returns `Ok(None)` if the
+    /// directory is missing or holds no valid snapshot.
     pub fn load_newest(dir: &Path) -> Result<Option<Self>, SnapshotError> {
-        let entries = match std::fs::read_dir(dir) {
-            Ok(entries) => entries,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(SnapshotError::Io(e)),
-        };
-        let mut candidates: Vec<PathBuf> = entries
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|ext| ext == "snap"))
-            .collect();
+        let mut candidates = checkpoint_files(dir)?;
         // Zero-padded round numbers: reverse-lexicographic = newest first.
-        candidates.sort_unstable();
         candidates.reverse();
         for path in candidates {
             if let Ok(snap) = Self::load(&path) {
@@ -488,6 +481,68 @@ impl SimSnapshot {
         }
         Ok(None)
     }
+
+    /// Bounded checkpoint retention: deletes all but the newest `keep`
+    /// checkpoint files in `dir`, returning how many were removed. Only
+    /// `ckpt-<round>.snap` names are candidates — foreign files are never
+    /// touched — so a long-running checkpointing process (a server-hosted
+    /// sweep, say) can call this after every successful
+    /// [`SimSnapshot::write_atomic`] without growing disk without bound.
+    /// A missing directory prunes nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep == 0`: retention must never delete the newest
+    /// checkpoint (that would turn "prune after write" into data loss).
+    pub fn prune_checkpoints(dir: &Path, keep: usize) -> Result<usize, SnapshotError> {
+        assert!(keep > 0, "retention must keep at least the newest snapshot");
+        let candidates = checkpoint_files(dir)?;
+        let mut removed = 0usize;
+        for path in candidates.iter().rev().skip(keep) {
+            if std::fs::remove_file(path).is_ok() {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// [`SimSnapshot::write_atomic`] followed by
+    /// [`SimSnapshot::prune_checkpoints`] with `keep` retained snapshots:
+    /// the write happens first, so the prune never reduces the directory
+    /// below its newest valid state.
+    pub fn write_atomic_retained(&self, dir: &Path, keep: usize) -> Result<PathBuf, SnapshotError> {
+        let path = self.write_atomic(dir)?;
+        Self::prune_checkpoints(dir, keep)?;
+        Ok(path)
+    }
+}
+
+/// Whether `name` is a checkpoint file name this module wrote:
+/// `ckpt-<digits>.snap`, nothing else.
+fn is_checkpoint_name(name: &str) -> bool {
+    name.strip_prefix("ckpt-")
+        .and_then(|rest| rest.strip_suffix(".snap"))
+        .is_some_and(|digits| !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()))
+}
+
+/// The checkpoint files of `dir`, sorted ascending (oldest round first).
+/// Missing directory ⇒ empty list.
+fn checkpoint_files(dir: &Path) -> Result<Vec<PathBuf>, SnapshotError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(SnapshotError::Io(e)),
+    };
+    let mut candidates: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(is_checkpoint_name)
+        })
+        .collect();
+    candidates.sort_unstable();
+    Ok(candidates)
 }
 
 fn write_u32_slice(buf: &mut Vec<u8>, items: &[u32]) {
@@ -677,6 +732,69 @@ mod tests {
     fn load_newest_of_missing_dir_is_none() {
         let dir = std::env::temp_dir().join("rumor-snap-test-definitely-missing");
         assert!(SimSnapshot::load_newest(&dir).unwrap().is_none());
+        assert_eq!(SimSnapshot::prune_checkpoints(&dir, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn load_newest_ignores_foreign_files() {
+        let dir = std::env::temp_dir().join(format!("rumor-snap-foreign-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut snap = sample_snapshot();
+        snap.round = 5;
+        snap.write_atomic(&dir).unwrap();
+        // Foreign files that would sort *after* the real checkpoint — a
+        // valid-looking `.snap` without the `ckpt-` prefix, a `ckpt-`
+        // name without digits, and a plain stray file. None of them may
+        // be probed or win over the real checkpoint.
+        let decoy = sample_snapshot(); // decodes cleanly if ever probed
+        std::fs::write(dir.join("zzz-other.snap"), decoy.to_bytes()).unwrap();
+        std::fs::write(dir.join("ckpt-latest.snap"), decoy.to_bytes()).unwrap();
+        std::fs::write(dir.join("ckpt-.snap"), b"junk").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"operator scribbles").unwrap();
+        let newest = SimSnapshot::load_newest(&dir).unwrap().unwrap();
+        assert_eq!(newest.round, 5, "a foreign file shadowed the checkpoint");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_keeps_newest_k_and_spares_foreign_files() {
+        let dir = std::env::temp_dir().join(format!("rumor-snap-retain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for round in [1u64, 2, 3, 4] {
+            let mut snap = sample_snapshot();
+            snap.round = round;
+            snap.write_atomic(&dir).unwrap();
+        }
+        std::fs::write(dir.join("notes.txt"), b"keep me").unwrap();
+        // Retained write: round 5 lands, then only the newest 2 survive.
+        let mut snap = sample_snapshot();
+        snap.round = 5;
+        snap.write_atomic_retained(&dir, 2).unwrap();
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "ckpt-000000000004.snap".to_string(),
+                "ckpt-000000000005.snap".to_string(),
+                "notes.txt".to_string(),
+            ]
+        );
+        // The newest checkpoint is still the one load_newest returns.
+        assert_eq!(SimSnapshot::load_newest(&dir).unwrap().unwrap().round, 5);
+        // Pruning to a larger budget than exists removes nothing.
+        assert_eq!(SimSnapshot::prune_checkpoints(&dir, 10).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "retention must keep")]
+    fn retention_of_zero_panics() {
+        let dir = std::env::temp_dir().join("rumor-snap-zero-keep");
+        let _ = SimSnapshot::prune_checkpoints(&dir, 0);
     }
 
     #[test]

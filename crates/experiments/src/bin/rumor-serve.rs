@@ -1,0 +1,180 @@
+//! `rumor-serve` — the sweep server and its command-line client.
+//!
+//! ```text
+//! rumor-serve serve  [--addr 127.0.0.1:0] [--state-dir DIR] [--workers N]
+//!                    [--max-pending-trials N] [--max-pending-jobs N]
+//!                    [--chunk-rounds N] [--throttle-ms N] [--grace-ms N]
+//! rumor-serve submit --addr HOST:PORT [--client NAME] [--family F] [--n N]
+//!                    [--degree D] [--exponent E] [--topo-seed S]
+//!                    [--protocol P] [--lazy] [--trials T] [--seed S]
+//!                    [--max-rounds R] [--deadline-ms D] [--no-retry]
+//! rumor-serve drain  --addr HOST:PORT
+//! rumor-serve ping   --addr HOST:PORT
+//! ```
+//!
+//! `serve` prints `listening <addr>` once bound (tests parse it to find the
+//! ephemeral port) and exits after a drain. `submit` prints the response
+//! stream line by line and exits non-zero on typed failures.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rumor_experiments::{
+    AdmissionLimits, RetryPolicy, ServeClient, ServeConfig, Server, SubmitRequest, TopologySpec,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: rumor-serve <serve|submit|drain|ping> [options]");
+        return ExitCode::FAILURE;
+    };
+    match command.as_str() {
+        "serve" => cmd_serve(&args[1..]),
+        "submit" => cmd_submit(&args[1..]),
+        "drain" => cmd_drain(&args[1..]),
+        "ping" => cmd_ping(&args[1..]),
+        other => {
+            eprintln!("unknown command {other:?}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls the value of `--flag value` out of an argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    flag_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:0");
+    let mut config = ServeConfig::new().with_workers(parsed(args, "--workers", 0usize));
+    config.limits = AdmissionLimits {
+        max_pending_trials: parsed(args, "--max-pending-trials", 4096usize),
+        max_pending_jobs: parsed(args, "--max-pending-jobs", 64usize),
+    };
+    config.chunk_rounds = parsed(args, "--chunk-rounds", 64u64);
+    config.throttle_ms = parsed(args, "--throttle-ms", 0u64);
+    config.grace = Duration::from_millis(parsed(args, "--grace-ms", 30_000u64));
+    if let Some(dir) = flag_value(args, "--state-dir") {
+        config = config.with_state_dir(PathBuf::from(dir));
+    }
+    let server = match Server::bind(addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Tests and scripts parse this line to find the ephemeral port.
+    println!("listening {}", server.local_addr());
+    match server.run() {
+        Ok(()) => {
+            println!("drained");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn build_request(args: &[String]) -> SubmitRequest {
+    let mut topology = TopologySpec::new(
+        flag_value(args, "--family").unwrap_or("complete"),
+        parsed(args, "--n", 64usize),
+    );
+    topology.degree = parsed(args, "--degree", 8.0f64);
+    topology.exponent = parsed(args, "--exponent", 2.5f64);
+    topology.seed = parsed(args, "--topo-seed", 1u64);
+    let mut request = SubmitRequest::new(
+        flag_value(args, "--client").unwrap_or("cli"),
+        topology,
+        flag_value(args, "--protocol").unwrap_or("push"),
+        parsed(args, "--trials", 8usize),
+    );
+    request.lazy = args.iter().any(|a| a == "--lazy");
+    request.seed = parsed(args, "--seed", 1u64);
+    request.max_rounds = parsed(args, "--max-rounds", 100_000u64);
+    request.deadline_ms = flag_value(args, "--deadline-ms").and_then(|v| v.parse().ok());
+    request
+}
+
+fn client(args: &[String]) -> Option<ServeClient> {
+    let Some(addr) = flag_value(args, "--addr") else {
+        eprintln!("--addr HOST:PORT is required");
+        return None;
+    };
+    let mut client = ServeClient::new(addr);
+    if args.iter().any(|a| a == "--no-retry") {
+        client = client.with_retry(RetryPolicy::none());
+    }
+    Some(client)
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let Some(client) = client(args) else {
+        return ExitCode::FAILURE;
+    };
+    let request = build_request(args);
+    match client.submit(&request) {
+        Ok(result) => {
+            println!(
+                "accepted job={} cached={} duplicate={} reused={}",
+                result.job, result.cached, result.duplicate, result.reused
+            );
+            for line in &result.trial_lines {
+                println!("{line}");
+            }
+            println!("done {}", result.taxonomy);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_drain(args: &[String]) -> ExitCode {
+    let Some(client) = client(args) else {
+        return ExitCode::FAILURE;
+    };
+    match client.drain() {
+        Ok(()) => {
+            println!("draining");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("drain failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_ping(args: &[String]) -> ExitCode {
+    let Some(client) = client(args) else {
+        return ExitCode::FAILURE;
+    };
+    match client.ping() {
+        Ok(()) => {
+            println!("pong");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ping failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

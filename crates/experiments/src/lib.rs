@@ -30,6 +30,7 @@ mod config;
 pub mod experiments;
 mod report;
 mod runner;
+pub mod serve;
 mod sweep;
 
 pub use config::{ExperimentConfig, Scale};
@@ -38,5 +39,9 @@ pub use report::ExperimentReport;
 pub use runner::{
     broadcast_times, run_trials, run_trials_guarded, FaultPlan, GuardedSweep, StopCause,
     TrialOutcome, TrialPolicy, TrialTaxonomy,
+};
+pub use serve::{
+    AdmissionLimits, ClientError, JobResult, RetryPolicy, ServeClient, ServeConfig, ServeStats,
+    Server, ServerHandle, SubmitRequest, TopologySpec,
 };
 pub use sweep::{ProtocolSetup, ScalingSweep, SweepMeasurement, SweepPoint, SweepResult};

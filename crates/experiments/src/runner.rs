@@ -401,15 +401,18 @@ impl GuardedSweep {
 ///
 /// — rewritten whole through a temp-file + atomic rename on every record,
 /// so a reader never observes a half-written file and a crash loses at most
-/// the in-flight trial.
-struct Manifest {
-    path: PathBuf,
-    digest: u64,
-    lines: Vec<Option<String>>,
+/// the in-flight trial. Shared with the serve scheduler (`pub(crate)`),
+/// which records trials one at a time instead of through
+/// [`run_trials_guarded`].
+#[derive(Debug)]
+pub(crate) struct Manifest {
+    pub(crate) path: PathBuf,
+    pub(crate) digest: u64,
+    pub(crate) lines: Vec<Option<String>>,
 }
 
 impl Manifest {
-    fn status_line(index: usize, outcome: &TrialOutcome) -> Option<String> {
+    pub(crate) fn status_line(index: usize, outcome: &TrialOutcome) -> Option<String> {
         let (status, rounds, iv, ia, msgs) = match outcome {
             TrialOutcome::Completed(o) => (
                 "completed",
@@ -451,7 +454,12 @@ impl Manifest {
     /// `completed` / `round-capped` records are reusable (they are full
     /// summaries of deterministic runs); stale manifests (digest mismatch)
     /// and malformed or truncated lines are ignored rather than fatal.
-    fn load(path: &Path, digest: u64, trials: usize, protocol: &str) -> Vec<Option<TrialOutcome>> {
+    pub(crate) fn load(
+        path: &Path,
+        digest: u64,
+        trials: usize,
+        protocol: &str,
+    ) -> Vec<Option<TrialOutcome>> {
         let mut reused = vec![None; trials];
         let Ok(text) = std::fs::read_to_string(path) else {
             return reused;
@@ -509,7 +517,7 @@ impl Manifest {
     }
 
     /// Records one trial outcome and atomically rewrites the file.
-    fn record(&mut self, index: usize, outcome: &TrialOutcome) {
+    pub(crate) fn record(&mut self, index: usize, outcome: &TrialOutcome) {
         self.lines[index] = Manifest::status_line(index, outcome);
         let mut text = format!("RMAN 1\ndigest {:016x}\n", self.digest);
         for line in self.lines.iter().flatten() {

@@ -1,0 +1,445 @@
+//! The `rumor-serve` client library: blocking submission with typed
+//! errors, bounded retry, exponential backoff, and deterministic jitter.
+//!
+//! Retrying a submission is always safe: the job digest excludes the client
+//! name and deadline, so a retry (or a second client running the same
+//! study) lands on the server's manifest/cache and costs no duplicate
+//! work. Backoff doubles per attempt from [`RetryPolicy::base_delay`] and
+//! adds jitter derived from FNV-1a over `(digest, attempt)` — deterministic
+//! per request, decorrelated across concurrent clients.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::runner::TrialTaxonomy;
+use crate::serve::protocol::{fnv1a64, parse_json, Json, SubmitRequest};
+
+/// A typed client-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The server shed the submission (still overloaded after every retry).
+    Overloaded {
+        /// The server's last retry hint.
+        retry_after_ms: u64,
+    },
+    /// The server is draining for shutdown (still draining after every
+    /// retry — retry against the restarted server).
+    Draining,
+    /// The server rejected the spec (not retryable; the message names the
+    /// cause, including panic payloads from failed trials).
+    Rejected(String),
+    /// Transport failure after every retry (connection refused, reset, …).
+    Io(String),
+    /// The server answered with something the protocol does not allow.
+    Protocol(String),
+    /// The submission's deadline expired server-side: `timed_out` trials
+    /// suspended mid-run, `not_run` never started. Returned by
+    /// [`JobResult::ensure_complete`], never by `submit` itself.
+    DeadlineExceeded {
+        /// Trials suspended at their deadline checkpoint.
+        timed_out: usize,
+        /// Trials that never started.
+        not_run: usize,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded (retry after {retry_after_ms} ms)")
+            }
+            ClientError::Draining => write!(f, "server draining"),
+            ClientError::Rejected(m) => write!(f, "submission rejected: {m}"),
+            ClientError::Io(m) => write!(f, "transport failure: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::DeadlineExceeded { timed_out, not_run } => {
+                write!(
+                    f,
+                    "deadline exceeded: {timed_out} timed out, {not_run} not run"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Retry schedule for [`ServeClient::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub max_attempts: u32,
+    /// First backoff delay; doubles per attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// Five attempts, 50 ms base, 2 s ceiling.
+    pub fn new() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+
+    /// No retries: one attempt, fail fast.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Self::new()
+        }
+    }
+
+    /// The wait before `attempt` (0-based) retries a request with this
+    /// digest: `base · 2^attempt + jitter`, capped at `max_delay`. Jitter
+    /// is deterministic in `(digest, attempt)` so tests are reproducible
+    /// while concurrent clients (different digests... or the same digest at
+    /// different attempt counts) stay decorrelated.
+    pub fn backoff(&self, attempt: u32, digest: u64) -> Duration {
+        let base = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+        let jitter_key =
+            fnv1a64(&[digest.to_le_bytes(), u64::from(attempt).to_le_bytes()].concat());
+        let jitter =
+            Duration::from_millis(jitter_key % (self.base_delay.as_millis().max(1) as u64));
+        (base + jitter).min(self.max_delay)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The parsed result of one accepted submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// The job digest (hex) echoed by the server.
+    pub job: String,
+    /// Raw per-trial result lines, in trial-index order — byte-identical
+    /// across live, recovered, duplicate, and cached streams.
+    pub trial_lines: Vec<String>,
+    /// Outcome taxonomy from the `done` line.
+    pub taxonomy: TrialTaxonomy,
+    /// Trials recovered from a manifest (or the whole sweep, when cached).
+    pub reused: usize,
+    /// Whether the server answered from its result cache.
+    pub cached: bool,
+    /// Whether the server attached this submission to an identical job
+    /// already in flight.
+    pub duplicate: bool,
+}
+
+impl JobResult {
+    /// Fraction of trials the server reused instead of re-running.
+    pub fn recovered_fraction(&self) -> f64 {
+        let total = self.taxonomy.completed
+            + self.taxonomy.round_capped
+            + self.taxonomy.timed_out
+            + self.taxonomy.panicked
+            + self.taxonomy.not_run;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused as f64 / total as f64
+        }
+    }
+
+    /// Errors with the typed deadline taxonomy if any trial timed out or
+    /// never ran.
+    pub fn ensure_complete(&self) -> Result<&Self, ClientError> {
+        if self.taxonomy.timed_out > 0 || self.taxonomy.not_run > 0 {
+            return Err(ClientError::DeadlineExceeded {
+                timed_out: self.taxonomy.timed_out,
+                not_run: self.taxonomy.not_run,
+            });
+        }
+        Ok(self)
+    }
+}
+
+/// A blocking client for one `rumor-serve` endpoint.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    addr: String,
+    retry: RetryPolicy,
+}
+
+impl ServeClient {
+    /// A client with the default retry policy.
+    pub fn new(addr: &str) -> Self {
+        ServeClient {
+            addr: addr.to_string(),
+            retry: RetryPolicy::new(),
+        }
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Submits a sweep and blocks until its result stream completes,
+    /// retrying shed/draining/transport failures with exponential backoff
+    /// and deterministic jitter. Duplicate submissions are free server-side
+    /// (digest-keyed cache/manifest), so retries never duplicate work.
+    pub fn submit(&self, request: &SubmitRequest) -> Result<JobResult, ClientError> {
+        let digest = request.digest();
+        let mut last = ClientError::Io("no attempt made".to_string());
+        for attempt in 0..self.retry.max_attempts {
+            match self.submit_once(request) {
+                Ok(result) => return Ok(result),
+                Err(e @ (ClientError::Rejected(_) | ClientError::Protocol(_))) => return Err(e),
+                Err(retryable) => {
+                    let mut wait = self.retry.backoff(attempt, digest);
+                    if let ClientError::Overloaded { retry_after_ms } = &retryable {
+                        wait = wait.max(Duration::from_millis(*retry_after_ms));
+                    }
+                    last = retryable;
+                    if attempt + 1 < self.retry.max_attempts {
+                        std::thread::sleep(wait);
+                    }
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// One submission attempt, no retry.
+    pub fn submit_once(&self, request: &SubmitRequest) -> Result<JobResult, ClientError> {
+        let io = |e: std::io::Error| ClientError::Io(e.to_string());
+        let stream = TcpStream::connect(&self.addr).map_err(io)?;
+        stream.set_nodelay(true).ok();
+        let mut writer = stream.try_clone().map_err(io)?;
+        writeln!(writer, "{}", request.to_line()).map_err(io)?;
+        let mut reader = BufReader::new(stream);
+
+        let header = read_value(&mut reader)?;
+        let kind = header
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ClientError::Protocol("untyped response line".to_string()))?;
+        match kind {
+            "overloaded" => {
+                return Err(ClientError::Overloaded {
+                    retry_after_ms: header
+                        .get("retry_after_ms")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(100),
+                })
+            }
+            "draining" => return Err(ClientError::Draining),
+            "error" => {
+                return Err(ClientError::Rejected(
+                    header
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unspecified")
+                        .to_string(),
+                ))
+            }
+            "accepted" => {}
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected accepted, got {other:?}"
+                )))
+            }
+        }
+        let mut result = JobResult {
+            job: header
+                .get("job")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            trial_lines: Vec::new(),
+            taxonomy: TrialTaxonomy::default(),
+            reused: 0,
+            cached: header
+                .get("cached")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            duplicate: header
+                .get("duplicate")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        };
+        loop {
+            let mut raw = String::new();
+            let n = reader.read_line(&mut raw).map_err(io)?;
+            if n == 0 {
+                return Err(ClientError::Io(
+                    "connection closed before done line".to_string(),
+                ));
+            }
+            let raw = raw.trim_end().to_string();
+            let value = parse_json(&raw).map_err(ClientError::Protocol)?;
+            match value.get("type").and_then(Json::as_str) {
+                Some("trial") => result.trial_lines.push(raw),
+                Some("draining") => return Err(ClientError::Draining),
+                Some("done") => {
+                    let count =
+                        |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0) as usize;
+                    result.taxonomy = TrialTaxonomy {
+                        completed: count("completed"),
+                        round_capped: count("round_capped"),
+                        timed_out: count("timed_out"),
+                        panicked: count("panicked"),
+                        not_run: count("not_run"),
+                    };
+                    result.reused = count("reused");
+                    result.cached |= value.get("cached").and_then(Json::as_bool).unwrap_or(false);
+                    return Ok(result);
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected stream line type {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Sends a `drain` request; `Ok` once the server acknowledges.
+    pub fn drain(&self) -> Result<(), ClientError> {
+        let value = self.roundtrip("{\"verb\":\"drain\"}")?;
+        match value.get("type").and_then(Json::as_str) {
+            Some("draining") => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected draining, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        let value = self.roundtrip("{\"verb\":\"ping\"}")?;
+        match value.get("type").and_then(Json::as_str) {
+            Some("pong") => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches server counters: `(executed, shed, cache_hits,
+    /// duplicate_hits, pending_trials, pending_jobs)`.
+    pub fn stats(&self) -> Result<(u64, u64, u64, u64, u64, u64), ClientError> {
+        let value = self.roundtrip("{\"verb\":\"stats\"}")?;
+        if value.get("type").and_then(Json::as_str) != Some("stats") {
+            return Err(ClientError::Protocol("expected stats".to_string()));
+        }
+        let count = |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0);
+        Ok((
+            count("executed"),
+            count("shed"),
+            count("cache_hits"),
+            count("duplicate_hits"),
+            count("pending_trials"),
+            count("pending_jobs"),
+        ))
+    }
+
+    fn roundtrip(&self, line: &str) -> Result<Json, ClientError> {
+        let io = |e: std::io::Error| ClientError::Io(e.to_string());
+        let stream = TcpStream::connect(&self.addr).map_err(io)?;
+        let mut writer = stream.try_clone().map_err(io)?;
+        writeln!(writer, "{line}").map_err(io)?;
+        read_value(&mut BufReader::new(stream))
+    }
+}
+
+fn read_value(reader: &mut BufReader<TcpStream>) -> Result<Json, ClientError> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+    if n == 0 {
+        return Err(ClientError::Io("connection closed".to_string()));
+    }
+    parse_json(line.trim_end()).map_err(ClientError::Protocol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_is_jittered_and_caps() {
+        let policy = RetryPolicy::new();
+        let a0 = policy.backoff(0, 7);
+        let a1 = policy.backoff(1, 7);
+        let a5 = policy.backoff(10, 7);
+        assert!(a1 > a0, "backoff must grow: {a0:?} vs {a1:?}");
+        assert_eq!(a5, policy.max_delay, "backoff must cap");
+        // Deterministic…
+        assert_eq!(policy.backoff(0, 7), a0);
+        // …but decorrelated across digests.
+        assert_ne!(policy.backoff(0, 7), policy.backoff(0, 8));
+        // Attempt counts beyond the shift width saturate instead of
+        // wrapping.
+        assert_eq!(policy.backoff(40, 7), policy.max_delay);
+    }
+
+    #[test]
+    fn deadline_taxonomy_is_a_typed_error() {
+        let result = JobResult {
+            job: "0".to_string(),
+            trial_lines: Vec::new(),
+            taxonomy: TrialTaxonomy {
+                completed: 2,
+                timed_out: 1,
+                not_run: 1,
+                ..TrialTaxonomy::default()
+            },
+            reused: 1,
+            cached: false,
+            duplicate: false,
+        };
+        assert_eq!(
+            result.ensure_complete(),
+            Err(ClientError::DeadlineExceeded {
+                timed_out: 1,
+                not_run: 1
+            })
+        );
+        assert!((result.recovered_fraction() - 0.25).abs() < 1e-12);
+        let clean = JobResult {
+            taxonomy: TrialTaxonomy {
+                completed: 4,
+                ..TrialTaxonomy::default()
+            },
+            ..result
+        };
+        assert!(clean.ensure_complete().is_ok());
+    }
+
+    #[test]
+    fn connection_refused_is_a_typed_io_error_after_retries() {
+        // Port 1 on localhost: reliably refused, so the retry loop runs to
+        // exhaustion and surfaces Io — quickly, with a fail-fast policy.
+        let client = ServeClient::new("127.0.0.1:1").with_retry(RetryPolicy {
+            max_attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+        });
+        let request = SubmitRequest::new(
+            "t",
+            crate::serve::protocol::TopologySpec::new("star", 8),
+            "push",
+            1,
+        );
+        match client.submit(&request) {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

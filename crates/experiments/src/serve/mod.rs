@@ -1,0 +1,45 @@
+//! Simulation-as-a-service: the `rumor-serve` server and client library.
+//!
+//! A std-only (blocking TCP, thread-per-core — the vendored-deps rule
+//! forbids an async runtime) long-running server that accepts
+//! newline-delimited JSON sweep submissions, validates them through
+//! [`rumor_core::SimulationSpec::validate`], runs them on a shared worker
+//! pool with **per-client round-robin fairness**, and streams one result
+//! line per trial back. Robustness is mechanical, not best-effort:
+//!
+//! * **Admission control + load shedding** — a bounded submission queue
+//!   ([`AdmissionLimits`]); past it, submissions get a typed
+//!   `overloaded {retry_after_ms}` rejection instead of queueing without
+//!   bound ([`shed`]).
+//! * **Per-request deadlines** — a submission's optional `deadline_ms` is
+//!   enforced at chunk cadence: running trials suspend into the existing
+//!   `TrialOutcome::TimedOut` taxonomy, unclaimed ones report `NotRun`, and
+//!   the connection always terminates with a typed line — never a hang.
+//! * **Graceful degradation + shutdown** — a `drain` request stops
+//!   admission, lets in-flight trials finish or checkpoint (PR 6 snapshot
+//!   sink), and exits. Hard kills (`SIGKILL`/`SIGTERM` — this crate forbids
+//!   `unsafe`, so no in-process signal handler) are crash-equivalent by
+//!   design: every finished trial is already in a digest-keyed manifest
+//!   written through atomic renames, so a restarted server loses **zero
+//!   completed trials**.
+//! * **Client-side resilience** — [`ServeClient`] retries shed, draining,
+//!   and transport failures with exponential backoff plus deterministic
+//!   jitter; submissions are idempotent (digest-keyed), so retries are free
+//!   cache/manifest hits.
+//! * **Result cache** — a spec-digest → result cache answers duplicate
+//!   submissions in O(1) with byte-identical trial lines.
+//!
+//! See the README's *Serving* section for the wire protocol and
+//! operational guarantees, and `rumor-serve --help` for the binary.
+
+pub mod client;
+pub mod protocol;
+mod scheduler;
+mod server;
+pub mod shed;
+
+pub use client::{ClientError, JobResult, RetryPolicy, ServeClient};
+pub use protocol::{SubmitRequest, TopologySpec};
+pub use scheduler::{ServeConfig, ServeStats};
+pub use server::{Server, ServerHandle};
+pub use shed::AdmissionLimits;

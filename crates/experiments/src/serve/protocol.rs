@@ -1,0 +1,741 @@
+//! The `rumor-serve` wire protocol: newline-delimited JSON over TCP.
+//!
+//! The workspace's `serde` is a vendored no-op facade (marker traits only),
+//! so the wire layer is hand-rolled: a strict parser for a small JSON value
+//! type ([`Json`]) plus line builders with **fixed field order**, which is
+//! what makes result lines byte-identical across live execution, manifest
+//! recovery, and cache replay.
+//!
+//! One request line per connection, a stream of response lines back:
+//!
+//! ```text
+//! → {"verb":"submit","client":"alice","topology":{"family":"complete","n":64},
+//!    "protocol":"push","trials":8,"seed":1,"max_rounds":100000}
+//! ← {"type":"accepted","job":"a1b2c3d4e5f60718","trials":8,"cached":false,"duplicate":false}
+//! ← {"type":"trial","index":0,"status":"completed","rounds":9,"iv":64,"ia":0,"msgs":230}
+//! ← …one line per trial, in trial-index order…
+//! ← {"type":"done","job":"a1b2c3d4e5f60718","completed":8,"round_capped":0,
+//!    "timed_out":0,"panicked":0,"not_run":0,"reused":0,"cached":false}
+//! ```
+//!
+//! Overload, drain, and validation failures answer with a single typed line
+//! (`overloaded`, `draining`, `error`) and close the connection — a request
+//! never hangs.
+
+use std::collections::BTreeMap;
+
+use rumor_core::{ProtocolKind, SimulationSpec};
+use rumor_graphs::{AnyTopology, GeneratedGraph, ImplicitGraph};
+
+use crate::runner::TrialOutcome;
+
+// ---------------------------------------------------------------------------
+// JSON values
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (the subset the protocol uses; no exponent-heavy
+/// float edge cases beyond what `f64::from_str` accepts).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal (kept exact so `u64` seeds survive the wire).
+    Int(i128),
+    /// A non-integer number literal.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object (sorted keys; duplicate keys keep the last value).
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document, rejecting trailing garbage.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if is_float {
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    } else {
+        text.parse::<i128>()
+            .map(Json::Int)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        // Surrogate pairs are not needed by this protocol;
+                        // lone surrogates map to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".to_string()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err("expected ',' or ']'".to_string()),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err("expected object key".to_string());
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err("expected ':'".to_string());
+        }
+        *pos += 1;
+        map.insert(key, parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            _ => return Err("expected ',' or '}'".to_string()),
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON line.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// The topology half of a submission: a named family plus its parameters.
+///
+/// Families map onto the workspace's cheap backends — implicit graphs for
+/// the paper's structured families, the seed-keyed generated backend for
+/// random ones — so a submission never ships an edge list over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySpec {
+    /// Family name: `complete`, `star`, `double-star`, `path`, `cycle`,
+    /// `hypercube` (where `n` is the dimension), `gnp`, or `chung-lu`.
+    pub family: String,
+    /// Vertex-count parameter (leaves for the star families, dimension for
+    /// `hypercube`).
+    pub n: usize,
+    /// Target mean degree (`gnp`, `chung-lu` only).
+    pub degree: f64,
+    /// Power-law exponent (`chung-lu` only).
+    pub exponent: f64,
+    /// Topology seed (`gnp`, `chung-lu` only).
+    pub seed: u64,
+}
+
+impl TopologySpec {
+    /// A spec for one of the parameter-free families.
+    pub fn new(family: &str, n: usize) -> Self {
+        TopologySpec {
+            family: family.to_string(),
+            n,
+            degree: 8.0,
+            exponent: 2.5,
+            seed: 1,
+        }
+    }
+
+    /// Builds the topology, choosing the cheapest backend for the family.
+    pub fn build(&self) -> Result<AnyTopology, String> {
+        let fail = |e: rumor_graphs::GraphError| format!("topology {}: {e}", self.family);
+        match self.family.as_str() {
+            "complete" => ImplicitGraph::complete(self.n)
+                .map(AnyTopology::from)
+                .map_err(fail),
+            "star" => ImplicitGraph::star(self.n)
+                .map(AnyTopology::from)
+                .map_err(fail),
+            "double-star" => ImplicitGraph::double_star(self.n)
+                .map(AnyTopology::from)
+                .map_err(fail),
+            "path" => ImplicitGraph::path(self.n)
+                .map(AnyTopology::from)
+                .map_err(fail),
+            "cycle" => ImplicitGraph::cycle(self.n)
+                .map(AnyTopology::from)
+                .map_err(fail),
+            "hypercube" => u32::try_from(self.n)
+                .map_err(|_| "hypercube dimension out of range".to_string())
+                .and_then(|dim| ImplicitGraph::hypercube(dim).map_err(fail))
+                .map(AnyTopology::from),
+            "gnp" => GeneratedGraph::gnp_with_mean_degree(self.n, self.degree, self.seed)
+                .map(AnyTopology::from)
+                .map_err(fail),
+            "chung-lu" => GeneratedGraph::chung_lu(self.n, self.exponent, self.degree, self.seed)
+                .map(AnyTopology::from)
+                .map_err(fail),
+            other => Err(format!("unknown topology family {other:?}")),
+        }
+    }
+
+    fn canonical(&self) -> String {
+        format!(
+            "{}:{}:{}:{}:{}",
+            self.family, self.n, self.degree, self.exponent, self.seed
+        )
+    }
+}
+
+/// One sweep submission: what to run, how many trials, and under which
+/// budgets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Client name — the fairness unit for the scheduler's round-robin.
+    /// Excluded from the job digest, so identical specs from different
+    /// clients share one execution.
+    pub client: String,
+    /// The graph to run on.
+    pub topology: TopologySpec,
+    /// Protocol name (see [`ProtocolKind::from_name`]).
+    pub protocol: String,
+    /// Lazy agent walks (the paper's bipartite remedy); `adapted_to` is
+    /// applied server-side regardless.
+    pub lazy: bool,
+    /// Number of trials (seeds `seed, seed+1, …`).
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Round cap per trial.
+    pub max_rounds: u64,
+    /// Optional wall-clock budget for the whole submission, enforced at
+    /// chunk cadence: expired mid-trial suspends into
+    /// [`TrialOutcome::TimedOut`], unclaimed trials report
+    /// [`TrialOutcome::NotRun`]. Excluded from the job digest.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SubmitRequest {
+    /// A submission with the default budgets: no deadline, 100k-round cap.
+    pub fn new(client: &str, topology: TopologySpec, protocol: &str, trials: usize) -> Self {
+        SubmitRequest {
+            client: client.to_string(),
+            topology,
+            protocol: protocol.to_string(),
+            lazy: false,
+            trials,
+            seed: 1,
+            max_rounds: 100_000,
+            deadline_ms: None,
+        }
+    }
+
+    /// The idempotency key: FNV-1a-64 over the canonical job description,
+    /// **excluding** the client name and the deadline — so a retry, or the
+    /// same study submitted by a second client, is a cache or manifest hit
+    /// rather than a re-execution.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(
+            format!(
+                "serve1:{}:{}:{}:{}:{}:{}",
+                self.topology.canonical(),
+                self.protocol,
+                self.lazy,
+                self.trials,
+                self.seed,
+                self.max_rounds
+            )
+            .as_bytes(),
+        )
+    }
+
+    /// Builds the validated simulation spec for this request (topology must
+    /// be built by the caller; validation needs the graph).
+    pub fn to_spec(&self) -> Result<SimulationSpec, String> {
+        let kind = ProtocolKind::from_name(&self.protocol)
+            .ok_or_else(|| format!("unknown protocol {:?}", self.protocol))?;
+        let mut spec = SimulationSpec::new(kind)
+            .with_seed(self.seed)
+            .with_max_rounds(self.max_rounds);
+        if self.lazy {
+            spec = spec.with_agents(rumor_core::AgentConfig::default().lazy());
+        }
+        Ok(spec)
+    }
+
+    /// Renders the request as its wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut line = format!(
+            "{{\"verb\":\"submit\",\"client\":\"{}\",\"topology\":{{\"family\":\"{}\",\"n\":{},\"degree\":{},\"exponent\":{},\"seed\":{}}},\"protocol\":\"{}\",\"lazy\":{},\"trials\":{},\"seed\":{},\"max_rounds\":{}",
+            escape_json(&self.client),
+            escape_json(&self.topology.family),
+            self.topology.n,
+            self.topology.degree,
+            self.topology.exponent,
+            self.topology.seed,
+            escape_json(&self.protocol),
+            self.lazy,
+            self.trials,
+            self.seed,
+            self.max_rounds,
+        );
+        if let Some(deadline) = self.deadline_ms {
+            line.push_str(&format!(",\"deadline_ms\":{deadline}"));
+        }
+        line.push('}');
+        line
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a sweep.
+    Submit(SubmitRequest),
+    /// Liveness probe.
+    Ping,
+    /// Begin a graceful drain: stop admission, finish or checkpoint
+    /// in-flight work, then exit.
+    Drain,
+    /// Server counters (executed/shed/cache hits/queue depth).
+    Stats,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = parse_json(line)?;
+    let verb = value
+        .get("verb")
+        .and_then(Json::as_str)
+        .ok_or("missing \"verb\"")?;
+    match verb {
+        "ping" => Ok(Request::Ping),
+        "drain" => Ok(Request::Drain),
+        "stats" => Ok(Request::Stats),
+        "submit" => {
+            let topo = value.get("topology").ok_or("missing \"topology\"")?;
+            let topology = TopologySpec {
+                family: topo
+                    .get("family")
+                    .and_then(Json::as_str)
+                    .ok_or("missing topology family")?
+                    .to_string(),
+                n: topo
+                    .get("n")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing topology n")? as usize,
+                degree: topo.get("degree").and_then(Json::as_f64).unwrap_or(8.0),
+                exponent: topo.get("exponent").and_then(Json::as_f64).unwrap_or(2.5),
+                seed: topo.get("seed").and_then(Json::as_u64).unwrap_or(1),
+            };
+            let trials = value
+                .get("trials")
+                .and_then(Json::as_u64)
+                .ok_or("missing \"trials\"")? as usize;
+            if trials == 0 {
+                return Err("trials must be positive".to_string());
+            }
+            Ok(Request::Submit(SubmitRequest {
+                client: value
+                    .get("client")
+                    .and_then(Json::as_str)
+                    .unwrap_or("anonymous")
+                    .to_string(),
+                topology,
+                protocol: value
+                    .get("protocol")
+                    .and_then(Json::as_str)
+                    .ok_or("missing \"protocol\"")?
+                    .to_string(),
+                lazy: value.get("lazy").and_then(Json::as_bool).unwrap_or(false),
+                trials,
+                seed: value.get("seed").and_then(Json::as_u64).unwrap_or(1),
+                max_rounds: value
+                    .get("max_rounds")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(100_000),
+                deadline_ms: value.get("deadline_ms").and_then(Json::as_u64),
+            }))
+        }
+        other => Err(format!("unknown verb {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response lines
+// ---------------------------------------------------------------------------
+
+/// The `accepted` line opening a submission's response stream.
+pub fn accepted_line(digest: u64, trials: usize, cached: bool, duplicate: bool) -> String {
+    format!(
+        "{{\"type\":\"accepted\",\"job\":\"{digest:016x}\",\"trials\":{trials},\"cached\":{cached},\"duplicate\":{duplicate}}}"
+    )
+}
+
+/// One trial's result line. Field order is fixed and the fields are exactly
+/// those that survive a manifest round-trip, so live, recovered, and cached
+/// streams are byte-identical.
+pub fn trial_line(index: usize, outcome: &TrialOutcome) -> String {
+    match outcome {
+        TrialOutcome::Completed(o) => format!(
+            "{{\"type\":\"trial\",\"index\":{index},\"status\":\"completed\",\"rounds\":{},\"iv\":{},\"ia\":{},\"msgs\":{}}}",
+            o.rounds, o.informed_vertices, o.informed_agents, o.total_messages
+        ),
+        TrialOutcome::RoundCapped(o) => format!(
+            "{{\"type\":\"trial\",\"index\":{index},\"status\":\"round-capped\",\"rounds\":{},\"iv\":{},\"ia\":{},\"msgs\":{}}}",
+            o.rounds, o.informed_vertices, o.informed_agents, o.total_messages
+        ),
+        TrialOutcome::TimedOut {
+            round,
+            informed_vertices,
+            informed_agents,
+            messages,
+        } => format!(
+            "{{\"type\":\"trial\",\"index\":{index},\"status\":\"timed-out\",\"rounds\":{round},\"iv\":{informed_vertices},\"ia\":{informed_agents},\"msgs\":{messages}}}"
+        ),
+        TrialOutcome::Panicked { message, attempts } => format!(
+            "{{\"type\":\"trial\",\"index\":{index},\"status\":\"panicked\",\"attempts\":{attempts},\"message\":\"{}\"}}",
+            escape_json(message)
+        ),
+        TrialOutcome::NotRun => {
+            format!("{{\"type\":\"trial\",\"index\":{index},\"status\":\"not-run\"}}")
+        }
+    }
+}
+
+/// The terminal `done` line of a submission's response stream.
+#[allow(clippy::too_many_arguments)]
+pub fn done_line(
+    digest: u64,
+    completed: usize,
+    round_capped: usize,
+    timed_out: usize,
+    panicked: usize,
+    not_run: usize,
+    reused: usize,
+    cached: bool,
+) -> String {
+    format!(
+        "{{\"type\":\"done\",\"job\":\"{digest:016x}\",\"completed\":{completed},\"round_capped\":{round_capped},\"timed_out\":{timed_out},\"panicked\":{panicked},\"not_run\":{not_run},\"reused\":{reused},\"cached\":{cached}}}"
+    )
+}
+
+/// The typed load-shed rejection line.
+pub fn overloaded_line(retry_after_ms: u64) -> String {
+    format!("{{\"type\":\"overloaded\",\"retry_after_ms\":{retry_after_ms}}}")
+}
+
+/// The drain notification line (sent both as the answer to a `drain` verb
+/// and as the terminal line of streams cut short by a drain).
+pub fn draining_line() -> String {
+    "{\"type\":\"draining\"}".to_string()
+}
+
+/// A fatal per-request error line (validation failure, bad verb, …).
+pub fn error_line(message: &str) -> String {
+    format!(
+        "{{\"type\":\"error\",\"message\":\"{}\"}}",
+        escape_json(message)
+    )
+}
+
+/// FNV-1a 64-bit — the workspace's standing digest primitive (snapshot
+/// checksums, spec digests), reused for job idempotency keys and client
+/// retry jitter.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::BroadcastOutcome;
+
+    #[test]
+    fn json_round_trips_the_submit_line() {
+        let mut request = SubmitRequest::new("alice", TopologySpec::new("complete", 64), "push", 8);
+        request.deadline_ms = Some(1500);
+        let line = request.to_line();
+        match parse_request(&line).unwrap() {
+            Request::Submit(parsed) => assert_eq!(parsed, request),
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage_and_trailing_bytes() {
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("{\"verb\" \"submit\"}").is_err());
+        assert!(parse_request("{\"verb\":\"explode\"}").is_err());
+        assert!(parse_request("{\"verb\":\"submit\"}").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_numbers() {
+        let v =
+            parse_json(r#"{"s":"a\"b\nA","i":-3,"f":1.5,"b":true,"x":null,"a":[1,2]}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("a\"b\nA"));
+        assert_eq!(v.get("i"), Some(&Json::Int(-3)));
+        assert_eq!(v.get("f").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("x"), Some(&Json::Null));
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Array(vec![Json::Int(1), Json::Int(2)]))
+        );
+        // u64 seeds survive exactly.
+        let big = parse_json(&format!("{{\"seed\":{}}}", u64::MAX)).unwrap();
+        assert_eq!(big.get("seed").and_then(Json::as_u64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn digest_ignores_client_and_deadline() {
+        let a = SubmitRequest::new("alice", TopologySpec::new("star", 32), "push", 4);
+        let mut b = SubmitRequest::new("bob", TopologySpec::new("star", 32), "push", 4);
+        b.deadline_ms = Some(10);
+        assert_eq!(a.digest(), b.digest());
+        let c = SubmitRequest::new("alice", TopologySpec::new("star", 33), "push", 4);
+        assert_ne!(a.digest(), c.digest());
+        let d = SubmitRequest::new("alice", TopologySpec::new("star", 32), "pull", 4);
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn topology_families_build_on_the_cheap_backends() {
+        assert!(TopologySpec::new("complete", 16).build().is_ok());
+        assert!(TopologySpec::new("star", 16).build().is_ok());
+        assert!(TopologySpec::new("double-star", 16).build().is_ok());
+        assert!(TopologySpec::new("cycle", 16).build().is_ok());
+        assert!(TopologySpec::new("path", 16).build().is_ok());
+        assert!(TopologySpec::new("hypercube", 4).build().is_ok());
+        assert!(TopologySpec::new("gnp", 64).build().is_ok());
+        assert!(TopologySpec::new("chung-lu", 64).build().is_ok());
+        assert!(TopologySpec::new("torus", 64).build().is_err());
+        // Structured families land on the implicit backend.
+        let star = TopologySpec::new("star", 1_000_000).build().unwrap();
+        assert!(star.memory_bytes() < 100);
+    }
+
+    #[test]
+    fn trial_lines_are_stable() {
+        let outcome = TrialOutcome::Completed(BroadcastOutcome {
+            protocol: "push".to_string(),
+            rounds: 9,
+            completed: true,
+            informed_vertices: 64,
+            informed_agents: 0,
+            total_messages: 230,
+            history: Vec::new(),
+            edge_traffic: None,
+        });
+        assert_eq!(
+            trial_line(3, &outcome),
+            "{\"type\":\"trial\",\"index\":3,\"status\":\"completed\",\"rounds\":9,\"iv\":64,\"ia\":0,\"msgs\":230}"
+        );
+        let panicked = TrialOutcome::Panicked {
+            message: "boom \"quoted\"".to_string(),
+            attempts: 2,
+        };
+        let line = trial_line(0, &panicked);
+        assert!(line.contains("\\\"quoted\\\""), "line: {line}");
+        // Every response line parses back.
+        for line in [
+            trial_line(0, &outcome),
+            trial_line(0, &panicked),
+            trial_line(0, &TrialOutcome::NotRun),
+            accepted_line(7, 4, false, true),
+            done_line(7, 4, 0, 0, 0, 0, 2, false),
+            overloaded_line(250),
+            draining_line(),
+            error_line("bad \"spec\""),
+        ] {
+            parse_json(&line).unwrap_or_else(|e| panic!("unparseable line {line}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! The blocking TCP front of `rumor-serve`: one accept-poll loop, one
+//! handler thread per connection, no async runtime (vendored-deps
+//! constraint — std only).
+//!
+//! Every connection carries exactly one request line and receives a typed
+//! response stream (see [`crate::serve::protocol`]). The accept loop polls a
+//! non-blocking listener so a `drain` request can stop admission and let
+//! the process exit without signal handling (the crate forbids `unsafe`, so
+//! `SIGTERM` cannot be trapped in-process; kill-safety comes from the
+//! scheduler's atomic manifests and checkpoints instead — see the module
+//! docs of [`crate::serve`]).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::serve::protocol::{
+    accepted_line, done_line, draining_line, error_line, overloaded_line, parse_request, Request,
+};
+use crate::serve::scheduler::{Scheduler, ServeConfig, ServeStats, Submission};
+
+/// A running serve instance: listener + scheduler.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    scheduler: Arc<Scheduler>,
+    connections: Arc<AtomicUsize>,
+}
+
+/// A cheap handle onto a running [`Server`] for in-process control
+/// (tests, benches): counters and programmatic drain.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    scheduler: Arc<Scheduler>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current scheduler counters.
+    pub fn stats(&self) -> ServeStats {
+        self.scheduler.stats()
+    }
+
+    /// Requests a graceful drain, as if a `drain` verb had arrived.
+    pub fn drain(&self) {
+        self.scheduler.begin_drain();
+    }
+}
+
+impl Server {
+    /// Binds the listener (use port 0 for an ephemeral port) and starts the
+    /// worker pool.
+    pub fn bind(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            scheduler: Arc::new(Scheduler::start(config)),
+            connections: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// The bound address (after an ephemeral-port bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A control handle that outlives `run`.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            scheduler: Arc::clone(&self.scheduler),
+            addr: self.addr,
+        }
+    }
+
+    /// Serves until drained: accepts connections, spawning one handler
+    /// thread per connection, and returns once a drain request has stopped
+    /// admission, in-flight work has finished or checkpointed, and open
+    /// connections have unwound (bounded by the configured grace).
+    pub fn run(self) -> std::io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let scheduler = Arc::clone(&self.scheduler);
+                    let connections = Arc::clone(&self.connections);
+                    connections.fetch_add(1, Ordering::SeqCst);
+                    std::thread::spawn(move || {
+                        let _ = handle_connection(stream, &scheduler);
+                        connections.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if self.scheduler.draining() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: workers finish or checkpoint their current trial, every
+        // unfinished feed is terminated, then connection threads unwind.
+        self.scheduler.finish_drain();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(stream: TcpStream, scheduler: &Scheduler) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let request = match parse_request(line.trim_end()) {
+        Ok(request) => request,
+        Err(message) => {
+            writeln!(writer, "{}", error_line(&message))?;
+            return Ok(());
+        }
+    };
+    match request {
+        Request::Ping => writeln!(writer, "{{\"type\":\"pong\"}}"),
+        Request::Drain => {
+            scheduler.begin_drain();
+            writeln!(writer, "{}", draining_line())
+        }
+        Request::Stats => {
+            let stats = scheduler.stats();
+            writeln!(
+                writer,
+                "{{\"type\":\"stats\",\"executed\":{},\"shed\":{},\"cache_hits\":{},\"duplicate_hits\":{},\"pending_trials\":{},\"pending_jobs\":{}}}",
+                stats.trials_executed,
+                stats.shed,
+                stats.cache_hits,
+                stats.duplicate_hits,
+                stats.pending_trials,
+                stats.pending_jobs,
+            )
+        }
+        Request::Submit(request) => {
+            let trials = request.trials;
+            match scheduler.submit(request) {
+                Submission::Rejected(message) => writeln!(writer, "{}", error_line(&message)),
+                Submission::Draining => writeln!(writer, "{}", draining_line()),
+                Submission::Overloaded { retry_after_ms } => {
+                    writeln!(writer, "{}", overloaded_line(retry_after_ms))
+                }
+                Submission::Cached(cached) => stream_cached(&mut writer, trials, &cached),
+                Submission::Attached { job, duplicate } => {
+                    writeln!(
+                        writer,
+                        "{}",
+                        accepted_line(job.digest, trials, false, duplicate)
+                    )?;
+                    let mut sent = 0usize;
+                    loop {
+                        let (lines, finished, drained) = job.wait_lines(sent);
+                        sent += lines.len();
+                        for line in lines {
+                            writeln!(writer, "{line}")?;
+                        }
+                        if drained {
+                            writeln!(writer, "{}", draining_line())?;
+                            break;
+                        }
+                        if finished {
+                            let tax = job.taxonomy();
+                            writeln!(
+                                writer,
+                                "{}",
+                                done_line(
+                                    job.digest,
+                                    tax.completed,
+                                    tax.round_capped,
+                                    tax.timed_out,
+                                    tax.panicked,
+                                    tax.not_run,
+                                    job.reused,
+                                    false,
+                                )
+                            )?;
+                            break;
+                        }
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+fn stream_cached(
+    writer: &mut TcpStream,
+    trials: usize,
+    cached: &crate::serve::scheduler::CachedJob,
+) -> std::io::Result<()> {
+    // Cached replay: identical trial lines, `cached:true` bookkeeping, and
+    // the whole sweep counts as reused work.
+    writeln!(
+        writer,
+        "{}",
+        accepted_line(cached.digest, trials, true, false)
+    )?;
+    for line in &cached.trial_lines {
+        writeln!(writer, "{line}")?;
+    }
+    let tax = &cached.taxonomy;
+    writeln!(
+        writer,
+        "{}",
+        done_line(
+            cached.digest,
+            tax.completed,
+            tax.round_capped,
+            tax.timed_out,
+            tax.panicked,
+            tax.not_run,
+            trials,
+            true,
+        )
+    )
+}

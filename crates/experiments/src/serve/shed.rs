@@ -1,0 +1,117 @@
+//! Admission control and load shedding for the serve scheduler.
+//!
+//! Admission is decided *before* a job is enqueued, against two bounds: the
+//! number of queued-but-unfinished trials and the number of open jobs. Past
+//! either bound the submission is rejected with a typed
+//! [`Verdict::Overloaded`] carrying a retry hint, so an overloaded server
+//! degrades into fast, explicit rejections instead of unbounded queues and
+//! hung connections. Duplicates of in-flight or cached jobs bypass
+//! admission entirely — they cost no new work.
+
+/// Queue bounds for admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionLimits {
+    /// Maximum trials queued or running across all jobs.
+    pub max_pending_trials: usize,
+    /// Maximum simultaneously open (unfinished) jobs.
+    pub max_pending_jobs: usize,
+}
+
+impl AdmissionLimits {
+    /// Defaults sized for a small shared box: 4096 pending trials across at
+    /// most 64 open jobs.
+    pub fn new() -> Self {
+        AdmissionLimits {
+            max_pending_trials: 4096,
+            max_pending_jobs: 64,
+        }
+    }
+}
+
+impl Default for AdmissionLimits {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The admission decision for one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Enqueue the job.
+    Admit,
+    /// Shed it: the queue is full. `retry_after_ms` scales with how far
+    /// over budget the queue is, so clients back off harder the more the
+    /// server is drowning.
+    Overloaded {
+        /// Suggested client-side wait before retrying.
+        retry_after_ms: u64,
+    },
+}
+
+/// Decides admission for a job of `job_trials` trials given the current
+/// queue state.
+pub fn admit(
+    limits: &AdmissionLimits,
+    pending_trials: usize,
+    pending_jobs: usize,
+    job_trials: usize,
+) -> Verdict {
+    let trials_after = pending_trials.saturating_add(job_trials);
+    if trials_after <= limits.max_pending_trials && pending_jobs < limits.max_pending_jobs {
+        return Verdict::Admit;
+    }
+    // Retry hint: 100 ms per unit of overload factor, clamped to [100ms, 10s].
+    let over = if limits.max_pending_trials > 0 {
+        trials_after as f64 / limits.max_pending_trials as f64
+    } else {
+        10.0
+    };
+    let retry_after_ms = ((over * 100.0) as u64).clamp(100, 10_000);
+    Verdict::Overloaded { retry_after_ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_under_both_bounds() {
+        let limits = AdmissionLimits {
+            max_pending_trials: 10,
+            max_pending_jobs: 2,
+        };
+        assert_eq!(admit(&limits, 0, 0, 10), Verdict::Admit);
+        assert_eq!(admit(&limits, 4, 1, 6), Verdict::Admit);
+    }
+
+    #[test]
+    fn sheds_past_either_bound_with_scaled_hint() {
+        let limits = AdmissionLimits {
+            max_pending_trials: 10,
+            max_pending_jobs: 2,
+        };
+        // Trial bound.
+        let Verdict::Overloaded { retry_after_ms } = admit(&limits, 5, 0, 6) else {
+            panic!("expected shed");
+        };
+        assert!(retry_after_ms >= 100);
+        // Job bound.
+        assert!(matches!(
+            admit(&limits, 0, 2, 1),
+            Verdict::Overloaded { .. }
+        ));
+        // Deeper overload ⇒ longer hint.
+        let Verdict::Overloaded { retry_after_ms: a } = admit(&limits, 10, 0, 2) else {
+            panic!()
+        };
+        let Verdict::Overloaded { retry_after_ms: b } = admit(&limits, 10, 0, 200) else {
+            panic!()
+        };
+        assert!(b > a, "hint must scale with overload: {a} vs {b}");
+        // And the hint is bounded.
+        let Verdict::Overloaded { retry_after_ms } = admit(&limits, usize::MAX - 1, 0, 1) else {
+            panic!()
+        };
+        assert_eq!(retry_after_ms, 10_000);
+    }
+}

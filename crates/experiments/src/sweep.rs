@@ -129,12 +129,14 @@ impl ScalingSweep {
                 });
                 summaries.push(Summary::of_u64(&times));
             }
+            let cells = summaries.len();
             measurements.push(SweepMeasurement {
                 n: point.graph.num_vertices(),
                 label: point.label.clone(),
                 summaries,
                 truncated,
                 taxonomy,
+                panic_notes: vec![None; cells],
             });
         }
         SweepResult {
@@ -178,6 +180,7 @@ impl ScalingSweep {
             let mut summaries = Vec::with_capacity(self.protocols.len());
             let mut truncated = Vec::with_capacity(self.protocols.len());
             let mut taxonomy = Vec::with_capacity(self.protocols.len());
+            let mut panic_notes = Vec::with_capacity(self.protocols.len());
             for proto_idx in 0..self.protocols.len() {
                 let spec = self.cell_spec(point_idx, proto_idx, config);
                 let manifest_path =
@@ -203,6 +206,10 @@ impl ScalingSweep {
                 let tax = guarded.taxonomy();
                 truncated.push(tax.round_capped);
                 taxonomy.push(tax);
+                panic_notes.push(guarded.outcomes.iter().find_map(|trial| match trial {
+                    TrialOutcome::Panicked { message, .. } => Some(message.clone()),
+                    _ => None,
+                }));
                 // A cell where no trial produced a time (all panicked or
                 // not-run) still needs a row; the taxonomy annotation marks
                 // it as vacuous.
@@ -218,6 +225,7 @@ impl ScalingSweep {
                 summaries,
                 truncated,
                 taxonomy,
+                panic_notes,
             });
         }
         SweepResult {
@@ -253,6 +261,19 @@ impl ScalingSweep {
     }
 }
 
+/// Truncates a panic payload to at most `max` bytes on a char boundary,
+/// appending an ellipsis when anything was cut.
+fn truncate(message: &str, max: usize) -> String {
+    if message.len() <= max {
+        return message.to_string();
+    }
+    let mut end = max;
+    while !message.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &message[..end])
+}
+
 /// Measurements for a single sweep point (one graph size).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepMeasurement {
@@ -269,6 +290,9 @@ pub struct SweepMeasurement {
     /// completed or round-capped — for sweeps run without a
     /// [`TrialPolicy`]).
     pub taxonomy: Vec<TrialTaxonomy>,
+    /// First captured panic payload per protocol, if any trial of the cell
+    /// panicked (always `None` for sweeps run without a [`TrialPolicy`]).
+    pub panic_notes: Vec<Option<String>>,
 }
 
 /// The outcome of a [`ScalingSweep`].
@@ -341,7 +365,15 @@ impl SweepResult {
                     (tax.not_run, "not run"),
                 ] {
                     if count > 0 {
-                        cell.push_str(&format!(" ({count} {label})"));
+                        if label == "panicked" {
+                            // Surface the captured payload so the table (and
+                            // any server error response built from it) names
+                            // the cause, not just the count.
+                            let note = m.panic_notes[i].as_deref().unwrap_or("no message");
+                            cell.push_str(&format!(" ({count} {label}: {})", truncate(note, 60)));
+                        } else {
+                            cell.push_str(&format!(" ({count} {label})"));
+                        }
                     }
                 }
                 row.push(cell);

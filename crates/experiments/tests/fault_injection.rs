@@ -276,4 +276,10 @@ fn guarded_sweep_matches_the_plain_sweep_and_reports_taxonomy() {
     assert!(total_panicked > 0, "injected panic never fired");
     let rendered = faulted.times_table("Times").to_plain_text();
     assert!(rendered.contains("panicked"), "table:\n{rendered}");
+    // The captured panic payload is rendered next to the count, so the
+    // table names the cause.
+    assert!(
+        rendered.contains("panicked: injected fault"),
+        "table:\n{rendered}"
+    );
 }

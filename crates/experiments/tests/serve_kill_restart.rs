@@ -1,0 +1,286 @@
+//! Crash-safety for the serve binary: SIGKILL the server mid-job, restart it
+//! on the same state directory, and assert zero completed-trial loss with
+//! byte-identical result lines versus an uninterrupted reference run.
+//!
+//! Mirrors `tests/kill_resume.rs` for the sweep CLI: the child process is the
+//! real `rumor-serve` binary, the kill is a hard `SIGKILL` (no signal
+//! handlers exist — crash-equivalence comes from atomic per-trial manifests).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use rumor_experiments::{ServeClient, ServeConfig, Server, SubmitRequest, TopologySpec};
+
+const EXE: &str = env!("CARGO_BIN_EXE_rumor-serve");
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rumor-serve-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawns the serve binary on an ephemeral port and parses the `listening`
+/// line for the actual address.
+fn spawn_server(state_dir: &Path, throttle_ms: u64) -> (Child, String) {
+    let mut child = Command::new(EXE)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--state-dir",
+            state_dir.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--throttle-ms",
+            &throttle_ms.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn rumor-serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read listening line");
+    let addr = line
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected first line {line:?}"))
+        .trim()
+        .to_string();
+    (child, addr)
+}
+
+fn sweep_request() -> SubmitRequest {
+    let mut request = SubmitRequest::new("kr", TopologySpec::new("complete", 48), "push", 10);
+    request.seed = 7;
+    request
+}
+
+/// Submits over a raw socket and returns after `want` trial lines have been
+/// observed — each observed line is durably manifest-recorded server-side.
+fn stream_until(addr: &str, request: &SubmitRequest, want: usize) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().unwrap();
+    writeln!(writer, "{}", request.to_line()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut header = String::new();
+    reader.read_line(&mut header).unwrap();
+    assert!(header.contains("\"type\":\"accepted\""), "header: {header}");
+    let mut seen = Vec::new();
+    while seen.len() < want {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        if line.contains("\"type\":\"trial\"") {
+            seen.push(line.trim().to_string());
+        }
+    }
+    seen
+}
+
+#[test]
+fn sigkill_mid_job_restart_loses_no_completed_trials() {
+    let ref_dir = temp_dir("ref");
+    let victim_dir = temp_dir("victim");
+    let request = sweep_request();
+
+    // Uninterrupted reference run in a fresh child process.
+    let (mut ref_child, ref_addr) = spawn_server(&ref_dir, 0);
+    let reference = ServeClient::new(&ref_addr)
+        .submit(&request)
+        .expect("reference submit");
+    assert_eq!(reference.taxonomy.completed, 10);
+    ServeClient::new(&ref_addr)
+        .drain()
+        .expect("reference drain");
+    ref_child.wait().expect("reference exit");
+
+    // Victim run: throttle each trial, SIGKILL after three results stream.
+    // Every streamed line was manifest-recorded before it was sent, so those
+    // trials must survive the crash.
+    let (mut victim, victim_addr) = spawn_server(&victim_dir, 120);
+    let seen = stream_until(&victim_addr, &request, 3);
+    assert_eq!(seen.len(), 3, "victim died before three results streamed");
+    victim.kill().expect("kill victim");
+    victim.wait().expect("reap victim");
+
+    // Restart on the same state dir: the resubmission reuses every recorded
+    // trial and the full stream is byte-identical to the reference.
+    let (mut restarted, restart_addr) = spawn_server(&victim_dir, 0);
+    let recovered = ServeClient::new(&restart_addr)
+        .submit(&request)
+        .expect("recovered submit");
+    assert_eq!(recovered.trial_lines, reference.trial_lines);
+    assert!(
+        recovered.reused >= seen.len(),
+        "reused {} < {} trials observed before the kill",
+        recovered.reused,
+        seen.len()
+    );
+    assert!(
+        recovered.recovered_fraction() >= seen.len() as f64 / 10.0,
+        "recovered_fraction {} below completed fraction",
+        recovered.recovered_fraction()
+    );
+    assert!(recovered.ensure_complete().is_ok());
+    ServeClient::new(&restart_addr).drain().expect("drain");
+    restarted.wait().expect("restarted exit");
+
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&victim_dir).ok();
+}
+
+#[test]
+fn graceful_drain_then_restart_resumes_in_process() {
+    let ref_dir = temp_dir("drain-ref");
+    let work_dir = temp_dir("drain-work");
+    let request = sweep_request();
+
+    // Reference lines from an uninterrupted in-process server.
+    let reference = {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig::new()
+                .with_workers(1)
+                .with_state_dir(ref_dir.clone()),
+        )
+        .unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        let result = ServeClient::new(&handle.addr().to_string())
+            .submit(&request)
+            .expect("reference submit");
+        handle.drain();
+        join.join().unwrap();
+        result
+    };
+
+    // First server: observe one durable result, then drain mid-job.
+    let config = ServeConfig {
+        throttle_ms: 100,
+        ..ServeConfig::new()
+            .with_workers(1)
+            .with_state_dir(work_dir.clone())
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    let seen = stream_until(&handle.addr().to_string(), &request, 1);
+    assert_eq!(seen.len(), 1);
+    handle.drain();
+    join.join().unwrap();
+
+    // Second server on the same state dir: completed work is reused, the
+    // stream matches the reference byte for byte.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig::new()
+            .with_workers(1)
+            .with_state_dir(work_dir.clone()),
+    )
+    .unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    let resumed = ServeClient::new(&handle.addr().to_string())
+        .submit(&request)
+        .expect("resumed submit");
+    assert!(resumed.reused >= 1, "drain lost a completed trial");
+    assert_eq!(resumed.trial_lines, reference.trial_lines);
+    assert_eq!(resumed.taxonomy.completed, 10);
+    handle.drain();
+    join.join().unwrap();
+
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&work_dir).ok();
+}
+
+#[test]
+fn serve_binary_round_trips_submit_drain_ping() {
+    let dir = temp_dir("cli");
+    let (mut child, addr) = spawn_server(&dir, 0);
+
+    let ping = Command::new(EXE)
+        .args(["ping", "--addr", &addr])
+        .output()
+        .expect("run ping");
+    assert!(ping.status.success());
+
+    let submit = Command::new(EXE)
+        .args([
+            "submit",
+            "--addr",
+            &addr,
+            "--family",
+            "complete",
+            "--n",
+            "32",
+            "--protocol",
+            "push-pull",
+            "--trials",
+            "4",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("run submit");
+    let stdout = String::from_utf8_lossy(&submit.stdout);
+    assert!(submit.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("accepted job="), "stdout: {stdout}");
+    assert_eq!(stdout.matches("\"type\":\"trial\"").count(), 4);
+    assert!(stdout.contains("done "), "stdout: {stdout}");
+
+    let drain = Command::new(EXE)
+        .args(["drain", "--addr", &addr])
+        .output()
+        .expect("run drain");
+    assert!(drain.status.success());
+    child.wait().expect("server exit");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn submit_retries_through_a_briefly_absent_server() {
+    // The client's backoff must ride out a server that comes up late — spawn
+    // the server after the client has already started retrying.
+    let dir = temp_dir("late");
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe); // free the port; briefly nothing listens on it
+
+    let request = sweep_request();
+    let client_thread = {
+        let addr = addr.clone();
+        let request = request.clone();
+        std::thread::spawn(move || ServeClient::new(&addr).submit(&request))
+    };
+    std::thread::sleep(Duration::from_millis(120));
+    let mut child = Command::new(EXE)
+        .args([
+            "serve",
+            "--addr",
+            &addr,
+            "--state-dir",
+            dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn late server");
+    let result = client_thread.join().unwrap();
+    match result {
+        Ok(done) => assert_eq!(done.taxonomy.completed, 10),
+        // The retry budget can still expire on a slow machine; the error
+        // must at least be the typed connection failure, never a hang.
+        Err(rumor_experiments::ClientError::Io(_)) => {}
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+    child.kill().ok();
+    child.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
