@@ -17,6 +17,13 @@
 //!   and resubmitted to a fresh server on the same state directory; the
 //!   `recovered_fraction` (manifest-reused trials over total) must cover
 //!   at least the trials the first server finished (enforced).
+//! * **Chaos throughput + reconnect recovery** — the same sweep shape runs
+//!   twice, direct and through the [`FaultNet`] proxy's deterministic
+//!   drop/reset/truncate/stall schedule; the `serve_chaos` summary records
+//!   sustained trials/s under faults, throughput retention vs the direct
+//!   run, fault/reconnect counts, and reconnect recovery latency. Under
+//!   `RUMOR_BENCH_ENFORCE=1`, faults must actually fire and every job must
+//!   still complete all trials.
 //!
 //! `RUMOR_BENCH_FAST=1` shrinks the job counts for CI smoke runs.
 
@@ -25,8 +32,8 @@ use std::time::{Duration, Instant};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rumor_bench::summary::record_summary_in;
 use rumor_experiments::{
-    AdmissionLimits, ClientError, RetryPolicy, ServeClient, ServeConfig, Server, ServerHandle,
-    SubmitRequest, TopologySpec,
+    AdmissionLimits, ClientError, FaultNet, FaultSpec, RetryPolicy, ServeClient, ServeConfig,
+    Server, ServerHandle, SubmitRequest, TopologySpec,
 };
 
 fn enforce() -> bool {
@@ -213,6 +220,93 @@ fn serve_bench(_c: &mut Criterion) {
         recovered_fraction >= completed_fraction,
         "drain lost completed work: recovered {recovered_fraction:.2} < completed \
          {completed_fraction:.2}"
+    );
+
+    // ---- Chaos: the same sweep shape direct vs through the fault proxy. ----
+    let chaos_jobs = if fast { 8usize } else { 24 };
+    let chaos_trials = 16usize;
+    let run_sweep = |addr: String, tag: &'static str, max_reconnects: u32| {
+        let client = ServeClient::new(&addr).with_max_reconnects(max_reconnects);
+        let t0 = Instant::now();
+        let mut reconnects = 0u64;
+        let mut recovery_ms: Vec<u64> = Vec::new();
+        for j in 0..chaos_jobs {
+            let request = job(tag, 5_000 + j as u64, chaos_trials);
+            let (mut results, stats) = client.submit_session(std::slice::from_ref(&request));
+            let result = results.remove(0).expect("chaos-era submit");
+            assert_eq!(
+                result.taxonomy.completed, chaos_trials,
+                "{tag} job must finish"
+            );
+            reconnects += stats.reconnects;
+            recovery_ms.extend(stats.recovery_ms);
+        }
+        (t0.elapsed().as_secs_f64(), reconnects, recovery_ms)
+    };
+
+    let (handle, join) = start(ServeConfig::new());
+    let (direct_wall, _, _) = run_sweep(handle.addr().to_string(), "calm", 0);
+    stop(&handle, join);
+
+    let (handle, join) = start(ServeConfig::new());
+    let mut spec = FaultSpec::new(0xBEAC_0C4A);
+    spec.fault_rate = 0.6;
+    spec.max_after_bytes = 1000;
+    let net = FaultNet::start(handle.addr(), spec).expect("fault proxy");
+    // Distinct client tag, same specs: the chaos server is fresh, so the
+    // digests hit neither cache. Jobs must survive on resume alone.
+    let (chaos_wall, reconnects, recovery_ms) = run_sweep(net.addr().to_string(), "chaos", 64);
+    let report = net.shutdown();
+    stop(&handle, join);
+
+    let total = (chaos_jobs * chaos_trials) as f64;
+    let direct_tps = total / direct_wall;
+    let chaos_tps = total / chaos_wall;
+    let retention = chaos_tps / direct_tps;
+    let mean_recovery_ms = if recovery_ms.is_empty() {
+        0.0
+    } else {
+        recovery_ms.iter().sum::<u64>() as f64 / recovery_ms.len() as f64
+    };
+    let max_recovery_ms = recovery_ms.iter().copied().max().unwrap_or(0) as f64;
+    println!(
+        "serve chaos: {chaos_jobs} x {chaos_trials}-trial jobs through {} faults \
+         ({} drops, {} resets, {} truncations, {} stalls) — {chaos_tps:.0} trials/s vs \
+         {direct_tps:.0} direct ({:.0}% retention), {reconnects} reconnects, recovery \
+         mean {mean_recovery_ms:.1}ms max {max_recovery_ms:.0}ms",
+        report.total(),
+        report.drops,
+        report.resets,
+        report.truncations,
+        report.delays,
+        100.0 * retention,
+    );
+    if enforce() {
+        assert!(report.total() > 0, "the chaos schedule must inject faults");
+        assert!(
+            reconnects > 0,
+            "faults at this rate must force at least one reconnect"
+        );
+    }
+
+    record_summary_in(
+        "BENCH_serve.json",
+        "serve_chaos",
+        &[
+            ("chaos_jobs", chaos_jobs as f64),
+            ("chaos_trials_per_job", chaos_trials as f64),
+            ("chaos_trials_per_sec", chaos_tps),
+            ("direct_trials_per_sec", direct_tps),
+            ("throughput_retention", retention),
+            ("chaos_fault_count", report.total() as f64),
+            ("chaos_drops", report.drops as f64),
+            ("chaos_resets", report.resets as f64),
+            ("chaos_truncations", report.truncations as f64),
+            ("chaos_stalls", report.delays as f64),
+            ("chaos_reconnects", reconnects as f64),
+            ("reconnect_recovery_mean_ms", mean_recovery_ms),
+            ("reconnect_recovery_max_ms", max_recovery_ms),
+        ],
     );
 
     record_summary_in(

@@ -4,10 +4,12 @@
 //! rumor-serve serve  [--addr 127.0.0.1:0] [--state-dir DIR] [--workers N]
 //!                    [--max-pending-trials N] [--max-pending-jobs N]
 //!                    [--chunk-rounds N] [--throttle-ms N] [--grace-ms N]
+//!                    [--idle-timeout-ms N]
 //! rumor-serve submit --addr HOST:PORT [--client NAME] [--family F] [--n N]
 //!                    [--degree D] [--exponent E] [--topo-seed S]
 //!                    [--protocol P] [--lazy] [--trials T] [--seed S]
 //!                    [--max-rounds R] [--deadline-ms D] [--no-retry]
+//! rumor-serve status --addr HOST:PORT
 //! rumor-serve drain  --addr HOST:PORT
 //! rumor-serve ping   --addr HOST:PORT
 //! ```
@@ -33,6 +35,7 @@ fn main() -> ExitCode {
     match command.as_str() {
         "serve" => cmd_serve(&args[1..]),
         "submit" => cmd_submit(&args[1..]),
+        "status" => cmd_status(&args[1..]),
         "drain" => cmd_drain(&args[1..]),
         "ping" => cmd_ping(&args[1..]),
         other => {
@@ -66,6 +69,11 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     config.chunk_rounds = parsed(args, "--chunk-rounds", 64u64);
     config.throttle_ms = parsed(args, "--throttle-ms", 0u64);
     config.grace = Duration::from_millis(parsed(args, "--grace-ms", 30_000u64));
+    config = config.with_idle_timeout(Duration::from_millis(parsed(
+        args,
+        "--idle-timeout-ms",
+        30_000u64,
+    )));
     if let Some(dir) = flag_value(args, "--state-dir") {
         config = config.with_state_dir(PathBuf::from(dir));
     }
@@ -142,6 +150,39 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("submit failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_status(args: &[String]) -> ExitCode {
+    let Some(client) = client(args) else {
+        return ExitCode::FAILURE;
+    };
+    match client.status() {
+        Ok(status) => {
+            println!(
+                "queue_depth={} active_jobs={} executed={} shed={} cache_hits={} \
+                 duplicate_hits={} open_sessions={} sessions_opened={} resumes={} \
+                 replayed_lines={} heartbeats={} protocol_errors={} idle_reaped={}",
+                status.queue_depth,
+                status.active_jobs,
+                status.executed,
+                status.shed,
+                status.cache_hits,
+                status.duplicate_hits,
+                status.open_sessions,
+                status.sessions_opened,
+                status.resumes,
+                status.replayed_lines,
+                status.heartbeats,
+                status.protocol_errors,
+                status.idle_reaped,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("status failed: {e}");
             ExitCode::FAILURE
         }
     }

@@ -41,7 +41,8 @@ pub use runner::{
     TrialOutcome, TrialPolicy, TrialTaxonomy,
 };
 pub use serve::{
-    AdmissionLimits, ClientError, JobResult, RetryPolicy, ServeClient, ServeConfig, ServeStats,
-    Server, ServerHandle, SubmitRequest, TopologySpec,
+    AdmissionLimits, ClientError, FaultKind, FaultNet, FaultReport, FaultSpec, JobResult,
+    RetryPolicy, ServeClient, ServeConfig, ServeStats, Server, ServerHandle, ServerStatus,
+    SessionStats, SubmitRequest, TopologySpec,
 };
 pub use sweep::{ProtocolSetup, ScalingSweep, SweepMeasurement, SweepPoint, SweepResult};

@@ -1,5 +1,14 @@
-//! The `rumor-serve` client library: blocking submission with typed
-//! errors, bounded retry, exponential backoff, and deterministic jitter.
+//! The `rumor-serve` client library: multiplexed sessions with transparent
+//! reconnect/resume, typed errors, bounded retry, and deterministic jitter.
+//!
+//! One connection carries any number of concurrent jobs; every job-scoped
+//! line is `(job, seq)`-tagged, so the client demultiplexes by digest and
+//! deduplicates by sequence number. When the connection dies mid-stream the
+//! client reconnects and sends `resume {job, last_seq}` per unfinished job:
+//! the server replays exactly the missing suffix, and any overlap (e.g.
+//! after a fallback resubmission to a restarted server) is dropped by the
+//! seq filter — zero lost and zero duplicated trial lines, byte-identical
+//! to an uninterrupted stream.
 //!
 //! Retrying a submission is always safe: the job digest excludes the client
 //! name and deadline, so a retry (or a second client running the same
@@ -7,13 +16,20 @@
 //! work. Backoff doubles per attempt from [`RetryPolicy::base_delay`] and
 //! adds jitter derived from FNV-1a over `(digest, attempt)` — deterministic
 //! per request, decorrelated across concurrent clients.
+//!
+//! Liveness is symmetric: the client sends `heartbeat` verbs at a fixed
+//! interval (keeping the server's idle timer at bay during long quiet
+//! stretches) and declares the connection dead when heartbeats go
+//! unanswered for three intervals.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::runner::TrialTaxonomy;
-use crate::serve::protocol::{fnv1a64, parse_json, Json, SubmitRequest};
+use crate::serve::protocol::{
+    fnv1a64, parse_json, resume_request_line, Json, ServerStatus, SubmitRequest, MAX_LINE_BYTES,
+};
 
 /// A typed client-side failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,7 +141,7 @@ pub struct JobResult {
     /// The job digest (hex) echoed by the server.
     pub job: String,
     /// Raw per-trial result lines, in trial-index order — byte-identical
-    /// across live, recovered, duplicate, and cached streams.
+    /// across live, recovered, duplicate, resumed, and cached streams.
     pub trial_lines: Vec<String>,
     /// Outcome taxonomy from the `done` line.
     pub taxonomy: TrialTaxonomy,
@@ -166,19 +182,42 @@ impl JobResult {
     }
 }
 
+/// Transport-level accounting for one client session (reconnects are
+/// otherwise invisible — results come back as if nothing happened).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Successful connections (1 for an undisturbed session).
+    pub connects: u64,
+    /// Mid-session reconnect cycles survived.
+    pub reconnects: u64,
+    /// Replayed lines dropped by the per-job `seq` filter (overlap after a
+    /// resume or fallback resubmission).
+    pub duplicate_lines_dropped: u64,
+    /// Heartbeat verbs sent.
+    pub heartbeats_sent: u64,
+    /// Per-reconnect recovery latency, in milliseconds: from failure
+    /// detection to the first line received on the replacement connection.
+    pub recovery_ms: Vec<u64>,
+}
+
 /// A blocking client for one `rumor-serve` endpoint.
 #[derive(Debug, Clone)]
 pub struct ServeClient {
     addr: String,
     retry: RetryPolicy,
+    heartbeat: Duration,
+    max_reconnects: u32,
 }
 
 impl ServeClient {
-    /// A client with the default retry policy.
+    /// A client with the default retry policy, a 2 s heartbeat interval,
+    /// and up to 32 mid-session reconnects.
     pub fn new(addr: &str) -> Self {
         ServeClient {
             addr: addr.to_string(),
             retry: RetryPolicy::new(),
+            heartbeat: Duration::from_secs(2),
+            max_reconnects: 32,
         }
     }
 
@@ -188,124 +227,54 @@ impl ServeClient {
         self
     }
 
-    /// Submits a sweep and blocks until its result stream completes,
-    /// retrying shed/draining/transport failures with exponential backoff
-    /// and deterministic jitter. Duplicate submissions are free server-side
-    /// (digest-keyed cache/manifest), so retries never duplicate work.
-    pub fn submit(&self, request: &SubmitRequest) -> Result<JobResult, ClientError> {
-        let digest = request.digest();
-        let mut last = ClientError::Io("no attempt made".to_string());
-        for attempt in 0..self.retry.max_attempts {
-            match self.submit_once(request) {
-                Ok(result) => return Ok(result),
-                Err(e @ (ClientError::Rejected(_) | ClientError::Protocol(_))) => return Err(e),
-                Err(retryable) => {
-                    let mut wait = self.retry.backoff(attempt, digest);
-                    if let ClientError::Overloaded { retry_after_ms } = &retryable {
-                        wait = wait.max(Duration::from_millis(*retry_after_ms));
-                    }
-                    last = retryable;
-                    if attempt + 1 < self.retry.max_attempts {
-                        std::thread::sleep(wait);
-                    }
-                }
-            }
-        }
-        Err(last)
+    /// Replaces the heartbeat interval (liveness declares the connection
+    /// dead after three unanswered intervals).
+    pub fn with_heartbeat(mut self, heartbeat: Duration) -> Self {
+        self.heartbeat = heartbeat;
+        self
     }
 
-    /// One submission attempt, no retry.
-    pub fn submit_once(&self, request: &SubmitRequest) -> Result<JobResult, ClientError> {
-        let io = |e: std::io::Error| ClientError::Io(e.to_string());
-        let stream = TcpStream::connect(&self.addr).map_err(io)?;
-        stream.set_nodelay(true).ok();
-        let mut writer = stream.try_clone().map_err(io)?;
-        writeln!(writer, "{}", request.to_line()).map_err(io)?;
-        let mut reader = BufReader::new(stream);
+    /// Replaces the mid-session reconnect budget.
+    pub fn with_max_reconnects(mut self, max_reconnects: u32) -> Self {
+        self.max_reconnects = max_reconnects;
+        self
+    }
 
-        let header = read_value(&mut reader)?;
-        let kind = header
-            .get("type")
-            .and_then(Json::as_str)
-            .ok_or_else(|| ClientError::Protocol("untyped response line".to_string()))?;
-        match kind {
-            "overloaded" => {
-                return Err(ClientError::Overloaded {
-                    retry_after_ms: header
-                        .get("retry_after_ms")
-                        .and_then(Json::as_u64)
-                        .unwrap_or(100),
-                })
-            }
-            "draining" => return Err(ClientError::Draining),
-            "error" => {
-                return Err(ClientError::Rejected(
-                    header
-                        .get("message")
-                        .and_then(Json::as_str)
-                        .unwrap_or("unspecified")
-                        .to_string(),
-                ))
-            }
-            "accepted" => {}
-            other => {
-                return Err(ClientError::Protocol(format!(
-                    "expected accepted, got {other:?}"
-                )))
-            }
-        }
-        let mut result = JobResult {
-            job: header
-                .get("job")
-                .and_then(Json::as_str)
-                .unwrap_or("")
-                .to_string(),
-            trial_lines: Vec::new(),
-            taxonomy: TrialTaxonomy::default(),
-            reused: 0,
-            cached: header
-                .get("cached")
-                .and_then(Json::as_bool)
-                .unwrap_or(false),
-            duplicate: header
-                .get("duplicate")
-                .and_then(Json::as_bool)
-                .unwrap_or(false),
-        };
-        loop {
-            let mut raw = String::new();
-            let n = reader.read_line(&mut raw).map_err(io)?;
-            if n == 0 {
-                return Err(ClientError::Io(
-                    "connection closed before done line".to_string(),
-                ));
-            }
-            let raw = raw.trim_end().to_string();
-            let value = parse_json(&raw).map_err(ClientError::Protocol)?;
-            match value.get("type").and_then(Json::as_str) {
-                Some("trial") => result.trial_lines.push(raw),
-                Some("draining") => return Err(ClientError::Draining),
-                Some("done") => {
-                    let count =
-                        |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0) as usize;
-                    result.taxonomy = TrialTaxonomy {
-                        completed: count("completed"),
-                        round_capped: count("round_capped"),
-                        timed_out: count("timed_out"),
-                        panicked: count("panicked"),
-                        not_run: count("not_run"),
-                    };
-                    result.reused = count("reused");
-                    result.cached |= value.get("cached").and_then(Json::as_bool).unwrap_or(false);
-                    return Ok(result);
-                }
-                other => {
-                    return Err(ClientError::Protocol(format!(
-                        "unexpected stream line type {other:?}"
-                    )))
-                }
-            }
-        }
+    /// Submits one sweep and blocks until its result stream completes,
+    /// surviving connection death by reconnect + `resume` and retrying
+    /// shed/draining/connect failures with exponential backoff and
+    /// deterministic jitter. Duplicate submissions are free server-side
+    /// (digest-keyed cache/manifest), so retries never duplicate work.
+    pub fn submit(&self, request: &SubmitRequest) -> Result<JobResult, ClientError> {
+        let (mut results, _) = self.run_session(
+            std::slice::from_ref(request),
+            self.retry,
+            self.max_reconnects,
+        );
+        results.remove(0)
+    }
+
+    /// One submission attempt on one connection: no retries, no reconnect.
+    pub fn submit_once(&self, request: &SubmitRequest) -> Result<JobResult, ClientError> {
+        let (mut results, _) =
+            self.run_session(std::slice::from_ref(request), RetryPolicy::none(), 0);
+        results.remove(0)
+    }
+
+    /// Submits many sweeps over **one** multiplexed session; results come
+    /// back in request order. See [`ServeClient::submit_session`] for the
+    /// transport accounting.
+    pub fn submit_many(&self, requests: &[SubmitRequest]) -> Vec<Result<JobResult, ClientError>> {
+        self.submit_session(requests).0
+    }
+
+    /// [`ServeClient::submit_many`] plus the session's transport stats
+    /// (reconnects survived, duplicate lines dropped, recovery latencies).
+    pub fn submit_session(
+        &self,
+        requests: &[SubmitRequest],
+    ) -> (Vec<Result<JobResult, ClientError>>, SessionStats) {
+        self.run_session(requests, self.retry, self.max_reconnects)
     }
 
     /// Sends a `drain` request; `Ok` once the server acknowledges.
@@ -348,24 +317,510 @@ impl ServeClient {
         ))
     }
 
+    /// Fetches the extended `status` report: scheduler load plus
+    /// session-layer counters.
+    pub fn status(&self) -> Result<ServerStatus, ClientError> {
+        let value = self.roundtrip("{\"verb\":\"status\"}")?;
+        if value.get("type").and_then(Json::as_str) != Some("status") {
+            return Err(ClientError::Protocol("expected status".to_string()));
+        }
+        ServerStatus::from_json(&value)
+            .ok_or_else(|| ClientError::Protocol("malformed status line".to_string()))
+    }
+
     fn roundtrip(&self, line: &str) -> Result<Json, ClientError> {
         let io = |e: std::io::Error| ClientError::Io(e.to_string());
         let stream = TcpStream::connect(&self.addr).map_err(io)?;
         let mut writer = stream.try_clone().map_err(io)?;
         writeln!(writer, "{line}").map_err(io)?;
-        read_value(&mut BufReader::new(stream))
+        let mut line = String::new();
+        let mut reader = BufReader::new(stream);
+        let n = reader.read_line(&mut line).map_err(io)?;
+        if n == 0 {
+            return Err(ClientError::Io("connection closed".to_string()));
+        }
+        parse_json(line.trim_end()).map_err(ClientError::Protocol)
+    }
+
+    // -- session engine ----------------------------------------------------
+
+    /// Runs one session to completion: dedupes identical digests, drives
+    /// every job over a shared connection, reconnects and resumes on
+    /// transport death, and maps results back to request order.
+    fn run_session(
+        &self,
+        requests: &[SubmitRequest],
+        retry: RetryPolicy,
+        max_reconnects: u32,
+    ) -> (Vec<Result<JobResult, ClientError>>, SessionStats) {
+        let mut stats = SessionStats::default();
+        if requests.is_empty() {
+            return (Vec::new(), stats);
+        }
+        // Identical digests share one slot: the server would stream them
+        // indistinguishably anyway, and the result is cloned per request.
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut index_of: Vec<usize> = Vec::with_capacity(requests.len());
+        for request in requests {
+            let digest = request.digest();
+            match slots.iter().position(|slot| slot.digest == digest) {
+                Some(i) => index_of.push(i),
+                None => {
+                    slots.push(Slot::new(request.clone()));
+                    index_of.push(slots.len() - 1);
+                }
+            }
+        }
+        let first_digest = slots[0].digest;
+        let mut reconnects_used = 0u32;
+        let mut failure_at: Option<Instant> = None;
+
+        loop {
+            match connect_with_retry(&self.addr, first_digest, retry) {
+                Err(error) => {
+                    fail_open_slots(&mut slots, &error);
+                    break;
+                }
+                Ok(stream) => {
+                    stats.connects += 1;
+                    match self.drive_connection(
+                        stream,
+                        &mut slots,
+                        retry,
+                        &mut stats,
+                        &mut failure_at,
+                    ) {
+                        ConnOutcome::Done => break,
+                        ConnOutcome::Lost(error) => {
+                            if reconnects_used >= max_reconnects {
+                                fail_open_slots(&mut slots, &error);
+                                break;
+                            }
+                            reconnects_used += 1;
+                            stats.reconnects += 1;
+                            for slot in slots.iter_mut().filter(|s| s.result.is_none()) {
+                                slot.active = false;
+                                if slot.accepted_once {
+                                    slot.resume_next = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let results = index_of
+            .into_iter()
+            .map(|i| {
+                slots[i].result.clone().unwrap_or_else(|| {
+                    Err(ClientError::Io("session ended without result".to_string()))
+                })
+            })
+            .collect();
+        (results, stats)
+    }
+
+    /// Drives one connection until every slot is terminal or the transport
+    /// dies: issues submit/resume lines, demultiplexes responses by job
+    /// tag, sends heartbeats, and declares half-open connections dead.
+    fn drive_connection(
+        &self,
+        stream: TcpStream,
+        slots: &mut [Slot],
+        retry: RetryPolicy,
+        stats: &mut SessionStats,
+        failure_at: &mut Option<Instant>,
+    ) -> ConnOutcome {
+        let poll =
+            (self.heartbeat / 4).clamp(Duration::from_millis(10), Duration::from_millis(250));
+        stream.set_read_timeout(Some(poll)).ok();
+        let mut writer = match stream.try_clone() {
+            Ok(writer) => writer,
+            Err(e) => return lost(failure_at, ClientError::Io(e.to_string())),
+        };
+        let mut reader = BufReader::new(stream);
+        let mut buf: Vec<u8> = Vec::new();
+        let mut heartbeat_due = Instant::now() + self.heartbeat;
+        let mut last_rx = Instant::now();
+        let mut heartbeat_outstanding = false;
+
+        loop {
+            // (Re)issue requests for every idle, non-terminal slot whose
+            // backoff has elapsed.
+            let now = Instant::now();
+            for slot in slots.iter_mut() {
+                if slot.result.is_some() || slot.active || slot.retry_at.is_some_and(|at| now < at)
+                {
+                    continue;
+                }
+                slot.retry_at = None;
+                let line = if slot.resume_next {
+                    resume_request_line(slot.digest, slot.trial_lines.len() as u64)
+                } else {
+                    slot.request.to_line()
+                };
+                if writeln!(writer, "{line}").is_err() {
+                    return lost(
+                        failure_at,
+                        ClientError::Io("request write failed".to_string()),
+                    );
+                }
+                slot.active = true;
+            }
+            if slots.iter().all(|slot| slot.result.is_some()) {
+                return ConnOutcome::Done;
+            }
+
+            match next_line(&mut reader, &mut buf) {
+                NetEvent::Line(raw) => {
+                    last_rx = Instant::now();
+                    heartbeat_outstanding = false;
+                    if let Some(at) = failure_at.take() {
+                        stats.recovery_ms.push(at.elapsed().as_millis() as u64);
+                    }
+                    dispatch_line(&raw, slots, retry, stats);
+                }
+                NetEvent::Tick => {
+                    let now = Instant::now();
+                    if now >= heartbeat_due {
+                        if writeln!(writer, "{{\"verb\":\"heartbeat\"}}").is_err() {
+                            return lost(
+                                failure_at,
+                                ClientError::Io("heartbeat write failed".to_string()),
+                            );
+                        }
+                        stats.heartbeats_sent += 1;
+                        heartbeat_outstanding = true;
+                        heartbeat_due = now + self.heartbeat;
+                    }
+                    if heartbeat_outstanding && now.duration_since(last_rx) > self.heartbeat * 3 {
+                        return lost(
+                            failure_at,
+                            ClientError::Io(
+                                "connection unresponsive (heartbeats unanswered)".to_string(),
+                            ),
+                        );
+                    }
+                }
+                NetEvent::Eof => {
+                    return lost(
+                        failure_at,
+                        ClientError::Io("connection closed mid-session".to_string()),
+                    )
+                }
+                NetEvent::TooLong => {
+                    return lost(
+                        failure_at,
+                        ClientError::Protocol("oversized response line".to_string()),
+                    )
+                }
+                NetEvent::Failed(message) => return lost(failure_at, ClientError::Io(message)),
+            }
+        }
     }
 }
 
-fn read_value(reader: &mut BufReader<TcpStream>) -> Result<Json, ClientError> {
-    let mut line = String::new();
-    let n = reader
-        .read_line(&mut line)
-        .map_err(|e| ClientError::Io(e.to_string()))?;
-    if n == 0 {
-        return Err(ClientError::Io("connection closed".to_string()));
+/// One deduplicated job inside a session.
+#[derive(Debug)]
+struct Slot {
+    request: SubmitRequest,
+    digest: u64,
+    job_hex: String,
+    /// Framed trial lines as received, in index order — `seq == len + 1` is
+    /// the only accepted next line, everything at or below `len` is a
+    /// replay duplicate, anything beyond is a gap.
+    trial_lines: Vec<String>,
+    cached: bool,
+    duplicate: bool,
+    /// Shed/drain retries consumed.
+    attempts: u32,
+    /// The server has seen this job on some connection.
+    accepted_once: bool,
+    /// Re-attach with `resume` (instead of an idempotent resubmit) on the
+    /// next issue pass.
+    resume_next: bool,
+    /// A submit/resume is outstanding on the current connection.
+    active: bool,
+    retry_at: Option<Instant>,
+    result: Option<Result<JobResult, ClientError>>,
+}
+
+impl Slot {
+    fn new(request: SubmitRequest) -> Slot {
+        let digest = request.digest();
+        Slot {
+            request,
+            digest,
+            job_hex: format!("{digest:016x}"),
+            trial_lines: Vec::new(),
+            cached: false,
+            duplicate: false,
+            attempts: 0,
+            accepted_once: false,
+            resume_next: false,
+            active: false,
+            retry_at: None,
+            result: None,
+        }
     }
-    parse_json(line.trim_end()).map_err(ClientError::Protocol)
+}
+
+enum ConnOutcome {
+    Done,
+    Lost(ClientError),
+}
+
+/// Marks the failure-detection instant (for recovery-latency accounting)
+/// and wraps the error.
+fn lost(failure_at: &mut Option<Instant>, error: ClientError) -> ConnOutcome {
+    if failure_at.is_none() {
+        *failure_at = Some(Instant::now());
+    }
+    ConnOutcome::Lost(error)
+}
+
+fn fail_open_slots(slots: &mut [Slot], error: &ClientError) {
+    for slot in slots.iter_mut().filter(|s| s.result.is_none()) {
+        slot.result = Some(Err(error.clone()));
+    }
+}
+
+fn connect_with_retry(
+    addr: &str,
+    digest: u64,
+    retry: RetryPolicy,
+) -> Result<TcpStream, ClientError> {
+    let mut last = ClientError::Io("no attempt made".to_string());
+    for attempt in 0..retry.max_attempts {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                return Ok(stream);
+            }
+            Err(e) => {
+                last = ClientError::Io(e.to_string());
+                if attempt + 1 < retry.max_attempts {
+                    std::thread::sleep(retry.backoff(attempt, digest));
+                }
+            }
+        }
+    }
+    Err(last)
+}
+
+/// Applies one response line to the session's slots.
+fn dispatch_line(raw: &str, slots: &mut [Slot], retry: RetryPolicy, stats: &mut SessionStats) {
+    let Ok(value) = parse_json(raw) else {
+        let message = format!("unparseable response line: {raw}");
+        for slot in slots.iter_mut().filter(|s| s.result.is_none() && s.active) {
+            slot.result = Some(Err(ClientError::Protocol(message.clone())));
+        }
+        return;
+    };
+    let kind = value.get("type").and_then(Json::as_str).unwrap_or("");
+    let tag = value.get("job").and_then(Json::as_str);
+    let slot_index = tag.and_then(|hex| slots.iter().position(|s| s.job_hex == hex));
+    match kind {
+        "heartbeat" | "pong" => {}
+        "protocol_error" => {
+            // The server is about to close the connection; the reader will
+            // see EOF and the reconnect path takes over.
+        }
+        "accepted" => {
+            if let Some(slot) = slot_index.map(|i| &mut slots[i]) {
+                slot.accepted_once = true;
+                slot.resume_next = false;
+                slot.cached |= value.get("cached").and_then(Json::as_bool).unwrap_or(false);
+                slot.duplicate |= value
+                    .get("duplicate")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
+            }
+        }
+        "resumed" => {
+            if let Some(slot) = slot_index.map(|i| &mut slots[i]) {
+                slot.accepted_once = true;
+            }
+        }
+        "unknown_job" => {
+            // The server no longer knows this digest (restart): fall back
+            // to an idempotent resubmission — the manifest replays recorded
+            // trials from seq 1 and the seq filter drops our held prefix.
+            if let Some(slot) = slot_index.map(|i| &mut slots[i]) {
+                slot.resume_next = false;
+                slot.active = false;
+            }
+        }
+        "trial" => {
+            let Some(slot) = slot_index.map(|i| &mut slots[i]) else {
+                return;
+            };
+            if slot.result.is_some() {
+                return;
+            }
+            let expected = slot.trial_lines.len() as u64 + 1;
+            match value.get("seq").and_then(Json::as_u64) {
+                Some(seq) if seq < expected => stats.duplicate_lines_dropped += 1,
+                Some(seq) if seq == expected => slot.trial_lines.push(raw.to_string()),
+                Some(seq) => {
+                    slot.result = Some(Err(ClientError::Protocol(format!(
+                        "sequence gap: got seq {seq}, expected {expected}"
+                    ))));
+                }
+                None => {
+                    slot.result = Some(Err(ClientError::Protocol(
+                        "trial line without seq".to_string(),
+                    )));
+                }
+            }
+        }
+        "done" => {
+            let Some(slot) = slot_index.map(|i| &mut slots[i]) else {
+                return;
+            };
+            if slot.result.is_some() {
+                return;
+            }
+            let count = |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0) as usize;
+            let taxonomy = TrialTaxonomy {
+                completed: count("completed"),
+                round_capped: count("round_capped"),
+                timed_out: count("timed_out"),
+                panicked: count("panicked"),
+                not_run: count("not_run"),
+            };
+            let trials = taxonomy.completed
+                + taxonomy.round_capped
+                + taxonomy.timed_out
+                + taxonomy.panicked
+                + taxonomy.not_run;
+            if slot.trial_lines.len() != trials {
+                slot.result = Some(Err(ClientError::Protocol(format!(
+                    "done after {} of {trials} trial lines",
+                    slot.trial_lines.len()
+                ))));
+                return;
+            }
+            slot.cached |= value.get("cached").and_then(Json::as_bool).unwrap_or(false);
+            slot.result = Some(Ok(JobResult {
+                job: slot.job_hex.clone(),
+                trial_lines: slot.trial_lines.clone(),
+                taxonomy,
+                reused: count("reused"),
+                cached: slot.cached,
+                duplicate: slot.duplicate,
+            }));
+        }
+        "overloaded" => {
+            let retry_after_ms = value
+                .get("retry_after_ms")
+                .and_then(Json::as_u64)
+                .unwrap_or(100);
+            let error = ClientError::Overloaded { retry_after_ms };
+            match slot_index {
+                Some(i) => retry_or_fail(&mut slots[i], error, Some(retry_after_ms), retry),
+                None => {
+                    for slot in slots.iter_mut().filter(|s| s.result.is_none() && s.active) {
+                        retry_or_fail(slot, error.clone(), Some(retry_after_ms), retry);
+                    }
+                }
+            }
+        }
+        "draining" => match slot_index {
+            Some(i) => retry_or_fail(&mut slots[i], ClientError::Draining, None, retry),
+            None => {
+                for slot in slots.iter_mut().filter(|s| s.result.is_none() && s.active) {
+                    retry_or_fail(slot, ClientError::Draining, None, retry);
+                }
+            }
+        },
+        "error" => {
+            let message = value
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified")
+                .to_string();
+            match slot_index {
+                Some(i) => slots[i].result = Some(Err(ClientError::Rejected(message))),
+                None => {
+                    for slot in slots.iter_mut().filter(|s| s.result.is_none() && s.active) {
+                        slot.result = Some(Err(ClientError::Rejected(message.clone())));
+                    }
+                }
+            }
+        }
+        // Unknown line types are skipped (forward compatibility), matching
+        // the parser's tolerance for unknown fields.
+        _ => {}
+    }
+}
+
+/// Consumes one shed/drain answer: schedule a retry on this session (the
+/// server hint and the backoff schedule both respected) or, with the retry
+/// budget exhausted, make the typed error terminal.
+fn retry_or_fail(
+    slot: &mut Slot,
+    error: ClientError,
+    wait_hint_ms: Option<u64>,
+    retry: RetryPolicy,
+) {
+    if slot.result.is_some() {
+        return;
+    }
+    slot.active = false;
+    slot.attempts += 1;
+    if slot.attempts >= retry.max_attempts {
+        slot.result = Some(Err(error));
+        return;
+    }
+    let mut wait = retry.backoff(slot.attempts - 1, slot.digest);
+    if let Some(ms) = wait_hint_ms {
+        wait = wait.max(Duration::from_millis(ms));
+    }
+    slot.retry_at = Some(Instant::now() + wait);
+}
+
+/// One step of the client's bounded reader (mirror of the server's: partial
+/// lines accumulate across timeout ticks, and no line may grow past
+/// [`MAX_LINE_BYTES`]).
+enum NetEvent {
+    Line(String),
+    Eof,
+    TooLong,
+    Tick,
+    Failed(String),
+}
+
+fn next_line(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> NetEvent {
+    loop {
+        let remaining = (MAX_LINE_BYTES + 1).saturating_sub(buf.len());
+        if remaining == 0 {
+            return NetEvent::TooLong;
+        }
+        match (&mut *reader).take(remaining as u64).read_until(b'\n', buf) {
+            Ok(0) => return NetEvent::Eof,
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    if buf.len() > MAX_LINE_BYTES {
+                        return NetEvent::TooLong;
+                    }
+                    let line = String::from_utf8_lossy(buf).trim_end().to_string();
+                    buf.clear();
+                    return NetEvent::Line(line);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return NetEvent::Tick
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return NetEvent::Failed(e.to_string()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -441,5 +896,37 @@ mod tests {
             Err(ClientError::Io(_)) => {}
             other => panic!("expected Io error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn seq_filter_drops_replays_and_rejects_gaps() {
+        let request = SubmitRequest::new(
+            "t",
+            crate::serve::protocol::TopologySpec::new("star", 8),
+            "push",
+            2,
+        );
+        let digest = request.digest();
+        let mut slots = vec![Slot::new(request)];
+        slots[0].active = true;
+        let mut stats = SessionStats::default();
+        let frame = |seq: u64, index: usize| {
+            format!(
+                "{{\"type\":\"trial\",\"job\":\"{digest:016x}\",\"seq\":{seq},\"index\":{index},\"status\":\"not-run\"}}"
+            )
+        };
+        let retry = RetryPolicy::none();
+        dispatch_line(&frame(1, 0), &mut slots, retry, &mut stats);
+        // A replayed seq 1 is dropped, not duplicated.
+        dispatch_line(&frame(1, 0), &mut slots, retry, &mut stats);
+        dispatch_line(&frame(2, 1), &mut slots, retry, &mut stats);
+        assert_eq!(slots[0].trial_lines.len(), 2);
+        assert_eq!(stats.duplicate_lines_dropped, 1);
+        // A gap is a protocol violation, never a silent loss.
+        dispatch_line(&frame(9, 5), &mut slots, retry, &mut stats);
+        assert!(matches!(
+            slots[0].result,
+            Some(Err(ClientError::Protocol(_)))
+        ));
     }
 }

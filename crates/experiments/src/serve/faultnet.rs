@@ -1,0 +1,435 @@
+//! A deterministic in-process TCP chaos proxy for the serve stack.
+//!
+//! [`FaultNet`] sits between a client and a `rumor-serve` server and
+//! injects network faults — connection drops, mid-stream resets, byte
+//! truncations, and stalls — at **seed-keyed** points: the schedule is a
+//! pure function of `(seed, connection index)` through the workspace's
+//! Philox counter RNG, exactly like PR 6's `FaultPlan` for in-process
+//! faults. Two runs of the same scenario therefore inject the same faults
+//! at the same byte offsets, which is what lets the `serve_chaos` suite pin
+//! *byte-identity* of a sweep's result stream under sustained network
+//! failure rather than merely "it eventually finished".
+//!
+//! The proxy is std-only (vendored-deps constraint): one accept-poll
+//! thread, two pump threads per connection, timeout-driven reads so
+//! everything unwinds promptly on [`FaultNet::shutdown`].
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rand::stream::philox2x64;
+
+/// How a faulted connection fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Closed at accept, before any byte flows (connect storm / SYN-then-die).
+    Drop,
+    /// Both directions cut abruptly once the fault point passes — the
+    /// client sees the stream die mid-line.
+    Reset,
+    /// Exactly `after_bytes` of the response stream are delivered, then the
+    /// connection closes — a clean-looking prefix with a silent cut.
+    Truncate,
+    /// The response stream stalls for the configured delay at the fault
+    /// point, then continues undamaged — latency, not loss.
+    Delay,
+}
+
+/// The seed-keyed fault schedule's parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    /// Schedule key: same seed, same faults, same byte offsets.
+    pub seed: u64,
+    /// Fraction of connections that fault (0.0 ..= 1.0).
+    pub fault_rate: f64,
+    /// Fault-point range, in downstream (server→client) bytes. Keep the
+    /// lower bound past one response line so every connection makes
+    /// progress and a resuming client always converges.
+    pub min_after_bytes: u64,
+    /// Upper bound of the fault point.
+    pub max_after_bytes: u64,
+    /// Stall length for [`FaultKind::Delay`] faults.
+    pub delay_ms: u64,
+}
+
+impl FaultSpec {
+    /// A schedule faulting roughly two connections in three, cutting
+    /// 150–1200 bytes into the response stream, with 50 ms stalls.
+    pub fn new(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            fault_rate: 0.65,
+            min_after_bytes: 150,
+            max_after_bytes: 1200,
+            delay_ms: 50,
+        }
+    }
+
+    /// The fault (kind + downstream byte offset) for connection `index`,
+    /// or `None` for a clean connection. Pure in `(seed, index)`.
+    pub fn fault_for(&self, index: u64) -> Option<(FaultKind, u64)> {
+        let word = philox2x64([index, 0x6661_756c_745f_6e31], self.seed);
+        let unit = (word[0] >> 11) as f64 / (1u64 << 53) as f64;
+        if unit >= self.fault_rate {
+            return None;
+        }
+        let kind = match word[1] % 4 {
+            0 => FaultKind::Drop,
+            1 => FaultKind::Reset,
+            2 => FaultKind::Truncate,
+            _ => FaultKind::Delay,
+        };
+        let span = self.max_after_bytes.max(self.min_after_bytes) - self.min_after_bytes + 1;
+        let offset = philox2x64([index, 0x6661_756c_745f_6e32], self.seed)[0] % span;
+        Some((kind, self.min_after_bytes + offset))
+    }
+}
+
+/// What the proxy actually injected (the chaos suite asserts a floor on
+/// `total` so a mis-tuned schedule cannot pass vacuously).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections closed at accept.
+    pub drops: u64,
+    /// Connections cut abruptly mid-stream.
+    pub resets: u64,
+    /// Connections truncated at an exact byte offset.
+    pub truncations: u64,
+    /// Stalls injected.
+    pub delays: u64,
+}
+
+impl FaultReport {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.drops + self.resets + self.truncations + self.delays
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    drops: AtomicU64,
+    resets: AtomicU64,
+    truncations: AtomicU64,
+    delays: AtomicU64,
+}
+
+/// One proxied connection pair; `kill` tears both sides down exactly once.
+struct Link {
+    client: TcpStream,
+    server: TcpStream,
+    dead: AtomicBool,
+}
+
+impl Link {
+    fn kill(&self) {
+        if !self.dead.swap(true, Ordering::SeqCst) {
+            self.client.shutdown(Shutdown::Both).ok();
+            self.server.shutdown(Shutdown::Both).ok();
+        }
+    }
+
+    fn dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+}
+
+/// The running proxy: listens on an ephemeral local port and forwards to
+/// the upstream address, injecting the [`FaultSpec`] schedule.
+#[derive(Debug)]
+pub struct FaultNet {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FaultNet {
+    /// Starts the proxy in front of `upstream`.
+    pub fn start(upstream: SocketAddr, spec: FaultSpec) -> std::io::Result<FaultNet> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            Some(std::thread::spawn(move || {
+                accept_loop(&listener, upstream, spec, &shutdown, &counters);
+            }))
+        };
+        Ok(FaultNet {
+            addr,
+            shutdown,
+            counters,
+            accept_thread,
+        })
+    }
+
+    /// The proxy's client-facing address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the injected-fault counters.
+    pub fn report(&self) -> FaultReport {
+        FaultReport {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            drops: self.counters.drops.load(Ordering::Relaxed),
+            resets: self.counters.resets.load(Ordering::Relaxed),
+            truncations: self.counters.truncations.load(Ordering::Relaxed),
+            delays: self.counters.delays.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, tears down every live link, and joins the proxy's
+    /// threads.
+    pub fn shutdown(mut self) -> FaultReport {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        self.report()
+    }
+}
+
+impl Drop for FaultNet {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    spec: FaultSpec,
+    shutdown: &Arc<AtomicBool>,
+    counters: &Arc<Counters>,
+) {
+    let mut index = 0u64;
+    let links: Arc<Mutex<Vec<Arc<Link>>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut pumps: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                let fault = spec.fault_for(index);
+                index += 1;
+                if let Some((FaultKind::Drop, _)) = fault {
+                    counters.drops.fetch_add(1, Ordering::Relaxed);
+                    drop(client); // closed before any byte flows
+                    continue;
+                }
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    continue; // upstream gone (drained); client sees EOF
+                };
+                client.set_nodelay(true).ok();
+                server.set_nodelay(true).ok();
+                client
+                    .set_read_timeout(Some(Duration::from_millis(50)))
+                    .ok();
+                server
+                    .set_read_timeout(Some(Duration::from_millis(50)))
+                    .ok();
+                let link = match (client.try_clone(), server.try_clone()) {
+                    (Ok(c), Ok(s)) => Arc::new(Link {
+                        client: c,
+                        server: s,
+                        dead: AtomicBool::new(false),
+                    }),
+                    _ => continue,
+                };
+                links.lock().unwrap().push(Arc::clone(&link));
+                // Upstream pump (client → server): never faulted — faults
+                // model the delivery path the ISSUE cares about, and a
+                // clean request path keeps every schedule convergent.
+                {
+                    let link = Arc::clone(&link);
+                    let shutdown = Arc::clone(shutdown);
+                    let (from, to) = (client.try_clone(), server.try_clone());
+                    if let (Ok(from), Ok(to)) = (from, to) {
+                        pumps.push(std::thread::spawn(move || {
+                            pump(from, to, &link, &shutdown, None, None, 0);
+                        }));
+                    }
+                }
+                // Downstream pump (server → client): carries the fault.
+                {
+                    let shutdown = Arc::clone(shutdown);
+                    let counters = Arc::clone(counters);
+                    let delay_ms = spec.delay_ms;
+                    pumps.push(std::thread::spawn(move || {
+                        pump(
+                            server,
+                            client,
+                            &link,
+                            &shutdown,
+                            fault,
+                            Some(counters),
+                            delay_ms,
+                        );
+                    }));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    for link in links.lock().unwrap().iter() {
+        link.kill();
+    }
+    for thread in pumps {
+        let _ = thread.join();
+    }
+}
+
+/// Forwards bytes `from → to` until EOF, error, shutdown, or the link dies;
+/// applies the fault (if any) at its downstream byte offset.
+#[allow(clippy::too_many_arguments)]
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    link: &Arc<Link>,
+    shutdown: &Arc<AtomicBool>,
+    fault: Option<(FaultKind, u64)>,
+    counters: Option<Arc<Counters>>,
+    delay_ms: u64,
+) {
+    let mut buf = [0u8; 4096];
+    let mut forwarded = 0u64;
+    let mut fault = fault;
+    loop {
+        if link.dead() || shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                let mut chunk = &buf[..n];
+                if let Some((kind, after)) = fault {
+                    if forwarded + n as u64 >= after {
+                        let counters = counters.as_ref().expect("faulted pump has counters");
+                        match kind {
+                            FaultKind::Reset => {
+                                // Cut abruptly: nothing past the fault point
+                                // is delivered, both directions die.
+                                let keep = (after - forwarded) as usize;
+                                let _ = to.write_all(&chunk[..keep.min(chunk.len())]);
+                                counters.resets.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            FaultKind::Truncate => {
+                                let keep = (after - forwarded) as usize;
+                                let _ = to
+                                    .write_all(&chunk[..keep.min(chunk.len())])
+                                    .and_then(|()| to.flush());
+                                counters.truncations.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            FaultKind::Delay => {
+                                counters.delays.fetch_add(1, Ordering::Relaxed);
+                                let keep = ((after - forwarded) as usize).min(chunk.len());
+                                if to.write_all(&chunk[..keep]).is_err() {
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_millis(delay_ms));
+                                chunk = &chunk[keep..];
+                                fault = None; // one stall per connection
+                            }
+                            FaultKind::Drop => unreachable!("drops happen at accept"),
+                        }
+                    }
+                }
+                if !chunk.is_empty() && to.write_all(chunk).is_err() {
+                    break;
+                }
+                forwarded += n as u64;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    link.kill();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_mixes_kinds() {
+        let spec = FaultSpec::new(42);
+        let a: Vec<_> = (0..64).map(|i| spec.fault_for(i)).collect();
+        let b: Vec<_> = (0..64).map(|i| spec.fault_for(i)).collect();
+        assert_eq!(a, b, "same seed must give the same schedule");
+        let faulted = a.iter().flatten().count();
+        assert!(
+            (20..=55).contains(&faulted),
+            "fault rate badly off: {faulted}/64"
+        );
+        for kind in [
+            FaultKind::Drop,
+            FaultKind::Reset,
+            FaultKind::Truncate,
+            FaultKind::Delay,
+        ] {
+            assert!(
+                a.iter().flatten().any(|(k, _)| *k == kind),
+                "kind {kind:?} never scheduled in 64 connections"
+            );
+        }
+        for (_, after) in a.iter().flatten() {
+            assert!((150..=1200).contains(after), "offset out of range: {after}");
+        }
+        // A different seed shuffles the schedule.
+        let other: Vec<_> = (0..64).map(|i| FaultSpec::new(43).fault_for(i)).collect();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn proxy_forwards_cleanly_at_rate_zero() {
+        use std::io::{BufRead, BufReader, Write};
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (stream, _) = upstream.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut writer = stream;
+            write!(writer, "echo: {line}").unwrap();
+        });
+        let spec = FaultSpec {
+            fault_rate: 0.0,
+            ..FaultSpec::new(1)
+        };
+        let proxy = FaultNet::start(upstream_addr, spec).unwrap();
+        let client = TcpStream::connect(proxy.addr()).unwrap();
+        let mut writer = client.try_clone().unwrap();
+        writeln!(writer, "hello").unwrap();
+        let mut line = String::new();
+        BufReader::new(client).read_line(&mut line).unwrap();
+        assert_eq!(line, "echo: hello\n");
+        echo.join().unwrap();
+        let report = proxy.shutdown();
+        assert_eq!(report.connections, 1);
+        assert_eq!(report.total(), 0);
+    }
+}

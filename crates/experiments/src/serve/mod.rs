@@ -22,24 +22,41 @@
 //!   design: every finished trial is already in a digest-keyed manifest
 //!   written through atomic renames, so a restarted server loses **zero
 //!   completed trials**.
-//! * **Client-side resilience** — [`ServeClient`] retries shed, draining,
-//!   and transport failures with exponential backoff plus deterministic
-//!   jitter; submissions are idempotent (digest-keyed), so retries are free
-//!   cache/manifest hits.
+//! * **Multiplexed sessions** — a connection carries any number of
+//!   concurrent jobs; every job-scoped line is `(job, seq)`-tagged, and a
+//!   `resume {job, last_seq}` verb re-attaches a client to an in-flight or
+//!   cached job replaying exactly the missing suffix, byte-identical to an
+//!   uninterrupted stream ([`protocol`], [`Server`]).
+//! * **Liveness** — `heartbeat` keepalives plus a server-side idle read
+//!   timeout reclaim the threads behind half-open connections; the reader
+//!   is byte-bounded ([`protocol::MAX_LINE_BYTES`]), so hostile framing
+//!   gets a typed `protocol_error` instead of unbounded buffers.
+//! * **Client-side resilience** — [`ServeClient`] survives connection
+//!   death by transparent reconnect + resume (the per-job `seq` filter
+//!   drops replayed overlap — zero lost, zero duplicated lines) and
+//!   retries shed, draining, and connect failures with exponential backoff
+//!   plus deterministic jitter; submissions are idempotent (digest-keyed),
+//!   so retries are free cache/manifest hits.
 //! * **Result cache** — a spec-digest → result cache answers duplicate
 //!   submissions in O(1) with byte-identical trial lines.
+//! * **Deterministic network chaos** — [`FaultNet`] is an in-process TCP
+//!   proxy injecting drops, resets, truncations, and stalls on a seed-keyed
+//!   (Philox) schedule, so the `serve_chaos` suite pins the zero-loss
+//!   guarantees under reproducible network failure.
 //!
 //! See the README's *Serving* section for the wire protocol and
 //! operational guarantees, and `rumor-serve --help` for the binary.
 
 pub mod client;
+pub mod faultnet;
 pub mod protocol;
 mod scheduler;
 mod server;
 pub mod shed;
 
-pub use client::{ClientError, JobResult, RetryPolicy, ServeClient};
-pub use protocol::{SubmitRequest, TopologySpec};
+pub use client::{ClientError, JobResult, RetryPolicy, ServeClient, SessionStats};
+pub use faultnet::{FaultKind, FaultNet, FaultReport, FaultSpec};
+pub use protocol::{ServerStatus, SubmitRequest, TopologySpec, MAX_LINE_BYTES};
 pub use scheduler::{ServeConfig, ServeStats};
 pub use server::{Server, ServerHandle};
 pub use shed::AdmissionLimits;

@@ -1,26 +1,41 @@
-//! The `rumor-serve` wire protocol: newline-delimited JSON over TCP.
+//! The `rumor-serve` wire protocol: newline-delimited JSON over TCP, with
+//! multiplexed sessions.
 //!
 //! The workspace's `serde` is a vendored no-op facade (marker traits only),
 //! so the wire layer is hand-rolled: a strict parser for a small JSON value
 //! type ([`Json`]) plus line builders with **fixed field order**, which is
 //! what makes result lines byte-identical across live execution, manifest
-//! recovery, and cache replay.
+//! recovery, resume replay, and cache replay.
 //!
-//! One request line per connection, a stream of response lines back:
+//! A connection is a **session**: the client may send any number of request
+//! lines, and every job-scoped response line carries the job digest plus a
+//! monotone per-job sequence number, so one connection can carry many
+//! concurrent jobs and a re-attached connection can name exactly where the
+//! previous one died:
 //!
 //! ```text
 //! → {"verb":"submit","client":"alice","topology":{"family":"complete","n":64},
 //!    "protocol":"push","trials":8,"seed":1,"max_rounds":100000}
-//! ← {"type":"accepted","job":"a1b2c3d4e5f60718","trials":8,"cached":false,"duplicate":false}
-//! ← {"type":"trial","index":0,"status":"completed","rounds":9,"iv":64,"ia":0,"msgs":230}
-//! ← …one line per trial, in trial-index order…
-//! ← {"type":"done","job":"a1b2c3d4e5f60718","completed":8,"round_capped":0,
+//! ← {"type":"accepted","job":"a1b2c3d4e5f60718","seq":0,"trials":8,"cached":false,"duplicate":false}
+//! ← {"type":"trial","job":"a1b2c3d4e5f60718","seq":1,"index":0,"status":"completed",
+//!    "rounds":9,"iv":64,"ia":0,"msgs":230}
+//! ← …one line per trial, in trial-index order; trial i carries seq i+1…
+//! ← {"type":"done","job":"a1b2c3d4e5f60718","seq":9,"completed":8,"round_capped":0,
 //!    "timed_out":0,"panicked":0,"not_run":0,"reused":0,"cached":false}
+//!
+//! → {"verb":"resume","job":"a1b2c3d4e5f60718","last_seq":3}
+//! ← {"type":"resumed","job":"a1b2c3d4e5f60718","seq":3,"trials":8}
+//! ← …trial lines with seq 4.. — exactly the missing suffix, byte-identical…
+//!
+//! → {"verb":"heartbeat"}        ← {"type":"heartbeat"}
 //! ```
 //!
 //! Overload, drain, and validation failures answer with a single typed line
-//! (`overloaded`, `draining`, `error`) and close the connection — a request
-//! never hangs.
+//! (`overloaded`, `draining`, `error`) — tagged with the job digest when
+//! they answer a `submit`/`resume` inside a session — so a request never
+//! hangs. A request line longer than [`MAX_LINE_BYTES`] is answered with a
+//! typed `protocol_error` line and the connection closes (bounded reader;
+//! a hostile client cannot grow server buffers without limit).
 
 use std::collections::BTreeMap;
 
@@ -28,6 +43,12 @@ use rumor_core::{ProtocolKind, SimulationSpec};
 use rumor_graphs::{AnyTopology, GeneratedGraph, ImplicitGraph};
 
 use crate::runner::TrialOutcome;
+
+/// Upper bound on one NDJSON line, both directions. The server's bounded
+/// reader answers anything longer with a typed `protocol_error` line and
+/// closes the connection instead of growing `read_line` buffers without
+/// limit; the client applies the same bound to response lines.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
 // ---------------------------------------------------------------------------
 // JSON values
@@ -471,6 +492,18 @@ impl SubmitRequest {
 pub enum Request {
     /// Submit a sweep.
     Submit(SubmitRequest),
+    /// Re-attach to an in-flight or completed job by digest: the server
+    /// replays exactly the job-scoped lines with `seq > last_seq`.
+    Resume {
+        /// The job digest (the `job` field of every job-scoped line).
+        job: u64,
+        /// The highest sequence number the client already holds (`0` for
+        /// none — trial `i` carries `seq == i + 1`).
+        last_seq: u64,
+    },
+    /// Session keepalive: answered with a `heartbeat` line, resets the
+    /// server's idle read timeout.
+    Heartbeat,
     /// Liveness probe.
     Ping,
     /// Begin a graceful drain: stop admission, finish or checkpoint
@@ -478,6 +511,9 @@ pub enum Request {
     Drain,
     /// Server counters (executed/shed/cache hits/queue depth).
     Stats,
+    /// Extended observability: queue depth, active jobs, open sessions,
+    /// cache/shed/resume/heartbeat counters.
+    Status,
 }
 
 /// Parses one request line.
@@ -491,6 +527,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "drain" => Ok(Request::Drain),
         "stats" => Ok(Request::Stats),
+        "status" => Ok(Request::Status),
+        "heartbeat" => Ok(Request::Heartbeat),
+        "resume" => {
+            let job = value
+                .get("job")
+                .and_then(Json::as_str)
+                .ok_or("missing \"job\"")?;
+            let job = u64::from_str_radix(job, 16).map_err(|_| format!("bad job id {job:?}"))?;
+            Ok(Request::Resume {
+                job,
+                last_seq: value.get("last_seq").and_then(Json::as_u64).unwrap_or(0),
+            })
+        }
         "submit" => {
             let topo = value.get("topology").ok_or("missing \"topology\"")?;
             let topology = TopologySpec {
@@ -544,11 +593,65 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 // Response lines
 // ---------------------------------------------------------------------------
 
-/// The `accepted` line opening a submission's response stream.
+/// The `accepted` line opening a submission's response stream (`seq` 0 —
+/// trial `i` follows with `seq == i + 1`).
 pub fn accepted_line(digest: u64, trials: usize, cached: bool, duplicate: bool) -> String {
     format!(
-        "{{\"type\":\"accepted\",\"job\":\"{digest:016x}\",\"trials\":{trials},\"cached\":{cached},\"duplicate\":{duplicate}}}"
+        "{{\"type\":\"accepted\",\"job\":\"{digest:016x}\",\"seq\":0,\"trials\":{trials},\"cached\":{cached},\"duplicate\":{duplicate}}}"
     )
+}
+
+/// The `resumed` line opening a `resume` verb's replay stream: `seq` echoes
+/// the resume point, so the next line on the wire carries `seq + 1`.
+pub fn resumed_line(digest: u64, trials: usize, last_seq: u64) -> String {
+    format!(
+        "{{\"type\":\"resumed\",\"job\":\"{digest:016x}\",\"seq\":{last_seq},\"trials\":{trials}}}"
+    )
+}
+
+/// The typed answer to a `resume` naming a digest this server has neither
+/// in flight, in cache, nor fully recorded — the client falls back to an
+/// idempotent resubmission.
+pub fn unknown_job_line(digest: u64) -> String {
+    format!("{{\"type\":\"unknown_job\",\"job\":\"{digest:016x}\"}}")
+}
+
+/// Session keepalive answer (and the client's request is
+/// `{"verb":"heartbeat"}`).
+pub fn heartbeat_line() -> String {
+    "{\"type\":\"heartbeat\"}".to_string()
+}
+
+/// The `resume` request line.
+pub fn resume_request_line(job: u64, last_seq: u64) -> String {
+    format!("{{\"verb\":\"resume\",\"job\":\"{job:016x}\",\"last_seq\":{last_seq}}}")
+}
+
+/// The typed violation line the bounded reader answers before closing a
+/// connection (oversized line, hostile framing).
+pub fn protocol_error_line(message: &str) -> String {
+    format!(
+        "{{\"type\":\"protocol_error\",\"message\":\"{}\"}}",
+        escape_json(message)
+    )
+}
+
+/// Frames one stored job line for a session stream: splices
+/// `"job":…,"seq":…` into the line right after its `type` field. Stored
+/// trial lines stay unframed (manifest/cache compatible); framing is a pure
+/// function of `(job, seq)`, so live, resumed, and cached replays of the
+/// same line are byte-identical on the wire.
+pub fn with_session(line: &str, job: u64, seq: u64) -> String {
+    const TRIAL_PREFIX: &str = "{\"type\":\"trial\",";
+    if let Some(rest) = line.strip_prefix(TRIAL_PREFIX) {
+        format!("{{\"type\":\"trial\",\"job\":\"{job:016x}\",\"seq\":{seq},{rest}")
+    } else {
+        // Any other stored line: tag after the opening brace.
+        format!(
+            "{{\"job\":\"{job:016x}\",\"seq\":{seq},{}",
+            line.strip_prefix('{').unwrap_or(line)
+        )
+    }
 }
 
 /// One trial's result line. Field order is fixed and the fields are exactly
@@ -582,10 +685,12 @@ pub fn trial_line(index: usize, outcome: &TrialOutcome) -> String {
     }
 }
 
-/// The terminal `done` line of a submission's response stream.
+/// The terminal `done` line of a job's response stream (`seq` is
+/// `trials + 1`, the line after the last trial).
 #[allow(clippy::too_many_arguments)]
 pub fn done_line(
     digest: u64,
+    seq: u64,
     completed: usize,
     round_capped: usize,
     timed_out: usize,
@@ -595,26 +700,117 @@ pub fn done_line(
     cached: bool,
 ) -> String {
     format!(
-        "{{\"type\":\"done\",\"job\":\"{digest:016x}\",\"completed\":{completed},\"round_capped\":{round_capped},\"timed_out\":{timed_out},\"panicked\":{panicked},\"not_run\":{not_run},\"reused\":{reused},\"cached\":{cached}}}"
+        "{{\"type\":\"done\",\"job\":\"{digest:016x}\",\"seq\":{seq},\"completed\":{completed},\"round_capped\":{round_capped},\"timed_out\":{timed_out},\"panicked\":{panicked},\"not_run\":{not_run},\"reused\":{reused},\"cached\":{cached}}}"
     )
 }
 
-/// The typed load-shed rejection line.
-pub fn overloaded_line(retry_after_ms: u64) -> String {
-    format!("{{\"type\":\"overloaded\",\"retry_after_ms\":{retry_after_ms}}}")
+/// The typed load-shed rejection line. With `job` set the line answers a
+/// specific in-session submission (the multi-job client correlates by it).
+pub fn overloaded_line(job: Option<u64>, retry_after_ms: u64) -> String {
+    match job {
+        Some(job) => format!(
+            "{{\"type\":\"overloaded\",\"job\":\"{job:016x}\",\"retry_after_ms\":{retry_after_ms}}}"
+        ),
+        None => format!("{{\"type\":\"overloaded\",\"retry_after_ms\":{retry_after_ms}}}"),
+    }
 }
 
-/// The drain notification line (sent both as the answer to a `drain` verb
-/// and as the terminal line of streams cut short by a drain).
-pub fn draining_line() -> String {
-    "{\"type\":\"draining\"}".to_string()
+/// The drain notification line: untagged as the answer to a `drain` verb,
+/// job-tagged when it terminates one job's feed inside a session.
+pub fn draining_line(job: Option<u64>) -> String {
+    match job {
+        Some(job) => format!("{{\"type\":\"draining\",\"job\":\"{job:016x}\"}}"),
+        None => "{\"type\":\"draining\"}".to_string(),
+    }
 }
 
-/// A fatal per-request error line (validation failure, bad verb, …).
-pub fn error_line(message: &str) -> String {
+/// A fatal per-request error line (validation failure, bad verb, …);
+/// job-tagged when rejecting one submission inside a session.
+pub fn error_line(job: Option<u64>, message: &str) -> String {
+    match job {
+        Some(job) => format!(
+            "{{\"type\":\"error\",\"job\":\"{job:016x}\",\"message\":\"{}\"}}",
+            escape_json(message)
+        ),
+        None => format!(
+            "{{\"type\":\"error\",\"message\":\"{}\"}}",
+            escape_json(message)
+        ),
+    }
+}
+
+/// The `status` verb's answer: scheduler load plus session-layer counters.
+/// One struct both ends share — the server renders it with [`status_line`],
+/// the client parses it back with [`ServerStatus::from_json`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStatus {
+    /// Trials currently queued or running.
+    pub queue_depth: usize,
+    /// Jobs currently open.
+    pub active_jobs: usize,
+    /// Trials actually executed (excludes manifest/cache reuse).
+    pub executed: usize,
+    /// Submissions rejected by admission control.
+    pub shed: usize,
+    /// Submissions answered from the result cache.
+    pub cache_hits: usize,
+    /// Submissions attached to an identical in-flight job.
+    pub duplicate_hits: usize,
+    /// Connections currently open.
+    pub open_sessions: u64,
+    /// Connections accepted over the server's lifetime.
+    pub sessions_opened: u64,
+    /// `resume` verbs served.
+    pub resumes: u64,
+    /// Lines replayed onto re-attached streams.
+    pub replayed_lines: u64,
+    /// Heartbeat verbs answered.
+    pub heartbeats: u64,
+    /// Violations answered with a typed `protocol_error`/`error` line.
+    pub protocol_errors: u64,
+    /// Half-open connections reclaimed by the idle timeout.
+    pub idle_reaped: u64,
+}
+
+impl ServerStatus {
+    /// Parses a `status` line's JSON object back into the struct.
+    pub fn from_json(value: &Json) -> Option<ServerStatus> {
+        let field = |key: &str| value.get(key).and_then(Json::as_u64);
+        Some(ServerStatus {
+            queue_depth: field("queue_depth")? as usize,
+            active_jobs: field("active_jobs")? as usize,
+            executed: field("executed")? as usize,
+            shed: field("shed")? as usize,
+            cache_hits: field("cache_hits")? as usize,
+            duplicate_hits: field("duplicate_hits")? as usize,
+            open_sessions: field("open_sessions")?,
+            sessions_opened: field("sessions_opened")?,
+            resumes: field("resumes")?,
+            replayed_lines: field("replayed_lines")?,
+            heartbeats: field("heartbeats")?,
+            protocol_errors: field("protocol_errors")?,
+            idle_reaped: field("idle_reaped")?,
+        })
+    }
+}
+
+/// The `status` verb's answer line.
+pub fn status_line(status: &ServerStatus) -> String {
     format!(
-        "{{\"type\":\"error\",\"message\":\"{}\"}}",
-        escape_json(message)
+        "{{\"type\":\"status\",\"queue_depth\":{},\"active_jobs\":{},\"executed\":{},\"shed\":{},\"cache_hits\":{},\"duplicate_hits\":{},\"open_sessions\":{},\"sessions_opened\":{},\"resumes\":{},\"replayed_lines\":{},\"heartbeats\":{},\"protocol_errors\":{},\"idle_reaped\":{}}}",
+        status.queue_depth,
+        status.active_jobs,
+        status.executed,
+        status.shed,
+        status.cache_hits,
+        status.duplicate_hits,
+        status.open_sessions,
+        status.sessions_opened,
+        status.resumes,
+        status.replayed_lines,
+        status.heartbeats,
+        status.protocol_errors,
+        status.idle_reaped,
     )
 }
 
@@ -729,13 +925,86 @@ mod tests {
             trial_line(0, &outcome),
             trial_line(0, &panicked),
             trial_line(0, &TrialOutcome::NotRun),
+            with_session(&trial_line(0, &outcome), 7, 1),
             accepted_line(7, 4, false, true),
-            done_line(7, 4, 0, 0, 0, 0, 2, false),
-            overloaded_line(250),
-            draining_line(),
-            error_line("bad \"spec\""),
+            resumed_line(7, 4, 2),
+            unknown_job_line(7),
+            heartbeat_line(),
+            protocol_error_line("line too long"),
+            done_line(7, 5, 4, 0, 0, 0, 0, 2, false),
+            overloaded_line(None, 250),
+            overloaded_line(Some(7), 250),
+            draining_line(None),
+            draining_line(Some(7)),
+            error_line(None, "bad \"spec\""),
+            error_line(Some(7), "bad \"spec\""),
+            status_line(&ServerStatus::default()),
         ] {
             parse_json(&line).unwrap_or_else(|e| panic!("unparseable line {line}: {e}"));
         }
+    }
+
+    #[test]
+    fn status_round_trips() {
+        let status = ServerStatus {
+            queue_depth: 1,
+            active_jobs: 2,
+            executed: 3,
+            shed: 4,
+            cache_hits: 5,
+            duplicate_hits: 6,
+            open_sessions: 7,
+            sessions_opened: 8,
+            resumes: 9,
+            replayed_lines: 10,
+            heartbeats: 11,
+            protocol_errors: 12,
+            idle_reaped: 13,
+        };
+        let parsed = parse_json(&status_line(&status)).unwrap();
+        assert_eq!(parsed.get("type").and_then(Json::as_str), Some("status"));
+        assert_eq!(ServerStatus::from_json(&parsed), Some(status));
+    }
+
+    #[test]
+    fn session_framing_is_a_fixed_splice() {
+        let outcome = TrialOutcome::NotRun;
+        let framed = with_session(&trial_line(2, &outcome), 0xabc, 3);
+        assert_eq!(
+            framed,
+            "{\"type\":\"trial\",\"job\":\"0000000000000abc\",\"seq\":3,\"index\":2,\"status\":\"not-run\"}"
+        );
+        let parsed = parse_json(&framed).unwrap();
+        assert_eq!(
+            parsed.get("job").and_then(Json::as_str),
+            Some("0000000000000abc")
+        );
+        assert_eq!(parsed.get("seq").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("index").and_then(Json::as_u64), Some(2));
+        // Framing is pure: same inputs, same bytes.
+        assert_eq!(framed, with_session(&trial_line(2, &outcome), 0xabc, 3));
+    }
+
+    #[test]
+    fn session_verbs_round_trip() {
+        let line = resume_request_line(0xdead_beef, 17);
+        match parse_request(&line).unwrap() {
+            Request::Resume { job, last_seq } => {
+                assert_eq!(job, 0xdead_beef);
+                assert_eq!(last_seq, 17);
+            }
+            other => panic!("expected resume, got {other:?}"),
+        }
+        assert_eq!(
+            parse_request("{\"verb\":\"heartbeat\"}").unwrap(),
+            Request::Heartbeat
+        );
+        assert_eq!(
+            parse_request("{\"verb\":\"status\"}").unwrap(),
+            Request::Status
+        );
+        // Malformed job ids are rejected, not panics.
+        assert!(parse_request("{\"verb\":\"resume\",\"job\":\"zz\"}").is_err());
+        assert!(parse_request("{\"verb\":\"resume\"}").is_err());
     }
 }

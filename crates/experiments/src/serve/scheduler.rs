@@ -63,6 +63,9 @@ pub struct ServeConfig {
     pub throttle_ms: u64,
     /// How long a drain waits for in-flight work before forcing shutdown.
     pub grace: Duration,
+    /// Close a connection that has sent nothing (not even a heartbeat) for
+    /// this long — reclaims the session thread behind a half-open TCP peer.
+    pub idle_timeout: Duration,
 }
 
 impl ServeConfig {
@@ -76,12 +79,19 @@ impl ServeConfig {
             chunk_rounds: 64,
             throttle_ms: 0,
             grace: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(30),
         }
     }
 
     /// Sets the durability root.
     pub fn with_state_dir(mut self, dir: PathBuf) -> Self {
         self.state_dir = Some(dir);
+        self
+    }
+
+    /// Sets the half-open connection reclaim timeout.
+    pub fn with_idle_timeout(mut self, idle_timeout: Duration) -> Self {
+        self.idle_timeout = idle_timeout;
         self
     }
 
@@ -150,6 +160,16 @@ pub(crate) enum Submission {
     Rejected(String),
 }
 
+/// The scheduler's answer to a `resume` lookup by digest.
+pub(crate) enum Lookup {
+    /// The job is in flight: re-attach to its live feed.
+    Running(Arc<Job>),
+    /// The job finished deterministically: replay from the result cache.
+    Cached(Arc<CachedJob>),
+    /// Nothing under that digest (never submitted, or lost to a restart).
+    Unknown,
+}
+
 /// One admitted sweep job.
 #[derive(Debug)]
 pub(crate) struct Job {
@@ -200,14 +220,35 @@ impl Job {
         finished
     }
 
-    /// Blocks until the feed has lines past `from` or the job reaches a
-    /// terminal state; returns the new lines plus `(finished, drained)`.
-    pub(crate) fn wait_lines(&self, from: usize) -> (Vec<String>, bool, bool) {
+    /// Bounded wait for session forwarder threads: blocks until the feed
+    /// has lines past `from` or the job reaches a terminal state, but
+    /// returns after `timeout` even with no progress, so a forwarder whose
+    /// connection died can observe the session's closed flag and exit
+    /// instead of leaking. `from` past the current feed is tolerated (an
+    /// over-claiming `resume` waits instead of panicking).
+    pub(crate) fn wait_lines_timeout(
+        &self,
+        from: usize,
+        timeout: Duration,
+    ) -> (Vec<String>, bool, bool) {
+        let deadline = Instant::now() + timeout;
         let mut state = self.state.lock().unwrap();
-        while state.lines.len() == from && !state.finished && !state.drained {
-            state = self.progress.wait(state).unwrap();
+        while state.lines.len() <= from && !state.finished && !state.drained {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            let (next, wait) = self.progress.wait_timeout(state, remaining).unwrap();
+            state = next;
+            if wait.timed_out() {
+                break;
+            }
         }
-        (state.lines[from..].to_vec(), state.finished, state.drained)
+        let lines = if state.lines.len() > from {
+            state.lines[from..].to_vec()
+        } else {
+            Vec::new()
+        };
+        (lines, state.finished, state.drained)
     }
 
     /// The finished job's taxonomy (all-NotRun for unfinished jobs).
@@ -481,6 +522,23 @@ impl Scheduler {
             job,
             duplicate: false,
         }
+    }
+
+    /// Looks a job up by digest for a `resume`: in-flight jobs re-attach to
+    /// the live feed, finished deterministic jobs replay from the result
+    /// cache. `Unknown` covers everything else (never submitted, evicted by
+    /// a restart, or finished non-deterministically) — the client's
+    /// fallback is an idempotent resubmission, which replays recorded
+    /// trials from the on-disk manifest instead.
+    pub(crate) fn lookup(&self, digest: u64) -> Lookup {
+        let state = self.shared.state.lock().unwrap();
+        if let Some(job) = state.running.get(&digest) {
+            return Lookup::Running(Arc::clone(job));
+        }
+        if let Some(cached) = state.cache.get(&digest) {
+            return Lookup::Cached(Arc::clone(cached));
+        }
+        Lookup::Unknown
     }
 
     /// Stops admission and wakes every worker; workers exit after their
@@ -787,7 +845,8 @@ mod tests {
     fn collect(job: &Arc<Job>) -> (Vec<String>, bool) {
         let mut lines = Vec::new();
         loop {
-            let (new, finished, drained) = job.wait_lines(lines.len());
+            let (new, finished, drained) =
+                job.wait_lines_timeout(lines.len(), Duration::from_secs(1));
             lines.extend(new);
             if finished || drained {
                 return (lines, drained);

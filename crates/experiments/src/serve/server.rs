@@ -1,33 +1,73 @@
 //! The blocking TCP front of `rumor-serve`: one accept-poll loop, one
-//! handler thread per connection, no async runtime (vendored-deps
-//! constraint — std only).
+//! session per connection, no async runtime (vendored-deps constraint —
+//! std only).
 //!
-//! Every connection carries exactly one request line and receives a typed
-//! response stream (see [`crate::serve::protocol`]). The accept loop polls a
-//! non-blocking listener so a `drain` request can stop admission and let
-//! the process exit without signal handling (the crate forbids `unsafe`, so
-//! `SIGTERM` cannot be trapped in-process; kill-safety comes from the
-//! scheduler's atomic manifests and checkpoints instead — see the module
-//! docs of [`crate::serve`]).
+//! ## Sessions
+//!
+//! A connection is a multiplexed **session**: a reader thread parses any
+//! number of request lines, a writer thread drains a shared outbox, and
+//! every accepted job gets a forwarder thread that frames the job's stored
+//! lines with `"job"`/`"seq"` tags (see [`crate::serve::protocol`]) and
+//! pushes them into the outbox. Many jobs therefore stream concurrently
+//! over one connection, and a `resume` re-attaches to a live or cached job
+//! replaying exactly the suffix past the client's `last_seq`.
+//!
+//! ## Liveness
+//!
+//! The reader is bounded in both dimensions: a line longer than
+//! [`MAX_LINE_BYTES`] answers with a typed `protocol_error` and closes (a
+//! hostile client cannot grow buffers without limit), and a connection that
+//! sends nothing — not even a heartbeat — for the configured idle timeout
+//! is reclaimed, so half-open TCP peers cannot leak session threads.
+//!
+//! The accept loop polls a non-blocking listener so a `drain` request can
+//! stop admission and let the process exit without signal handling (the
+//! crate forbids `unsafe`, so `SIGTERM` cannot be trapped in-process;
+//! kill-safety comes from the scheduler's atomic manifests and checkpoints
+//! instead — see the module docs of [`crate::serve`]).
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::serve::protocol::{
-    accepted_line, done_line, draining_line, error_line, overloaded_line, parse_request, Request,
+    accepted_line, done_line, draining_line, error_line, heartbeat_line, overloaded_line,
+    parse_request, protocol_error_line, resumed_line, status_line, unknown_job_line, with_session,
+    Request, ServerStatus, MAX_LINE_BYTES,
 };
-use crate::serve::scheduler::{Scheduler, ServeConfig, ServeStats, Submission};
+use crate::serve::scheduler::{
+    CachedJob, Job, Lookup, Scheduler, ServeConfig, ServeStats, Submission,
+};
 
-/// A running serve instance: listener + scheduler.
+/// How long a forwarder waits on a silent feed before re-checking the
+/// session's closed flag — bounds forwarder-thread lifetime after a
+/// connection dies.
+const FORWARD_POLL: Duration = Duration::from_millis(100);
+
+/// Session-layer counters (the non-scheduler half of the `status` verb).
+#[derive(Debug, Default)]
+struct SessionCounters {
+    opened: AtomicU64,
+    open: AtomicU64,
+    resumes: AtomicU64,
+    replayed_lines: AtomicU64,
+    heartbeats: AtomicU64,
+    protocol_errors: AtomicU64,
+    idle_reaped: AtomicU64,
+}
+
+/// A running serve instance: listener + scheduler + session counters.
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     scheduler: Arc<Scheduler>,
+    counters: Arc<SessionCounters>,
     connections: Arc<AtomicUsize>,
+    idle_timeout: Duration,
 }
 
 /// A cheap handle onto a running [`Server`] for in-process control
@@ -35,6 +75,7 @@ pub struct Server {
 #[derive(Debug, Clone)]
 pub struct ServerHandle {
     scheduler: Arc<Scheduler>,
+    counters: Arc<SessionCounters>,
     addr: SocketAddr,
 }
 
@@ -47,6 +88,12 @@ impl ServerHandle {
     /// Current scheduler counters.
     pub fn stats(&self) -> ServeStats {
         self.scheduler.stats()
+    }
+
+    /// Current scheduler load plus session-layer counters (the `status`
+    /// verb, without the round-trip).
+    pub fn status(&self) -> ServerStatus {
+        current_status(&self.scheduler, &self.counters)
     }
 
     /// Requests a graceful drain, as if a `drain` verb had arrived.
@@ -62,11 +109,14 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let idle_timeout = config.idle_timeout;
         Ok(Server {
             listener,
             addr,
             scheduler: Arc::new(Scheduler::start(config)),
+            counters: Arc::new(SessionCounters::default()),
             connections: Arc::new(AtomicUsize::new(0)),
+            idle_timeout,
         })
     }
 
@@ -79,23 +129,26 @@ impl Server {
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
             scheduler: Arc::clone(&self.scheduler),
+            counters: Arc::clone(&self.counters),
             addr: self.addr,
         }
     }
 
-    /// Serves until drained: accepts connections, spawning one handler
-    /// thread per connection, and returns once a drain request has stopped
-    /// admission, in-flight work has finished or checkpointed, and open
-    /// connections have unwound (bounded by the configured grace).
+    /// Serves until drained: accepts connections, spawning one session per
+    /// connection, and returns once a drain request has stopped admission,
+    /// in-flight work has finished or checkpointed, and open connections
+    /// have unwound (bounded by the configured grace).
     pub fn run(self) -> std::io::Result<()> {
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     let scheduler = Arc::clone(&self.scheduler);
+                    let counters = Arc::clone(&self.counters);
                     let connections = Arc::clone(&self.connections);
+                    let idle_timeout = self.idle_timeout;
                     connections.fetch_add(1, Ordering::SeqCst);
                     std::thread::spawn(move || {
-                        let _ = handle_connection(stream, &scheduler);
+                        let _ = handle_connection(stream, &scheduler, &counters, idle_timeout);
                         connections.fetch_sub(1, Ordering::SeqCst);
                     });
                 }
@@ -109,7 +162,8 @@ impl Server {
             }
         }
         // Drain: workers finish or checkpoint their current trial, every
-        // unfinished feed is terminated, then connection threads unwind.
+        // unfinished feed is terminated, then sessions unwind (each open
+        // job's forwarder sends a job-tagged `draining` line first).
         self.scheduler.finish_drain();
         let deadline = Instant::now() + Duration::from_secs(10);
         while self.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
@@ -119,29 +173,257 @@ impl Server {
     }
 }
 
-fn handle_connection(stream: TcpStream, scheduler: &Scheduler) -> std::io::Result<()> {
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    let request = match parse_request(line.trim_end()) {
-        Ok(request) => request,
-        Err(message) => {
-            writeln!(writer, "{}", error_line(&message))?;
-            return Ok(());
+// ---------------------------------------------------------------------------
+// Session plumbing
+// ---------------------------------------------------------------------------
+
+struct OutboxState {
+    lines: VecDeque<String>,
+    closed: bool,
+}
+
+/// One connection's shared state: the response outbox (reader + forwarders
+/// push, the writer thread drains) and the teardown flags.
+struct Session {
+    outbox: Mutex<OutboxState>,
+    ready: Condvar,
+    /// The reader has exited; forwarders must stop pushing and return.
+    closed: AtomicBool,
+    /// The writer hit an I/O error (dead peer); pushes become no-ops.
+    writer_dead: AtomicBool,
+}
+
+impl Session {
+    fn new() -> Session {
+        Session {
+            outbox: Mutex::new(OutboxState {
+                lines: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            closed: AtomicBool::new(false),
+            writer_dead: AtomicBool::new(false),
         }
+    }
+
+    /// Queues one response line; `false` once the session is tearing down
+    /// (callers treat that as "stop producing").
+    fn push(&self, line: String) -> bool {
+        if self.writer_dead.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut outbox = self.outbox.lock().unwrap();
+        if outbox.closed {
+            return false;
+        }
+        outbox.lines.push_back(line);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Seals the outbox: the writer drains what is queued, then exits.
+    fn close_outbox(&self) {
+        let mut outbox = self.outbox.lock().unwrap();
+        outbox.closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks for the next line; `None` once the outbox is sealed and empty.
+    fn pop_blocking(&self) -> Option<String> {
+        let mut outbox = self.outbox.lock().unwrap();
+        loop {
+            if let Some(line) = outbox.lines.pop_front() {
+                return Some(line);
+            }
+            if outbox.closed {
+                return None;
+            }
+            outbox = self.ready.wait(outbox).unwrap();
+        }
+    }
+}
+
+fn writer_loop(session: &Session, stream: TcpStream) {
+    let mut writer = std::io::BufWriter::new(stream);
+    while let Some(line) = session.pop_blocking() {
+        if writeln!(writer, "{line}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            session.writer_dead.store(true, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+/// One step of the bounded reader.
+enum ReadEvent {
+    /// A complete request line (newline stripped).
+    Line(String),
+    /// The peer closed the connection.
+    Eof,
+    /// The line exceeded [`MAX_LINE_BYTES`] — protocol violation.
+    TooLong,
+    /// The read timeout elapsed with no complete line; the caller checks
+    /// the idle deadline and teardown flags, then polls again.
+    Tick,
+    /// A non-retryable I/O error.
+    Failed,
+}
+
+/// Reads the next request line without ever growing `buf` past the bound:
+/// each read is capped at the remaining budget, partial lines accumulate
+/// across timeout ticks, and a line that fills the budget without a newline
+/// is a [`ReadEvent::TooLong`] violation.
+fn next_event(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> ReadEvent {
+    loop {
+        let remaining = (MAX_LINE_BYTES + 1).saturating_sub(buf.len());
+        if remaining == 0 {
+            return ReadEvent::TooLong;
+        }
+        match (&mut *reader).take(remaining as u64).read_until(b'\n', buf) {
+            Ok(0) => return ReadEvent::Eof,
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    if buf.len() > MAX_LINE_BYTES {
+                        return ReadEvent::TooLong;
+                    }
+                    let line = String::from_utf8_lossy(buf).trim_end().to_string();
+                    buf.clear();
+                    return ReadEvent::Line(line);
+                }
+                // No newline yet: either the take-cap was exhausted (the
+                // next iteration reports TooLong) or the peer paused
+                // mid-line; keep accumulating.
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return ReadEvent::Tick
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadEvent::Failed,
+        }
+    }
+}
+
+/// The read-timeout granularity: fine enough to honor small (test-sized)
+/// idle timeouts, coarse enough not to spin.
+fn poll_interval(idle_timeout: Duration) -> Duration {
+    (idle_timeout / 4).clamp(Duration::from_millis(10), Duration::from_millis(500))
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    scheduler: &Arc<Scheduler>,
+    counters: &Arc<SessionCounters>,
+    idle_timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(poll_interval(idle_timeout)))
+        .ok();
+    // A write stalled this long means a dead or wedged peer; the writer
+    // marks itself dead and the session unwinds instead of blocking forever.
+    stream.set_write_timeout(Some(Duration::from_secs(10))).ok();
+    counters.opened.fetch_add(1, Ordering::Relaxed);
+    counters.open.fetch_add(1, Ordering::Relaxed);
+
+    let session = Arc::new(Session::new());
+    let writer = {
+        let session = Arc::clone(&session);
+        let stream = stream.try_clone()?;
+        std::thread::spawn(move || writer_loop(&session, stream))
     };
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut forwarders: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut idle_deadline = Instant::now() + idle_timeout;
+
+    loop {
+        if session.writer_dead.load(Ordering::Relaxed) {
+            break;
+        }
+        match next_event(&mut reader, &mut buf) {
+            ReadEvent::Tick => {
+                if Instant::now() >= idle_deadline {
+                    counters.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                    session.push(protocol_error_line("idle timeout: no request or heartbeat"));
+                    break;
+                }
+            }
+            ReadEvent::Eof | ReadEvent::Failed => break,
+            ReadEvent::TooLong => {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                session.push(protocol_error_line(&format!(
+                    "line exceeds {MAX_LINE_BYTES} bytes"
+                )));
+                break;
+            }
+            ReadEvent::Line(line) => {
+                idle_deadline = Instant::now() + idle_timeout;
+                if line.is_empty() {
+                    continue;
+                }
+                match parse_request(&line) {
+                    Err(message) => {
+                        // An unparseable line cannot be correlated to a job;
+                        // answer and close, like the pre-session server.
+                        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        session.push(error_line(None, &message));
+                        break;
+                    }
+                    Ok(request) => {
+                        if !handle_request(request, scheduler, counters, &session, &mut forwarders)
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Teardown in dependency order: stop the forwarders, then seal the
+    // outbox so the writer flushes whatever is queued and exits.
+    session.closed.store(true, Ordering::Relaxed);
+    for forwarder in forwarders {
+        let _ = forwarder.join();
+    }
+    session.close_outbox();
+    let _ = writer.join();
+    counters.open.fetch_sub(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Dispatches one parsed request inside a session. Returns `false` when the
+/// session should close (the `drain` verb: answer, then disconnect).
+fn handle_request(
+    request: Request,
+    scheduler: &Arc<Scheduler>,
+    counters: &Arc<SessionCounters>,
+    session: &Arc<Session>,
+    forwarders: &mut Vec<std::thread::JoinHandle<()>>,
+) -> bool {
     match request {
-        Request::Ping => writeln!(writer, "{{\"type\":\"pong\"}}"),
+        Request::Ping => {
+            session.push("{\"type\":\"pong\"}".to_string());
+        }
+        Request::Heartbeat => {
+            counters.heartbeats.fetch_add(1, Ordering::Relaxed);
+            session.push(heartbeat_line());
+        }
         Request::Drain => {
             scheduler.begin_drain();
-            writeln!(writer, "{}", draining_line())
+            session.push(draining_line(None));
+            return false;
         }
         Request::Stats => {
             let stats = scheduler.stats();
-            writeln!(
-                writer,
+            session.push(format!(
                 "{{\"type\":\"stats\",\"executed\":{},\"shed\":{},\"cache_hits\":{},\"duplicate_hits\":{},\"pending_trials\":{},\"pending_jobs\":{}}}",
                 stats.trials_executed,
                 stats.shed,
@@ -149,88 +431,161 @@ fn handle_connection(stream: TcpStream, scheduler: &Scheduler) -> std::io::Resul
                 stats.duplicate_hits,
                 stats.pending_trials,
                 stats.pending_jobs,
-            )
+            ));
+        }
+        Request::Status => {
+            session.push(status_line(&current_status(scheduler, counters)));
         }
         Request::Submit(request) => {
+            let digest = request.digest();
             let trials = request.trials;
             match scheduler.submit(request) {
-                Submission::Rejected(message) => writeln!(writer, "{}", error_line(&message)),
-                Submission::Draining => writeln!(writer, "{}", draining_line()),
-                Submission::Overloaded { retry_after_ms } => {
-                    writeln!(writer, "{}", overloaded_line(retry_after_ms))
+                Submission::Rejected(message) => {
+                    session.push(error_line(Some(digest), &message));
                 }
-                Submission::Cached(cached) => stream_cached(&mut writer, trials, &cached),
+                Submission::Draining => {
+                    session.push(draining_line(Some(digest)));
+                }
+                Submission::Overloaded { retry_after_ms } => {
+                    session.push(overloaded_line(Some(digest), retry_after_ms));
+                }
+                Submission::Cached(cached) => {
+                    session.push(accepted_line(digest, trials, true, false));
+                    replay_cached(session, counters, &cached, 0, trials, false);
+                }
                 Submission::Attached { job, duplicate } => {
-                    writeln!(
-                        writer,
-                        "{}",
-                        accepted_line(job.digest, trials, false, duplicate)
-                    )?;
-                    let mut sent = 0usize;
-                    loop {
-                        let (lines, finished, drained) = job.wait_lines(sent);
-                        sent += lines.len();
-                        for line in lines {
-                            writeln!(writer, "{line}")?;
-                        }
-                        if drained {
-                            writeln!(writer, "{}", draining_line())?;
-                            break;
-                        }
-                        if finished {
-                            let tax = job.taxonomy();
-                            writeln!(
-                                writer,
-                                "{}",
-                                done_line(
-                                    job.digest,
-                                    tax.completed,
-                                    tax.round_capped,
-                                    tax.timed_out,
-                                    tax.panicked,
-                                    tax.not_run,
-                                    job.reused,
-                                    false,
-                                )
-                            )?;
-                            break;
-                        }
-                    }
-                    Ok(())
+                    session.push(accepted_line(digest, trials, false, duplicate));
+                    forwarders.push(spawn_forwarder(job, session, counters, 0, false));
+                }
+            }
+        }
+        Request::Resume { job, last_seq } => {
+            counters.resumes.fetch_add(1, Ordering::Relaxed);
+            match scheduler.lookup(job) {
+                Lookup::Running(running) => {
+                    session.push(resumed_line(job, running.trials, last_seq));
+                    let start = (last_seq as usize).min(running.trials);
+                    forwarders.push(spawn_forwarder(running, session, counters, start, true));
+                }
+                Lookup::Cached(cached) => {
+                    let trials = cached.trial_lines.len();
+                    session.push(resumed_line(job, trials, last_seq));
+                    replay_cached(session, counters, &cached, last_seq as usize, trials, true);
+                }
+                Lookup::Unknown => {
+                    session.push(unknown_job_line(job));
                 }
             }
         }
     }
+    true
 }
 
-fn stream_cached(
-    writer: &mut TcpStream,
-    trials: usize,
-    cached: &crate::serve::scheduler::CachedJob,
-) -> std::io::Result<()> {
-    // Cached replay: identical trial lines, `cached:true` bookkeeping, and
-    // the whole sweep counts as reused work.
-    writeln!(
-        writer,
-        "{}",
-        accepted_line(cached.digest, trials, true, false)
-    )?;
-    for line in &cached.trial_lines {
-        writeln!(writer, "{line}")?;
+/// Replays a cached job's suffix past `from` (a line index) and the `done`
+/// line, all framed — byte-identical to the live stream.
+fn replay_cached(
+    session: &Arc<Session>,
+    counters: &Arc<SessionCounters>,
+    cached: &CachedJob,
+    from: usize,
+    reused: usize,
+    resumed: bool,
+) {
+    let total = cached.trial_lines.len();
+    let from = from.min(total);
+    for (index, line) in cached.trial_lines.iter().enumerate().skip(from) {
+        if !session.push(with_session(line, cached.digest, index as u64 + 1)) {
+            return;
+        }
+    }
+    if resumed {
+        counters
+            .replayed_lines
+            .fetch_add((total - from) as u64, Ordering::Relaxed);
     }
     let tax = &cached.taxonomy;
-    writeln!(
-        writer,
-        "{}",
-        done_line(
-            cached.digest,
-            tax.completed,
-            tax.round_capped,
-            tax.timed_out,
-            tax.panicked,
-            tax.not_run,
-            trials,
-            true,
-        )
-    )
+    session.push(done_line(
+        cached.digest,
+        total as u64 + 1,
+        tax.completed,
+        tax.round_capped,
+        tax.timed_out,
+        tax.panicked,
+        tax.not_run,
+        reused,
+        true,
+    ));
+}
+
+/// Spawns the per-job forwarder: tails the job's feed from line index
+/// `start`, frames each line with `(job, seq)`, and finishes with the
+/// `done` (or job-tagged `draining`) line. Exits within [`FORWARD_POLL`] of
+/// the session closing, so a dead connection reclaims its threads.
+fn spawn_forwarder(
+    job: Arc<Job>,
+    session: &Arc<Session>,
+    counters: &Arc<SessionCounters>,
+    start: usize,
+    resumed: bool,
+) -> std::thread::JoinHandle<()> {
+    let session = Arc::clone(session);
+    let counters = Arc::clone(counters);
+    std::thread::spawn(move || {
+        let mut sent = start;
+        loop {
+            if session.closed.load(Ordering::Relaxed) {
+                return;
+            }
+            let (lines, finished, drained) = job.wait_lines_timeout(sent, FORWARD_POLL);
+            if resumed && !lines.is_empty() {
+                counters
+                    .replayed_lines
+                    .fetch_add(lines.len() as u64, Ordering::Relaxed);
+            }
+            for line in &lines {
+                sent += 1;
+                if !session.push(with_session(line, job.digest, sent as u64)) {
+                    return;
+                }
+            }
+            if drained {
+                session.push(draining_line(Some(job.digest)));
+                return;
+            }
+            if finished && sent >= job.trials {
+                let tax = job.taxonomy();
+                session.push(done_line(
+                    job.digest,
+                    job.trials as u64 + 1,
+                    tax.completed,
+                    tax.round_capped,
+                    tax.timed_out,
+                    tax.panicked,
+                    tax.not_run,
+                    job.reused,
+                    false,
+                ));
+                return;
+            }
+        }
+    })
+}
+
+fn current_status(scheduler: &Scheduler, counters: &SessionCounters) -> ServerStatus {
+    let stats = scheduler.stats();
+    ServerStatus {
+        queue_depth: stats.pending_trials,
+        active_jobs: stats.pending_jobs,
+        executed: stats.trials_executed,
+        shed: stats.shed,
+        cache_hits: stats.cache_hits,
+        duplicate_hits: stats.duplicate_hits,
+        open_sessions: counters.open.load(Ordering::Relaxed),
+        sessions_opened: counters.opened.load(Ordering::Relaxed),
+        resumes: counters.resumes.load(Ordering::Relaxed),
+        replayed_lines: counters.replayed_lines.load(Ordering::Relaxed),
+        heartbeats: counters.heartbeats.load(Ordering::Relaxed),
+        protocol_errors: counters.protocol_errors.load(Ordering::Relaxed),
+        idle_reaped: counters.idle_reaped.load(Ordering::Relaxed),
+    }
 }

@@ -1,0 +1,348 @@
+//! Property tests for the serve wire protocol: `parse(build(x)) == x` for
+//! every line type both ends can emit — requests (submit, resume, session
+//! verbs) and responses (accepted/resumed/trial/done/status/typed errors),
+//! including the `(job, seq)` session framing and string escaping.
+//!
+//! The vendored proptest harness has no string strategy, so strings are
+//! built from index vectors over a palette that deliberately includes JSON
+//! metacharacters, escapes, control characters, and multi-byte UTF-8.
+
+use proptest::prelude::*;
+use rumor_core::BroadcastOutcome;
+use rumor_experiments::serve::protocol::{
+    accepted_line, done_line, draining_line, error_line, escape_json, heartbeat_line,
+    overloaded_line, parse_json, parse_request, protocol_error_line, resume_request_line,
+    resumed_line, status_line, trial_line, unknown_job_line, with_session, Json, Request,
+    ServerStatus, SubmitRequest, TopologySpec,
+};
+use rumor_experiments::TrialOutcome;
+
+/// Characters the string generator draws from: ordinary text plus every
+/// class the escaper must handle (quotes, backslashes, braces, control
+/// characters, multi-byte scalars).
+const PALETTE: &[char] = &[
+    'a', 'Z', '9', ' ', '_', '-', '.', '"', '\\', '/', '\n', '\t', '\r', '\u{8}', '\u{c}', '\u{1}',
+    '{', '}', '[', ']', ':', ',', 'é', 'λ', '🦀',
+];
+
+fn palette_string(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| PALETTE[i % PALETTE.len()])
+        .collect()
+}
+
+/// Digest-field round-trip helper: every job-tagged line renders the digest
+/// as fixed-width hex.
+fn job_field(value: &Json) -> u64 {
+    let hex = value.get("job").and_then(Json::as_str).expect("job field");
+    assert_eq!(hex.len(), 16, "job ids are fixed-width hex");
+    u64::from_str_radix(hex, 16).expect("hex job id")
+}
+
+proptest! {
+    #[test]
+    fn escaped_strings_round_trip(indices in collection::vec(0usize..64, 0..40)) {
+        let original = palette_string(&indices);
+        let line = format!("{{\"m\":\"{}\"}}", escape_json(&original));
+        let parsed = parse_json(&line).map_err(|e| e.to_string())?;
+        prop_assert_eq!(
+            parsed.get("m").and_then(Json::as_str),
+            Some(original.as_str())
+        );
+    }
+
+    #[test]
+    fn submit_requests_round_trip(
+        client_ix in collection::vec(0usize..64, 0..16),
+        family_ix in collection::vec(0usize..64, 1..8),
+        n in 1usize..1_000_000,
+        degree in 0.01f64..512.0,
+        exponent in 1.1f64..4.0,
+        topo_seed in 0u64..u64::MAX,
+        lazy_bit in 0u8..2,
+        trials in 1usize..10_000,
+        seed in 0u64..u64::MAX,
+        max_rounds in 1u64..u64::MAX,
+        deadline in 0u64..2_000_000,
+    ) {
+        let mut topology = TopologySpec::new(&palette_string(&family_ix), n);
+        topology.degree = degree;
+        topology.exponent = exponent;
+        topology.seed = topo_seed;
+        let mut request =
+            SubmitRequest::new(&palette_string(&client_ix), topology, "push", trials);
+        request.lazy = lazy_bit == 1;
+        request.seed = seed;
+        request.max_rounds = max_rounds;
+        // Exercise both the present and absent deadline encodings.
+        request.deadline_ms = if deadline % 2 == 0 { Some(deadline) } else { None };
+        match parse_request(&request.to_line()).map_err(|e| e.to_string())? {
+            Request::Submit(parsed) => {
+                // Digest equality is the property the whole resume design
+                // rests on; field equality implies it but assert both.
+                prop_assert_eq!(parsed.digest(), request.digest());
+                prop_assert_eq!(parsed, request);
+            }
+            other => prop_assert!(false, "expected submit, parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_requests_round_trip(job in 0u64..u64::MAX, last_seq in 0u64..u64::MAX) {
+        let parsed = parse_request(&resume_request_line(job, last_seq))
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(parsed, Request::Resume { job, last_seq });
+    }
+
+    #[test]
+    fn accepted_and_resumed_lines_round_trip(
+        digest in 0u64..u64::MAX,
+        trials in 1usize..100_000,
+        last_seq in 0u64..100_000,
+        flags in 0u8..4,
+    ) {
+        let (cached, duplicate) = (flags & 1 != 0, flags & 2 != 0);
+        let accepted = parse_json(&accepted_line(digest, trials, cached, duplicate))
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(accepted.get("type").and_then(Json::as_str), Some("accepted"));
+        prop_assert_eq!(job_field(&accepted), digest);
+        prop_assert_eq!(accepted.get("seq").and_then(Json::as_u64), Some(0));
+        prop_assert_eq!(
+            accepted.get("trials").and_then(Json::as_u64),
+            Some(trials as u64)
+        );
+        prop_assert_eq!(accepted.get("cached").and_then(Json::as_bool), Some(cached));
+        prop_assert_eq!(
+            accepted.get("duplicate").and_then(Json::as_bool),
+            Some(duplicate)
+        );
+
+        let resumed = parse_json(&resumed_line(digest, trials, last_seq))
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(resumed.get("type").and_then(Json::as_str), Some("resumed"));
+        prop_assert_eq!(job_field(&resumed), digest);
+        prop_assert_eq!(resumed.get("seq").and_then(Json::as_u64), Some(last_seq));
+
+        let unknown = parse_json(&unknown_job_line(digest)).map_err(|e| e.to_string())?;
+        prop_assert_eq!(unknown.get("type").and_then(Json::as_str), Some("unknown_job"));
+        prop_assert_eq!(job_field(&unknown), digest);
+    }
+
+    #[test]
+    fn trial_lines_round_trip_with_session_framing(
+        index in 0usize..100_000,
+        rounds in 0u64..u64::MAX,
+        iv in 0usize..1_000_000_000,
+        ia in 0usize..1_000_000_000,
+        msgs in 0u64..u64::MAX,
+        kind in 0u8..5,
+        message_ix in collection::vec(0usize..64, 0..24),
+        attempts in 1u32..16,
+        job in 0u64..u64::MAX,
+        seq in 1u64..u64::MAX,
+    ) {
+        let outcome = match kind {
+            0 => TrialOutcome::Completed(BroadcastOutcome {
+                protocol: "push".to_string(),
+                rounds,
+                completed: true,
+                informed_vertices: iv,
+                informed_agents: ia,
+                total_messages: msgs,
+                history: Vec::new(),
+                edge_traffic: None,
+            }),
+            1 => TrialOutcome::RoundCapped(BroadcastOutcome {
+                protocol: "push".to_string(),
+                rounds,
+                completed: false,
+                informed_vertices: iv,
+                informed_agents: ia,
+                total_messages: msgs,
+                history: Vec::new(),
+                edge_traffic: None,
+            }),
+            2 => TrialOutcome::TimedOut {
+                round: rounds,
+                informed_vertices: iv,
+                informed_agents: ia,
+                messages: msgs,
+            },
+            3 => TrialOutcome::Panicked {
+                message: palette_string(&message_ix),
+                attempts,
+            },
+            _ => TrialOutcome::NotRun,
+        };
+        let stored = trial_line(index, &outcome);
+        let bare = parse_json(&stored).map_err(|e| e.to_string())?;
+        prop_assert_eq!(bare.get("type").and_then(Json::as_str), Some("trial"));
+        prop_assert_eq!(bare.get("index").and_then(Json::as_u64), Some(index as u64));
+        prop_assert!(bare.get("job").is_none(), "stored lines stay unframed");
+
+        // Framing is a pure splice: the framed line parses, carries the
+        // session fields, and drops back to the stored bytes when they are
+        // removed — the byte-identity invariant live/resumed/cached streams
+        // rely on.
+        let framed = with_session(&stored, job, seq);
+        let tagged = parse_json(&framed).map_err(|e| e.to_string())?;
+        prop_assert_eq!(job_field(&tagged), job);
+        prop_assert_eq!(tagged.get("seq").and_then(Json::as_u64), Some(seq));
+        prop_assert_eq!(
+            tagged.get("index").and_then(Json::as_u64),
+            Some(index as u64)
+        );
+        let frame = format!("\"job\":\"{job:016x}\",\"seq\":{seq},");
+        prop_assert_eq!(framed.replacen(&frame, "", 1), stored);
+        prop_assert_eq!(with_session(&stored, job, seq), framed);
+    }
+
+    #[test]
+    fn done_lines_round_trip(
+        digest in 0u64..u64::MAX,
+        seq in 1u64..u64::MAX,
+        completed in 0usize..100_000,
+        round_capped in 0usize..100_000,
+        timed_out in 0usize..100_000,
+        panicked in 0usize..100_000,
+        not_run in 0usize..100_000,
+        reused in 0usize..100_000,
+        cached_bit in 0u8..2,
+    ) {
+        let line = done_line(
+            digest, seq, completed, round_capped, timed_out, panicked, not_run, reused,
+            cached_bit == 1,
+        );
+        let parsed = parse_json(&line).map_err(|e| e.to_string())?;
+        prop_assert_eq!(parsed.get("type").and_then(Json::as_str), Some("done"));
+        prop_assert_eq!(job_field(&parsed), digest);
+        prop_assert_eq!(parsed.get("seq").and_then(Json::as_u64), Some(seq));
+        for (key, expected) in [
+            ("completed", completed),
+            ("round_capped", round_capped),
+            ("timed_out", timed_out),
+            ("panicked", panicked),
+            ("not_run", not_run),
+            ("reused", reused),
+        ] {
+            prop_assert_eq!(
+                parsed.get(key).and_then(Json::as_u64),
+                Some(expected as u64),
+                "field {} must round-trip",
+                key
+            );
+        }
+        prop_assert_eq!(
+            parsed.get("cached").and_then(Json::as_bool),
+            Some(cached_bit == 1)
+        );
+    }
+
+    #[test]
+    fn status_lines_round_trip(
+        queue_depth in 0usize..1_000_000,
+        active_jobs in 0usize..1_000_000,
+        executed in 0usize..1_000_000,
+        shed in 0usize..1_000_000,
+        cache_hits in 0usize..1_000_000,
+        duplicate_hits in 0usize..1_000_000,
+        open_sessions in 0u64..u64::MAX,
+        sessions_opened in 0u64..u64::MAX,
+        resumes in 0u64..u64::MAX,
+        replayed_lines in 0u64..u64::MAX,
+        heartbeats in 0u64..u64::MAX,
+        protocol_errors in 0u64..u64::MAX,
+        idle_reaped in 0u64..u64::MAX,
+    ) {
+        let status = ServerStatus {
+            queue_depth,
+            active_jobs,
+            executed,
+            shed,
+            cache_hits,
+            duplicate_hits,
+            open_sessions,
+            sessions_opened,
+            resumes,
+            replayed_lines,
+            heartbeats,
+            protocol_errors,
+            idle_reaped,
+        };
+        let parsed = parse_json(&status_line(&status)).map_err(|e| e.to_string())?;
+        prop_assert_eq!(parsed.get("type").and_then(Json::as_str), Some("status"));
+        prop_assert_eq!(ServerStatus::from_json(&parsed), Some(status));
+    }
+
+    #[test]
+    fn typed_rejection_lines_round_trip(
+        job in 0u64..u64::MAX,
+        retry_after_ms in 0u64..1_000_000,
+        tagged_bits in 0u8..8,
+        message_ix in collection::vec(0usize..64, 0..24),
+    ) {
+        let message = palette_string(&message_ix);
+        let tag = |bit: u8| (tagged_bits & bit != 0).then_some(job);
+
+        let over = parse_json(&overloaded_line(tag(1), retry_after_ms))
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(over.get("type").and_then(Json::as_str), Some("overloaded"));
+        prop_assert_eq!(
+            over.get("retry_after_ms").and_then(Json::as_u64),
+            Some(retry_after_ms)
+        );
+        if tagged_bits & 1 != 0 {
+            prop_assert_eq!(job_field(&over), job);
+        } else {
+            prop_assert!(over.get("job").is_none());
+        }
+
+        let drain = parse_json(&draining_line(tag(2))).map_err(|e| e.to_string())?;
+        prop_assert_eq!(drain.get("type").and_then(Json::as_str), Some("draining"));
+        prop_assert_eq!(drain.get("job").is_some(), tagged_bits & 2 != 0);
+
+        let error = parse_json(&error_line(tag(4), &message)).map_err(|e| e.to_string())?;
+        prop_assert_eq!(error.get("type").and_then(Json::as_str), Some("error"));
+        prop_assert_eq!(
+            error.get("message").and_then(Json::as_str),
+            Some(message.as_str())
+        );
+        prop_assert_eq!(error.get("job").is_some(), tagged_bits & 4 != 0);
+
+        let violation = parse_json(&protocol_error_line(&message))
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(
+            violation.get("type").and_then(Json::as_str),
+            Some("protocol_error")
+        );
+        prop_assert_eq!(
+            violation.get("message").and_then(Json::as_str),
+            Some(message.as_str())
+        );
+    }
+
+    #[test]
+    fn session_verbs_parse(heartbeats in 0usize..3) {
+        // The fixed verbs have no parameters; assert them under the same
+        // harness so a framing regression in `parse_request` is caught here.
+        let _ = heartbeats;
+        prop_assert_eq!(
+            parse_request("{\"verb\":\"heartbeat\"}").map_err(|e| e.to_string())?,
+            Request::Heartbeat
+        );
+        let heartbeat = parse_json(&heartbeat_line()).map_err(|e| e.to_string())?;
+        prop_assert_eq!(
+            heartbeat.get("type").and_then(Json::as_str),
+            Some("heartbeat")
+        );
+        prop_assert_eq!(
+            parse_request("{\"verb\":\"status\"}").map_err(|e| e.to_string())?,
+            Request::Status
+        );
+        prop_assert_eq!(
+            parse_request("{\"verb\":\"ping\"}").map_err(|e| e.to_string())?,
+            Request::Ping
+        );
+    }
+}
