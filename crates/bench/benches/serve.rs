@@ -24,13 +24,24 @@
 //!   run, fault/reconnect counts, and reconnect recovery latency. Under
 //!   `RUMOR_BENCH_ENFORCE=1`, faults must actually fire and every job must
 //!   still complete all trials.
+//! * **Upload throughput + resume recovery** — a canonical CSR encoding is
+//!   pushed into the content store direct and through the fault proxy
+//!   (both pumps faulted), recording MB/s and retention; then a transfer
+//!   interrupted halfway resumes from the ack'd chunk, recording the
+//!   retransmit fraction. Under `RUMOR_BENCH_ENFORCE=1`, chaos must force
+//!   reconnects, the committed digest must match, and the resumed upload
+//!   must transmit only the missing suffix.
 //!
 //! `RUMOR_BENCH_FAST=1` shrinks the job counts for CI smoke runs.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rumor_bench::summary::record_summary_in;
+use rumor_experiments::serve::protocol::{upload_begin_line, upload_chunk_line};
+use rumor_experiments::serve::store::manifest_for;
 use rumor_experiments::{
     AdmissionLimits, ClientError, FaultNet, FaultSpec, RetryPolicy, ServeClient, ServeConfig,
     Server, ServerHandle, SubmitRequest, TopologySpec,
@@ -288,6 +299,151 @@ fn serve_bench(_c: &mut Criterion) {
             "faults at this rate must force at least one reconnect"
         );
     }
+
+    // ---- Upload: content-store transfer throughput + resume recovery. ----
+    let upload_n = if fast { 20_000 } else { 60_000 };
+    let encoded =
+        rumor_graphs::codec::encode_csr(&rumor_graphs::generators::cycle(upload_n).expect("cycle"));
+    let mbytes = encoded.len() as f64 / 1e6;
+
+    // Direct transfer at the default 64 KiB line bound.
+    let (handle, join) = start(ServeConfig::new());
+    let t0 = Instant::now();
+    let direct_upload = ServeClient::new(&handle.addr().to_string())
+        .upload_bytes(&encoded)
+        .expect("direct upload");
+    let direct_upload_wall = t0.elapsed().as_secs_f64();
+    stop(&handle, join);
+    assert_eq!(direct_upload.chunks_sent, direct_upload.chunks);
+
+    // The same transfer through the fault proxy, both pumps faulted. The
+    // fault point sits past one full chunk line (~64 KiB of hex), so every
+    // surviving connection still lands at least one chunk and the resumable
+    // transfer converges.
+    let (handle, join) = start(ServeConfig::new());
+    let mut spec = FaultSpec::new(0x0B1A_DE5C).with_upstream_faults();
+    spec.fault_rate = 1.0;
+    spec.min_after_bytes = 70_000;
+    spec.max_after_bytes = 200_000;
+    let net = FaultNet::start(handle.addr(), spec).expect("fault proxy");
+    let chaos_client = ServeClient::new(&net.addr().to_string()).with_max_reconnects(4096);
+    let t0 = Instant::now();
+    let chaos_upload = chaos_client.upload_bytes(&encoded).expect("chaos upload");
+    // A lucky schedule can thread one transfer through delay-only
+    // connections; keep pushing distinct graphs until faults have
+    // demonstrably bitten (reconnects, not just stalls). All transferred
+    // bytes count toward the measured chaos throughput.
+    let mut chaos_bytes = encoded.len() as f64;
+    let mut chaos_reconnects = chaos_upload.reconnects;
+    for i in 0..12usize {
+        if net.report().total() >= 4 && chaos_reconnects > 0 {
+            break;
+        }
+        let filler = rumor_graphs::codec::encode_csr(
+            &rumor_graphs::generators::cycle(upload_n + 1 + 13 * i).expect("cycle"),
+        );
+        chaos_bytes += filler.len() as f64;
+        chaos_reconnects += chaos_client
+            .upload_bytes(&filler)
+            .expect("chaos filler upload")
+            .reconnects;
+    }
+    let chaos_upload_wall = t0.elapsed().as_secs_f64();
+    let upload_faults = net.shutdown();
+    stop(&handle, join);
+    assert_eq!(chaos_upload.digest, direct_upload.digest);
+
+    // Recovery: half the chunks land over a raw socket, the connection
+    // dies, and the client's upload resumes from the ack'd high-water mark.
+    let (handle, join) = start(ServeConfig::new());
+    let manifest =
+        manifest_for(&encoded, rumor_experiments::serve::MAX_LINE_BYTES).expect("manifest");
+    let prefix = manifest.chunks() / 2;
+    {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        writeln!(writer, "{}", upload_begin_line(&manifest)).expect("begin");
+        reader.read_line(&mut line).expect("begin ack");
+        for index in 0..prefix {
+            let at = (index * manifest.chunk_bytes) as usize;
+            let payload = &encoded[at..at + manifest.chunk_len(index)];
+            writeln!(
+                writer,
+                "{}",
+                upload_chunk_line(manifest.digest, index, payload)
+            )
+            .expect("chunk");
+            line.clear();
+            reader.read_line(&mut line).expect("chunk ack");
+        }
+    }
+    let t0 = Instant::now();
+    let resumed_upload = ServeClient::new(&handle.addr().to_string())
+        .upload_bytes(&encoded)
+        .expect("resumed upload");
+    let resume_wall = t0.elapsed().as_secs_f64();
+    stop(&handle, join);
+
+    let direct_upload_mbps = mbytes / direct_upload_wall;
+    let chaos_upload_mbps = chaos_bytes / 1e6 / chaos_upload_wall;
+    let upload_retention = chaos_upload_mbps / direct_upload_mbps;
+    let retransmit_fraction = resumed_upload.chunks_sent as f64 / resumed_upload.chunks as f64;
+    println!(
+        "serve upload: {:.1} MB canonical CSR in {} chunks — {direct_upload_mbps:.1} MB/s \
+         direct, {chaos_upload_mbps:.1} MB/s through {} faults / {} reconnects ({:.0}% \
+         retention); interrupted at chunk {} of {}, resume retransmitted {:.0}% in \
+         {resume_wall:.2}s",
+        mbytes,
+        direct_upload.chunks,
+        upload_faults.total(),
+        chaos_reconnects,
+        100.0 * upload_retention,
+        resumed_upload.resumed_from,
+        resumed_upload.chunks,
+        100.0 * retransmit_fraction,
+    );
+    if enforce() {
+        assert!(
+            upload_faults.total() > 0,
+            "the upload chaos schedule must inject faults"
+        );
+        assert!(
+            chaos_reconnects > 0,
+            "upload faults at this rate must force at least one reconnect"
+        );
+        assert_eq!(
+            resumed_upload.resumed_from, prefix,
+            "resume must start at the interrupted transfer's ack'd chunk"
+        );
+        assert_eq!(
+            resumed_upload.chunks_sent,
+            resumed_upload.chunks - prefix,
+            "resume must transmit only the missing suffix"
+        );
+    }
+
+    record_summary_in(
+        "BENCH_serve.json",
+        "serve_upload",
+        &[
+            ("upload_bytes", encoded.len() as f64),
+            ("upload_chunks", direct_upload.chunks as f64),
+            ("direct_upload_mbytes_per_sec", direct_upload_mbps),
+            ("chaos_upload_mbytes_per_sec", chaos_upload_mbps),
+            ("upload_throughput_retention", upload_retention),
+            ("upload_fault_count", upload_faults.total() as f64),
+            (
+                "upload_upstream_faults",
+                upload_faults.upstream_faults as f64,
+            ),
+            ("upload_reconnects", chaos_reconnects as f64),
+            ("resume_resumed_from", resumed_upload.resumed_from as f64),
+            ("resume_retransmit_fraction", retransmit_fraction),
+            ("resume_wall_s", resume_wall),
+        ],
+    );
 
     record_summary_in(
         "BENCH_serve.json",

@@ -4,11 +4,15 @@
 //! rumor-serve serve  [--addr 127.0.0.1:0] [--state-dir DIR] [--workers N]
 //!                    [--max-pending-trials N] [--max-pending-jobs N]
 //!                    [--chunk-rounds N] [--throttle-ms N] [--grace-ms N]
-//!                    [--idle-timeout-ms N]
+//!                    [--idle-timeout-ms N] [--max-line-bytes N]
+//!                    [--store-quota-bytes N]
 //! rumor-serve submit --addr HOST:PORT [--client NAME] [--family F] [--n N]
 //!                    [--degree D] [--exponent E] [--topo-seed S]
-//!                    [--protocol P] [--lazy] [--trials T] [--seed S]
-//!                    [--max-rounds R] [--deadline-ms D] [--no-retry]
+//!                    [--digest HEX] [--protocol P] [--lazy] [--trials T]
+//!                    [--seed S] [--max-rounds R] [--deadline-ms D]
+//!                    [--no-retry]
+//! rumor-serve upload --addr HOST:PORT (--file GRAPH.rcsr | --edges EDGES --n N)
+//!                    [--max-line-bytes N] [--no-retry]
 //! rumor-serve status --addr HOST:PORT
 //! rumor-serve drain  --addr HOST:PORT
 //! rumor-serve ping   --addr HOST:PORT
@@ -16,7 +20,11 @@
 //!
 //! `serve` prints `listening <addr>` once bound (tests parse it to find the
 //! ephemeral port) and exits after a drain. `submit` prints the response
-//! stream line by line and exits non-zero on typed failures.
+//! stream line by line and exits non-zero on typed failures. `upload` sends
+//! a graph — either a canonical `.rcsr` encoding (`--file`) or a plain-text
+//! edge list (`--edges`, one `u v` pair per line, with `--n` vertices) —
+//! into the server's content store and prints the digest to pass to
+//! `submit --digest`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,12 +37,13 @@ use rumor_experiments::{
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: rumor-serve <serve|submit|drain|ping> [options]");
+        eprintln!("usage: rumor-serve <serve|submit|upload|status|drain|ping> [options]");
         return ExitCode::FAILURE;
     };
     match command.as_str() {
         "serve" => cmd_serve(&args[1..]),
         "submit" => cmd_submit(&args[1..]),
+        "upload" => cmd_upload(&args[1..]),
         "status" => cmd_status(&args[1..]),
         "drain" => cmd_drain(&args[1..]),
         "ping" => cmd_ping(&args[1..]),
@@ -77,6 +86,16 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     if let Some(dir) = flag_value(args, "--state-dir") {
         config = config.with_state_dir(PathBuf::from(dir));
     }
+    if let Some(bytes) = flag_value(args, "--max-line-bytes") {
+        if let Ok(bytes) = bytes.parse() {
+            config = config.with_max_line_bytes(bytes);
+        }
+    }
+    if let Some(quota) = flag_value(args, "--store-quota-bytes") {
+        if let Ok(quota) = quota.parse() {
+            config = config.with_store_quota_bytes(quota);
+        }
+    }
     let server = match Server::bind(addr, config) {
         Ok(server) => server,
         Err(e) => {
@@ -99,13 +118,20 @@ fn cmd_serve(args: &[String]) -> ExitCode {
 }
 
 fn build_request(args: &[String]) -> SubmitRequest {
-    let mut topology = TopologySpec::new(
-        flag_value(args, "--family").unwrap_or("complete"),
-        parsed(args, "--n", 64usize),
-    );
-    topology.degree = parsed(args, "--degree", 8.0f64);
-    topology.exponent = parsed(args, "--exponent", 2.5f64);
-    topology.seed = parsed(args, "--topo-seed", 1u64);
+    // `--digest HEX` names an uploaded topology; the family flags describe
+    // a server-generated one.
+    let topology = match flag_value(args, "--digest")
+        .and_then(|hex| u64::from_str_radix(hex.trim_start_matches("0x"), 16).ok())
+    {
+        Some(digest) => TopologySpec::uploaded(digest),
+        None => TopologySpec::new(
+            flag_value(args, "--family").unwrap_or("complete"),
+            parsed(args, "--n", 64usize),
+        )
+        .with_degree(parsed(args, "--degree", 8.0f64))
+        .with_exponent(parsed(args, "--exponent", 2.5f64))
+        .with_topology_seed(parsed(args, "--topo-seed", 1u64)),
+    };
     let mut request = SubmitRequest::new(
         flag_value(args, "--client").unwrap_or("cli"),
         topology,
@@ -155,6 +181,71 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     }
 }
 
+/// Loads the graph bytes for `upload`: a canonical `.rcsr` file verbatim,
+/// or a plain-text edge list (one `u v` pair per line) encoded canonically.
+fn upload_bytes_from_args(args: &[String]) -> Result<Vec<u8>, String> {
+    if let Some(path) = flag_value(args, "--file") {
+        return std::fs::read(path).map_err(|e| format!("read {path}: {e}"));
+    }
+    if let Some(path) = flag_value(args, "--edges") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let parse = |tok: Option<&str>| tok.and_then(|t| t.parse::<usize>().ok());
+            match (parse(parts.next()), parse(parts.next())) {
+                (Some(u), Some(v)) => edges.push((u, v)),
+                _ => return Err(format!("{path}:{}: expected \"u v\"", lineno + 1)),
+            }
+        }
+        let n = flag_value(args, "--n")
+            .and_then(|v| v.parse::<usize>().ok())
+            .or_else(|| edges.iter().map(|&(u, v)| u.max(v) + 1).max())
+            .ok_or_else(|| "--n is required for an empty edge list".to_string())?;
+        let graph = rumor_graphs::Graph::from_edges(n, &edges).map_err(|e| e.to_string())?;
+        return Ok(rumor_graphs::codec::encode_csr(&graph));
+    }
+    Err("upload needs --file GRAPH.rcsr or --edges EDGES".to_string())
+}
+
+fn cmd_upload(args: &[String]) -> ExitCode {
+    let Some(mut client) = client(args) else {
+        return ExitCode::FAILURE;
+    };
+    if let Some(bytes) = flag_value(args, "--max-line-bytes").and_then(|v| v.parse().ok()) {
+        client = client.with_max_line_bytes(bytes);
+    }
+    let bytes = match upload_bytes_from_args(args) {
+        Ok(bytes) => bytes,
+        Err(message) => {
+            eprintln!("upload failed: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.upload_bytes(&bytes) {
+        Ok(report) => {
+            println!(
+                "uploaded digest={:016x} bytes={} chunks={} sent={} resumed_from={} reconnects={}",
+                report.digest,
+                report.bytes,
+                report.chunks,
+                report.chunks_sent,
+                report.resumed_from,
+                report.reconnects,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("upload failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_status(args: &[String]) -> ExitCode {
     let Some(client) = client(args) else {
         return ExitCode::FAILURE;
@@ -164,7 +255,9 @@ fn cmd_status(args: &[String]) -> ExitCode {
             println!(
                 "queue_depth={} active_jobs={} executed={} shed={} cache_hits={} \
                  duplicate_hits={} open_sessions={} sessions_opened={} resumes={} \
-                 replayed_lines={} heartbeats={} protocol_errors={} idle_reaped={}",
+                 replayed_lines={} heartbeats={} protocol_errors={} idle_reaped={} \
+                 graphs_stored={} store_bytes={} evictions={} partial_uploads={} \
+                 failed_validations={}",
                 status.queue_depth,
                 status.active_jobs,
                 status.executed,
@@ -178,6 +271,11 @@ fn cmd_status(args: &[String]) -> ExitCode {
                 status.heartbeats,
                 status.protocol_errors,
                 status.idle_reaped,
+                status.graphs_stored,
+                status.store_bytes,
+                status.evictions,
+                status.partial_uploads,
+                status.failed_validations,
             );
             ExitCode::SUCCESS
         }

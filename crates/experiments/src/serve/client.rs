@@ -28,8 +28,10 @@ use std::time::{Duration, Instant};
 
 use crate::runner::TrialTaxonomy;
 use crate::serve::protocol::{
-    fnv1a64, parse_json, resume_request_line, Json, ServerStatus, SubmitRequest, MAX_LINE_BYTES,
+    fnv1a64, parse_json, resume_request_line, upload_begin_line, upload_chunk_line,
+    upload_commit_line, Json, ServerStatus, SubmitRequest, MAX_LINE_BYTES,
 };
+use crate::serve::store::manifest_for;
 
 /// A typed client-side failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +61,14 @@ pub enum ClientError {
         /// Trials that never started.
         not_run: usize,
     },
+    /// The submission named an uploaded topology the server's content store
+    /// no longer holds (evicted under quota, or never uploaded). Re-upload
+    /// with [`ServeClient::upload_bytes`] and resubmit — both are
+    /// idempotent; [`ServeClient::submit_uploaded`] does the round-trip.
+    UnknownTopology {
+        /// The missing content digest.
+        digest: u64,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -75,6 +85,12 @@ impl std::fmt::Display for ClientError {
                 write!(
                     f,
                     "deadline exceeded: {timed_out} timed out, {not_run} not run"
+                )
+            }
+            ClientError::UnknownTopology { digest } => {
+                write!(
+                    f,
+                    "topology {digest:016x} not in the server's content store (re-upload and resubmit)"
                 )
             }
         }
@@ -200,6 +216,26 @@ pub struct SessionStats {
     pub recovery_ms: Vec<u64>,
 }
 
+/// Transfer accounting for one [`ServeClient::upload_bytes`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UploadReport {
+    /// FNV-1a-64 content digest addressing the graph in the store.
+    pub digest: u64,
+    /// Canonical encoding size in bytes.
+    pub bytes: u64,
+    /// Total chunk count at the negotiated chunk size.
+    pub chunks: u64,
+    /// Chunks transmitted by this call (0 when the digest was already
+    /// committed; less than `chunks` when a prior attempt's partial
+    /// survived on the server).
+    pub chunks_sent: u64,
+    /// The server's durable high-water mark at first contact: chunks a
+    /// previous (killed or disconnected) attempt already landed.
+    pub resumed_from: u64,
+    /// Mid-upload reconnect cycles survived.
+    pub reconnects: u64,
+}
+
 /// A blocking client for one `rumor-serve` endpoint.
 #[derive(Debug, Clone)]
 pub struct ServeClient {
@@ -207,6 +243,7 @@ pub struct ServeClient {
     retry: RetryPolicy,
     heartbeat: Duration,
     max_reconnects: u32,
+    max_line_bytes: usize,
 }
 
 impl ServeClient {
@@ -218,7 +255,15 @@ impl ServeClient {
             retry: RetryPolicy::new(),
             heartbeat: Duration::from_secs(2),
             max_reconnects: 32,
+            max_line_bytes: MAX_LINE_BYTES,
         }
+    }
+
+    /// Replaces the wire-line byte bound (must match the server's
+    /// `--max-line-bytes`); upload chunk sizes derive from it.
+    pub fn with_max_line_bytes(mut self, max_line_bytes: usize) -> Self {
+        self.max_line_bytes = max_line_bytes;
+        self
     }
 
     /// Replaces the retry policy.
@@ -326,6 +371,142 @@ impl ServeClient {
         }
         ServerStatus::from_json(&value)
             .ok_or_else(|| ClientError::Protocol("malformed status line".to_string()))
+    }
+
+    /// Uploads a graph's canonical CSR encoding into the server's content
+    /// store. See [`ServeClient::upload_bytes`] for the transfer contract.
+    pub fn upload(&self, graph: &rumor_graphs::Graph) -> Result<UploadReport, ClientError> {
+        self.upload_bytes(&rumor_graphs::codec::encode_csr(graph))
+    }
+
+    /// Uploads an already-encoded canonical CSR byte string, chunked to fit
+    /// the wire-line bound, and blocks until the server commits it.
+    ///
+    /// The transfer is crash-safe end to end: every chunk carries a CRC and
+    /// is acknowledged only once durable, so when the connection dies the
+    /// client reconnects, reopens the transfer, and the server's `begin`
+    /// ack names the durable high-water mark — the upload resumes exactly
+    /// there, never retransmitting landed chunks. Uploading a digest the
+    /// store already holds is a no-op answered idempotently.
+    pub fn upload_bytes(&self, bytes: &[u8]) -> Result<UploadReport, ClientError> {
+        let manifest = manifest_for(bytes, self.max_line_bytes)
+            .map_err(|e| ClientError::Rejected(e.to_string()))?;
+        let chunks = manifest.chunks();
+        let mut report = UploadReport {
+            digest: manifest.digest,
+            bytes: manifest.bytes,
+            chunks,
+            chunks_sent: 0,
+            resumed_from: 0,
+            reconnects: 0,
+        };
+        let mut first_contact = true;
+        let mut reconnects_used = 0u32;
+        'session: loop {
+            // One closure per connection loss: spend a reconnect or fail.
+            let stream = connect_with_retry(&self.addr, manifest.digest, self.retry)?;
+            stream
+                .set_read_timeout(Some(Duration::from_millis(50)))
+                .ok();
+            let mut writer = stream
+                .try_clone()
+                .map_err(|e| ClientError::Io(e.to_string()))?;
+            let mut reader = BufReader::new(stream);
+            let mut buf: Vec<u8> = Vec::new();
+
+            // (Re)open the transfer. The ack names the durable high-water
+            // mark — the only state the resume needs.
+            let mut acked = match upload_roundtrip(
+                &mut writer,
+                &mut reader,
+                &mut buf,
+                &upload_begin_line(&manifest),
+                manifest.digest,
+            ) {
+                Ok(value) => match upload_answer(&value)? {
+                    UploadAnswer::Done => return Ok(report),
+                    UploadAnswer::Acked(acked) => acked,
+                },
+                Err(message) => {
+                    if reconnects_used >= self.max_reconnects {
+                        return Err(ClientError::Io(message));
+                    }
+                    reconnects_used += 1;
+                    report.reconnects += 1;
+                    continue 'session;
+                }
+            };
+            if first_contact {
+                report.resumed_from = acked;
+                first_contact = false;
+            }
+
+            // Lockstep chunk/ack past the high-water mark, then commit.
+            while acked < chunks {
+                let start = (acked * manifest.chunk_bytes) as usize;
+                let end = (start + manifest.chunk_bytes as usize).min(bytes.len());
+                let line = upload_chunk_line(manifest.digest, acked, &bytes[start..end]);
+                match upload_roundtrip(&mut writer, &mut reader, &mut buf, &line, manifest.digest) {
+                    Ok(value) => match upload_answer(&value)? {
+                        UploadAnswer::Done => return Ok(report),
+                        UploadAnswer::Acked(now) => {
+                            report.chunks_sent += 1;
+                            acked = now.max(acked + 1);
+                        }
+                    },
+                    Err(message) => {
+                        if reconnects_used >= self.max_reconnects {
+                            return Err(ClientError::Io(message));
+                        }
+                        reconnects_used += 1;
+                        report.reconnects += 1;
+                        continue 'session;
+                    }
+                }
+            }
+            match upload_roundtrip(
+                &mut writer,
+                &mut reader,
+                &mut buf,
+                &upload_commit_line(manifest.digest),
+                manifest.digest,
+            ) {
+                Ok(value) => match upload_answer(&value)? {
+                    UploadAnswer::Done => return Ok(report),
+                    UploadAnswer::Acked(_) => {
+                        return Err(ClientError::Protocol(
+                            "commit answered with an ack".to_string(),
+                        ))
+                    }
+                },
+                Err(message) => {
+                    if reconnects_used >= self.max_reconnects {
+                        return Err(ClientError::Io(message));
+                    }
+                    reconnects_used += 1;
+                    report.reconnects += 1;
+                    continue 'session;
+                }
+            }
+        }
+    }
+
+    /// Submits a sweep over an uploaded topology, transparently
+    /// (re)uploading `encoded` when the server answers `unknown_topology`
+    /// (fresh server, or the digest was evicted under quota) — upload and
+    /// resubmission are both idempotent, so the round-trip is always safe.
+    pub fn submit_uploaded(
+        &self,
+        request: &SubmitRequest,
+        encoded: &[u8],
+    ) -> Result<JobResult, ClientError> {
+        match self.submit(request) {
+            Err(ClientError::UnknownTopology { .. }) => {
+                self.upload_bytes(encoded)?;
+                self.submit(request)
+            }
+            other => other,
+        }
     }
 
     fn roundtrip(&self, line: &str) -> Result<Json, ClientError> {
@@ -608,6 +789,81 @@ fn connect_with_retry(
     Err(last)
 }
 
+/// How long an upload waits for its lockstep answer before declaring the
+/// connection dead and reconnecting.
+const UPLOAD_RESPONSE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A terminal-or-progress upload answer (errors already mapped).
+enum UploadAnswer {
+    /// `upload_done`: the digest is committed.
+    Done,
+    /// `upload_ack {acked}`: the durable high-water mark.
+    Acked(u64),
+}
+
+/// Maps one upload-tagged response line to progress, completion, or a typed
+/// rejection (`upload_error` is never retryable transport-side: the server
+/// names a protocol or validation cause).
+fn upload_answer(value: &Json) -> Result<UploadAnswer, ClientError> {
+    match value.get("type").and_then(Json::as_str) {
+        Some("upload_done") => Ok(UploadAnswer::Done),
+        Some("upload_ack") => Ok(UploadAnswer::Acked(
+            value.get("acked").and_then(Json::as_u64).unwrap_or(0),
+        )),
+        Some("upload_error") => Err(ClientError::Rejected(
+            value
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified upload error")
+                .to_string(),
+        )),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected upload answer {other:?}"
+        ))),
+    }
+}
+
+/// Sends one upload line and blocks for the matching `upload_*` answer
+/// (heartbeats and unrelated lines are skipped). `Err` is a transport-level
+/// loss: the caller reconnects and resumes.
+fn upload_roundtrip(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    line: &str,
+    digest: u64,
+) -> Result<Json, String> {
+    if writeln!(writer, "{line}").is_err() {
+        return Err("upload write failed".to_string());
+    }
+    let hex = format!("{digest:016x}");
+    let deadline = Instant::now() + UPLOAD_RESPONSE_TIMEOUT;
+    loop {
+        match next_line(reader, buf) {
+            NetEvent::Line(raw) => {
+                let Ok(value) = parse_json(&raw) else {
+                    continue;
+                };
+                let kind = value.get("type").and_then(Json::as_str).unwrap_or("");
+                if !kind.starts_with("upload_") {
+                    continue;
+                }
+                if value.get("digest").and_then(Json::as_str) == Some(&hex) {
+                    return Ok(value);
+                }
+            }
+            NetEvent::Tick => {
+                if Instant::now() >= deadline {
+                    return Err("upload answer timed out".to_string());
+                }
+            }
+            NetEvent::Eof => return Err("connection closed mid-upload".to_string()),
+            NetEvent::TooLong => return Err("oversized response line".to_string()),
+            NetEvent::Failed(message) => return Err(message),
+        }
+    }
+}
+
 /// Applies one response line to the session's slots.
 fn dispatch_line(raw: &str, slots: &mut [Slot], retry: RetryPolicy, stats: &mut SessionStats) {
     let Ok(value) = parse_json(raw) else {
@@ -640,6 +896,21 @@ fn dispatch_line(raw: &str, slots: &mut [Slot], retry: RetryPolicy, stats: &mut 
         "resumed" => {
             if let Some(slot) = slot_index.map(|i| &mut slots[i]) {
                 slot.accepted_once = true;
+            }
+        }
+        "unknown_topology" => {
+            // The content store no longer holds this submission's uploaded
+            // topology: terminal for this session, typed so the caller can
+            // re-upload and resubmit (both idempotent).
+            let digest = value
+                .get("digest")
+                .and_then(Json::as_str)
+                .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                .unwrap_or(0);
+            if let Some(slot) = slot_index.map(|i| &mut slots[i]) {
+                if slot.result.is_none() {
+                    slot.result = Some(Err(ClientError::UnknownTopology { digest }));
+                }
             }
         }
         "unknown_job" => {

@@ -45,14 +45,21 @@ pub struct FaultSpec {
     pub seed: u64,
     /// Fraction of connections that fault (0.0 ..= 1.0).
     pub fault_rate: f64,
-    /// Fault-point range, in downstream (server→client) bytes. Keep the
-    /// lower bound past one response line so every connection makes
-    /// progress and a resuming client always converges.
+    /// Fault-point range, in bytes forwarded by the faulted pump
+    /// (server→client by default; client→server too with
+    /// [`FaultSpec::fault_upstream`]). Keep the lower bound past one line
+    /// so every connection makes progress and a resuming client always
+    /// converges.
     pub min_after_bytes: u64,
     /// Upper bound of the fault point.
     pub max_after_bytes: u64,
     /// Stall length for [`FaultKind::Delay`] faults.
     pub delay_ms: u64,
+    /// Also fault the client→server pump, on its own seed-keyed schedule
+    /// (pure in `(seed, connection index)`, independent of the downstream
+    /// one). Off by default: request-path faults mainly exercise upload
+    /// chunk streams; plain submissions are a single request line.
+    pub fault_upstream: bool,
 }
 
 impl FaultSpec {
@@ -65,7 +72,14 @@ impl FaultSpec {
             min_after_bytes: 150,
             max_after_bytes: 1200,
             delay_ms: 50,
+            fault_upstream: false,
         }
+    }
+
+    /// Enables client→server faulting (see [`FaultSpec::fault_upstream`]).
+    pub fn with_upstream_faults(mut self) -> Self {
+        self.fault_upstream = true;
+        self
     }
 
     /// The fault (kind + downstream byte offset) for connection `index`,
@@ -86,6 +100,31 @@ impl FaultSpec {
         let offset = philox2x64([index, 0x6661_756c_745f_6e32], self.seed)[0] % span;
         Some((kind, self.min_after_bytes + offset))
     }
+
+    /// The upstream (client→server) fault for connection `index`, or `None`
+    /// when upstream faulting is off or this connection's request path is
+    /// clean. Pure in `(seed, index)`, drawn from its own Philox nonce so
+    /// the two directions' schedules are independent. Never a
+    /// [`FaultKind::Drop`] — drops happen at accept, before direction
+    /// exists.
+    pub fn upstream_fault_for(&self, index: u64) -> Option<(FaultKind, u64)> {
+        if !self.fault_upstream {
+            return None;
+        }
+        let word = philox2x64([index, 0x6661_756c_745f_6e33], self.seed);
+        let unit = (word[0] >> 11) as f64 / (1u64 << 53) as f64;
+        if unit >= self.fault_rate {
+            return None;
+        }
+        let kind = match word[1] % 3 {
+            0 => FaultKind::Reset,
+            1 => FaultKind::Truncate,
+            _ => FaultKind::Delay,
+        };
+        let span = self.max_after_bytes.max(self.min_after_bytes) - self.min_after_bytes + 1;
+        let offset = philox2x64([index, 0x6661_756c_745f_6e34], self.seed)[0] % span;
+        Some((kind, self.min_after_bytes + offset))
+    }
 }
 
 /// What the proxy actually injected (the chaos suite asserts a floor on
@@ -102,6 +141,8 @@ pub struct FaultReport {
     pub truncations: u64,
     /// Stalls injected.
     pub delays: u64,
+    /// Of the above, faults injected on the client→server pump.
+    pub upstream_faults: u64,
 }
 
 impl FaultReport {
@@ -118,6 +159,7 @@ struct Counters {
     resets: AtomicU64,
     truncations: AtomicU64,
     delays: AtomicU64,
+    upstream_faults: AtomicU64,
 }
 
 /// One proxied connection pair; `kill` tears both sides down exactly once.
@@ -186,6 +228,7 @@ impl FaultNet {
             resets: self.counters.resets.load(Ordering::Relaxed),
             truncations: self.counters.truncations.load(Ordering::Relaxed),
             delays: self.counters.delays.load(Ordering::Relaxed),
+            upstream_faults: self.counters.upstream_faults.load(Ordering::Relaxed),
         }
     }
 
@@ -224,6 +267,7 @@ fn accept_loop(
             Ok((client, _)) => {
                 counters.connections.fetch_add(1, Ordering::Relaxed);
                 let fault = spec.fault_for(index);
+                let upstream_fault = spec.upstream_fault_for(index);
                 index += 1;
                 if let Some((FaultKind::Drop, _)) = fault {
                     counters.drops.fetch_add(1, Ordering::Relaxed);
@@ -250,16 +294,28 @@ fn accept_loop(
                     _ => continue,
                 };
                 links.lock().unwrap().push(Arc::clone(&link));
-                // Upstream pump (client → server): never faulted — faults
-                // model the delivery path the ISSUE cares about, and a
-                // clean request path keeps every schedule convergent.
+                // Upstream pump (client → server): clean by default; with
+                // `fault_upstream` it carries its own independently
+                // scheduled fault, exercising chunked upload request
+                // streams.
                 {
                     let link = Arc::clone(&link);
                     let shutdown = Arc::clone(shutdown);
+                    let counters = Arc::clone(counters);
+                    let delay_ms = spec.delay_ms;
                     let (from, to) = (client.try_clone(), server.try_clone());
                     if let (Ok(from), Ok(to)) = (from, to) {
                         pumps.push(std::thread::spawn(move || {
-                            pump(from, to, &link, &shutdown, None, None, 0);
+                            pump(
+                                from,
+                                to,
+                                &link,
+                                &shutdown,
+                                upstream_fault,
+                                Some(counters),
+                                delay_ms,
+                                true,
+                            );
                         }));
                     }
                 }
@@ -277,6 +333,7 @@ fn accept_loop(
                             fault,
                             Some(counters),
                             delay_ms,
+                            false,
                         );
                     }));
                 }
@@ -296,7 +353,8 @@ fn accept_loop(
 }
 
 /// Forwards bytes `from → to` until EOF, error, shutdown, or the link dies;
-/// applies the fault (if any) at its downstream byte offset.
+/// applies the fault (if any) at its byte offset in this pump's direction.
+/// `upstream` only affects attribution in the fault counters.
 #[allow(clippy::too_many_arguments)]
 fn pump(
     mut from: TcpStream,
@@ -306,6 +364,7 @@ fn pump(
     fault: Option<(FaultKind, u64)>,
     counters: Option<Arc<Counters>>,
     delay_ms: u64,
+    upstream: bool,
 ) {
     let mut buf = [0u8; 4096];
     let mut forwarded = 0u64;
@@ -321,6 +380,9 @@ fn pump(
                 if let Some((kind, after)) = fault {
                     if forwarded + n as u64 >= after {
                         let counters = counters.as_ref().expect("faulted pump has counters");
+                        if upstream {
+                            counters.upstream_faults.fetch_add(1, Ordering::Relaxed);
+                        }
                         match kind {
                             FaultKind::Reset => {
                                 // Cut abruptly: nothing past the fault point
@@ -401,6 +463,37 @@ mod tests {
         // A different seed shuffles the schedule.
         let other: Vec<_> = (0..64).map(|i| FaultSpec::new(43).fault_for(i)).collect();
         assert_ne!(a, other);
+    }
+
+    #[test]
+    fn upstream_schedule_is_gated_independent_and_dropless() {
+        let spec = FaultSpec::new(42);
+        assert!(
+            (0..64).all(|i| spec.upstream_fault_for(i).is_none()),
+            "upstream faulting must be off by default"
+        );
+        let spec = spec.with_upstream_faults();
+        let a: Vec<_> = (0..64).map(|i| spec.upstream_fault_for(i)).collect();
+        let b: Vec<_> = (0..64).map(|i| spec.upstream_fault_for(i)).collect();
+        assert_eq!(a, b, "same seed must give the same upstream schedule");
+        assert!(
+            a.iter().flatten().all(|(k, _)| *k != FaultKind::Drop),
+            "drops happen at accept, never per-direction"
+        );
+        let faulted = a.iter().flatten().count();
+        assert!(
+            (20..=55).contains(&faulted),
+            "upstream fault rate badly off: {faulted}/64"
+        );
+        // Independent of the downstream schedule: where both directions
+        // fault, the offsets must not be correlated copies.
+        let paired: Vec<_> = (0..64)
+            .filter_map(|i| Some((spec.fault_for(i)?, a[i as usize]?)))
+            .collect();
+        assert!(
+            paired.iter().any(|((_, down), (_, up))| down != up),
+            "upstream offsets mirror downstream ones"
+        );
     }
 
     #[test]

@@ -41,8 +41,17 @@
 //!   submissions in O(1) with byte-identical trial lines.
 //! * **Deterministic network chaos** — [`FaultNet`] is an in-process TCP
 //!   proxy injecting drops, resets, truncations, and stalls on a seed-keyed
-//!   (Philox) schedule, so the `serve_chaos` suite pins the zero-loss
-//!   guarantees under reproducible network failure.
+//!   (Philox) schedule — optionally on the client→server pump too
+//!   ([`FaultSpec::fault_upstream`]) — so the `serve_chaos` suite pins the
+//!   zero-loss guarantees under reproducible network failure.
+//! * **Crash-safe remote topologies** — chunked, resumable CSR uploads land
+//!   in a digest-addressed [`ContentStore`] under `--state-dir`: per-chunk
+//!   CRC plus a whole-graph digest check before an atomic tmp+rename
+//!   publish, partial uploads persisted so a killed client resumes from the
+//!   ack'd high-water mark, structural validation at commit (typed
+//!   [`UploadError`], never a panic), and an LRU byte quota that evicts
+//!   only unreferenced graphs — submissions naming an evicted digest get a
+//!   typed `unknown_topology` cue to re-upload idempotently ([`store`]).
 //!
 //! See the README's *Serving* section for the wire protocol and
 //! operational guarantees, and `rumor-serve --help` for the binary.
@@ -53,10 +62,12 @@ pub mod protocol;
 mod scheduler;
 mod server;
 pub mod shed;
+pub mod store;
 
-pub use client::{ClientError, JobResult, RetryPolicy, ServeClient, SessionStats};
+pub use client::{ClientError, JobResult, RetryPolicy, ServeClient, SessionStats, UploadReport};
 pub use faultnet::{FaultKind, FaultNet, FaultReport, FaultSpec};
-pub use protocol::{ServerStatus, SubmitRequest, TopologySpec, MAX_LINE_BYTES};
+pub use protocol::{ServerStatus, SubmitRequest, TopologySpec, UploadManifest, MAX_LINE_BYTES};
 pub use scheduler::{ServeConfig, ServeStats};
 pub use server::{Server, ServerHandle};
 pub use shed::AdmissionLimits;
+pub use store::{ContentStore, StoreCounters, UploadError, UploadState};

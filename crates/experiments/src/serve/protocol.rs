@@ -28,6 +28,16 @@
 //! ← …trial lines with seq 4.. — exactly the missing suffix, byte-identical…
 //!
 //! → {"verb":"heartbeat"}        ← {"type":"heartbeat"}
+//!
+//! → {"verb":"upload_begin","digest":"9f8e…","n":1002,"m":1001,"bytes":12060,
+//!    "chunk_bytes":4096,"chunks":3}
+//! ← {"type":"upload_ack","digest":"9f8e…","acked":0}
+//! → {"verb":"upload_chunk","digest":"9f8e…","index":0,"payload":"5243…","crc":1234567}
+//! ← {"type":"upload_ack","digest":"9f8e…","acked":1}
+//! → …chunks strictly in order; a reconnecting client asks
+//!    {"verb":"upload_status"} and restarts at the ack'd high-water mark…
+//! → {"verb":"upload_commit","digest":"9f8e…"}
+//! ← {"type":"upload_done","digest":"9f8e…","bytes":12060}
 //! ```
 //!
 //! Overload, drain, and validation failures answer with a single typed line
@@ -44,10 +54,13 @@ use rumor_graphs::{AnyTopology, GeneratedGraph, ImplicitGraph};
 
 use crate::runner::TrialOutcome;
 
-/// Upper bound on one NDJSON line, both directions. The server's bounded
-/// reader answers anything longer with a typed `protocol_error` line and
-/// closes the connection instead of growing `read_line` buffers without
-/// limit; the client applies the same bound to response lines.
+/// Default upper bound on one NDJSON line, both directions. The server's
+/// bounded reader answers anything longer with a typed `protocol_error`
+/// line and closes the connection instead of growing `read_line` buffers
+/// without limit; the client applies the same bound to response lines.
+/// Configurable per server via `ServeConfig::with_max_line_bytes` (CLI
+/// `--max-line-bytes`); upload chunk sizes derive from the configured bound
+/// through [`chunk_payload_bytes`].
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
 // ---------------------------------------------------------------------------
@@ -313,31 +326,48 @@ pub fn escape_json(s: &str) -> String {
 // Requests
 // ---------------------------------------------------------------------------
 
-/// The topology half of a submission: a named family plus its parameters.
+/// The topology half of a submission: a named family plus its parameters,
+/// or a reference to a previously uploaded graph.
 ///
 /// Families map onto the workspace's cheap backends — implicit graphs for
 /// the paper's structured families, the seed-keyed generated backend for
-/// random ones — so a submission never ships an edge list over the wire.
+/// random ones — so a family submission never ships an edge list over the
+/// wire. Measured graphs go the other way: the client uploads a canonical
+/// CSR encoding once (`upload_begin`/`upload_chunk`/`upload_commit`), then
+/// submits [`TopologySpec::Uploaded`] naming its content digest; the server
+/// resolves the digest through its content store.
 #[derive(Debug, Clone, PartialEq)]
-pub struct TopologySpec {
-    /// Family name: `complete`, `star`, `double-star`, `path`, `cycle`,
-    /// `hypercube` (where `n` is the dimension), `gnp`, or `chung-lu`.
-    pub family: String,
-    /// Vertex-count parameter (leaves for the star families, dimension for
-    /// `hypercube`).
-    pub n: usize,
-    /// Target mean degree (`gnp`, `chung-lu` only).
-    pub degree: f64,
-    /// Power-law exponent (`chung-lu` only).
-    pub exponent: f64,
-    /// Topology seed (`gnp`, `chung-lu` only).
-    pub seed: u64,
+pub enum TopologySpec {
+    /// A parameterized family built server-side.
+    Family {
+        /// Family name: `complete`, `star`, `double-star`, `path`, `cycle`,
+        /// `hypercube` (where `n` is the dimension), `gnp`, or `chung-lu`.
+        family: String,
+        /// Vertex-count parameter (leaves for the star families, dimension
+        /// for `hypercube`).
+        n: usize,
+        /// Target mean degree (`gnp`, `chung-lu` only).
+        degree: f64,
+        /// Power-law exponent (`chung-lu` only).
+        exponent: f64,
+        /// Topology seed (`gnp`, `chung-lu` only).
+        seed: u64,
+    },
+    /// A graph uploaded ahead of time, named by the FNV-1a-64 digest of its
+    /// canonical CSR encoding. Resolved through the server's content store;
+    /// an evicted or never-uploaded digest answers with a typed
+    /// `unknown_topology` line so the client can re-upload idempotently.
+    Uploaded {
+        /// FNV-1a-64 over the canonical CSR encoding
+        /// ([`rumor_graphs::codec::encode_csr`]).
+        digest: u64,
+    },
 }
 
 impl TopologySpec {
     /// A spec for one of the parameter-free families.
     pub fn new(family: &str, n: usize) -> Self {
-        TopologySpec {
+        TopologySpec::Family {
             family: family.to_string(),
             n,
             degree: 8.0,
@@ -346,33 +376,82 @@ impl TopologySpec {
         }
     }
 
+    /// A spec naming an uploaded graph by content digest.
+    pub fn uploaded(digest: u64) -> Self {
+        TopologySpec::Uploaded { digest }
+    }
+
+    /// Sets the target mean degree (`gnp`, `chung-lu`); no-op for uploads.
+    pub fn with_degree(mut self, value: f64) -> Self {
+        if let TopologySpec::Family { degree, .. } = &mut self {
+            *degree = value;
+        }
+        self
+    }
+
+    /// Sets the power-law exponent (`chung-lu`); no-op for uploads.
+    pub fn with_exponent(mut self, value: f64) -> Self {
+        if let TopologySpec::Family { exponent, .. } = &mut self {
+            *exponent = value;
+        }
+        self
+    }
+
+    /// Sets the topology seed (`gnp`, `chung-lu`); no-op for uploads.
+    pub fn with_topology_seed(mut self, value: u64) -> Self {
+        if let TopologySpec::Family { seed, .. } = &mut self {
+            *seed = value;
+        }
+        self
+    }
+
+    /// The uploaded content digest, if this spec references one.
+    pub fn uploaded_digest(&self) -> Option<u64> {
+        match self {
+            TopologySpec::Uploaded { digest } => Some(*digest),
+            TopologySpec::Family { .. } => None,
+        }
+    }
+
     /// Builds the topology, choosing the cheapest backend for the family.
+    ///
+    /// [`TopologySpec::Uploaded`] cannot be built standalone — it resolves
+    /// through the server's content store — so it answers with an error
+    /// here; the scheduler intercepts it before calling `build`.
     pub fn build(&self) -> Result<AnyTopology, String> {
-        let fail = |e: rumor_graphs::GraphError| format!("topology {}: {e}", self.family);
-        match self.family.as_str() {
-            "complete" => ImplicitGraph::complete(self.n)
+        let (family, n, degree, exponent, seed) = match self {
+            TopologySpec::Family {
+                family,
+                n,
+                degree,
+                exponent,
+                seed,
+            } => (family.as_str(), *n, *degree, *exponent, *seed),
+            TopologySpec::Uploaded { digest } => {
+                return Err(format!(
+                    "uploaded topology {digest:016x} must be resolved through the content store"
+                ))
+            }
+        };
+        let fail = |e: rumor_graphs::GraphError| format!("topology {family}: {e}");
+        match family {
+            "complete" => ImplicitGraph::complete(n)
                 .map(AnyTopology::from)
                 .map_err(fail),
-            "star" => ImplicitGraph::star(self.n)
+            "star" => ImplicitGraph::star(n).map(AnyTopology::from).map_err(fail),
+            "double-star" => ImplicitGraph::double_star(n)
                 .map(AnyTopology::from)
                 .map_err(fail),
-            "double-star" => ImplicitGraph::double_star(self.n)
-                .map(AnyTopology::from)
-                .map_err(fail),
-            "path" => ImplicitGraph::path(self.n)
-                .map(AnyTopology::from)
-                .map_err(fail),
-            "cycle" => ImplicitGraph::cycle(self.n)
-                .map(AnyTopology::from)
-                .map_err(fail),
-            "hypercube" => u32::try_from(self.n)
+            "path" => ImplicitGraph::path(n).map(AnyTopology::from).map_err(fail),
+            "cycle" => ImplicitGraph::cycle(n).map(AnyTopology::from).map_err(fail),
+            "hypercube" => u32::try_from(n)
                 .map_err(|_| "hypercube dimension out of range".to_string())
                 .and_then(|dim| ImplicitGraph::hypercube(dim).map_err(fail))
                 .map(AnyTopology::from),
-            "gnp" => GeneratedGraph::gnp_with_mean_degree(self.n, self.degree, self.seed)
+            "gnp" => GeneratedGraph::gnp_with_mean_degree(n, degree, seed)
                 .map(AnyTopology::from)
                 .map_err(fail),
-            "chung-lu" => GeneratedGraph::chung_lu(self.n, self.exponent, self.degree, self.seed)
+            "chung-lu" => GeneratedGraph::chung_lu(n, exponent, degree, seed)
                 .map(AnyTopology::from)
                 .map_err(fail),
             other => Err(format!("unknown topology family {other:?}")),
@@ -380,10 +459,16 @@ impl TopologySpec {
     }
 
     fn canonical(&self) -> String {
-        format!(
-            "{}:{}:{}:{}:{}",
-            self.family, self.n, self.degree, self.exponent, self.seed
-        )
+        match self {
+            TopologySpec::Family {
+                family,
+                n,
+                degree,
+                exponent,
+                seed,
+            } => format!("{family}:{n}:{degree}:{exponent}:{seed}"),
+            TopologySpec::Uploaded { digest } => format!("uploaded:{digest:016x}"),
+        }
     }
 }
 
@@ -465,14 +550,24 @@ impl SubmitRequest {
 
     /// Renders the request as its wire line (no trailing newline).
     pub fn to_line(&self) -> String {
+        let topology = match &self.topology {
+            TopologySpec::Family {
+                family,
+                n,
+                degree,
+                exponent,
+                seed,
+            } => format!(
+                "{{\"family\":\"{}\",\"n\":{n},\"degree\":{degree},\"exponent\":{exponent},\"seed\":{seed}}}",
+                escape_json(family)
+            ),
+            TopologySpec::Uploaded { digest } => {
+                format!("{{\"family\":\"uploaded\",\"digest\":\"{digest:016x}\"}}")
+            }
+        };
         let mut line = format!(
-            "{{\"verb\":\"submit\",\"client\":\"{}\",\"topology\":{{\"family\":\"{}\",\"n\":{},\"degree\":{},\"exponent\":{},\"seed\":{}}},\"protocol\":\"{}\",\"lazy\":{},\"trials\":{},\"seed\":{},\"max_rounds\":{}",
+            "{{\"verb\":\"submit\",\"client\":\"{}\",\"topology\":{topology},\"protocol\":\"{}\",\"lazy\":{},\"trials\":{},\"seed\":{},\"max_rounds\":{}",
             escape_json(&self.client),
-            escape_json(&self.topology.family),
-            self.topology.n,
-            self.topology.degree,
-            self.topology.exponent,
-            self.topology.seed,
             escape_json(&self.protocol),
             self.lazy,
             self.trials,
@@ -487,11 +582,80 @@ impl SubmitRequest {
     }
 }
 
+/// The fixed header of a chunked topology upload: what `upload_begin`
+/// declares and what every subsequent chunk is checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UploadManifest {
+    /// FNV-1a-64 over the full canonical CSR encoding — the content
+    /// address the committed graph is stored and later submitted under.
+    pub digest: u64,
+    /// Declared vertex count (cross-checked against the decoded graph at
+    /// commit).
+    pub n: u64,
+    /// Declared undirected edge count (cross-checked at commit).
+    pub m: u64,
+    /// Total canonical encoding length in bytes.
+    pub bytes: u64,
+    /// Payload bytes per chunk (the last chunk may be shorter). Derived
+    /// from the client's line bound via [`chunk_payload_bytes`].
+    pub chunk_bytes: u64,
+}
+
+impl UploadManifest {
+    /// Number of chunks this manifest transfers.
+    pub fn chunks(&self) -> u64 {
+        if self.chunk_bytes == 0 {
+            0
+        } else {
+            self.bytes.div_ceil(self.chunk_bytes)
+        }
+    }
+
+    /// Payload length of chunk `index` (the last chunk carries the
+    /// remainder).
+    pub fn chunk_len(&self, index: u64) -> usize {
+        let start = index.saturating_mul(self.chunk_bytes).min(self.bytes);
+        let end = start.saturating_add(self.chunk_bytes).min(self.bytes);
+        (end - start) as usize
+    }
+}
+
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Submit a sweep.
     Submit(SubmitRequest),
+    /// Open (or re-open) a chunked topology upload. Idempotent: repeating
+    /// `upload_begin` for a known partial acks its high-water mark, and for
+    /// a committed digest answers `upload_done` immediately.
+    UploadBegin(UploadManifest),
+    /// One bounded chunk of the canonical CSR encoding. Chunks are applied
+    /// strictly in order; a replayed (already-acked) index re-acks without
+    /// rewriting, an out-of-order future index is a typed `upload_error`.
+    UploadChunk {
+        /// The upload's content digest (from `upload_begin`).
+        digest: u64,
+        /// Zero-based chunk index.
+        index: u64,
+        /// Raw payload bytes (hex on the wire).
+        payload: Vec<u8>,
+        /// CRC-32 (IEEE) over the payload bytes, checked before the chunk
+        /// is accepted.
+        crc: u32,
+    },
+    /// Verify and publish a fully transferred upload into the content
+    /// store (whole-encoding digest check, structural validation, atomic
+    /// tmp+rename).
+    UploadCommit {
+        /// The upload's content digest.
+        digest: u64,
+    },
+    /// Query an upload's state: committed, partial (with the ack'd
+    /// high-water chunk), or unknown. The reconnect-resume entry point.
+    UploadStatus {
+        /// The upload's content digest.
+        digest: u64,
+    },
     /// Re-attach to an in-flight or completed job by digest: the server
     /// replays exactly the job-scoped lines with `seq > last_seq`.
     Resume {
@@ -523,12 +687,79 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .get("verb")
         .and_then(Json::as_str)
         .ok_or("missing \"verb\"")?;
+    let digest_field = |value: &Json| -> Result<u64, String> {
+        let digest = value
+            .get("digest")
+            .and_then(Json::as_str)
+            .ok_or("missing \"digest\"")?;
+        u64::from_str_radix(digest, 16).map_err(|_| format!("bad digest {digest:?}"))
+    };
     match verb {
         "ping" => Ok(Request::Ping),
         "drain" => Ok(Request::Drain),
         "stats" => Ok(Request::Stats),
         "status" => Ok(Request::Status),
         "heartbeat" => Ok(Request::Heartbeat),
+        "upload_begin" => {
+            let manifest = UploadManifest {
+                digest: digest_field(&value)?,
+                n: value
+                    .get("n")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing \"n\"")?,
+                m: value
+                    .get("m")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing \"m\"")?,
+                bytes: value
+                    .get("bytes")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing \"bytes\"")?,
+                chunk_bytes: value
+                    .get("chunk_bytes")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing \"chunk_bytes\"")?,
+            };
+            if manifest.bytes == 0 || manifest.chunk_bytes == 0 {
+                return Err("upload must carry at least one byte per chunk".to_string());
+            }
+            let declared = value
+                .get("chunks")
+                .and_then(Json::as_u64)
+                .ok_or("missing \"chunks\"")?;
+            if declared != manifest.chunks() {
+                return Err(format!(
+                    "chunks {declared} inconsistent with bytes {} / chunk_bytes {}",
+                    manifest.bytes, manifest.chunk_bytes
+                ));
+            }
+            Ok(Request::UploadBegin(manifest))
+        }
+        "upload_chunk" => {
+            let payload = value
+                .get("payload")
+                .and_then(Json::as_str)
+                .ok_or("missing \"payload\"")?;
+            Ok(Request::UploadChunk {
+                digest: digest_field(&value)?,
+                index: value
+                    .get("index")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing \"index\"")?,
+                payload: decode_hex(payload)?,
+                crc: value
+                    .get("crc")
+                    .and_then(Json::as_u64)
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or("missing \"crc\"")?,
+            })
+        }
+        "upload_commit" => Ok(Request::UploadCommit {
+            digest: digest_field(&value)?,
+        }),
+        "upload_status" => Ok(Request::UploadStatus {
+            digest: digest_field(&value)?,
+        }),
         "resume" => {
             let job = value
                 .get("job")
@@ -542,19 +773,30 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "submit" => {
             let topo = value.get("topology").ok_or("missing \"topology\"")?;
-            let topology = TopologySpec {
-                family: topo
-                    .get("family")
+            let family = topo
+                .get("family")
+                .and_then(Json::as_str)
+                .ok_or("missing topology family")?;
+            let topology = if family == "uploaded" {
+                let digest = topo
+                    .get("digest")
                     .and_then(Json::as_str)
-                    .ok_or("missing topology family")?
-                    .to_string(),
-                n: topo
-                    .get("n")
-                    .and_then(Json::as_u64)
-                    .ok_or("missing topology n")? as usize,
-                degree: topo.get("degree").and_then(Json::as_f64).unwrap_or(8.0),
-                exponent: topo.get("exponent").and_then(Json::as_f64).unwrap_or(2.5),
-                seed: topo.get("seed").and_then(Json::as_u64).unwrap_or(1),
+                    .ok_or("missing upload digest")?;
+                TopologySpec::Uploaded {
+                    digest: u64::from_str_radix(digest, 16)
+                        .map_err(|_| format!("bad upload digest {digest:?}"))?,
+                }
+            } else {
+                TopologySpec::Family {
+                    family: family.to_string(),
+                    n: topo
+                        .get("n")
+                        .and_then(Json::as_u64)
+                        .ok_or("missing topology n")? as usize,
+                    degree: topo.get("degree").and_then(Json::as_f64).unwrap_or(8.0),
+                    exponent: topo.get("exponent").and_then(Json::as_f64).unwrap_or(2.5),
+                    seed: topo.get("seed").and_then(Json::as_u64).unwrap_or(1),
+                }
             };
             let trials = value
                 .get("trials")
@@ -739,6 +981,157 @@ pub fn error_line(job: Option<u64>, message: &str) -> String {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Upload wire lines
+// ---------------------------------------------------------------------------
+
+/// JSON overhead budget reserved on an `upload_chunk` line: verb, digest,
+/// a 20-digit index, a 10-digit CRC, braces, quotes, and the newline.
+const UPLOAD_LINE_OVERHEAD: usize = 128;
+
+/// The upload chunk payload size derived from a line bound: hex encoding
+/// doubles the payload, and a 128-byte JSON framing budget (verb, digest,
+/// index, CRC, braces, quotes, newline) rides along, so every
+/// `upload_chunk` line stays under `max_line_bytes`.
+pub fn chunk_payload_bytes(max_line_bytes: usize) -> usize {
+    (max_line_bytes.saturating_sub(UPLOAD_LINE_OVERHEAD) / 2).max(1)
+}
+
+/// Lowercase hex encoding for binary chunk payloads: every byte maps to two
+/// ASCII hex digits, which survive JSON string escaping untouched.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+    }
+    out
+}
+
+/// Strict inverse of [`encode_hex`]: even length, hex digits only.
+pub fn decode_hex(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err("odd-length hex payload".to_string());
+    }
+    let digit = |b: u8| -> Result<u8, String> {
+        (b as char)
+            .to_digit(16)
+            .map(|d| d as u8)
+            .ok_or_else(|| format!("bad hex digit {:?}", b as char))
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((digit(pair[0])? << 4) | digit(pair[1])?);
+    }
+    Ok(out)
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xedb88320`) — the per-chunk
+/// integrity check on upload payloads.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xedb8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// The `upload_begin` request line.
+pub fn upload_begin_line(manifest: &UploadManifest) -> String {
+    format!(
+        "{{\"verb\":\"upload_begin\",\"digest\":\"{:016x}\",\"n\":{},\"m\":{},\"bytes\":{},\"chunk_bytes\":{},\"chunks\":{}}}",
+        manifest.digest,
+        manifest.n,
+        manifest.m,
+        manifest.bytes,
+        manifest.chunk_bytes,
+        manifest.chunks(),
+    )
+}
+
+/// The `upload_chunk` request line with an explicit CRC (tests use this to
+/// forge corrupt chunks; [`upload_chunk_line`] computes the honest one).
+pub fn upload_chunk_line_with_crc(digest: u64, index: u64, payload: &[u8], crc: u32) -> String {
+    format!(
+        "{{\"verb\":\"upload_chunk\",\"digest\":\"{digest:016x}\",\"index\":{index},\"payload\":\"{}\",\"crc\":{crc}}}",
+        encode_hex(payload)
+    )
+}
+
+/// The `upload_chunk` request line, CRC computed over the payload.
+pub fn upload_chunk_line(digest: u64, index: u64, payload: &[u8]) -> String {
+    upload_chunk_line_with_crc(digest, index, payload, crc32(payload))
+}
+
+/// The `upload_commit` request line.
+pub fn upload_commit_line(digest: u64) -> String {
+    format!("{{\"verb\":\"upload_commit\",\"digest\":\"{digest:016x}\"}}")
+}
+
+/// The `upload_status` request line.
+pub fn upload_status_request_line(digest: u64) -> String {
+    format!("{{\"verb\":\"upload_status\",\"digest\":\"{digest:016x}\"}}")
+}
+
+/// Chunk acknowledgment: `acked` is the high-water mark — every chunk with
+/// index `< acked` is durably applied, so a resuming client starts there.
+pub fn upload_ack_line(digest: u64, acked: u64) -> String {
+    format!("{{\"type\":\"upload_ack\",\"digest\":\"{digest:016x}\",\"acked\":{acked}}}")
+}
+
+/// Commit confirmation: the upload verified, validated, and published
+/// atomically into the content store. Also the idempotent answer to
+/// `upload_begin`/`upload_commit` on an already-committed digest.
+pub fn upload_done_line(digest: u64, bytes: u64) -> String {
+    format!("{{\"type\":\"upload_done\",\"digest\":\"{digest:016x}\",\"bytes\":{bytes}}}")
+}
+
+/// The `upload_status` answer: `state` is `committed`, `partial`, or
+/// `unknown`; `acked`/`chunks` report resume progress for partials.
+pub fn upload_status_line(digest: u64, state: &str, acked: u64, chunks: u64) -> String {
+    format!(
+        "{{\"type\":\"upload_status\",\"digest\":\"{digest:016x}\",\"state\":\"{}\",\"acked\":{acked},\"chunks\":{chunks}}}",
+        escape_json(state)
+    )
+}
+
+/// A typed upload failure (CRC mismatch, out-of-order chunk, digest or
+/// validation failure at commit, quota) — never a panic, never a hang.
+pub fn upload_error_line(digest: u64, message: &str) -> String {
+    format!(
+        "{{\"type\":\"upload_error\",\"digest\":\"{digest:016x}\",\"message\":\"{}\"}}",
+        escape_json(message)
+    )
+}
+
+/// The typed answer to a submission naming an uploaded digest the content
+/// store no longer holds (evicted, or never uploaded): the client's cue to
+/// re-upload and resubmit idempotently. `job` tags the rejected submission;
+/// `digest` names the missing topology.
+pub fn unknown_topology_line(job: u64, digest: u64) -> String {
+    format!("{{\"type\":\"unknown_topology\",\"job\":\"{job:016x}\",\"digest\":\"{digest:016x}\"}}")
+}
+
 /// The `status` verb's answer: scheduler load plus session-layer counters.
 /// One struct both ends share — the server renders it with [`status_line`],
 /// the client parses it back with [`ServerStatus::from_json`].
@@ -770,6 +1163,18 @@ pub struct ServerStatus {
     pub protocol_errors: u64,
     /// Half-open connections reclaimed by the idle timeout.
     pub idle_reaped: u64,
+    /// Committed graphs currently in the content store.
+    pub graphs_stored: usize,
+    /// Bytes of committed canonical encodings currently stored.
+    pub store_bytes: u64,
+    /// Committed graphs evicted by the byte quota over the server's
+    /// lifetime.
+    pub evictions: u64,
+    /// Partial (begun, uncommitted) uploads currently held.
+    pub partial_uploads: usize,
+    /// Uploads rejected at commit (digest mismatch, CRC, structural
+    /// validation) over the server's lifetime.
+    pub failed_validations: u64,
 }
 
 impl ServerStatus {
@@ -790,6 +1195,11 @@ impl ServerStatus {
             heartbeats: field("heartbeats")?,
             protocol_errors: field("protocol_errors")?,
             idle_reaped: field("idle_reaped")?,
+            graphs_stored: field("graphs_stored")? as usize,
+            store_bytes: field("store_bytes")?,
+            evictions: field("evictions")?,
+            partial_uploads: field("partial_uploads")? as usize,
+            failed_validations: field("failed_validations")?,
         })
     }
 }
@@ -797,7 +1207,7 @@ impl ServerStatus {
 /// The `status` verb's answer line.
 pub fn status_line(status: &ServerStatus) -> String {
     format!(
-        "{{\"type\":\"status\",\"queue_depth\":{},\"active_jobs\":{},\"executed\":{},\"shed\":{},\"cache_hits\":{},\"duplicate_hits\":{},\"open_sessions\":{},\"sessions_opened\":{},\"resumes\":{},\"replayed_lines\":{},\"heartbeats\":{},\"protocol_errors\":{},\"idle_reaped\":{}}}",
+        "{{\"type\":\"status\",\"queue_depth\":{},\"active_jobs\":{},\"executed\":{},\"shed\":{},\"cache_hits\":{},\"duplicate_hits\":{},\"open_sessions\":{},\"sessions_opened\":{},\"resumes\":{},\"replayed_lines\":{},\"heartbeats\":{},\"protocol_errors\":{},\"idle_reaped\":{},\"graphs_stored\":{},\"store_bytes\":{},\"evictions\":{},\"partial_uploads\":{},\"failed_validations\":{}}}",
         status.queue_depth,
         status.active_jobs,
         status.executed,
@@ -811,6 +1221,11 @@ pub fn status_line(status: &ServerStatus) -> String {
         status.heartbeats,
         status.protocol_errors,
         status.idle_reaped,
+        status.graphs_stored,
+        status.store_bytes,
+        status.evictions,
+        status.partial_uploads,
+        status.failed_validations,
     )
 }
 
@@ -939,6 +1354,11 @@ mod tests {
             error_line(None, "bad \"spec\""),
             error_line(Some(7), "bad \"spec\""),
             status_line(&ServerStatus::default()),
+            upload_ack_line(7, 3),
+            upload_done_line(7, 4096),
+            upload_status_line(7, "partial", 2, 5),
+            upload_error_line(7, "crc mismatch on chunk \"3\""),
+            unknown_topology_line(7, 9),
         ] {
             parse_json(&line).unwrap_or_else(|e| panic!("unparseable line {line}: {e}"));
         }
@@ -960,6 +1380,11 @@ mod tests {
             heartbeats: 11,
             protocol_errors: 12,
             idle_reaped: 13,
+            graphs_stored: 14,
+            store_bytes: 15,
+            evictions: 16,
+            partial_uploads: 17,
+            failed_validations: 18,
         };
         let parsed = parse_json(&status_line(&status)).unwrap();
         assert_eq!(parsed.get("type").and_then(Json::as_str), Some("status"));
@@ -1006,5 +1431,104 @@ mod tests {
         // Malformed job ids are rejected, not panics.
         assert!(parse_request("{\"verb\":\"resume\",\"job\":\"zz\"}").is_err());
         assert!(parse_request("{\"verb\":\"resume\"}").is_err());
+    }
+
+    #[test]
+    fn hex_and_crc_are_exact() {
+        assert_eq!(encode_hex(&[0x00, 0xff, 0x3a]), "00ff3a");
+        assert_eq!(decode_hex("00ff3a").unwrap(), vec![0x00, 0xff, 0x3a]);
+        assert!(decode_hex("0").is_err());
+        assert!(decode_hex("zz").is_err());
+        // CRC-32 of "123456789" is the standard check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn upload_verbs_round_trip() {
+        let manifest = UploadManifest {
+            digest: 0xfeed_f00d,
+            n: 100,
+            m: 250,
+            bytes: 2428,
+            chunk_bytes: 1000,
+        };
+        assert_eq!(manifest.chunks(), 3);
+        assert_eq!(manifest.chunk_len(0), 1000);
+        assert_eq!(manifest.chunk_len(2), 428);
+        assert_eq!(manifest.chunk_len(3), 0);
+        match parse_request(&upload_begin_line(&manifest)).unwrap() {
+            Request::UploadBegin(parsed) => assert_eq!(parsed, manifest),
+            other => panic!("expected upload_begin, got {other:?}"),
+        }
+        let payload = vec![0u8, 1, 2, 0xfe, 0xff];
+        match parse_request(&upload_chunk_line(0xfeed_f00d, 2, &payload)).unwrap() {
+            Request::UploadChunk {
+                digest,
+                index,
+                payload: parsed,
+                crc,
+            } => {
+                assert_eq!(digest, 0xfeed_f00d);
+                assert_eq!(index, 2);
+                assert_eq!(crc, crc32(&parsed));
+                assert_eq!(parsed, payload);
+            }
+            other => panic!("expected upload_chunk, got {other:?}"),
+        }
+        assert_eq!(
+            parse_request(&upload_commit_line(7)).unwrap(),
+            Request::UploadCommit { digest: 7 }
+        );
+        assert_eq!(
+            parse_request(&upload_status_request_line(7)).unwrap(),
+            Request::UploadStatus { digest: 7 }
+        );
+        // Inconsistent chunk counts and empty uploads are rejected typed.
+        assert!(parse_request(
+            "{\"verb\":\"upload_begin\",\"digest\":\"1\",\"n\":2,\"m\":1,\"bytes\":10,\"chunk_bytes\":4,\"chunks\":2}"
+        )
+        .is_err());
+        assert!(parse_request(
+            "{\"verb\":\"upload_begin\",\"digest\":\"1\",\"n\":2,\"m\":1,\"bytes\":0,\"chunk_bytes\":4,\"chunks\":0}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn uploaded_topology_round_trips_and_digests_distinctly() {
+        let request = SubmitRequest::new("carol", TopologySpec::uploaded(0xabcd), "push", 4);
+        let line = request.to_line();
+        assert!(line.contains("\"family\":\"uploaded\""), "line: {line}");
+        assert!(
+            line.contains("\"digest\":\"000000000000abcd\""),
+            "line: {line}"
+        );
+        match parse_request(&line).unwrap() {
+            Request::Submit(parsed) => assert_eq!(parsed, request),
+            other => panic!("expected submit, got {other:?}"),
+        }
+        let family = SubmitRequest::new("carol", TopologySpec::new("complete", 64), "push", 4);
+        assert_ne!(request.digest(), family.digest());
+        let other = SubmitRequest::new("carol", TopologySpec::uploaded(0xabce), "push", 4);
+        assert_ne!(request.digest(), other.digest());
+        // Uploaded specs refuse to build standalone — the scheduler resolves
+        // them through the content store instead.
+        assert!(request.topology.build().is_err());
+        assert_eq!(request.topology.uploaded_digest(), Some(0xabcd));
+    }
+
+    #[test]
+    fn chunk_payload_bytes_fit_the_line_bound() {
+        for bound in [1024usize, 4096, MAX_LINE_BYTES, 256 * 1024] {
+            let payload = vec![0xa5u8; chunk_payload_bytes(bound)];
+            let line = upload_chunk_line(u64::MAX, u64::MAX, &payload);
+            assert!(
+                line.len() < bound,
+                "chunk line ({} bytes) must stay under the {bound}-byte bound",
+                line.len()
+            );
+        }
+        assert_eq!(chunk_payload_bytes(0), 1, "bound never collapses to zero");
     }
 }

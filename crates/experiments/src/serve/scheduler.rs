@@ -41,8 +41,9 @@ use rumor_core::{
 use rumor_graphs::{AnyTopology, Topology, VertexId};
 
 use crate::runner::{Manifest, TrialOutcome, TrialTaxonomy};
-use crate::serve::protocol::{trial_line, SubmitRequest};
+use crate::serve::protocol::{trial_line, SubmitRequest, MAX_LINE_BYTES};
 use crate::serve::shed::{admit, AdmissionLimits, Verdict};
+use crate::serve::store::{ContentStore, UploadError};
 
 /// Configuration of a serve instance (scheduler + server).
 #[derive(Debug, Clone)]
@@ -66,6 +67,12 @@ pub struct ServeConfig {
     /// Close a connection that has sent nothing (not even a heartbeat) for
     /// this long — reclaims the session thread behind a half-open TCP peer.
     pub idle_timeout: Duration,
+    /// Upper bound on one NDJSON line, both directions (default
+    /// [`MAX_LINE_BYTES`]). Upload chunk sizes derive from this bound.
+    pub max_line_bytes: usize,
+    /// LRU byte quota for the topology content store (`None` = unbounded).
+    /// Only unreferenced committed graphs are ever evicted.
+    pub store_quota_bytes: Option<u64>,
 }
 
 impl ServeConfig {
@@ -80,6 +87,8 @@ impl ServeConfig {
             throttle_ms: 0,
             grace: Duration::from_secs(30),
             idle_timeout: Duration::from_secs(30),
+            max_line_bytes: MAX_LINE_BYTES,
+            store_quota_bytes: None,
         }
     }
 
@@ -98,6 +107,18 @@ impl ServeConfig {
     /// Sets the worker-thread count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Sets the NDJSON line bound (and thereby the upload chunk size).
+    pub fn with_max_line_bytes(mut self, max_line_bytes: usize) -> Self {
+        self.max_line_bytes = max_line_bytes;
+        self
+    }
+
+    /// Sets the content store's LRU byte quota.
+    pub fn with_store_quota_bytes(mut self, quota: u64) -> Self {
+        self.store_quota_bytes = Some(quota);
         self
     }
 
@@ -158,6 +179,13 @@ pub(crate) enum Submission {
     Draining,
     /// Validation failed (unknown family/protocol, out-of-range spec, …).
     Rejected(String),
+    /// The submission named an uploaded topology the content store does not
+    /// hold (never uploaded, evicted by quota, or corrupt at rest) — the
+    /// typed cue for the client to re-upload and resubmit idempotently.
+    UnknownTopology {
+        /// The missing topology's content digest.
+        topology: u64,
+    },
 }
 
 /// The scheduler's answer to a `resume` lookup by digest.
@@ -177,6 +205,10 @@ pub(crate) struct Job {
     pub(crate) trials: usize,
     pub(crate) reused: usize,
     topology: AnyTopology,
+    /// The content-store pin held for an uploaded topology: released when
+    /// the job leaves the pending/running set, so quota eviction can never
+    /// remove a graph a live job references.
+    upload_pin: Option<u64>,
     base_spec: SimulationSpec,
     source: VertexId,
     deadline: Option<Instant>,
@@ -307,6 +339,14 @@ struct Shared {
     cache_hits: AtomicUsize,
     duplicate_hits: AtomicUsize,
     config: ServeConfig,
+    store: ContentStore,
+}
+
+/// Releases a finished/retired job's content-store pin, if it holds one.
+fn release_upload_pin(shared: &Shared, job: &Job) {
+    if let Some(digest) = job.upload_pin {
+        shared.store.unpin(digest);
+    }
 }
 
 /// The worker pool + queue state. One per server; shared with connection
@@ -323,8 +363,14 @@ impl std::fmt::Debug for Scheduler {
 }
 
 impl Scheduler {
-    /// Starts the worker pool.
-    pub(crate) fn start(config: ServeConfig) -> Scheduler {
+    /// Starts the worker pool and opens the topology content store (under
+    /// `<state-dir>/store` when durable, in memory otherwise).
+    pub(crate) fn start(config: ServeConfig) -> std::io::Result<Scheduler> {
+        let store = ContentStore::open(
+            config.state_dir.as_ref().map(|dir| dir.join("store")),
+            config.store_quota_bytes,
+        )
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
         let shared = Arc::new(Shared {
             state: Mutex::new(SchedState {
                 queues: Vec::new(),
@@ -341,6 +387,7 @@ impl Scheduler {
             cache_hits: AtomicUsize::new(0),
             duplicate_hits: AtomicUsize::new(0),
             config,
+            store,
         });
         let workers = (0..shared.config.resolved_workers())
             .map(|_| {
@@ -348,10 +395,15 @@ impl Scheduler {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        Scheduler {
+        Ok(Scheduler {
             shared,
             workers: Mutex::new(workers),
-        }
+        })
+    }
+
+    /// The topology content store (upload verbs and status counters).
+    pub(crate) fn store(&self) -> &ContentStore {
+        &self.shared.store
     }
 
     /// Current counters.
@@ -378,13 +430,46 @@ impl Scheduler {
             return Submission::Draining;
         }
         let digest = request.digest();
-        let topology = match request.topology.build() {
-            Ok(t) => t,
-            Err(e) => return Submission::Rejected(e),
+        // Uploaded topologies resolve through the content store; resolving
+        // pins the entry, and the pin follows the job (or is released on any
+        // path that does not create one), so eviction can never race a live
+        // submission.
+        let mut upload_pin: Option<u64> = None;
+        let unpin_on_exit = |pin: Option<u64>| {
+            if let Some(digest) = pin {
+                self.shared.store.unpin(digest);
+            }
+        };
+        let topology = match request.topology.uploaded_digest() {
+            Some(topology_digest) => match self.shared.store.resolve_pinned(topology_digest) {
+                Ok(graph) => {
+                    upload_pin = Some(topology_digest);
+                    AnyTopology::from(graph)
+                }
+                // Never uploaded, evicted, or corrupt at rest (the store
+                // already dropped a corrupt entry): re-upload is the cure.
+                Err(
+                    UploadError::UnknownTopology { .. }
+                    | UploadError::DigestMismatch { .. }
+                    | UploadError::Invalid { .. },
+                ) => {
+                    return Submission::UnknownTopology {
+                        topology: topology_digest,
+                    }
+                }
+                Err(e) => return Submission::Rejected(e.to_string()),
+            },
+            None => match request.topology.build() {
+                Ok(t) => t,
+                Err(e) => return Submission::Rejected(e),
+            },
         };
         let base = match request.to_spec() {
             Ok(s) => s,
-            Err(e) => return Submission::Rejected(e),
+            Err(e) => {
+                unpin_on_exit(upload_pin);
+                return Submission::Rejected(e);
+            }
         };
         let source: VertexId = 0;
         // One match at admission: adapt (the paper's bipartite remedy) and
@@ -402,6 +487,7 @@ impl Scheduler {
                 AnyTopology::Generated(g) => adapted.validate(g, source),
             };
             if let Err(e) = check {
+                unpin_on_exit(upload_pin);
                 return Submission::Rejected(e.to_string());
             }
             adapted
@@ -409,14 +495,17 @@ impl Scheduler {
 
         let mut state = self.shared.state.lock().unwrap();
         if state.shutdown || self.draining() {
+            unpin_on_exit(upload_pin);
             return Submission::Draining;
         }
         if let Some(cached) = state.cache.get(&digest) {
             self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            unpin_on_exit(upload_pin);
             return Submission::Cached(Arc::clone(cached));
         }
         if let Some(job) = state.running.get(&digest) {
             self.shared.duplicate_hits.fetch_add(1, Ordering::Relaxed);
+            unpin_on_exit(upload_pin);
             return Submission::Attached {
                 job: Arc::clone(job),
                 duplicate: true,
@@ -430,6 +519,7 @@ impl Scheduler {
         ) {
             Verdict::Overloaded { retry_after_ms } => {
                 self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                unpin_on_exit(upload_pin);
                 return Submission::Overloaded { retry_after_ms };
             }
             Verdict::Admit => {}
@@ -488,6 +578,7 @@ impl Scheduler {
             trials,
             reused,
             topology,
+            upload_pin,
             base_spec: spec,
             source,
             deadline: request
@@ -500,8 +591,10 @@ impl Scheduler {
         });
         if finished_at_admission {
             // Everything came back from the manifest: publish to the cache
-            // and answer without touching the queues.
+            // and answer without touching the queues (no running job, so no
+            // pin to carry).
             cache_if_deterministic(&mut state, &job);
+            unpin_on_exit(upload_pin);
             return Submission::Attached {
                 job,
                 duplicate: false,
@@ -575,6 +668,8 @@ impl Scheduler {
                 job_state.drained = true;
             }
             job.progress.notify_all();
+            drop(job_state);
+            release_upload_pin(&self.shared, &job);
         }
         state.queues.clear();
         state.pending_trials = 0;
@@ -619,7 +714,7 @@ fn worker_loop(shared: &Shared) {
                 if state.shutdown || shared.draining.load(Ordering::Relaxed) {
                     return;
                 }
-                if let Some(claim) = claim_next(&mut state) {
+                if let Some(claim) = claim_next(shared, &mut state) {
                     break claim;
                 }
                 state = shared.work_ready.wait(state).unwrap();
@@ -633,6 +728,8 @@ fn worker_loop(shared: &Shared) {
                     let mut state = shared.state.lock().unwrap();
                     state.running.remove(&job.digest);
                     cache_if_deterministic(&mut state, &job);
+                    drop(state);
+                    release_upload_pin(shared, &job);
                 }
             }
             None => {
@@ -647,7 +744,7 @@ fn worker_loop(shared: &Shared) {
 /// Claims the next trial ticket in client round-robin order. Runs under the
 /// scheduler lock. Also retires deadline-expired jobs (their unclaimed
 /// trials become `NotRun`).
-fn claim_next(state: &mut SchedState) -> Option<(Arc<Job>, usize)> {
+fn claim_next(shared: &Shared, state: &mut SchedState) -> Option<(Arc<Job>, usize)> {
     let queues = state.queues.len();
     if queues == 0 {
         return None;
@@ -687,6 +784,7 @@ fn claim_next(state: &mut SchedState) -> Option<(Arc<Job>, usize)> {
             marked += 1;
             if job.record(trial, TrialOutcome::NotRun) {
                 state.running.remove(&job.digest);
+                release_upload_pin(shared, &job);
             }
         }
         state.pending_trials = state.pending_trials.saturating_sub(marked);
@@ -856,7 +954,7 @@ mod tests {
 
     #[test]
     fn executes_a_job_and_caches_the_result() {
-        let scheduler = Scheduler::start(smoke_config());
+        let scheduler = Scheduler::start(smoke_config()).expect("scheduler");
         let request = SubmitRequest::new("t", TopologySpec::new("complete", 32), "push", 4);
         let Submission::Attached { job, duplicate } = scheduler.submit(request.clone()) else {
             panic!("expected attachment");
@@ -879,7 +977,7 @@ mod tests {
 
     #[test]
     fn rejects_invalid_specs_with_the_cause() {
-        let scheduler = Scheduler::start(smoke_config());
+        let scheduler = Scheduler::start(smoke_config()).expect("scheduler");
         let bad_family = scheduler.submit(SubmitRequest::new(
             "t",
             TopologySpec::new("torus", 8),
@@ -901,7 +999,7 @@ mod tests {
 
     #[test]
     fn draining_scheduler_admits_nothing() {
-        let scheduler = Scheduler::start(smoke_config());
+        let scheduler = Scheduler::start(smoke_config()).expect("scheduler");
         scheduler.begin_drain();
         let verdict = scheduler.submit(SubmitRequest::new(
             "t",
@@ -924,7 +1022,7 @@ mod tests {
             },
             ..ServeConfig::new()
         };
-        let scheduler = Scheduler::start(config);
+        let scheduler = Scheduler::start(config).expect("scheduler");
         let first = SubmitRequest::new("hog", TopologySpec::new("complete", 16), "push", 4);
         assert!(matches!(
             scheduler.submit(first),

@@ -14,8 +14,10 @@
 //!
 //! ## Liveness
 //!
-//! The reader is bounded in both dimensions: a line longer than
-//! [`MAX_LINE_BYTES`] answers with a typed `protocol_error` and closes (a
+//! The reader is bounded in both dimensions: a line longer than the
+//! configured bound ([`crate::serve::protocol::MAX_LINE_BYTES`] by default,
+//! [`ServeConfig::with_max_line_bytes`] to change it) answers with a typed
+//! `protocol_error` and closes (a
 //! hostile client cannot grow buffers without limit), and a connection that
 //! sends nothing — not even a heartbeat — for the configured idle timeout
 //! is reclaimed, so half-open TCP peers cannot leak session threads.
@@ -35,12 +37,14 @@ use std::time::{Duration, Instant};
 
 use crate::serve::protocol::{
     accepted_line, done_line, draining_line, error_line, heartbeat_line, overloaded_line,
-    parse_request, protocol_error_line, resumed_line, status_line, unknown_job_line, with_session,
-    Request, ServerStatus, MAX_LINE_BYTES,
+    parse_request, protocol_error_line, resumed_line, status_line, unknown_job_line,
+    unknown_topology_line, upload_ack_line, upload_done_line, upload_error_line,
+    upload_status_line, with_session, Request, ServerStatus,
 };
 use crate::serve::scheduler::{
     CachedJob, Job, Lookup, Scheduler, ServeConfig, ServeStats, Submission,
 };
+use crate::serve::store::UploadState;
 
 /// How long a forwarder waits on a silent feed before re-checking the
 /// session's closed flag — bounds forwarder-thread lifetime after a
@@ -68,6 +72,7 @@ pub struct Server {
     counters: Arc<SessionCounters>,
     connections: Arc<AtomicUsize>,
     idle_timeout: Duration,
+    max_line_bytes: usize,
 }
 
 /// A cheap handle onto a running [`Server`] for in-process control
@@ -110,13 +115,15 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let idle_timeout = config.idle_timeout;
+        let max_line_bytes = config.max_line_bytes;
         Ok(Server {
             listener,
             addr,
-            scheduler: Arc::new(Scheduler::start(config)),
+            scheduler: Arc::new(Scheduler::start(config)?),
             counters: Arc::new(SessionCounters::default()),
             connections: Arc::new(AtomicUsize::new(0)),
             idle_timeout,
+            max_line_bytes,
         })
     }
 
@@ -146,9 +153,16 @@ impl Server {
                     let counters = Arc::clone(&self.counters);
                     let connections = Arc::clone(&self.connections);
                     let idle_timeout = self.idle_timeout;
+                    let max_line_bytes = self.max_line_bytes;
                     connections.fetch_add(1, Ordering::SeqCst);
                     std::thread::spawn(move || {
-                        let _ = handle_connection(stream, &scheduler, &counters, idle_timeout);
+                        let _ = handle_connection(
+                            stream,
+                            &scheduler,
+                            &counters,
+                            idle_timeout,
+                            max_line_bytes,
+                        );
                         connections.fetch_sub(1, Ordering::SeqCst);
                     });
                 }
@@ -262,7 +276,7 @@ enum ReadEvent {
     Line(String),
     /// The peer closed the connection.
     Eof,
-    /// The line exceeded [`MAX_LINE_BYTES`] — protocol violation.
+    /// The line exceeded the configured byte bound — protocol violation.
     TooLong,
     /// The read timeout elapsed with no complete line; the caller checks
     /// the idle deadline and teardown flags, then polls again.
@@ -275,9 +289,13 @@ enum ReadEvent {
 /// each read is capped at the remaining budget, partial lines accumulate
 /// across timeout ticks, and a line that fills the budget without a newline
 /// is a [`ReadEvent::TooLong`] violation.
-fn next_event(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> ReadEvent {
+fn next_event(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max_line_bytes: usize,
+) -> ReadEvent {
     loop {
-        let remaining = (MAX_LINE_BYTES + 1).saturating_sub(buf.len());
+        let remaining = (max_line_bytes + 1).saturating_sub(buf.len());
         if remaining == 0 {
             return ReadEvent::TooLong;
         }
@@ -285,7 +303,7 @@ fn next_event(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> ReadEvent
             Ok(0) => return ReadEvent::Eof,
             Ok(_) => {
                 if buf.last() == Some(&b'\n') {
-                    if buf.len() > MAX_LINE_BYTES {
+                    if buf.len() > max_line_bytes {
                         return ReadEvent::TooLong;
                     }
                     let line = String::from_utf8_lossy(buf).trim_end().to_string();
@@ -321,6 +339,7 @@ fn handle_connection(
     scheduler: &Arc<Scheduler>,
     counters: &Arc<SessionCounters>,
     idle_timeout: Duration,
+    max_line_bytes: usize,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
     stream
@@ -347,7 +366,7 @@ fn handle_connection(
         if session.writer_dead.load(Ordering::Relaxed) {
             break;
         }
-        match next_event(&mut reader, &mut buf) {
+        match next_event(&mut reader, &mut buf, max_line_bytes) {
             ReadEvent::Tick => {
                 if Instant::now() >= idle_deadline {
                     counters.idle_reaped.fetch_add(1, Ordering::Relaxed);
@@ -359,7 +378,7 @@ fn handle_connection(
             ReadEvent::TooLong => {
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 session.push(protocol_error_line(&format!(
-                    "line exceeds {MAX_LINE_BYTES} bytes"
+                    "line exceeds {max_line_bytes} bytes"
                 )));
                 break;
             }
@@ -457,7 +476,60 @@ fn handle_request(
                     session.push(accepted_line(digest, trials, false, duplicate));
                     forwarders.push(spawn_forwarder(job, session, counters, 0, false));
                 }
+                Submission::UnknownTopology { topology } => {
+                    session.push(unknown_topology_line(digest, topology));
+                }
             }
+        }
+        Request::UploadBegin(manifest) => {
+            let digest = manifest.digest;
+            match scheduler.store().begin(manifest) {
+                Ok(UploadState::Committed { bytes }) => {
+                    session.push(upload_done_line(digest, bytes));
+                }
+                Ok(UploadState::Partial { acked, .. }) => {
+                    session.push(upload_ack_line(digest, acked));
+                }
+                // `begin` never answers Unknown (it creates the partial);
+                // ack from zero for exhaustiveness.
+                Ok(UploadState::Unknown) => {
+                    session.push(upload_ack_line(digest, 0));
+                }
+                Err(e) => {
+                    session.push(upload_error_line(digest, &e.to_string()));
+                }
+            }
+        }
+        Request::UploadChunk {
+            digest,
+            index,
+            payload,
+            crc,
+        } => match scheduler.store().chunk(digest, index, &payload, crc) {
+            Ok(acked) => {
+                session.push(upload_ack_line(digest, acked));
+            }
+            Err(e) => {
+                session.push(upload_error_line(digest, &e.to_string()));
+            }
+        },
+        Request::UploadCommit { digest } => match scheduler.store().commit(digest) {
+            Ok(bytes) => {
+                session.push(upload_done_line(digest, bytes));
+            }
+            Err(e) => {
+                session.push(upload_error_line(digest, &e.to_string()));
+            }
+        },
+        Request::UploadStatus { digest } => {
+            // For a committed entry "resume progress" is moot; acked and
+            // chunks both carry the stored byte size.
+            let (state, acked, chunks) = match scheduler.store().status(digest) {
+                UploadState::Committed { bytes } => ("committed", bytes, bytes),
+                UploadState::Partial { acked, chunks } => ("partial", acked, chunks),
+                UploadState::Unknown => ("unknown", 0, 0),
+            };
+            session.push(upload_status_line(digest, state, acked, chunks));
         }
         Request::Resume { job, last_seq } => {
             counters.resumes.fetch_add(1, Ordering::Relaxed);
@@ -573,6 +645,7 @@ fn spawn_forwarder(
 
 fn current_status(scheduler: &Scheduler, counters: &SessionCounters) -> ServerStatus {
     let stats = scheduler.stats();
+    let store = scheduler.store().counters();
     ServerStatus {
         queue_depth: stats.pending_trials,
         active_jobs: stats.pending_jobs,
@@ -587,5 +660,10 @@ fn current_status(scheduler: &Scheduler, counters: &SessionCounters) -> ServerSt
         heartbeats: counters.heartbeats.load(Ordering::Relaxed),
         protocol_errors: counters.protocol_errors.load(Ordering::Relaxed),
         idle_reaped: counters.idle_reaped.load(Ordering::Relaxed),
+        graphs_stored: store.graphs_stored,
+        store_bytes: store.store_bytes,
+        evictions: store.evictions,
+        partial_uploads: store.partial_uploads,
+        failed_validations: store.failed_validations,
     }
 }

@@ -1,0 +1,1016 @@
+//! The digest-addressed topology content store behind the serve stack's
+//! remote upload verbs.
+//!
+//! Graphs arrive as chunked canonical CSR encodings
+//! ([`rumor_graphs::codec`]) and are addressed by the FNV-1a-64 digest of
+//! those bytes. The store owns the whole crash-safety story:
+//!
+//! * **Per-chunk CRC-32** is checked before a chunk is applied; chunks are
+//!   applied strictly in order, so the ack'd high-water mark fully
+//!   describes resume state (mirroring the result stream's
+//!   resume-by-suffix contract).
+//! * **Partial uploads persist** under `<state-dir>/store/` as a fixed
+//!   header plus the received payload prefix. A server killed mid-upload
+//!   recovers every fully appended chunk on restart — a torn tail is
+//!   truncated back to the last chunk boundary — so a reconnecting client
+//!   retransmits only the unacked suffix.
+//! * **Commit verifies everything**: received length, whole-encoding
+//!   digest, and full structural validation via
+//!   [`rumor_graphs::codec::decode_csr`] (sorted neighbor lists, symmetric
+//!   edges, no self-loops, consistent offsets) plus the declared `n`/`m`.
+//!   Publication is atomic (`tmp` + rename); a failed commit deletes the
+//!   partial and answers a typed [`UploadError`], never a panic.
+//! * **LRU byte quota**: committed encodings beyond the configured quota
+//!   are evicted least-recently-used — but never while a pending or
+//!   running job holds a pin. A submission naming an evicted digest gets
+//!   [`UploadError::UnknownTopology`], which the wire layer renders as the
+//!   typed `unknown_topology` line that tells clients to re-upload.
+//!
+//! Without a state dir the store runs fully in memory with the same
+//! semantics (minus crash persistence), which keeps in-process tests and
+//! ephemeral servers cheap.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use rumor_graphs::{codec, Graph};
+
+use super::protocol::{crc32, fnv1a64, UploadManifest};
+
+/// Magic bytes opening a persisted partial-upload file.
+const PARTIAL_MAGIC: &[u8; 4] = b"RUPH";
+/// Version of the partial-upload header layout.
+const PARTIAL_VERSION: u32 = 1;
+/// Header: magic + version + digest + bytes + chunk_bytes + n + m.
+const PARTIAL_HEADER_BYTES: usize = 4 + 4 + 8 + 8 + 8 + 8 + 8;
+
+/// A typed upload failure. Every store operation that can fail returns one
+/// of these; nothing in the upload path panics on untrusted input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UploadError {
+    /// A chunk or commit referenced a digest with no open upload.
+    UnknownUpload {
+        /// The digest named by the request.
+        digest: u64,
+    },
+    /// A submission referenced a digest the store does not hold (never
+    /// uploaded, or evicted by the byte quota). Rendered as the wire's
+    /// `unknown_topology` line.
+    UnknownTopology {
+        /// The digest named by the submission.
+        digest: u64,
+    },
+    /// `upload_begin` re-opened a digest with a different geometry than
+    /// the existing partial (bytes, chunk size, or declared dimensions).
+    ManifestMismatch {
+        /// The digest being re-opened.
+        digest: u64,
+    },
+    /// A chunk arrived with an index past the ack'd high-water mark.
+    ChunkOutOfOrder {
+        /// The next index the store will accept.
+        expected: u64,
+        /// The index that arrived.
+        got: u64,
+    },
+    /// A chunk's payload length disagreed with the manifest geometry.
+    ChunkSizeMismatch {
+        /// The chunk index.
+        index: u64,
+        /// Length the manifest prescribes for that index.
+        expected: usize,
+        /// Length that arrived.
+        got: usize,
+    },
+    /// A chunk's CRC-32 did not match its payload.
+    CrcMismatch {
+        /// The chunk index.
+        index: u64,
+    },
+    /// Commit before every chunk was transferred.
+    Incomplete {
+        /// Chunks ack'd so far.
+        acked: u64,
+        /// Chunks the manifest requires.
+        chunks: u64,
+    },
+    /// The assembled bytes did not hash to the declared digest (corrupt
+    /// chunk on disk, or a client-side encoding bug).
+    DigestMismatch {
+        /// The digest the upload was opened under.
+        declared: u64,
+        /// The digest of the bytes actually received.
+        computed: u64,
+    },
+    /// The assembled bytes failed structural validation (decode error,
+    /// asymmetric edges, self-loops, …) or disagreed with the declared
+    /// `n`/`m`.
+    Invalid {
+        /// Human-readable cause (the typed [`rumor_graphs::GraphError`]'s
+        /// rendering, or the dimension mismatch).
+        reason: String,
+    },
+    /// The upload alone exceeds the configured store quota, so it could
+    /// never be committed.
+    QuotaExceeded {
+        /// The upload's total bytes.
+        bytes: u64,
+        /// The configured quota.
+        quota: u64,
+    },
+    /// Filesystem failure underneath the store.
+    Io {
+        /// The failed operation and its OS error.
+        reason: String,
+    },
+}
+
+impl fmt::Display for UploadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UploadError::UnknownUpload { digest } => {
+                write!(f, "no open upload for digest {digest:016x}")
+            }
+            UploadError::UnknownTopology { digest } => {
+                write!(f, "no stored topology for digest {digest:016x}")
+            }
+            UploadError::ManifestMismatch { digest } => write!(
+                f,
+                "upload_begin for {digest:016x} disagrees with the existing partial's geometry"
+            ),
+            UploadError::ChunkOutOfOrder { expected, got } => {
+                write!(
+                    f,
+                    "chunk {got} out of order (next acceptable is {expected})"
+                )
+            }
+            UploadError::ChunkSizeMismatch {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "chunk {index} carries {got} bytes, manifest prescribes {expected}"
+            ),
+            UploadError::CrcMismatch { index } => {
+                write!(f, "crc mismatch on chunk {index}")
+            }
+            UploadError::Incomplete { acked, chunks } => {
+                write!(f, "commit with {acked}/{chunks} chunks transferred")
+            }
+            UploadError::DigestMismatch { declared, computed } => write!(
+                f,
+                "content hashes to {computed:016x}, upload was declared as {declared:016x}"
+            ),
+            UploadError::Invalid { reason } => write!(f, "upload failed validation: {reason}"),
+            UploadError::QuotaExceeded { bytes, quota } => {
+                write!(
+                    f,
+                    "{bytes}-byte upload exceeds the {quota}-byte store quota"
+                )
+            }
+            UploadError::Io { reason } => write!(f, "store i/o failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for UploadError {}
+
+/// An upload's state as answered to `upload_status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UploadState {
+    /// Verified, validated, and published; resolvable by submissions.
+    Committed {
+        /// Canonical encoding length.
+        bytes: u64,
+    },
+    /// Open with `acked` of `chunks` chunks durably applied.
+    Partial {
+        /// High-water mark: chunks `0..acked` are applied.
+        acked: u64,
+        /// Total chunks the manifest requires.
+        chunks: u64,
+    },
+    /// Neither committed nor open.
+    Unknown,
+}
+
+/// A snapshot of the store's observability counters (the content-store
+/// section of the `status` verb).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreCounters {
+    /// Committed graphs currently held.
+    pub graphs_stored: usize,
+    /// Bytes of committed encodings currently held.
+    pub store_bytes: u64,
+    /// Lifetime quota evictions.
+    pub evictions: u64,
+    /// Partial uploads currently open.
+    pub partial_uploads: usize,
+    /// Lifetime commit-time validation failures.
+    pub failed_validations: u64,
+}
+
+struct Partial {
+    manifest: UploadManifest,
+    /// Chunks durably applied (chunks arrive strictly in order).
+    acked: u64,
+    /// In-memory payload when the store has no backing directory.
+    buffer: Vec<u8>,
+    /// Backing file for the payload when persistent.
+    path: Option<PathBuf>,
+}
+
+struct Committed {
+    bytes: u64,
+    /// In-memory encoding when the store has no backing directory.
+    buffer: Option<Vec<u8>>,
+    /// Jobs currently referencing this graph; quota eviction skips any
+    /// entry with `pins > 0`.
+    pins: usize,
+    /// LRU clock value of the last touch.
+    last_used: u64,
+}
+
+struct StoreState {
+    partials: HashMap<u64, Partial>,
+    committed: HashMap<u64, Committed>,
+    clock: u64,
+    evictions: u64,
+    failed_validations: u64,
+}
+
+/// The digest-addressed content store (see the module docs for the full
+/// contract).
+pub struct ContentStore {
+    dir: Option<PathBuf>,
+    quota_bytes: Option<u64>,
+    state: Mutex<StoreState>,
+}
+
+impl fmt::Debug for ContentStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ContentStore")
+            .field("dir", &self.dir)
+            .field("quota_bytes", &self.quota_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+fn io_err(op: &str, err: std::io::Error) -> UploadError {
+    UploadError::Io {
+        reason: format!("{op}: {err}"),
+    }
+}
+
+fn committed_path(dir: &Path, digest: u64) -> PathBuf {
+    dir.join(format!("graph-{digest:016x}.rcsr"))
+}
+
+fn partial_path(dir: &Path, digest: u64) -> PathBuf {
+    dir.join(format!("partial-{digest:016x}.rup"))
+}
+
+fn partial_header(manifest: &UploadManifest) -> [u8; PARTIAL_HEADER_BYTES] {
+    let mut header = [0u8; PARTIAL_HEADER_BYTES];
+    header[0..4].copy_from_slice(PARTIAL_MAGIC);
+    header[4..8].copy_from_slice(&PARTIAL_VERSION.to_le_bytes());
+    header[8..16].copy_from_slice(&manifest.digest.to_le_bytes());
+    header[16..24].copy_from_slice(&manifest.bytes.to_le_bytes());
+    header[24..32].copy_from_slice(&manifest.chunk_bytes.to_le_bytes());
+    header[32..40].copy_from_slice(&manifest.n.to_le_bytes());
+    header[40..48].copy_from_slice(&manifest.m.to_le_bytes());
+    header
+}
+
+fn parse_partial_header(bytes: &[u8]) -> Option<UploadManifest> {
+    if bytes.len() < PARTIAL_HEADER_BYTES
+        || &bytes[0..4] != PARTIAL_MAGIC
+        || u32::from_le_bytes(bytes[4..8].try_into().ok()?) != PARTIAL_VERSION
+    {
+        return None;
+    }
+    let word = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("header bounds"));
+    Some(UploadManifest {
+        digest: word(8),
+        bytes: word(16),
+        chunk_bytes: word(24),
+        n: word(32),
+        m: word(40),
+    })
+}
+
+impl ContentStore {
+    /// Opens (or creates) a store. With a directory, previously committed
+    /// graphs and partial uploads are recovered from disk: partials with a
+    /// torn tail are truncated back to the last whole-chunk boundary, and
+    /// unreadable files are discarded rather than trusted.
+    pub fn open(dir: Option<PathBuf>, quota_bytes: Option<u64>) -> Result<Self, UploadError> {
+        let mut state = StoreState {
+            partials: HashMap::new(),
+            committed: HashMap::new(),
+            clock: 0,
+            evictions: 0,
+            failed_validations: 0,
+        };
+        if let Some(dir) = &dir {
+            fs::create_dir_all(dir).map_err(|e| io_err("create store dir", e))?;
+            let entries = fs::read_dir(dir).map_err(|e| io_err("scan store dir", e))?;
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if let Some(hex) = name
+                    .strip_prefix("graph-")
+                    .and_then(|rest| rest.strip_suffix(".rcsr"))
+                {
+                    if let (Ok(digest), Ok(meta)) = (u64::from_str_radix(hex, 16), entry.metadata())
+                    {
+                        state.clock += 1;
+                        state.committed.insert(
+                            digest,
+                            Committed {
+                                bytes: meta.len(),
+                                buffer: None,
+                                pins: 0,
+                                last_used: state.clock,
+                            },
+                        );
+                    }
+                } else if let Some(hex) = name
+                    .strip_prefix("partial-")
+                    .and_then(|rest| rest.strip_suffix(".rup"))
+                {
+                    let Ok(digest) = u64::from_str_radix(hex, 16) else {
+                        continue;
+                    };
+                    match Self::recover_partial(&path, digest) {
+                        Some(partial) => {
+                            state.partials.insert(digest, partial);
+                        }
+                        None => {
+                            let _ = fs::remove_file(&path);
+                        }
+                    }
+                } else if name.ends_with(".tmp") {
+                    // A commit that died between write and rename.
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+        Ok(ContentStore {
+            dir,
+            quota_bytes,
+            state: Mutex::new(state),
+        })
+    }
+
+    fn recover_partial(path: &Path, digest: u64) -> Option<Partial> {
+        let mut bytes = Vec::new();
+        fs::File::open(path).ok()?.read_to_end(&mut bytes).ok()?;
+        let manifest = parse_partial_header(&bytes)?;
+        if manifest.digest != digest || manifest.bytes == 0 || manifest.chunk_bytes == 0 {
+            return None;
+        }
+        let received = (bytes.len() - PARTIAL_HEADER_BYTES) as u64;
+        // Truncate a torn tail (a chunk append interrupted by a crash) back
+        // to the last whole-chunk boundary; those chunks were never ack'd.
+        let acked = (received / manifest.chunk_bytes).min(manifest.chunks());
+        let full = if acked == manifest.chunks() {
+            // All chunks landed; the short last chunk still counts.
+            manifest.bytes
+        } else {
+            acked * manifest.chunk_bytes
+        };
+        if full < received {
+            let file = fs::OpenOptions::new().write(true).open(path).ok()?;
+            file.set_len(PARTIAL_HEADER_BYTES as u64 + full).ok()?;
+        }
+        Some(Partial {
+            manifest,
+            acked,
+            buffer: Vec::new(),
+            path: Some(path.to_path_buf()),
+        })
+    }
+
+    /// Opens an upload, or re-opens one to resume it. Answers the current
+    /// high-water mark; a digest that is already committed answers
+    /// `Committed` so the client can skip the transfer entirely.
+    pub fn begin(&self, manifest: UploadManifest) -> Result<UploadState, UploadError> {
+        if manifest.bytes == 0 || manifest.chunk_bytes == 0 {
+            return Err(UploadError::Invalid {
+                reason: "upload must carry at least one byte per chunk".to_string(),
+            });
+        }
+        if let Some(quota) = self.quota_bytes {
+            if manifest.bytes > quota {
+                return Err(UploadError::QuotaExceeded {
+                    bytes: manifest.bytes,
+                    quota,
+                });
+            }
+        }
+        let mut state = self.state.lock().expect("store lock");
+        if let Some(entry) = state.committed.get(&manifest.digest) {
+            return Ok(UploadState::Committed { bytes: entry.bytes });
+        }
+        if let Some(partial) = state.partials.get(&manifest.digest) {
+            if partial.manifest != manifest {
+                return Err(UploadError::ManifestMismatch {
+                    digest: manifest.digest,
+                });
+            }
+            return Ok(UploadState::Partial {
+                acked: partial.acked,
+                chunks: manifest.chunks(),
+            });
+        }
+        let path = match &self.dir {
+            Some(dir) => {
+                let path = partial_path(dir, manifest.digest);
+                let mut file = fs::File::create(&path).map_err(|e| io_err("create partial", e))?;
+                file.write_all(&partial_header(&manifest))
+                    .and_then(|()| file.flush())
+                    .map_err(|e| io_err("write partial header", e))?;
+                Some(path)
+            }
+            None => None,
+        };
+        state.partials.insert(
+            manifest.digest,
+            Partial {
+                manifest,
+                acked: 0,
+                buffer: Vec::new(),
+                path,
+            },
+        );
+        Ok(UploadState::Partial {
+            acked: 0,
+            chunks: manifest.chunks(),
+        })
+    }
+
+    /// Applies one chunk. Strictly in order: a replay of an already-acked
+    /// index re-acks idempotently (reconnect overlap), a future index is a
+    /// typed error. Returns the new high-water mark.
+    pub fn chunk(
+        &self,
+        digest: u64,
+        index: u64,
+        payload: &[u8],
+        crc: u32,
+    ) -> Result<u64, UploadError> {
+        let mut state = self.state.lock().expect("store lock");
+        let partial = state
+            .partials
+            .get_mut(&digest)
+            .ok_or(UploadError::UnknownUpload { digest })?;
+        if index < partial.acked {
+            return Ok(partial.acked);
+        }
+        if index > partial.acked || index >= partial.manifest.chunks() {
+            return Err(UploadError::ChunkOutOfOrder {
+                expected: partial.acked,
+                got: index,
+            });
+        }
+        let expected = partial.manifest.chunk_len(index);
+        if payload.len() != expected {
+            return Err(UploadError::ChunkSizeMismatch {
+                index,
+                expected,
+                got: payload.len(),
+            });
+        }
+        if crc32(payload) != crc {
+            return Err(UploadError::CrcMismatch { index });
+        }
+        match &partial.path {
+            Some(path) => {
+                let mut file = fs::OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| io_err("open partial", e))?;
+                file.write_all(payload)
+                    .and_then(|()| file.flush())
+                    .map_err(|e| io_err("append chunk", e))?;
+            }
+            None => partial.buffer.extend_from_slice(payload),
+        }
+        partial.acked += 1;
+        Ok(partial.acked)
+    }
+
+    /// Verifies and atomically publishes a fully transferred upload.
+    /// On any failure the partial is discarded (the client re-uploads from
+    /// scratch) and the failure is counted; on success the entry joins the
+    /// LRU and excess unpinned entries are evicted to honor the quota.
+    pub fn commit(&self, digest: u64) -> Result<u64, UploadError> {
+        let mut state = self.state.lock().expect("store lock");
+        if let Some(entry) = state.committed.get(&digest) {
+            return Ok(entry.bytes);
+        }
+        let partial = state
+            .partials
+            .get(&digest)
+            .ok_or(UploadError::UnknownUpload { digest })?;
+        let manifest = partial.manifest;
+        if partial.acked < manifest.chunks() {
+            return Err(UploadError::Incomplete {
+                acked: partial.acked,
+                chunks: manifest.chunks(),
+            });
+        }
+        // Read back the assembled bytes (from disk when persistent — that
+        // is the copy that must be correct) and verify everything.
+        let verdict = (|| -> Result<Vec<u8>, UploadError> {
+            let bytes = match &partial.path {
+                Some(path) => {
+                    let mut raw = Vec::new();
+                    fs::File::open(path)
+                        .and_then(|mut f| f.read_to_end(&mut raw))
+                        .map_err(|e| io_err("read partial", e))?;
+                    if raw.len() < PARTIAL_HEADER_BYTES {
+                        return Err(UploadError::Invalid {
+                            reason: "partial truncated below its header".to_string(),
+                        });
+                    }
+                    raw.split_off(PARTIAL_HEADER_BYTES)
+                }
+                None => partial.buffer.clone(),
+            };
+            if bytes.len() as u64 != manifest.bytes {
+                return Err(UploadError::Invalid {
+                    reason: format!(
+                        "assembled {} bytes, manifest declares {}",
+                        bytes.len(),
+                        manifest.bytes
+                    ),
+                });
+            }
+            let computed = fnv1a64(&bytes);
+            if computed != digest {
+                return Err(UploadError::DigestMismatch {
+                    declared: digest,
+                    computed,
+                });
+            }
+            let graph = codec::decode_csr(&bytes).map_err(|e| UploadError::Invalid {
+                reason: e.to_string(),
+            })?;
+            if graph.num_vertices() as u64 != manifest.n || graph.num_edges() as u64 != manifest.m {
+                return Err(UploadError::Invalid {
+                    reason: format!(
+                        "decoded graph is n={}, m={}; manifest declares n={}, m={}",
+                        graph.num_vertices(),
+                        graph.num_edges(),
+                        manifest.n,
+                        manifest.m
+                    ),
+                });
+            }
+            Ok(bytes)
+        })();
+
+        let bytes = match verdict {
+            Ok(bytes) => bytes,
+            Err(err) => {
+                // A failed commit is unrecoverable for this partial: drop
+                // it so the client's re-upload starts clean.
+                let partial = state.partials.remove(&digest).expect("checked above");
+                if let Some(path) = partial.path {
+                    let _ = fs::remove_file(path);
+                }
+                if !matches!(err, UploadError::Io { .. }) {
+                    state.failed_validations += 1;
+                }
+                return Err(err);
+            }
+        };
+
+        // Publish atomically, then retire the partial.
+        let buffer = match &self.dir {
+            Some(dir) => {
+                let tmp = dir.join(format!("graph-{digest:016x}.tmp"));
+                let target = committed_path(dir, digest);
+                fs::write(&tmp, &bytes).map_err(|e| io_err("write committed tmp", e))?;
+                fs::rename(&tmp, &target).map_err(|e| io_err("publish committed", e))?;
+                None
+            }
+            None => Some(bytes),
+        };
+        let partial = state.partials.remove(&digest).expect("checked above");
+        if let Some(path) = partial.path {
+            let _ = fs::remove_file(path);
+        }
+        state.clock += 1;
+        let last_used = state.clock;
+        state.committed.insert(
+            digest,
+            Committed {
+                bytes: manifest.bytes,
+                buffer,
+                pins: 0,
+                last_used,
+            },
+        );
+        self.enforce_quota(&mut state, Some(digest));
+        Ok(manifest.bytes)
+    }
+
+    /// Evicts least-recently-used unpinned entries until the committed
+    /// footprint fits the quota. Pinned entries — and the entry named by
+    /// `protect` (a commit must not evict the graph it just acked) — are
+    /// never evicted, so the footprint may legitimately exceed the quota
+    /// while jobs are running.
+    fn enforce_quota(&self, state: &mut StoreState, protect: Option<u64>) {
+        let Some(quota) = self.quota_bytes else {
+            return;
+        };
+        loop {
+            let total: u64 = state.committed.values().map(|c| c.bytes).sum();
+            if total <= quota {
+                return;
+            }
+            let victim = state
+                .committed
+                .iter()
+                .filter(|(digest, c)| c.pins == 0 && protect != Some(**digest))
+                .min_by_key(|(_, c)| c.last_used)
+                .map(|(digest, _)| *digest);
+            let Some(victim) = victim else {
+                return; // everything over quota is pinned
+            };
+            state.committed.remove(&victim);
+            state.evictions += 1;
+            if let Some(dir) = &self.dir {
+                let _ = fs::remove_file(committed_path(dir, victim));
+            }
+        }
+    }
+
+    /// An upload's state (the `upload_status` answer).
+    pub fn status(&self, digest: u64) -> UploadState {
+        let state = self.state.lock().expect("store lock");
+        if let Some(entry) = state.committed.get(&digest) {
+            return UploadState::Committed { bytes: entry.bytes };
+        }
+        match state.partials.get(&digest) {
+            Some(partial) => UploadState::Partial {
+                acked: partial.acked,
+                chunks: partial.manifest.chunks(),
+            },
+            None => UploadState::Unknown,
+        }
+    }
+
+    /// Resolves a committed digest into a validated [`Graph`] and pins the
+    /// entry against eviction (resolve-and-pin is atomic under the store
+    /// lock, so an eviction can never race a submission that just resolved).
+    /// Callers release the pin with [`ContentStore::unpin`] when the job
+    /// leaves the pending/running set. The stored bytes are re-hashed and
+    /// re-validated on every resolve, so on-disk corruption after commit
+    /// still answers typed.
+    pub fn resolve_pinned(&self, digest: u64) -> Result<Graph, UploadError> {
+        let mut state = self.state.lock().expect("store lock");
+        let entry = state
+            .committed
+            .get(&digest)
+            .ok_or(UploadError::UnknownTopology { digest })?;
+        let bytes = match (&entry.buffer, &self.dir) {
+            (Some(buffer), _) => buffer.clone(),
+            (None, Some(dir)) => {
+                let mut raw = Vec::new();
+                match fs::File::open(committed_path(dir, digest))
+                    .and_then(|mut f| f.read_to_end(&mut raw))
+                {
+                    Ok(_) => raw,
+                    Err(err) => {
+                        // The file vanished or is unreadable underneath us:
+                        // forget the entry and tell the client to re-upload.
+                        state.committed.remove(&digest);
+                        let _ = err;
+                        return Err(UploadError::UnknownTopology { digest });
+                    }
+                }
+            }
+            (None, None) => return Err(UploadError::UnknownTopology { digest }),
+        };
+        let graph = (|| -> Result<Graph, UploadError> {
+            if fnv1a64(&bytes) != digest {
+                return Err(UploadError::DigestMismatch {
+                    declared: digest,
+                    computed: fnv1a64(&bytes),
+                });
+            }
+            codec::decode_csr(&bytes).map_err(|e| UploadError::Invalid {
+                reason: e.to_string(),
+            })
+        })();
+        match graph {
+            Ok(graph) => {
+                state.clock += 1;
+                let clock = state.clock;
+                let entry = state.committed.get_mut(&digest).expect("present above");
+                entry.pins += 1;
+                entry.last_used = clock;
+                Ok(graph)
+            }
+            Err(err) => {
+                // Corrupt at rest: drop the entry so a re-upload can heal it.
+                state.committed.remove(&digest);
+                state.failed_validations += 1;
+                if let Some(dir) = &self.dir {
+                    let _ = fs::remove_file(committed_path(dir, digest));
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Releases one pin taken by [`ContentStore::resolve_pinned`], then
+    /// re-applies the quota (the entry may have been keeping the store over
+    /// budget).
+    pub fn unpin(&self, digest: u64) {
+        let mut state = self.state.lock().expect("store lock");
+        if let Some(entry) = state.committed.get_mut(&digest) {
+            entry.pins = entry.pins.saturating_sub(1);
+        }
+        self.enforce_quota(&mut state, None);
+    }
+
+    /// Current pin count for a digest (observability and tests).
+    pub fn pins(&self, digest: u64) -> usize {
+        let state = self.state.lock().expect("store lock");
+        state.committed.get(&digest).map_or(0, |c| c.pins)
+    }
+
+    /// The store's observability counters.
+    pub fn counters(&self) -> StoreCounters {
+        let state = self.state.lock().expect("store lock");
+        StoreCounters {
+            graphs_stored: state.committed.len(),
+            store_bytes: state.committed.values().map(|c| c.bytes).sum(),
+            evictions: state.evictions,
+            partial_uploads: state.partials.len(),
+            failed_validations: state.failed_validations,
+        }
+    }
+}
+
+/// Builds the [`UploadManifest`] for a canonical encoding under a given
+/// line bound: digest, dimensions (decoded from the header), and the chunk
+/// geometry every transport then shares.
+pub fn manifest_for(bytes: &[u8], max_line_bytes: usize) -> Result<UploadManifest, UploadError> {
+    if bytes.len() < codec::CSR_HEADER_BYTES {
+        return Err(UploadError::Invalid {
+            reason: "encoding shorter than the CSR header".to_string(),
+        });
+    }
+    let word = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("header bounds"));
+    Ok(UploadManifest {
+        digest: fnv1a64(bytes),
+        n: word(8),
+        m: word(16),
+        bytes: bytes.len() as u64,
+        chunk_bytes: super::protocol::chunk_payload_bytes(max_line_bytes) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::protocol::MAX_LINE_BYTES;
+    use rumor_graphs::generators;
+
+    fn encoding(n: usize) -> Vec<u8> {
+        codec::encode_csr(&generators::complete(n).expect("complete"))
+    }
+
+    fn upload(store: &ContentStore, bytes: &[u8], chunk_bytes: u64) -> u64 {
+        let mut manifest = manifest_for(bytes, MAX_LINE_BYTES).expect("manifest");
+        manifest.chunk_bytes = chunk_bytes;
+        assert!(matches!(
+            store.begin(manifest).expect("begin"),
+            UploadState::Partial { acked: 0, .. }
+        ));
+        for index in 0..manifest.chunks() {
+            let start = (index * chunk_bytes) as usize;
+            let end = (start + chunk_bytes as usize).min(bytes.len());
+            let payload = &bytes[start..end];
+            let acked = store
+                .chunk(manifest.digest, index, payload, crc32(payload))
+                .expect("chunk");
+            assert_eq!(acked, index + 1);
+        }
+        assert_eq!(
+            store.commit(manifest.digest).expect("commit"),
+            bytes.len() as u64
+        );
+        manifest.digest
+    }
+
+    #[test]
+    fn in_memory_upload_commits_and_resolves() {
+        let store = ContentStore::open(None, None).expect("open");
+        let bytes = encoding(12);
+        let digest = upload(&store, &bytes, 64);
+        assert_eq!(
+            store.status(digest),
+            UploadState::Committed {
+                bytes: bytes.len() as u64
+            }
+        );
+        let graph = store.resolve_pinned(digest).expect("resolve");
+        assert_eq!(graph.num_vertices(), 12);
+        assert_eq!(store.pins(digest), 1);
+        store.unpin(digest);
+        assert_eq!(store.pins(digest), 0);
+        let counters = store.counters();
+        assert_eq!(counters.graphs_stored, 1);
+        assert_eq!(counters.store_bytes, bytes.len() as u64);
+        assert_eq!(counters.partial_uploads, 0);
+    }
+
+    #[test]
+    fn chunk_protocol_is_idempotent_and_ordered() {
+        let store = ContentStore::open(None, None).expect("open");
+        let bytes = encoding(10);
+        let mut manifest = manifest_for(&bytes, MAX_LINE_BYTES).expect("manifest");
+        manifest.chunk_bytes = 50;
+        store.begin(manifest).expect("begin");
+        let first = &bytes[..50];
+        assert_eq!(
+            store
+                .chunk(manifest.digest, 0, first, crc32(first))
+                .unwrap(),
+            1
+        );
+        // Replay re-acks without advancing.
+        assert_eq!(
+            store
+                .chunk(manifest.digest, 0, first, crc32(first))
+                .unwrap(),
+            1
+        );
+        // Future index is typed.
+        assert!(matches!(
+            store.chunk(manifest.digest, 2, first, crc32(first)),
+            Err(UploadError::ChunkOutOfOrder {
+                expected: 1,
+                got: 2
+            })
+        ));
+        // Wrong CRC is typed and does not advance.
+        let second = &bytes[50..100];
+        assert!(matches!(
+            store.chunk(manifest.digest, 1, second, crc32(second) ^ 1),
+            Err(UploadError::CrcMismatch { index: 1 })
+        ));
+        // Early commit is typed.
+        assert!(matches!(
+            store.commit(manifest.digest),
+            Err(UploadError::Incomplete { .. })
+        ));
+        // Unknown digests are typed everywhere.
+        assert!(matches!(
+            store.chunk(0xdead, 0, first, crc32(first)),
+            Err(UploadError::UnknownUpload { .. })
+        ));
+        assert!(matches!(
+            store.resolve_pinned(0xdead),
+            Err(UploadError::UnknownTopology { .. })
+        ));
+    }
+
+    #[test]
+    fn commit_rejects_digest_mismatch_and_garbage() {
+        let store = ContentStore::open(None, None).expect("open");
+        let bytes = encoding(8);
+        // Declare the right geometry but feed different bytes: digest check
+        // fires before any decode.
+        let mut manifest = manifest_for(&bytes, MAX_LINE_BYTES).expect("manifest");
+        manifest.chunk_bytes = bytes.len() as u64;
+        store.begin(manifest).expect("begin");
+        let mut wrong = bytes.clone();
+        wrong[40] ^= 0xff;
+        store
+            .chunk(manifest.digest, 0, &wrong, crc32(&wrong))
+            .expect("chunk applies; corruption surfaces at commit");
+        assert!(matches!(
+            store.commit(manifest.digest),
+            Err(UploadError::DigestMismatch { .. })
+        ));
+        // The failed partial is gone; a fresh upload succeeds.
+        assert_eq!(store.status(manifest.digest), UploadState::Unknown);
+        assert_eq!(store.counters().failed_validations, 1);
+        upload(&store, &bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn quota_evicts_lru_but_never_pinned() {
+        // Sizes: complete(6) = 172 bytes, star(5) = 92, cycle(9) = 136; a
+        // 300-byte quota holds the first two and overflows on the third.
+        let store = ContentStore::open(None, Some(300)).expect("open");
+        let a = upload(&store, &encoding(6), 64);
+        let b = upload(
+            &store,
+            &codec::encode_csr(&generators::star(5).unwrap()),
+            64,
+        );
+        let pinned = store.resolve_pinned(a).expect("pin a");
+        assert_eq!(pinned.num_vertices(), 6);
+        // A third graph pushes past quota: the unpinned LRU entry (b) goes,
+        // the pinned one (a) survives even though it is older.
+        let c = upload(
+            &store,
+            &codec::encode_csr(&generators::cycle(9).unwrap()),
+            64,
+        );
+        assert_eq!(store.status(b), UploadState::Unknown, "b evicted");
+        assert!(matches!(store.status(a), UploadState::Committed { .. }));
+        assert!(matches!(store.status(c), UploadState::Committed { .. }));
+        assert_eq!(store.counters().evictions, 1);
+        // Evicted digests answer UnknownTopology — the re-upload cue.
+        assert!(matches!(
+            store.resolve_pinned(b),
+            Err(UploadError::UnknownTopology { .. })
+        ));
+        store.unpin(a);
+        // An upload bigger than the whole quota is refused at begin.
+        let huge = encoding(64);
+        let manifest = manifest_for(&huge, MAX_LINE_BYTES).expect("manifest");
+        assert!(matches!(
+            store.begin(manifest),
+            Err(UploadError::QuotaExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn persistent_store_recovers_partials_and_truncates_torn_tails() {
+        let dir = std::env::temp_dir().join(format!("rumor-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let bytes = encoding(16);
+        let mut manifest = manifest_for(&bytes, MAX_LINE_BYTES).expect("manifest");
+        manifest.chunk_bytes = 100;
+        {
+            let store = ContentStore::open(Some(dir.clone()), None).expect("open");
+            store.begin(manifest).expect("begin");
+            for index in 0..2u64 {
+                let start = (index * 100) as usize;
+                let payload = &bytes[start..start + 100];
+                store
+                    .chunk(manifest.digest, index, payload, crc32(payload))
+                    .expect("chunk");
+            }
+        }
+        // Simulate a torn append: garbage past the last chunk boundary.
+        {
+            let path = partial_path(&dir, manifest.digest);
+            let mut file = fs::OpenOptions::new().append(true).open(&path).unwrap();
+            file.write_all(&[0xaa; 37]).unwrap();
+        }
+        // Reopen: high-water mark is still 2; the tail was truncated.
+        let store = ContentStore::open(Some(dir.clone()), None).expect("reopen");
+        assert_eq!(
+            store.status(manifest.digest),
+            UploadState::Partial {
+                acked: 2,
+                chunks: manifest.chunks()
+            }
+        );
+        for index in 2..manifest.chunks() {
+            let start = (index * 100) as usize;
+            let end = (start + 100).min(bytes.len());
+            let payload = &bytes[start..end];
+            store
+                .chunk(manifest.digest, index, payload, crc32(payload))
+                .expect("resume chunk");
+        }
+        store.commit(manifest.digest).expect("commit");
+        // Committed file is exactly the canonical bytes, digest-addressed.
+        let on_disk = fs::read(committed_path(&dir, manifest.digest)).expect("read committed");
+        assert_eq!(on_disk, bytes);
+        // A fresh open sees the committed graph; corrupting the file is
+        // detected at resolve and answered typed.
+        let store = ContentStore::open(Some(dir.clone()), None).expect("third open");
+        assert!(matches!(
+            store.status(manifest.digest),
+            UploadState::Committed { .. }
+        ));
+        fs::write(committed_path(&dir, manifest.digest), b"garbage").unwrap();
+        assert!(matches!(
+            store.resolve_pinned(manifest.digest),
+            Err(UploadError::DigestMismatch { .. })
+        ));
+        assert_eq!(store.status(manifest.digest), UploadState::Unknown);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -10,10 +10,13 @@
 use proptest::prelude::*;
 use rumor_core::BroadcastOutcome;
 use rumor_experiments::serve::protocol::{
-    accepted_line, done_line, draining_line, error_line, escape_json, heartbeat_line,
-    overloaded_line, parse_json, parse_request, protocol_error_line, resume_request_line,
-    resumed_line, status_line, trial_line, unknown_job_line, with_session, Json, Request,
-    ServerStatus, SubmitRequest, TopologySpec,
+    accepted_line, chunk_payload_bytes, crc32, decode_hex, done_line, draining_line, encode_hex,
+    error_line, escape_json, heartbeat_line, overloaded_line, parse_json, parse_request,
+    protocol_error_line, resume_request_line, resumed_line, status_line, trial_line,
+    unknown_job_line, unknown_topology_line, upload_ack_line, upload_begin_line, upload_chunk_line,
+    upload_commit_line, upload_done_line, upload_error_line, upload_status_line,
+    upload_status_request_line, with_session, Json, Request, ServerStatus, SubmitRequest,
+    TopologySpec, UploadManifest,
 };
 use rumor_experiments::TrialOutcome;
 
@@ -66,10 +69,10 @@ proptest! {
         max_rounds in 1u64..u64::MAX,
         deadline in 0u64..2_000_000,
     ) {
-        let mut topology = TopologySpec::new(&palette_string(&family_ix), n);
-        topology.degree = degree;
-        topology.exponent = exponent;
-        topology.seed = topo_seed;
+        let topology = TopologySpec::new(&palette_string(&family_ix), n)
+            .with_degree(degree)
+            .with_exponent(exponent)
+            .with_topology_seed(topo_seed);
         let mut request =
             SubmitRequest::new(&palette_string(&client_ix), topology, "push", trials);
         request.lazy = lazy_bit == 1;
@@ -254,6 +257,11 @@ proptest! {
         heartbeats in 0u64..u64::MAX,
         protocol_errors in 0u64..u64::MAX,
         idle_reaped in 0u64..u64::MAX,
+        graphs_stored in 0usize..1_000_000,
+        store_bytes in 0u64..u64::MAX,
+        evictions in 0u64..u64::MAX,
+        partial_uploads in 0usize..1_000_000,
+        failed_validations in 0u64..u64::MAX,
     ) {
         let status = ServerStatus {
             queue_depth,
@@ -269,6 +277,11 @@ proptest! {
             heartbeats,
             protocol_errors,
             idle_reaped,
+            graphs_stored,
+            store_bytes,
+            evictions,
+            partial_uploads,
+            failed_validations,
         };
         let parsed = parse_json(&status_line(&status)).map_err(|e| e.to_string())?;
         prop_assert_eq!(parsed.get("type").and_then(Json::as_str), Some("status"));
@@ -320,6 +333,155 @@ proptest! {
             violation.get("message").and_then(Json::as_str),
             Some(message.as_str())
         );
+    }
+
+    /// Upload request lines round-trip through `parse_request` for
+    /// arbitrary binary payloads — the hex payload encoding must survive
+    /// every byte value, and the CRC travels verbatim.
+    #[test]
+    fn upload_requests_round_trip(
+        digest in 0u64..u64::MAX,
+        n in 1u64..1_000_000,
+        m in 0u64..1_000_000,
+        chunk_bytes in 1u64..10_000,
+        extra in 0u64..10_000,
+        index in 0u64..1_000_000,
+        payload_ix in collection::vec(0usize..256, 0..512),
+    ) {
+        let bytes = chunk_bytes + extra; // ≥ 1 chunk, arbitrary remainder
+        let manifest = UploadManifest { digest, n, m, bytes, chunk_bytes };
+        match parse_request(&upload_begin_line(&manifest)).map_err(|e| e.to_string())? {
+            Request::UploadBegin(parsed) => {
+                prop_assert_eq!(parsed, manifest);
+                prop_assert_eq!(parsed.chunks(), manifest.chunks());
+            }
+            other => prop_assert!(false, "expected upload_begin, parsed {other:?}"),
+        }
+
+        let payload: Vec<u8> = payload_ix.iter().map(|&b| b as u8).collect();
+        let crc = crc32(&payload);
+        match parse_request(&upload_chunk_line(digest, index, &payload))
+            .map_err(|e| e.to_string())?
+        {
+            Request::UploadChunk { digest: d, index: i, payload: p, crc: c } => {
+                prop_assert_eq!(d, digest);
+                prop_assert_eq!(i, index);
+                prop_assert_eq!(p, payload);
+                prop_assert_eq!(c, crc);
+            }
+            other => prop_assert!(false, "expected upload_chunk, parsed {other:?}"),
+        }
+
+        prop_assert_eq!(
+            parse_request(&upload_commit_line(digest)).map_err(|e| e.to_string())?,
+            Request::UploadCommit { digest }
+        );
+        prop_assert_eq!(
+            parse_request(&upload_status_request_line(digest)).map_err(|e| e.to_string())?,
+            Request::UploadStatus { digest }
+        );
+    }
+
+    /// Chunk sizing edge cases: the final chunk's length is exactly the
+    /// remainder, all others are full, and every chunk line fits the bound
+    /// the manifest was derived for.
+    #[test]
+    fn upload_chunk_boundaries_are_exact(
+        digest in 0u64..u64::MAX,
+        chunk_bytes in 1u64..4_096,
+        chunks_minus_one in 0u64..12,
+        last_len in 1u64..4_096,
+    ) {
+        let last = last_len.min(chunk_bytes);
+        let bytes = chunks_minus_one * chunk_bytes + last;
+        let manifest = UploadManifest { digest, n: 1, m: 0, bytes, chunk_bytes };
+        prop_assert_eq!(manifest.chunks(), chunks_minus_one + 1);
+        for index in 0..manifest.chunks() {
+            let expected = if index == manifest.chunks() - 1 { last } else { chunk_bytes };
+            prop_assert_eq!(manifest.chunk_len(index), expected as usize);
+        }
+        // A full chunk of worst-case bytes (every one hex-expanded) still
+        // fits any line bound the payload size was derived from.
+        for bound in [1024usize, 64 * 1024] {
+            let payload = vec![0xffu8; chunk_payload_bytes(bound)];
+            prop_assert!(upload_chunk_line(digest, 0, &payload).len() <= bound);
+        }
+    }
+
+    /// Upload response lines carry their fields verbatim (digest as
+    /// fixed-width hex, counters as integers, messages escaped).
+    #[test]
+    fn upload_answers_round_trip(
+        digest in 0u64..u64::MAX,
+        acked in 0u64..u64::MAX,
+        chunks in 0u64..u64::MAX,
+        bytes in 0u64..u64::MAX,
+        job in 0u64..u64::MAX,
+        message_ix in collection::vec(0usize..64, 0..24),
+        state_ix in 0usize..3,
+    ) {
+        let digest_field = |value: &Json| {
+            let hex = value.get("digest").and_then(Json::as_str).expect("digest field").to_string();
+            assert_eq!(hex.len(), 16, "digests are fixed-width hex");
+            u64::from_str_radix(&hex, 16).expect("hex digest")
+        };
+
+        let ack = parse_json(&upload_ack_line(digest, acked)).map_err(|e| e.to_string())?;
+        prop_assert_eq!(ack.get("type").and_then(Json::as_str), Some("upload_ack"));
+        prop_assert_eq!(digest_field(&ack), digest);
+        prop_assert_eq!(ack.get("acked").and_then(Json::as_u64), Some(acked));
+
+        let done = parse_json(&upload_done_line(digest, bytes)).map_err(|e| e.to_string())?;
+        prop_assert_eq!(done.get("type").and_then(Json::as_str), Some("upload_done"));
+        prop_assert_eq!(digest_field(&done), digest);
+        prop_assert_eq!(done.get("bytes").and_then(Json::as_u64), Some(bytes));
+
+        let state = ["committed", "partial", "unknown"][state_ix];
+        let status = parse_json(&upload_status_line(digest, state, acked, chunks))
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(status.get("type").and_then(Json::as_str), Some("upload_status"));
+        prop_assert_eq!(digest_field(&status), digest);
+        prop_assert_eq!(status.get("state").and_then(Json::as_str), Some(state));
+        prop_assert_eq!(status.get("acked").and_then(Json::as_u64), Some(acked));
+        prop_assert_eq!(status.get("chunks").and_then(Json::as_u64), Some(chunks));
+
+        let message = palette_string(&message_ix);
+        let error = parse_json(&upload_error_line(digest, &message)).map_err(|e| e.to_string())?;
+        prop_assert_eq!(error.get("type").and_then(Json::as_str), Some("upload_error"));
+        prop_assert_eq!(digest_field(&error), digest);
+        prop_assert_eq!(error.get("message").and_then(Json::as_str), Some(message.as_str()));
+
+        let unknown = parse_json(&unknown_topology_line(job, digest)).map_err(|e| e.to_string())?;
+        prop_assert_eq!(unknown.get("type").and_then(Json::as_str), Some("unknown_topology"));
+        prop_assert_eq!(job_field(&unknown), job);
+        prop_assert_eq!(digest_field(&unknown), digest);
+    }
+
+    /// Uploaded-topology submissions round-trip and digest distinctly from
+    /// family submissions, and hex payload codec survives arbitrary bytes.
+    #[test]
+    fn uploaded_submissions_and_hex_round_trip(
+        topo_digest in 0u64..u64::MAX,
+        trials in 1usize..10_000,
+        payload_ix in collection::vec(0usize..256, 0..256),
+    ) {
+        let request = SubmitRequest::new(
+            "prop",
+            TopologySpec::uploaded(topo_digest),
+            "push",
+            trials,
+        );
+        match parse_request(&request.to_line()).map_err(|e| e.to_string())? {
+            Request::Submit(parsed) => {
+                prop_assert_eq!(parsed.topology.uploaded_digest(), Some(topo_digest));
+                prop_assert_eq!(parsed.digest(), request.digest());
+                prop_assert_eq!(parsed, request);
+            }
+            other => prop_assert!(false, "expected submit, parsed {other:?}"),
+        }
+        let payload: Vec<u8> = payload_ix.iter().map(|&b| b as u8).collect();
+        let decoded = decode_hex(&encode_hex(&payload)).ok();
+        prop_assert_eq!(decoded, Some(payload));
     }
 
     #[test]

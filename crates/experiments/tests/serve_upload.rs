@@ -1,0 +1,478 @@
+//! Crash-safe remote topology upload, end to end.
+//!
+//! The acceptance bar for the content-store subsystem: a chunked CSR
+//! upload forced through a ≥20-fault [`FaultNet`] schedule (both pump
+//! directions) commits bytes identical to an un-proxied transfer and the
+//! subsequent sweep is byte-identical to the same CSR run without chaos;
+//! a SIGKILL mid-upload resumes from the ack'd chunk after a restart on
+//! the same `--state-dir` instead of retransmitting; quota eviction never
+//! removes a graph a running job references; and corruption — in a partial
+//! before commit or in a committed graph at rest — is answered with typed
+//! errors plus an idempotent re-upload path, never a panic.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use rumor_experiments::serve::protocol::{
+    parse_json, upload_begin_line, upload_chunk_line, upload_commit_line, Json,
+};
+use rumor_experiments::serve::store::manifest_for;
+use rumor_experiments::{
+    ClientError, FaultNet, FaultSpec, ServeClient, ServeConfig, Server, ServerHandle,
+    SubmitRequest, TopologySpec,
+};
+use rumor_graphs::codec::encode_csr;
+use rumor_graphs::generators;
+
+const EXE: &str = env!("CARGO_BIN_EXE_rumor-serve");
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rumor-upload-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(config: ServeConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("serve"));
+    (handle, join)
+}
+
+fn stop(handle: &ServerHandle, join: std::thread::JoinHandle<()>) {
+    handle.drain();
+    join.join().expect("server thread");
+}
+
+/// Where the content store (rooted at `<state-dir>/store`) publishes a
+/// committed graph.
+fn graph_file(dir: &Path, digest: u64) -> PathBuf {
+    dir.join("store").join(format!("graph-{digest:016x}.rcsr"))
+}
+
+/// A sweep over an uploaded topology; distinct seeds defeat the result
+/// cache so every submission actually resolves the digest.
+fn uploaded_request(digest: u64, seed: u64, trials: usize) -> SubmitRequest {
+    let mut request = SubmitRequest::new("upload", TopologySpec::uploaded(digest), "push", trials);
+    request.seed = seed;
+    request
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read line");
+    line.trim_end().to_string()
+}
+
+/// Reads one `upload_ack` and returns its high-water mark.
+fn read_ack(reader: &mut BufReader<TcpStream>) -> u64 {
+    let line = read_line(reader);
+    let value = parse_json(&line).expect("json ack");
+    assert_eq!(
+        value.get("type").and_then(Json::as_str),
+        Some("upload_ack"),
+        "got {line}"
+    );
+    value.get("acked").and_then(Json::as_u64).expect("acked")
+}
+
+/// The tentpole guarantee: an upload forced through a ≥20-fault schedule —
+/// drops, resets, truncations, and stalls on *both* pump directions —
+/// commits a store entry byte-identical to an un-proxied upload, and a
+/// sweep over the uploaded digest streams byte-identical results to the
+/// same CSR submitted without chaos. Two servers on separate state dirs,
+/// so nothing leaks between the reference and chaos runs.
+#[test]
+fn chaos_upload_commits_byte_identical_and_sweeps_match() {
+    let direct_dir = temp_dir("chaos-direct");
+    let chaos_dir = temp_dir("chaos-proxy");
+    let graph = generators::cycle(2000).expect("cycle");
+    let encoded = encode_csr(&graph);
+
+    // Reference: un-proxied upload + sweep, same 1 KiB line bound (so both
+    // transfers share the chunk geometry).
+    let (direct_handle, direct_join) = start(ServeConfig::new().with_state_dir(direct_dir.clone()));
+    let direct_client =
+        ServeClient::new(&direct_handle.addr().to_string()).with_max_line_bytes(1024);
+    let direct_report = direct_client.upload(&graph).expect("direct upload");
+    assert!(
+        direct_report.chunks >= 20,
+        "want a long multi-chunk transfer"
+    );
+    assert_eq!(direct_report.chunks_sent, direct_report.chunks);
+    assert_eq!(direct_report.resumed_from, 0);
+    let request = uploaded_request(direct_report.digest, 11, 8);
+    let direct_result = direct_client.submit(&request).expect("direct submit");
+    assert_eq!(direct_result.taxonomy.completed, 8);
+    stop(&direct_handle, direct_join);
+
+    // Chaos: the same upload through the fault proxy, faulting both pumps.
+    let (handle, join) = start(ServeConfig::new().with_state_dir(chaos_dir.clone()));
+    // Every connection faults on both pumps; the fault point sits past one
+    // full chunk line so each surviving connection still makes progress —
+    // the transfer converges through a long stream of killed connections.
+    let mut spec = FaultSpec::new(0xC4A0_5EED).with_upstream_faults();
+    spec.fault_rate = 1.0;
+    spec.min_after_bytes = 1300;
+    spec.max_after_bytes = 2600;
+    let net = FaultNet::start(handle.addr(), spec).expect("proxy");
+    let chaos_client = ServeClient::new(&net.addr().to_string())
+        .with_max_line_bytes(1024)
+        .with_max_reconnects(512);
+    let chaos_report = chaos_client.upload(&graph).expect("chaos upload");
+    assert_eq!(chaos_report.digest, direct_report.digest);
+
+    // A lucky schedule can thread one transfer through mostly-clean
+    // connections; keep pushing distinct graphs through the proxy until
+    // the schedule has demonstrably injected every fault kind on both
+    // pumps, past the 20-fault floor. Each committed entry must still be
+    // its canonical encoding, bit for bit.
+    let mut extra: Vec<(u64, Vec<u8>)> = Vec::new();
+    for i in 0..16u64 {
+        let snapshot = net.report();
+        if snapshot.total() >= 24
+            && snapshot.drops > 0
+            && snapshot.resets > 0
+            && snapshot.truncations > 0
+            && snapshot.delays > 0
+            && snapshot.upstream_faults > 0
+        {
+            break;
+        }
+        let filler = generators::cycle(2100 + 37 * i as usize).expect("cycle");
+        let encoded = encode_csr(&filler);
+        let report = chaos_client.upload(&filler).expect("chaos filler upload");
+        extra.push((report.digest, encoded));
+    }
+    let report = net.shutdown();
+    assert!(
+        report.total() >= 20,
+        "schedule must inject at least 20 faults, got {report:?}"
+    );
+    assert!(report.drops > 0, "schedule must include drops: {report:?}");
+    assert!(
+        report.resets > 0,
+        "schedule must include resets: {report:?}"
+    );
+    assert!(
+        report.truncations > 0,
+        "schedule must include truncations: {report:?}"
+    );
+    assert!(
+        report.delays > 0,
+        "schedule must include stalls: {report:?}"
+    );
+    assert!(
+        report.upstream_faults > 0,
+        "schedule must fault the client→server pump too: {report:?}"
+    );
+    assert!(
+        chaos_report.reconnects > 0,
+        "faults at this rate must force at least one reconnect"
+    );
+
+    // The committed entries are the canonical encoding, bit for bit, on
+    // both servers — chaos changed the transfer, never the content.
+    let digest = direct_report.digest;
+    assert_eq!(
+        std::fs::read(graph_file(&direct_dir, digest)).expect("direct entry"),
+        encoded
+    );
+    assert_eq!(
+        std::fs::read(graph_file(&chaos_dir, digest)).expect("chaos entry"),
+        encoded
+    );
+    for (filler_digest, filler_encoded) in &extra {
+        assert_eq!(
+            &std::fs::read(graph_file(&chaos_dir, *filler_digest)).expect("filler entry"),
+            filler_encoded
+        );
+    }
+
+    // And the sweep over the chaos-uploaded digest is byte-identical to
+    // the reference sweep.
+    let chaos_result = ServeClient::new(&handle.addr().to_string())
+        .submit(&request)
+        .expect("chaos submit");
+    assert_eq!(chaos_result.taxonomy.completed, 8);
+    assert_eq!(
+        chaos_result.trial_lines, direct_result.trial_lines,
+        "sweep over the chaos-uploaded graph must match the direct run"
+    );
+    stop(&handle, join);
+
+    std::fs::remove_dir_all(&direct_dir).ok();
+    std::fs::remove_dir_all(&chaos_dir).ok();
+}
+
+/// Spawns the real serve binary on an ephemeral port and parses the
+/// `listening` line for the actual address.
+fn spawn_server(state_dir: &Path) -> (Child, String) {
+    let mut child = Command::new(EXE)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--state-dir",
+            state_dir.to_str().unwrap(),
+            "--workers",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn rumor-serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read listening line");
+    let addr = line
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected first line {line:?}"))
+        .trim()
+        .to_string();
+    (child, addr)
+}
+
+/// SIGKILL the server halfway through a chunked upload, restart it on the
+/// same state dir, and the client resumes from the ack'd high-water mark —
+/// no full retransmit — committing the declared digest.
+#[test]
+fn sigkill_mid_upload_resumes_from_the_acked_chunk() {
+    let dir = temp_dir("kill");
+    let graph = generators::cycle(1200).expect("cycle");
+    let encoded = encode_csr(&graph);
+    let manifest = manifest_for(&encoded, 1024).expect("manifest");
+    let chunks = manifest.chunks();
+    assert!(chunks >= 8, "need a multi-chunk transfer, got {chunks}");
+    let sent = chunks / 2;
+
+    // Lockstep half the transfer over a raw socket: every ack means the
+    // chunk is durably appended to the partial file.
+    let (mut victim, addr) = spawn_server(&dir);
+    {
+        let stream = TcpStream::connect(&addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "{}", upload_begin_line(&manifest)).expect("begin");
+        assert_eq!(read_ack(&mut reader), 0);
+        for index in 0..sent {
+            let at = (index * manifest.chunk_bytes) as usize;
+            let payload = &encoded[at..at + manifest.chunk_len(index)];
+            writeln!(
+                writer,
+                "{}",
+                upload_chunk_line(manifest.digest, index, payload)
+            )
+            .expect("chunk");
+            assert_eq!(read_ack(&mut reader), index + 1);
+        }
+    }
+    victim.kill().expect("SIGKILL victim");
+    victim.wait().expect("reap victim");
+
+    // Restart on the same state dir: `upload_begin` re-acks the recovered
+    // high-water mark and the client transmits only the missing suffix.
+    let (mut restarted, addr) = spawn_server(&dir);
+    let client = ServeClient::new(&addr).with_max_line_bytes(1024);
+    let report = client.upload_bytes(&encoded).expect("resumed upload");
+    assert_eq!(report.digest, manifest.digest);
+    assert_eq!(
+        report.resumed_from, sent,
+        "resume must start at the ack'd chunk"
+    );
+    assert_eq!(
+        report.chunks_sent,
+        chunks - sent,
+        "only the missing suffix may be retransmitted"
+    );
+    assert_eq!(
+        std::fs::read(graph_file(&dir, manifest.digest)).expect("committed entry"),
+        encoded
+    );
+
+    // The committed graph is immediately sweepable.
+    let result = client
+        .submit(&uploaded_request(report.digest, 9, 4))
+        .expect("submit uploaded");
+    assert_eq!(result.taxonomy.completed, 4);
+    ServeClient::new(&addr).drain().expect("drain");
+    restarted.wait().expect("restarted exit");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Quota pressure while a job runs: the running job's pin keeps its graph
+/// in the store even though the footprint exceeds the quota; once the job
+/// retires and the pin drops, the LRU entry is evicted, and a submission
+/// naming the evicted digest round-trips through the typed
+/// `unknown_topology` cue — `submit_uploaded` re-uploads and completes.
+#[test]
+fn quota_eviction_spares_pinned_graphs_and_evicted_digests_reupload() {
+    let dir = temp_dir("quota");
+    let a = encode_csr(&generators::cycle(256).expect("cycle"));
+    let b = encode_csr(&generators::cycle(300).expect("cycle"));
+    // Either graph fits alone; together they bust the quota.
+    let quota = a.len().max(b.len()) as u64 + 512;
+    let config = ServeConfig {
+        throttle_ms: 120,
+        ..ServeConfig::new()
+            .with_workers(1)
+            .with_state_dir(dir.clone())
+            .with_store_quota_bytes(quota)
+    };
+    let (handle, join) = start(config);
+    let addr = handle.addr().to_string();
+    let client = ServeClient::new(&addr);
+    let a_digest = client.upload_bytes(&a).expect("upload a").digest;
+
+    // A throttled sweep pins graph A for roughly a second.
+    let request = uploaded_request(a_digest, 21, 8);
+    let runner = {
+        let client = ServeClient::new(&addr);
+        let request = request.clone();
+        std::thread::spawn(move || client.submit(&request))
+    };
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.status().active_jobs == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(handle.status().active_jobs > 0, "job never started");
+
+    // Committing B pushes the footprint past the quota, but the only
+    // eviction candidate is pinned by the running job — nothing may go.
+    let b_digest = client.upload_bytes(&b).expect("upload b").digest;
+    assert_ne!(a_digest, b_digest);
+    let status = handle.status();
+    assert_eq!(
+        status.evictions, 0,
+        "eviction must never remove a graph a running job references"
+    );
+    assert_eq!(status.graphs_stored, 2);
+    assert!(graph_file(&dir, a_digest).exists());
+
+    let result = runner.join().expect("runner").expect("pinned job");
+    assert_eq!(result.taxonomy.completed, 8);
+
+    // The pin died with the job; the quota now evicts the LRU entry (A).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.status().evictions == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let status = handle.status();
+    assert!(status.evictions >= 1, "quota must evict once the pin drops");
+    assert!(status.store_bytes <= quota);
+
+    // A fresh submission naming the evicted digest answers typed; the
+    // bundled re-upload path heals it in one call.
+    let fresh = uploaded_request(a_digest, 22, 4);
+    match client.submit(&fresh) {
+        Err(ClientError::UnknownTopology { digest }) => assert_eq!(digest, a_digest),
+        other => panic!("expected unknown_topology, got {other:?}"),
+    }
+    let healed = client.submit_uploaded(&fresh, &a).expect("healed submit");
+    assert_eq!(healed.taxonomy.completed, 4);
+
+    stop(&handle, join);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A chunk corrupted on disk *after* it was acked (the CRC passed on the
+/// wire) is caught by the whole-graph digest check at commit: a typed
+/// `upload_error`, a live connection afterwards, and a clean re-upload —
+/// never a panic, never a poisoned store.
+#[test]
+fn corrupt_partial_is_rejected_at_commit_with_a_typed_error() {
+    let dir = temp_dir("corrupt-partial");
+    let (handle, join) = start(ServeConfig::new().with_state_dir(dir.clone()));
+    let encoded = encode_csr(&generators::cycle(64).expect("cycle"));
+    let manifest = manifest_for(&encoded, 1024).expect("manifest");
+
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{}", upload_begin_line(&manifest)).expect("begin");
+    assert_eq!(read_ack(&mut reader), 0);
+    for index in 0..manifest.chunks() {
+        let at = (index * manifest.chunk_bytes) as usize;
+        let payload = &encoded[at..at + manifest.chunk_len(index)];
+        writeln!(
+            writer,
+            "{}",
+            upload_chunk_line(manifest.digest, index, payload)
+        )
+        .expect("chunk");
+        assert_eq!(read_ack(&mut reader), index + 1);
+    }
+
+    // Flip one landed byte underneath the store, then ask it to commit.
+    let partial = dir
+        .join("store")
+        .join(format!("partial-{:016x}.rup", manifest.digest));
+    let mut raw = std::fs::read(&partial).expect("partial file");
+    let at = raw.len() - 1;
+    raw[at] ^= 0x40;
+    std::fs::write(&partial, raw).expect("corrupt partial");
+    writeln!(writer, "{}", upload_commit_line(manifest.digest)).expect("commit");
+    let line = read_line(&mut reader);
+    let value = parse_json(&line).expect("json answer");
+    assert_eq!(
+        value.get("type").and_then(Json::as_str),
+        Some("upload_error"),
+        "got {line}"
+    );
+
+    // The connection survived the failure.
+    writeln!(writer, "{{\"verb\":\"heartbeat\"}}").expect("heartbeat");
+    assert!(read_line(&mut reader).contains("\"type\":\"heartbeat\""));
+    assert_eq!(handle.status().failed_validations, 1);
+
+    // The failed commit dropped the partial, so the re-upload starts clean
+    // and lands the true bytes.
+    let report = ServeClient::new(&handle.addr().to_string())
+        .with_max_line_bytes(1024)
+        .upload_bytes(&encoded)
+        .expect("re-upload");
+    assert_eq!(report.resumed_from, 0);
+    assert_eq!(
+        std::fs::read(graph_file(&dir, manifest.digest)).expect("committed entry"),
+        encoded
+    );
+    stop(&handle, join);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Corruption at rest in a *committed* graph is caught on the next resolve:
+/// the submission answers the typed `unknown_topology` cue, the poisoned
+/// entry is dropped, and `submit_uploaded` re-uploads and completes.
+#[test]
+fn corrupt_committed_graph_round_trips_through_unknown_topology() {
+    let dir = temp_dir("corrupt-committed");
+    let (handle, join) = start(ServeConfig::new().with_state_dir(dir.clone()));
+    let encoded = encode_csr(&generators::cycle(128).expect("cycle"));
+    let client = ServeClient::new(&handle.addr().to_string());
+    let digest = client.upload_bytes(&encoded).expect("upload").digest;
+
+    let path = graph_file(&dir, digest);
+    let mut raw = std::fs::read(&path).expect("committed entry");
+    let at = raw.len() / 2;
+    raw[at] ^= 0x01;
+    std::fs::write(&path, raw).expect("corrupt entry");
+
+    let request = uploaded_request(digest, 5, 4);
+    match client.submit(&request) {
+        Err(ClientError::UnknownTopology { digest: missing }) => assert_eq!(missing, digest),
+        other => panic!("expected unknown_topology, got {other:?}"),
+    }
+    assert!(handle.status().failed_validations >= 1);
+
+    let healed = client.submit_uploaded(&request, &encoded).expect("healed");
+    assert_eq!(healed.taxonomy.completed, 4);
+    assert_eq!(std::fs::read(&path).expect("re-committed entry"), encoded);
+    stop(&handle, join);
+    std::fs::remove_dir_all(&dir).ok();
+}

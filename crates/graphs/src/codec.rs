@@ -1,0 +1,348 @@
+//! Canonical little-endian CSR wire/disk encoding for [`Graph`].
+//!
+//! The encoding is the content-addressed interchange format of the serve
+//! stack's remote topology upload: a digest over these bytes identifies a
+//! graph, so the encoding must be **canonical** — two structurally equal
+//! graphs always serialize to the same byte string. That falls out of the
+//! CSR invariants [`Graph`] already maintains (sorted neighbor lists, dense
+//! offsets) plus a fixed little-endian layout:
+//!
+//! ```text
+//! magic    4 bytes   "RCSR"
+//! version  u32 LE    1
+//! n        u64 LE    number of vertices
+//! m        u64 LE    number of undirected edges
+//! offsets  (n+1) × u32 LE   offsets[0] = 0, offsets[n] = 2m
+//! adjacency 2m × u32 LE     per-vertex slices sorted strictly ascending
+//! ```
+//!
+//! [`decode_csr`] trusts nothing: it re-validates every structural invariant
+//! (exact length, monotone offsets, sorted neighbor lists, vertex range, no
+//! self-loops, symmetric edges) and returns a typed [`GraphError`] on any
+//! violation, so a decoded [`Graph`] is as sound as a built one. Round-trip
+//! is exact: `decode_csr(&encode_csr(&g))` reproduces `g`'s adjacency
+//! structure, and `encode_csr(&decode_csr(bytes)?) == bytes` for any bytes
+//! that decode at all.
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+
+/// Magic bytes opening every canonical CSR encoding.
+pub const CSR_MAGIC: &[u8; 4] = b"RCSR";
+
+/// Version of the encoding emitted by [`encode_csr`].
+pub const CSR_VERSION: u32 = 1;
+
+/// Fixed header size: magic + version + n + m.
+pub const CSR_HEADER_BYTES: usize = 4 + 4 + 8 + 8;
+
+/// Exact encoded size of a graph with `n` vertices and `m` undirected edges.
+///
+/// Useful for sizing upload transfers without materializing the encoding.
+pub fn encoded_len(n: usize, m: usize) -> usize {
+    CSR_HEADER_BYTES + 4 * (n + 1) + 8 * m
+}
+
+/// Serializes a graph into the canonical little-endian CSR encoding.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_graphs::{codec, Graph};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// let bytes = codec::encode_csr(&g);
+/// let back = codec::decode_csr(&bytes)?;
+/// assert_eq!(back.num_vertices(), 3);
+/// assert_eq!(back.num_edges(), 2);
+/// assert_eq!(codec::encode_csr(&back), bytes);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+pub fn encode_csr(graph: &Graph) -> Vec<u8> {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    let mut out = Vec::with_capacity(encoded_len(n, m));
+    out.extend_from_slice(CSR_MAGIC);
+    out.extend_from_slice(&CSR_VERSION.to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(m as u64).to_le_bytes());
+    let mut offset: u32 = 0;
+    out.extend_from_slice(&offset.to_le_bytes());
+    for u in 0..n {
+        offset += graph.degree(u) as u32;
+        out.extend_from_slice(&offset.to_le_bytes());
+    }
+    for u in 0..n {
+        for &v in graph.neighbors(u) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("bounds checked"))
+}
+
+fn malformed(reason: impl Into<String>) -> GraphError {
+    GraphError::InvalidEncoding {
+        reason: reason.into(),
+    }
+}
+
+/// Decodes and fully validates a canonical CSR encoding.
+///
+/// Every structural invariant is re-checked before a [`Graph`] is built:
+/// exact byte length, monotone offsets ending at `2m`, neighbor lists sorted
+/// strictly ascending (no duplicate edges), all endpoints in range, no
+/// self-loops, and edge symmetry. Violations return the precise typed
+/// [`GraphError`]; this function never panics on untrusted input.
+pub fn decode_csr(bytes: &[u8]) -> Result<Graph> {
+    if bytes.len() < CSR_HEADER_BYTES {
+        return Err(malformed(format!(
+            "{} bytes is shorter than the {CSR_HEADER_BYTES}-byte header",
+            bytes.len()
+        )));
+    }
+    if &bytes[0..4] != CSR_MAGIC {
+        return Err(malformed("bad magic (expected \"RCSR\")"));
+    }
+    let version = read_u32(bytes, 4);
+    if version != CSR_VERSION {
+        return Err(malformed(format!(
+            "unsupported version {version} (expected {CSR_VERSION})"
+        )));
+    }
+    let n_raw = read_u64(bytes, 8);
+    let m_raw = read_u64(bytes, 16);
+    if n_raw > u32::MAX as u64 || m_raw > (u32::MAX / 2) as u64 {
+        return Err(malformed(format!(
+            "dimensions n={n_raw}, m={m_raw} exceed u32 CSR indexing"
+        )));
+    }
+    let n = n_raw as usize;
+    let m = m_raw as usize;
+    let expected = encoded_len(n, m);
+    if bytes.len() != expected {
+        return Err(malformed(format!(
+            "length {} does not match the declared n={n}, m={m} (expected {expected})",
+            bytes.len()
+        )));
+    }
+
+    let offsets_at = CSR_HEADER_BYTES;
+    let adjacency_at = offsets_at + 4 * (n + 1);
+    let total_degree = (2 * m) as u32;
+
+    let mut offsets = Vec::with_capacity(n + 1);
+    for i in 0..=n {
+        let value = read_u32(bytes, offsets_at + 4 * i);
+        if let Some(&prev) = offsets.last() {
+            if value < prev {
+                return Err(malformed(format!(
+                    "offsets decrease at vertex {i} ({value} < {prev})"
+                )));
+            }
+        } else if value != 0 {
+            return Err(malformed(format!("offsets[0] must be 0, got {value}")));
+        }
+        if value > total_degree {
+            return Err(malformed(format!(
+                "offset {value} at vertex {i} exceeds adjacency length {total_degree}"
+            )));
+        }
+        offsets.push(value);
+    }
+    if offsets[n] != total_degree {
+        return Err(malformed(format!(
+            "offsets end at {} but adjacency holds {total_degree} entries",
+            offsets[n]
+        )));
+    }
+
+    let mut adjacency = Vec::with_capacity(2 * m);
+    for i in 0..2 * m {
+        adjacency.push(read_u32(bytes, adjacency_at + 4 * i));
+    }
+
+    for u in 0..n {
+        let row = &adjacency[offsets[u] as usize..offsets[u + 1] as usize];
+        let mut prev: Option<u32> = None;
+        for &v in row {
+            if v as usize >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v as usize,
+                    n,
+                });
+            }
+            if v as usize == u {
+                return Err(GraphError::SelfLoop { vertex: u });
+            }
+            if let Some(p) = prev {
+                if v <= p {
+                    return Err(GraphError::DuplicateEdge { u, v: v as usize });
+                }
+            }
+            prev = Some(v);
+        }
+    }
+    // Symmetry: every (u, v) must appear as (v, u). Rows are sorted, so a
+    // binary search per half-edge keeps this O(m log Δ).
+    for u in 0..n {
+        for &v in &adjacency[offsets[u] as usize..offsets[u + 1] as usize] {
+            let back = &adjacency[offsets[v as usize] as usize..offsets[v as usize + 1] as usize];
+            if back.binary_search(&(u as u32)).is_err() {
+                return Err(GraphError::GenerationFailed {
+                    reason: format!("edge ({u}, {v}) is not symmetric"),
+                });
+            }
+        }
+    }
+
+    let offsets: Vec<usize> = offsets.into_iter().map(|o| o as usize).collect();
+    Ok(Graph::from_csr(offsets, adjacency, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Graph {
+        let mut rng = StdRng::seed_from_u64(42);
+        generators::connected_erdos_renyi(40, 0.2, &mut rng).expect("generate")
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_bytes() {
+        for graph in [
+            sample(),
+            generators::complete(9).expect("complete"),
+            generators::star(17).expect("star"),
+            Graph::from_edges(5, &[]).expect("empty edge set"),
+        ] {
+            let bytes = encode_csr(&graph);
+            assert_eq!(
+                bytes.len(),
+                encoded_len(graph.num_vertices(), graph.num_edges())
+            );
+            let back = decode_csr(&bytes).expect("decode");
+            assert_eq!(back.num_vertices(), graph.num_vertices());
+            assert_eq!(back.num_edges(), graph.num_edges());
+            for u in 0..graph.num_vertices() {
+                assert_eq!(back.neighbors(u), graph.neighbors(u));
+            }
+            assert!(back.validate().is_ok());
+            assert_eq!(encode_csr(&back), bytes, "re-encode must be canonical");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_lengths() {
+        let bytes = encode_csr(&sample());
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            decode_csr(&bad_magic),
+            Err(GraphError::InvalidEncoding { .. })
+        ));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 9;
+        assert!(matches!(
+            decode_csr(&bad_version),
+            Err(GraphError::InvalidEncoding { .. })
+        ));
+
+        assert!(matches!(
+            decode_csr(&bytes[..bytes.len() - 1]),
+            Err(GraphError::InvalidEncoding { .. })
+        ));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_csr(&trailing),
+            Err(GraphError::InvalidEncoding { .. })
+        ));
+        assert!(matches!(
+            decode_csr(&bytes[..CSR_HEADER_BYTES - 2]),
+            Err(GraphError::InvalidEncoding { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        // Hand-build a 3-vertex path 0-1-2 and then corrupt it in typed ways.
+        let graph = Graph::from_edges(3, &[(0, 1), (1, 2)]).expect("path");
+        let clean = encode_csr(&graph);
+        let adjacency_at = CSR_HEADER_BYTES + 4 * 4;
+
+        // Self-loop: vertex 0's single neighbor becomes 0.
+        let mut looped = clean.clone();
+        looped[adjacency_at..adjacency_at + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_csr(&looped),
+            Err(GraphError::SelfLoop { vertex: 0 })
+        ));
+
+        // Out of range: vertex 0's neighbor becomes 7.
+        let mut ranged = clean.clone();
+        ranged[adjacency_at..adjacency_at + 4].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            decode_csr(&ranged),
+            Err(GraphError::VertexOutOfRange { vertex: 7, n: 3 })
+        ));
+
+        // Asymmetry: vertex 0 now points at 2, but 2 still points only at 1.
+        let mut asymmetric = clean.clone();
+        asymmetric[adjacency_at..adjacency_at + 4].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            decode_csr(&asymmetric),
+            Err(GraphError::GenerationFailed { .. })
+        ));
+
+        // Unsorted row: vertex 1's neighbors (1, 2 at rows 1..3) become (2, 0).
+        let mut unsorted = clean.clone();
+        unsorted[adjacency_at + 4..adjacency_at + 8].copy_from_slice(&2u32.to_le_bytes());
+        unsorted[adjacency_at + 8..adjacency_at + 12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_csr(&unsorted),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+
+        // Decreasing offsets.
+        let mut offsets_bad = clean.clone();
+        let offsets_at = CSR_HEADER_BYTES;
+        offsets_bad[offsets_at + 4..offsets_at + 8].copy_from_slice(&3u32.to_le_bytes());
+        offsets_bad[offsets_at + 8..offsets_at + 12].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            decode_csr(&offsets_bad),
+            Err(GraphError::InvalidEncoding { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_never_panics_on_noise() {
+        let mut rng_state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (rng_state >> 33) as u8
+        };
+        for len in [0usize, 3, CSR_HEADER_BYTES, 64, 257, 4096] {
+            let noise: Vec<u8> = (0..len).map(|_| next()).collect();
+            let _ = decode_csr(&noise);
+            let mut framed = encode_csr(&sample());
+            for byte in framed.iter_mut().skip(CSR_HEADER_BYTES).take(len) {
+                *byte = next();
+            }
+            let _ = decode_csr(&framed);
+        }
+    }
+}

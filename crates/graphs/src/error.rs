@@ -49,6 +49,13 @@ pub enum GraphError {
         /// Human-readable description of what was being generated.
         reason: String,
     },
+    /// A serialized graph (the canonical CSR encoding of [`crate::codec`])
+    /// could not be decoded: bad magic, truncated or trailing bytes,
+    /// inconsistent offsets, or an unsupported version.
+    InvalidEncoding {
+        /// Human-readable description of the malformation.
+        reason: String,
+    },
     /// An operation that requires a connected graph was given a disconnected one.
     Disconnected,
     /// An operation that requires a non-empty graph was given an empty one.
@@ -75,6 +82,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::GenerationFailed { reason } => {
                 write!(f, "graph generation failed: {reason}")
+            }
+            GraphError::InvalidEncoding { reason } => {
+                write!(f, "invalid graph encoding: {reason}")
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::EmptyGraph => write!(f, "graph has no vertices"),
@@ -126,6 +136,14 @@ mod tests {
             reason: "too many retries".into(),
         };
         assert!(e.to_string().contains("too many retries"));
+    }
+
+    #[test]
+    fn display_invalid_encoding() {
+        let e = GraphError::InvalidEncoding {
+            reason: "bad magic".into(),
+        };
+        assert_eq!(e.to_string(), "invalid graph encoding: bad magic");
     }
 
     #[test]

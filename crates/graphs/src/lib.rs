@@ -62,6 +62,7 @@ mod implicit;
 mod topology;
 
 pub mod algorithms;
+pub mod codec;
 pub mod generators;
 
 pub use builder::GraphBuilder;
