@@ -20,13 +20,19 @@
 //!   peak RSS by ≥ 10×.
 //! * **Chung–Lu construction** — a 10⁶-vertex power-law instance:
 //!   construction wall-clock, realized edge count, and hub degree.
+//! * **Hub-cached agent workloads** — meet-exchange on Chung–Lu through
+//!   the [`rumor_graphs::HubCachedGraph`] hybrid: bit-identity vs the
+//!   uncached backend at 10⁵, the ≥ 5× speedup within a declared cache
+//!   byte budget at 10⁶ (CI-enforced; `hub_cache_bytes` and
+//!   `hub_hit_fraction` land in the summary schema), and the 10⁷
+//!   meet-exchange broadcast headline in the non-FAST section.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rumor_bench::summary::{peak_rss_bytes, record_summary_in};
 use rumor_core::{simulate_on, ProtocolKind, SimulationSpec};
-use rumor_graphs::{GeneratedGraph, Topology};
+use rumor_graphs::{GeneratedGraph, HubCacheBuilder, Topology};
 
 fn enforce() -> bool {
     std::env::var("RUMOR_BENCH_ENFORCE")
@@ -170,12 +176,16 @@ fn random_topologies(_c: &mut Criterion) {
     );
     drop(cl);
 
-    // ---- The 1e7 headline (minutes of runtime; skipped in FAST/CI). ----
+    // ---- The 1e7 G(n, p) headline (minutes of runtime; skipped in
+    // FAST/CI). ----
     // d̄ = 50: the process's peak RSS is dominated by fixed O(n) state
     // (the two offset tables plus the push engine's bitsets/frontier
     // counters, ~165 MB at n = 10⁷ regardless of density), so the RSS
     // ratio target needs the CSR-equivalent numerator of a denser graph —
-    // 2 × 10⁸ edges ≈ 2.2 GB.
+    // 2 × 10⁸ edges ≈ 2.2 GB. This section runs BEFORE the hub-cache
+    // sections below: peak RSS is a process-wide high-water mark, so the
+    // ratio check must see the same allocation history it was calibrated
+    // against (its headroom is only ~3%).
     if !fast() {
         let mean_degree = 50.0;
         let ratio = gnp_scale_point("random_scale_push_1e7", 10_000_000, mean_degree, 1);
@@ -199,6 +209,166 @@ fn random_topologies(_c: &mut Criterion) {
             assert!(
                 rss_ratio >= 10.0,
                 "peak RSS within 10x of the equivalent CSR footprint"
+            );
+        }
+    }
+
+    // ---- Hub-cached hybrid: agent-workload speedup. ----
+    // Every uncached draw at a vertex re-enumerates, sorts, and dedups its
+    // whole neighbor list from Philox (O(deg log deg)); an agent workload
+    // concentrates draws on hubs in proportion to stationary mass, so
+    // caching exact adjacency for the top-k vertices removes the dominant
+    // cost. Pinned here: (a) bit-identity of a full meet-exchange run at
+    // 1e5, (b) the ≥ 5x wall-clock win at 1e6 within a declared cache
+    // byte budget (the CI `random-scale-smoke` enforcement).
+    {
+        let small = GeneratedGraph::chung_lu(100_000, 2.5, 12.0, 5).expect("chung_lu generator");
+        let hub = HubCacheBuilder::new().build(small.clone());
+        let spec = SimulationSpec::new(ProtocolKind::MeetExchange)
+            .with_seed(17)
+            .with_max_rounds(10_000);
+        assert_eq!(
+            simulate_on(&hub, 0, &spec),
+            simulate_on(&small, 0, &spec),
+            "hub-cached meet-exchange must be bit-identical to uncached at 1e5"
+        );
+        println!("random hub-cache 1e5: bit-identity vs uncached verified (full run)");
+    }
+
+    // Reconstructed (same seed as the construction section above) rather
+    // than kept alive across the 1e7 G(n, p) section — see the RSS note.
+    let cl = GeneratedGraph::chung_lu(1_000_000, 2.5, 12.0, 5).expect("chung_lu generator");
+    let hub_budget_bytes = 64usize << 20;
+    let t_cache = Instant::now();
+    let hub = HubCacheBuilder::new()
+        .cache_budget_bytes(hub_budget_bytes)
+        .build(cl.clone());
+    let cache_construct_s = t_cache.elapsed().as_secs_f64();
+    // A bounded timing prefix: the speedup is a per-round property (agent
+    // draws dominate every round), so a short identical prefix measures it
+    // without tying CI wall-clock to broadcast completion.
+    let spec = SimulationSpec::new(ProtocolKind::MeetExchange)
+        .with_seed(5 ^ 0xF00D)
+        .with_max_rounds(12);
+    let t_uncached = Instant::now();
+    let uncached_outcome = simulate_on(&cl, 0, &spec);
+    let uncached_s = t_uncached.elapsed().as_secs_f64();
+    let t_hub = Instant::now();
+    let hub_outcome = simulate_on(&hub, 0, &spec);
+    let hub_s = t_hub.elapsed().as_secs_f64();
+    assert_eq!(
+        hub_outcome, uncached_outcome,
+        "hub-cached meet-exchange must be bit-identical to uncached at 1e6"
+    );
+    let speedup = uncached_s / hub_s;
+    println!(
+        "random hub-cache 1e6 meet-exchange: {} hubs ({} cache bytes, hit fraction {:.3}) \
+         built in {cache_construct_s:.2}s — uncached {uncached_s:.2}s vs cached {hub_s:.2}s \
+         over {} rounds => {speedup:.1}x",
+        hub.hub_count(),
+        hub.cache_bytes(),
+        hub.hub_hit_fraction(),
+        hub_outcome.rounds,
+    );
+    record_summary_in(
+        "BENCH_random.json",
+        "random_hub_meet_1e6",
+        &[
+            ("n", 1_000_000.0),
+            ("exponent", 2.5),
+            ("hub_count", hub.hub_count() as f64),
+            ("hub_cache_bytes", hub.cache_bytes() as f64),
+            ("hub_cache_budget_bytes", hub_budget_bytes as f64),
+            ("hub_hit_fraction", hub.hub_hit_fraction()),
+            ("cache_construct_s", cache_construct_s),
+            ("rounds", hub_outcome.rounds as f64),
+            ("uncached_s", uncached_s),
+            ("hub_s", hub_s),
+            ("speedup", speedup),
+        ],
+    );
+    if enforce() {
+        assert!(
+            speedup >= 5.0,
+            "hub-cached 1e6 meet-exchange speedup {speedup:.1}x below the 5x target"
+        );
+        assert!(
+            hub.cache_bytes() <= hub_budget_bytes,
+            "hub cache {} bytes exceeds the declared {hub_budget_bytes}-byte budget",
+            hub.cache_bytes()
+        );
+        let rss = peak_rss_bytes();
+        assert!(
+            rss < 1 << 30,
+            "hub-cached 1e6 smoke peak RSS {rss} bytes exceeds the 1 GiB budget"
+        );
+    }
+    drop(hub);
+    drop(cl);
+
+    // ---- Hub-cached meet-exchange at 1e7 — the tentpole workload
+    // (minutes of runtime; skipped in FAST/CI). ----
+    if !fast() {
+        // An agent broadcast on a 10⁷-vertex Chung–Lu graph: infeasible
+        // uncached (every hub draw is thousands of Philox evaluations), a
+        // CSR build would be ~GBs; the hybrid runs it in O(n) tables plus a
+        // bounded hub cache.
+        let t0 = Instant::now();
+        let big = GeneratedGraph::chung_lu(10_000_000, 2.5, 12.0, 1).expect("chung_lu generator");
+        let construct_s = t0.elapsed().as_secs_f64();
+        let budget = 256usize << 20;
+        let t1 = Instant::now();
+        let hub = HubCacheBuilder::new()
+            .cache_budget_bytes(budget)
+            .build(big.clone());
+        let cache_construct_s = t1.elapsed().as_secs_f64();
+        let spec = SimulationSpec::new(ProtocolKind::MeetExchange)
+            .with_seed(31)
+            .with_max_rounds(10_000);
+        let t2 = Instant::now();
+        let outcome = simulate_on(&hub, 0, &spec);
+        let broadcast_s = t2.elapsed().as_secs_f64();
+        let rss = peak_rss_bytes();
+        println!(
+            "random hub-cache 1e7 meet-exchange: m={} — construct {construct_s:.2}s, cache \
+             {} hubs / {} bytes (hit fraction {:.3}) in {cache_construct_s:.2}s, broadcast \
+             {} rounds in {broadcast_s:.2}s (completed: {}, informed {}), peak RSS {} MiB",
+            big.num_edges(),
+            hub.hub_count(),
+            hub.cache_bytes(),
+            hub.hub_hit_fraction(),
+            outcome.rounds,
+            outcome.completed,
+            outcome.informed_vertices,
+            rss >> 20,
+        );
+        record_summary_in(
+            "BENCH_random.json",
+            "random_hub_meet_1e7",
+            &[
+                ("n", 10_000_000.0),
+                ("exponent", 2.5),
+                ("edges", big.num_edges() as f64),
+                ("construct_s", construct_s),
+                ("hub_count", hub.hub_count() as f64),
+                ("hub_cache_bytes", hub.cache_bytes() as f64),
+                ("hub_cache_budget_bytes", budget as f64),
+                ("hub_hit_fraction", hub.hub_hit_fraction()),
+                ("cache_construct_s", cache_construct_s),
+                ("broadcast_rounds", outcome.rounds as f64),
+                ("broadcast_s", broadcast_s),
+                ("informed_vertices", outcome.informed_vertices as f64),
+            ],
+        );
+        if enforce() {
+            assert!(
+                hub.cache_bytes() <= budget,
+                "1e7 hub cache {} bytes exceeds the declared budget",
+                hub.cache_bytes()
+            );
+            assert!(
+                broadcast_s < 600.0,
+                "1e7 hub-cached meet-exchange took {broadcast_s:.0}s, over the 600s budget"
             );
         }
     }

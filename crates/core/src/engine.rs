@@ -354,6 +354,7 @@ pub fn simulate_topology(
         AnyTopology::Csr(graph) => simulate_on(graph, source, spec),
         AnyTopology::Implicit(graph) => simulate_on(graph, source, spec),
         AnyTopology::Generated(graph) => simulate_on(graph, source, spec),
+        AnyTopology::HubCached(graph) => simulate_on(graph, source, spec),
     }
 }
 

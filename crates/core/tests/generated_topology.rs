@@ -26,7 +26,7 @@
 use rumor_core::{
     simulate_in, simulate_on, simulate_topology, ProtocolKind, SimWorkspace, SimulationSpec,
 };
-use rumor_graphs::{algorithms, AnyTopology, GeneratedGraph, Topology};
+use rumor_graphs::{algorithms, AnyTopology, GeneratedGraph, HubCachedGraph, Topology};
 
 /// The differential grid: both random families, several seeds. Densities
 /// are chosen comfortably above the connectivity threshold so most
@@ -209,6 +209,92 @@ fn simulate_topology_dispatches_to_the_generated_backend() {
     let via_enum_generated = simulate_topology(&AnyTopology::from(generated), 0, &spec);
     let via_enum_csr = simulate_topology(&AnyTopology::from(csr), 0, &spec);
     assert_eq!(via_enum_generated, via_enum_csr);
+}
+
+#[test]
+fn hub_cached_sequential_runs_are_bit_identical_across_all_backends() {
+    // Whole-simulation equivalence for the hybrid backend: every protocol
+    // outcome on a HubCachedGraph — at the default policy, an empty cache,
+    // and a full cache — must equal the uncached generated run and the
+    // materialized CSR run bit for bit.
+    for generated in instances() {
+        let csr = generated.materialize().unwrap();
+        let n = generated.num_vertices();
+        let source = n / 2;
+        for kind in SHARDED_PROTOCOLS {
+            for seed in 0..2u64 {
+                let spec = spec_for(kind, seed, &generated);
+                let reference = simulate_on(&generated, source, &spec);
+                assert_eq!(
+                    simulate_on(&csr, source, &spec),
+                    reference,
+                    "csr {kind} baseline diverged on {}",
+                    generated.family_name()
+                );
+                for k in [0usize, n.div_ceil(64), n] {
+                    let hub = HubCachedGraph::with_hub_count(generated.clone(), k);
+                    assert_eq!(
+                        simulate_on(&hub, source, &spec),
+                        reference,
+                        "hub-cached {kind} (k={k}) diverged on {} seed {seed}",
+                        generated.family_name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hub_cached_sharded_runs_are_bit_identical_at_every_thread_count() {
+    for generated in instances() {
+        let hub = HubCachedGraph::over(generated.clone());
+        for kind in SHARDED_PROTOCOLS {
+            for seed in [0u64, 5] {
+                let base = spec_for(kind, seed, &generated);
+                let reference = simulate_on(&generated, 0, &base.clone().with_sharded(1));
+                for threads in [1usize, 2, 3, 8] {
+                    let spec = base.clone().with_sharded(threads);
+                    assert_eq!(
+                        simulate_on(&hub, 0, &spec),
+                        reference,
+                        "sharded {kind} diverged on hub-cached {} (threads {threads})",
+                        generated.family_name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hub_cached_pooled_workspace_is_invisible() {
+    let generated = GeneratedGraph::chung_lu(140, 2.5, 6.0, 4).unwrap();
+    let hub = HubCachedGraph::over(generated.clone());
+    let mut workspace = SimWorkspace::new();
+    for kind in SHARDED_PROTOCOLS {
+        for seed in 0..2u64 {
+            let spec = spec_for(kind, seed, &generated);
+            assert_eq!(
+                simulate_in(&hub, 0, &spec, &mut workspace),
+                simulate_on(&generated, 0, &spec),
+                "{kind} seed {seed} diverged under pooling on the hub-cached backend"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulate_topology_dispatches_to_the_hub_cached_backend() {
+    let generated = GeneratedGraph::chung_lu(130, 2.5, 6.0, 8).unwrap();
+    let hub = HubCachedGraph::over(generated.clone());
+    assert!(hub.hub_count() > 0, "default policy should cache something");
+    let spec = spec_for(ProtocolKind::MeetExchange, 11, &generated);
+    assert_eq!(
+        simulate_topology(&AnyTopology::from(hub), 0, &spec),
+        simulate_topology(&AnyTopology::from(generated), 0, &spec),
+        "enum dispatch diverged between hub-cached and generated"
+    );
 }
 
 #[test]

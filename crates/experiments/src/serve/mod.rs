@@ -63,6 +63,7 @@ mod scheduler;
 mod server;
 pub mod shed;
 pub mod store;
+mod sync;
 
 pub use client::{ClientError, JobResult, RetryPolicy, ServeClient, SessionStats, UploadReport};
 pub use faultnet::{FaultKind, FaultNet, FaultReport, FaultSpec};

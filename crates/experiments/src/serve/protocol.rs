@@ -50,7 +50,7 @@
 use std::collections::BTreeMap;
 
 use rumor_core::{ProtocolKind, SimulationSpec};
-use rumor_graphs::{AnyTopology, GeneratedGraph, ImplicitGraph};
+use rumor_graphs::{AnyTopology, GeneratedGraph, HubCachedGraph, ImplicitGraph};
 
 use crate::runner::TrialOutcome;
 
@@ -243,7 +243,13 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 // Consume one UTF-8 scalar (input is a &str, so boundaries
                 // are valid).
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let ch = rest.chars().next().unwrap();
+                // Non-empty by the `Some(_)` guard, but this parser runs on
+                // session reader threads against hostile input — answer
+                // typed rather than carry a panic surface.
+                let ch = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| "truncated string".to_string())?;
                 out.push(ch);
                 *pos += ch.len_utf8();
             }
@@ -453,6 +459,15 @@ impl TopologySpec {
                 .map_err(fail),
             "chung-lu" => GeneratedGraph::chung_lu(n, exponent, degree, seed)
                 .map(AnyTopology::from)
+                .map_err(fail),
+            // The same Chung–Lu instance behind the hub-cached hybrid:
+            // exact adjacency for the default top n/64 vertices by degree,
+            // which absorbs most agent-walk draws. Bit-identical results to
+            // "chung-lu" at the same parameters (distinct job digests — the
+            // family name is part of the canonical string — but identical
+            // trial lines).
+            "chung_lu_hub_cached" => GeneratedGraph::chung_lu(n, exponent, degree, seed)
+                .map(|inner| AnyTopology::from(HubCachedGraph::over(inner)))
                 .map_err(fail),
             other => Err(format!("unknown topology family {other:?}")),
         }
@@ -1311,6 +1326,39 @@ mod tests {
         // Structured families land on the implicit backend.
         let star = TopologySpec::new("star", 1_000_000).build().unwrap();
         assert!(star.memory_bytes() < 100);
+    }
+
+    #[test]
+    fn hub_cached_family_builds_the_hybrid_backend() {
+        use rumor_graphs::Topology;
+        let spec = TopologySpec::new("chung_lu_hub_cached", 512)
+            .with_degree(6.0)
+            .with_exponent(2.5)
+            .with_topology_seed(9);
+        let topology = spec.build().unwrap();
+        let cached = topology.as_hub_cached().expect("hub-cached backend");
+        assert_eq!(cached.num_vertices(), 512);
+        assert_eq!(cached.hub_count(), 8, "default policy is n/64 hubs");
+        // Same instance as the uncached family: identical edge set...
+        let uncached = TopologySpec::new("chung-lu", 512)
+            .with_degree(6.0)
+            .with_exponent(2.5)
+            .with_topology_seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(topology.num_edges(), uncached.num_edges());
+        // ...but a distinct job digest (the family name is canonical).
+        let a = SubmitRequest::new("alice", spec, "meet-exchange", 2);
+        let b = SubmitRequest::new(
+            "alice",
+            TopologySpec::new("chung-lu", 512)
+                .with_degree(6.0)
+                .with_exponent(2.5)
+                .with_topology_seed(9),
+            "meet-exchange",
+            2,
+        );
+        assert_ne!(a.digest(), b.digest());
     }
 
     #[test]

@@ -44,6 +44,7 @@ use crate::runner::{Manifest, TrialOutcome, TrialTaxonomy};
 use crate::serve::protocol::{trial_line, SubmitRequest, MAX_LINE_BYTES};
 use crate::serve::shed::{admit, AdmissionLimits, Verdict};
 use crate::serve::store::{ContentStore, UploadError};
+use crate::serve::sync::{lock_recover, wait_recover, wait_timeout_recover};
 
 /// Configuration of a serve instance (scheduler + server).
 #[derive(Debug, Clone)]
@@ -234,7 +235,11 @@ impl Job {
     /// Records one trial outcome: manifest write, in-order line emission,
     /// subscriber wakeup. Returns `true` when this record finished the job.
     fn record(&self, trial: usize, outcome: TrialOutcome) -> bool {
-        let mut state = self.state.lock().unwrap();
+        // Poison-tolerant throughout `Job` and `Scheduler`: a worker or
+        // session thread that panics while holding a lock must cost only
+        // its own trial/session, never wedge the feed Condvar for every
+        // other subscriber (see `serve::sync`).
+        let mut state = lock_recover(&self.state);
         if state.outcomes[trial].is_some() || state.finished {
             return false; // drain raced a duplicate record; keep the first
         }
@@ -264,14 +269,14 @@ impl Job {
         timeout: Duration,
     ) -> (Vec<String>, bool, bool) {
         let deadline = Instant::now() + timeout;
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_recover(&self.state);
         while state.lines.len() <= from && !state.finished && !state.drained {
             let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                 break;
             };
-            let (next, wait) = self.progress.wait_timeout(state, remaining).unwrap();
+            let (next, timed_out) = wait_timeout_recover(&self.progress, state, remaining);
             state = next;
-            if wait.timed_out() {
+            if timed_out {
                 break;
             }
         }
@@ -285,7 +290,7 @@ impl Job {
 
     /// The finished job's taxonomy (all-NotRun for unfinished jobs).
     pub(crate) fn taxonomy(&self) -> TrialTaxonomy {
-        let state = self.state.lock().unwrap();
+        let state = lock_recover(&self.state);
         let outcomes: Vec<TrialOutcome> = state
             .outcomes
             .iter()
@@ -408,7 +413,7 @@ impl Scheduler {
 
     /// Current counters.
     pub(crate) fn stats(&self) -> ServeStats {
-        let state = self.shared.state.lock().unwrap();
+        let state = lock_recover(&self.shared.state);
         ServeStats {
             trials_executed: self.shared.executed.load(Ordering::Relaxed),
             shed: self.shared.shed.load(Ordering::Relaxed),
@@ -480,11 +485,13 @@ impl Scheduler {
                 AnyTopology::Csr(g) => base.adapted_to(g),
                 AnyTopology::Implicit(g) => base.adapted_to(g),
                 AnyTopology::Generated(g) => base.adapted_to(g),
+                AnyTopology::HubCached(g) => base.adapted_to(g),
             };
             let check = match &topology {
                 AnyTopology::Csr(g) => adapted.validate(g, source),
                 AnyTopology::Implicit(g) => adapted.validate(g, source),
                 AnyTopology::Generated(g) => adapted.validate(g, source),
+                AnyTopology::HubCached(g) => adapted.validate(g, source),
             };
             if let Err(e) = check {
                 unpin_on_exit(upload_pin);
@@ -493,7 +500,7 @@ impl Scheduler {
             adapted
         };
 
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock_recover(&self.shared.state);
         if state.shutdown || self.draining() {
             unpin_on_exit(upload_pin);
             return Submission::Draining;
@@ -624,7 +631,7 @@ impl Scheduler {
     /// fallback is an idempotent resubmission, which replays recorded
     /// trials from the on-disk manifest instead.
     pub(crate) fn lookup(&self, digest: u64) -> Lookup {
-        let state = self.shared.state.lock().unwrap();
+        let state = lock_recover(&self.shared.state);
         if let Some(job) = state.running.get(&digest) {
             return Lookup::Running(Arc::clone(job));
         }
@@ -638,7 +645,7 @@ impl Scheduler {
     /// current trial (checkpointing it if it is long-running).
     pub(crate) fn begin_drain(&self) {
         self.shared.draining.store(true, Ordering::SeqCst);
-        let state = self.shared.state.lock().unwrap();
+        let state = lock_recover(&self.shared.state);
         self.shared.work_ready.notify_all();
         drop(state);
     }
@@ -649,7 +656,7 @@ impl Scheduler {
     pub(crate) fn finish_drain(&self) {
         let grace = self.shared.config.grace;
         let deadline = Instant::now() + grace;
-        let workers: Vec<_> = std::mem::take(&mut *self.workers.lock().unwrap());
+        let workers: Vec<_> = std::mem::take(&mut *lock_recover(&self.workers));
         for worker in workers {
             // Workers exit after at most one chunk past the drain flag;
             // join unconditionally (bounded by chunk cadence, not grace).
@@ -660,10 +667,10 @@ impl Scheduler {
                 continue;
             }
         }
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock_recover(&self.shared.state);
         state.shutdown = true;
         for (_, job) in state.running.drain() {
-            let mut job_state = job.state.lock().unwrap();
+            let mut job_state = lock_recover(&job.state);
             if !job_state.finished {
                 job_state.drained = true;
             }
@@ -687,7 +694,7 @@ impl Drop for Scheduler {
 /// deterministic (completed/round-capped); jobs with timed-out, panicked,
 /// or skipped trials must re-run on resubmission.
 fn cache_if_deterministic(state: &mut SchedState, job: &Job) {
-    let job_state = job.state.lock().unwrap();
+    let job_state = lock_recover(&job.state);
     if Job::cacheable(&job_state) {
         state.cache.insert(
             job.digest,
@@ -709,7 +716,7 @@ fn cache_if_deterministic(state: &mut SchedState, job: &Job) {
 fn worker_loop(shared: &Shared) {
     loop {
         let claim = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = lock_recover(&shared.state);
             loop {
                 if state.shutdown || shared.draining.load(Ordering::Relaxed) {
                     return;
@@ -717,7 +724,7 @@ fn worker_loop(shared: &Shared) {
                 if let Some(claim) = claim_next(shared, &mut state) {
                     break claim;
                 }
-                state = shared.work_ready.wait(state).unwrap();
+                state = wait_recover(&shared.work_ready, state);
             }
         };
         let (job, trial) = claim;
@@ -725,7 +732,7 @@ fn worker_loop(shared: &Shared) {
             Some(outcome) => {
                 shared.executed.fetch_add(1, Ordering::Relaxed);
                 if job.record(trial, outcome) {
-                    let mut state = shared.state.lock().unwrap();
+                    let mut state = lock_recover(&shared.state);
                     state.running.remove(&job.digest);
                     cache_if_deterministic(&mut state, &job);
                     drop(state);
@@ -824,6 +831,7 @@ fn execute_trial(shared: &Shared, job: &Job, trial: usize) -> Option<TrialOutcom
         AnyTopology::Csr(g) => run_one(shared, g, job, &spec, ckpt_dir),
         AnyTopology::Implicit(g) => run_one(shared, g, job, &spec, ckpt_dir),
         AnyTopology::Generated(g) => run_one(shared, g, job, &spec, ckpt_dir),
+        AnyTopology::HubCached(g) => run_one(shared, g, job, &spec, ckpt_dir),
     }
 }
 

@@ -45,6 +45,7 @@ use crate::serve::scheduler::{
     CachedJob, Job, Lookup, Scheduler, ServeConfig, ServeStats, Submission,
 };
 use crate::serve::store::UploadState;
+use crate::serve::sync::{lock_recover, wait_recover};
 
 /// How long a forwarder waits on a silent feed before re-checking the
 /// session's closed flag — bounds forwarder-thread lifetime after a
@@ -221,12 +222,14 @@ impl Session {
     }
 
     /// Queues one response line; `false` once the session is tearing down
-    /// (callers treat that as "stop producing").
+    /// (callers treat that as "stop producing"). Poison-tolerant: a
+    /// forwarder that panicked while holding the outbox must not take the
+    /// rest of the session — let alone the server — down with it.
     fn push(&self, line: String) -> bool {
         if self.writer_dead.load(Ordering::Relaxed) {
             return false;
         }
-        let mut outbox = self.outbox.lock().unwrap();
+        let mut outbox = lock_recover(&self.outbox);
         if outbox.closed {
             return false;
         }
@@ -237,14 +240,14 @@ impl Session {
 
     /// Seals the outbox: the writer drains what is queued, then exits.
     fn close_outbox(&self) {
-        let mut outbox = self.outbox.lock().unwrap();
+        let mut outbox = lock_recover(&self.outbox);
         outbox.closed = true;
         self.ready.notify_all();
     }
 
     /// Blocks for the next line; `None` once the outbox is sealed and empty.
     fn pop_blocking(&self) -> Option<String> {
-        let mut outbox = self.outbox.lock().unwrap();
+        let mut outbox = lock_recover(&self.outbox);
         loop {
             if let Some(line) = outbox.lines.pop_front() {
                 return Some(line);
@@ -252,7 +255,7 @@ impl Session {
             if outbox.closed {
                 return None;
             }
-            outbox = self.ready.wait(outbox).unwrap();
+            outbox = wait_recover(&self.ready, outbox);
         }
     }
 }
@@ -665,5 +668,42 @@ fn current_status(scheduler: &Scheduler, counters: &SessionCounters) -> ServerSt
         evictions: store.evictions,
         partial_uploads: store.partial_uploads,
         failed_validations: store.failed_validations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The wedge class the poison-tolerant outbox closes: a session thread
+    /// that panics while holding the outbox lock used to poison it, after
+    /// which every `push` panicked in turn and the writer died inside
+    /// `Condvar::wait` — lines queued forever, session threads leaked. Now
+    /// the remaining threads recover the guard and drain normally.
+    #[test]
+    fn outbox_survives_a_poisoning_session_thread() {
+        let session = Arc::new(Session::new());
+        session.push("before".to_string());
+
+        let poisoner = Arc::clone(&session);
+        std::thread::spawn(move || {
+            let _guard = poisoner.outbox.lock().unwrap();
+            panic!("forwarder dies mid-push");
+        })
+        .join()
+        .unwrap_err();
+        assert!(session.outbox.is_poisoned(), "setup must actually poison");
+
+        // Pushes keep landing, the blocked pop drains them, and sealing
+        // still unblocks the writer loop.
+        assert!(session.push("after".to_string()));
+        assert_eq!(session.pop_blocking().as_deref(), Some("before"));
+        assert_eq!(session.pop_blocking().as_deref(), Some("after"));
+        let drainer = Arc::clone(&session);
+        let writer = std::thread::spawn(move || drainer.pop_blocking());
+        std::thread::sleep(Duration::from_millis(20));
+        session.close_outbox();
+        assert_eq!(writer.join().unwrap(), None);
+        assert!(!session.push("sealed".to_string()));
     }
 }

@@ -40,6 +40,7 @@ use std::sync::Mutex;
 use rumor_graphs::{codec, Graph};
 
 use super::protocol::{crc32, fnv1a64, UploadManifest};
+use super::sync::lock_recover;
 
 /// Magic bytes opening a persisted partial-upload file.
 const PARTIAL_MAGIC: &[u8; 4] = b"RUPH";
@@ -416,7 +417,7 @@ impl ContentStore {
                 });
             }
         }
-        let mut state = self.state.lock().expect("store lock");
+        let mut state = lock_recover(&self.state);
         if let Some(entry) = state.committed.get(&manifest.digest) {
             return Ok(UploadState::Committed { bytes: entry.bytes });
         }
@@ -467,7 +468,7 @@ impl ContentStore {
         payload: &[u8],
         crc: u32,
     ) -> Result<u64, UploadError> {
-        let mut state = self.state.lock().expect("store lock");
+        let mut state = lock_recover(&self.state);
         let partial = state
             .partials
             .get_mut(&digest)
@@ -513,7 +514,7 @@ impl ContentStore {
     /// scratch) and the failure is counted; on success the entry joins the
     /// LRU and excess unpinned entries are evicted to honor the quota.
     pub fn commit(&self, digest: u64) -> Result<u64, UploadError> {
-        let mut state = self.state.lock().expect("store lock");
+        let mut state = lock_recover(&self.state);
         if let Some(entry) = state.committed.get(&digest) {
             return Ok(entry.bytes);
         }
@@ -658,7 +659,7 @@ impl ContentStore {
 
     /// An upload's state (the `upload_status` answer).
     pub fn status(&self, digest: u64) -> UploadState {
-        let state = self.state.lock().expect("store lock");
+        let state = lock_recover(&self.state);
         if let Some(entry) = state.committed.get(&digest) {
             return UploadState::Committed { bytes: entry.bytes };
         }
@@ -679,7 +680,7 @@ impl ContentStore {
     /// re-validated on every resolve, so on-disk corruption after commit
     /// still answers typed.
     pub fn resolve_pinned(&self, digest: u64) -> Result<Graph, UploadError> {
-        let mut state = self.state.lock().expect("store lock");
+        let mut state = lock_recover(&self.state);
         let entry = state
             .committed
             .get(&digest)
@@ -739,7 +740,7 @@ impl ContentStore {
     /// re-applies the quota (the entry may have been keeping the store over
     /// budget).
     pub fn unpin(&self, digest: u64) {
-        let mut state = self.state.lock().expect("store lock");
+        let mut state = lock_recover(&self.state);
         if let Some(entry) = state.committed.get_mut(&digest) {
             entry.pins = entry.pins.saturating_sub(1);
         }
@@ -748,13 +749,13 @@ impl ContentStore {
 
     /// Current pin count for a digest (observability and tests).
     pub fn pins(&self, digest: u64) -> usize {
-        let state = self.state.lock().expect("store lock");
+        let state = lock_recover(&self.state);
         state.committed.get(&digest).map_or(0, |c| c.pins)
     }
 
     /// The store's observability counters.
     pub fn counters(&self) -> StoreCounters {
-        let state = self.state.lock().expect("store lock");
+        let state = lock_recover(&self.state);
         StoreCounters {
             graphs_stored: state.committed.len(),
             store_bytes: state.committed.values().map(|c| c.bytes).sum(),
@@ -951,6 +952,40 @@ mod tests {
             store.begin(manifest),
             Err(UploadError::QuotaExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn status_polling_does_not_refresh_lru_recency() {
+        // Eviction order is use-order, where "use" means a resolve (a job
+        // actually reading the graph) — never an `upload_status` poll. A
+        // client heartbeating `upload_status` on a stale graph must not
+        // keep it alive at the expense of genuinely-used entries.
+        let store = ContentStore::open(None, Some(300)).expect("open");
+        let a = upload(&store, &encoding(6), 64); // 172 bytes, oldest
+        let b = upload(
+            &store,
+            &codec::encode_csr(&generators::star(5).unwrap()),
+            64,
+        ); // 92 bytes
+           // A real use of b makes a the LRU entry.
+        store.resolve_pinned(b).expect("resolve b");
+        store.unpin(b);
+        // Poll a's status hard; if touches counted as use, a would now be
+        // the most recent entry.
+        for _ in 0..50 {
+            assert!(matches!(store.status(a), UploadState::Committed { .. }));
+        }
+        // The overflowing commit must evict a (stale despite the polling),
+        // not b (genuinely used).
+        let c = upload(
+            &store,
+            &codec::encode_csr(&generators::cycle(9).unwrap()),
+            64,
+        );
+        assert_eq!(store.status(a), UploadState::Unknown, "a must be evicted");
+        assert!(matches!(store.status(b), UploadState::Committed { .. }));
+        assert!(matches!(store.status(c), UploadState::Committed { .. }));
+        assert_eq!(store.counters().evictions, 1);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Poison-tolerant lock primitives for the serve stack.
+//!
+//! Every mutex in the serve path is shared across session threads (reader,
+//! writer, per-job forwarders) and scheduler workers. The std poisoning
+//! protocol turns one panic while holding a lock into a cascade: every
+//! later `lock().unwrap()` on the same mutex panics too, and a
+//! `Condvar::wait(..).unwrap()` panics the *blocked* thread — which for the
+//! session outbox means the writer dies with lines still queued and every
+//! forwarder wedges against a Condvar nobody will ever signal again.
+//!
+//! None of the serve-side critical sections require poisoning for
+//! correctness: they maintain their invariants before blocking or
+//! returning (queues are push/pop consistent at every await point, counter
+//! updates are single-field), so the data behind a poisoned lock is still
+//! well-formed. These helpers therefore *clear* the poison and hand back
+//! the guard, converting "one panicking session thread wedges the server"
+//! into "the panicking thread tears down its own session and everything
+//! else keeps serving" — the behavior the chaos suite pins.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Locks, recovering the guard if a previous holder panicked.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Waits on a condvar, recovering the guard if the mutex was poisoned
+/// while this thread was parked.
+pub(crate) fn wait_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+) -> MutexGuard<'a, T> {
+    condvar
+        .wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Timed wait, recovering the guard (the timeout flag is lost on a
+/// poisoned wake; callers re-derive timeouts from their own deadline, which
+/// all serve-side wait loops already do).
+pub(crate) fn wait_timeout_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match condvar.wait_timeout(guard, timeout) {
+        Ok((guard, wait)) => (guard, wait.timed_out()),
+        Err(poisoned) => {
+            let (guard, wait) = poisoned.into_inner();
+            (guard, wait.timed_out())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recover_survives_a_poisoning_panic() {
+        let shared = Arc::new(Mutex::new(7usize));
+        let poisoner = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join()
+        .unwrap_err();
+        assert!(shared.is_poisoned(), "setup must actually poison");
+        assert_eq!(*lock_recover(&shared), 7);
+    }
+
+    #[test]
+    fn wait_timeout_recover_reports_timeouts() {
+        let mutex = Mutex::new(());
+        let condvar = Condvar::new();
+        let (_guard, timed_out) =
+            wait_timeout_recover(&condvar, lock_recover(&mutex), Duration::from_millis(5));
+        assert!(timed_out);
+    }
+}

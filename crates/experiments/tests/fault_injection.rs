@@ -168,6 +168,65 @@ fn killed_sweep_resumes_from_its_manifest() {
 }
 
 #[test]
+fn manifest_written_on_generated_resumes_on_hub_cached() {
+    // The manifest digest covers the spec, not the topology backend, and
+    // the hub-cached hybrid is bit-identical to its inner generated graph —
+    // so a sweep killed while running uncached can resume on the cached
+    // backend (or vice versa) and land on the identical outcomes.
+    use rumor_graphs::{GeneratedGraph, HubCachedGraph};
+    let generated = GeneratedGraph::chung_lu(120, 2.5, 6.0, 3).unwrap();
+    let cfg = ExperimentConfig::smoke().with_threads(1);
+    let spec = SimulationSpec::new(ProtocolKind::MeetExchange)
+        .with_seed(21)
+        .with_max_rounds(3_000);
+    let trials = 6;
+    let reference = run_trials(&generated, 0, &spec, trials, &cfg);
+    let dir = temp_dir("hub-manifest");
+    let manifest = dir.join("sweep.rman");
+
+    let crash_policy = TrialPolicy {
+        fault: FaultPlan {
+            stop_after_trials: Some(2),
+            ..FaultPlan::none()
+        },
+        ..TrialPolicy::new()
+    };
+    let first = run_trials_guarded(
+        &generated,
+        0,
+        &spec,
+        trials,
+        &cfg,
+        &crash_policy,
+        Some(&manifest),
+    );
+    assert_eq!(first.stopped, Some(StopCause::InjectedStop));
+    assert_eq!(first.taxonomy().completed, 2);
+
+    let hub = HubCachedGraph::over(generated.clone());
+    let second = run_trials_guarded(
+        &hub,
+        0,
+        &spec,
+        trials,
+        &cfg,
+        &TrialPolicy::new(),
+        Some(&manifest),
+    );
+    assert_eq!(second.stopped, None);
+    assert_eq!(second.reused_trials, 2);
+    assert_eq!(second.taxonomy().completed, trials);
+    for (trial, (got, want)) in second.outcomes.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            got.outcome(),
+            Some(want),
+            "trial {trial} diverged resuming on the hub-cached backend"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn memory_watchdog_checkpoints_then_stops_the_sweep() {
     let g = star(2_000).unwrap();
     let cfg = ExperimentConfig::smoke().with_threads(1);

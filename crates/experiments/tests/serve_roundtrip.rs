@@ -257,3 +257,73 @@ fn draining_server_rejects_new_submissions_typed() {
     }
     join.join().unwrap();
 }
+
+#[test]
+fn killed_session_mid_forward_leaves_the_server_serving() {
+    // The regression this pins: a session dying mid-forward (connection
+    // dropped while its forwarder is streaming trial lines) must cost only
+    // that session. The server keeps admitting and serving new sessions,
+    // and the dead session's threads are reclaimed — nothing wedges on the
+    // outbox Condvar.
+    use std::io::{BufRead, BufReader, Write};
+    let config = ServeConfig {
+        throttle_ms: 30, // stretch the job so the kill lands mid-stream
+        ..ServeConfig::new().with_workers(2)
+    };
+    let (handle, join) = start_server(config);
+
+    let victim = SubmitRequest::new("victim", TopologySpec::new("complete", 48), "push", 20);
+    {
+        let mut stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+        writeln!(stream, "{}", victim.to_line()).expect("send");
+        stream.flush().expect("flush");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("accepted line");
+        assert!(line.contains("\"type\":\"accepted\""), "unexpected: {line}");
+        line.clear();
+        reader.read_line(&mut line).expect("first trial line");
+        assert!(line.contains("\"type\":\"trial\""), "unexpected: {line}");
+        // Drop the socket with 19 trials still to stream: the reader sees
+        // EOF, the writer hits a dead peer, the forwarder must notice and
+        // exit instead of pushing into a wedged outbox forever.
+    }
+
+    // A fresh session on the same server must be served normally while the
+    // victim's job is still running/unwinding.
+    let client = ServeClient::new(&handle.addr().to_string());
+    let fresh = SubmitRequest::new("fresh", TopologySpec::new("complete", 32), "push", 4);
+    let result = client.submit(&fresh).expect("fresh session served");
+    assert_eq!(result.taxonomy.completed, 4);
+
+    // The dead session's threads unwind (bounded by the forwarder poll),
+    // leaving no leaked open session.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = handle.status();
+        if status.open_sessions == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "dead session leaked: {} still open",
+            status.open_sessions
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The orphaned job itself finished server-side; its result is
+    // resumable by a new session from the cache.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let replay = loop {
+        match client.submit(&victim) {
+            Ok(replay) => break replay,
+            Err(e) => assert!(Instant::now() < deadline, "victim job lost: {e:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(replay.taxonomy.completed, 20);
+
+    client.drain().expect("drain");
+    join.join().unwrap();
+}

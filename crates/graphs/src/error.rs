@@ -56,6 +56,19 @@ pub enum GraphError {
         /// Human-readable description of the malformation.
         reason: String,
     },
+    /// A requested graph exceeds a hard addressing limit (`u32` vertex ids,
+    /// or a stub/edge total beyond `u32` slot addressing). Unlike
+    /// [`GraphError::InvalidParameters`] — which flags *malformed* inputs —
+    /// the parameters here are well-formed; the instance is simply bigger
+    /// than the backend can represent without silent wrap-around.
+    TooLarge {
+        /// The quantity that overflows (e.g. `"expected stub total"`).
+        what: String,
+        /// The offending value (for expectations, rounded down).
+        value: u64,
+        /// The hard limit it exceeds.
+        limit: u64,
+    },
     /// An operation that requires a connected graph was given a disconnected one.
     Disconnected,
     /// An operation that requires a non-empty graph was given an empty one.
@@ -85,6 +98,12 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidEncoding { reason } => {
                 write!(f, "invalid graph encoding: {reason}")
+            }
+            GraphError::TooLarge { what, value, limit } => {
+                write!(
+                    f,
+                    "graph too large: {what} {value} exceeds the limit of {limit}"
+                )
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::EmptyGraph => write!(f, "graph has no vertices"),
@@ -144,6 +163,19 @@ mod tests {
             reason: "bad magic".into(),
         };
         assert_eq!(e.to_string(), "invalid graph encoding: bad magic");
+    }
+
+    #[test]
+    fn display_too_large() {
+        let e = GraphError::TooLarge {
+            what: "expected stub total".into(),
+            value: 7_000_000_000,
+            limit: u64::from(u32::MAX),
+        };
+        assert_eq!(
+            e.to_string(),
+            "graph too large: expected stub total 7000000000 exceeds the limit of 4294967295"
+        );
     }
 
     #[test]

@@ -416,13 +416,11 @@ fn neighbors_into(stubs: &StubTable<'_>, pairing: &Pairing, u: usize, buf: &mut 
     out
 }
 
-/// Splits `0..n` into contiguous ranges and runs `f` on each range in a
-/// scoped worker (honoring `RUMOR_THREADS` like the simulation engines);
-/// each worker writes a disjoint sub-slice of `out`, so the pass is
-/// deterministic at every thread count.
-fn par_fill<F: Fn(usize, &mut [u32]) + Sync>(out: &mut [u32], f: F) {
-    let n = out.len();
-    let threads = std::env::var("RUMOR_THREADS")
+/// The worker count the parallel construction passes use: `RUMOR_THREADS`
+/// if set (the same knob the simulation engines honor), else the host's
+/// available parallelism.
+pub(crate) fn configured_threads() -> usize {
+    std::env::var("RUMOR_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&t| t > 0)
@@ -430,8 +428,16 @@ fn par_fill<F: Fn(usize, &mut [u32]) + Sync>(out: &mut [u32], f: F) {
             std::thread::available_parallelism()
                 .map(|c| c.get())
                 .unwrap_or(1)
-        });
-    let workers = threads.min(n.div_ceil(16_384)).max(1);
+        })
+}
+
+/// Splits `0..n` into contiguous ranges and runs `f` on each range in a
+/// scoped worker (honoring `RUMOR_THREADS` like the simulation engines);
+/// each worker writes a disjoint sub-slice of `out`, so the pass is
+/// deterministic at every thread count.
+fn par_fill<F: Fn(usize, &mut [u32]) + Sync>(out: &mut [u32], f: F) {
+    let n = out.len();
+    let workers = configured_threads().min(n.div_ceil(16_384)).max(1);
     if workers == 1 {
         f(0, out);
         return;
@@ -466,9 +472,10 @@ impl GeneratedGraph {
     ///
     /// # Errors
     ///
-    /// Returns [`GraphError::InvalidParameters`] if `n == 0`, `n` exceeds
-    /// `u32` vertex addressing, or `p` is outside `[0, 1]`, and if the
-    /// sampled stub total exceeds `u32` addressing (lower `p` or `n`).
+    /// Returns [`GraphError::InvalidParameters`] if `n == 0` or `p` is
+    /// outside `[0, 1]`, and [`GraphError::TooLarge`] if `n` exceeds `u32`
+    /// vertex addressing or the (expected or sampled) stub total exceeds
+    /// `u32` slot addressing — lower `p` or `n`.
     pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Self> {
         if n == 0 {
             return Err(Self::invalid("gnp requires n >= 1"));
@@ -504,8 +511,9 @@ impl GeneratedGraph {
     /// # Errors
     ///
     /// Returns [`GraphError::InvalidParameters`] if `n < 2`, the exponent is
-    /// not `> 2`, `mean_degree` is not in `(0, n − 1]`, or the sampled stub
-    /// total exceeds `u32` addressing.
+    /// not `> 2`, or `mean_degree` is not in `(0, n − 1]`, and
+    /// [`GraphError::TooLarge`] if the (expected or sampled) stub total
+    /// exceeds `u32` slot addressing.
     pub fn chung_lu(n: usize, exponent: f64, mean_degree: f64, seed: u64) -> Result<Self> {
         if n < 2 {
             return Err(Self::invalid("chung_lu requires n >= 2"));
@@ -563,8 +571,32 @@ impl GeneratedGraph {
     }
 
     fn build(model: Model, n: usize, seed: u64) -> Result<Self> {
+        const STUB_LIMIT: u64 = u32::MAX as u64;
         if n > u32::MAX as usize {
-            return Err(Self::invalid("generated graph exceeds u32 vertex ids"));
+            return Err(GraphError::TooLarge {
+                what: "vertex count".into(),
+                value: n as u64,
+                limit: STUB_LIMIT,
+            });
+        }
+        // Fail fast when the *expected* stub total is already far beyond
+        // u32 slot addressing: the degree pass costs O(stub total) work, so
+        // waiting for the exact prefix-sum check below would burn minutes of
+        // sampling before reporting an error the parameters imply up front.
+        // The floor is a certain lower bound on E[S] (for Chung–Lu, every
+        // capped weight is at least min(scale, cap)), and binomial
+        // concentration makes S ≤ limit at E[S] > 1.25 · limit
+        // astronomically unlikely, so nothing representable is rejected.
+        let expected_stub_floor = match model {
+            Model::Gnp { p } => n as f64 * (n - 1) as f64 * p,
+            Model::ChungLu { scale, cap, .. } => n as f64 * scale.min(cap).min((n - 1) as f64),
+        };
+        if expected_stub_floor > 1.25 * STUB_LIMIT as f64 {
+            return Err(GraphError::TooLarge {
+                what: "expected stub total".into(),
+                value: expected_stub_floor as u64,
+                limit: STUB_LIMIT,
+            });
         }
         let model_tag = match model {
             Model::Gnp { .. } => 1,
@@ -603,10 +635,15 @@ impl GeneratedGraph {
         let mut total: u64 = 0;
         for slot in stub_offsets.iter_mut().skip(1) {
             total += u64::from(*slot);
-            if total > u64::from(u32::MAX) {
-                return Err(Self::invalid(
-                    "generated graph's stub total exceeds u32 addressing; lower p or n",
-                ));
+            if total > STUB_LIMIT {
+                // The sampled total wandered past the limit even though the
+                // expectation sat below the fast-fail threshold: reject with
+                // the same typed error instead of wrapping the u32 table.
+                return Err(GraphError::TooLarge {
+                    what: "sampled stub total".into(),
+                    value: total,
+                    limit: STUB_LIMIT,
+                });
             }
             *slot = total as u32;
         }
@@ -711,6 +748,20 @@ impl GeneratedGraph {
     /// erasure). Bounds the work of one neighbor query.
     pub fn stub_degree(&self, u: VertexId) -> usize {
         (self.stub_offsets[u + 1] - self.stub_offsets[u]) as usize
+    }
+
+    /// Collects `u`'s sorted, deduplicated simple neighbors into `buf`
+    /// (which must hold at least [`GeneratedGraph::stub_degree`]`(u)`
+    /// entries) and returns how many there are — always exactly
+    /// `self.degree(u)`. The hub-cache construction pass uses this to
+    /// materialize exact adjacency through the same enumeration path every
+    /// query takes, so the cache can never disagree with the hashed path.
+    pub(crate) fn neighbors_into_buf(&self, u: VertexId, buf: &mut [u32]) -> usize {
+        let table = StubTable {
+            offsets: &self.stub_offsets,
+            coarse: &self.stub_coarse,
+        };
+        neighbors_into(&table, &self.pairing, u, buf)
     }
 
     /// Maximum simple degree over all vertices (`None` only for `n == 0`,
@@ -1119,6 +1170,42 @@ mod tests {
         assert!(GeneratedGraph::chung_lu(10, 2.5, 0.0, 0).is_err());
         assert!(GeneratedGraph::chung_lu(10, 2.5, 100.0, 0).is_err());
         assert!(GeneratedGraph::gnp(10, f64::NAN, 0).is_err());
+    }
+
+    #[test]
+    fn overflowing_stub_totals_fail_fast_with_too_large() {
+        // n·(n−1)·p ≈ 10¹⁰ stubs — far past u32 slot addressing. Sampling
+        // that many stubs costs ~10¹⁰ operations, so the regression test
+        // only passes quickly because the expected-total check rejects the
+        // spec *before* the degree pass (the bug was a silent u32 wrap at
+        // prefix-sum time after minutes of sampling).
+        let t0 = std::time::Instant::now();
+        let err = GeneratedGraph::gnp(100_000, 1.0, 1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GraphError::TooLarge { ref what, value, limit }
+                    if what == "expected stub total"
+                        && value > limit
+                        && limit == u64::from(u32::MAX)
+            ),
+            "want TooLarge, got {err:?}"
+        );
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "overflow rejection must not sample the degree pass"
+        );
+
+        // Same fast path for a Chung–Lu spec whose weight floor already
+        // certifies overflow (n = 10⁶ at mean degree 3·10⁴).
+        let err = GeneratedGraph::chung_lu(1_000_000, 2.5, 30_000.0, 1).unwrap_err();
+        assert!(
+            matches!(err, GraphError::TooLarge { ref what, .. } if what == "expected stub total"),
+            "want TooLarge, got {err:?}"
+        );
+
+        // Representable specs at the same n are untouched.
+        assert!(GeneratedGraph::gnp_with_mean_degree(100_000, 12.0, 1).is_ok());
     }
 
     #[test]

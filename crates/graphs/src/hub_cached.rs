@@ -1,0 +1,687 @@
+//! The hub-cached hybrid topology backend: exact CSR adjacency for the
+//! heavy tail, hashed derivation for everything else.
+//!
+//! [`HubCachedGraph`] layers over [`GeneratedGraph`] to remove the one
+//! asymmetry that prices agent protocols out of large generated graphs:
+//! a neighbor query on the hashed backend costs `O(deg)` Philox partner
+//! evaluations plus a sort, and stationary random walks land on
+//! high-degree vertices with probability proportional to their degree —
+//! so the *most expensive* vertices are queried the *most often*. On a
+//! Chung–Lu power-law instance the top few percent of vertices by degree
+//! carry the majority of the stationary mass, which means a small exact
+//! adjacency cache absorbs most agent steps.
+//!
+//! # Construction
+//!
+//! The builder selects the **top-k vertices by stub count** (ties broken
+//! toward lower vertex ids, so selection is a pure function of the graph),
+//! where `k` comes from an explicit count, a byte budget, or both
+//! (whichever is smaller). A `RUMOR_THREADS`-aware parallel pass — the
+//! same worker discipline as the generated backend's construction passes —
+//! then materializes each hub's exact sorted neighbor list through the
+//! *identical* enumeration path every hashed query takes
+//! (`GeneratedGraph`'s shared enumerate-sort-dedup routine), storing them
+//! in one CSR-style `(ids, offsets, adjacency)` triple.
+//!
+//! # Determinism contract
+//!
+//! Draw streams are **bit-identical** to the uncached [`GeneratedGraph`]
+//! (and hence to the materialized CSR [`Graph`](crate::Graph)) by
+//! construction, not by luck:
+//!
+//! * degrees are read from the inner backend's own offset table, so stream
+//!   consumption per draw is unchanged;
+//! * index sampling flows through the same shared degree-specialized
+//!   sampler ([`crate::graph`]'s `index_word`/`sample_index`);
+//! * a sampled index resolves to the *i*-th **sorted** neighbor, and the
+//!   cached lists are produced by the same routine the hashed path sorts
+//!   with — a hub hit and a hash miss return the same vertex.
+//!
+//! `k = 0` degenerates to the pure hashed backend and `k = n` to a fully
+//! materialized adjacency, both bit-identical to each other — pinned by
+//! the property suite in `tests/generated_properties.rs` and the
+//! differential grids in `tests/generated_equivalence.rs`.
+//!
+//! # Cost model
+//!
+//! Memory adds `4·(k + 1) + 4·k + 4·Σ deg(hub)` bytes to the inner
+//! backend's `≈ 8n`; the budget builder caps the cache at a byte ceiling
+//! (accounted conservatively in pre-erasure stub counts, so the realized
+//! cache never exceeds it). Queries on cached vertices cost an `O(log k)`
+//! membership probe plus an `O(1)` array read instead of `O(deg)` Philox
+//! evaluations; tail vertices take one `O(1)` stub-count comparison and
+//! continue on the hashed path unchanged. The win is workload-dependent:
+//! agent walks (visit/meet-exchange) spend most draws on hubs and speed up
+//! by the cached fraction of stationary mass ([`HubCachedGraph::hub_hit_fraction`]);
+//! vertex protocols (push/pull) query every vertex equally often and gain
+//! little. `BENCH_random.json` records the measured speedups.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::generated::{configured_threads, GeneratedGraph};
+use crate::graph::{index_word, sample_index, VertexId};
+use crate::topology::Topology;
+
+/// Fallback hub count when the builder gets neither a count nor a budget:
+/// one cached vertex per this many graph vertices. On Chung–Lu exponents in
+/// `(2, 3]` the top `n/64` vertices carry most of the stationary mass while
+/// their adjacency stays well below the inner backend's own table
+/// footprint.
+const DEFAULT_HUB_DIVISOR: usize = 64;
+
+/// Parallel cache fills below this many total adjacency entries stay on one
+/// worker (mirrors the generated backend's per-worker chunk floor).
+const PAR_FILL_FLOOR: usize = 16_384;
+
+/// A hub-cached hybrid over [`GeneratedGraph`]: exact CSR adjacency for the
+/// top-k vertices by stub count, hashed `O(deg)` derivation for the tail,
+/// draw streams bit-identical to the uncached backend (see the module docs
+/// above).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_graphs::{GeneratedGraph, HubCachedGraph, Topology};
+///
+/// let inner = GeneratedGraph::chung_lu(10_000, 2.5, 8.0, 7)?;
+/// let cached = HubCachedGraph::with_hub_count(inner.clone(), 256);
+/// assert_eq!(cached.hub_count(), 256);
+///
+/// // Draws are bit-identical to the uncached backend.
+/// let mut a = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut b = a.clone();
+/// for u in 0..100 {
+///     assert_eq!(cached.random_neighbor(u, &mut a), inner.random_neighbor(u, &mut b));
+/// }
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HubCachedGraph {
+    inner: GeneratedGraph,
+    /// Stub count of the weakest hub — the `O(1)` tail quick-reject: a
+    /// vertex with a smaller stub count is never cached. `u32::MAX` when
+    /// the cache is empty (no stub count reaches it).
+    threshold: u32,
+    /// Cached vertex ids, ascending (binary-searched for membership).
+    hub_ids: Vec<u32>,
+    /// `hub_offsets[h]..hub_offsets[h + 1]` brackets hub `h`'s list in
+    /// `hub_adj` — prefix sums of the hubs' simple degrees (the total is at
+    /// most `2m ≤ u32::MAX`, inherited from the inner backend's check).
+    hub_offsets: Vec<u32>,
+    /// The concatenated exact sorted neighbor lists.
+    hub_adj: Vec<u32>,
+}
+
+/// Builder for [`HubCachedGraph`]: choose the cache size by hub count, by
+/// byte budget, or both (the effective size is the smaller).
+///
+/// # Examples
+///
+/// ```
+/// use rumor_graphs::{GeneratedGraph, HubCacheBuilder};
+///
+/// let inner = GeneratedGraph::chung_lu(5_000, 2.5, 6.0, 1)?;
+/// let cached = HubCacheBuilder::new()
+///     .hub_count(500)
+///     .cache_budget_bytes(64 << 10)
+///     .build(inner);
+/// assert!(cached.cache_bytes() <= (64 << 10) + 4 * (500 + 1) + 4 * 500);
+/// # Ok::<(), rumor_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HubCacheBuilder {
+    hub_count: Option<usize>,
+    budget_bytes: Option<usize>,
+}
+
+impl HubCacheBuilder {
+    /// A builder with neither limit set; [`HubCacheBuilder::build`] then
+    /// applies the default policy (`n / 64` hubs — see the module docs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caches the top `k` vertices by stub count (clamped to `n`).
+    pub fn hub_count(mut self, k: usize) -> Self {
+        self.hub_count = Some(k);
+        self
+    }
+
+    /// Caps the cached **adjacency** at `bytes` (4 bytes per entry),
+    /// accounted conservatively in pre-erasure stub counts — the realized
+    /// cache (simple degrees) never exceeds the budget. The `ids` and
+    /// `offsets` side tables (8 bytes per hub) are not charged against it.
+    pub fn cache_budget_bytes(mut self, bytes: usize) -> Self {
+        self.budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Builds the hub cache over `inner`. Deterministic: the selected hub
+    /// set and every cached list are pure functions of the inner graph and
+    /// the limits — thread counts cannot change a byte (the fill pass
+    /// honors `RUMOR_THREADS` exactly like the inner construction passes).
+    pub fn build(self, inner: GeneratedGraph) -> HubCachedGraph {
+        let n = inner.num_vertices();
+        let default_k = if self.hub_count.is_none() && self.budget_bytes.is_none() {
+            Some(n.div_ceil(DEFAULT_HUB_DIVISOR))
+        } else {
+            None
+        };
+        let entry_budget = self.budget_bytes.map(|b| (b / 4) as u64);
+        let (threshold, hub_ids) = select_hubs(&inner, self.hub_count.or(default_k), entry_budget);
+
+        let mut hub_offsets = Vec::with_capacity(hub_ids.len() + 1);
+        hub_offsets.push(0u32);
+        let mut total = 0u32;
+        for &u in &hub_ids {
+            total += inner.degree(u as usize) as u32; // Σ deg ≤ 2m ≤ u32::MAX
+            hub_offsets.push(total);
+        }
+        let mut hub_adj = vec![0u32; total as usize];
+        fill_cache(&inner, &hub_ids, &hub_offsets, &mut hub_adj);
+        HubCachedGraph {
+            inner,
+            threshold,
+            hub_ids,
+            hub_offsets,
+            hub_adj,
+        }
+    }
+}
+
+/// Picks the hub set: the top-k vertices by stub count, ties broken toward
+/// lower ids. Returns the stub-count threshold (the weakest hub's count;
+/// `u32::MAX` for an empty cache) and the ascending hub id list.
+fn select_hubs(
+    inner: &GeneratedGraph,
+    k_limit: Option<usize>,
+    entry_budget: Option<u64>,
+) -> (u32, Vec<u32>) {
+    let n = inner.num_vertices();
+    let k_budget = match entry_budget {
+        None => n,
+        Some(budget) => {
+            // Largest k whose top-k stub counts fit the entry budget: sort
+            // a copy descending and take the longest affordable prefix.
+            let mut sorted: Vec<u32> = (0..n).map(|u| inner.stub_degree(u) as u32).collect();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let mut acc = 0u64;
+            let mut k = 0usize;
+            for &c in &sorted {
+                acc += u64::from(c);
+                if acc > budget {
+                    break;
+                }
+                k += 1;
+            }
+            k
+        }
+    };
+    let k = k_limit.unwrap_or(n).min(k_budget).min(n);
+    if k == 0 {
+        return (u32::MAX, Vec::new());
+    }
+    // The k-th largest stub count (O(n) selection, no full sort), then one
+    // ascending sweep keeps everything strictly above it plus the
+    // lowest-id ties — fully deterministic.
+    let mut counts: Vec<u32> = (0..n).map(|u| inner.stub_degree(u) as u32).collect();
+    let (_, &mut threshold, _) = counts.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+    let greater = (0..n)
+        .filter(|&u| inner.stub_degree(u) as u32 > threshold)
+        .count();
+    let mut ties_left = k - greater;
+    let mut hub_ids = Vec::with_capacity(k);
+    for u in 0..n {
+        let c = inner.stub_degree(u) as u32;
+        if c > threshold {
+            hub_ids.push(u as u32);
+        } else if c == threshold && ties_left > 0 {
+            hub_ids.push(u as u32);
+            ties_left -= 1;
+        }
+    }
+    (threshold, hub_ids)
+}
+
+/// Materializes every hub's exact sorted neighbor list into `hub_adj`,
+/// splitting the hub range across scoped workers at entry-balanced
+/// boundaries (honoring `RUMOR_THREADS`). Each worker writes a disjoint
+/// slice, so the pass is deterministic at every thread count.
+fn fill_cache(inner: &GeneratedGraph, hub_ids: &[u32], hub_offsets: &[u32], hub_adj: &mut [u32]) {
+    let hubs = hub_ids.len();
+    let total = hub_adj.len();
+    if hubs == 0 {
+        return;
+    }
+    let workers = configured_threads()
+        .min(hubs)
+        .min(total.div_ceil(PAR_FILL_FLOOR))
+        .max(1);
+    if workers == 1 {
+        fill_range(inner, hub_ids, hub_offsets, 0..hubs, hub_adj);
+        return;
+    }
+    // Worker w takes hubs [bounds[w], bounds[w + 1]): boundaries land at
+    // the first hub at or past each equal share of the total entry count,
+    // so one giant hub cannot serialize the pass behind it.
+    let mut bounds = Vec::with_capacity(workers + 1);
+    bounds.push(0usize);
+    for w in 1..workers {
+        let target = (total as u64 * w as u64 / workers as u64) as u32;
+        let idx = hub_offsets[..=hubs].partition_point(|&o| o < target);
+        bounds.push(idx.min(hubs).max(bounds[w - 1]));
+    }
+    bounds.push(hubs);
+    std::thread::scope(|scope| {
+        let mut rest = hub_adj;
+        for w in 0..workers {
+            let (lo, hi) = (bounds[w], bounds[w + 1]);
+            let entries = (hub_offsets[hi] - hub_offsets[lo]) as usize;
+            let (slice, tail) = rest.split_at_mut(entries);
+            rest = tail;
+            scope.spawn(move || fill_range(inner, hub_ids, hub_offsets, lo..hi, slice));
+        }
+    });
+}
+
+/// One worker's share of the cache fill: hubs `range`, writing into the
+/// sub-slice of the adjacency that starts at `hub_offsets[range.start]`.
+fn fill_range(
+    inner: &GeneratedGraph,
+    hub_ids: &[u32],
+    hub_offsets: &[u32],
+    range: std::ops::Range<usize>,
+    out: &mut [u32],
+) {
+    let base = hub_offsets[range.start] as usize;
+    let mut scratch: Vec<u32> = Vec::new();
+    for h in range {
+        let u = hub_ids[h] as usize;
+        let stubs = inner.stub_degree(u);
+        if scratch.len() < stubs {
+            scratch.resize(stubs, 0);
+        }
+        let len = inner.neighbors_into_buf(u, &mut scratch);
+        debug_assert_eq!(len, inner.degree(u), "cache/degree disagreement at {u}");
+        let start = hub_offsets[h] as usize - base;
+        out[start..start + len].copy_from_slice(&scratch[..len]);
+    }
+}
+
+impl HubCachedGraph {
+    /// The default policy: caches the top `n / 64` vertices by stub count
+    /// (see the module docs for why that covers most stationary mass on
+    /// power-law instances).
+    pub fn over(inner: GeneratedGraph) -> Self {
+        HubCacheBuilder::new().build(inner)
+    }
+
+    /// Caches exactly the top `k` vertices by stub count (clamped to `n`).
+    /// `k = 0` is the pure hashed backend; `k = n` materializes every list.
+    pub fn with_hub_count(inner: GeneratedGraph, k: usize) -> Self {
+        HubCacheBuilder::new().hub_count(k).build(inner)
+    }
+
+    /// The wrapped hashed backend.
+    pub fn inner(&self) -> &GeneratedGraph {
+        &self.inner
+    }
+
+    /// Unwraps back to the hashed backend, dropping the cache.
+    pub fn into_inner(self) -> GeneratedGraph {
+        self.inner
+    }
+
+    /// How many vertices are cached.
+    pub fn hub_count(&self) -> usize {
+        self.hub_ids.len()
+    }
+
+    /// Whether `u`'s neighbor list is answered from the cache.
+    pub fn is_hub(&self, u: VertexId) -> bool {
+        self.hub_slot(u).is_some()
+    }
+
+    /// Bytes held by the cache itself (ids + offsets + adjacency), on top
+    /// of the inner backend's footprint.
+    pub fn cache_bytes(&self) -> usize {
+        (self.hub_ids.capacity() + self.hub_offsets.capacity() + self.hub_adj.capacity())
+            * std::mem::size_of::<u32>()
+    }
+
+    /// The fraction of stationary probability mass the cache absorbs —
+    /// i.e. the expected hub-hit rate of a stationary agent's neighbor
+    /// draws: `Σ deg(hub) / 2m`. `0.0` on edgeless graphs.
+    pub fn hub_hit_fraction(&self) -> f64 {
+        let total = self.inner.total_degree();
+        if total == 0 {
+            return 0.0;
+        }
+        f64::from(*self.hub_offsets.last().expect("offsets never empty")) / total as f64
+    }
+
+    /// The cache slot of `u`, or `None` for tail vertices. The stub-count
+    /// comparison rejects the tail in `O(1)`; actual hubs pay one
+    /// `O(log k)` binary search.
+    #[inline]
+    fn hub_slot(&self, u: VertexId) -> Option<usize> {
+        if u >= self.inner.num_vertices() || (self.inner.stub_degree(u) as u32) < self.threshold {
+            return None;
+        }
+        self.hub_ids.binary_search(&(u as u32)).ok()
+    }
+
+    /// The cached sorted neighbor list of hub slot `h`.
+    #[inline]
+    fn hub_list(&self, h: usize) -> &[u32] {
+        &self.hub_adj[self.hub_offsets[h] as usize..self.hub_offsets[h + 1] as usize]
+    }
+
+    /// The `i`-th neighbor of `u` in ascending order — identical to the
+    /// inner backend's [`GeneratedGraph::nth_neighbor`], read from the
+    /// cache when `u` is a hub.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `i` is out of range.
+    pub fn nth_neighbor(&self, u: VertexId, i: usize) -> VertexId {
+        match self.hub_slot(u) {
+            Some(h) => self.hub_list(h)[i] as VertexId,
+            None => self.inner.nth_neighbor(u, i),
+        }
+    }
+
+    /// Whether `(u, v)` is an edge — `O(log deg)` against a cached list
+    /// when either endpoint is a hub, the inner `O(deg)` derivation
+    /// otherwise. Agrees with [`GeneratedGraph::contains_edge`] everywhere.
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        for (a, b) in [(u, v), (v, u)] {
+            if a >= self.inner.num_vertices() {
+                return false;
+            }
+            if let Some(h) = self.hub_slot(a) {
+                return self.hub_list(h).binary_search(&(b as u32)).is_ok();
+            }
+        }
+        self.inner.contains_edge(u, v)
+    }
+}
+
+impl Topology for HubCachedGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.inner.num_edges()
+    }
+
+    #[inline]
+    fn degree(&self, u: VertexId) -> usize {
+        self.inner.degree(u)
+    }
+
+    fn for_each_neighbor(&self, u: VertexId, mut f: impl FnMut(VertexId)) {
+        match self.hub_slot(u) {
+            Some(h) => {
+                for &v in self.hub_list(h) {
+                    f(v as VertexId);
+                }
+            }
+            None => self.inner.for_each_neighbor(u, f),
+        }
+    }
+
+    #[inline]
+    fn random_neighbor<R: Rng + ?Sized>(&self, u: VertexId, rng: &mut R) -> Option<VertexId> {
+        let d = self.degree(u);
+        if d == 0 {
+            return None;
+        }
+        let i = sample_index(index_word(d), rng);
+        Some(self.nth_neighbor(u, i as usize))
+    }
+
+    #[inline]
+    fn random_neighbor_nonisolated<R: Rng + ?Sized>(&self, u: VertexId, rng: &mut R) -> VertexId {
+        let d = self.degree(u);
+        assert!(d != 0, "random_neighbor_nonisolated on isolated vertex {u}");
+        let i = sample_index(index_word(d), rng);
+        self.nth_neighbor(u, i as usize)
+    }
+
+    #[inline]
+    fn random_neighbor_with<R: Rng, F: FnOnce() -> R>(
+        &self,
+        u: VertexId,
+        make_rng: F,
+    ) -> Option<VertexId> {
+        let d = self.degree(u);
+        if d == 0 {
+            return None;
+        }
+        if d == 1 {
+            // Forced outcome; the unused draw is never computed — matching
+            // the inner backend's stream consumption exactly.
+            return Some(self.nth_neighbor(u, 0));
+        }
+        let mut rng = make_rng();
+        let i = sample_index(index_word(d), &mut rng);
+        Some(self.nth_neighbor(u, i as usize))
+    }
+
+    #[inline]
+    fn sample_stationary<R: Rng + ?Sized>(&self, rng: &mut R) -> VertexId {
+        self.inner.sample_stationary(rng)
+    }
+
+    #[inline]
+    fn sample_stationary_into<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+        out: &mut Vec<u32>,
+    ) {
+        self.inner.sample_stationary_into(count, rng, out);
+    }
+
+    fn is_bipartite(&self) -> bool {
+        self.inner.is_bipartite()
+    }
+
+    fn regular_degree(&self) -> Option<usize> {
+        self.inner.regular_degree()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes() + self.cache_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    fn chung_lu(n: usize, seed: u64) -> GeneratedGraph {
+        GeneratedGraph::chung_lu(n, 2.5, 6.0, seed).unwrap()
+    }
+
+    #[test]
+    fn hub_selection_takes_top_k_by_stub_count_with_low_id_ties() {
+        let inner = chung_lu(400, 3);
+        let k = 25;
+        let cached = HubCachedGraph::with_hub_count(inner.clone(), k);
+        assert_eq!(cached.hub_count(), k);
+        // Every cached vertex's stub count is >= every uncached vertex's,
+        // and among equal counts the cached ids are the smallest.
+        let min_cached = (0..400)
+            .filter(|&u| cached.is_hub(u))
+            .map(|u| inner.stub_degree(u))
+            .min()
+            .unwrap();
+        for u in 0..400 {
+            if !cached.is_hub(u) {
+                let c = inner.stub_degree(u);
+                assert!(c <= min_cached, "uncached {u} outranks a hub");
+                if c == min_cached {
+                    let larger_tie_cached =
+                        (0..u).any(|v| !cached.is_hub(v) && inner.stub_degree(v) == min_cached);
+                    assert!(
+                        !larger_tie_cached || !cached.is_hub(u),
+                        "tie-break must prefer lower ids"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_lists_equal_inner_lists_everywhere() {
+        let inner = chung_lu(500, 7);
+        for k in [0usize, 1, 13, 100, 500, 5000] {
+            let cached = HubCachedGraph::with_hub_count(inner.clone(), k);
+            assert_eq!(cached.hub_count(), k.min(500));
+            for u in 0..500 {
+                assert_eq!(cached.degree(u), inner.degree(u));
+                let mut a = Vec::new();
+                cached.for_each_neighbor(u, |v| a.push(v));
+                let mut b = Vec::new();
+                inner.for_each_neighbor(u, |v| b.push(v));
+                assert_eq!(a, b, "neighbor list diverged at {u} (k={k})");
+            }
+        }
+    }
+
+    #[test]
+    fn draw_streams_are_bit_identical_to_the_inner_backend() {
+        let inner = chung_lu(300, 1);
+        let cached = HubCachedGraph::with_hub_count(inner.clone(), 40);
+        for u in 0..300 {
+            let mut a = StdRng::seed_from_u64(u as u64);
+            let mut b = a.clone();
+            for _ in 0..20 {
+                assert_eq!(
+                    cached.random_neighbor(u, &mut a),
+                    inner.random_neighbor(u, &mut b)
+                );
+            }
+            assert_eq!(a.next_u64(), b.next_u64(), "stream position at {u}");
+        }
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = a.clone();
+        for _ in 0..500 {
+            assert_eq!(
+                cached.sample_stationary(&mut a),
+                inner.sample_stationary(&mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn membership_agrees_with_the_inner_backend() {
+        let inner = chung_lu(120, 5);
+        let cached = HubCachedGraph::with_hub_count(inner.clone(), 12);
+        for u in 0..120 {
+            for v in 0..120 {
+                assert_eq!(
+                    cached.contains_edge(u, v),
+                    inner.contains_edge(u, v),
+                    "membership ({u}, {v})"
+                );
+            }
+        }
+        assert!(!cached.contains_edge(0, 120));
+        assert!(!cached.contains_edge(120, 0));
+    }
+
+    #[test]
+    fn budget_builder_respects_the_byte_ceiling() {
+        let inner = chung_lu(1000, 2);
+        let budget = 2 << 10; // 2 KiB of adjacency = 512 entries
+        let cached = HubCacheBuilder::new()
+            .cache_budget_bytes(budget)
+            .build(inner.clone());
+        assert!(cached.hub_count() > 0, "2 KiB must afford some hubs");
+        let adj_bytes = cached
+            .hub_adj
+            .len()
+            .checked_mul(std::mem::size_of::<u32>())
+            .unwrap();
+        assert!(
+            adj_bytes <= budget,
+            "cached adjacency {adj_bytes} bytes exceeds the {budget} budget"
+        );
+        // Adding a count limit takes the smaller cache.
+        let both = HubCacheBuilder::new()
+            .cache_budget_bytes(budget)
+            .hub_count(3)
+            .build(inner);
+        assert_eq!(both.hub_count(), 3);
+    }
+
+    #[test]
+    fn default_policy_caches_a_64th_of_the_graph() {
+        let inner = chung_lu(640, 4);
+        let cached = HubCachedGraph::over(inner);
+        assert_eq!(cached.hub_count(), 10);
+        assert!(cached.hub_hit_fraction() > 0.0);
+        assert!(cached.cache_bytes() > 0);
+        assert!(Topology::memory_bytes(&cached) > cached.inner().memory_bytes());
+    }
+
+    #[test]
+    fn hub_hit_fraction_is_the_cached_stationary_mass() {
+        let inner = chung_lu(500, 6);
+        let cached = HubCachedGraph::with_hub_count(inner.clone(), 30);
+        let cached_degree: usize = (0..500)
+            .filter(|&u| cached.is_hub(u))
+            .map(|u| inner.degree(u))
+            .sum();
+        let want = cached_degree as f64 / inner.total_degree() as f64;
+        assert!((cached.hub_hit_fraction() - want).abs() < 1e-12);
+        // Full cache absorbs everything; empty cache nothing.
+        assert_eq!(
+            HubCachedGraph::with_hub_count(inner.clone(), 500).hub_hit_fraction(),
+            1.0
+        );
+        assert_eq!(
+            HubCachedGraph::with_hub_count(inner, 0).hub_hit_fraction(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn fill_is_thread_invariant() {
+        let inner = chung_lu(800, 8);
+        let reference = HubCachedGraph::with_hub_count(inner.clone(), 200);
+        let previous = std::env::var_os("RUMOR_THREADS");
+        std::env::set_var("RUMOR_THREADS", "3");
+        let threaded = HubCachedGraph::with_hub_count(inner, 200);
+        match previous {
+            Some(value) => std::env::set_var("RUMOR_THREADS", value),
+            None => std::env::remove_var("RUMOR_THREADS"),
+        }
+        assert_eq!(reference.hub_ids, threaded.hub_ids);
+        assert_eq!(reference.hub_offsets, threaded.hub_offsets);
+        assert_eq!(reference.hub_adj, threaded.hub_adj);
+    }
+
+    #[test]
+    fn edgeless_graphs_degenerate_cleanly() {
+        let inner = GeneratedGraph::gnp(50, 0.0, 1).unwrap();
+        let cached = HubCachedGraph::over(inner);
+        assert_eq!(cached.hub_hit_fraction(), 0.0);
+        assert_eq!(cached.degree(0), 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(cached.random_neighbor(0, &mut rng), None);
+    }
+}

@@ -6,16 +6,19 @@
 //!
 //! The crate provides:
 //!
-//! * the sealed [`Topology`] abstraction with three backends: an immutable
+//! * the sealed [`Topology`] abstraction with four backends: an immutable
 //!   CSR [`Graph`] optimized for the one operation every rumor protocol
 //!   performs millions of times — sampling a uniformly random neighbor
 //!   ([`Graph::random_neighbor`]) — the closed-form [`ImplicitGraph`]
 //!   storing the paper's structured families as `O(1)` parameters (48 bytes
 //!   at any size; a 10⁸-vertex cycle-of-stars whose CSR build would not even
 //!   fit `u32` adjacency indexing simulates bit-identically to a
-//!   materialized build), and the seed-keyed [`GeneratedGraph`] deriving
+//!   materialized build), the seed-keyed [`GeneratedGraph`] deriving
 //!   random families — G(n, p) and Chung–Lu power-law — on demand from a
-//!   counter-based Philox hash in `O(n)` memory. [`AnyTopology`] selects a
+//!   counter-based Philox hash in `O(n)` memory, and the hub-cached hybrid
+//!   [`HubCachedGraph`] layering exact CSR adjacency for the top-k
+//!   highest-degree vertices over the hashed path (the heavy tail
+//!   stationary agent walks revisit constantly). [`AnyTopology`] selects a
 //!   backend at runtime; all backends offer degree-proportional
 //!   (stationary) vertex sampling for placing random-walk agents
 //!   ([`Graph::sample_stationary`]);
@@ -58,6 +61,7 @@ mod builder;
 mod error;
 mod generated;
 mod graph;
+mod hub_cached;
 mod implicit;
 mod topology;
 
@@ -69,6 +73,7 @@ pub use builder::GraphBuilder;
 pub use error::{GraphError, Result};
 pub use generated::GeneratedGraph;
 pub use graph::{Edges, Graph, VertexId};
+pub use hub_cached::{HubCacheBuilder, HubCachedGraph};
 pub use implicit::ImplicitGraph;
 pub use topology::{AnyTopology, Topology};
 

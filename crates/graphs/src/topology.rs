@@ -4,7 +4,7 @@
 //! Every protocol in the workspace consumes a graph through a handful of
 //! operations — `degree`, uniform neighbor sampling, stationary vertex
 //! sampling, neighbor enumeration. The [`Topology`] trait captures exactly
-//! that surface, with three sealed implementations:
+//! that surface, with four sealed implementations:
 //!
 //! * [`Graph`] — the CSR backend: `O(n + m)` arrays, any simple undirected
 //!   graph.
@@ -18,6 +18,11 @@
 //!   are derived on demand from a counter-based Philox hash. `O(n)` memory
 //!   (two offset tables), so 10⁷-vertex random topologies fit where their
 //!   CSR builds would not.
+//! * [`HubCachedGraph`](crate::HubCachedGraph) — the hub-cached hybrid: a
+//!   layer over the generated backend that materializes exact CSR
+//!   adjacency for the top-k vertices by degree, absorbing the hub-heavy
+//!   query mix of stationary agent walks while tail queries stay on the
+//!   hashed path.
 //!
 //! **Determinism contract:** for equal degrees all backends consume the
 //! RNG stream identically (each draws neighbor indices through the shared
@@ -41,16 +46,18 @@ use rand::Rng;
 
 use crate::generated::GeneratedGraph;
 use crate::graph::{Graph, VertexId};
+use crate::hub_cached::HubCachedGraph;
 use crate::implicit::ImplicitGraph;
 
 mod sealed {
-    /// Seals [`super::Topology`]: the three backends are the whole design,
+    /// Seals [`super::Topology`]: the four backends are the whole design,
     /// and the bit-identity contract between them could not be promised for
     /// foreign implementations.
     pub trait Sealed {}
     impl Sealed for super::Graph {}
     impl Sealed for super::ImplicitGraph {}
     impl Sealed for super::GeneratedGraph {}
+    impl Sealed for super::HubCachedGraph {}
 }
 
 /// The operations a simulation needs from a graph, implemented by the CSR
@@ -173,6 +180,8 @@ pub enum AnyTopology {
     Implicit(ImplicitGraph),
     /// The seed-keyed generated random backend.
     Generated(GeneratedGraph),
+    /// The hub-cached hybrid over the generated backend.
+    HubCached(HubCachedGraph),
 }
 
 impl AnyTopology {
@@ -182,6 +191,7 @@ impl AnyTopology {
             AnyTopology::Csr(g) => g.num_vertices(),
             AnyTopology::Implicit(g) => g.num_vertices(),
             AnyTopology::Generated(g) => g.num_vertices(),
+            AnyTopology::HubCached(g) => g.num_vertices(),
         }
     }
 
@@ -191,6 +201,7 @@ impl AnyTopology {
             AnyTopology::Csr(g) => g.num_edges(),
             AnyTopology::Implicit(g) => g.num_edges(),
             AnyTopology::Generated(g) => g.num_edges(),
+            AnyTopology::HubCached(g) => g.num_edges(),
         }
     }
 
@@ -201,6 +212,7 @@ impl AnyTopology {
             AnyTopology::Csr(g) => g.memory_bytes(),
             AnyTopology::Implicit(g) => g.memory_bytes(),
             AnyTopology::Generated(g) => g.memory_bytes(),
+            AnyTopology::HubCached(g) => Topology::memory_bytes(g),
         }
     }
 
@@ -227,6 +239,14 @@ impl AnyTopology {
             _ => None,
         }
     }
+
+    /// The hub-cached backend, if that is what this topology holds.
+    pub fn as_hub_cached(&self) -> Option<&HubCachedGraph> {
+        match self {
+            AnyTopology::HubCached(g) => Some(g),
+            _ => None,
+        }
+    }
 }
 
 impl From<Graph> for AnyTopology {
@@ -244,6 +264,12 @@ impl From<ImplicitGraph> for AnyTopology {
 impl From<GeneratedGraph> for AnyTopology {
     fn from(graph: GeneratedGraph) -> Self {
         AnyTopology::Generated(graph)
+    }
+}
+
+impl From<HubCachedGraph> for AnyTopology {
+    fn from(graph: HubCachedGraph) -> Self {
+        AnyTopology::HubCached(graph)
     }
 }
 
@@ -274,6 +300,20 @@ mod tests {
             generated.as_generated().unwrap().num_edges()
         );
         assert!(generated.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn any_topology_carries_the_hub_cached_backend() {
+        let inner = GeneratedGraph::gnp(64, 0.1, 3).unwrap();
+        let cached = AnyTopology::from(HubCachedGraph::with_hub_count(inner, 8));
+        assert_eq!(cached.num_vertices(), 64);
+        assert!(cached.as_hub_cached().is_some());
+        assert!(cached.as_generated().is_none() && cached.as_csr().is_none());
+        assert_eq!(
+            cached.num_edges(),
+            cached.as_hub_cached().unwrap().num_edges()
+        );
+        assert!(cached.memory_bytes() > 0);
     }
 
     #[test]

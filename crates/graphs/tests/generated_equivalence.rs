@@ -13,7 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use rumor_graphs::{algorithms, GeneratedGraph, Graph, Topology};
+use rumor_graphs::{algorithms, GeneratedGraph, Graph, HubCachedGraph, Topology};
 
 /// The differential grid: both families across sizes, densities/exponents,
 /// and seeds — small enough to materialize, varied enough to cover isolated
@@ -220,6 +220,171 @@ fn different_seeds_generate_different_edge_sets() {
         set
     };
     assert_ne!(edges(&a), edges(&b), "seed must steer the edge set");
+}
+
+/// Cache sizes exercised per instance: empty, a single hub, the default
+/// policy, a mid-size cache, and every vertex. Clamped to `n` by the
+/// builder, so the large values degenerate to full materialization on the
+/// small grid entries.
+fn hub_counts(n: usize) -> [usize; 5] {
+    [0, 1, n.div_ceil(64), 13, n]
+}
+
+#[test]
+fn hub_cached_counts_degrees_and_sorted_lists_match_inner_and_csr() {
+    for g in instances() {
+        let csr = g.materialize().unwrap();
+        let base = label(&g);
+        let n = g.num_vertices();
+        for k in hub_counts(n) {
+            let h = HubCachedGraph::with_hub_count(g.clone(), k);
+            let label = format!("{base} k={k}");
+            assert_eq!(h.num_vertices(), n, "{label} n");
+            assert_eq!(h.num_edges(), g.num_edges(), "{label} m");
+            for u in 0..n {
+                assert_eq!(
+                    Topology::degree(&h, u),
+                    g.degree(u),
+                    "{label} degree of {u}"
+                );
+                let want = csr.neighbors(u);
+                let mut got = Vec::new();
+                h.for_each_neighbor(u, |v| got.push(v as u32));
+                assert_eq!(got, want, "{label} sorted neighbor list of {u}");
+                for (i, &v) in want.iter().enumerate() {
+                    assert_eq!(h.nth_neighbor(u, i), v as usize, "{label} nth({u}, {i})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hub_cached_draw_streams_are_bit_identical_to_inner_and_csr() {
+    for g in instances() {
+        let csr = g.materialize().unwrap();
+        let base = label(&g);
+        let n = g.num_vertices();
+        for k in hub_counts(n) {
+            let h = HubCachedGraph::with_hub_count(g.clone(), k);
+            let label = format!("{base} k={k}");
+            for u in 0..n {
+                let mut a = StdRng::seed_from_u64(u as u64 ^ g.seed());
+                let mut b = a.clone();
+                let mut c = a.clone();
+                for draw in 0..24 {
+                    let x = Topology::random_neighbor(&h, u, &mut a);
+                    assert_eq!(
+                        x,
+                        g.random_neighbor(u, &mut b),
+                        "{label} draw {draw} at {u} vs inner"
+                    );
+                    assert_eq!(
+                        x,
+                        csr.random_neighbor(u, &mut c),
+                        "{label} draw {draw} at {u} vs csr"
+                    );
+                }
+                let (sa, sb, sc) = (a.next_u64(), b.next_u64(), c.next_u64());
+                assert_eq!(sa, sb, "{label} stream at {u} vs inner");
+                assert_eq!(sa, sc, "{label} stream at {u} vs csr");
+                if g.degree(u) > 0 {
+                    let mut a = StdRng::seed_from_u64(u as u64);
+                    let mut b = a.clone();
+                    assert_eq!(
+                        Topology::random_neighbor_nonisolated(&h, u, &mut a),
+                        g.random_neighbor_nonisolated(u, &mut b),
+                        "{label} nonisolated draw at {u}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hub_cached_membership_and_predicates_match_inner_and_csr() {
+    for g in instances() {
+        let csr = g.materialize().unwrap();
+        let base = label(&g);
+        let n = g.num_vertices();
+        for k in hub_counts(n) {
+            let h = HubCachedGraph::with_hub_count(g.clone(), k);
+            let label = format!("{base} k={k}");
+            assert_eq!(
+                Topology::is_bipartite(&h),
+                g.is_bipartite(),
+                "{label} bipartiteness"
+            );
+            assert_eq!(
+                Topology::regular_degree(&h),
+                Topology::regular_degree(&g),
+                "{label} regular degree"
+            );
+            for u in 0..n {
+                for v in 0..n {
+                    assert_eq!(
+                        h.contains_edge(u, v),
+                        csr.has_edge(u, v),
+                        "{label} membership ({u}, {v})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hub_cached_stationary_draws_are_bit_identical_to_inner() {
+    for g in instances() {
+        if g.num_edges() == 0 {
+            continue;
+        }
+        let base = label(&g);
+        let h = HubCachedGraph::over(g.clone());
+        let mut a = StdRng::seed_from_u64(1234);
+        let mut b = a.clone();
+        for draw in 0..200 {
+            assert_eq!(
+                Topology::sample_stationary(&h, &mut a),
+                g.sample_stationary(&mut b),
+                "{base} stationary draw {draw}"
+            );
+        }
+        assert_eq!(a.next_u64(), b.next_u64(), "{base} stationary stream");
+        let mut bulk = Vec::new();
+        Topology::sample_stationary_into(&h, 150, &mut StdRng::seed_from_u64(9), &mut bulk);
+        let mut bulk_inner = Vec::new();
+        g.sample_stationary_into(150, &mut StdRng::seed_from_u64(9), &mut bulk_inner);
+        assert_eq!(bulk, bulk_inner, "{base} bulk stationary");
+    }
+}
+
+#[test]
+fn hub_cached_lazy_rng_neighbor_matches_plain_draws() {
+    let g = GeneratedGraph::chung_lu(120, 2.5, 6.0, 2).unwrap();
+    let h = HubCachedGraph::over(g.clone());
+    for u in 0..g.num_vertices() {
+        match g.degree(u) {
+            0 => {
+                let v: Option<usize> =
+                    Topology::random_neighbor_with(&h, u, || -> StdRng { unreachable!("deg 0") });
+                assert_eq!(v, None);
+            }
+            1 => {
+                let v: Option<usize> =
+                    Topology::random_neighbor_with(&h, u, || -> StdRng { unreachable!("deg 1") });
+                assert_eq!(v, Some(g.nth_neighbor(u, 0)));
+            }
+            _ => {
+                let mut rng = StdRng::seed_from_u64(u as u64);
+                let direct = Topology::random_neighbor(&h, u, &mut rng).unwrap();
+                let rng = StdRng::seed_from_u64(u as u64);
+                let lazy = Topology::random_neighbor_with(&h, u, || rng.clone()).unwrap();
+                assert_eq!(direct, lazy, "lazy draw diverged at {u}");
+            }
+        }
+    }
 }
 
 #[test]

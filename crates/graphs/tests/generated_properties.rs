@@ -11,7 +11,9 @@
 //! so there is no flake budget.
 
 use proptest::prelude::*;
-use rumor_graphs::{GeneratedGraph, Topology};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use rumor_graphs::{GeneratedGraph, HubCachedGraph, Topology};
 
 proptest! {
     /// Edge membership is symmetric: the pairing is an involution on stubs,
@@ -81,6 +83,46 @@ proptest! {
             na != nb
         });
         prop_assert!(differs, "seeds {} and {} coincide", seed, seed + 1);
+    }
+
+    /// Hub-cache degeneracy: `k = 0` (pure hashed path) and `k = n` (every
+    /// list materialized) answer every query — lists and draw streams —
+    /// bit-identically to each other and to the uncached backend. The
+    /// cache can only ever relocate where an answer is read from, never
+    /// change it.
+    #[test]
+    fn hub_cache_extremes_degenerate_bit_identically(
+        n in 2usize..120,
+        seed in 0u64..200,
+        draw_seed in 0u64..1000,
+    ) {
+        let inner =
+            GeneratedGraph::chung_lu(n, 2.5, 4.0_f64.min((n - 1) as f64), seed).unwrap();
+        let none = HubCachedGraph::with_hub_count(inner.clone(), 0);
+        let all = HubCachedGraph::with_hub_count(inner.clone(), n);
+        prop_assert_eq!(none.hub_count(), 0);
+        prop_assert_eq!(all.hub_count(), n);
+        for u in 0..n {
+            let mut a = Vec::new();
+            none.for_each_neighbor(u, |v| a.push(v));
+            let mut b = Vec::new();
+            all.for_each_neighbor(u, |v| b.push(v));
+            let mut c = Vec::new();
+            inner.for_each_neighbor(u, |v| c.push(v));
+            prop_assert_eq!(&a, &b, "k=0 vs k=n list at {}", u);
+            prop_assert_eq!(&b, &c, "cached vs inner list at {}", u);
+            let mut r0 = StdRng::seed_from_u64(draw_seed ^ u as u64);
+            let mut r1 = r0.clone();
+            let mut r2 = r0.clone();
+            for _ in 0..8 {
+                let x = none.random_neighbor(u, &mut r0);
+                prop_assert_eq!(x, all.random_neighbor(u, &mut r1));
+                prop_assert_eq!(x, inner.random_neighbor(u, &mut r2));
+            }
+            let (s0, s1, s2) = (r0.next_u64(), r1.next_u64(), r2.next_u64());
+            prop_assert_eq!(s0, s1, "k=0 vs k=n stream position at {}", u);
+            prop_assert_eq!(s1, s2, "cached vs inner stream position at {}", u);
+        }
     }
 
     /// The sampled graph is invariant under the ambient thread count: the
